@@ -1,0 +1,62 @@
+//! Criterion benchmark for paper Table 2's compile-time column: how long
+//! Spire takes to emit a circuit for `length` and `length-simplified`,
+//! with and without program-level optimizations. The paper's headline:
+//! optimizing the program *before* compiling is faster than compiling,
+//! because the large circuit is never created.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use bench_suite::programs::{LENGTH, LENGTH_SIMPLE};
+use spire::{compile_source, CompileOptions};
+use tower::WordConfig;
+
+fn bench_compile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compile");
+    group.sample_size(10);
+    for (name, source, entry) in [
+        ("length", LENGTH, "length"),
+        ("length-simple", LENGTH_SIMPLE, "length_simple"),
+    ] {
+        for depth in [5i64, 10] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("{name}/baseline"), depth),
+                &depth,
+                |b, &depth| {
+                    b.iter(|| {
+                        compile_source(
+                            black_box(source),
+                            entry,
+                            depth,
+                            WordConfig::paper_default(),
+                            &CompileOptions::baseline(),
+                        )
+                        .unwrap()
+                        .t_complexity()
+                    })
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("{name}/spire"), depth),
+                &depth,
+                |b, &depth| {
+                    b.iter(|| {
+                        compile_source(
+                            black_box(source),
+                            entry,
+                            depth,
+                            WordConfig::paper_default(),
+                            &CompileOptions::spire(),
+                        )
+                        .unwrap()
+                        .t_complexity()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compile);
+criterion_main!(benches);

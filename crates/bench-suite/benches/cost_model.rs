@@ -1,0 +1,37 @@
+//! Criterion benchmark for the cost model itself (paper Section 5's
+//! motivation): a developer should not have to "repeatedly compile [the
+//! program] to a large circuit and count its gates". Compares the
+//! syntax-level histogram evaluation against stream-counting the emitted
+//! circuit, on the most expensive benchmark (radix-tree insert).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use bench_suite::programs::insert_source;
+use spire::{compile_source, CompileOptions};
+use tower::WordConfig;
+
+fn bench_cost_model(c: &mut Criterion) {
+    let source = insert_source();
+    let compiled = compile_source(
+        &source,
+        "insert",
+        6,
+        WordConfig::paper_default(),
+        &CompileOptions::baseline(),
+    )
+    .expect("insert compiles");
+
+    let mut group = c.benchmark_group("cost-of-costing-insert-d6");
+    group.sample_size(10);
+    group.bench_function("cost-model-histogram", |b| {
+        b.iter(|| black_box(&compiled).histogram().t_complexity())
+    });
+    group.bench_function("emit-and-count", |b| {
+        b.iter(|| black_box(&compiled).counted_histogram().t_complexity())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cost_model);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion benchmark for paper Table 2's optimizer-time rows: the cost
+//! of recovering efficiency *after* compilation, per circuit optimizer
+//! analogue, against Spire's program-level route. Reproduces the ordering
+//! peephole < mctExpand-style < long-range resynthesis, with Spire's
+//! own pass orders of magnitude cheaper than any of them.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use bench_suite::programs::LENGTH_SIMPLE;
+use qopt::{AdjacentCancel, CircuitOptimizer, GlobalResynth, PhaseFoldLight, ToffoliCancel};
+use spire::{compile_source, CompileOptions};
+use tower::WordConfig;
+
+fn bench_optimizers(c: &mut Criterion) {
+    let depth = 8;
+    let baseline = compile_source(
+        LENGTH_SIMPLE,
+        "length_simple",
+        depth,
+        WordConfig::paper_default(),
+        &CompileOptions::baseline(),
+    )
+    .expect("length-simplified compiles");
+    let circuit = baseline.emit();
+
+    let mut group = c.benchmark_group("optimize-length-simple-d8");
+    group.sample_size(10);
+    group.bench_function("qiskit-like-peephole", |b| {
+        b.iter(|| AdjacentCancel.optimize(black_box(&circuit)).len())
+    });
+    group.bench_function("voqc-like-phasefold", |b| {
+        b.iter(|| PhaseFoldLight.optimize(black_box(&circuit)).len())
+    });
+    group.bench_function("feynman-mctexpand", |b| {
+        b.iter(|| ToffoliCancel.optimize(black_box(&circuit)).len())
+    });
+    group.bench_function("quizx-like-resynth", |b| {
+        b.iter(|| GlobalResynth.optimize(black_box(&circuit)).len())
+    });
+    group.bench_function("spire-program-level", |b| {
+        b.iter(|| {
+            compile_source(
+                black_box(LENGTH_SIMPLE),
+                "length_simple",
+                depth,
+                WordConfig::paper_default(),
+                &CompileOptions::spire(),
+            )
+            .unwrap()
+            .t_complexity()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_optimizers);
+criterion_main!(benches);

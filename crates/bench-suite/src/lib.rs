@@ -1,0 +1,25 @@
+//! Benchmark suite and experiment harness for the Spire reproduction.
+//!
+//! * [`programs`] — the paper's Table-1 benchmark programs in Tower
+//!   (list, queue, string, and radix-tree-set operations), plus
+//!   `length-simplified`.
+//! * [`polyfit`] — exact rational polynomial fitting, reproducing the
+//!   paper's "lowest-degree polynomial that exactly fits" methodology.
+//! * [`experiments`] — one regenerator per table and figure of the
+//!   evaluation (Figures 2, 12, 15, 24; Tables 1–6; Appendix A).
+//! * [`report`] — plain-text rendering of figures and tables.
+//!
+//! # Example
+//!
+//! ```no_run
+//! // Regenerate Figure 2 (quadratic T vs linear MCX for `length`):
+//! let report = bench_suite::experiments::fig2(2..=10);
+//! println!("{}", report.render());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod polyfit;
+pub mod programs;
+pub mod report;

@@ -1,0 +1,690 @@
+//! The paper's benchmark programs (Table 1), written in Tower.
+//!
+//! These are the data-structure operations used by quantum algorithms for
+//! search, optimization, and geometry: linked-list traversals and
+//! mutations, queue operations, string comparisons, and radix-tree set
+//! operations. The mutating operations (`push_back`, `remove`, `insert`)
+//! are written in the reversible idioms Tower requires — conditional
+//! XOR-copies to select arguments, with-block splitting so the closing
+//! reversal writes updated cells back, and child-status flags that the
+//! caller consumes by probing the structure (compare the paper's
+//! Figure 11, which threads a guard flag the same way).
+//!
+//! Documented deviations from the paper's (unpublished-source) versions:
+//!
+//! * `remove` removes the *last* list node (and deallocates its cell);
+//!   removal by value admits no bounded-garbage reversible formulation
+//!   without threading extra outputs.
+//! * `insert` assumes the inserted key is absent (the usual benchmark
+//!   precondition); its already-present branch is compiled but the flag
+//!   probe is only exact under the precondition.
+//! * Functions that allocate report a `(result, allocated_here)` pair; the
+//!   flag is how a parent level reversibly consumes its child's control
+//!   flow.
+
+/// `type list = (uint, ptr<list>)` and every list/queue benchmark.
+pub const LIST_PRELUDE: &str = r#"
+type list = (uint, ptr<list>);
+"#;
+
+/// Figure 1: list length.
+pub const LENGTH: &str = r#"
+type list = (uint, ptr<list>);
+
+fun length[n](xs: ptr<list>, acc: uint) -> uint {
+    with {
+        let is_empty <- xs == null;
+    } do if is_empty {
+        let out <- acc;
+    } else with {
+        let temp <- default<list>;
+        *xs <-> temp;
+        let next <- temp.2;
+        let r <- acc + 1;
+    } do {
+        let out <- length[n-1](next, r);
+    }
+    return out;
+}
+"#;
+
+/// `length-simplified` (paper Sections 8.2–8.3): same control-flow
+/// skeleton as `length`, with the memory dereference and the addition
+/// dropped so existing circuit optimizers can process the circuit. As the
+/// paper notes, the simplification changes the computed value but not the
+/// asymptotic shape.
+pub const LENGTH_SIMPLE: &str = r#"
+type list = (uint, ptr<list>);
+
+fun length_simple[n](xs: ptr<list>, acc: uint) -> uint {
+    with {
+        let is_empty <- xs == null;
+    } do if is_empty {
+        let out <- acc;
+    } else with {
+        let temp <- default<list>;
+        let next <- temp.2;
+        let r <- acc;
+    } do {
+        let out <- length_simple[n-1](next, r);
+    }
+    return out;
+}
+"#;
+
+/// Sum of list elements.
+pub const SUM: &str = r#"
+type list = (uint, ptr<list>);
+
+fun sum[n](xs: ptr<list>, acc: uint) -> uint {
+    with {
+        let is_empty <- xs == null;
+    } do if is_empty {
+        let out <- acc;
+    } else with {
+        let temp <- default<list>;
+        *xs <-> temp;
+        let v <- temp.1;
+        let next <- temp.2;
+        let r <- acc + v;
+    } do {
+        let out <- sum[n-1](next, r);
+    }
+    return out;
+}
+"#;
+
+/// 1-based position of the first element equal to `target` (0 if absent).
+pub const FIND_POS: &str = r#"
+type list = (uint, ptr<list>);
+
+fun find_pos[n](xs: ptr<list>, target: uint, pos: uint) -> uint {
+    with {
+        let is_empty <- xs == null;
+    } do if is_empty {
+        let out <- default<uint>;
+    } else with {
+        let temp <- default<list>;
+        *xs <-> temp;
+        let v <- temp.1;
+        let next <- temp.2;
+        let found <- v == target;
+        let p <- pos + 1;
+    } do if found {
+        let out <- p;
+    } else {
+        let out <- find_pos[n-1](next, target, p);
+    }
+    return out;
+}
+"#;
+
+/// Remove the last node of a nonempty list, deallocating its cell.
+/// Returns `(removed_value, removed_at_this_level)`; the flag is consumed
+/// level by level (a parent deallocates its child when the child reports
+/// it was the last node).
+pub const REMOVE: &str = r#"
+type list = (uint, ptr<list>);
+
+fun remove[n](xs: ptr<list>) -> (uint, bool) {
+    with {
+        let temp <- default<list>;
+        *xs <-> temp;
+        let v <- temp.1;
+        let nx <- temp.2;
+        let temp -> (v, nx);
+    } do {
+        let is_last <- nx == null;
+        let not_last <- not is_last;
+        if is_last {
+            let rv <- v;
+            let tr <- true;
+            let out <- (rv, tr);
+            let tr -> true;
+            let rv -> v;
+        }
+        if not_last {
+            let rec <- remove[n-1](nx);
+            let rvv <- rec.1;
+            let cf <- rec.2;
+            let rec -> (rvv, cf);
+            if cf {
+                let probe <- default<list>;
+                *nx <-> probe;
+                let pv <- probe.1;
+                let z <- default<ptr<list>>;
+                let probe -> (pv, z);
+                let z -> default<ptr<list>>;
+                let pv -> rvv;
+                let dd <- nx;
+                let nx <- dd;
+                dealloc dd : list;
+            }
+            let cf -> nx == null;
+            let fl <- default<bool>;
+            let out <- (rvv, fl);
+            let fl -> default<bool>;
+            let rvv -> out.1;
+        }
+        let not_last -> not is_last;
+        let is_last -> out.2;
+    }
+    return out;
+}
+"#;
+
+/// Append a value at the end of a list (queue push). Returns
+/// `(new_head, allocated_at_this_level)`.
+pub const PUSH_BACK: &str = r#"
+type list = (uint, ptr<list>);
+
+fun push_back[n](xs: ptr<list>, val: uint) -> (ptr<list>, bool) {
+    with {
+        let is_empty <- xs == null;
+    } do if is_empty {
+        alloc node : list;
+        let z <- default<ptr<list>>;
+        let nd <- (val, z);
+        *node <-> nd;
+        let nd -> default<list>;
+        let z -> default<ptr<list>>;
+        let tr <- true;
+        let out <- (node, tr);
+        let tr -> true;
+        let node -> out.1;
+    } else with {
+        let temp <- default<list>;
+        *xs <-> temp;
+        let v <- temp.1;
+        let nx <- temp.2;
+        let temp -> (v, nx);
+    } do {
+        let rec <- push_back[n-1](nx, val);
+        let h <- rec.1;
+        let cf <- rec.2;
+        let rec -> (h, cf);
+        if cf { let nx <- h; }
+        let h -> nx;
+        with {
+            let probe <- default<list>;
+            *nx <-> probe;
+            let pl <- probe.2;
+            let plz <- pl == null;
+        } do {
+            let cf -> plz;
+        }
+        let fl <- default<bool>;
+        let out <- (xs, fl);
+        let fl -> default<bool>;
+    }
+    return out;
+}
+"#;
+
+/// Remove the head node of a nonempty list in O(1): returns
+/// `(value, rest)` and deallocates the head cell.
+pub const POP_FRONT: &str = r#"
+type list = (uint, ptr<list>);
+
+fun pop_front(xs: ptr<list>) -> (uint, ptr<list>) {
+    let temp <- default<list>;
+    *xs <-> temp;
+    let v <- temp.1;
+    let rest <- temp.2;
+    let temp -> (v, rest);
+    let dd <- xs;
+    dealloc dd : list;
+    let out <- (v, rest);
+    let v -> out.1;
+    let rest -> out.2;
+    return out;
+}
+"#;
+
+/// Strings are lists of character codes.
+pub const STRING_PRELUDE: &str = r#"
+type str = (uint, ptr<str>);
+"#;
+
+/// Whether `p` is a prefix of `s`.
+pub const IS_PREFIX: &str = r#"
+type str = (uint, ptr<str>);
+
+fun is_prefix[n](p: ptr<str>, s: ptr<str>) -> bool {
+    with {
+        let p_empty <- p == null;
+    } do if p_empty {
+        let out <- true;
+    } else with {
+        let s_empty <- s == null;
+    } do if s_empty {
+        let out <- default<bool>;
+    } else with {
+        let pt <- default<str>;
+        *p <-> pt;
+        let pc <- pt.1;
+        let pn <- pt.2;
+        let st <- default<str>;
+        *s <-> st;
+        let sc <- st.1;
+        let sn <- st.2;
+        let eq <- pc == sc;
+    } do if eq {
+        let out <- is_prefix[n-1](pn, sn);
+    } else {
+        let out <- default<bool>;
+    }
+    return out;
+}
+"#;
+
+/// Number of characters equal to `target`, with a running accumulator.
+pub const NUM_MATCHING: &str = r#"
+type str = (uint, ptr<str>);
+
+fun num_matching[n](xs: ptr<str>, target: uint, acc: uint) -> uint {
+    with {
+        let is_empty <- xs == null;
+    } do if is_empty {
+        let out <- acc;
+    } else with {
+        let t <- default<str>;
+        *xs <-> t;
+        let c <- t.1;
+        let nx <- t.2;
+        let m <- c == target;
+        let nm <- not m;
+        let macc <- acc + 1;
+    } do {
+        let arg <- default<uint>;
+        if m { let arg <- macc; }
+        if nm { let arg <- acc; }
+        let out <- num_matching[n-1](nx, target, arg);
+        if m { let arg <- macc; }
+        if nm { let arg <- acc; }
+        let arg -> default<uint>;
+    }
+    return out;
+}
+"#;
+
+/// String equality.
+pub const COMPARE: &str = r#"
+type str = (uint, ptr<str>);
+
+fun compare[n](a: ptr<str>, b: ptr<str>) -> bool {
+    with {
+        let a_empty <- a == null;
+    } do if a_empty {
+        let out <- b == null;
+    } else with {
+        let b_empty <- b == null;
+    } do if b_empty {
+        let out <- default<bool>;
+    } else with {
+        let at <- default<str>;
+        *a <-> at;
+        let ac <- at.1;
+        let an <- at.2;
+        let bt <- default<str>;
+        *b <-> bt;
+        let bc <- bt.1;
+        let bn <- bt.2;
+        let eq <- ac == bc;
+    } do if eq {
+        let out <- compare[n-1](an, bn);
+    } else {
+        let out <- default<bool>;
+    }
+    return out;
+}
+"#;
+
+/// The radix-tree set: nodes store a key string and two children; lookups
+/// compare the full remaining key at every level (O(d) work per level,
+/// O(d²) total — paper Section 8.1) and descend on the leading character.
+pub const SET_PRELUDE: &str = r#"
+type str = (uint, ptr<str>);
+type kids = (ptr<tree>, ptr<tree>);
+type tree = (ptr<str>, kids);
+"#;
+
+const COMPARE_FOR_SET: &str = r#"
+fun compare[n](a: ptr<str>, b: ptr<str>) -> bool {
+    with {
+        let a_empty <- a == null;
+    } do if a_empty {
+        let out <- b == null;
+    } else with {
+        let b_empty <- b == null;
+    } do if b_empty {
+        let out <- default<bool>;
+    } else with {
+        let at <- default<str>;
+        *a <-> at;
+        let ac <- at.1;
+        let an <- at.2;
+        let bt <- default<str>;
+        *b <-> bt;
+        let bc <- bt.1;
+        let bn <- bt.2;
+        let eq <- ac == bc;
+    } do if eq {
+        let out <- compare[n-1](an, bn);
+    } else {
+        let out <- default<bool>;
+    }
+    return out;
+}
+"#;
+
+/// Set membership in the radix tree.
+pub fn contains_source() -> String {
+    format!(
+        "{SET_PRELUDE}{COMPARE_FOR_SET}
+fun contains[d](t: ptr<tree>, key: ptr<str>) -> bool {{
+    with {{
+        let t_null <- t == null;
+    }} do if t_null {{
+        let out <- default<bool>;
+    }} else with {{
+        let node <- default<tree>;
+        *t <-> node;
+        let stored <- node.1;
+        let ks <- node.2;
+        let l <- ks.1;
+        let r <- ks.2;
+        let eq <- compare[d](stored, key);
+        let key_null <- key == null;
+    }} do if eq {{
+        let out <- true;
+    }} else if key_null {{
+        let out <- default<bool>;
+    }} else with {{
+        let kt <- default<str>;
+        *key <-> kt;
+        let kc <- kt.1;
+        let kn <- kt.2;
+        let go_left <- kc == 1;
+        let go_right <- not go_left;
+    }} do {{
+        let child <- default<ptr<tree>>;
+        if go_left {{ let child <- l; }}
+        if go_right {{ let child <- r; }}
+        let out <- contains[d-1](child, kn);
+        if go_left {{ let child <- l; }}
+        if go_right {{ let child <- r; }}
+        let child -> default<ptr<tree>>;
+    }}
+    return out;
+}}
+"
+    )
+}
+
+/// Set insertion into the radix tree. Returns `(root, allocated_here)`.
+/// Precondition: the key is not already present and the recursion depth
+/// covers the key length.
+pub fn insert_source() -> String {
+    format!(
+        "{SET_PRELUDE}{COMPARE_FOR_SET}
+fun insert[d](t: ptr<tree>, key: ptr<str>) -> (ptr<tree>, bool) {{
+    with {{
+        let t_null <- t == null;
+    }} do if t_null {{
+        alloc fresh : tree;
+        let zl <- default<ptr<tree>>;
+        let zr <- default<ptr<tree>>;
+        let fks <- (zl, zr);
+        let nd <- (key, fks);
+        *fresh <-> nd;
+        let nd -> default<tree>;
+        let fks -> (zl, zr);
+        let zr -> default<ptr<tree>>;
+        let zl -> default<ptr<tree>>;
+        let tr <- true;
+        let out <- (fresh, tr);
+        let tr -> true;
+        let fresh -> out.1;
+    }} else with {{
+        let node <- default<tree>;
+        *t <-> node;
+        let stored <- node.1;
+        let ks <- node.2;
+        let l <- ks.1;
+        let r <- ks.2;
+        let node -> (stored, ks);
+        let ks -> (l, r);
+        let eq <- compare[d](stored, key);
+        let neq <- not eq;
+        let key_null <- key == null;
+        let stuck <- neq && key_null;
+        let descend <- neq && not key_null;
+    }} do {{
+        if eq {{
+            let f0 <- default<bool>;
+            let out <- (t, f0);
+            let f0 -> default<bool>;
+        }}
+        if stuck {{
+            let f1 <- default<bool>;
+            let out <- (t, f1);
+            let f1 -> default<bool>;
+        }}
+        if descend {{
+            let kt <- default<str>;
+            *key <-> kt;
+            let kc <- kt.1;
+            let kn <- kt.2;
+            let kt -> (kc, kn);
+            let go_left <- kc == 1;
+            let go_right <- not go_left;
+            let child <- default<ptr<tree>>;
+            if go_left {{ let child <- l; }}
+            if go_right {{ let child <- r; }}
+            let rec <- insert[d-1](child, kn);
+            let h <- rec.1;
+            let cf <- rec.2;
+            let rec -> (h, cf);
+            if cf {{
+                if go_left {{ let l <- h; }}
+                if go_right {{ let r <- h; }}
+            }}
+            if cf {{
+                if go_left {{ let child <- l; }}
+                if go_right {{ let child <- r; }}
+            }}
+            let h -> child;
+            with {{
+                let pnode <- default<tree>;
+                *child <-> pnode;
+                let pstored <- pnode.1;
+                let cfp <- compare[d](pstored, kn);
+            }} do {{
+                let cf -> cfp;
+            }}
+            if go_left {{ let child <- l; }}
+            if go_right {{ let child <- r; }}
+            let child -> default<ptr<tree>>;
+            let go_right -> not go_left;
+            let go_left -> kc == 1;
+            let kt <- (kc, kn);
+            let kn -> kt.2;
+            let kc -> kt.1;
+            *key <-> kt;
+            let kt -> default<str>;
+            let f2 <- default<bool>;
+            let out <- (t, f2);
+            let f2 -> default<bool>;
+        }}
+    }}
+    return out;
+}}
+"
+    )
+}
+
+/// A named benchmark: source, entry point, and which size parameter it is
+/// measured against.
+#[derive(Debug, Clone)]
+pub struct Benchmark {
+    /// Display name, grouped the way Table 1 groups them.
+    pub name: &'static str,
+    /// Table-1 group (List/Queue/String/Set).
+    pub group: &'static str,
+    /// Tower source.
+    pub source: String,
+    /// Entry function.
+    pub entry: &'static str,
+    /// Whether the benchmark is constant-size (pop_front) rather than
+    /// scaling with the recursion depth.
+    pub constant: bool,
+}
+
+/// All benchmarks of paper Table 1, in order, plus `length-simplified`.
+pub fn all_benchmarks() -> Vec<Benchmark> {
+    vec![
+        Benchmark {
+            name: "length",
+            group: "List",
+            source: LENGTH.to_string(),
+            entry: "length",
+            constant: false,
+        },
+        Benchmark {
+            name: "length-simple",
+            group: "List",
+            source: LENGTH_SIMPLE.to_string(),
+            entry: "length_simple",
+            constant: false,
+        },
+        Benchmark {
+            name: "sum",
+            group: "List",
+            source: SUM.to_string(),
+            entry: "sum",
+            constant: false,
+        },
+        Benchmark {
+            name: "find_pos",
+            group: "List",
+            source: FIND_POS.to_string(),
+            entry: "find_pos",
+            constant: false,
+        },
+        Benchmark {
+            name: "remove",
+            group: "List",
+            source: REMOVE.to_string(),
+            entry: "remove",
+            constant: false,
+        },
+        Benchmark {
+            name: "push_back",
+            group: "Queue",
+            source: PUSH_BACK.to_string(),
+            entry: "push_back",
+            constant: false,
+        },
+        Benchmark {
+            name: "pop_front",
+            group: "Queue",
+            source: POP_FRONT.to_string(),
+            entry: "pop_front",
+            constant: true,
+        },
+        Benchmark {
+            name: "is_prefix",
+            group: "String",
+            source: IS_PREFIX.to_string(),
+            entry: "is_prefix",
+            constant: false,
+        },
+        Benchmark {
+            name: "num_matching",
+            group: "String",
+            source: NUM_MATCHING.to_string(),
+            entry: "num_matching",
+            constant: false,
+        },
+        Benchmark {
+            name: "compare",
+            group: "String",
+            source: COMPARE.to_string(),
+            entry: "compare",
+            constant: false,
+        },
+        Benchmark {
+            name: "insert",
+            group: "Set",
+            source: insert_source(),
+            entry: "insert",
+            constant: false,
+        },
+        Benchmark {
+            name: "contains",
+            group: "Set",
+            source: contains_source(),
+            entry: "contains",
+            constant: false,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use spire::{compile_source, CompileOptions};
+    use tower::WordConfig;
+
+    #[test]
+    fn every_benchmark_parses() {
+        for bench in all_benchmarks() {
+            tower::parse(&bench.source)
+                .unwrap_or_else(|e| panic!("{}: {e}", bench.name));
+        }
+    }
+
+    #[test]
+    fn every_benchmark_compiles_baseline_and_spire() {
+        for bench in all_benchmarks() {
+            let depth = if bench.constant { 0 } else { 3 };
+            for options in [CompileOptions::baseline(), CompileOptions::spire()] {
+                let compiled = compile_source(
+                    &bench.source,
+                    bench.entry,
+                    depth,
+                    WordConfig::paper_default(),
+                    &options,
+                )
+                .unwrap_or_else(|e| panic!("{} ({}): {e}", bench.name, options.opt.label()));
+                assert!(compiled.mcx_complexity() > 0, "{}", bench.name);
+            }
+        }
+    }
+
+    #[test]
+    fn cost_model_matches_emission_for_all_benchmarks() {
+        // Theorems 5.1/5.2 across the whole suite at a small depth.
+        for bench in all_benchmarks() {
+            let depth = if bench.constant { 0 } else { 2 };
+            for options in [CompileOptions::baseline(), CompileOptions::spire()] {
+                let compiled = compile_source(
+                    &bench.source,
+                    bench.entry,
+                    depth,
+                    WordConfig::paper_default(),
+                    &options,
+                )
+                .unwrap();
+                assert_eq!(
+                    compiled.histogram(),
+                    compiled.counted_histogram(),
+                    "{} ({})",
+                    bench.name,
+                    options.opt.label()
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Plain-text rendering of experiment results (series tables and row
+//! tables), used by the CLI and recorded in `EXPERIMENTS.md`.
+
+use std::fmt::Write as _;
+
+/// One curve of a figure: a label and `(x, y)` points.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// Data points, in increasing `x`.
+    pub points: Vec<(i64, u64)>,
+    /// Fitted closed form (when the points fit a polynomial exactly).
+    pub fit: Option<String>,
+    /// Asymptotic class of the fit, e.g. `O(n^2)`.
+    pub asymptotic: Option<String>,
+}
+
+impl Series {
+    /// Build a series and fit it exactly. Small recursion depths can sit
+    /// off the asymptotic polynomial (base-case boundary effects); when the
+    /// full fit fails, up to two leading points are dropped and the fit is
+    /// annotated with the range it holds on — the paper's own fits run from
+    /// depth 2 upward for the same reason.
+    pub fn fitted(label: impl Into<String>, points: Vec<(i64, u64)>, var: &str) -> Self {
+        let mut fit = None;
+        let mut asymptotic = None;
+        for skip in 0..=2usize.min(points.len().saturating_sub(3)) {
+            let tail = &points[skip..];
+            let xs: Vec<i128> = tail.iter().map(|&(x, _)| x as i128).collect();
+            let ys: Vec<u64> = tail.iter().map(|&(_, y)| y).collect();
+            if let Some(poly) = crate::polyfit::fit_exact(&xs, &ys) {
+                let range = if skip == 0 {
+                    String::new()
+                } else {
+                    format!(" [{var} >= {}]", tail[0].0)
+                };
+                fit = Some(format!("{}{range}", poly.closed_form(var)));
+                asymptotic = Some(poly.big_o(var));
+                break;
+            }
+        }
+        Series {
+            label: label.into(),
+            points,
+            fit,
+            asymptotic,
+        }
+    }
+}
+
+/// A figure-style report: several series over a common x-axis.
+#[derive(Debug, Clone)]
+pub struct FigureReport {
+    /// Identifier, e.g. `fig12a`.
+    pub id: &'static str,
+    /// Human title.
+    pub title: String,
+    /// Name of the x variable (`n` or `d`).
+    pub var: &'static str,
+    /// The curves.
+    pub series: Vec<Series>,
+}
+
+impl FigureReport {
+    /// Render as an aligned text table with one row per series.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} : {} ==", self.id, self.title);
+        let xs: Vec<i64> = self
+            .series
+            .first()
+            .map(|s| s.points.iter().map(|&(x, _)| x).collect())
+            .unwrap_or_default();
+        let label_width = self
+            .series
+            .iter()
+            .map(|s| s.label.len())
+            .max()
+            .unwrap_or(8)
+            .max(self.var.len());
+        let _ = write!(out, "{:label_width$}", self.var);
+        for x in &xs {
+            let _ = write!(out, " {x:>12}");
+        }
+        let _ = writeln!(out, "  | fit");
+        for series in &self.series {
+            let _ = write!(out, "{:label_width$}", series.label);
+            for &(_, y) in &series.points {
+                let _ = write!(out, " {y:>12}");
+            }
+            let fit = series
+                .fit
+                .as_deref()
+                .map(|f| {
+                    format!(
+                        "{} = {}",
+                        series.asymptotic.as_deref().unwrap_or(""),
+                        f
+                    )
+                })
+                .unwrap_or_else(|| "(no exact polynomial fit)".to_string());
+            let _ = writeln!(out, "  | {fit}");
+        }
+        out
+    }
+}
+
+/// A table-style report: free-form rows under a header.
+#[derive(Debug, Clone)]
+pub struct TableReport {
+    /// Identifier, e.g. `table1`.
+    pub id: &'static str,
+    /// Human title.
+    pub title: String,
+    /// Column headers.
+    pub header: Vec<String>,
+    /// Rows of cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl TableReport {
+    /// Render as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} : {} ==", self.id, self.title);
+        let columns = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(columns) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let render_row = |cells: &[String], out: &mut String| {
+            for (i, cell) in cells.iter().enumerate().take(columns) {
+                let w = widths[i];
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                let _ = write!(out, "{cell:w$}");
+            }
+            out.push('\n');
+        };
+        render_row(&self.header, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (columns - 1);
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            render_row(row, &mut out);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure_report_renders_fits() {
+        let series = Series::fitted("T", vec![(2, 7), (3, 9), (4, 11)], "n");
+        assert_eq!(series.fit.as_deref(), Some("2n+3"));
+        let report = FigureReport {
+            id: "figX",
+            title: "demo".into(),
+            var: "n",
+            series: vec![series],
+        };
+        let text = report.render();
+        assert!(text.contains("figX"));
+        assert!(text.contains("2n+3"));
+    }
+
+    #[test]
+    fn table_report_aligns_columns() {
+        let report = TableReport {
+            id: "tabX",
+            title: "demo".into(),
+            header: vec!["name".into(), "value".into()],
+            rows: vec![
+                vec!["a".into(), "1".into()],
+                vec!["long-name".into(), "2".into()],
+            ],
+        };
+        let text = report.render();
+        assert!(text.contains("long-name"));
+        assert!(text.lines().count() >= 4);
+    }
+}

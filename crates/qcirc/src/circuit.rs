@@ -1,0 +1,249 @@
+//! Quantum circuits: ordered gate lists with qubit accounting.
+
+use std::fmt;
+
+use crate::gate::{Gate, Qubit};
+use crate::histogram::{CliffordTCounts, GateHistogram};
+use crate::sink::GateSink;
+
+/// A quantum circuit: an ordered sequence of [`Gate`]s over a fixed number
+/// of qubits.
+///
+/// The qubit count grows automatically when a pushed gate references a qubit
+/// beyond the current width, so a circuit can be built without declaring its
+/// width in advance.
+///
+/// # Example
+///
+/// ```
+/// use qcirc::{Circuit, Gate};
+///
+/// let mut bell_pair = Circuit::new(2);
+/// bell_pair.push(Gate::h(0));
+/// bell_pair.push(Gate::cnot(0, 1));
+/// assert_eq!(bell_pair.len(), 2);
+/// assert_eq!(bell_pair.num_qubits(), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Circuit {
+    gates: Vec<Gate>,
+    num_qubits: u32,
+}
+
+impl Circuit {
+    /// An empty circuit over `num_qubits` qubits.
+    pub fn new(num_qubits: u32) -> Self {
+        Circuit {
+            gates: Vec::new(),
+            num_qubits,
+        }
+    }
+
+    /// Build a circuit from a gate list, sizing the width to fit.
+    pub fn from_gates(gates: Vec<Gate>) -> Self {
+        let num_qubits = gates
+            .iter()
+            .map(|g| g.max_qubit() + 1)
+            .max()
+            .unwrap_or(0);
+        Circuit { gates, num_qubits }
+    }
+
+    /// Append a gate, growing the qubit count if needed.
+    pub fn push(&mut self, gate: Gate) {
+        self.num_qubits = self.num_qubits.max(gate.max_qubit() + 1);
+        self.gates.push(gate);
+    }
+
+    /// Append all gates of `other`.
+    pub fn append(&mut self, other: &Circuit) {
+        self.num_qubits = self.num_qubits.max(other.num_qubits);
+        self.gates.extend_from_slice(&other.gates);
+    }
+
+    /// The gates in execution order.
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// Consume the circuit, returning its gate list.
+    pub fn into_gates(self) -> Vec<Gate> {
+        self.gates
+    }
+
+    /// Number of gates.
+    pub fn len(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Whether the circuit contains no gates.
+    pub fn is_empty(&self) -> bool {
+        self.gates.is_empty()
+    }
+
+    /// Number of qubits (wires).
+    pub fn num_qubits(&self) -> u32 {
+        self.num_qubits
+    }
+
+    /// Explicitly widen the circuit to at least `n` qubits.
+    pub fn ensure_qubits(&mut self, n: u32) {
+        self.num_qubits = self.num_qubits.max(n);
+    }
+
+    /// Iterate over the gates.
+    pub fn iter(&self) -> std::slice::Iter<'_, Gate> {
+        self.gates.iter()
+    }
+
+    /// The inverse circuit: gates reversed, each replaced by its adjoint.
+    ///
+    /// This realizes the paper's statement-reversal operator `I[s]` at the
+    /// circuit level.
+    pub fn inverse(&self) -> Circuit {
+        Circuit {
+            gates: self.gates.iter().rev().map(Gate::adjoint).collect(),
+            num_qubits: self.num_qubits,
+        }
+    }
+
+    /// The same circuit with every gate placed under `extra` additional
+    /// controls (the circuit semantics of a quantum `if`, paper Figure 21).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit contains decomposed phase gates; controls are
+    /// only ever added at the MCX level.
+    pub fn with_extra_controls(&self, extra: &[Qubit]) -> Circuit {
+        let mut out = Circuit::new(self.num_qubits);
+        for gate in &self.gates {
+            out.push(gate.with_extra_controls(extra));
+        }
+        out
+    }
+
+    /// The MCX-arity histogram of this circuit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit contains decomposed phase gates; use
+    /// [`Circuit::clifford_t_counts`] for decomposed circuits.
+    pub fn histogram(&self) -> GateHistogram {
+        let mut hist = GateHistogram::new();
+        for gate in &self.gates {
+            hist.record(gate);
+        }
+        hist
+    }
+
+    /// Clifford+T-level gate counts for this circuit.
+    pub fn clifford_t_counts(&self) -> CliffordTCounts {
+        CliffordTCounts::of_gates(&self.gates)
+    }
+
+    /// Total T-count of the circuit under this crate's decompositions,
+    /// regardless of which level the circuit is expressed at.
+    pub fn t_count(&self) -> u64 {
+        self.gates.iter().map(Gate::t_cost).sum()
+    }
+}
+
+impl GateSink for Circuit {
+    fn push_gate(&mut self, gate: Gate) {
+        self.push(gate);
+    }
+}
+
+impl FromIterator<Gate> for Circuit {
+    fn from_iter<I: IntoIterator<Item = Gate>>(iter: I) -> Self {
+        Circuit::from_gates(iter.into_iter().collect())
+    }
+}
+
+impl Extend<Gate> for Circuit {
+    fn extend<I: IntoIterator<Item = Gate>>(&mut self, iter: I) {
+        for gate in iter {
+            self.push(gate);
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a Circuit {
+    type Item = &'a Gate;
+    type IntoIter = std::slice::Iter<'a, Gate>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.gates.iter()
+    }
+}
+
+impl fmt::Display for Circuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "# {} qubits, {} gates", self.num_qubits, self.len())?;
+        for gate in &self.gates {
+            writeln!(f, "{gate}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_grows_qubit_count() {
+        let mut c = Circuit::new(1);
+        c.push(Gate::toffoli(0, 5, 9));
+        assert_eq!(c.num_qubits(), 10);
+    }
+
+    #[test]
+    fn inverse_reverses_and_adjoints() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::h(0));
+        c.push(Gate::T(1));
+        c.push(Gate::cnot(0, 1));
+        let inv = c.inverse();
+        assert_eq!(
+            inv.gates(),
+            &[Gate::cnot(0, 1), Gate::Tdg(1), Gate::h(0)]
+        );
+    }
+
+    #[test]
+    fn double_inverse_is_identity() {
+        let c: Circuit = vec![Gate::h(0), Gate::S(1), Gate::toffoli(0, 1, 2)]
+            .into_iter()
+            .collect();
+        assert_eq!(c.inverse().inverse(), c);
+    }
+
+    #[test]
+    fn with_extra_controls_shifts_histogram() {
+        let mut c = Circuit::new(3);
+        c.push(Gate::x(0));
+        c.push(Gate::cnot(1, 0));
+        let controlled = c.with_extra_controls(&[2]);
+        assert_eq!(
+            controlled.histogram(),
+            c.histogram().shifted(1)
+        );
+    }
+
+    #[test]
+    fn t_count_mixes_levels() {
+        let mut c = Circuit::new(4);
+        c.push(Gate::toffoli(0, 1, 2)); // 7
+        c.push(Gate::T(3)); // 1
+        c.push(Gate::S(3)); // 0
+        assert_eq!(c.t_count(), 8);
+    }
+
+    #[test]
+    fn from_gates_sizes_width() {
+        let c = Circuit::from_gates(vec![Gate::x(7)]);
+        assert_eq!(c.num_qubits(), 8);
+        assert_eq!(Circuit::from_gates(Vec::new()).num_qubits(), 0);
+    }
+}

@@ -1,0 +1,318 @@
+//! Gate decompositions: MCX → Toffoli (paper Figure 5) and Toffoli →
+//! Clifford+T (paper Figure 6).
+//!
+//! The MCX decomposition is the Barenco et al. V-chain: an MCX with
+//! `c ≥ 3` controls computes a chain of conjunctions into `c-2` clean
+//! ancillas with `c-2` Toffoli gates, applies one Toffoli to the target,
+//! and uncomputes the chain, for `2(c-2)+1` Toffolis total. Ancillas are
+//! drawn deterministically from a pool starting at the input circuit's
+//! qubit count, so two structurally equal MCX gates decompose to *equal*
+//! Toffoli sequences — the property that lets Toffoli-level optimizers
+//! (paper Section 8.5) cancel the redundant chains of Figure 16.
+//!
+//! The Toffoli decomposition is the standard 7-T-gate network, and the
+//! controlled Hadamard uses the 2-T-gate network `S·H·T·CX·T†·H·S†`.
+//!
+//! # Example
+//!
+//! ```
+//! use qcirc::{Circuit, Gate, decompose};
+//!
+//! let mut circuit = Circuit::new(4);
+//! circuit.push(Gate::mcx(vec![0, 1, 2], 3));
+//!
+//! let toffoli_level = decompose::mcx_to_toffoli(&circuit);
+//! assert_eq!(toffoli_level.len(), 3); // 2(3-2)+1 Toffolis
+//!
+//! let clifford_t = decompose::to_clifford_t(&circuit).unwrap();
+//! assert_eq!(clifford_t.clifford_t_counts().t_count(), 21);
+//! ```
+
+use crate::circuit::Circuit;
+use crate::error::QcircError;
+use crate::gate::{Gate, Qubit};
+use crate::sink::GateSink;
+
+/// Decompose every MCX gate with three or more controls into Toffoli gates
+/// (Figure 5) and every multiply-controlled Hadamard into Toffolis plus one
+/// controlled Hadamard.
+///
+/// Ancilla qubits are appended after the circuit's existing qubits; the same
+/// ancillas are reused by every gate (each decomposition restores them to
+/// zero).
+pub fn mcx_to_toffoli(circuit: &Circuit) -> Circuit {
+    let ancilla_base = circuit.num_qubits();
+    let mut out = Circuit::new(circuit.num_qubits());
+    for gate in circuit.gates() {
+        emit_toffoli_level(gate, ancilla_base, &mut out);
+    }
+    out
+}
+
+/// Stream one MCX-level gate into `sink` at the Toffoli level.
+pub fn emit_toffoli_level<S: GateSink>(gate: &Gate, ancilla_base: Qubit, sink: &mut S) {
+    match gate {
+        Gate::Mcx { controls, target } if controls.len() <= 2 => {
+            sink.push_gate(gate.clone());
+            let _ = target;
+        }
+        Gate::Mcx { controls, target } => {
+            let chain = conjunction_chain(controls, ancilla_base, controls.len() - 2);
+            for g in &chain {
+                sink.push_gate(g.clone());
+            }
+            let top = ancilla_base + (controls.len() as Qubit - 3);
+            sink.push_gate(Gate::toffoli(top, controls[controls.len() - 1], *target));
+            for g in chain.iter().rev() {
+                sink.push_gate(g.clone());
+            }
+        }
+        Gate::Mch { controls, target } if controls.len() <= 1 => {
+            sink.push_gate(gate.clone());
+            let _ = target;
+        }
+        Gate::Mch { controls, target } => {
+            let chain = conjunction_chain(controls, ancilla_base, controls.len() - 1);
+            for g in &chain {
+                sink.push_gate(g.clone());
+            }
+            let top = ancilla_base + (controls.len() as Qubit - 2);
+            sink.push_gate(Gate::ch(top, *target));
+            for g in chain.iter().rev() {
+                sink.push_gate(g.clone());
+            }
+        }
+        other => sink.push_gate(other.clone()),
+    }
+}
+
+/// Toffoli chain computing conjunctions of a control set into ancillas:
+/// `a_1 = c_1 ∧ c_2`, `a_i = a_{i-1} ∧ c_{i+1}` for `i < len`.
+fn conjunction_chain(controls: &[Qubit], ancilla_base: Qubit, len: usize) -> Vec<Gate> {
+    debug_assert!(len >= 1 && len < controls.len().max(2));
+    let mut chain = Vec::with_capacity(len);
+    chain.push(Gate::toffoli(controls[0], controls[1], ancilla_base));
+    for i in 1..len {
+        chain.push(Gate::toffoli(
+            ancilla_base + i as Qubit - 1,
+            controls[i + 1],
+            ancilla_base + i as Qubit,
+        ));
+    }
+    chain
+}
+
+/// Number of ancillas [`mcx_to_toffoli`] needs for a circuit: the maximum
+/// over its gates of the per-gate ancilla requirement.
+pub fn ancillas_needed(circuit: &Circuit) -> u32 {
+    circuit
+        .gates()
+        .iter()
+        .map(|g| match g {
+            Gate::Mcx { controls, .. } => controls.len().saturating_sub(2) as u32,
+            Gate::Mch { controls, .. } => controls.len().saturating_sub(1) as u32,
+            _ => 0,
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+/// Decompose a Toffoli-level circuit (MCX arity ≤ 2, MCH arity ≤ 1) into the
+/// Clifford+T gate set.
+///
+/// # Errors
+///
+/// Returns [`QcircError::ArityTooLarge`] if a gate with more controls
+/// remains; run [`mcx_to_toffoli`] first.
+pub fn toffoli_to_clifford_t(circuit: &Circuit) -> Result<Circuit, QcircError> {
+    let mut out = Circuit::new(circuit.num_qubits());
+    for gate in circuit.gates() {
+        match gate {
+            Gate::Mcx { controls, target } => match controls[..] {
+                [] | [_] => out.push(gate.clone()),
+                [a, b] => emit_toffoli_7t(a, b, *target, &mut out),
+                _ => {
+                    return Err(QcircError::ArityTooLarge {
+                        max: 2,
+                        found: controls.len(),
+                    })
+                }
+            },
+            Gate::Mch { controls, target } => match controls[..] {
+                [] => out.push(gate.clone()),
+                [c] => emit_controlled_h(c, *target, &mut out),
+                _ => {
+                    return Err(QcircError::ArityTooLarge {
+                        max: 1,
+                        found: controls.len(),
+                    })
+                }
+            },
+            phase => out.push(phase.clone()),
+        }
+    }
+    Ok(out)
+}
+
+/// Fully lower an MCX-level circuit to the Clifford+T gate set
+/// (Figure 5 followed by Figure 6).
+///
+/// # Errors
+///
+/// Propagates decomposition errors; none occur for well-formed MCX circuits.
+pub fn to_clifford_t(circuit: &Circuit) -> Result<Circuit, QcircError> {
+    toffoli_to_clifford_t(&mcx_to_toffoli(circuit))
+}
+
+/// The standard 7-T-gate Clifford+T network for a Toffoli gate
+/// (paper Figure 6).
+pub fn emit_toffoli_7t<S: GateSink>(a: Qubit, b: Qubit, t: Qubit, sink: &mut S) {
+    sink.push_gate(Gate::h(t));
+    sink.push_gate(Gate::cnot(b, t));
+    sink.push_gate(Gate::Tdg(t));
+    sink.push_gate(Gate::cnot(a, t));
+    sink.push_gate(Gate::T(t));
+    sink.push_gate(Gate::cnot(b, t));
+    sink.push_gate(Gate::Tdg(t));
+    sink.push_gate(Gate::cnot(a, t));
+    sink.push_gate(Gate::T(b));
+    sink.push_gate(Gate::T(t));
+    sink.push_gate(Gate::h(t));
+    sink.push_gate(Gate::cnot(a, b));
+    sink.push_gate(Gate::T(a));
+    sink.push_gate(Gate::Tdg(b));
+    sink.push_gate(Gate::cnot(a, b));
+}
+
+/// The 2-T-gate Clifford+T network for a controlled Hadamard:
+/// `S·H·T · CX · T†·H·S†` on the target.
+pub fn emit_controlled_h<S: GateSink>(c: Qubit, t: Qubit, sink: &mut S) {
+    sink.push_gate(Gate::S(t));
+    sink.push_gate(Gate::h(t));
+    sink.push_gate(Gate::T(t));
+    sink.push_gate(Gate::cnot(c, t));
+    sink.push_gate(Gate::Tdg(t));
+    sink.push_gate(Gate::h(t));
+    sink.push_gate(Gate::Sdg(t));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::histogram::{t_of_mch, t_of_mcx, toffolis_of_mcx};
+    use crate::sim::StateVec;
+
+    /// Apply `circuit` to every basis state of an `n`-qubit register and
+    /// compare against `reference` applied to the same states, ignoring the
+    /// extra ancilla wires of `circuit` (which must return to zero).
+    fn assert_equivalent_on_basis(circuit: &Circuit, reference: &Circuit, n: u32) {
+        let total = circuit.num_qubits().max(reference.num_qubits()).max(n);
+        for basis in 0..(1u64 << n) {
+            let mut lhs = StateVec::basis(total, basis).unwrap();
+            lhs.run(circuit).unwrap();
+            let mut rhs = StateVec::basis(total, basis).unwrap();
+            rhs.run(reference).unwrap();
+            assert!(
+                lhs.approx_eq(&rhs, 1e-9),
+                "decomposition differs on basis state {basis:#b}"
+            );
+        }
+    }
+
+    #[test]
+    fn toffoli_7t_is_exact() {
+        let mut decomposed = Circuit::new(3);
+        emit_toffoli_7t(0, 1, 2, &mut decomposed);
+        let mut reference = Circuit::new(3);
+        reference.push(Gate::toffoli(0, 1, 2));
+        assert_equivalent_on_basis(&decomposed, &reference, 3);
+        assert_eq!(decomposed.clifford_t_counts().t_count(), 7);
+    }
+
+    #[test]
+    fn controlled_h_is_exact() {
+        let mut decomposed = Circuit::new(2);
+        emit_controlled_h(0, 1, &mut decomposed);
+        let mut reference = Circuit::new(2);
+        reference.push(Gate::ch(0, 1));
+        assert_equivalent_on_basis(&decomposed, &reference, 2);
+        assert_eq!(decomposed.clifford_t_counts().t_count(), 2);
+    }
+
+    #[test]
+    fn mcx3_decomposes_to_three_toffolis() {
+        let mut circuit = Circuit::new(4);
+        circuit.push(Gate::mcx(vec![0, 1, 2], 3));
+        let lowered = mcx_to_toffoli(&circuit);
+        assert_eq!(lowered.len(), 3);
+        assert_equivalent_on_basis(&lowered, &circuit, 4);
+    }
+
+    #[test]
+    fn mcx_decomposition_is_exact_up_to_arity_6() {
+        for c in 3..=6u32 {
+            let controls: Vec<Qubit> = (0..c).collect();
+            let mut circuit = Circuit::new(c + 1);
+            circuit.push(Gate::mcx(controls, c));
+            let lowered = mcx_to_toffoli(&circuit);
+            assert_eq!(lowered.len() as u64, toffolis_of_mcx(c as usize));
+            assert_equivalent_on_basis(&lowered, &circuit, c + 1);
+        }
+    }
+
+    #[test]
+    fn mch_decomposition_is_exact() {
+        for c in 2..=4u32 {
+            let controls: Vec<Qubit> = (0..c).collect();
+            let mut circuit = Circuit::new(c + 1);
+            circuit.push(Gate::mch(controls, c));
+            let lowered = mcx_to_toffoli(&circuit);
+            assert_equivalent_on_basis(&lowered, &circuit, c + 1);
+        }
+    }
+
+    #[test]
+    fn full_lowering_t_count_matches_histogram_prediction() {
+        let mut circuit = Circuit::new(6);
+        circuit.push(Gate::mcx(vec![0, 1, 2, 3], 4));
+        circuit.push(Gate::toffoli(0, 1, 2));
+        circuit.push(Gate::cnot(0, 5));
+        circuit.push(Gate::mch(vec![0, 1], 5));
+        let predicted = circuit.histogram().t_complexity();
+        let lowered = to_clifford_t(&circuit).unwrap();
+        let counts = lowered.clifford_t_counts();
+        assert_eq!(counts.toffoli, 0);
+        assert_eq!(counts.mcx_large, 0);
+        assert_eq!(counts.ch, 0);
+        assert_eq!(counts.t_count(), predicted);
+        assert_eq!(predicted, t_of_mcx(4) + t_of_mcx(2) + t_of_mch(2));
+    }
+
+    #[test]
+    fn identical_gates_decompose_identically() {
+        // The property Toffoli-level cancellation relies on: equal MCX gates
+        // produce equal Toffoli sequences (deterministic ancilla choice).
+        let mut circuit = Circuit::new(6);
+        circuit.push(Gate::mcx(vec![0, 1, 2, 3], 4));
+        circuit.push(Gate::mcx(vec![0, 1, 2, 3], 4));
+        let lowered = mcx_to_toffoli(&circuit);
+        let half = lowered.len() / 2;
+        assert_eq!(&lowered.gates()[..half], &lowered.gates()[half..]);
+    }
+
+    #[test]
+    fn arity_error_reported() {
+        let mut circuit = Circuit::new(5);
+        circuit.push(Gate::mcx(vec![0, 1, 2], 3));
+        let err = toffoli_to_clifford_t(&circuit).unwrap_err();
+        assert_eq!(err, QcircError::ArityTooLarge { max: 2, found: 3 });
+    }
+
+    #[test]
+    fn ancillas_needed_matches_max_arity() {
+        let mut circuit = Circuit::new(8);
+        circuit.push(Gate::mcx(vec![0, 1, 2, 3, 4], 5)); // needs 3
+        circuit.push(Gate::mch(vec![0, 1], 6)); // needs 1
+        assert_eq!(ancillas_needed(&circuit), 3);
+    }
+}

@@ -1,0 +1,86 @@
+//! Error types for the circuit substrate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by circuit-level operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QcircError {
+    /// A gate that has no classical (basis-state permutation) action was
+    /// given to the classical reversible simulator.
+    NotClassical {
+        /// Rendering of the offending gate.
+        gate: String,
+    },
+    /// A gate referenced a qubit outside the simulator's register.
+    QubitOutOfRange {
+        /// The offending qubit index.
+        qubit: u32,
+        /// The number of qubits available.
+        num_qubits: u32,
+    },
+    /// A decomposition pass encountered a gate of unexpectedly high arity.
+    ArityTooLarge {
+        /// Maximum supported number of controls.
+        max: usize,
+        /// Number of controls found.
+        found: usize,
+    },
+    /// A `.qc` file failed to parse.
+    Parse {
+        /// 1-based line number of the error.
+        line: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// The state-vector simulator was asked for more qubits than it supports.
+    TooManyQubits {
+        /// Requested qubit count.
+        requested: u32,
+        /// Supported maximum.
+        max: u32,
+    },
+}
+
+impl fmt::Display for QcircError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QcircError::NotClassical { gate } => {
+                write!(f, "gate `{gate}` has no classical action")
+            }
+            QcircError::QubitOutOfRange { qubit, num_qubits } => {
+                write!(f, "qubit {qubit} out of range for {num_qubits}-qubit state")
+            }
+            QcircError::ArityTooLarge { max, found } => {
+                write!(f, "gate arity {found} exceeds supported maximum {max}")
+            }
+            QcircError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            QcircError::TooManyQubits { requested, max } => {
+                write!(f, "{requested} qubits requested, simulator supports at most {max}")
+            }
+        }
+    }
+}
+
+impl Error for QcircError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_nonempty() {
+        let errors = [
+            QcircError::NotClassical { gate: "H 0".into() },
+            QcircError::QubitOutOfRange { qubit: 9, num_qubits: 4 },
+            QcircError::ArityTooLarge { max: 2, found: 5 },
+            QcircError::Parse { line: 3, message: "bad token".into() },
+            QcircError::TooManyQubits { requested: 40, max: 28 },
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

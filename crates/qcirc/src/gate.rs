@@ -1,0 +1,313 @@
+//! Quantum logic gates at the two levels the paper reasons about: the
+//! idealized MCX level (arbitrarily controllable Clifford gates) and the
+//! Clifford+T level supported by the surface code.
+
+use std::fmt;
+
+/// Index of a qubit (wire) in a circuit.
+pub type Qubit = u32;
+
+/// A quantum logic gate.
+///
+/// The MCX-level gates ([`Gate::Mcx`] and [`Gate::Mch`]) carry an arbitrary
+/// set of positive controls; their control lists are kept sorted and
+/// duplicate-free so that structurally equal gates compare equal, which the
+/// Toffoli-cancellation optimizers rely on. The remaining variants are the
+/// single-qubit phase gates of the Clifford+T gate set, which appear only in
+/// decomposed circuits.
+///
+/// # Example
+///
+/// ```
+/// use qcirc::Gate;
+///
+/// let toffoli = Gate::toffoli(0, 1, 2);
+/// assert_eq!(toffoli.num_controls(), 2);
+/// assert!(toffoli.is_self_inverse());
+/// assert_eq!(toffoli.t_cost(), 7);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Gate {
+    /// Multiply-controlled NOT. Zero controls is an X gate, one control is a
+    /// CNOT, two controls is a Toffoli gate.
+    Mcx {
+        /// Positive control qubits (sorted, duplicate-free).
+        controls: Vec<Qubit>,
+        /// The qubit flipped when all controls are 1.
+        target: Qubit,
+    },
+    /// Multiply-controlled Hadamard. Zero controls is a plain H gate.
+    Mch {
+        /// Positive control qubits (sorted, duplicate-free).
+        controls: Vec<Qubit>,
+        /// The qubit the Hadamard acts on.
+        target: Qubit,
+    },
+    /// T gate: |x⟩ ↦ e^{ixπ/4}|x⟩.
+    T(Qubit),
+    /// Adjoint of the T gate.
+    Tdg(Qubit),
+    /// S = T² phase gate.
+    S(Qubit),
+    /// Adjoint of the S gate.
+    Sdg(Qubit),
+    /// Z = S² phase flip.
+    Z(Qubit),
+}
+
+fn normalize_controls(mut controls: Vec<Qubit>, target: Qubit) -> Vec<Qubit> {
+    controls.sort_unstable();
+    controls.dedup();
+    debug_assert!(
+        !controls.contains(&target),
+        "gate control {target} coincides with its target"
+    );
+    controls
+}
+
+impl Gate {
+    /// An uncontrolled NOT gate on `target`.
+    pub fn x(target: Qubit) -> Self {
+        Gate::Mcx {
+            controls: Vec::new(),
+            target,
+        }
+    }
+
+    /// A controlled-NOT gate.
+    pub fn cnot(control: Qubit, target: Qubit) -> Self {
+        Gate::mcx(vec![control], target)
+    }
+
+    /// A Toffoli (doubly-controlled NOT) gate.
+    pub fn toffoli(c1: Qubit, c2: Qubit, target: Qubit) -> Self {
+        Gate::mcx(vec![c1, c2], target)
+    }
+
+    /// A multiply-controlled NOT with the given control set.
+    ///
+    /// Controls are sorted and deduplicated.
+    pub fn mcx(controls: Vec<Qubit>, target: Qubit) -> Self {
+        Gate::Mcx {
+            controls: normalize_controls(controls, target),
+            target,
+        }
+    }
+
+    /// An uncontrolled Hadamard gate.
+    pub fn h(target: Qubit) -> Self {
+        Gate::Mch {
+            controls: Vec::new(),
+            target,
+        }
+    }
+
+    /// A controlled-Hadamard gate.
+    pub fn ch(control: Qubit, target: Qubit) -> Self {
+        Gate::mch(vec![control], target)
+    }
+
+    /// A multiply-controlled Hadamard with the given control set.
+    pub fn mch(controls: Vec<Qubit>, target: Qubit) -> Self {
+        Gate::Mch {
+            controls: normalize_controls(controls, target),
+            target,
+        }
+    }
+
+    /// Number of control qubits (zero for uncontrolled and phase gates).
+    pub fn num_controls(&self) -> usize {
+        match self {
+            Gate::Mcx { controls, .. } | Gate::Mch { controls, .. } => controls.len(),
+            _ => 0,
+        }
+    }
+
+    /// All qubits this gate touches (controls then target).
+    pub fn qubits(&self) -> Vec<Qubit> {
+        match self {
+            Gate::Mcx { controls, target } | Gate::Mch { controls, target } => {
+                let mut qs = controls.clone();
+                qs.push(*target);
+                qs
+            }
+            Gate::T(q) | Gate::Tdg(q) | Gate::S(q) | Gate::Sdg(q) | Gate::Z(q) => vec![*q],
+        }
+    }
+
+    /// The largest qubit index used by this gate.
+    pub fn max_qubit(&self) -> Qubit {
+        self.qubits().into_iter().max().expect("gate has qubits")
+    }
+
+    /// Whether this gate shares any qubit with `other`.
+    pub fn overlaps(&self, other: &Gate) -> bool {
+        let mine = self.qubits();
+        other.qubits().iter().any(|q| mine.contains(q))
+    }
+
+    /// Whether the gate is its own inverse.
+    pub fn is_self_inverse(&self) -> bool {
+        matches!(self, Gate::Mcx { .. } | Gate::Mch { .. } | Gate::Z(_))
+    }
+
+    /// The inverse (Hermitian adjoint) of this gate.
+    pub fn adjoint(&self) -> Gate {
+        match self {
+            Gate::T(q) => Gate::Tdg(*q),
+            Gate::Tdg(q) => Gate::T(*q),
+            Gate::S(q) => Gate::Sdg(*q),
+            Gate::Sdg(q) => Gate::S(*q),
+            other => other.clone(),
+        }
+    }
+
+    /// The same gate with `extra` additional positive controls.
+    ///
+    /// This is the gate-level meaning of placing a statement under a quantum
+    /// `if` (paper Figure 21): every gate in the compiled body acquires the
+    /// condition qubit as an additional control.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a single-qubit phase gate; phase gates only appear
+    /// in decomposed circuits, which are never placed under controls by this
+    /// code base.
+    pub fn with_extra_controls(&self, extra: &[Qubit]) -> Gate {
+        let extend = |controls: &Vec<Qubit>| {
+            let mut cs = controls.clone();
+            cs.extend_from_slice(extra);
+            cs
+        };
+        match self {
+            Gate::Mcx { controls, target } => Gate::mcx(extend(controls), *target),
+            Gate::Mch { controls, target } => Gate::mch(extend(controls), *target),
+            other => panic!("cannot add controls to decomposed phase gate {other:?}"),
+        }
+    }
+
+    /// Whether the gate is a Clifford gate (free under the surface code).
+    ///
+    /// NOT, CNOT, H, S, and Z are Clifford; T is not, and neither is any MCX
+    /// with two or more controls nor any controlled Hadamard.
+    pub fn is_clifford(&self) -> bool {
+        match self {
+            Gate::Mcx { controls, .. } => controls.len() <= 1,
+            Gate::Mch { controls, .. } => controls.is_empty(),
+            Gate::S(_) | Gate::Sdg(_) | Gate::Z(_) => true,
+            Gate::T(_) | Gate::Tdg(_) => false,
+        }
+    }
+
+    /// Number of T gates this gate costs under the decompositions of paper
+    /// Figures 5 and 6 (see [`t_of_mcx`](crate::t_of_mcx) and
+    /// [`t_of_mch`](crate::t_of_mch)).
+    pub fn t_cost(&self) -> u64 {
+        match self {
+            Gate::Mcx { controls, .. } => crate::histogram::t_of_mcx(controls.len()),
+            Gate::Mch { controls, .. } => crate::histogram::t_of_mch(controls.len()),
+            Gate::T(_) | Gate::Tdg(_) => 1,
+            Gate::S(_) | Gate::Sdg(_) | Gate::Z(_) => 0,
+        }
+    }
+}
+
+impl fmt::Display for Gate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Gate::Mcx { controls, target } => match controls.len() {
+                0 => write!(f, "X {target}"),
+                _ => {
+                    write!(f, "tof")?;
+                    for c in controls {
+                        write!(f, " {c}")?;
+                    }
+                    write!(f, " {target}")
+                }
+            },
+            Gate::Mch { controls, target } => match controls.len() {
+                0 => write!(f, "H {target}"),
+                _ => {
+                    write!(f, "ch")?;
+                    for c in controls {
+                        write!(f, " {c}")?;
+                    }
+                    write!(f, " {target}")
+                }
+            },
+            Gate::T(q) => write!(f, "T {q}"),
+            Gate::Tdg(q) => write!(f, "T* {q}"),
+            Gate::S(q) => write!(f, "S {q}"),
+            Gate::Sdg(q) => write!(f, "S* {q}"),
+            Gate::Z(q) => write!(f, "Z {q}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn controls_are_normalized() {
+        let g = Gate::mcx(vec![3, 1, 2, 1], 0);
+        assert_eq!(
+            g,
+            Gate::Mcx {
+                controls: vec![1, 2, 3],
+                target: 0
+            }
+        );
+    }
+
+    #[test]
+    fn structural_equality_ignores_control_order() {
+        assert_eq!(Gate::toffoli(2, 1, 0), Gate::toffoli(1, 2, 0));
+    }
+
+    #[test]
+    fn x_has_no_controls() {
+        assert_eq!(Gate::x(5).num_controls(), 0);
+        assert_eq!(Gate::x(5).t_cost(), 0);
+    }
+
+    #[test]
+    fn cnot_is_clifford_toffoli_is_not() {
+        assert!(Gate::cnot(0, 1).is_clifford());
+        assert!(!Gate::toffoli(0, 1, 2).is_clifford());
+    }
+
+    #[test]
+    fn adjoint_of_t_is_tdg() {
+        assert_eq!(Gate::T(0).adjoint(), Gate::Tdg(0));
+        assert_eq!(Gate::Tdg(0).adjoint(), Gate::T(0));
+        assert_eq!(Gate::toffoli(0, 1, 2).adjoint(), Gate::toffoli(0, 1, 2));
+    }
+
+    #[test]
+    fn with_extra_controls_extends_and_sorts() {
+        let g = Gate::cnot(4, 0).with_extra_controls(&[2]);
+        assert_eq!(g, Gate::mcx(vec![2, 4], 0));
+    }
+
+    #[test]
+    fn overlaps_detects_shared_qubits() {
+        assert!(Gate::cnot(0, 1).overlaps(&Gate::x(1)));
+        assert!(!Gate::cnot(0, 1).overlaps(&Gate::x(2)));
+    }
+
+    #[test]
+    fn display_roundtrips_common_gates() {
+        assert_eq!(Gate::x(3).to_string(), "X 3");
+        assert_eq!(Gate::toffoli(0, 1, 2).to_string(), "tof 0 1 2");
+        assert_eq!(Gate::Tdg(7).to_string(), "T* 7");
+    }
+
+    #[test]
+    fn t_cost_matches_figure_5_and_6() {
+        assert_eq!(Gate::cnot(0, 1).t_cost(), 0);
+        assert_eq!(Gate::toffoli(0, 1, 2).t_cost(), 7);
+        // MCX with 3 controls: 3 Toffolis (Figure 5) at 7 T each (Figure 6).
+        assert_eq!(Gate::mcx(vec![0, 1, 2], 3).t_cost(), 21);
+    }
+}

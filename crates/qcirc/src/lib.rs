@@ -1,0 +1,56 @@
+//! Quantum circuit substrate for the Spire reproduction.
+//!
+//! This crate implements every circuit-level system that the paper
+//! *The T-Complexity Costs of Error Correction for Control Flow in Quantum
+//! Computation* (Yuan & Carbin, PLDI 2024) depends on:
+//!
+//! * [`Gate`] — multiply-controlled NOT (MCX) and Hadamard (MCH) gates plus
+//!   the Clifford+T phase gates, the two gate levels the paper reasons about.
+//! * [`Circuit`] — a gate list with qubit accounting, inversion, and control
+//!   extension (the circuit semantics of a quantum `if`).
+//! * [`GateHistogram`] — an MCX-arity histogram from which both the
+//!   MCX-complexity and the T-complexity of a circuit are computed without
+//!   materializing its Clifford+T decomposition (paper Figures 5 and 6).
+//! * [`decompose`] — the Barenco MCX→Toffoli decomposition (Figure 5) and
+//!   the standard 7-T Toffoli→Clifford+T decomposition (Figure 6).
+//! * [`qcformat`] — reader/writer for the `.qc` circuit format
+//!   (Mosca 2016) that the Tower compiler emits.
+//! * [`sim`] — a classical reversible simulator for MCX circuits and a
+//!   dense state-vector simulator for Clifford+T+H circuits, used to verify
+//!   the paper's circuit-equivalence theorems (Theorems 6.3 and 6.5).
+//!
+//! # Example
+//!
+//! ```
+//! use qcirc::{Circuit, Gate};
+//!
+//! // Build the circuit of paper Figure 16: an X on `a` under three controls.
+//! let mut circuit = Circuit::new(5);
+//! circuit.push(Gate::mcx(vec![0, 1, 2], 4));
+//!
+//! let hist = circuit.histogram();
+//! assert_eq!(hist.mcx_complexity(), 1);
+//! // One MCX with 3 controls costs 7 * (2*(3-2)+1) = 21 T gates.
+//! assert_eq!(hist.t_complexity(), 21);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod circuit;
+mod error;
+mod gate;
+mod histogram;
+mod sink;
+
+pub mod decompose;
+pub mod qcformat;
+pub mod sim;
+
+pub use circuit::Circuit;
+pub use error::QcircError;
+pub use gate::{Gate, Qubit};
+pub use histogram::{
+    ancillas_of_mcx, t_of_mch, t_of_mcx, toffolis_of_mcx, CliffordTCounts, GateHistogram,
+};
+pub use sink::{CountingSink, GateSink};

@@ -1,0 +1,224 @@
+//! Reader and writer for the `.qc` quantum circuit format (Mosca 2016),
+//! the output format of the Tower compiler and the input format of the
+//! Feynman circuit optimizer.
+//!
+//! The format names qubits in a `.v` header, lists inputs/outputs, and
+//! wraps the gate list in `BEGIN`/`END`. Multiply-controlled NOT gates are
+//! written as `tof c1 … ck t`; this writer additionally emits
+//! multiply-controlled Hadamards as a `ch c1 … ck t` extension line (the
+//! standard format has no controlled-Hadamard).
+//!
+//! # Example
+//!
+//! ```
+//! use qcirc::{Circuit, Gate, qcformat};
+//!
+//! let mut circuit = Circuit::new(3);
+//! circuit.push(Gate::toffoli(0, 1, 2));
+//! let text = qcformat::write(&circuit);
+//! let back = qcformat::parse(&text).unwrap();
+//! assert_eq!(back.gates(), circuit.gates());
+//! ```
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+use crate::circuit::Circuit;
+use crate::error::QcircError;
+use crate::gate::Gate;
+
+/// Render a circuit in `.qc` format.
+pub fn write(circuit: &Circuit) -> String {
+    let mut out = String::new();
+    let names: Vec<String> = (0..circuit.num_qubits()).map(|i| format!("q{i}")).collect();
+    for header in [".v", ".i", ".o"] {
+        out.push_str(header);
+        for name in &names {
+            let _ = write!(out, " {name}");
+        }
+        out.push('\n');
+    }
+    out.push_str("\nBEGIN\n");
+    for gate in circuit.gates() {
+        let line = match gate {
+            Gate::Mcx { controls, target } => {
+                let mut s = String::from("tof");
+                for c in controls {
+                    let _ = write!(s, " q{c}");
+                }
+                let _ = write!(s, " q{target}");
+                s
+            }
+            Gate::Mch { controls, target } if controls.is_empty() => format!("H q{target}"),
+            Gate::Mch { controls, target } => {
+                let mut s = String::from("ch");
+                for c in controls {
+                    let _ = write!(s, " q{c}");
+                }
+                let _ = write!(s, " q{target}");
+                s
+            }
+            Gate::T(q) => format!("T q{q}"),
+            Gate::Tdg(q) => format!("T* q{q}"),
+            Gate::S(q) => format!("S q{q}"),
+            Gate::Sdg(q) => format!("S* q{q}"),
+            Gate::Z(q) => format!("Z q{q}"),
+        };
+        out.push_str(&line);
+        out.push('\n');
+    }
+    out.push_str("END\n");
+    out
+}
+
+/// Parse a `.qc` file into a [`Circuit`].
+///
+/// # Errors
+///
+/// Returns [`QcircError::Parse`] with a line number on malformed input:
+/// unknown gate mnemonics, references to undeclared qubits, or gates with
+/// too few operands.
+pub fn parse(text: &str) -> Result<Circuit, QcircError> {
+    let mut names: HashMap<String, u32> = HashMap::new();
+    let mut circuit = Circuit::new(0);
+    let mut in_body = false;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix(".v") {
+            for (i, name) in rest.split_whitespace().enumerate() {
+                names.insert(name.to_string(), i as u32);
+            }
+            circuit.ensure_qubits(names.len() as u32);
+            continue;
+        }
+        if line.starts_with('.') {
+            continue; // .i/.o/.c headers carry no circuit content we need
+        }
+        match line {
+            "BEGIN" => {
+                in_body = true;
+                continue;
+            }
+            "END" => {
+                in_body = false;
+                continue;
+            }
+            _ => {}
+        }
+        if !in_body {
+            continue;
+        }
+
+        let mut parts = line.split_whitespace();
+        let mnemonic = parts.next().expect("nonempty line has a token");
+        let operands: Vec<u32> = parts
+            .map(|tok| {
+                names.get(tok).copied().ok_or_else(|| QcircError::Parse {
+                    line: lineno,
+                    message: format!("unknown qubit `{tok}`"),
+                })
+            })
+            .collect::<Result<_, _>>()?;
+
+        let too_few = |need: usize| QcircError::Parse {
+            line: lineno,
+            message: format!("`{mnemonic}` needs at least {need} operand(s)"),
+        };
+        let gate = match mnemonic {
+            "tof" | "Tof" | "TOF" | "cnot" | "not" => {
+                let (&target, controls) = operands.split_last().ok_or_else(|| too_few(1))?;
+                Gate::mcx(controls.to_vec(), target)
+            }
+            "X" | "x" => Gate::x(*operands.first().ok_or_else(|| too_few(1))?),
+            "H" | "h" => Gate::h(*operands.first().ok_or_else(|| too_few(1))?),
+            "ch" | "CH" => {
+                let (&target, controls) = operands.split_last().ok_or_else(|| too_few(2))?;
+                if controls.is_empty() {
+                    return Err(too_few(2));
+                }
+                Gate::mch(controls.to_vec(), target)
+            }
+            "T" | "t" => Gate::T(*operands.first().ok_or_else(|| too_few(1))?),
+            "T*" | "t*" | "Tdg" => Gate::Tdg(*operands.first().ok_or_else(|| too_few(1))?),
+            "S" | "s" => Gate::S(*operands.first().ok_or_else(|| too_few(1))?),
+            "S*" | "s*" | "Sdg" => Gate::Sdg(*operands.first().ok_or_else(|| too_few(1))?),
+            "Z" | "z" => Gate::Z(*operands.first().ok_or_else(|| too_few(1))?),
+            other => {
+                return Err(QcircError::Parse {
+                    line: lineno,
+                    message: format!("unknown gate `{other}`"),
+                })
+            }
+        };
+        circuit.push(gate);
+    }
+    Ok(circuit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_circuit() -> Circuit {
+        let mut c = Circuit::new(4);
+        c.push(Gate::x(0));
+        c.push(Gate::cnot(0, 1));
+        c.push(Gate::toffoli(0, 1, 2));
+        c.push(Gate::mcx(vec![0, 1, 2], 3));
+        c.push(Gate::h(1));
+        c.push(Gate::ch(0, 1));
+        c.push(Gate::T(2));
+        c.push(Gate::Tdg(2));
+        c.push(Gate::S(3));
+        c.push(Gate::Sdg(3));
+        c.push(Gate::Z(0));
+        c
+    }
+
+    #[test]
+    fn roundtrip_preserves_gates_and_width() {
+        let circuit = sample_circuit();
+        let parsed = parse(&write(&circuit)).unwrap();
+        assert_eq!(parsed.gates(), circuit.gates());
+        assert_eq!(parsed.num_qubits(), circuit.num_qubits());
+    }
+
+    #[test]
+    fn parses_comments_and_blank_lines() {
+        let text = "\
+.v a b c
+.i a b c
+# a comment
+BEGIN
+tof a b c  # trailing comment
+X a
+END
+";
+        let circuit = parse(text).unwrap();
+        assert_eq!(circuit.gates(), &[Gate::toffoli(0, 1, 2), Gate::x(0)]);
+    }
+
+    #[test]
+    fn unknown_qubit_is_an_error() {
+        let text = ".v a\nBEGIN\nX b\nEND\n";
+        let err = parse(text).unwrap_err();
+        assert!(matches!(err, QcircError::Parse { line: 3, .. }));
+    }
+
+    #[test]
+    fn unknown_gate_is_an_error() {
+        let text = ".v a\nBEGIN\nRY a\nEND\n";
+        assert!(matches!(parse(text), Err(QcircError::Parse { .. })));
+    }
+
+    #[test]
+    fn empty_file_parses_to_empty_circuit() {
+        let circuit = parse("").unwrap();
+        assert!(circuit.is_empty());
+    }
+}

@@ -1,0 +1,230 @@
+//! Classical reversible simulation of MCX-level circuits.
+
+use std::fmt;
+
+use crate::circuit::Circuit;
+use crate::error::QcircError;
+use crate::gate::{Gate, Qubit};
+
+/// A classical basis state of an `n`-qubit register, stored as a bit vector.
+///
+/// MCX gates act on basis states as reversible boolean functions; this
+/// simulator applies them directly. Gates that create superposition
+/// (Hadamard) or phases (T/S/Z) are rejected with
+/// [`QcircError::NotClassical`].
+///
+/// # Example
+///
+/// ```
+/// use qcirc::{Circuit, Gate};
+/// use qcirc::sim::BasisState;
+///
+/// let mut circuit = Circuit::new(3);
+/// circuit.push(Gate::x(0));
+/// circuit.push(Gate::toffoli(0, 1, 2));
+///
+/// let mut state = BasisState::new(3);
+/// state.set_bit(1, true);
+/// state.run(&circuit).unwrap();
+/// assert!(state.bit(2)); // both controls were 1
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BasisState {
+    words: Vec<u64>,
+    num_qubits: u32,
+}
+
+impl BasisState {
+    /// The all-zero state of `num_qubits` qubits.
+    pub fn new(num_qubits: u32) -> Self {
+        let words = vec![0u64; num_qubits.div_ceil(64) as usize];
+        BasisState { words, num_qubits }
+    }
+
+    /// Number of qubits in the register.
+    pub fn num_qubits(&self) -> u32 {
+        self.num_qubits
+    }
+
+    /// The value of qubit `q`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn bit(&self, q: Qubit) -> bool {
+        assert!(q < self.num_qubits, "qubit {q} out of range");
+        (self.words[(q / 64) as usize] >> (q % 64)) & 1 == 1
+    }
+
+    /// Set qubit `q` to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is out of range.
+    pub fn set_bit(&mut self, q: Qubit, value: bool) {
+        assert!(q < self.num_qubits, "qubit {q} out of range");
+        let word = &mut self.words[(q / 64) as usize];
+        if value {
+            *word |= 1 << (q % 64);
+        } else {
+            *word &= !(1 << (q % 64));
+        }
+    }
+
+    /// Flip qubit `q`.
+    pub fn flip(&mut self, q: Qubit) {
+        assert!(q < self.num_qubits, "qubit {q} out of range");
+        self.words[(q / 64) as usize] ^= 1 << (q % 64);
+    }
+
+    /// Read `width ≤ 64` consecutive qubits starting at `offset` as a
+    /// little-endian unsigned integer (qubit `offset` is bit 0).
+    pub fn read_range(&self, offset: Qubit, width: u32) -> u64 {
+        assert!(width <= 64, "range width {width} exceeds 64 bits");
+        let mut value = 0u64;
+        for i in 0..width {
+            if self.bit(offset + i) {
+                value |= 1 << i;
+            }
+        }
+        value
+    }
+
+    /// Write `width ≤ 64` consecutive qubits starting at `offset` from the
+    /// low bits of `value`.
+    pub fn write_range(&mut self, offset: Qubit, width: u32, value: u64) {
+        assert!(width <= 64, "range width {width} exceeds 64 bits");
+        for i in 0..width {
+            self.set_bit(offset + i, (value >> i) & 1 == 1);
+        }
+    }
+
+    /// Apply a single MCX-level gate.
+    ///
+    /// # Errors
+    ///
+    /// [`QcircError::NotClassical`] for Hadamard or phase gates;
+    /// [`QcircError::QubitOutOfRange`] for out-of-range qubits.
+    pub fn apply(&mut self, gate: &Gate) -> Result<(), QcircError> {
+        match gate {
+            Gate::Mcx { controls, target } => {
+                for &q in controls.iter().chain(std::iter::once(target)) {
+                    if q >= self.num_qubits {
+                        return Err(QcircError::QubitOutOfRange {
+                            qubit: q,
+                            num_qubits: self.num_qubits,
+                        });
+                    }
+                }
+                if controls.iter().all(|&c| self.bit(c)) {
+                    self.flip(*target);
+                }
+                Ok(())
+            }
+            other => Err(QcircError::NotClassical {
+                gate: other.to_string(),
+            }),
+        }
+    }
+
+    /// Run a whole circuit.
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first gate that fails to apply (see [`BasisState::apply`]).
+    pub fn run(&mut self, circuit: &Circuit) -> Result<(), QcircError> {
+        for gate in circuit.gates() {
+            self.apply(gate)?;
+        }
+        Ok(())
+    }
+
+    /// Whether every qubit outside the given ranges is zero.
+    ///
+    /// Used to check Definition 6.2's requirement that non-live registers
+    /// map to zero.
+    pub fn zero_outside(&self, keep: &[(Qubit, u32)]) -> bool {
+        (0..self.num_qubits).all(|q| {
+            keep.iter()
+                .any(|&(off, width)| q >= off && q < off + width)
+                || !self.bit(q)
+        })
+    }
+}
+
+impl fmt::Display for BasisState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for q in (0..self.num_qubits).rev() {
+            write!(f, "{}", u8::from(self.bit(q)))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn x_flips_target() {
+        let mut s = BasisState::new(2);
+        s.apply(&Gate::x(1)).unwrap();
+        assert!(!s.bit(0));
+        assert!(s.bit(1));
+    }
+
+    #[test]
+    fn mcx_requires_all_controls() {
+        let mut s = BasisState::new(4);
+        s.set_bit(0, true);
+        s.apply(&Gate::mcx(vec![0, 1, 2], 3)).unwrap();
+        assert!(!s.bit(3));
+        s.set_bit(1, true);
+        s.set_bit(2, true);
+        s.apply(&Gate::mcx(vec![0, 1, 2], 3)).unwrap();
+        assert!(s.bit(3));
+    }
+
+    #[test]
+    fn hadamard_is_not_classical() {
+        let mut s = BasisState::new(1);
+        assert!(matches!(
+            s.apply(&Gate::h(0)),
+            Err(QcircError::NotClassical { .. })
+        ));
+    }
+
+    #[test]
+    fn range_roundtrip() {
+        let mut s = BasisState::new(70);
+        s.write_range(3, 8, 0xA5);
+        assert_eq!(s.read_range(3, 8), 0xA5);
+        assert_eq!(s.read_range(0, 3), 0);
+        s.write_range(60, 10, 0x3FF);
+        assert_eq!(s.read_range(60, 10), 0x3FF);
+    }
+
+    #[test]
+    fn zero_outside_checks_ranges() {
+        let mut s = BasisState::new(8);
+        s.write_range(2, 3, 0b111);
+        assert!(s.zero_outside(&[(2, 3)]));
+        assert!(!s.zero_outside(&[(2, 2)]));
+    }
+
+    #[test]
+    fn out_of_range_is_error() {
+        let mut s = BasisState::new(2);
+        assert!(matches!(
+            s.apply(&Gate::x(5)),
+            Err(QcircError::QubitOutOfRange { qubit: 5, .. })
+        ));
+    }
+
+    #[test]
+    fn display_is_msb_first() {
+        let mut s = BasisState::new(4);
+        s.set_bit(0, true);
+        assert_eq!(s.to_string(), "0001");
+    }
+}

@@ -1,0 +1,19 @@
+//! Circuit simulators used to validate the paper's equivalence theorems.
+//!
+//! * [`BasisState`] — a classical reversible simulator for MCX-level
+//!   circuits. Every Tower benchmark program is Hadamard-free, so its
+//!   compiled circuit permutes basis states; this simulator executes those
+//!   permutations in linear time and is the workhorse of the
+//!   optimization-soundness property tests (paper Theorems 6.3 and 6.5,
+//!   Definition 6.2).
+//! * [`StateVec`] — a dense state-vector simulator supporting the full gate
+//!   set (including Hadamard and the phase gates), used to verify the
+//!   Clifford+T decompositions exactly, phases included.
+
+mod classical;
+mod complex;
+mod statevec;
+
+pub use classical::BasisState;
+pub use complex::Complex;
+pub use statevec::StateVec;

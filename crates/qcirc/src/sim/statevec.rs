@@ -1,0 +1,279 @@
+//! Dense state-vector simulation of Clifford+T+H circuits.
+
+use std::f64::consts::FRAC_PI_4;
+
+use crate::circuit::Circuit;
+use crate::error::QcircError;
+use crate::gate::{Gate, Qubit};
+use crate::sim::complex::Complex;
+
+/// Largest register the state-vector simulator will allocate (2²⁶ complex
+/// amplitudes ≈ 1 GiB); tests stay far below this.
+const MAX_QUBITS: u32 = 26;
+
+/// A dense quantum state vector over `n` qubits.
+///
+/// Supports every gate in this crate exactly (phases included), which makes
+/// it the ground truth for verifying the Clifford+T decompositions and for
+/// equivalence-checking circuits that contain Hadamard statements.
+///
+/// # Example
+///
+/// ```
+/// use qcirc::{Circuit, Gate};
+/// use qcirc::sim::StateVec;
+///
+/// let mut circuit = Circuit::new(2);
+/// circuit.push(Gate::h(0));
+/// circuit.push(Gate::cnot(0, 1));
+///
+/// let mut state = StateVec::basis(2, 0).unwrap();
+/// state.run(&circuit).unwrap();
+/// // Bell state: |00⟩ and |11⟩ each with probability 1/2.
+/// assert!((state.probability(0b00) - 0.5).abs() < 1e-12);
+/// assert!((state.probability(0b11) - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct StateVec {
+    amps: Vec<Complex>,
+    num_qubits: u32,
+}
+
+impl StateVec {
+    /// The basis state `|index⟩` of an `n`-qubit register.
+    ///
+    /// # Errors
+    ///
+    /// [`QcircError::TooManyQubits`] if `n` exceeds the supported maximum.
+    pub fn basis(num_qubits: u32, index: u64) -> Result<Self, QcircError> {
+        if num_qubits > MAX_QUBITS {
+            return Err(QcircError::TooManyQubits {
+                requested: num_qubits,
+                max: MAX_QUBITS,
+            });
+        }
+        let mut amps = vec![Complex::ZERO; 1usize << num_qubits];
+        amps[index as usize] = Complex::ONE;
+        Ok(StateVec { amps, num_qubits })
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> u32 {
+        self.num_qubits
+    }
+
+    /// The amplitude of basis state `index`.
+    pub fn amplitude(&self, index: u64) -> Complex {
+        self.amps[index as usize]
+    }
+
+    /// The probability of measuring basis state `index`.
+    pub fn probability(&self, index: u64) -> f64 {
+        self.amps[index as usize].norm_sqr()
+    }
+
+    /// Apply one gate.
+    ///
+    /// # Errors
+    ///
+    /// [`QcircError::QubitOutOfRange`] if the gate references a qubit beyond
+    /// the register.
+    pub fn apply(&mut self, gate: &Gate) -> Result<(), QcircError> {
+        if gate.max_qubit() >= self.num_qubits {
+            return Err(QcircError::QubitOutOfRange {
+                qubit: gate.max_qubit(),
+                num_qubits: self.num_qubits,
+            });
+        }
+        match gate {
+            Gate::Mcx { controls, target } => self.apply_mcx(controls, *target),
+            Gate::Mch { controls, target } => self.apply_mch(controls, *target),
+            Gate::T(q) => self.apply_phase(*q, Complex::from_polar_unit(FRAC_PI_4)),
+            Gate::Tdg(q) => self.apply_phase(*q, Complex::from_polar_unit(-FRAC_PI_4)),
+            Gate::S(q) => self.apply_phase(*q, Complex::new(0.0, 1.0)),
+            Gate::Sdg(q) => self.apply_phase(*q, Complex::new(0.0, -1.0)),
+            Gate::Z(q) => self.apply_phase(*q, Complex::new(-1.0, 0.0)),
+        }
+        Ok(())
+    }
+
+    /// Run a whole circuit.
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first failing gate (see [`StateVec::apply`]).
+    pub fn run(&mut self, circuit: &Circuit) -> Result<(), QcircError> {
+        for gate in circuit.gates() {
+            self.apply(gate)?;
+        }
+        Ok(())
+    }
+
+    fn controls_mask(controls: &[Qubit]) -> u64 {
+        controls.iter().fold(0u64, |m, &c| m | (1u64 << c))
+    }
+
+    fn apply_mcx(&mut self, controls: &[Qubit], target: Qubit) {
+        let cmask = Self::controls_mask(controls);
+        let tbit = 1u64 << target;
+        for i in 0..self.amps.len() as u64 {
+            // Visit each (i, i^tbit) pair once, from the target=0 side.
+            if i & tbit == 0 && (i & cmask) == cmask {
+                self.amps.swap(i as usize, (i | tbit) as usize);
+            }
+        }
+    }
+
+    fn apply_mch(&mut self, controls: &[Qubit], target: Qubit) {
+        let cmask = Self::controls_mask(controls);
+        let tbit = 1u64 << target;
+        let inv_sqrt2 = std::f64::consts::FRAC_1_SQRT_2;
+        for i in 0..self.amps.len() as u64 {
+            if i & tbit == 0 && (i & cmask) == cmask {
+                let a0 = self.amps[i as usize];
+                let a1 = self.amps[(i | tbit) as usize];
+                self.amps[i as usize] = (a0 + a1).scale(inv_sqrt2);
+                self.amps[(i | tbit) as usize] = (a0 - a1).scale(inv_sqrt2);
+            }
+        }
+    }
+
+    fn apply_phase(&mut self, qubit: Qubit, phase: Complex) {
+        let qbit = 1u64 << qubit;
+        for i in 0..self.amps.len() as u64 {
+            if i & qbit != 0 {
+                let a = self.amps[i as usize];
+                self.amps[i as usize] = a * phase;
+            }
+        }
+    }
+
+    /// Exact (not up-to-global-phase) approximate equality of two states.
+    pub fn approx_eq(&self, other: &StateVec, eps: f64) -> bool {
+        self.num_qubits == other.num_qubits
+            && self
+                .amps
+                .iter()
+                .zip(&other.amps)
+                .all(|(a, b)| a.approx_eq(*b, eps))
+    }
+
+    /// `|⟨self|other⟩|²` — fidelity between two pure states.
+    pub fn fidelity(&self, other: &StateVec) -> f64 {
+        let inner = self
+            .amps
+            .iter()
+            .zip(&other.amps)
+            .fold(Complex::ZERO, |acc, (a, b)| acc + a.conj() * *b);
+        inner.norm_sqr()
+    }
+
+    /// Total probability mass (should be 1 for a valid state).
+    pub fn norm(&self) -> f64 {
+        self.amps.iter().map(|a| a.norm_sqr()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn x_permutes_basis() {
+        let mut s = StateVec::basis(2, 0b00).unwrap();
+        s.apply(&Gate::x(1)).unwrap();
+        assert!((s.probability(0b10) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn h_twice_is_identity() {
+        let mut s = StateVec::basis(1, 1).unwrap();
+        s.apply(&Gate::h(0)).unwrap();
+        s.apply(&Gate::h(0)).unwrap();
+        let reference = StateVec::basis(1, 1).unwrap();
+        assert!(s.approx_eq(&reference, 1e-12));
+    }
+
+    #[test]
+    fn t_to_the_eighth_is_identity() {
+        let mut s = StateVec::basis(1, 1).unwrap();
+        s.apply(&Gate::h(0)).unwrap();
+        for _ in 0..8 {
+            s.apply(&Gate::T(0)).unwrap();
+        }
+        s.apply(&Gate::h(0)).unwrap();
+        let reference = StateVec::basis(1, 1).unwrap();
+        assert!(s.approx_eq(&reference, 1e-12));
+    }
+
+    #[test]
+    fn t_tdg_cancels() {
+        let mut s = StateVec::basis(1, 1).unwrap();
+        s.apply(&Gate::T(0)).unwrap();
+        s.apply(&Gate::Tdg(0)).unwrap();
+        assert!(s.approx_eq(&StateVec::basis(1, 1).unwrap(), 1e-12));
+    }
+
+    #[test]
+    fn s_equals_t_squared() {
+        let mut a = StateVec::basis(1, 1).unwrap();
+        a.apply(&Gate::T(0)).unwrap();
+        a.apply(&Gate::T(0)).unwrap();
+        let mut b = StateVec::basis(1, 1).unwrap();
+        b.apply(&Gate::S(0)).unwrap();
+        assert!(a.approx_eq(&b, 1e-12));
+    }
+
+    #[test]
+    fn z_equals_s_squared() {
+        let mut a = StateVec::basis(1, 1).unwrap();
+        a.apply(&Gate::S(0)).unwrap();
+        a.apply(&Gate::S(0)).unwrap();
+        let mut b = StateVec::basis(1, 1).unwrap();
+        b.apply(&Gate::Z(0)).unwrap();
+        assert!(a.approx_eq(&b, 1e-12));
+    }
+
+    #[test]
+    fn controlled_h_only_fires_when_control_set() {
+        let mut s = StateVec::basis(2, 0b01).unwrap(); // control q1 = 0
+        s.apply(&Gate::ch(1, 0)).unwrap();
+        assert!(s.approx_eq(&StateVec::basis(2, 0b01).unwrap(), 1e-12));
+
+        let mut s = StateVec::basis(2, 0b10).unwrap(); // control q1 = 1
+        s.apply(&Gate::ch(1, 0)).unwrap();
+        assert!((s.probability(0b10) - 0.5).abs() < 1e-12);
+        assert!((s.probability(0b11) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn norm_is_preserved() {
+        let mut s = StateVec::basis(3, 5).unwrap();
+        for g in [
+            Gate::h(0),
+            Gate::T(1),
+            Gate::toffoli(0, 1, 2),
+            Gate::ch(2, 0),
+            Gate::Sdg(2),
+        ] {
+            s.apply(&g).unwrap();
+        }
+        assert!((s.norm() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn too_many_qubits_is_error() {
+        assert!(matches!(
+            StateVec::basis(60, 0),
+            Err(QcircError::TooManyQubits { .. })
+        ));
+    }
+
+    #[test]
+    fn fidelity_of_orthogonal_states_is_zero() {
+        let a = StateVec::basis(2, 0).unwrap();
+        let b = StateVec::basis(2, 3).unwrap();
+        assert!(a.fidelity(&b) < 1e-12);
+        assert!((a.fidelity(&a) - 1.0).abs() < 1e-12);
+    }
+}

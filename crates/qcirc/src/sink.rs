@@ -1,0 +1,121 @@
+//! Streaming gate sinks.
+//!
+//! Compiling the paper's radix-tree benchmarks at depth 10 produces circuits
+//! with on the order of 10⁹ T gates (paper Appendix E); materializing them
+//! is infeasible. Code generation therefore emits into a [`GateSink`], and
+//! experiments that only need gate counts use a [`CountingSink`] which
+//! accumulates the arity histogram in constant space. Experiments that run
+//! circuit optimizers materialize into a [`Circuit`](crate::Circuit), which
+//! also implements [`GateSink`].
+
+use crate::gate::{Gate, Qubit};
+use crate::histogram::GateHistogram;
+
+/// A consumer of a stream of gates.
+pub trait GateSink {
+    /// Consume one gate.
+    fn push_gate(&mut self, gate: Gate);
+}
+
+impl GateSink for Vec<Gate> {
+    fn push_gate(&mut self, gate: Gate) {
+        self.push(gate);
+    }
+}
+
+impl<S: GateSink + ?Sized> GateSink for &mut S {
+    fn push_gate(&mut self, gate: Gate) {
+        (**self).push_gate(gate);
+    }
+}
+
+/// A [`GateSink`] that counts gates into a [`GateHistogram`] without storing
+/// them.
+///
+/// # Example
+///
+/// ```
+/// use qcirc::{CountingSink, Gate, GateSink};
+///
+/// let mut sink = CountingSink::new();
+/// sink.push_gate(Gate::toffoli(0, 1, 2));
+/// sink.push_gate(Gate::x(3));
+/// assert_eq!(sink.histogram().t_complexity(), 7);
+/// assert_eq!(sink.max_qubit(), Some(3));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CountingSink {
+    hist: GateHistogram,
+    gate_count: u64,
+    max_qubit: Option<Qubit>,
+}
+
+impl CountingSink {
+    /// A fresh, empty counting sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The accumulated histogram.
+    pub fn histogram(&self) -> &GateHistogram {
+        &self.hist
+    }
+
+    /// Consume the sink, returning the histogram.
+    pub fn into_histogram(self) -> GateHistogram {
+        self.hist
+    }
+
+    /// Total number of gates seen.
+    pub fn gate_count(&self) -> u64 {
+        self.gate_count
+    }
+
+    /// The largest qubit index seen, if any gate was pushed.
+    pub fn max_qubit(&self) -> Option<Qubit> {
+        self.max_qubit
+    }
+}
+
+impl GateSink for CountingSink {
+    fn push_gate(&mut self, gate: Gate) {
+        self.gate_count += 1;
+        self.max_qubit = Some(match self.max_qubit {
+            Some(m) => m.max(gate.max_qubit()),
+            None => gate.max_qubit(),
+        });
+        self.hist.record(&gate);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::Circuit;
+
+    #[test]
+    fn counting_sink_matches_materialized_histogram() {
+        let gates = vec![
+            Gate::x(0),
+            Gate::cnot(1, 2),
+            Gate::mcx(vec![0, 1, 2], 3),
+            Gate::h(4),
+        ];
+        let mut sink = CountingSink::new();
+        let mut circuit = Circuit::new(0);
+        for g in &gates {
+            sink.push_gate(g.clone());
+            circuit.push(g.clone());
+        }
+        assert_eq!(sink.histogram(), &circuit.histogram());
+        assert_eq!(sink.gate_count(), 4);
+        assert_eq!(sink.max_qubit(), Some(4));
+    }
+
+    #[test]
+    fn vec_sink_collects_gates() {
+        let mut v: Vec<Gate> = Vec::new();
+        v.push_gate(Gate::x(0));
+        assert_eq!(v, vec![Gate::x(0)]);
+    }
+}

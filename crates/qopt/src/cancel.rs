@@ -1,0 +1,155 @@
+//! Gate-cancellation passes.
+//!
+//! The workhorse is a greedy stack algorithm: gates are appended to an
+//! output list; each incoming gate walks backwards over gates it commutes
+//! with, and if it meets its own adjoint the pair is removed. The walk
+//! distance is the pass's *window*: peephole optimizers use a small
+//! window, Toffoli-aware optimizers a large one, and the long-range
+//! resynthesis pass an unbounded one (the paper's Section 8.5 explains why
+//! window size decides whether conditional-narrowing structure is
+//! recoverable).
+
+use qcirc::{Circuit, Gate};
+
+use crate::commute::commutes;
+
+/// Cancel adjoint gate pairs, commuting candidates across at most `window`
+/// intervening gates (`usize::MAX` for unbounded).
+pub fn cancel_with_window(circuit: &Circuit, window: usize) -> Circuit {
+    let mut out: Vec<Gate> = Vec::with_capacity(circuit.len());
+    for gate in circuit.gates() {
+        let mut cancelled = false;
+        let mut steps = 0usize;
+        // Walk back over commuting gates looking for the adjoint.
+        let mut i = out.len();
+        while i > 0 && steps <= window {
+            let candidate = &out[i - 1];
+            if *candidate == gate.adjoint() {
+                out.remove(i - 1);
+                cancelled = true;
+                break;
+            }
+            if !commutes(candidate, gate) {
+                break;
+            }
+            i -= 1;
+            steps += 1;
+        }
+        if !cancelled {
+            out.push(gate.clone());
+        }
+    }
+    let mut result = Circuit::new(circuit.num_qubits());
+    result.extend(out);
+    result
+}
+
+/// Run [`cancel_with_window`] to a fixpoint.
+pub fn cancel_fixpoint(circuit: &Circuit, window: usize) -> Circuit {
+    let mut current = cancel_with_window(circuit, window);
+    loop {
+        let next = cancel_with_window(&current, window);
+        if next.len() == current.len() {
+            return next;
+        }
+        current = next;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn circuit(gates: Vec<Gate>) -> Circuit {
+        Circuit::from_gates(gates)
+    }
+
+    #[test]
+    fn adjacent_self_inverse_cancels() {
+        let c = circuit(vec![Gate::x(0), Gate::x(0)]);
+        assert!(cancel_with_window(&c, 0).is_empty());
+    }
+
+    #[test]
+    fn t_tdg_cancels() {
+        let c = circuit(vec![Gate::T(0), Gate::Tdg(0)]);
+        assert!(cancel_with_window(&c, 0).is_empty());
+    }
+
+    #[test]
+    fn t_t_does_not_cancel() {
+        let c = circuit(vec![Gate::T(0), Gate::T(0)]);
+        assert_eq!(cancel_with_window(&c, 0).len(), 2);
+    }
+
+    #[test]
+    fn cancellation_across_commuting_gate() {
+        // X(0) .. CNOT(1,2) .. X(0): the CNOT commutes with X(0).
+        let c = circuit(vec![Gate::x(0), Gate::cnot(1, 2), Gate::x(0)]);
+        let small = cancel_with_window(&c, 0);
+        assert_eq!(small.len(), 3, "window 0 cannot see through");
+        let wide = cancel_with_window(&c, 4);
+        assert_eq!(wide.len(), 1, "window 4 cancels the X pair");
+    }
+
+    #[test]
+    fn no_cancellation_through_blocker() {
+        // H(0) between the two X(0) blocks cancellation at any window.
+        let c = circuit(vec![Gate::x(0), Gate::h(0), Gate::x(0)]);
+        assert_eq!(cancel_with_window(&c, usize::MAX).len(), 3);
+    }
+
+    #[test]
+    fn toffoli_chain_uncompute_recompute_collapses() {
+        // The paper Figure 16 pattern: V-chain uncompute followed by an
+        // identical recompute cancels at the Toffoli level.
+        let chain = [
+            Gate::toffoli(0, 1, 5),
+            Gate::toffoli(5, 2, 6),
+            Gate::toffoli(6, 3, 7),
+        ];
+        let mut gates = Vec::new();
+        gates.extend(chain.iter().cloned());
+        gates.push(Gate::toffoli(7, 4, 8)); // payload 1
+        gates.extend(chain.iter().rev().cloned()); // uncompute
+        gates.extend(chain.iter().cloned()); // recompute
+        gates.push(Gate::toffoli(7, 4, 9)); // payload 2
+        gates.extend(chain.iter().rev().cloned());
+        let c = circuit(gates);
+        let reduced = cancel_fixpoint(&c, 16);
+        // Only one compute chain, two payloads, one uncompute remain.
+        assert_eq!(reduced.len(), 3 + 1 + 1 + 3);
+    }
+
+    #[test]
+    fn fixpoint_handles_nested_pairs() {
+        // A B B A with A,B self-inverse and non-commuting.
+        let a = Gate::cnot(0, 1);
+        let b = Gate::cnot(1, 2);
+        let c = circuit(vec![a.clone(), b.clone(), b, a]);
+        assert!(cancel_fixpoint(&c, 8).is_empty());
+    }
+
+    #[test]
+    fn cancellation_preserves_semantics() {
+        use qcirc::sim::StateVec;
+        let c = circuit(vec![
+            Gate::h(0),
+            Gate::toffoli(0, 1, 2),
+            Gate::cnot(0, 3),
+            Gate::cnot(0, 3),
+            Gate::T(1),
+            Gate::toffoli(0, 1, 2),
+            Gate::Tdg(1),
+        ]);
+        let reduced = cancel_fixpoint(&c, usize::MAX);
+        assert!(reduced.len() < c.len());
+        for basis in 0..16u64 {
+            let mut s1 = StateVec::basis(4, basis).unwrap();
+            s1.run(&c).unwrap();
+            let mut s2 = StateVec::basis(4, basis).unwrap();
+            s2.run(&reduced).unwrap();
+            assert!(s1.approx_eq(&s2, 1e-9), "basis {basis}");
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Commutation rules between gates, used by the cancellation passes to
+//! move candidate gates next to each other.
+
+use qcirc::{Gate, Qubit};
+
+/// Whether two gates commute under the (sound, incomplete) syntactic rules
+/// this crate uses:
+///
+/// * two MCX gates commute when neither target appears in the other's
+///   controls (a shared target is fine — both are X-type);
+/// * a phase gate commutes with any gate that does not move its qubit
+///   (i.e. whose target set does not include it); phases on controls
+///   commute with the controlled gate;
+/// * Hadamard-type gates commute only with gates touching disjoint qubits.
+pub fn commutes(a: &Gate, b: &Gate) -> bool {
+    match (a, b) {
+        (Gate::Mcx { controls: ca, target: ta }, Gate::Mcx { controls: cb, target: tb }) => {
+            !cb.contains(ta) && !ca.contains(tb)
+        }
+        (Gate::Mch { .. }, _) | (_, Gate::Mch { .. }) => {
+            let h = if matches!(a, Gate::Mch { .. }) { a } else { b };
+            let o = other_of(a, b, h);
+            !h.overlaps(o)
+        }
+        (phase, other) if is_phase(phase) => phase_commutes(phase_qubit(phase), other),
+        (other, phase) if is_phase(phase) => phase_commutes(phase_qubit(phase), other),
+        _ => false,
+    }
+}
+
+fn other_of<'g>(a: &'g Gate, b: &'g Gate, h: &Gate) -> &'g Gate {
+    if std::ptr::eq(a, h) {
+        b
+    } else {
+        a
+    }
+}
+
+fn is_phase(gate: &Gate) -> bool {
+    matches!(
+        gate,
+        Gate::T(_) | Gate::Tdg(_) | Gate::S(_) | Gate::Sdg(_) | Gate::Z(_)
+    )
+}
+
+fn phase_qubit(gate: &Gate) -> Qubit {
+    match gate {
+        Gate::T(q) | Gate::Tdg(q) | Gate::S(q) | Gate::Sdg(q) | Gate::Z(q) => *q,
+        _ => unreachable!("caller checked is_phase"),
+    }
+}
+
+fn phase_commutes(q: Qubit, other: &Gate) -> bool {
+    match other {
+        // Phases are diagonal: they commute with X-type gates unless the
+        // X-type gate flips their qubit.
+        Gate::Mcx { target, .. } => *target != q,
+        Gate::Mch { .. } => !other.qubits().contains(&q),
+        // Diagonal gates always commute with each other.
+        _ => true,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disjoint_mcx_commute() {
+        assert!(commutes(&Gate::cnot(0, 1), &Gate::cnot(2, 3)));
+    }
+
+    #[test]
+    fn shared_control_commutes() {
+        assert!(commutes(&Gate::cnot(0, 1), &Gate::cnot(0, 2)));
+        assert!(commutes(&Gate::toffoli(0, 1, 2), &Gate::toffoli(0, 1, 3)));
+    }
+
+    #[test]
+    fn shared_target_commutes() {
+        assert!(commutes(&Gate::cnot(0, 2), &Gate::cnot(1, 2)));
+    }
+
+    #[test]
+    fn control_target_chain_does_not_commute() {
+        assert!(!commutes(&Gate::cnot(0, 1), &Gate::cnot(1, 2)));
+        assert!(!commutes(&Gate::toffoli(0, 1, 2), &Gate::cnot(2, 3)));
+    }
+
+    #[test]
+    fn phase_commutes_on_control() {
+        assert!(commutes(&Gate::T(0), &Gate::cnot(0, 1)));
+        assert!(!commutes(&Gate::T(1), &Gate::cnot(0, 1)));
+        assert!(commutes(&Gate::T(0), &Gate::S(0)));
+    }
+
+    #[test]
+    fn hadamard_needs_disjointness() {
+        assert!(!commutes(&Gate::h(0), &Gate::T(0)));
+        assert!(!commutes(&Gate::h(1), &Gate::cnot(0, 1)));
+        assert!(commutes(&Gate::h(2), &Gate::cnot(0, 1)));
+    }
+
+    /// Commutation claims are verified against the state-vector simulator.
+    #[test]
+    fn claimed_commutations_hold_semantically() {
+        use qcirc::sim::StateVec;
+        use qcirc::Circuit;
+        let pairs = [
+            (Gate::cnot(0, 1), Gate::cnot(0, 2)),
+            (Gate::cnot(0, 2), Gate::cnot(1, 2)),
+            (Gate::T(0), Gate::cnot(0, 1)),
+            (Gate::toffoli(0, 1, 2), Gate::toffoli(1, 0, 3)),
+            (Gate::S(1), Gate::toffoli(0, 1, 2)),
+        ];
+        for (a, b) in pairs {
+            assert!(commutes(&a, &b), "{a} vs {b}");
+            let ab: Circuit = vec![a.clone(), b.clone()].into_iter().collect();
+            let ba: Circuit = vec![b.clone(), a.clone()].into_iter().collect();
+            for basis in 0..16u64 {
+                let mut s1 = StateVec::basis(4, basis).unwrap();
+                s1.run(&ab).unwrap();
+                let mut s2 = StateVec::basis(4, basis).unwrap();
+                s2.run(&ba).unwrap();
+                assert!(s1.approx_eq(&s2, 1e-9), "{a};{b} on |{basis:b}⟩");
+            }
+        }
+    }
+}

@@ -1,0 +1,50 @@
+//! Baseline quantum circuit optimizers for the Spire evaluation.
+//!
+//! The paper (Section 8.3) compares Spire's program-level optimizations
+//! against eight published circuit optimizers. Those tools are external
+//! Python/OCaml/Haskell/C++ projects; this crate implements from-scratch
+//! Rust analogues of the *mechanisms* the paper identifies as causally
+//! decisive (Section 8.5):
+//!
+//! * peephole cancellation on Clifford+T gates ([`AdjacentCancel`],
+//!   [`Peephole`]) — small windows, quadratic on control-flow circuits;
+//! * rotation merging / phase folding ([`PhaseFoldLight`], [`ZxGraphLike`],
+//!   [`CliffordTResynth`]) — unbounded merging but blind to Toffoli
+//!   structure, quadratic with better constants;
+//! * Toffoli-level cancellation ([`ToffoliCancel`], [`GlobalResynth`]) —
+//!   sees the structure conditional flattening exploits and recovers
+//!   asymptotically efficient circuits;
+//! * timeout-bounded search ([`SearchOpt`]) — the Quartz/QUESO
+//!   architecture, whose preprocessing dominates its T-count improvements.
+//!
+//! # Example
+//!
+//! ```
+//! use qcirc::{Circuit, Gate};
+//! use qopt::{CircuitOptimizer, ToffoliCancel};
+//!
+//! // Two identical MCX gates cancel once Toffoli structure is visible.
+//! let circuit = Circuit::from_gates(vec![
+//!     Gate::mcx(vec![0, 1, 2], 3),
+//!     Gate::mcx(vec![0, 1, 2], 3),
+//! ]);
+//! let optimized = ToffoliCancel.optimize(&circuit);
+//! assert_eq!(optimized.clifford_t_counts().t_count(), 0);
+//! ```
+
+#![warn(missing_docs)]
+
+mod cancel;
+mod commute;
+mod passes;
+mod phase_fold;
+mod search;
+
+pub use cancel::{cancel_fixpoint, cancel_with_window};
+pub use commute::commutes;
+pub use passes::{
+    registry, AdjacentCancel, CircuitOptimizer, CliffordTResynth, GlobalResynth, Peephole,
+    PhaseFoldLight, ToffoliCancel, ZxGraphLike,
+};
+pub use phase_fold::phase_fold;
+pub use search::{SearchConfig, SearchOpt};

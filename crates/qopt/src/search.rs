@@ -1,0 +1,236 @@
+//! Search-based optimizer analogue (Quartz / QUESO, paper Appendix G).
+//!
+//! Quartz and QUESO discover rewrites by open-ended search under a
+//! wall-clock timeout: a preprocessing phase (rotation merging, greedy CCZ
+//! decomposition) followed by rule-driven exploration. The paper found
+//! that for control-flow circuits the preprocessing dominates the T-count
+//! improvement while search mostly trims H and CNOT gates (Appendix G's
+//! quote from the Quartz developers), and the output stays asymptotically
+//! quadratic.
+//!
+//! [`SearchOpt`] mirrors that architecture: optional rotation-merging
+//! preprocessing, optional decomposition phase, and a randomized
+//! cancellation search that runs until a time budget expires.
+
+use std::time::{Duration, Instant};
+
+use qcirc::decompose::{mcx_to_toffoli, toffoli_to_clifford_t};
+use qcirc::Circuit;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::cancel::cancel_with_window;
+use crate::passes::CircuitOptimizer;
+use crate::phase_fold::phase_fold;
+
+/// Configuration of the search-based optimizer.
+#[derive(Debug, Clone)]
+pub struct SearchConfig {
+    /// Run rotation merging in preprocessing ("RM" in paper Table 6).
+    pub rotation_merge: bool,
+    /// Run the greedy decomposition cleanup in preprocessing
+    /// ("CD" in paper Table 6).
+    pub greedy_decompose: bool,
+    /// Run the randomized search phase at all.
+    pub search: bool,
+    /// Wall-clock budget for the search phase.
+    pub timeout: Duration,
+    /// RNG seed (search is deterministic given seed and budget exhaustion).
+    pub seed: u64,
+}
+
+impl SearchConfig {
+    /// Quartz-style default: RM + CD preprocessing plus search.
+    pub fn quartz() -> Self {
+        SearchConfig {
+            rotation_merge: true,
+            greedy_decompose: true,
+            search: true,
+            timeout: Duration::from_millis(200),
+            seed: 0xC0FFEE,
+        }
+    }
+
+    /// Quartz v0.1.1 "RM only" configuration (paper Table 6).
+    pub fn quartz_rm_only() -> Self {
+        SearchConfig {
+            rotation_merge: true,
+            greedy_decompose: false,
+            search: false,
+            timeout: Duration::ZERO,
+            seed: 0xC0FFEE,
+        }
+    }
+
+    /// Quartz v0.1.1 "RM + search" configuration (paper Table 6).
+    pub fn quartz_rm_search() -> Self {
+        SearchConfig {
+            rotation_merge: true,
+            greedy_decompose: false,
+            search: true,
+            timeout: Duration::from_millis(200),
+            seed: 0xC0FFEE,
+        }
+    }
+
+    /// QUESO-style configuration: symbolic-rule search with a smaller
+    /// window and its own seed.
+    pub fn queso() -> Self {
+        SearchConfig {
+            rotation_merge: false,
+            greedy_decompose: true,
+            search: true,
+            timeout: Duration::from_millis(200),
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// The search-based optimizer.
+#[derive(Debug, Clone)]
+pub struct SearchOpt {
+    /// Name used in reports.
+    pub label: &'static str,
+    /// What it stands for.
+    pub stands_for: &'static str,
+    /// Configuration.
+    pub config: SearchConfig,
+}
+
+impl SearchOpt {
+    /// Quartz analogue with its default configuration.
+    pub fn quartz() -> Self {
+        SearchOpt {
+            label: "quartz-search",
+            stands_for: "Quartz superoptimizer",
+            config: SearchConfig::quartz(),
+        }
+    }
+
+    /// QUESO analogue.
+    pub fn queso() -> Self {
+        SearchOpt {
+            label: "queso-search",
+            stands_for: "QUESO synthesized optimizer",
+            config: SearchConfig::queso(),
+        }
+    }
+
+    /// An analogue with a custom configuration.
+    pub fn with_config(label: &'static str, config: SearchConfig) -> Self {
+        SearchOpt {
+            label,
+            stands_for: "Quartz variant",
+            config,
+        }
+    }
+}
+
+impl CircuitOptimizer for SearchOpt {
+    fn name(&self) -> &'static str {
+        self.label
+    }
+
+    fn analogue_of(&self) -> &'static str {
+        self.stands_for
+    }
+
+    fn optimize(&self, circuit: &Circuit) -> Circuit {
+        let decomposed = toffoli_to_clifford_t(&mcx_to_toffoli(circuit))
+            .expect("arity <= 2 after mcx_to_toffoli");
+        let mut current = decomposed;
+        if self.config.rotation_merge {
+            current = phase_fold(&current);
+        }
+        if self.config.greedy_decompose {
+            current = cancel_with_window(&current, 1);
+        }
+        if self.config.search {
+            current = search_phase(&current, &self.config);
+        }
+        current
+    }
+}
+
+/// The randomized search: repeatedly apply cancellation passes with random
+/// windows, keeping any result that does not regress the gate counts,
+/// until the budget runs out or a fixpoint is reached.
+fn search_phase(circuit: &Circuit, config: &SearchConfig) -> Circuit {
+    let start = Instant::now();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut best = circuit.clone();
+    let mut stagnant = 0u32;
+    while start.elapsed() < config.timeout && stagnant < 8 {
+        let window = 1usize << rng.random_range(0..6u32);
+        let candidate = cancel_with_window(&best, window);
+        let better_len = candidate.len() < best.len();
+        let same_t = candidate.clifford_t_counts().t_count()
+            <= best.clifford_t_counts().t_count();
+        if better_len && same_t {
+            best = candidate;
+            stagnant = 0;
+        } else {
+            stagnant += 1;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcirc::Gate;
+
+    fn sample_circuit() -> Circuit {
+        let mut c = Circuit::new(0);
+        for level in 1..=4u32 {
+            let controls: Vec<u32> = (0..level).collect();
+            c.push(Gate::mcx(controls.clone(), 10 + level));
+            c.push(Gate::mcx(controls, 10 + level));
+        }
+        c
+    }
+
+    #[test]
+    fn rm_only_reduces_t_without_touching_structure() {
+        let circuit = sample_circuit();
+        let naive = qcirc::decompose::to_clifford_t(&circuit).unwrap();
+        let rm = SearchOpt::with_config("rm", SearchConfig::quartz_rm_only());
+        let out = rm.optimize(&circuit);
+        assert!(
+            out.clifford_t_counts().t_count() < naive.clifford_t_counts().t_count(),
+            "rotation merging should reduce T"
+        );
+    }
+
+    #[test]
+    fn search_trims_clifford_gates() {
+        let circuit = sample_circuit();
+        let rm_only = SearchOpt::with_config("rm", SearchConfig::quartz_rm_only());
+        let rm_search = SearchOpt::with_config("rms", SearchConfig::quartz_rm_search());
+        let a = rm_only.optimize(&circuit);
+        let b = rm_search.optimize(&circuit);
+        let (ca, cb) = (a.clifford_t_counts(), b.clifford_t_counts());
+        assert!(cb.t_count() <= ca.t_count());
+        assert!(
+            cb.h + cb.cnot <= ca.h + ca.cnot,
+            "search should not regress Clifford counts"
+        );
+    }
+
+    #[test]
+    fn search_is_deterministic_for_a_seed() {
+        let circuit = sample_circuit();
+        let opt = SearchOpt::quartz();
+        let a = opt.optimize(&circuit);
+        let b = opt.optimize(&circuit);
+        assert_eq!(a.gates(), b.gates());
+    }
+
+    #[test]
+    fn queso_produces_clifford_t() {
+        let out = SearchOpt::queso().optimize(&sample_circuit());
+        let counts = out.clifford_t_counts();
+        assert_eq!(counts.toffoli + counts.mcx_large + counts.ch, 0);
+    }
+}

@@ -1,0 +1,177 @@
+//! `spire-cli`: command-line driver for the Spire reproduction.
+//!
+//! ```text
+//! spire-cli compile <file.twr> --entry f --depth n [--opt spire|cf|cn|none] [--out circuit.qc]
+//! spire-cli analyze <file.twr> --entry f --depth n
+//! spire-cli benchmarks
+//! spire-cli experiments <fig2|fig12|fig15a|fig15b|table1|table2|table4|table5|fig24|appendix-a|all>
+//! ```
+
+use std::fs;
+use std::process::ExitCode;
+
+use bench_suite::experiments;
+use spire::{compile_source, CompileOptions, OptConfig};
+use tower::WordConfig;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("compile") => cmd_compile(&args[1..]),
+        Some("analyze") => cmd_analyze(&args[1..]),
+        Some("benchmarks") => cmd_benchmarks(),
+        Some("experiments") => cmd_experiments(&args[1..]),
+        _ => {
+            eprintln!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  spire-cli compile <file.twr> --entry <fun> --depth <n> [--opt spire|cf|cn|none] [--out <file.qc>]
+  spire-cli analyze <file.twr> --entry <fun> --depth <n>
+  spire-cli benchmarks
+  spire-cli experiments <fig2|fig12|fig15a|fig15b|table1|table2|table4|table5|fig24|appendix-a|all>";
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn parse_opt(name: &str) -> Result<OptConfig, String> {
+    Ok(match name {
+        "spire" => OptConfig::spire(),
+        "cf" => OptConfig::flattening_only(),
+        "cn" => OptConfig::narrowing_only(),
+        "none" => OptConfig::none(),
+        other => return Err(format!("unknown optimization config `{other}`")),
+    })
+}
+
+fn load(args: &[String]) -> Result<(String, String, i64, OptConfig), String> {
+    let path = args
+        .first()
+        .filter(|a| !a.starts_with("--"))
+        .ok_or("missing input file")?;
+    let source = fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let entry = flag(args, "--entry").ok_or("missing --entry")?;
+    let depth: i64 = flag(args, "--depth")
+        .ok_or("missing --depth")?
+        .parse()
+        .map_err(|e| format!("bad --depth: {e}"))?;
+    let opt = parse_opt(&flag(args, "--opt").unwrap_or_else(|| "spire".into()))?;
+    Ok((source, entry, depth, opt))
+}
+
+fn cmd_compile(args: &[String]) -> Result<(), String> {
+    let (source, entry, depth, opt) = load(args)?;
+    let compiled = compile_source(
+        &source,
+        &entry,
+        depth,
+        WordConfig::paper_default(),
+        &CompileOptions::with_opt(opt),
+    )
+    .map_err(|e| e.to_string())?;
+    let circuit = compiled.emit();
+    let qc = qcirc::qcformat::write(&circuit);
+    match flag(args, "--out") {
+        Some(path) => {
+            fs::write(&path, qc).map_err(|e| format!("writing {path}: {e}"))?;
+            println!(
+                "wrote {} gates ({} qubits) to {path}",
+                circuit.len(),
+                circuit.num_qubits()
+            );
+        }
+        None => print!("{qc}"),
+    }
+    Ok(())
+}
+
+fn cmd_analyze(args: &[String]) -> Result<(), String> {
+    let (source, entry, depth, _) = load(args)?;
+    println!("cost model analysis of `{entry}` at depth {depth}:");
+    for opt in [
+        OptConfig::none(),
+        OptConfig::narrowing_only(),
+        OptConfig::flattening_only(),
+        OptConfig::spire(),
+    ] {
+        let compiled = compile_source(
+            &source,
+            &entry,
+            depth,
+            WordConfig::paper_default(),
+            &CompileOptions::with_opt(opt),
+        )
+        .map_err(|e| e.to_string())?;
+        let hist = compiled.histogram();
+        println!(
+            "  {:<9} MCX-complexity {:>10}   T-complexity {:>12}   max controls {:>2}   qubits {:>5}",
+            opt.label(),
+            hist.mcx_complexity(),
+            hist.t_complexity(),
+            hist.max_controls(),
+            compiled.qubits_after_decomposition(),
+        );
+    }
+    Ok(())
+}
+
+fn cmd_benchmarks() -> Result<(), String> {
+    println!("benchmark programs (paper Table 1):");
+    for bench in bench_suite::programs::all_benchmarks() {
+        println!(
+            "  {:<8} {:<14} entry `{}`{}",
+            bench.group,
+            bench.name,
+            bench.entry,
+            if bench.constant { "  (constant size)" } else { "" }
+        );
+    }
+    Ok(())
+}
+
+fn cmd_experiments(args: &[String]) -> Result<(), String> {
+    let which = args.first().map(String::as_str).unwrap_or("all");
+    let run = |id: &str| -> Result<(), String> {
+        match id {
+            "fig2" => println!("{}", experiments::fig2(2..=10).render()),
+            "fig12" | "fig12a" | "fig12b" => println!("{}", experiments::fig12(2..=10).render()),
+            "fig15a" => println!("{}", experiments::fig15a(2..=10).render()),
+            "fig15b" => println!("{}", experiments::fig15b(2..=10).render()),
+            "table1" => println!("{}", experiments::table1(10).render()),
+            "table2" => println!("{}", experiments::table2(10).render()),
+            "table4" => println!("{}", experiments::table4(&[2, 10]).render()),
+            "table5" | "table6" => println!("{}", experiments::table5(5).render()),
+            "fig24" => println!("{}", experiments::fig24(2..=10).render()),
+            "appendix-a" => {
+                println!("{}", experiments::appendix_a(6, &[2, 4, 8, 12, 16]).render())
+            }
+            other => return Err(format!("unknown experiment `{other}`")),
+        }
+        Ok(())
+    };
+    if which == "all" {
+        for id in [
+            "fig2", "fig12", "fig15a", "fig15b", "table1", "table2", "table4", "table5",
+            "fig24", "appendix-a",
+        ] {
+            run(id)?;
+        }
+        Ok(())
+    } else {
+        run(which)
+    }
+}

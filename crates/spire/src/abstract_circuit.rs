@@ -1,0 +1,856 @@
+//! The abstract circuit: register-level instructions with control lists.
+//!
+//! The Tower compiler "lowers the core IR to an abstract circuit that is
+//! analogous to classical assembly, with the abstractions of word-sized
+//! registers; arithmetic, logical, memory, and data movement instructions;
+//! and instructions controlled by registers" (paper Section 7). [`AInstr`]
+//! is that representation.
+//!
+//! Each instruction knows two things:
+//!
+//! * [`AOp::build`] / [`AInstr::emit`] — how to instantiate itself as an explicit sequence of
+//!   MCX gates (the compiler's final lowering), and
+//! * [`AOp::histogram`] — a *closed-form* count of those gates by control
+//!   arity, parameterized by the number of enclosing `if`-controls.
+//!
+//! The histogram is the paper's cost model at the instruction level: it is
+//! computed without materializing any gates, and the property tests assert
+//! it equals the emitted circuit's histogram gate-for-gate (Theorems 5.1
+//! and 5.2). Instructions distinguish *payload* gates, which must carry the
+//! enclosing `if`-controls, from *conjugation* gates (temporary bit flips
+//! and scratch arithmetic that is computed and uncomputed within the
+//! instruction), which cancel on their own and stay uncontrolled — this is
+//! why, for example, a ripple-carry adder under a quantum `if` costs only
+//! its sum CNOTs in controls, not its carry network.
+
+use qcirc::{Gate, GateHistogram, GateSink, Qubit};
+
+use crate::layout::{MemoryLayout, Reg};
+
+/// A register-level instruction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AOp {
+    /// `dst ^= value` — X gates on the set bits.
+    XorConst {
+        /// Destination register.
+        dst: Reg,
+        /// Constant (truncated to the register width).
+        value: u64,
+    },
+    /// `dst ^= src` — bitwise CNOT copy (also used for projections, whose
+    /// source is a sub-register).
+    XorReg {
+        /// Destination register.
+        dst: Reg,
+        /// Source register (same width).
+        src: Reg,
+    },
+    /// `dst ^= ¬src` for booleans.
+    XorNot {
+        /// Destination (1 bit).
+        dst: Reg,
+        /// Source (1 bit).
+        src: Reg,
+    },
+    /// `dst ^= (src != 0)`.
+    XorTest {
+        /// Destination (1 bit).
+        dst: Reg,
+        /// Source register.
+        src: Reg,
+    },
+    /// `dst ^= a ∧ b` for booleans.
+    XorAnd {
+        /// Destination (1 bit).
+        dst: Reg,
+        /// Left operand (1 bit).
+        a: Reg,
+        /// Right operand (1 bit).
+        b: Reg,
+    },
+    /// `dst ^= a ∨ b` for booleans.
+    XorOr {
+        /// Destination (1 bit).
+        dst: Reg,
+        /// Left operand (1 bit).
+        a: Reg,
+        /// Right operand (1 bit).
+        b: Reg,
+    },
+    /// `dst ^= (a + b) mod 2^w` — out-of-place ripple-carry adder; the
+    /// carry network lives in `carries` and is uncomputed internally.
+    XorAdd {
+        /// Destination register.
+        dst: Reg,
+        /// Left operand.
+        a: Reg,
+        /// Right operand.
+        b: Reg,
+        /// Scratch register for carries (width ≥ w).
+        carries: Reg,
+    },
+    /// `dst ^= (a - b) mod 2^w` — two's-complement subtraction
+    /// (X-conjugated operand, carry-in 1).
+    XorSub {
+        /// Destination register.
+        dst: Reg,
+        /// Left operand.
+        a: Reg,
+        /// Right operand.
+        b: Reg,
+        /// Scratch register for carries (width ≥ w).
+        carries: Reg,
+    },
+    /// `dst ^= (a * b) mod 2^w` — shift-and-add into a scratch product
+    /// (conjugation), then a CNOT copy into `dst` (payload).
+    XorMul {
+        /// Destination register.
+        dst: Reg,
+        /// Left operand.
+        a: Reg,
+        /// Right operand (its bits control the partial-product adds).
+        b: Reg,
+        /// Scratch register accumulating the product (width w).
+        product: Reg,
+        /// Scratch qubit for the Cuccaro adder carry.
+        cuccaro: Qubit,
+    },
+    /// Swap two registers.
+    SwapReg {
+        /// First register.
+        a: Reg,
+        /// Second register (same width).
+        b: Reg,
+    },
+    /// qRAM swap: exchange `data` with the cell `addr` points to, by a
+    /// linear scan over all cells (dereferencing null touches no cell).
+    /// Each cell visit computes an address-match bit into `match_bit`
+    /// (conjugation), swaps under that single control, and uncomputes it —
+    /// so the per-bit swap gates stay at arity 2 regardless of the
+    /// address width.
+    MemSwap {
+        /// Address register (`ptr_bits` wide).
+        addr: Reg,
+        /// Data register (width ≤ cell width).
+        data: Reg,
+        /// Memory geometry.
+        mem: MemoryLayout,
+        /// Scratch qubit for the per-cell address-match flag.
+        match_bit: Qubit,
+    },
+    /// Allocator stack pop: decrement `sp`, then swap free-stack slot
+    /// `F[sp]` with `dst` (scanning slots with a match bit, like
+    /// [`AOp::MemSwap`]). Emitted with `reversed = true` this is the push
+    /// (dealloc) operation.
+    StackPop {
+        /// Register receiving the popped address.
+        dst: Reg,
+        /// Memory geometry (stack base and `sp`).
+        mem: MemoryLayout,
+        /// Scratch qubit for the per-slot match flag.
+        match_bit: Qubit,
+    },
+    /// Hadamard on a boolean register.
+    Had {
+        /// Target qubit.
+        target: Qubit,
+    },
+}
+
+/// An abstract instruction: an operation under a set of `if`-controls.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AInstr {
+    /// The operation.
+    pub op: AOp,
+    /// Control qubits contributed by enclosing quantum `if`s
+    /// (duplicate-free).
+    pub controls: Vec<Qubit>,
+    /// Emit the operation's gates in reverse order (un-assignment /
+    /// dealloc). The gate multiset — and therefore the histogram — is
+    /// unchanged.
+    pub reversed: bool,
+}
+
+impl AInstr {
+    /// Emit this instruction's gates.
+    pub fn emit<S: GateSink>(&self, sink: &mut S) {
+        let mut gates = Vec::new();
+        self.op.build(&self.controls, &mut gates);
+        if self.reversed {
+            for gate in gates.into_iter().rev() {
+                sink.push_gate(gate);
+            }
+        } else {
+            for gate in gates {
+                sink.push_gate(gate);
+            }
+        }
+    }
+
+    /// The instruction's gate histogram (closed form; no gates built).
+    pub fn histogram(&self) -> GateHistogram {
+        self.op.histogram(self.controls.len())
+    }
+}
+
+/// Helper: `controls ∪ extra` as a gate control list.
+fn ctrl(extra: &[Qubit], more: &[Qubit]) -> Vec<Qubit> {
+    let mut v = extra.to_vec();
+    v.extend_from_slice(more);
+    v
+}
+
+impl AOp {
+    /// Append this operation's gates (forward order) to `out`, with `k`
+    /// enclosing controls applied to the payload gates.
+    pub fn build(&self, k: &[Qubit], out: &mut Vec<Gate>) {
+        match self {
+            AOp::XorConst { dst, value } => {
+                for i in 0..dst.width {
+                    if (value >> i) & 1 == 1 {
+                        out.push(Gate::mcx(k.to_vec(), dst.bit(i)));
+                    }
+                }
+            }
+            AOp::XorReg { dst, src } => {
+                debug_assert_eq!(dst.width, src.width);
+                for i in 0..dst.width {
+                    out.push(Gate::mcx(ctrl(k, &[src.bit(i)]), dst.bit(i)));
+                }
+            }
+            AOp::XorNot { dst, src } => {
+                out.push(Gate::mcx(ctrl(k, &[src.bit(0)]), dst.bit(0)));
+                out.push(Gate::mcx(k.to_vec(), dst.bit(0)));
+            }
+            AOp::XorTest { dst, src } => {
+                let src_bits: Vec<Qubit> = (0..src.width).map(|i| src.bit(i)).collect();
+                for &q in &src_bits {
+                    out.push(Gate::x(q));
+                }
+                out.push(Gate::mcx(ctrl(k, &src_bits), dst.bit(0)));
+                out.push(Gate::mcx(k.to_vec(), dst.bit(0)));
+                for &q in &src_bits {
+                    out.push(Gate::x(q));
+                }
+            }
+            AOp::XorAnd { dst, a, b } => {
+                out.push(Gate::mcx(ctrl(k, &[a.bit(0), b.bit(0)]), dst.bit(0)));
+            }
+            AOp::XorOr { dst, a, b } => {
+                out.push(Gate::x(a.bit(0)));
+                out.push(Gate::x(b.bit(0)));
+                out.push(Gate::mcx(ctrl(k, &[a.bit(0), b.bit(0)]), dst.bit(0)));
+                out.push(Gate::mcx(k.to_vec(), dst.bit(0)));
+                out.push(Gate::x(a.bit(0)));
+                out.push(Gate::x(b.bit(0)));
+            }
+            AOp::XorAdd { dst, a, b, carries } => {
+                let w = dst.width;
+                if w == 1 {
+                    out.push(Gate::mcx(ctrl(k, &[a.bit(0)]), dst.bit(0)));
+                    out.push(Gate::mcx(ctrl(k, &[b.bit(0)]), dst.bit(0)));
+                    return;
+                }
+                // carries[i] holds c_{i+1}, the carry into bit i+1.
+                let mut network = Vec::new();
+                network.push(Gate::toffoli(a.bit(0), b.bit(0), carries.bit(0)));
+                for i in 1..w - 1 {
+                    network.push(Gate::toffoli(a.bit(i), b.bit(i), carries.bit(i)));
+                    network.push(Gate::toffoli(a.bit(i), carries.bit(i - 1), carries.bit(i)));
+                    network.push(Gate::toffoli(b.bit(i), carries.bit(i - 1), carries.bit(i)));
+                }
+                out.extend(network.iter().cloned());
+                out.push(Gate::mcx(ctrl(k, &[a.bit(0)]), dst.bit(0)));
+                out.push(Gate::mcx(ctrl(k, &[b.bit(0)]), dst.bit(0)));
+                for i in 1..w {
+                    out.push(Gate::mcx(ctrl(k, &[a.bit(i)]), dst.bit(i)));
+                    out.push(Gate::mcx(ctrl(k, &[b.bit(i)]), dst.bit(i)));
+                    out.push(Gate::mcx(ctrl(k, &[carries.bit(i - 1)]), dst.bit(i)));
+                }
+                out.extend(network.into_iter().rev());
+            }
+            AOp::XorSub { dst, a, b, carries } => {
+                let w = dst.width;
+                if w == 1 {
+                    // a - b ≡ a ⊕ b (mod 2).
+                    out.push(Gate::mcx(ctrl(k, &[a.bit(0)]), dst.bit(0)));
+                    out.push(Gate::mcx(ctrl(k, &[b.bit(0)]), dst.bit(0)));
+                    return;
+                }
+                // carries[i] holds c_i; c_0 = 1 (two's-complement carry-in).
+                let mut conj = Vec::new();
+                conj.push(Gate::x(carries.bit(0)));
+                for i in 0..w {
+                    conj.push(Gate::x(b.bit(i)));
+                }
+                let mut network = Vec::new();
+                for i in 0..w - 1 {
+                    network.push(Gate::toffoli(a.bit(i), b.bit(i), carries.bit(i + 1)));
+                    network.push(Gate::toffoli(a.bit(i), carries.bit(i), carries.bit(i + 1)));
+                    network.push(Gate::toffoli(b.bit(i), carries.bit(i), carries.bit(i + 1)));
+                }
+                out.extend(conj.iter().cloned());
+                out.extend(network.iter().cloned());
+                for i in 0..w {
+                    out.push(Gate::mcx(ctrl(k, &[a.bit(i)]), dst.bit(i)));
+                    out.push(Gate::mcx(ctrl(k, &[b.bit(i)]), dst.bit(i)));
+                    out.push(Gate::mcx(ctrl(k, &[carries.bit(i)]), dst.bit(i)));
+                }
+                out.extend(network.into_iter().rev());
+                out.extend(conj.into_iter().rev());
+            }
+            AOp::XorMul {
+                dst,
+                a,
+                b,
+                product,
+                cuccaro,
+            } => {
+                let w = dst.width;
+                // Phase 1 (conjugation): product += (a << i) when b_i,
+                // via controlled Cuccaro ripple adds.
+                let mut phase1 = Vec::new();
+                for i in 0..w {
+                    let m = w - i;
+                    cuccaro_add_controlled(
+                        a,
+                        product,
+                        i,
+                        m,
+                        *cuccaro,
+                        b.bit(i),
+                        &mut phase1,
+                    );
+                }
+                out.extend(phase1.iter().cloned());
+                // Phase 2 (payload): dst ^= product.
+                for i in 0..w {
+                    out.push(Gate::mcx(ctrl(k, &[product.bit(i)]), dst.bit(i)));
+                }
+                // Phase 3: uncompute the product.
+                out.extend(phase1.into_iter().rev());
+            }
+            AOp::SwapReg { a, b } => {
+                debug_assert_eq!(a.width, b.width);
+                for i in 0..a.width {
+                    out.push(Gate::cnot(a.bit(i), b.bit(i)));
+                    out.push(Gate::mcx(ctrl(k, &[b.bit(i)]), a.bit(i)));
+                    out.push(Gate::cnot(a.bit(i), b.bit(i)));
+                }
+            }
+            AOp::MemSwap {
+                addr,
+                data,
+                mem,
+                match_bit,
+            } => {
+                let p = addr.width;
+                let addr_bits: Vec<Qubit> = (0..p).map(|i| addr.bit(i)).collect();
+                for cell_addr in 1..mem.num_cells {
+                    let cell = mem.cell(cell_addr);
+                    let conj: Vec<Qubit> = (0..p)
+                        .filter(|i| (cell_addr >> i) & 1 == 0)
+                        .map(|i| addr.bit(i))
+                        .collect();
+                    for &q in &conj {
+                        out.push(Gate::x(q));
+                    }
+                    // Compute the address-match flag once per cell
+                    // (conjugation — no k-controls).
+                    out.push(Gate::mcx(addr_bits.clone(), *match_bit));
+                    for i in 0..data.width {
+                        let m = cell.bit(i);
+                        let d = data.bit(i);
+                        out.push(Gate::cnot(m, d));
+                        out.push(Gate::mcx(ctrl(k, &[*match_bit, d]), m));
+                        out.push(Gate::cnot(m, d));
+                    }
+                    out.push(Gate::mcx(addr_bits.clone(), *match_bit));
+                    for &q in &conj {
+                        out.push(Gate::x(q));
+                    }
+                }
+            }
+            AOp::StackPop {
+                dst,
+                mem,
+                match_bit,
+            } => {
+                let sp = mem.sp;
+                let p = sp.width;
+                // Decrement sp (inverse of the standard increment chain).
+                out.push(Gate::mcx(k.to_vec(), sp.bit(0)));
+                for i in 1..p {
+                    let lower: Vec<Qubit> = (0..i).map(|j| sp.bit(j)).collect();
+                    out.push(Gate::mcx(ctrl(k, &lower), sp.bit(i)));
+                }
+                // Swap F[sp] with dst by scanning all slots.
+                let sp_bits: Vec<Qubit> = (0..p).map(|i| sp.bit(i)).collect();
+                let num_slots = 1u32 << p;
+                for s in 0..num_slots {
+                    let slot = mem.stack_slot(s, p);
+                    let conj: Vec<Qubit> = (0..p)
+                        .filter(|i| (s >> i) & 1 == 0)
+                        .map(|i| sp.bit(i))
+                        .collect();
+                    for &q in &conj {
+                        out.push(Gate::x(q));
+                    }
+                    out.push(Gate::mcx(sp_bits.clone(), *match_bit));
+                    for i in 0..p.min(dst.width) {
+                        let f = slot.bit(i);
+                        let d = dst.bit(i);
+                        out.push(Gate::cnot(f, d));
+                        out.push(Gate::mcx(ctrl(k, &[*match_bit, d]), f));
+                        out.push(Gate::cnot(f, d));
+                    }
+                    out.push(Gate::mcx(sp_bits.clone(), *match_bit));
+                    for &q in &conj {
+                        out.push(Gate::x(q));
+                    }
+                }
+            }
+            AOp::Had { target } => {
+                out.push(Gate::mch(k.to_vec(), *target));
+            }
+        }
+    }
+
+    /// Closed-form gate histogram for this operation under `k` enclosing
+    /// controls. Matches [`AOp::build`] gate-for-gate (property-tested).
+    pub fn histogram(&self, k: usize) -> GateHistogram {
+        let mut h = GateHistogram::new();
+        match self {
+            AOp::XorConst { dst, value } => {
+                let mask = if dst.width >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << dst.width) - 1
+                };
+                h.add_mcx(k, (*value & mask).count_ones() as u64);
+            }
+            AOp::XorReg { dst, .. } => h.add_mcx(1 + k, dst.width as u64),
+            AOp::XorNot { .. } => {
+                h.add_mcx(1 + k, 1);
+                h.add_mcx(k, 1);
+            }
+            AOp::XorTest { src, .. } => {
+                h.add_mcx(0, 2 * src.width as u64);
+                h.add_mcx(src.width as usize + k, 1);
+                h.add_mcx(k, 1);
+            }
+            AOp::XorAnd { .. } => h.add_mcx(2 + k, 1),
+            AOp::XorOr { .. } => {
+                h.add_mcx(0, 4);
+                h.add_mcx(2 + k, 1);
+                h.add_mcx(k, 1);
+            }
+            AOp::XorAdd { dst, .. } => {
+                let w = dst.width as u64;
+                if w == 1 {
+                    h.add_mcx(1 + k, 2);
+                } else {
+                    h.add_mcx(2, 6 * w - 10);
+                    h.add_mcx(1 + k, 3 * w - 1);
+                }
+            }
+            AOp::XorSub { dst, .. } => {
+                let w = dst.width as u64;
+                if w == 1 {
+                    h.add_mcx(1 + k, 2);
+                } else {
+                    h.add_mcx(0, 2 * w + 2);
+                    h.add_mcx(2, 6 * (w - 1));
+                    h.add_mcx(1 + k, 3 * w);
+                }
+            }
+            AOp::XorMul { dst, .. } => {
+                let w = dst.width as u64;
+                let m_sum = w * (w + 1) / 2;
+                h.add_mcx(3, 4 * m_sum);
+                h.add_mcx(2, 8 * m_sum);
+                h.add_mcx(1 + k, w);
+            }
+            AOp::SwapReg { a, .. } => {
+                let w = a.width as u64;
+                h.add_mcx(1, 2 * w);
+                h.add_mcx(1 + k, w);
+            }
+            AOp::MemSwap { addr, data, mem, .. } => {
+                let p = addr.width;
+                let cells = (mem.num_cells - 1) as u64;
+                let zeros: u64 = (1..mem.num_cells)
+                    .map(|v| (p - v.count_ones()) as u64)
+                    .sum();
+                h.add_mcx(0, 2 * zeros);
+                h.add_mcx(p as usize, 2 * cells); // match compute/uncompute
+                h.add_mcx(1, 2 * data.width as u64 * cells);
+                h.add_mcx(2 + k, data.width as u64 * cells);
+            }
+            AOp::StackPop { dst, mem, .. } => {
+                let p = mem.sp.width;
+                // Decrement chain.
+                h.add_mcx(k, 1);
+                for i in 1..p {
+                    h.add_mcx(i as usize + k, 1);
+                }
+                // Slot scan.
+                let slots = 1u64 << p;
+                let zeros: u64 = (0..slots).map(|s| (p - (s as u32).count_ones()) as u64).sum();
+                let w = p.min(dst.width) as u64;
+                h.add_mcx(0, 2 * zeros);
+                h.add_mcx(p as usize, 2 * slots);
+                h.add_mcx(1, 2 * w * slots);
+                h.add_mcx(2 + k, w * slots);
+            }
+            AOp::Had { .. } => h.add_mch(k, 1),
+        }
+        h
+    }
+
+    /// A short mnemonic for diagnostics.
+    pub fn mnemonic(&self) -> &'static str {
+        match self {
+            AOp::XorConst { .. } => "xorc",
+            AOp::XorReg { .. } => "xorr",
+            AOp::XorNot { .. } => "xornot",
+            AOp::XorTest { .. } => "xortest",
+            AOp::XorAnd { .. } => "xorand",
+            AOp::XorOr { .. } => "xoror",
+            AOp::XorAdd { .. } => "xoradd",
+            AOp::XorSub { .. } => "xorsub",
+            AOp::XorMul { .. } => "xormul",
+            AOp::SwapReg { .. } => "swap",
+            AOp::MemSwap { .. } => "memswap",
+            AOp::StackPop { .. } => "stackpop",
+            AOp::Had { .. } => "had",
+        }
+    }
+}
+
+/// Controlled Cuccaro ripple add: `y[lo..lo+m) += x[0..m)` when `control`
+/// is set, using `z` as the carry ancilla. Every gate carries `control`.
+fn cuccaro_add_controlled(
+    x: &Reg,
+    y: &Reg,
+    lo: u32,
+    m: u32,
+    z: Qubit,
+    control: Qubit,
+    out: &mut Vec<Gate>,
+) {
+    let xb = |i: u32| x.bit(i);
+    let yb = |i: u32| y.bit(lo + i);
+    // MAJ(c, b, a) = CX(a,b); CX(a,c); TOF(c,b -> a), all + control.
+    let maj = |c: Qubit, b: Qubit, a: Qubit, out: &mut Vec<Gate>| {
+        out.push(Gate::mcx(vec![a, control], b));
+        out.push(Gate::mcx(vec![a, control], c));
+        out.push(Gate::mcx(vec![c, b, control], a));
+    };
+    let uma = |c: Qubit, b: Qubit, a: Qubit, out: &mut Vec<Gate>| {
+        out.push(Gate::mcx(vec![c, b, control], a));
+        out.push(Gate::mcx(vec![a, control], c));
+        out.push(Gate::mcx(vec![c, control], b));
+    };
+    maj(z, yb(0), xb(0), out);
+    for i in 1..m {
+        maj(xb(i - 1), yb(i), xb(i), out);
+    }
+    for i in (1..m).rev() {
+        uma(xb(i - 1), yb(i), xb(i), out);
+    }
+    uma(z, yb(0), xb(0), out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::MemoryLayout;
+    use qcirc::sim::BasisState;
+    use qcirc::Circuit;
+
+    fn reg(offset: u32, width: u32) -> Reg {
+        Reg { offset, width }
+    }
+
+    fn run_op(op: &AOp, controls: &[Qubit], state: &mut BasisState) {
+        let instr = AInstr {
+            op: op.clone(),
+            controls: controls.to_vec(),
+            reversed: false,
+        };
+        let mut circuit = Circuit::new(state.num_qubits());
+        instr.emit(&mut circuit);
+        state.run(&circuit).unwrap();
+    }
+
+    /// Every op's closed-form histogram equals its emitted histogram.
+    #[test]
+    fn histograms_match_emission() {
+        let mem = MemoryLayout {
+            cell_width: 6,
+            num_cells: 8,
+            cells_base: 40,
+            sp: reg(30, 3),
+            stack_base: 33,
+        };
+        let ops = vec![
+            AOp::XorConst { dst: reg(0, 8), value: 0xA5 },
+            AOp::XorReg { dst: reg(0, 8), src: reg(8, 8) },
+            AOp::XorNot { dst: reg(0, 1), src: reg(1, 1) },
+            AOp::XorTest { dst: reg(0, 1), src: reg(8, 5) },
+            AOp::XorAnd { dst: reg(0, 1), a: reg(1, 1), b: reg(2, 1) },
+            AOp::XorOr { dst: reg(0, 1), a: reg(1, 1), b: reg(2, 1) },
+            AOp::XorAdd { dst: reg(0, 8), a: reg(8, 8), b: reg(16, 8), carries: reg(24, 8) },
+            AOp::XorAdd { dst: reg(0, 1), a: reg(8, 1), b: reg(16, 1), carries: reg(24, 1) },
+            AOp::XorSub { dst: reg(0, 8), a: reg(8, 8), b: reg(16, 8), carries: reg(24, 8) },
+            AOp::XorSub { dst: reg(0, 1), a: reg(8, 1), b: reg(16, 1), carries: reg(24, 1) },
+            AOp::XorMul { dst: reg(0, 4), a: reg(8, 4), b: reg(16, 4), product: reg(24, 4), cuccaro: 28 },
+            AOp::SwapReg { a: reg(0, 8), b: reg(8, 8) },
+            AOp::MemSwap { addr: reg(0, 3), data: reg(8, 6), mem: mem.clone(), match_bit: 90 },
+            AOp::StackPop { dst: reg(8, 3), mem, match_bit: 90 },
+            AOp::Had { target: 0 },
+        ];
+        for op in ops {
+            for k in [0usize, 1, 3] {
+                let controls: Vec<Qubit> = (100..100 + k as u32).collect();
+                let instr = AInstr { op: op.clone(), controls, reversed: false };
+                let mut circuit = Circuit::new(0);
+                instr.emit(&mut circuit);
+                assert_eq!(
+                    circuit.histogram(),
+                    instr.histogram(),
+                    "histogram mismatch for {} at k={k}",
+                    op.mnemonic()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn adder_computes_sums() {
+        // dst ^= a + b (mod 16) for several operand pairs.
+        for (a_val, b_val) in [(3u64, 5u64), (15, 1), (9, 9), (0, 0), (7, 12)] {
+            let op = AOp::XorAdd {
+                dst: reg(0, 4),
+                a: reg(4, 4),
+                b: reg(8, 4),
+                carries: reg(12, 4),
+            };
+            let mut state = BasisState::new(20);
+            state.write_range(4, 4, a_val);
+            state.write_range(8, 4, b_val);
+            run_op(&op, &[], &mut state);
+            assert_eq!(state.read_range(0, 4), (a_val + b_val) % 16, "{a_val}+{b_val}");
+            // Operands and scratch preserved.
+            assert_eq!(state.read_range(4, 4), a_val);
+            assert_eq!(state.read_range(8, 4), b_val);
+            assert_eq!(state.read_range(12, 4), 0);
+        }
+    }
+
+    #[test]
+    fn adder_xors_into_nonzero_destination() {
+        let op = AOp::XorAdd {
+            dst: reg(0, 4),
+            a: reg(4, 4),
+            b: reg(8, 4),
+            carries: reg(12, 4),
+        };
+        let mut state = BasisState::new(20);
+        state.write_range(0, 4, 0b1010);
+        state.write_range(4, 4, 3);
+        state.write_range(8, 4, 4);
+        run_op(&op, &[], &mut state);
+        assert_eq!(state.read_range(0, 4), 0b1010 ^ 7);
+    }
+
+    #[test]
+    fn subtractor_computes_differences() {
+        for (a_val, b_val) in [(5u64, 3u64), (3, 5), (0, 1), (15, 15), (8, 2)] {
+            let op = AOp::XorSub {
+                dst: reg(0, 4),
+                a: reg(4, 4),
+                b: reg(8, 4),
+                carries: reg(12, 4),
+            };
+            let mut state = BasisState::new(20);
+            state.write_range(4, 4, a_val);
+            state.write_range(8, 4, b_val);
+            run_op(&op, &[], &mut state);
+            assert_eq!(
+                state.read_range(0, 4),
+                a_val.wrapping_sub(b_val) % 16,
+                "{a_val}-{b_val}"
+            );
+            assert_eq!(state.read_range(8, 4), b_val, "operand restored");
+            assert_eq!(state.read_range(12, 4), 0, "carries restored");
+        }
+    }
+
+    #[test]
+    fn multiplier_computes_products() {
+        for (a_val, b_val) in [(3u64, 5u64), (7, 7), (0, 9), (15, 15), (2, 6)] {
+            let op = AOp::XorMul {
+                dst: reg(0, 4),
+                a: reg(4, 4),
+                b: reg(8, 4),
+                product: reg(12, 4),
+                cuccaro: 16,
+            };
+            let mut state = BasisState::new(20);
+            state.write_range(4, 4, a_val);
+            state.write_range(8, 4, b_val);
+            run_op(&op, &[], &mut state);
+            assert_eq!(state.read_range(0, 4), (a_val * b_val) % 16, "{a_val}*{b_val}");
+            assert_eq!(state.read_range(12, 4), 0, "product scratch restored");
+            assert!(!state.bit(16), "cuccaro ancilla restored");
+        }
+    }
+
+    #[test]
+    fn test_op_detects_nonzero() {
+        for v in [0u64, 1, 16, 31] {
+            let op = AOp::XorTest { dst: reg(0, 1), src: reg(8, 5) };
+            let mut state = BasisState::new(16);
+            state.write_range(8, 5, v);
+            run_op(&op, &[], &mut state);
+            assert_eq!(state.bit(0), v != 0, "test {v}");
+            assert_eq!(state.read_range(8, 5), v, "source restored");
+        }
+    }
+
+    #[test]
+    fn controlled_ops_are_gated() {
+        // With an unset control, an adder's net effect is nothing.
+        let op = AOp::XorAdd {
+            dst: reg(0, 4),
+            a: reg(4, 4),
+            b: reg(8, 4),
+            carries: reg(12, 4),
+        };
+        let mut state = BasisState::new(20);
+        state.write_range(4, 4, 5);
+        state.write_range(8, 4, 6);
+        run_op(&op, &[19], &mut state); // control qubit 19 is 0
+        assert_eq!(state.read_range(0, 4), 0);
+        // With the control set, it fires.
+        state.set_bit(19, true);
+        run_op(&op, &[19], &mut state);
+        assert_eq!(state.read_range(0, 4), 11);
+    }
+
+    #[test]
+    fn swap_exchanges_registers() {
+        let op = AOp::SwapReg { a: reg(0, 4), b: reg(4, 4) };
+        let mut state = BasisState::new(10);
+        state.write_range(0, 4, 0b0110);
+        state.write_range(4, 4, 0b1001);
+        run_op(&op, &[], &mut state);
+        assert_eq!(state.read_range(0, 4), 0b1001);
+        assert_eq!(state.read_range(4, 4), 0b0110);
+        // Controlled swap with control off leaves values.
+        run_op(&op, &[9], &mut state);
+        assert_eq!(state.read_range(0, 4), 0b1001);
+    }
+
+    #[test]
+    fn memswap_exchanges_with_addressed_cell() {
+        let mem = MemoryLayout {
+            cell_width: 4,
+            num_cells: 4,
+            cells_base: 10,
+            sp: reg(8, 2),
+            stack_base: 8, // unused here
+        };
+        let op = AOp::MemSwap { addr: reg(0, 2), data: reg(4, 4), mem: mem.clone(), match_bit: 29 };
+        let mut state = BasisState::new(30);
+        // Cell 2 holds 0b1111; register holds 0b0101; address = 2.
+        state.write_range(mem.cell(2).offset, 4, 0b1111);
+        state.write_range(0, 2, 2);
+        state.write_range(4, 4, 0b0101);
+        run_op(&op, &[], &mut state);
+        assert_eq!(state.read_range(4, 4), 0b1111);
+        assert_eq!(state.read_range(mem.cell(2).offset, 4), 0b0101);
+        // Other cells untouched.
+        assert_eq!(state.read_range(mem.cell(1).offset, 4), 0);
+    }
+
+    #[test]
+    fn memswap_through_null_is_noop() {
+        let mem = MemoryLayout {
+            cell_width: 4,
+            num_cells: 4,
+            cells_base: 10,
+            sp: reg(8, 2),
+            stack_base: 8,
+        };
+        let op = AOp::MemSwap { addr: reg(0, 2), data: reg(4, 4), mem, match_bit: 29 };
+        let mut state = BasisState::new(30);
+        state.write_range(4, 4, 0b0101);
+        run_op(&op, &[], &mut state); // addr = 0 (null)
+        assert_eq!(state.read_range(4, 4), 0b0101, "value unchanged");
+    }
+
+    #[test]
+    fn stack_pop_pops_and_push_restores() {
+        let mem = MemoryLayout {
+            cell_width: 4,
+            num_cells: 4,
+            cells_base: 30,
+            sp: reg(10, 2),
+            stack_base: 12, // slots: 12..14,14..16,16..18,18..20
+        };
+        let op = AOp::StackPop { dst: reg(0, 2), mem: mem.clone(), match_bit: 59 };
+        let mut state = BasisState::new(60);
+        // Free stack holds addresses [3, 2, 1] (slot 0 = 3 at bottom), sp = 3.
+        state.write_range(mem.stack_slot(0, 2).offset, 2, 3);
+        state.write_range(mem.stack_slot(1, 2).offset, 2, 2);
+        state.write_range(mem.stack_slot(2, 2).offset, 2, 1);
+        state.write_range(10, 2, 3);
+        run_op(&op, &[], &mut state);
+        assert_eq!(state.read_range(0, 2), 1, "top of stack popped");
+        assert_eq!(state.read_range(10, 2), 2, "sp decremented");
+        assert_eq!(state.read_range(mem.stack_slot(2, 2).offset, 2), 0, "slot cleared");
+
+        // Push it back (reversed pop).
+        let push = AInstr {
+            op: AOp::StackPop { dst: reg(0, 2), mem: mem.clone(), match_bit: 59 },
+            controls: vec![],
+            reversed: true,
+        };
+        let mut circuit = Circuit::new(state.num_qubits());
+        push.emit(&mut circuit);
+        state.run(&circuit).unwrap();
+        assert_eq!(state.read_range(0, 2), 0, "address returned");
+        assert_eq!(state.read_range(10, 2), 3, "sp restored");
+        assert_eq!(state.read_range(mem.stack_slot(2, 2).offset, 2), 1);
+    }
+
+    #[test]
+    fn reversed_emission_inverts_the_instruction() {
+        // instr ; instr.reversed == identity, for a non-self-inverse op.
+        let op = AOp::StackPop {
+            dst: reg(0, 2),
+            mem: MemoryLayout {
+                cell_width: 4,
+                num_cells: 4,
+                cells_base: 30,
+                sp: reg(10, 2),
+                stack_base: 12,
+            },
+            match_bit: 39,
+        };
+        let fwd = AInstr { op: op.clone(), controls: vec![], reversed: false };
+        let rev = AInstr { op, controls: vec![], reversed: true };
+        let mut circuit = Circuit::new(40);
+        fwd.emit(&mut circuit);
+        rev.emit(&mut circuit);
+        let mut state = BasisState::new(40);
+        state.write_range(12, 2, 3);
+        state.write_range(10, 2, 1);
+        let before = state.clone();
+        state.run(&circuit).unwrap();
+        assert_eq!(state, before);
+    }
+}

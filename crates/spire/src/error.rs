@@ -1,0 +1,115 @@
+//! Error type for the Spire compiler backend.
+
+use std::error::Error;
+use std::fmt;
+
+use tower::{Symbol, TowerError};
+
+/// Errors produced by the Spire backend (layout, selection, code
+/// generation).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpireError {
+    /// An error from the Tower front end.
+    Front(TowerError),
+    /// A variable was used before any register was assigned to it.
+    NoRegister {
+        /// The variable.
+        var: Symbol,
+    },
+    /// `let x <- e` where `e` reads `x` itself; XOR-assignment from a
+    /// register into itself is not a reversible operation.
+    SelfAssignment {
+        /// The variable.
+        var: Symbol,
+    },
+    /// `*p <-> p`: a memory swap whose value operand is its own pointer.
+    AliasedMemSwap {
+        /// The pointer variable.
+        var: Symbol,
+    },
+    /// The register allocator (in aggressive mode) produced an allocation
+    /// it can prove unsound: a variable's register differs across control
+    /// paths (paper Appendix D).
+    UnsoundAllocation {
+        /// The variable whose registers diverged.
+        var: Symbol,
+        /// Description of the divergence.
+        message: String,
+    },
+    /// The program swaps memory cells of a type wider than the memory's
+    /// cell width (an internal invariant violation).
+    CellTooWide {
+        /// Width requested.
+        requested: u32,
+        /// Cell width available.
+        available: u32,
+    },
+}
+
+impl fmt::Display for SpireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpireError::Front(e) => write!(f, "{e}"),
+            SpireError::NoRegister { var } => {
+                write!(f, "variable `{var}` has no register")
+            }
+            SpireError::SelfAssignment { var } => write!(
+                f,
+                "assignment of `{var}` reads `{var}` itself (not reversible)"
+            ),
+            SpireError::AliasedMemSwap { var } => {
+                write!(f, "memory swap `*{var} <-> {var}` aliases its pointer")
+            }
+            SpireError::UnsoundAllocation { var, message } => {
+                write!(f, "unsound register allocation for `{var}`: {message}")
+            }
+            SpireError::CellTooWide {
+                requested,
+                available,
+            } => write!(
+                f,
+                "memory cell of width {requested} exceeds cell width {available}"
+            ),
+        }
+    }
+}
+
+impl Error for SpireError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SpireError::Front(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<TowerError> for SpireError {
+    fn from(e: TowerError) -> Self {
+        SpireError::Front(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_nonempty() {
+        let errs = [
+            SpireError::NoRegister {
+                var: Symbol::new("x"),
+            },
+            SpireError::SelfAssignment {
+                var: Symbol::new("x"),
+            },
+            SpireError::CellTooWide {
+                requested: 9,
+                available: 8,
+            },
+        ];
+        for e in errs {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,653 @@
+//! Register allocation and machine layout.
+//!
+//! The Tower compiler "invokes a register allocator to map IR variables to
+//! registers" (paper Section 7). This module implements two allocation
+//! policies:
+//!
+//! * [`AllocPolicy::Conservative`] — the sound policy of paper Appendix D:
+//!   a register freed by an un-assignment is recycled only when the
+//!   un-assignment occurs on the *same control path* as the assignment that
+//!   allocated it, and a re-declared variable always reuses its original
+//!   register. This enforces the paper's rule that a variable must occupy
+//!   the same register at the beginning and end of a do-block.
+//! * [`AllocPolicy::Aggressive`] — the unsound policy of paper Figure 23b/d
+//!   that recycles on every un-assignment and gives re-declarations a fresh
+//!   register. It reproduces the case study's corrupted allocation and is
+//!   kept for the Appendix-D experiment.
+//!
+//! The layout places, in order: variable registers, an arithmetic scratch
+//! region, and (when the program touches memory) the allocator stack
+//! pointer, the free-stack slots, and the qRAM cells.
+
+use std::collections::HashMap;
+
+use tower::{CoreExpr, CoreStmt, Symbol, Type, TypeInfo, TypeTable, WordConfig};
+
+use crate::error::SpireError;
+
+/// A contiguous run of qubits holding one program value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Reg {
+    /// First qubit index.
+    pub offset: u32,
+    /// Number of qubits.
+    pub width: u32,
+}
+
+impl Reg {
+    /// The qubit at bit position `i` of this register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= width`.
+    pub fn bit(&self, i: u32) -> u32 {
+        assert!(i < self.width, "bit {i} out of register width {}", self.width);
+        self.offset + i
+    }
+
+    /// A sub-register covering bits `[lo, lo+width)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the register.
+    pub fn slice(&self, lo: u32, width: u32) -> Reg {
+        assert!(lo + width <= self.width, "slice out of range");
+        Reg {
+            offset: self.offset + lo,
+            width,
+        }
+    }
+}
+
+/// Layout of the allocator and qRAM regions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemoryLayout {
+    /// Width of one memory cell in qubits.
+    pub cell_width: u32,
+    /// Number of addressable cells, including the unused null cell 0:
+    /// `2^ptr_bits`.
+    pub num_cells: u32,
+    /// First qubit of cell 1 (cell `a ≥ 1` starts at
+    /// `cells_base + (a-1) * cell_width`).
+    pub cells_base: u32,
+    /// Stack-pointer register (`ptr_bits` wide).
+    pub sp: Reg,
+    /// First qubit of free-stack slot 0 (each slot is `ptr_bits` wide).
+    pub stack_base: u32,
+}
+
+impl MemoryLayout {
+    /// The register of memory cell `addr` (1-based; address 0 is null).
+    ///
+    /// # Panics
+    ///
+    /// Panics on address 0 or past the end of memory.
+    pub fn cell(&self, addr: u32) -> Reg {
+        assert!(addr >= 1 && addr < self.num_cells, "bad cell address {addr}");
+        Reg {
+            offset: self.cells_base + (addr - 1) * self.cell_width,
+            width: self.cell_width,
+        }
+    }
+
+    /// The register of free-stack slot `i`.
+    pub fn stack_slot(&self, i: u32, ptr_bits: u32) -> Reg {
+        Reg {
+            offset: self.stack_base + i * ptr_bits,
+            width: ptr_bits,
+        }
+    }
+}
+
+/// Allocation policy (see module docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AllocPolicy {
+    /// Sound policy with the Appendix-D constraint.
+    #[default]
+    Conservative,
+    /// Unsound recycling policy of paper Figure 23 (for the case study).
+    Aggressive,
+}
+
+/// The complete machine layout of a compiled program.
+#[derive(Debug, Clone)]
+pub struct Layout {
+    /// Word configuration used.
+    pub config: WordConfig,
+    /// Variable-to-register map.
+    vars: HashMap<Symbol, Reg>,
+    /// Arithmetic scratch region: carries, Cuccaro ancilla, product, and
+    /// operand-duplication subregions.
+    pub scratch: Reg,
+    /// Memory regions, when the program touches memory.
+    pub memory: Option<MemoryLayout>,
+    /// Total qubits used (registers + scratch + memory regions).
+    pub total_qubits: u32,
+    /// Number of qubits holding program variables (registers only).
+    pub register_qubits: u32,
+}
+
+impl Layout {
+    /// The register of a variable.
+    ///
+    /// # Errors
+    ///
+    /// [`SpireError::NoRegister`] for unknown variables.
+    pub fn reg(&self, var: &Symbol) -> Result<Reg, SpireError> {
+        self.vars
+            .get(var)
+            .copied()
+            .ok_or_else(|| SpireError::NoRegister { var: var.clone() })
+    }
+
+    /// Iterate over all variable registers.
+    pub fn vars(&self) -> impl Iterator<Item = (&Symbol, &Reg)> {
+        self.vars.iter()
+    }
+
+    /// Scratch sub-region holding the ripple-carry bits (`uint_bits` wide).
+    pub fn scratch_carries(&self) -> Reg {
+        self.scratch.slice(0, self.config.uint_bits)
+    }
+
+    /// Scratch qubit used as the Cuccaro adder ancilla.
+    pub fn scratch_cuccaro(&self) -> u32 {
+        self.scratch.bit(self.config.uint_bits)
+    }
+
+    /// Scratch sub-region accumulating products (`uint_bits` wide).
+    pub fn scratch_product(&self) -> Reg {
+        self.scratch.slice(self.config.uint_bits + 1, self.config.uint_bits)
+    }
+
+    /// Scratch sub-region for duplicating an operand when both operands of
+    /// an arithmetic instruction alias the same register.
+    pub fn scratch_dup(&self) -> Reg {
+        self.scratch
+            .slice(2 * self.config.uint_bits + 1, self.config.uint_bits)
+    }
+
+    /// Scratch qubit holding the per-cell address-match bit of the qRAM
+    /// scan (computed and uncomputed within each cell visit).
+    pub fn scratch_qram_match(&self) -> u32 {
+        self.scratch.bit(3 * self.config.uint_bits + 1)
+    }
+}
+
+/// Whether the statement (or any sub-statement) touches memory, and whether
+/// it allocates.
+fn memory_usage(stmt: &CoreStmt) -> (bool, bool) {
+    match stmt {
+        CoreStmt::Skip
+        | CoreStmt::Assign { .. }
+        | CoreStmt::Unassign { .. }
+        | CoreStmt::Hadamard(_)
+        | CoreStmt::Swap(_, _) => (false, false),
+        CoreStmt::MemSwap { .. } => (true, false),
+        CoreStmt::Alloc { .. } | CoreStmt::Dealloc { .. } => (true, true),
+        CoreStmt::Seq(ss) => ss.iter().fold((false, false), |(m, a), s| {
+            let (m2, a2) = memory_usage(s);
+            (m || m2, a || a2)
+        }),
+        CoreStmt::If { body, .. } => memory_usage(body),
+        CoreStmt::With { setup, body } => {
+            let (m1, a1) = memory_usage(setup);
+            let (m2, a2) = memory_usage(body);
+            (m1 || m2, a1 || a2)
+        }
+    }
+}
+
+/// The memory cell width required by a program: the widest pointee type
+/// among all pointer-typed variables.
+fn required_cell_width(types: &TypeInfo, table: &TypeTable) -> Result<u32, SpireError> {
+    let mut width = 0;
+    for ty in types.var_types.values() {
+        let resolved = table.resolve_shallow(ty).map_err(SpireError::Front)?;
+        if let Type::Ptr(pointee) = resolved {
+            width = width.max(table.width(pointee).map_err(SpireError::Front)?);
+        }
+    }
+    Ok(width)
+}
+
+/// Compute a layout for a with-expanded core program.
+///
+/// `inputs` are allocated first, in order, and are never recycled.
+///
+/// # Errors
+///
+/// Propagates type-layout errors; in [`AllocPolicy::Aggressive`] mode the
+/// allocation may be semantically unsound (that is the point of that mode)
+/// but still succeeds.
+pub fn layout(
+    stmt: &CoreStmt,
+    inputs: &[(Symbol, Type)],
+    types: &TypeInfo,
+    table: &TypeTable,
+    policy: AllocPolicy,
+) -> Result<Layout, SpireError> {
+    let config = table.config();
+    let mut def_counts = HashMap::new();
+    count_definitions(stmt, &mut def_counts);
+    let mut alloc = Allocator {
+        table,
+        types,
+        vars: HashMap::new(),
+        def_counts,
+        alloc_paths: HashMap::new(),
+        owner: HashMap::new(),
+        free: Vec::new(),
+        next: 0,
+        policy,
+        conflict: None,
+    };
+    for (var, ty) in inputs {
+        let width = table.width(ty).map_err(SpireError::Front)?;
+        alloc.bind(var, width);
+    }
+    let mut path = Vec::new();
+    alloc.walk(stmt, &mut path)?;
+    if let Some(conflict) = alloc.conflict {
+        return Err(conflict);
+    }
+
+    let register_qubits = alloc.next;
+    let scratch_width = 3 * config.uint_bits + 2;
+    let scratch = Reg {
+        offset: register_qubits,
+        width: scratch_width,
+    };
+    let mut next = register_qubits + scratch_width;
+
+    let (uses_memory, _uses_alloc) = memory_usage(stmt);
+    let memory = if uses_memory {
+        let cell_width = required_cell_width(types, table)?.max(1);
+        let num_cells = 1u32 << config.ptr_bits;
+        let sp = Reg {
+            offset: next,
+            width: config.ptr_bits,
+        };
+        next += config.ptr_bits;
+        let stack_base = next;
+        next += num_cells * config.ptr_bits;
+        let cells_base = next;
+        next += (num_cells - 1) * cell_width;
+        Some(MemoryLayout {
+            cell_width,
+            num_cells,
+            cells_base,
+            sp,
+            stack_base,
+        })
+    } else {
+        None
+    };
+
+    Ok(Layout {
+        config,
+        vars: alloc.vars,
+        scratch,
+        memory,
+        total_qubits: next,
+        register_qubits,
+    })
+}
+
+struct Allocator<'a> {
+    table: &'a TypeTable,
+    types: &'a TypeInfo,
+    /// Final variable-to-register map. Entries are never removed: `select`
+    /// reads this map for every program point, so a variable must denote
+    /// one register for the whole program (the sticky rule below makes
+    /// that sound).
+    vars: HashMap<Symbol, Reg>,
+    /// Number of definition sites per variable (pre-pass). A register
+    /// belonging to a variable with more than one definition is never
+    /// recycled, so re-declarations always find their original register
+    /// (the paper's re-declaration rule and Appendix-D constraint).
+    def_counts: HashMap<Symbol, usize>,
+    /// Control path at allocation time, for currently live variables.
+    alloc_paths: HashMap<Symbol, Vec<Symbol>>,
+    /// Current owner of each allocated register (by offset).
+    owner: HashMap<u32, Symbol>,
+    free: Vec<Reg>,
+    next: u32,
+    policy: AllocPolicy,
+    /// First unsound reuse detected (aggressive mode only).
+    conflict: Option<SpireError>,
+}
+
+impl Allocator<'_> {
+    fn width_of(&self, var: &Symbol) -> u32 {
+        let ty = self
+            .types
+            .var_types
+            .get(var)
+            .expect("type checker binds every variable");
+        self.table.width(ty).unwrap_or(0)
+    }
+
+    fn bind(&mut self, var: &Symbol, width: u32) -> Reg {
+        if let Some(reg) = self.vars.get(var).copied() {
+            // The variable has held a register before.
+            if let Some(idx) = self.free.iter().position(|r| *r == reg) {
+                // Fully released earlier; take it back.
+                self.free.swap_remove(idx);
+                self.owner.insert(reg.offset, var.clone());
+            } else if width == 0 || self.owner.get(&reg.offset) == Some(var) {
+                // Still reserved for this variable.
+            } else {
+                // Another variable took the register in between: the
+                // allocation cannot be completed consistently
+                // (paper Figure 23's failed allocation).
+                self.conflict.get_or_insert_with(|| SpireError::UnsoundAllocation {
+                    var: var.clone(),
+                    message: format!(
+                        "register at qubit {} was recycled to `{}` while `{var}` could still occupy it on another control path",
+                        reg.offset,
+                        self.owner
+                            .get(&reg.offset)
+                            .map(|s| s.to_string())
+                            .unwrap_or_default(),
+                    ),
+                });
+            }
+            return reg;
+        }
+        let reg = if let Some(idx) = self.free.iter().position(|r| r.width == width) {
+            self.free.swap_remove(idx)
+        } else {
+            let reg = Reg {
+                offset: self.next,
+                width,
+            };
+            self.next += width;
+            reg
+        };
+        if width > 0 {
+            self.owner.insert(reg.offset, var.clone());
+        }
+        self.vars.insert(var.clone(), reg);
+        reg
+    }
+
+    fn define(&mut self, var: &Symbol, path: &[Symbol]) {
+        let width = self.width_of(var);
+        self.bind(var, width);
+        self.alloc_paths
+            .entry(var.clone())
+            .or_insert_with(|| path.to_vec());
+    }
+
+    fn undefine(&mut self, var: &Symbol, path: &[Symbol]) {
+        let release = match self.policy {
+            AllocPolicy::Conservative => {
+                // Only single-definition variables whose un-assignment sits
+                // on the same control path as their assignment can be
+                // recycled; everything else stays reserved.
+                self.def_counts.get(var).copied().unwrap_or(0) <= 1
+                    && self
+                        .alloc_paths
+                        .get(var)
+                        .is_some_and(|p| p.as_slice() == path)
+            }
+            AllocPolicy::Aggressive => true,
+        };
+        if release {
+            if let Some(reg) = self.vars.get(var).copied() {
+                if reg.width > 0 && !self.free.contains(&reg) {
+                    self.free.push(reg);
+                    self.owner.remove(&reg.offset);
+                }
+                self.alloc_paths.remove(var);
+            }
+        }
+    }
+
+    fn walk(&mut self, stmt: &CoreStmt, path: &mut Vec<Symbol>) -> Result<(), SpireError> {
+        match stmt {
+            CoreStmt::Skip | CoreStmt::Hadamard(_) | CoreStmt::Swap(_, _) => Ok(()),
+            CoreStmt::MemSwap { .. } => Ok(()),
+            CoreStmt::Seq(ss) => {
+                for s in ss {
+                    self.walk(s, path)?;
+                }
+                Ok(())
+            }
+            CoreStmt::If { cond, body } => {
+                path.push(cond.clone());
+                self.walk(body, path)?;
+                path.pop();
+                Ok(())
+            }
+            CoreStmt::With { setup, body } => {
+                // Layout runs after with-expansion, but stay robust.
+                self.walk(setup, path)?;
+                self.walk(body, path)?;
+                self.walk(&setup.reversed(), path)
+            }
+            CoreStmt::Assign { var, expr } => {
+                if expr_reads(expr, var) {
+                    return Err(SpireError::SelfAssignment { var: var.clone() });
+                }
+                self.define(var, path);
+                Ok(())
+            }
+            CoreStmt::Unassign { var, .. } => {
+                self.undefine(var, path);
+                Ok(())
+            }
+            CoreStmt::Alloc { var, .. } => {
+                self.define(var, path);
+                Ok(())
+            }
+            CoreStmt::Dealloc { var, .. } => {
+                self.undefine(var, path);
+                Ok(())
+            }
+        }
+    }
+}
+
+fn expr_reads(expr: &CoreExpr, var: &Symbol) -> bool {
+    expr.reads().contains(var)
+}
+
+/// Count definition sites (assignments and allocations) per variable.
+fn count_definitions(stmt: &CoreStmt, counts: &mut HashMap<Symbol, usize>) {
+    match stmt {
+        CoreStmt::Assign { var, .. } | CoreStmt::Alloc { var, .. } => {
+            *counts.entry(var.clone()).or_insert(0) += 1;
+        }
+        CoreStmt::Seq(ss) => {
+            for s in ss {
+                count_definitions(s, counts);
+            }
+        }
+        CoreStmt::If { body, .. } => count_definitions(body, counts),
+        CoreStmt::With { setup, body } => {
+            count_definitions(setup, counts);
+            count_definitions(body, counts);
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tower::{typecheck, CoreValue, NameGen};
+
+    fn table() -> TypeTable {
+        TypeTable::new(WordConfig::paper_default())
+    }
+
+    fn assign_uint(var: &str, n: u64) -> CoreStmt {
+        CoreStmt::Assign {
+            var: Symbol::new(var),
+            expr: CoreExpr::Value(CoreValue::UInt(n)),
+        }
+    }
+
+    fn unassign_uint(var: &str, n: u64) -> CoreStmt {
+        CoreStmt::Unassign {
+            var: Symbol::new(var),
+            expr: CoreExpr::Value(CoreValue::UInt(n)),
+        }
+    }
+
+    fn layout_of(stmt: &CoreStmt, policy: AllocPolicy) -> Layout {
+        let table = table();
+        let info = typecheck(stmt, &[], &table).unwrap();
+        layout(stmt, &[], &info, &table, policy).unwrap()
+    }
+
+    #[test]
+    fn sequential_lifetimes_share_registers() {
+        // x lives, dies; y can take its register (same path).
+        let s = CoreStmt::seq(vec![
+            assign_uint("x", 1),
+            unassign_uint("x", 1),
+            assign_uint("y", 2),
+        ]);
+        let l = layout_of(&s, AllocPolicy::Conservative);
+        assert_eq!(
+            l.reg(&Symbol::new("y")).unwrap().offset,
+            0,
+            "y should recycle x's register"
+        );
+        assert_eq!(l.register_qubits, 8);
+    }
+
+    /// The core of paper Figure 23c/d: `x` is un-assigned and re-declared
+    /// inside `if c` while `y` is live.
+    fn figure_23_core() -> CoreStmt {
+        let c = Symbol::new("c");
+        CoreStmt::seq(vec![
+            CoreStmt::Assign {
+                var: c.clone(),
+                expr: CoreExpr::Value(CoreValue::Bool(true)),
+            },
+            assign_uint("x", 1),
+            CoreStmt::If {
+                cond: c,
+                body: Box::new(CoreStmt::seq(vec![
+                    unassign_uint("x", 1),
+                    assign_uint("y", 2),
+                    CoreStmt::Assign {
+                        var: Symbol::new("x"),
+                        expr: CoreExpr::Var(Symbol::new("y")),
+                    },
+                ])),
+            },
+        ])
+    }
+
+    #[test]
+    fn conditional_unassign_does_not_release() {
+        // x is freed only under `if c`: its register must stay reserved,
+        // and the re-declaration must find it again (paper Appendix D).
+        let s = figure_23_core();
+        let l = layout_of(&s, AllocPolicy::Conservative);
+        let x = l.reg(&Symbol::new("x")).unwrap();
+        let y = l.reg(&Symbol::new("y")).unwrap();
+        assert_ne!(x.offset, y.offset, "y must not steal x's reserved register");
+    }
+
+    #[test]
+    fn aggressive_mode_detects_failed_allocation() {
+        // Aggressive recycling hands x's register to y; when x is
+        // re-declared there is "no correct way to complete this register
+        // allocation" (paper Appendix D) and the allocator reports it.
+        let s = figure_23_core();
+        let table = table();
+        let info = typecheck(&s, &[], &table).unwrap();
+        let err = layout(&s, &[], &info, &table, AllocPolicy::Aggressive).unwrap_err();
+        assert!(matches!(err, SpireError::UnsoundAllocation { .. }), "{err}");
+    }
+
+    #[test]
+    fn self_assignment_is_rejected() {
+        let s = CoreStmt::seq(vec![
+            assign_uint("x", 1),
+            CoreStmt::Assign {
+                var: Symbol::new("x"),
+                expr: CoreExpr::Var(Symbol::new("x")),
+            },
+        ]);
+        let table = table();
+        let info = typecheck(&s, &[], &table).unwrap();
+        assert!(matches!(
+            layout(&s, &[], &info, &table, AllocPolicy::Conservative),
+            Err(SpireError::SelfAssignment { .. })
+        ));
+    }
+
+    #[test]
+    fn memory_regions_appear_when_used() {
+        let mut names = NameGen::new();
+        let _ = &mut names;
+        let list = Type::pair(Type::UInt, Type::ptr(Type::UInt));
+        let p = Symbol::new("p");
+        let v = Symbol::new("v");
+        let s = CoreStmt::seq(vec![
+            CoreStmt::Assign {
+                var: v.clone(),
+                expr: CoreExpr::Value(CoreValue::ZeroOf(list.clone())),
+            },
+            CoreStmt::Assign {
+                var: p.clone(),
+                expr: CoreExpr::Value(CoreValue::Null(list.clone())),
+            },
+            CoreStmt::MemSwap {
+                ptr: p.clone(),
+                val: v.clone(),
+            },
+        ]);
+        let table = table();
+        let info = typecheck(&s, &[], &table).unwrap();
+        let l = layout(&s, &[], &info, &table, AllocPolicy::Conservative).unwrap();
+        let mem = l.memory.expect("memory layout");
+        assert_eq!(mem.cell_width, 12);
+        assert_eq!(mem.num_cells, 16);
+        // Region accounting adds up.
+        assert_eq!(
+            l.total_qubits,
+            l.register_qubits
+                + l.scratch.width
+                + 4          // sp
+                + 16 * 4     // free-stack slots
+                + 15 * 12    // cells
+        );
+    }
+
+    #[test]
+    fn no_memory_no_regions() {
+        let s = assign_uint("x", 1);
+        let l = layout_of(&s, AllocPolicy::Conservative);
+        assert!(l.memory.is_none());
+        assert_eq!(l.total_qubits, 8 + l.scratch.width);
+    }
+
+    #[test]
+    fn inputs_allocated_in_order() {
+        let table = table();
+        let s = CoreStmt::Skip;
+        let inputs = vec![
+            (Symbol::new("a"), Type::UInt),
+            (Symbol::new("b"), Type::Bool),
+        ];
+        let info = typecheck(&s, &inputs, &table).unwrap();
+        let l = layout(&s, &inputs, &info, &table, AllocPolicy::Conservative).unwrap();
+        assert_eq!(l.reg(&Symbol::new("a")).unwrap(), Reg { offset: 0, width: 8 });
+        assert_eq!(l.reg(&Symbol::new("b")).unwrap(), Reg { offset: 8, width: 1 });
+    }
+
+    #[test]
+    fn reg_slice_and_bit() {
+        let r = Reg { offset: 10, width: 8 };
+        assert_eq!(r.bit(3), 13);
+        assert_eq!(r.slice(4, 4), Reg { offset: 14, width: 4 });
+    }
+}

@@ -1,0 +1,240 @@
+//! Simulation bridge: a named-register view over the classical simulator.
+//!
+//! [`Machine`] wraps a [`BasisState`] with a [`Layout`], so tests and
+//! examples can read and write program variables, memory cells, and the
+//! allocator free stack by name — and check Definition 6.2's equivalence
+//! (live variables equal, everything else zero) between two compiled
+//! programs with *different* layouts.
+
+use qcirc::sim::BasisState;
+use qcirc::{Circuit, QcircError};
+
+use crate::error::SpireError;
+use crate::layout::Layout;
+use tower::Symbol;
+
+/// A machine state laid out according to a compiled program's [`Layout`].
+#[derive(Debug, Clone)]
+pub struct Machine {
+    state: BasisState,
+    layout: Layout,
+}
+
+impl Machine {
+    /// A zeroed machine for the given layout.
+    pub fn new(layout: &Layout) -> Self {
+        Machine {
+            state: BasisState::new(layout.total_qubits),
+            layout: layout.clone(),
+        }
+    }
+
+    /// The underlying basis state.
+    pub fn state(&self) -> &BasisState {
+        &self.state
+    }
+
+    /// The layout this machine follows.
+    pub fn layout(&self) -> &Layout {
+        &self.layout
+    }
+
+    /// Set a variable's register.
+    ///
+    /// # Errors
+    ///
+    /// [`SpireError::NoRegister`] for unknown variables.
+    pub fn set_var(&mut self, name: &str, value: u64) -> Result<(), SpireError> {
+        let reg = self.layout.reg(&Symbol::new(name))?;
+        self.state.write_range(reg.offset, reg.width, value);
+        Ok(())
+    }
+
+    /// Read a variable's register.
+    ///
+    /// # Errors
+    ///
+    /// [`SpireError::NoRegister`] for unknown variables.
+    pub fn var(&self, name: &str) -> Result<u64, SpireError> {
+        let reg = self.layout.reg(&Symbol::new(name))?;
+        Ok(self.state.read_range(reg.offset, reg.width))
+    }
+
+    /// Write a memory cell (1-based address).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program has no memory or the address is out of range.
+    pub fn write_cell(&mut self, addr: u32, value: u64) {
+        let mem = self.layout.memory.as_ref().expect("program has memory");
+        let cell = mem.cell(addr);
+        self.state.write_range(cell.offset, cell.width, value);
+    }
+
+    /// Read a memory cell (1-based address).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program has no memory or the address is out of range.
+    pub fn cell(&self, addr: u32) -> u64 {
+        let mem = self.layout.memory.as_ref().expect("program has memory");
+        let cell = mem.cell(addr);
+        self.state.read_range(cell.offset, cell.width)
+    }
+
+    /// Initialize the allocator's free stack to hold the given addresses
+    /// (bottom first) and set the stack pointer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program has no memory regions.
+    pub fn init_free_stack(&mut self, free: &[u32]) {
+        let mem = self.layout.memory.as_ref().expect("program has memory");
+        let p = mem.sp.width;
+        let (sp, base) = (mem.sp, mem.stack_base);
+        for (i, &addr) in free.iter().enumerate() {
+            self.state
+                .write_range(base + i as u32 * p, p, addr as u64);
+        }
+        self.state.write_range(sp.offset, sp.width, free.len() as u64);
+    }
+
+    /// Current stack-pointer value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program has no memory regions.
+    pub fn sp(&self) -> u64 {
+        let mem = self.layout.memory.as_ref().expect("program has memory");
+        self.state.read_range(mem.sp.offset, mem.sp.width)
+    }
+
+    /// Lay out a linked list of `(uint, ptr)` nodes in memory: node `i`
+    /// goes to cell `i+1` with its value and a pointer to the next node.
+    /// Returns the head address (0 for the empty list) and initializes the
+    /// free stack with the remaining cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the list does not fit in memory.
+    pub fn build_list(&mut self, values: &[u64]) -> u64 {
+        let mem = self.layout.memory.as_ref().expect("program has memory");
+        let uint_bits = self.layout.config.uint_bits;
+        let num_cells = mem.num_cells;
+        assert!(
+            (values.len() as u32) < num_cells,
+            "list of {} nodes does not fit in {} cells",
+            values.len(),
+            num_cells - 1
+        );
+        for (i, &v) in values.iter().enumerate() {
+            let addr = i as u32 + 1;
+            let next = if i + 1 < values.len() { addr as u64 + 1 } else { 0 };
+            self.write_cell(addr, (v & ((1 << uint_bits) - 1)) | (next << uint_bits));
+        }
+        // Free cells: everything after the list, pushed bottom-first.
+        let free: Vec<u32> = (values.len() as u32 + 1..num_cells).collect();
+        self.init_free_stack(&free);
+        if values.is_empty() {
+            0
+        } else {
+            1
+        }
+    }
+
+    /// Run a compiled circuit on this machine.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator errors (non-classical gates, bad qubits).
+    pub fn run(&mut self, circuit: &Circuit) -> Result<(), QcircError> {
+        self.state.run(circuit)
+    }
+
+    /// Whether every qubit outside the given variables (plus the memory,
+    /// stack, and stack-pointer regions) is zero — Definition 6.2's
+    /// requirement on non-live registers.
+    pub fn clean_except(&self, live: &[&str]) -> bool {
+        let mut keep: Vec<(u32, u32)> = Vec::new();
+        for name in live {
+            if let Ok(reg) = self.layout.reg(&Symbol::new(*name)) {
+                keep.push((reg.offset, reg.width));
+            }
+        }
+        if let Some(mem) = &self.layout.memory {
+            keep.push((mem.sp.offset, self.layout.total_qubits - mem.sp.offset));
+        }
+        self.state.zero_outside(&keep)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::{layout, AllocPolicy};
+    use tower::{typecheck, CoreExpr, CoreStmt, CoreValue, Type, TypeTable, WordConfig};
+
+    fn list_program_layout() -> Layout {
+        let mut table = TypeTable::new(WordConfig::paper_default());
+        table
+            .define(
+                Symbol::new("list"),
+                Type::pair(Type::UInt, Type::ptr(Type::Named(Symbol::new("list")))),
+            )
+            .unwrap();
+        let list = Type::Named(Symbol::new("list"));
+        let stmt = CoreStmt::seq(vec![
+            CoreStmt::Assign {
+                var: Symbol::new("v"),
+                expr: CoreExpr::Value(CoreValue::ZeroOf(list.clone())),
+            },
+            CoreStmt::MemSwap {
+                ptr: Symbol::new("p"),
+                val: Symbol::new("v"),
+            },
+        ]);
+        let inputs = vec![(Symbol::new("p"), Type::ptr(list))];
+        let info = typecheck(&stmt, &inputs, &table).unwrap();
+        layout(&stmt, &inputs, &info, &table, AllocPolicy::Conservative).unwrap()
+    }
+
+    #[test]
+    fn var_roundtrip() {
+        let l = list_program_layout();
+        let mut m = Machine::new(&l);
+        m.set_var("p", 5).unwrap();
+        assert_eq!(m.var("p").unwrap(), 5);
+        assert!(m.var("ghost").is_err());
+    }
+
+    #[test]
+    fn build_list_links_cells() {
+        let l = list_program_layout();
+        let mut m = Machine::new(&l);
+        let head = m.build_list(&[10, 20, 30]);
+        assert_eq!(head, 1);
+        let uint_bits = l.config.uint_bits;
+        assert_eq!(m.cell(1) & 0xFF, 10);
+        assert_eq!(m.cell(1) >> uint_bits, 2, "node 1 links to node 2");
+        assert_eq!(m.cell(3) >> uint_bits, 0, "last node links to null");
+        // Free stack holds the remaining cells.
+        assert_eq!(m.sp(), (l.memory.as_ref().unwrap().num_cells - 4) as u64);
+    }
+
+    #[test]
+    fn empty_list_has_null_head() {
+        let l = list_program_layout();
+        let mut m = Machine::new(&l);
+        assert_eq!(m.build_list(&[]), 0);
+    }
+
+    #[test]
+    fn clean_except_ignores_memory() {
+        let l = list_program_layout();
+        let mut m = Machine::new(&l);
+        m.build_list(&[1]);
+        m.set_var("p", 1).unwrap();
+        assert!(m.clean_except(&["p"]));
+        assert!(!m.clean_except(&[]));
+    }
+}

@@ -1,0 +1,374 @@
+//! Spire's program-level optimizations (paper Section 6 and Appendix C):
+//! **conditional flattening** and **conditional narrowing**, implemented as
+//! rewrite rules over the core IR.
+//!
+//! The rules are, whenever applicable under `if x { … }`:
+//!
+//! * narrowing: `if x { with {s₁} do {s₂} } ⇝ with {s₁} do { if x {s₂} }`
+//! * flattening: `if x { if y { s } } ⇝ with { z ← x && y } do { if z { s } }`
+//! * sequence splitting: `if x { s₁; s₂ } ⇝ if x { s₁ }; if x { s₂ }`
+//!
+//! This module is a direct port of the paper's 12-line OCaml pass
+//! (Figure 22). The individual-optimization configurations used by the
+//! evaluation (Figures 15a and 24) are:
+//!
+//! * *narrowing alone* runs the pass with the flattening rule disabled,
+//!   leaving nested `if`s in place (a constant-factor win);
+//! * *flattening alone* first expands every `with-do` block (baseline
+//!   Tower's representation, which has no `with` in the core IR) and then
+//!   runs the pass, so directly nested `if`s are visible to the flattening
+//!   rule (the asymptotic win of Theorem 6.1).
+
+use tower::{CoreBinOp, CoreExpr, CoreStmt, NameGen};
+
+/// Which of the two program-level optimizations to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OptConfig {
+    /// Enable conditional flattening.
+    pub flattening: bool,
+    /// Enable conditional narrowing.
+    pub narrowing: bool,
+}
+
+impl OptConfig {
+    /// Both optimizations — the full Spire configuration.
+    pub fn spire() -> Self {
+        OptConfig {
+            flattening: true,
+            narrowing: true,
+        }
+    }
+
+    /// No optimization (baseline Tower).
+    pub fn none() -> Self {
+        OptConfig {
+            flattening: false,
+            narrowing: false,
+        }
+    }
+
+    /// Conditional flattening only ("CF alone" in Figure 15a).
+    pub fn flattening_only() -> Self {
+        OptConfig {
+            flattening: true,
+            narrowing: false,
+        }
+    }
+
+    /// Conditional narrowing only ("CN alone" in Figure 15a).
+    pub fn narrowing_only() -> Self {
+        OptConfig {
+            flattening: false,
+            narrowing: true,
+        }
+    }
+
+    /// A short label for reports.
+    pub fn label(&self) -> &'static str {
+        match (self.flattening, self.narrowing) {
+            (true, true) => "spire",
+            (true, false) => "cf-only",
+            (false, true) => "cn-only",
+            (false, false) => "original",
+        }
+    }
+}
+
+impl Default for OptConfig {
+    fn default() -> Self {
+        OptConfig::spire()
+    }
+}
+
+/// Run the program-level optimizations on a core-IR statement.
+///
+/// Fresh condition variables for the flattening rule are drawn from
+/// `names`; callers should pass the front end's generator so names stay
+/// unique.
+pub fn optimize(stmt: &CoreStmt, config: OptConfig, names: &mut NameGen) -> CoreStmt {
+    if !config.flattening && !config.narrowing {
+        return stmt.clone();
+    }
+    let stmt = if config.flattening && !config.narrowing {
+        // Baseline Tower IR (no with-do blocks): expand them first so the
+        // flattening rule sees directly nested ifs.
+        stmt.expand_with()
+    } else {
+        stmt.clone()
+    };
+    let rewritten = optimize_list(&stmt, config, names);
+    CoreStmt::seq(rewritten)
+}
+
+/// Members of a statement viewed as a list (the OCaml pass works on
+/// statement lists).
+fn members(stmt: &CoreStmt) -> Vec<&CoreStmt> {
+    match stmt {
+        CoreStmt::Seq(ss) => ss.iter().collect(),
+        CoreStmt::Skip => Vec::new(),
+        other => vec![other],
+    }
+}
+
+/// Port of the OCaml `optimize_stmt` (paper Figure 22), returning a list.
+fn optimize_stmt(stmt: &CoreStmt, config: OptConfig, names: &mut NameGen) -> Vec<CoreStmt> {
+    match stmt {
+        CoreStmt::Skip => Vec::new(),
+        CoreStmt::Seq(_) => optimize_list(stmt, config, names),
+        CoreStmt::Assign { .. }
+        | CoreStmt::Unassign { .. }
+        | CoreStmt::Hadamard(_)
+        | CoreStmt::Swap(_, _)
+        | CoreStmt::MemSwap { .. }
+        | CoreStmt::Alloc { .. }
+        | CoreStmt::Dealloc { .. } => vec![stmt.clone()],
+        CoreStmt::With { setup, body } => vec![CoreStmt::With {
+            setup: Box::new(CoreStmt::seq(optimize_list(setup, config, names))),
+            body: Box::new(CoreStmt::seq(optimize_list(body, config, names))),
+        }],
+        CoreStmt::If { cond, body } => {
+            let mut out = Vec::new();
+            for member in members(body) {
+                match member {
+                    // Conditional narrowing:
+                    // if x { with {s1} do {s2} } ⇝ with {s1} do { if x {s2} }.
+                    CoreStmt::With { setup, body: inner } if config.narrowing => {
+                        let narrowed_if = CoreStmt::If {
+                            cond: cond.clone(),
+                            body: inner.clone(),
+                        };
+                        out.push(CoreStmt::With {
+                            setup: Box::new(CoreStmt::seq(optimize_list(
+                                setup, config, names,
+                            ))),
+                            body: Box::new(CoreStmt::seq(optimize_stmt(
+                                &narrowed_if,
+                                config,
+                                names,
+                            ))),
+                        });
+                    }
+                    // Conditional flattening:
+                    // if x { if y { s } } ⇝ with { z ← x && y } do { if z { s } }.
+                    CoreStmt::If {
+                        cond: inner_cond,
+                        body: inner_body,
+                    } if config.flattening => {
+                        let z = names.fresh("z");
+                        let flattened_if = CoreStmt::If {
+                            cond: z.clone(),
+                            body: inner_body.clone(),
+                        };
+                        out.push(CoreStmt::With {
+                            setup: Box::new(CoreStmt::Assign {
+                                var: z,
+                                expr: CoreExpr::Bin(
+                                    CoreBinOp::And,
+                                    cond.clone(),
+                                    inner_cond.clone(),
+                                ),
+                            }),
+                            body: Box::new(CoreStmt::seq(optimize_stmt(
+                                &flattened_if,
+                                config,
+                                names,
+                            ))),
+                        });
+                    }
+                    other => {
+                        out.push(CoreStmt::If {
+                            cond: cond.clone(),
+                            body: Box::new(CoreStmt::seq(optimize_stmt(other, config, names))),
+                        });
+                    }
+                }
+            }
+            out
+        }
+    }
+}
+
+fn optimize_list(stmt: &CoreStmt, config: OptConfig, names: &mut NameGen) -> Vec<CoreStmt> {
+    members(stmt)
+        .into_iter()
+        .flat_map(|s| optimize_stmt(s, config, names))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tower::Symbol;
+
+    fn assign_bool(var: &str, b: bool) -> CoreStmt {
+        CoreStmt::Assign {
+            var: Symbol::new(var),
+            expr: CoreExpr::Value(tower::CoreValue::Bool(b)),
+        }
+    }
+
+    fn if_stmt(cond: &str, body: CoreStmt) -> CoreStmt {
+        CoreStmt::If {
+            cond: Symbol::new(cond),
+            body: Box::new(body),
+        }
+    }
+
+    /// Maximum `if`-nesting depth of a statement.
+    fn max_if_depth(stmt: &CoreStmt) -> usize {
+        match stmt {
+            CoreStmt::Seq(ss) => ss.iter().map(max_if_depth).max().unwrap_or(0),
+            CoreStmt::If { body, .. } => 1 + max_if_depth(body),
+            CoreStmt::With { setup, body } => max_if_depth(setup).max(max_if_depth(body)),
+            _ => 0,
+        }
+    }
+
+    #[test]
+    fn flattening_reduces_nesting_to_one() {
+        // if a { if b { if c { x <- true } } }
+        let nested = if_stmt(
+            "a",
+            if_stmt("b", if_stmt("c", assign_bool("x", true))),
+        );
+        let mut names = NameGen::new();
+        let optimized = optimize(&nested, OptConfig::spire(), &mut names);
+        assert_eq!(max_if_depth(&optimized), 1, "got:\n{}", tower::pretty(&optimized));
+    }
+
+    #[test]
+    fn narrowing_moves_if_into_do_block() {
+        // if x { with { t <- true } do { y <- t } }.
+        let stmt = if_stmt(
+            "x",
+            CoreStmt::With {
+                setup: Box::new(assign_bool("t", true)),
+                body: Box::new(CoreStmt::Assign {
+                    var: Symbol::new("y"),
+                    expr: CoreExpr::Var(Symbol::new("t")),
+                }),
+            },
+        );
+        let mut names = NameGen::new();
+        let optimized = optimize(&stmt, OptConfig::narrowing_only(), &mut names);
+        // Result: with { t <- true } do { if x { y <- t } }.
+        let CoreStmt::With { setup, body } = &optimized else {
+            panic!("expected with at top, got:\n{}", tower::pretty(&optimized));
+        };
+        assert!(matches!(**setup, CoreStmt::Assign { .. }));
+        assert!(matches!(**body, CoreStmt::If { .. }));
+    }
+
+    #[test]
+    fn sequence_under_if_is_split() {
+        let stmt = if_stmt(
+            "x",
+            CoreStmt::seq(vec![assign_bool("a", true), assign_bool("b", true)]),
+        );
+        let mut names = NameGen::new();
+        let optimized = optimize(&stmt, OptConfig::spire(), &mut names);
+        let CoreStmt::Seq(parts) = &optimized else {
+            panic!("expected split sequence, got:\n{}", tower::pretty(&optimized));
+        };
+        assert_eq!(parts.len(), 2);
+        assert!(parts.iter().all(|p| matches!(p, CoreStmt::If { .. })));
+    }
+
+    #[test]
+    fn flattening_only_expands_withs_first() {
+        // if a { with { t } do { if b { s } } }: flattening alone must still
+        // reach the inner if (via with-expansion).
+        let stmt = if_stmt(
+            "a",
+            CoreStmt::With {
+                setup: Box::new(assign_bool("t", true)),
+                body: Box::new(if_stmt("b", assign_bool("s", true))),
+            },
+        );
+        let mut names = NameGen::new();
+        let optimized = optimize(&stmt, OptConfig::flattening_only(), &mut names);
+        assert_eq!(max_if_depth(&optimized), 1, "got:\n{}", tower::pretty(&optimized));
+    }
+
+    #[test]
+    fn narrowing_alone_keeps_nested_ifs() {
+        let nested = if_stmt("a", if_stmt("b", assign_bool("x", true)));
+        let mut names = NameGen::new();
+        let optimized = optimize(&nested, OptConfig::narrowing_only(), &mut names);
+        assert_eq!(max_if_depth(&optimized), 2);
+    }
+
+    #[test]
+    fn none_is_identity() {
+        let nested = if_stmt("a", if_stmt("b", assign_bool("x", true)));
+        let mut names = NameGen::new();
+        assert_eq!(optimize(&nested, OptConfig::none(), &mut names), nested);
+    }
+
+    #[test]
+    fn figure_3_to_figure_7_shape() {
+        // Paper Figure 3:
+        // if x { if y { with { t <- z } do { if z { a <- ...; b <- ... } } } }
+        let fig3 = if_stmt(
+            "x",
+            if_stmt(
+                "y",
+                CoreStmt::With {
+                    setup: Box::new(CoreStmt::Assign {
+                        var: Symbol::new("t"),
+                        expr: CoreExpr::Var(Symbol::new("z")),
+                    }),
+                    body: Box::new(if_stmt(
+                        "z",
+                        CoreStmt::seq(vec![
+                            CoreStmt::Assign {
+                                var: Symbol::new("a"),
+                                expr: CoreExpr::Not(Symbol::new("t")),
+                            },
+                            assign_bool("b", true),
+                        ]),
+                    )),
+                },
+            ),
+        );
+        let mut names = NameGen::new();
+        let optimized = optimize(&fig3, OptConfig::spire(), &mut names);
+        // Figure 7: a single level of if remains, and the t <- z setup is
+        // outside every if.
+        assert_eq!(max_if_depth(&optimized), 1, "got:\n{}", tower::pretty(&optimized));
+        // The `t <- z` assignment must appear un-controlled: find it.
+        fn setup_has_uncontrolled_t(stmt: &CoreStmt, under_if: bool) -> bool {
+            match stmt {
+                CoreStmt::Seq(ss) => ss.iter().any(|s| setup_has_uncontrolled_t(s, under_if)),
+                CoreStmt::If { body, .. } => setup_has_uncontrolled_t(body, true),
+                CoreStmt::With { setup, body } => {
+                    setup_has_uncontrolled_t(setup, under_if)
+                        || setup_has_uncontrolled_t(body, under_if)
+                }
+                CoreStmt::Assign { var, expr } => {
+                    var == &Symbol::new("t")
+                        && matches!(expr, CoreExpr::Var(_))
+                        && !under_if
+                }
+                _ => false,
+            }
+        }
+        assert!(
+            setup_has_uncontrolled_t(&optimized, false),
+            "t <- z should escape all ifs:\n{}",
+            tower::pretty(&optimized)
+        );
+    }
+
+    #[test]
+    fn optimization_is_idempotent_on_flat_programs() {
+        let stmt = CoreStmt::seq(vec![
+            assign_bool("a", true),
+            if_stmt("a", assign_bool("b", true)),
+        ]);
+        let mut names = NameGen::new();
+        let once = optimize(&stmt, OptConfig::spire(), &mut names);
+        let twice = optimize(&once, OptConfig::spire(), &mut names);
+        assert_eq!(once, twice);
+    }
+}

@@ -1,0 +1,309 @@
+//! The end-to-end Spire compilation pipeline (paper Section 7):
+//! front end → program-level optimizations → with-expansion → register
+//! allocation → abstract circuit → concrete MCX circuit.
+
+use qcirc::{Circuit, CountingSink, GateHistogram, GateSink};
+use tower::{
+    front_end, typecheck_with, CompilationUnit, CoreStmt, Strictness, Symbol, Type, TypeInfo,
+    TypeTable, WordConfig,
+};
+
+use crate::abstract_circuit::AInstr;
+use crate::cost::CostEnv;
+use crate::error::SpireError;
+use crate::layout::{layout, AllocPolicy, Layout};
+use crate::opt::{optimize, OptConfig};
+use crate::select::select;
+
+/// Backend options.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CompileOptions {
+    /// Which program-level optimizations to run.
+    pub opt: OptConfig,
+    /// Register-allocation policy.
+    pub policy: AllocPolicy,
+}
+
+impl CompileOptions {
+    /// Full Spire optimizations, sound allocation.
+    pub fn spire() -> Self {
+        CompileOptions {
+            opt: OptConfig::spire(),
+            policy: AllocPolicy::Conservative,
+        }
+    }
+
+    /// No program-level optimization (baseline Tower), sound allocation.
+    pub fn baseline() -> Self {
+        CompileOptions {
+            opt: OptConfig::none(),
+            policy: AllocPolicy::Conservative,
+        }
+    }
+
+    /// Baseline with a specific optimization configuration.
+    pub fn with_opt(opt: OptConfig) -> Self {
+        CompileOptions {
+            opt,
+            policy: AllocPolicy::Conservative,
+        }
+    }
+}
+
+/// A fully compiled program: optimized IR, layout, and abstract circuit.
+///
+/// The concrete MCX circuit is produced on demand ([`Compiled::emit`] /
+/// [`Compiled::emit_into`]); gate counts come from the exact cost model
+/// ([`Compiled::histogram`]) without materializing gates.
+#[derive(Debug, Clone)]
+pub struct Compiled {
+    /// The post-optimization (with-ful) core IR.
+    pub ir: CoreStmt,
+    /// Machine layout.
+    pub layout: Layout,
+    /// The abstract circuit.
+    pub instrs: Vec<AInstr>,
+    /// Entry parameters.
+    pub inputs: Vec<(Symbol, Type)>,
+    /// The entry function's return variable.
+    pub ret_var: Symbol,
+    /// Type table.
+    pub table: TypeTable,
+    /// Variable types of the optimized program.
+    pub types: TypeInfo,
+}
+
+impl Compiled {
+    /// Exact gate histogram (closed form over the abstract circuit).
+    pub fn histogram(&self) -> GateHistogram {
+        let mut hist = GateHistogram::new();
+        for instr in &self.instrs {
+            hist += instr.histogram();
+        }
+        hist
+    }
+
+    /// T-complexity under the Figure 5/6 decompositions.
+    pub fn t_complexity(&self) -> u64 {
+        self.histogram().t_complexity()
+    }
+
+    /// MCX-complexity (idealized gate count).
+    pub fn mcx_complexity(&self) -> u64 {
+        self.histogram().mcx_complexity()
+    }
+
+    /// Stream the concrete MCX circuit into a sink.
+    pub fn emit_into<S: GateSink>(&self, sink: &mut S) {
+        for instr in &self.instrs {
+            instr.emit(sink);
+        }
+    }
+
+    /// Materialize the concrete MCX circuit.
+    pub fn emit(&self) -> Circuit {
+        let mut circuit = Circuit::new(self.layout.total_qubits);
+        self.emit_into(&mut circuit);
+        circuit
+    }
+
+    /// Count the emitted circuit's gates by streaming (no materialization).
+    pub fn counted_histogram(&self) -> GateHistogram {
+        let mut sink = CountingSink::new();
+        self.emit_into(&mut sink);
+        sink.into_histogram()
+    }
+
+    /// Qubits used by the MCX-level circuit.
+    pub fn qubits(&self) -> u32 {
+        self.layout.total_qubits
+    }
+
+    /// Qubits after decomposing to Toffoli gates (adds the Figure 5
+    /// ancillas for the widest MCX).
+    pub fn qubits_after_decomposition(&self) -> u32 {
+        let hist = self.histogram();
+        let max_controls = hist.max_controls() as u32;
+        self.layout.total_qubits + max_controls.saturating_sub(2)
+    }
+
+    /// A [`CostEnv`] for this program's cost analyses.
+    pub fn cost_env(&self) -> CostEnv<'_> {
+        CostEnv {
+            layout: &self.layout,
+            types: &self.types,
+            table: &self.table,
+        }
+    }
+}
+
+/// Compile a type-checked front-end unit with the given options.
+///
+/// # Errors
+///
+/// Propagates optimization-output type errors (none occur for well-formed
+/// inputs; re-checking implements the paper's soundness theorems as a
+/// runtime check), layout errors, and selection errors.
+pub fn compile_unit(
+    unit: &CompilationUnit,
+    options: &CompileOptions,
+) -> Result<Compiled, SpireError> {
+    let mut names = unit.names.clone();
+    let ir = optimize(&unit.core, options.opt, &mut names);
+    // Theorems 6.3/6.5 say the rewrites preserve well-formedness; check it.
+    let types = typecheck_with(&ir, &unit.inputs, &unit.table, Strictness::Relaxed)
+        .map_err(SpireError::Front)?;
+    let expanded = ir.expand_with();
+    let layout = layout(&expanded, &unit.inputs, &types, &unit.table, options.policy)?;
+    let instrs = select(&expanded, &layout, &types, &unit.table)?;
+    Ok(Compiled {
+        ir,
+        layout,
+        instrs,
+        inputs: unit.inputs.clone(),
+        ret_var: unit.ret_var.clone(),
+        table: unit.table.clone(),
+        types,
+    })
+}
+
+/// Compile Tower source text end to end.
+///
+/// # Errors
+///
+/// Propagates front-end and backend errors.
+///
+/// # Example
+///
+/// ```
+/// use spire::{compile_source, CompileOptions};
+/// use tower::WordConfig;
+///
+/// let src = r#"
+///     fun inc(x: uint) -> uint {
+///         let out <- x + 1;
+///         return out;
+///     }
+/// "#;
+/// let compiled = compile_source(
+///     src, "inc", 0, WordConfig::paper_default(), &CompileOptions::spire(),
+/// )?;
+/// assert!(compiled.mcx_complexity() > 0);
+/// # Ok::<(), spire::SpireError>(())
+/// ```
+pub fn compile_source(
+    source: &str,
+    entry: &str,
+    depth: i64,
+    config: WordConfig,
+    options: &CompileOptions,
+) -> Result<Compiled, SpireError> {
+    let unit = front_end(source, entry, depth, config).map_err(SpireError::Front)?;
+    compile_unit(&unit, options)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LENGTH_SRC: &str = r#"
+        type list = (uint, ptr<list>);
+        fun length[n](xs: ptr<list>, acc: uint) -> uint {
+            with {
+                let is_empty <- xs == null;
+            } do if is_empty {
+                let out <- acc;
+            } else with {
+                let temp <- default<list>;
+                *xs <-> temp;
+                let next <- temp.2;
+                let r <- acc + 1;
+            } do {
+                let out <- length[n-1](next, r);
+            }
+            return out;
+        }
+    "#;
+
+    fn compile_length(depth: i64, options: &CompileOptions) -> Compiled {
+        compile_source(
+            LENGTH_SRC,
+            "length",
+            depth,
+            WordConfig::paper_default(),
+            options,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn histogram_matches_emitted_circuit() {
+        // Theorems 5.1/5.2: the cost model equals the compiled circuit.
+        for options in [CompileOptions::baseline(), CompileOptions::spire()] {
+            let compiled = compile_length(3, &options);
+            assert_eq!(
+                compiled.histogram(),
+                compiled.counted_histogram(),
+                "cost model must match emission ({})",
+                options.opt.label()
+            );
+        }
+    }
+
+    #[test]
+    fn unoptimized_length_t_grows_quadratically() {
+        // Second difference of a quadratic is constant and positive.
+        let t: Vec<u64> = (2..=6)
+            .map(|n| compile_length(n, &CompileOptions::baseline()).t_complexity())
+            .collect();
+        let d1: Vec<i64> = t.windows(2).map(|w| w[1] as i64 - w[0] as i64).collect();
+        let d2: Vec<i64> = d1.windows(2).map(|w| w[1] - w[0]).collect();
+        assert!(d2.iter().all(|&x| x == d2[0]), "t={t:?} d2={d2:?}");
+        assert!(d2[0] > 0, "T-complexity must be superlinear, t={t:?}");
+    }
+
+    #[test]
+    fn optimized_length_t_grows_linearly() {
+        let t: Vec<u64> = (2..=6)
+            .map(|n| compile_length(n, &CompileOptions::spire()).t_complexity())
+            .collect();
+        let d1: Vec<i64> = t.windows(2).map(|w| w[1] as i64 - w[0] as i64).collect();
+        assert!(
+            d1.windows(2).all(|w| w[0] == w[1]),
+            "optimized T should be linear: t={t:?} d1={d1:?}"
+        );
+    }
+
+    #[test]
+    fn mcx_complexity_is_linear_both_ways() {
+        for options in [CompileOptions::baseline(), CompileOptions::spire()] {
+            let m: Vec<u64> = (2..=5)
+                .map(|n| compile_length(n, &options).mcx_complexity())
+                .collect();
+            let d1: Vec<i64> = m.windows(2).map(|w| w[1] as i64 - w[0] as i64).collect();
+            assert!(
+                d1.windows(2).all(|w| w[0] == w[1]),
+                "MCX should be linear ({}): {m:?}",
+                options.opt.label()
+            );
+        }
+    }
+
+    #[test]
+    fn optimization_reduces_t_complexity() {
+        let base = compile_length(8, &CompileOptions::baseline()).t_complexity();
+        let opt = compile_length(8, &CompileOptions::spire()).t_complexity();
+        assert!(
+            opt * 2 < base,
+            "Spire should cut T-complexity substantially: {base} -> {opt}"
+        );
+    }
+
+    #[test]
+    fn emit_produces_mcx_only_circuit() {
+        let compiled = compile_length(2, &CompileOptions::spire());
+        let circuit = compiled.emit();
+        assert_eq!(circuit.len() as u64, compiled.mcx_complexity());
+        assert_eq!(circuit.histogram(), compiled.histogram());
+    }
+}

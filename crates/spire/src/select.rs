@@ -1,0 +1,555 @@
+//! Instruction selection: core IR → abstract circuit.
+//!
+//! This is the compiler walk that both code generation and the exact cost
+//! model share. It threads the quantum-`if` control stack (each enclosing
+//! `if` contributes its condition qubit to every instruction), expands
+//! `with-do` blocks by the straightforward strategy `s₁; s₂; I[s₁]`, and
+//! maps un-assignments to reversed instructions.
+
+use qcirc::Qubit;
+use tower::{CoreBinOp, CoreExpr, CoreStmt, CoreValue, Symbol, Type, TypeInfo, TypeTable};
+
+use crate::abstract_circuit::{AInstr, AOp};
+use crate::error::SpireError;
+use crate::layout::{Layout, Reg};
+
+/// Lower a core-IR statement to abstract instructions under a layout.
+///
+/// # Errors
+///
+/// Reports missing registers (internal error), aliased memory swaps, and
+/// overlong memory cells.
+pub fn select(
+    stmt: &CoreStmt,
+    layout: &Layout,
+    types: &TypeInfo,
+    table: &TypeTable,
+) -> Result<Vec<AInstr>, SpireError> {
+    let mut ctx = Selector {
+        layout,
+        types,
+        table,
+        controls: Vec::new(),
+        out: Vec::new(),
+    };
+    ctx.stmt(stmt, false)?;
+    Ok(ctx.out)
+}
+
+struct Selector<'a> {
+    layout: &'a Layout,
+    types: &'a TypeInfo,
+    table: &'a TypeTable,
+    controls: Vec<Qubit>,
+    out: Vec<AInstr>,
+}
+
+impl Selector<'_> {
+    fn push(&mut self, op: AOp, reversed: bool) {
+        self.out.push(AInstr {
+            op,
+            controls: self.controls.clone(),
+            reversed,
+        });
+    }
+
+    /// Push an instruction that is pure conjugation (computed and undone
+    /// within its enclosing primitive): it carries no `if`-controls.
+    fn push_unconditional(&mut self, op: AOp) {
+        self.out.push(AInstr {
+            op,
+            controls: Vec::new(),
+            reversed: false,
+        });
+    }
+
+    fn width_of(&self, var: &Symbol) -> Result<u32, SpireError> {
+        let ty = self
+            .types
+            .var_types
+            .get(var)
+            .ok_or_else(|| SpireError::NoRegister { var: var.clone() })?;
+        self.table.width(ty).map_err(SpireError::Front)
+    }
+
+    fn stmt(&mut self, stmt: &CoreStmt, reversed: bool) -> Result<(), SpireError> {
+        match stmt {
+            CoreStmt::Skip => Ok(()),
+            CoreStmt::Seq(ss) => {
+                if reversed {
+                    for s in ss.iter().rev() {
+                        self.stmt(s, true)?;
+                    }
+                } else {
+                    for s in ss {
+                        self.stmt(s, false)?;
+                    }
+                }
+                Ok(())
+            }
+            CoreStmt::If { cond, body } => {
+                let reg = self.layout.reg(cond)?;
+                let qubit = reg.bit(0);
+                let pushed = if self.controls.contains(&qubit) {
+                    false
+                } else {
+                    self.controls.push(qubit);
+                    true
+                };
+                self.stmt(body, reversed)?;
+                if pushed {
+                    self.controls.pop();
+                }
+                Ok(())
+            }
+            CoreStmt::With { setup, body } => {
+                // Straightforward strategy: s₁; s₂; I[s₁] (or its reverse).
+                if reversed {
+                    self.stmt(setup, false)?;
+                    self.stmt(body, true)?;
+                    self.stmt(setup, true)
+                } else {
+                    self.stmt(setup, false)?;
+                    self.stmt(body, false)?;
+                    self.stmt(setup, true)
+                }
+            }
+            CoreStmt::Assign { var, expr } => self.assign(var, expr, reversed),
+            CoreStmt::Unassign { var, expr } => self.assign(var, expr, !reversed),
+            CoreStmt::Hadamard(var) => {
+                let reg = self.layout.reg(var)?;
+                self.push(AOp::Had { target: reg.bit(0) }, reversed);
+                Ok(())
+            }
+            CoreStmt::Swap(a, b) => {
+                if a == b {
+                    return Ok(()); // swapping a register with itself
+                }
+                let ra = self.layout.reg(a)?;
+                let rb = self.layout.reg(b)?;
+                if ra.width > 0 {
+                    self.push(AOp::SwapReg { a: ra, b: rb }, reversed);
+                }
+                Ok(())
+            }
+            CoreStmt::MemSwap { ptr, val } => {
+                if ptr == val {
+                    return Err(SpireError::AliasedMemSwap { var: ptr.clone() });
+                }
+                let addr = self.layout.reg(ptr)?;
+                let data = self.layout.reg(val)?;
+                let mem = self
+                    .layout
+                    .memory
+                    .clone()
+                    .expect("layout allocates memory for programs with memswap");
+                if data.width > mem.cell_width {
+                    return Err(SpireError::CellTooWide {
+                        requested: data.width,
+                        available: mem.cell_width,
+                    });
+                }
+                if data.width > 0 {
+                    let match_bit = self.layout.scratch_qram_match();
+                    self.push(
+                        AOp::MemSwap {
+                            addr,
+                            data,
+                            mem,
+                            match_bit,
+                        },
+                        reversed,
+                    );
+                }
+                Ok(())
+            }
+            CoreStmt::Alloc { var, .. } => {
+                let dst = self.layout.reg(var)?;
+                let mem = self
+                    .layout
+                    .memory
+                    .clone()
+                    .expect("layout allocates memory for programs with alloc");
+                let match_bit = self.layout.scratch_qram_match();
+                self.push(AOp::StackPop { dst, mem, match_bit }, reversed);
+                Ok(())
+            }
+            CoreStmt::Dealloc { var, .. } => {
+                let dst = self.layout.reg(var)?;
+                let mem = self
+                    .layout
+                    .memory
+                    .clone()
+                    .expect("layout allocates memory for programs with dealloc");
+                let match_bit = self.layout.scratch_qram_match();
+                self.push(AOp::StackPop { dst, mem, match_bit }, !reversed);
+                Ok(())
+            }
+        }
+    }
+
+    fn assign(&mut self, var: &Symbol, expr: &CoreExpr, reversed: bool) -> Result<(), SpireError> {
+        let dst = self.layout.reg(var)?;
+        let ops = self.ops_for_expr(dst, expr)?;
+        if reversed {
+            for (op, conjugation) in ops.into_iter().rev() {
+                if conjugation {
+                    self.push_unconditional(op);
+                } else {
+                    self.push(op, true);
+                }
+            }
+        } else {
+            for (op, conjugation) in ops {
+                if conjugation {
+                    self.push_unconditional(op);
+                } else {
+                    self.push(op, false);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Instructions computing `dst ^= expr`. The boolean marks conjugation
+    /// instructions (operand duplication) that never carry `if`-controls
+    /// and are their own inverse as a pair.
+    fn ops_for_expr(
+        &mut self,
+        dst: Reg,
+        expr: &CoreExpr,
+    ) -> Result<Vec<(AOp, bool)>, SpireError> {
+        let config = self.layout.config;
+        Ok(match expr {
+            CoreExpr::Value(value) => match value {
+                CoreValue::Unit => Vec::new(),
+                CoreValue::UInt(n) => {
+                    if *n == 0 || dst.width == 0 {
+                        Vec::new()
+                    } else {
+                        vec![(AOp::XorConst { dst, value: *n }, false)]
+                    }
+                }
+                CoreValue::Bool(b) => {
+                    if *b {
+                        vec![(AOp::XorConst { dst, value: 1 }, false)]
+                    } else {
+                        Vec::new()
+                    }
+                }
+                CoreValue::Null(_) | CoreValue::ZeroOf(_) => Vec::new(),
+                CoreValue::PtrLit(_, addr) => {
+                    if *addr == 0 {
+                        Vec::new()
+                    } else {
+                        vec![(AOp::XorConst { dst, value: *addr }, false)]
+                    }
+                }
+                CoreValue::Pair(x, y) => {
+                    let wx = self.width_of(x)?;
+                    let wy = self.width_of(y)?;
+                    let mut ops = Vec::new();
+                    if wx > 0 {
+                        ops.push((
+                            AOp::XorReg {
+                                dst: dst.slice(0, wx),
+                                src: self.layout.reg(x)?,
+                            },
+                            false,
+                        ));
+                    }
+                    if wy > 0 {
+                        ops.push((
+                            AOp::XorReg {
+                                dst: dst.slice(wx, wy),
+                                src: self.layout.reg(y)?,
+                            },
+                            false,
+                        ));
+                    }
+                    ops
+                }
+            },
+            CoreExpr::Var(x) => {
+                if dst.width == 0 {
+                    Vec::new()
+                } else {
+                    vec![(
+                        AOp::XorReg {
+                            dst,
+                            src: self.layout.reg(x)?,
+                        },
+                        false,
+                    )]
+                }
+            }
+            CoreExpr::Proj1(x) | CoreExpr::Proj2(x) => {
+                let src_reg = self.layout.reg(x)?;
+                let ty = self
+                    .types
+                    .var_types
+                    .get(x)
+                    .ok_or_else(|| SpireError::NoRegister { var: x.clone() })?;
+                let resolved = self.table.resolve_shallow(ty).map_err(SpireError::Front)?;
+                let Type::Pair(t1, t2) = resolved else {
+                    unreachable!("type checker accepts projections of pairs only");
+                };
+                let w1 = self.table.width(t1).map_err(SpireError::Front)?;
+                let w2 = self.table.width(t2).map_err(SpireError::Front)?;
+                let src = if matches!(expr, CoreExpr::Proj1(_)) {
+                    src_reg.slice(0, w1)
+                } else {
+                    src_reg.slice(w1, w2)
+                };
+                if src.width == 0 {
+                    Vec::new()
+                } else {
+                    vec![(AOp::XorReg { dst, src }, false)]
+                }
+            }
+            CoreExpr::Not(x) => vec![(
+                AOp::XorNot {
+                    dst,
+                    src: self.layout.reg(x)?,
+                },
+                false,
+            )],
+            CoreExpr::Test(x) => vec![(
+                AOp::XorTest {
+                    dst,
+                    src: self.layout.reg(x)?,
+                },
+                false,
+            )],
+            CoreExpr::Bin(op, a, b) => {
+                let ra = self.layout.reg(a)?;
+                let rb = self.layout.reg(b)?;
+                match op {
+                    CoreBinOp::And | CoreBinOp::Or if a == b => {
+                        // x && x == x || x == x.
+                        vec![(AOp::XorReg { dst, src: ra }, false)]
+                    }
+                    CoreBinOp::And => vec![(AOp::XorAnd { dst, a: ra, b: rb }, false)],
+                    CoreBinOp::Or => vec![(AOp::XorOr { dst, a: ra, b: rb }, false)],
+                    CoreBinOp::Sub if a == b => Vec::new(), // x - x == 0
+                    CoreBinOp::Add | CoreBinOp::Sub | CoreBinOp::Mul => {
+                        let carries = self.layout.scratch_carries();
+                        let (rb, mut ops) = if a == b {
+                            // Duplicate one operand through scratch so the
+                            // arithmetic circuits see distinct registers.
+                            let dup = self.layout.scratch_dup();
+                            (dup, vec![(AOp::XorReg { dst: dup, src: ra }, true)])
+                        } else {
+                            (rb, Vec::new())
+                        };
+                        let main = match op {
+                            CoreBinOp::Add => AOp::XorAdd {
+                                dst,
+                                a: ra,
+                                b: rb,
+                                carries,
+                            },
+                            CoreBinOp::Sub => AOp::XorSub {
+                                dst,
+                                a: ra,
+                                b: rb,
+                                carries,
+                            },
+                            CoreBinOp::Mul => AOp::XorMul {
+                                dst,
+                                a: ra,
+                                b: rb,
+                                product: self.layout.scratch_product(),
+                                cuccaro: self.layout.scratch_cuccaro(),
+                            },
+                            _ => unreachable!(),
+                        };
+                        ops.push((main, false));
+                        if a == b {
+                            let dup = self.layout.scratch_dup();
+                            ops.push((AOp::XorReg { dst: dup, src: ra }, true));
+                        }
+                        let _ = config;
+                        ops
+                    }
+                }
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::{layout, AllocPolicy};
+    use tower::{typecheck, NameGen, Symbol, TypeTable, WordConfig};
+
+    fn compile_ir(stmt: &CoreStmt, inputs: &[(Symbol, Type)]) -> Vec<AInstr> {
+        let table = TypeTable::new(WordConfig::paper_default());
+        let info = typecheck(stmt, inputs, &table).unwrap();
+        let l = layout(stmt, inputs, &info, &table, AllocPolicy::Conservative).unwrap();
+        select(stmt, &l, &info, &table).unwrap()
+    }
+
+    #[test]
+    fn if_contributes_controls() {
+        let c = Symbol::new("c");
+        let stmt = CoreStmt::If {
+            cond: c.clone(),
+            body: Box::new(CoreStmt::Assign {
+                var: Symbol::new("x"),
+                expr: CoreExpr::Value(CoreValue::UInt(3)),
+            }),
+        };
+        let instrs = compile_ir(&stmt, &[(c, Type::Bool)]);
+        assert_eq!(instrs.len(), 1);
+        assert_eq!(instrs[0].controls.len(), 1);
+    }
+
+    #[test]
+    fn nested_ifs_stack_controls() {
+        let stmt = CoreStmt::If {
+            cond: Symbol::new("a"),
+            body: Box::new(CoreStmt::If {
+                cond: Symbol::new("b"),
+                body: Box::new(CoreStmt::Assign {
+                    var: Symbol::new("x"),
+                    expr: CoreExpr::Value(CoreValue::Bool(true)),
+                }),
+            }),
+        };
+        let inputs = vec![(Symbol::new("a"), Type::Bool), (Symbol::new("b"), Type::Bool)];
+        let instrs = compile_ir(&stmt, &inputs);
+        assert_eq!(instrs[0].controls.len(), 2);
+    }
+
+    #[test]
+    fn with_expands_to_setup_body_reverse() {
+        let stmt = CoreStmt::With {
+            setup: Box::new(CoreStmt::Assign {
+                var: Symbol::new("t"),
+                expr: CoreExpr::Value(CoreValue::UInt(1)),
+            }),
+            body: Box::new(CoreStmt::Assign {
+                var: Symbol::new("out"),
+                expr: CoreExpr::Var(Symbol::new("t")),
+            }),
+        };
+        let instrs = compile_ir(&stmt, &[]);
+        assert_eq!(instrs.len(), 3);
+        assert!(!instrs[0].reversed);
+        assert!(!instrs[1].reversed);
+        assert!(instrs[2].reversed, "setup reversal");
+    }
+
+    #[test]
+    fn unassign_is_reversed_assign() {
+        let stmt = CoreStmt::seq(vec![
+            CoreStmt::Assign {
+                var: Symbol::new("x"),
+                expr: CoreExpr::Value(CoreValue::UInt(5)),
+            },
+            CoreStmt::Unassign {
+                var: Symbol::new("x"),
+                expr: CoreExpr::Value(CoreValue::UInt(5)),
+            },
+        ]);
+        let instrs = compile_ir(&stmt, &[]);
+        assert_eq!(instrs.len(), 2);
+        assert!(!instrs[0].reversed);
+        assert!(instrs[1].reversed);
+        assert_eq!(instrs[0].op, instrs[1].op);
+    }
+
+    #[test]
+    fn zero_assignments_emit_nothing() {
+        let stmt = CoreStmt::seq(vec![
+            CoreStmt::Assign {
+                var: Symbol::new("x"),
+                expr: CoreExpr::Value(CoreValue::UInt(0)),
+            },
+            CoreStmt::Assign {
+                var: Symbol::new("b"),
+                expr: CoreExpr::Value(CoreValue::Bool(false)),
+            },
+        ]);
+        let instrs = compile_ir(&stmt, &[]);
+        assert!(instrs.is_empty());
+    }
+
+    #[test]
+    fn same_operand_and_selects_copy() {
+        let b = Symbol::new("b");
+        let stmt = CoreStmt::Assign {
+            var: Symbol::new("x"),
+            expr: CoreExpr::Bin(CoreBinOp::And, b.clone(), b.clone()),
+        };
+        let instrs = compile_ir(&stmt, &[(b, Type::Bool)]);
+        assert_eq!(instrs.len(), 1);
+        assert!(matches!(instrs[0].op, AOp::XorReg { .. }));
+    }
+
+    #[test]
+    fn same_operand_sub_is_empty() {
+        let a = Symbol::new("a");
+        let stmt = CoreStmt::Assign {
+            var: Symbol::new("x"),
+            expr: CoreExpr::Bin(CoreBinOp::Sub, a.clone(), a.clone()),
+        };
+        let instrs = compile_ir(&stmt, &[(a, Type::UInt)]);
+        assert!(instrs.is_empty());
+    }
+
+    #[test]
+    fn same_operand_add_duplicates_through_scratch() {
+        let a = Symbol::new("a");
+        let stmt = CoreStmt::Assign {
+            var: Symbol::new("x"),
+            expr: CoreExpr::Bin(CoreBinOp::Add, a.clone(), a.clone()),
+        };
+        let instrs = compile_ir(&stmt, &[(a, Type::UInt)]);
+        assert_eq!(instrs.len(), 3);
+        assert!(matches!(instrs[0].op, AOp::XorReg { .. }));
+        assert!(matches!(instrs[1].op, AOp::XorAdd { .. }));
+        assert!(matches!(instrs[2].op, AOp::XorReg { .. }));
+        // Duplication is conjugation: never controlled.
+        assert!(instrs[0].controls.is_empty());
+    }
+
+    #[test]
+    fn aliased_memswap_is_rejected() {
+        let rp = Symbol::new("rp");
+        // type rp = ptr<rp> makes *p <-> p well-typed; selection rejects it.
+        let mut table = TypeTable::new(WordConfig::paper_default());
+        table
+            .define(rp.clone(), Type::ptr(Type::Named(rp.clone())))
+            .unwrap();
+        let p = Symbol::new("p");
+        let stmt = CoreStmt::MemSwap {
+            ptr: p.clone(),
+            val: p.clone(),
+        };
+        let inputs = vec![(p, Type::Named(rp))];
+        let info = typecheck(&stmt, &inputs, &table).unwrap();
+        let l = layout(&stmt, &inputs, &info, &table, AllocPolicy::Conservative).unwrap();
+        assert!(matches!(
+            select(&stmt, &l, &info, &table),
+            Err(SpireError::AliasedMemSwap { .. })
+        ));
+        let mut names = NameGen::new();
+        let _ = names.fresh("unused");
+    }
+
+    #[test]
+    fn pair_assignment_copies_both_fields() {
+        let a = Symbol::new("a");
+        let b = Symbol::new("b");
+        let stmt = CoreStmt::Assign {
+            var: Symbol::new("p"),
+            expr: CoreExpr::Value(CoreValue::Pair(a.clone(), b.clone())),
+        };
+        let inputs = vec![(a, Type::UInt), (b, Type::Bool)];
+        let instrs = compile_ir(&stmt, &inputs);
+        assert_eq!(instrs.len(), 2);
+    }
+}

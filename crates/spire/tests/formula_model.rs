@@ -1,0 +1,135 @@
+//! The paper's formula-based cost model (Section 5 recurrences with the
+//! constants c_ctrl = 14 and c_CH) against the exact histogram model: the
+//! formula is an asymptotically faithful over-approximation — same degree
+//! as the exact model on the paper's running example, never smaller than
+//! the true T-count on control-dominated programs.
+
+use spire::cost::{exact_histogram, formula_mcx, formula_t, CostEnv, FormulaConstants};
+use spire::{compile_source, CompileOptions};
+use tower::WordConfig;
+
+const LENGTH_SIMPLE: &str = r#"
+type list = (uint, ptr<list>);
+fun length_simple[n](xs: ptr<list>, acc: uint) -> uint {
+    with {
+        let is_empty <- xs == null;
+    } do if is_empty {
+        let out <- acc;
+    } else with {
+        let temp <- default<list>;
+        let next <- temp.2;
+        let r <- acc;
+    } do {
+        let out <- length_simple[n-1](next, r);
+    }
+    return out;
+}
+"#;
+
+fn degree(points: &[(i64, u64)]) -> usize {
+    // Second difference constant → quadratic; first difference constant →
+    // linear.
+    let d1: Vec<i64> = points
+        .windows(2)
+        .map(|w| w[1].1 as i64 - w[0].1 as i64)
+        .collect();
+    if d1.windows(2).all(|w| w[0] == w[1]) {
+        return 1;
+    }
+    let d2: Vec<i64> = d1.windows(2).map(|w| w[1] - w[0]).collect();
+    assert!(
+        d2.windows(2).all(|w| w[0] == w[1]),
+        "expected degree <= 2: {points:?}"
+    );
+    2
+}
+
+#[test]
+fn formula_model_has_the_exact_models_degree() {
+    let mut exact = Vec::new();
+    let mut formula = Vec::new();
+    let mut formula_mcx_points = Vec::new();
+    for n in 2..=7 {
+        let compiled = compile_source(
+            LENGTH_SIMPLE,
+            "length_simple",
+            n,
+            WordConfig::paper_default(),
+            &CompileOptions::baseline(),
+        )
+        .unwrap();
+        let env = CostEnv {
+            layout: &compiled.layout,
+            types: &compiled.types,
+            table: &compiled.table,
+        };
+        exact.push((n, exact_histogram(&compiled.ir, &env).unwrap().t_complexity()));
+        formula.push((
+            n,
+            formula_t(&compiled.ir, &env, FormulaConstants::paper()).unwrap(),
+        ));
+        formula_mcx_points.push((n, formula_mcx(&compiled.ir, &env).unwrap()));
+    }
+    assert_eq!(degree(&exact), 2, "exact model is quadratic: {exact:?}");
+    assert_eq!(degree(&formula), 2, "formula model is quadratic: {formula:?}");
+    assert_eq!(
+        degree(&formula_mcx_points),
+        1,
+        "formula MCX-complexity is linear: {formula_mcx_points:?}"
+    );
+}
+
+#[test]
+fn formula_mcx_equals_exact_mcx() {
+    // C_MCX ignores controls entirely, so the formula recurrence and the
+    // exact histogram agree exactly.
+    for n in 2..=5 {
+        let compiled = compile_source(
+            LENGTH_SIMPLE,
+            "length_simple",
+            n,
+            WordConfig::paper_default(),
+            &CompileOptions::baseline(),
+        )
+        .unwrap();
+        let env = CostEnv {
+            layout: &compiled.layout,
+            types: &compiled.types,
+            table: &compiled.table,
+        };
+        assert_eq!(
+            formula_mcx(&compiled.ir, &env).unwrap(),
+            exact_histogram(&compiled.ir, &env).unwrap().mcx_complexity(),
+            "n = {n}"
+        );
+    }
+}
+
+#[test]
+fn formula_model_overapproximates_on_this_suite() {
+    // c_ctrl = 14 charges the full two-Toffoli increment for every control
+    // bit, including the first two (which the real decomposition gets for
+    // 0 or 7 T). On control-dominated programs the formula is therefore an
+    // upper bound.
+    for n in 2..=6 {
+        let compiled = compile_source(
+            LENGTH_SIMPLE,
+            "length_simple",
+            n,
+            WordConfig::paper_default(),
+            &CompileOptions::baseline(),
+        )
+        .unwrap();
+        let env = CostEnv {
+            layout: &compiled.layout,
+            types: &compiled.types,
+            table: &compiled.table,
+        };
+        let exact = exact_histogram(&compiled.ir, &env).unwrap().t_complexity();
+        let formula = formula_t(&compiled.ir, &env, FormulaConstants::paper()).unwrap();
+        assert!(
+            formula >= exact,
+            "formula {formula} should dominate exact {exact} at n = {n}"
+        );
+    }
+}

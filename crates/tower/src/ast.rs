@@ -1,0 +1,220 @@
+//! Surface abstract syntax of the Tower language, as written by the
+//! programmer (paper Figure 1): functions with recursion-depth annotations,
+//! `with-do` blocks, `if-else`, compound expressions, and calls — all of
+//! which lower to the core IR of Figure 13.
+
+use crate::symbol::Symbol;
+use crate::types::Type;
+
+/// A whole source program: type declarations plus function definitions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// `type name = τ;` declarations.
+    pub types: Vec<TypeDef>,
+    /// `fun` definitions.
+    pub funs: Vec<FunDef>,
+}
+
+impl Program {
+    /// Look up a function by name.
+    pub fn fun(&self, name: &Symbol) -> Option<&FunDef> {
+        self.funs.iter().find(|f| &f.name == name)
+    }
+}
+
+/// A `type name = τ;` declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TypeDef {
+    /// Declared name.
+    pub name: Symbol,
+    /// Definition.
+    pub ty: Type,
+}
+
+/// A function definition.
+///
+/// `fun name[d](x₁: τ₁, …) -> τ { body…; return r; }`. The depth parameter
+/// `[d]` makes the definition a compile-time family: calls supply a depth,
+/// and the compiler unrolls recursion to that depth (paper Section 3.1).
+/// Calls at depth ≤ 0 evaluate to the zero value of the return type.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunDef {
+    /// Function name.
+    pub name: Symbol,
+    /// Optional recursion-depth parameter.
+    pub depth_param: Option<Symbol>,
+    /// Parameters with their types.
+    pub params: Vec<(Symbol, Type)>,
+    /// Return type (used to zero-initialize depth-0 call results).
+    pub ret_ty: Type,
+    /// Body statements, ending just before `return`.
+    pub body: Vec<Stmt>,
+    /// The returned variable.
+    pub ret_var: Symbol,
+}
+
+/// A surface statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `let x <- e;` — initialize `x` to zero and XOR `e` into it.
+    Let {
+        /// Target variable.
+        var: Symbol,
+        /// Right-hand side.
+        expr: Expr,
+    },
+    /// `let x -> e;` — un-assignment: XOR `e` out of `x` and un-declare it.
+    UnLet {
+        /// Target variable.
+        var: Symbol,
+        /// Right-hand side.
+        expr: Expr,
+    },
+    /// `with { setup } do { body }` — run setup, body, then setup reversed.
+    With {
+        /// Statements whose effect is undone after the body.
+        setup: Vec<Stmt>,
+        /// The block executed between setup and its reversal.
+        body: Vec<Stmt>,
+    },
+    /// `if e { then } else { els }` — quantum conditional.
+    If {
+        /// Condition (may be compound; lowering hoists it).
+        cond: Expr,
+        /// Statements executed in states where the condition holds.
+        then_block: Vec<Stmt>,
+        /// Optional else-branch.
+        else_block: Option<Vec<Stmt>>,
+    },
+    /// `x <-> y;` — swap two variables.
+    Swap(Symbol, Symbol),
+    /// `*p <-> v;` — swap `v` with the memory cell `p` points to.
+    MemSwap(Symbol, Symbol),
+    /// `had x;` — Hadamard on a boolean variable.
+    Hadamard(Symbol),
+    /// `alloc x : τ;` — pop a fresh cell for a `ptr<τ>` off the free stack.
+    Alloc {
+        /// The pointer variable to bind.
+        var: Symbol,
+        /// Pointee type.
+        pointee: Type,
+    },
+    /// `dealloc x : τ;` — return `x`'s (zeroed) cell to the free stack.
+    Dealloc {
+        /// The pointer variable to release.
+        var: Symbol,
+        /// Pointee type.
+        pointee: Type,
+    },
+    /// `return x;` — only valid as the last statement of a function body.
+    Return(Symbol),
+}
+
+/// Binary operators of the surface language.
+///
+/// `==` and `!=` are surface-only sugar (the core has no comparison
+/// operators); lowering rewrites them with subtraction and `test`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// Boolean conjunction.
+    And,
+    /// Boolean disjunction.
+    Or,
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+    /// Equality (sugar).
+    Eq,
+    /// Disequality (sugar).
+    Ne,
+}
+
+/// A surface expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Variable reference.
+    Var(Symbol),
+    /// Unsigned integer literal.
+    UIntLit(u64),
+    /// Boolean literal.
+    BoolLit(bool),
+    /// The unit value `()`.
+    UnitLit,
+    /// The null pointer.
+    Null,
+    /// `default<τ>` — the all-zero value of type τ.
+    Default(Type),
+    /// Pair construction.
+    Pair(Box<Expr>, Box<Expr>),
+    /// Projection `e.1` or `e.2`.
+    Proj(Box<Expr>, u8),
+    /// Boolean negation.
+    Not(Box<Expr>),
+    /// `test e` — true iff `e` has a nonzero representation.
+    Test(Box<Expr>),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Function call `f[d](args…)`.
+    Call {
+        /// Callee.
+        fun: Symbol,
+        /// Recursion-depth argument, if the callee takes one.
+        depth: Option<DepthExpr>,
+        /// Arguments (restricted to variables/literals by the inliner).
+        args: Vec<Expr>,
+    },
+}
+
+/// A compile-time recursion-depth expression: `n`, `n - k`, or a literal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DepthExpr {
+    /// A literal depth.
+    Lit(i64),
+    /// The enclosing function's depth parameter.
+    Var(Symbol),
+    /// The depth parameter minus a constant.
+    Sub(Symbol, i64),
+}
+
+impl DepthExpr {
+    /// Evaluate under a binding of the enclosing depth parameter.
+    pub fn eval(&self, param: Option<(&Symbol, i64)>) -> Result<i64, crate::TowerError> {
+        let lookup = |s: &Symbol| match param {
+            Some((p, v)) if p == s => Ok(v),
+            _ => Err(crate::TowerError::BadDepthExpr {
+                message: format!("`{s}` is not the enclosing depth parameter"),
+            }),
+        };
+        match self {
+            DepthExpr::Lit(v) => Ok(*v),
+            DepthExpr::Var(s) => lookup(s),
+            DepthExpr::Sub(s, k) => Ok(lookup(s)? - k),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn depth_expr_evaluates() {
+        let n = Symbol::new("n");
+        assert_eq!(DepthExpr::Lit(3).eval(None).unwrap(), 3);
+        assert_eq!(DepthExpr::Var(n.clone()).eval(Some((&n, 7))).unwrap(), 7);
+        assert_eq!(
+            DepthExpr::Sub(n.clone(), 2).eval(Some((&n, 7))).unwrap(),
+            5
+        );
+    }
+
+    #[test]
+    fn depth_expr_rejects_foreign_variable() {
+        let n = Symbol::new("n");
+        let m = Symbol::new("m");
+        assert!(DepthExpr::Var(m).eval(Some((&n, 7))).is_err());
+    }
+}

@@ -1,0 +1,419 @@
+//! The core intermediate representation of Tower (paper Figure 13),
+//! extended — as Spire extends it (paper Section 7) — with `with-do`
+//! blocks, plus the memory-allocation statements that Tower's Boson
+//! allocator provides.
+//!
+//! Every surface construct lowers to this IR: function calls are inlined,
+//! compound expressions are flattened through temporaries, and `if-else`
+//! desugars to a pair of one-armed `if`s under a negated condition. The
+//! cost model, the program-level optimizations, and code generation all
+//! operate here.
+
+use std::collections::HashSet;
+
+use crate::symbol::Symbol;
+use crate::types::Type;
+
+/// A core-IR statement (paper Figure 13 plus `with` and alloc/dealloc).
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreStmt {
+    /// No-op.
+    Skip,
+    /// Sequential composition (n-ary for convenience).
+    Seq(Vec<CoreStmt>),
+    /// Quantum conditional `if x { s }`: `s` executes in the classical
+    /// states of the superposition where `x` is true.
+    If {
+        /// Boolean condition variable (must not be modified by the body).
+        cond: Symbol,
+        /// Conditioned statement.
+        body: Box<CoreStmt>,
+    },
+    /// `with { s₁ } do { s₂ }` ≡ `s₁; s₂; I[s₁]` (paper Section 4,
+    /// "Derived Forms"); kept primitive so conditional narrowing can see it.
+    With {
+        /// Setup whose effect is reversed after the body.
+        setup: Box<CoreStmt>,
+        /// Body.
+        body: Box<CoreStmt>,
+    },
+    /// Assignment `x ← e`: declares `x` and XORs the value of `e` into its
+    /// (zero-initialized, or re-declared) register.
+    Assign {
+        /// Target variable.
+        var: Symbol,
+        /// Source expression.
+        expr: CoreExpr,
+    },
+    /// Un-assignment `x → e`: XORs the value of `e` out of `x`'s register
+    /// (restoring zero) and un-declares `x`.
+    Unassign {
+        /// Target variable.
+        var: Symbol,
+        /// Source expression.
+        expr: CoreExpr,
+    },
+    /// Hadamard gate on a boolean variable.
+    Hadamard(Symbol),
+    /// Swap the values of two variables.
+    Swap(Symbol, Symbol),
+    /// `*p ⇔ v`: swap `v` with the memory cell addressed by `p`
+    /// (a qRAM operation; dereferencing null is a no-op).
+    MemSwap {
+        /// Pointer variable.
+        ptr: Symbol,
+        /// Value variable swapped with the cell.
+        val: Symbol,
+    },
+    /// Pop a free cell from the allocator's free stack into `var`
+    /// (declares `var : ptr<pointee>`).
+    Alloc {
+        /// The pointer variable to bind.
+        var: Symbol,
+        /// Pointee type.
+        pointee: Type,
+    },
+    /// Push `var`'s cell back onto the free stack (the cell must already be
+    /// zeroed); un-declares `var`.
+    Dealloc {
+        /// The pointer variable to release.
+        var: Symbol,
+        /// Pointee type.
+        pointee: Type,
+    },
+}
+
+/// A core-IR expression: operands are variables only (paper Figure 13).
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreExpr {
+    /// A literal value.
+    Value(CoreValue),
+    /// Copy of another variable.
+    Var(Symbol),
+    /// First projection of a pair variable.
+    Proj1(Symbol),
+    /// Second projection of a pair variable.
+    Proj2(Symbol),
+    /// Boolean negation of a variable.
+    Not(Symbol),
+    /// `test x`: true iff `x`'s representation is nonzero.
+    Test(Symbol),
+    /// Binary operation on two variables.
+    Bin(CoreBinOp, Symbol, Symbol),
+}
+
+/// Core binary operators (paper Figure 13).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CoreBinOp {
+    /// Boolean conjunction.
+    And,
+    /// Boolean disjunction.
+    Or,
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Wrapping multiplication.
+    Mul,
+}
+
+/// A core-IR literal value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreValue {
+    /// `()`.
+    Unit,
+    /// Unsigned integer literal.
+    UInt(u64),
+    /// Boolean literal.
+    Bool(bool),
+    /// Null pointer to the given pointee type.
+    Null(Type),
+    /// Pointer literal (address) to the given pointee type.
+    PtrLit(Type, u64),
+    /// Pair of two variables.
+    Pair(Symbol, Symbol),
+    /// The all-zero value of a type (`default<τ>`).
+    ZeroOf(Type),
+}
+
+impl CoreValue {
+    /// Whether this value has an all-zero bit representation, in which case
+    /// assigning it emits no gates (paper Section 5's `c^MCX_s = 0` cases).
+    pub fn is_zero(&self) -> bool {
+        match self {
+            CoreValue::Unit | CoreValue::Null(_) | CoreValue::ZeroOf(_) => true,
+            CoreValue::UInt(n) => *n == 0,
+            CoreValue::Bool(b) => !b,
+            CoreValue::PtrLit(_, a) => *a == 0,
+            CoreValue::Pair(_, _) => false,
+        }
+    }
+}
+
+impl CoreExpr {
+    /// Variables read by this expression.
+    pub fn reads(&self) -> Vec<Symbol> {
+        match self {
+            CoreExpr::Value(CoreValue::Pair(a, b)) => vec![a.clone(), b.clone()],
+            CoreExpr::Value(_) => Vec::new(),
+            CoreExpr::Var(x)
+            | CoreExpr::Proj1(x)
+            | CoreExpr::Proj2(x)
+            | CoreExpr::Not(x)
+            | CoreExpr::Test(x) => vec![x.clone()],
+            CoreExpr::Bin(_, a, b) => vec![a.clone(), b.clone()],
+        }
+    }
+}
+
+impl CoreStmt {
+    /// Build a sequence, flattening nested sequences and dropping skips.
+    pub fn seq(stmts: Vec<CoreStmt>) -> CoreStmt {
+        let mut flat = Vec::new();
+        fn push(flat: &mut Vec<CoreStmt>, s: CoreStmt) {
+            match s {
+                CoreStmt::Skip => {}
+                CoreStmt::Seq(ss) => {
+                    for s in ss {
+                        push(flat, s);
+                    }
+                }
+                other => flat.push(other),
+            }
+        }
+        for s in stmts {
+            push(&mut flat, s);
+        }
+        match flat.len() {
+            0 => CoreStmt::Skip,
+            1 => flat.into_iter().next().expect("one element"),
+            _ => CoreStmt::Seq(flat),
+        }
+    }
+
+    /// The set of variables the statement may modify — the `mod(s)` function
+    /// of paper Figure 20, used by rule S-If's side condition.
+    pub fn mod_set(&self) -> HashSet<Symbol> {
+        let mut set = HashSet::new();
+        self.collect_mods(&mut set);
+        set
+    }
+
+    fn collect_mods(&self, set: &mut HashSet<Symbol>) {
+        match self {
+            CoreStmt::Skip => {}
+            CoreStmt::Seq(ss) => {
+                for s in ss {
+                    s.collect_mods(set);
+                }
+            }
+            CoreStmt::If { body, .. } => body.collect_mods(set),
+            CoreStmt::With { setup, body } => {
+                setup.collect_mods(set);
+                body.collect_mods(set);
+            }
+            CoreStmt::Assign { var, .. }
+            | CoreStmt::Unassign { var, .. }
+            | CoreStmt::Hadamard(var)
+            | CoreStmt::Alloc { var, .. }
+            | CoreStmt::Dealloc { var, .. } => {
+                set.insert(var.clone());
+            }
+            CoreStmt::Swap(a, b) => {
+                set.insert(a.clone());
+                set.insert(b.clone());
+            }
+            // The pointer is read, not written; the cell and `val` change.
+            CoreStmt::MemSwap { val, .. } => {
+                set.insert(val.clone());
+            }
+        }
+    }
+
+    /// The reversal operator `I[s]` (paper Section 4):
+    /// `I[s₁;s₂] = I[s₂];I[s₁]`, `I[x←e] = x→e` and vice versa,
+    /// `I[if x {s}] = if x {I[s]}`, `I[with{s₁}do{s₂}] = with{s₁}do{I[s₂]}`,
+    /// and every other statement is its own reverse.
+    pub fn reversed(&self) -> CoreStmt {
+        match self {
+            CoreStmt::Skip => CoreStmt::Skip,
+            CoreStmt::Seq(ss) => {
+                CoreStmt::Seq(ss.iter().rev().map(CoreStmt::reversed).collect())
+            }
+            CoreStmt::If { cond, body } => CoreStmt::If {
+                cond: cond.clone(),
+                body: Box::new(body.reversed()),
+            },
+            CoreStmt::With { setup, body } => CoreStmt::With {
+                setup: setup.clone(),
+                body: Box::new(body.reversed()),
+            },
+            CoreStmt::Assign { var, expr } => CoreStmt::Unassign {
+                var: var.clone(),
+                expr: expr.clone(),
+            },
+            CoreStmt::Unassign { var, expr } => CoreStmt::Assign {
+                var: var.clone(),
+                expr: expr.clone(),
+            },
+            CoreStmt::Alloc { var, pointee } => CoreStmt::Dealloc {
+                var: var.clone(),
+                pointee: pointee.clone(),
+            },
+            CoreStmt::Dealloc { var, pointee } => CoreStmt::Alloc {
+                var: var.clone(),
+                pointee: pointee.clone(),
+            },
+            same @ (CoreStmt::Hadamard(_) | CoreStmt::Swap(_, _) | CoreStmt::MemSwap { .. }) => {
+                same.clone()
+            }
+        }
+    }
+
+    /// Expand every `with { s₁ } do { s₂ }` into `s₁; s₂; I[s₁]`
+    /// (the "straightforward strategy" the paper compiles with).
+    pub fn expand_with(&self) -> CoreStmt {
+        match self {
+            CoreStmt::Skip => CoreStmt::Skip,
+            CoreStmt::Seq(ss) => CoreStmt::seq(ss.iter().map(CoreStmt::expand_with).collect()),
+            CoreStmt::If { cond, body } => CoreStmt::If {
+                cond: cond.clone(),
+                body: Box::new(body.expand_with()),
+            },
+            CoreStmt::With { setup, body } => {
+                let setup = setup.expand_with();
+                let body = body.expand_with();
+                let reversed = setup.reversed();
+                CoreStmt::seq(vec![setup, body, reversed])
+            }
+            other => other.clone(),
+        }
+    }
+
+    /// Number of primitive statements (a rough program-size measure).
+    pub fn size(&self) -> usize {
+        match self {
+            CoreStmt::Skip => 0,
+            CoreStmt::Seq(ss) => ss.iter().map(CoreStmt::size).sum(),
+            CoreStmt::If { body, .. } => 1 + body.size(),
+            CoreStmt::With { setup, body } => 1 + setup.size() + body.size(),
+            _ => 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assign(var: &str, n: u64) -> CoreStmt {
+        CoreStmt::Assign {
+            var: Symbol::new(var),
+            expr: CoreExpr::Value(CoreValue::UInt(n)),
+        }
+    }
+
+    #[test]
+    fn seq_flattens_and_drops_skip() {
+        let s = CoreStmt::seq(vec![
+            CoreStmt::Skip,
+            CoreStmt::Seq(vec![assign("a", 1), assign("b", 2)]),
+            CoreStmt::Skip,
+        ]);
+        let CoreStmt::Seq(ss) = &s else {
+            panic!("expected Seq, got {s:?}")
+        };
+        assert_eq!(ss.len(), 2);
+        assert_eq!(CoreStmt::seq(vec![]), CoreStmt::Skip);
+        assert_eq!(CoreStmt::seq(vec![assign("a", 1)]), assign("a", 1));
+    }
+
+    #[test]
+    fn double_reversal_is_identity() {
+        let s = CoreStmt::seq(vec![
+            assign("a", 1),
+            CoreStmt::If {
+                cond: Symbol::new("c"),
+                body: Box::new(CoreStmt::Swap(Symbol::new("a"), Symbol::new("b"))),
+            },
+            CoreStmt::With {
+                setup: Box::new(assign("t", 3)),
+                body: Box::new(CoreStmt::Hadamard(Symbol::new("q"))),
+            },
+        ]);
+        assert_eq!(s.reversed().reversed(), s);
+    }
+
+    #[test]
+    fn reversal_swaps_assign_and_unassign() {
+        let s = assign("a", 1);
+        assert!(matches!(s.reversed(), CoreStmt::Unassign { .. }));
+        assert!(matches!(s.reversed().reversed(), CoreStmt::Assign { .. }));
+    }
+
+    #[test]
+    fn reversal_swaps_alloc_and_dealloc() {
+        let s = CoreStmt::Alloc {
+            var: Symbol::new("p"),
+            pointee: Type::UInt,
+        };
+        assert!(matches!(s.reversed(), CoreStmt::Dealloc { .. }));
+    }
+
+    #[test]
+    fn with_expansion_matches_definition() {
+        let setup = assign("t", 1);
+        let body = assign("out", 2);
+        let with = CoreStmt::With {
+            setup: Box::new(setup.clone()),
+            body: Box::new(body.clone()),
+        };
+        assert_eq!(
+            with.expand_with(),
+            CoreStmt::seq(vec![setup.clone(), body, setup.reversed()])
+        );
+    }
+
+    #[test]
+    fn mod_set_matches_figure_20() {
+        let s = CoreStmt::seq(vec![
+            CoreStmt::Swap(Symbol::new("a"), Symbol::new("b")),
+            CoreStmt::MemSwap {
+                ptr: Symbol::new("p"),
+                val: Symbol::new("v"),
+            },
+            CoreStmt::If {
+                cond: Symbol::new("c"),
+                body: Box::new(assign("x", 1)),
+            },
+        ]);
+        let mods = s.mod_set();
+        for name in ["a", "b", "v", "x"] {
+            assert!(mods.contains(&Symbol::new(name)), "{name} should be modified");
+        }
+        // The pointer of a memswap and the if-condition are not modified.
+        assert!(!mods.contains(&Symbol::new("p")));
+        assert!(!mods.contains(&Symbol::new("c")));
+    }
+
+    #[test]
+    fn zero_values_are_recognized() {
+        assert!(CoreValue::UInt(0).is_zero());
+        assert!(CoreValue::Null(Type::UInt).is_zero());
+        assert!(CoreValue::ZeroOf(Type::Bool).is_zero());
+        assert!(!CoreValue::UInt(3).is_zero());
+        assert!(!CoreValue::Bool(true).is_zero());
+    }
+
+    #[test]
+    fn size_counts_primitives() {
+        let s = CoreStmt::seq(vec![
+            assign("a", 1),
+            CoreStmt::If {
+                cond: Symbol::new("c"),
+                body: Box::new(assign("b", 2)),
+            },
+        ]);
+        assert_eq!(s.size(), 3);
+    }
+}

@@ -1,0 +1,195 @@
+//! Error type shared by the Tower front end.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::symbol::Symbol;
+
+/// Errors produced while lexing, parsing, type checking, inlining, or
+/// lowering a Tower program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TowerError {
+    /// A lexical error with source position.
+    Lex {
+        /// 1-based line.
+        line: usize,
+        /// 1-based column.
+        col: usize,
+        /// Description.
+        message: String,
+    },
+    /// A syntax error with source position.
+    Parse {
+        /// 1-based line.
+        line: usize,
+        /// 1-based column.
+        col: usize,
+        /// Description.
+        message: String,
+    },
+    /// A `type` name was declared twice.
+    DuplicateType {
+        /// The duplicated name.
+        name: Symbol,
+    },
+    /// A `fun` name was declared twice.
+    DuplicateFun {
+        /// The duplicated name.
+        name: Symbol,
+    },
+    /// Reference to an undeclared type name.
+    UnknownType {
+        /// The missing name.
+        name: Symbol,
+    },
+    /// A type whose layout does not terminate (recursion not guarded by a
+    /// pointer).
+    CyclicType {
+        /// Rendering of the offending type.
+        ty: String,
+    },
+    /// Reference to an undeclared function.
+    UnknownFun {
+        /// The missing name.
+        name: Symbol,
+    },
+    /// Reference to an unbound variable.
+    UnboundVar {
+        /// The missing variable.
+        var: Symbol,
+    },
+    /// A statement was ill-typed.
+    TypeMismatch {
+        /// What was being checked.
+        context: String,
+        /// Expected type rendering.
+        expected: String,
+        /// Found type rendering.
+        found: String,
+    },
+    /// A variable was re-declared at a different type than its original
+    /// declaration (re-declaration is only permitted at the same type so
+    /// that it can share the original's register).
+    RedeclaredAtDifferentType {
+        /// The variable.
+        var: Symbol,
+        /// Original type rendering.
+        original: String,
+        /// New type rendering.
+        new: String,
+    },
+    /// The condition of a quantum `if` is modified by its body
+    /// (violates rule S-If's `x ∉ mod(s)` side condition).
+    IfConditionModified {
+        /// The condition variable.
+        var: Symbol,
+    },
+    /// The body of a quantum `if` un-declares a variable from the outer
+    /// scope (violates S-If's `dom Γ ⊆ dom Γ'` side condition).
+    IfUndeclaresOuter {
+        /// The variable removed by the body.
+        var: Symbol,
+    },
+    /// A function call used the wrong number of arguments.
+    ArityMismatch {
+        /// Function name.
+        fun: Symbol,
+        /// Declared parameter count.
+        expected: usize,
+        /// Call-site argument count.
+        found: usize,
+    },
+    /// A recursion-depth expression used a variable that is not the
+    /// enclosing function's depth parameter.
+    BadDepthExpr {
+        /// Description.
+        message: String,
+    },
+    /// Function inlining exceeded its expansion budget (likely unbounded
+    /// recursion without a decreasing depth annotation).
+    InlineBudgetExceeded {
+        /// The function being expanded when the budget ran out.
+        fun: Symbol,
+    },
+    /// A construct that must be removed by an earlier pass survived to a
+    /// later one (for example, a call expression after inlining).
+    UnloweredConstruct {
+        /// Description of the construct.
+        construct: String,
+    },
+}
+
+impl fmt::Display for TowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TowerError::Lex { line, col, message } => {
+                write!(f, "lex error at {line}:{col}: {message}")
+            }
+            TowerError::Parse { line, col, message } => {
+                write!(f, "parse error at {line}:{col}: {message}")
+            }
+            TowerError::DuplicateType { name } => write!(f, "duplicate type `{name}`"),
+            TowerError::DuplicateFun { name } => write!(f, "duplicate function `{name}`"),
+            TowerError::UnknownType { name } => write!(f, "unknown type `{name}`"),
+            TowerError::CyclicType { ty } => {
+                write!(f, "type `{ty}` has no finite layout (unguarded recursion)")
+            }
+            TowerError::UnknownFun { name } => write!(f, "unknown function `{name}`"),
+            TowerError::UnboundVar { var } => write!(f, "unbound variable `{var}`"),
+            TowerError::TypeMismatch {
+                context,
+                expected,
+                found,
+            } => write!(f, "type mismatch in {context}: expected {expected}, found {found}"),
+            TowerError::RedeclaredAtDifferentType { var, original, new } => write!(
+                f,
+                "variable `{var}` re-declared at type {new}, originally {original}"
+            ),
+            TowerError::IfConditionModified { var } => {
+                write!(f, "if-condition `{var}` is modified by the if-body")
+            }
+            TowerError::IfUndeclaresOuter { var } => {
+                write!(f, "if-body un-declares outer variable `{var}`")
+            }
+            TowerError::ArityMismatch {
+                fun,
+                expected,
+                found,
+            } => write!(f, "call to `{fun}` with {found} arguments, expected {expected}"),
+            TowerError::BadDepthExpr { message } => write!(f, "bad depth expression: {message}"),
+            TowerError::InlineBudgetExceeded { fun } => {
+                write!(f, "inlining `{fun}` exceeded the expansion budget")
+            }
+            TowerError::UnloweredConstruct { construct } => {
+                write!(f, "construct survived lowering: {construct}")
+            }
+        }
+    }
+}
+
+impl Error for TowerError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_nonempty() {
+        let errors = [
+            TowerError::UnboundVar {
+                var: Symbol::new("x"),
+            },
+            TowerError::IfConditionModified {
+                var: Symbol::new("c"),
+            },
+            TowerError::Parse {
+                line: 1,
+                col: 2,
+                message: "oops".into(),
+            },
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,514 @@
+//! Function inlining.
+//!
+//! Tower has no runtime call stack: every call is inlined at compile time
+//! (paper Section 3.1). A definition `fun f[n](…)` is a compile-time family
+//! of functions indexed by the recursion depth `n`; a call `f[n-1](…)`
+//! splices a freshly renamed copy of the body, and a call at depth ≤ 0
+//! evaluates to the zero value of the return type, which terminates the
+//! unrolling.
+
+use std::collections::HashMap;
+
+use crate::ast::{DepthExpr, Expr, FunDef, Program, Stmt};
+use crate::error::TowerError;
+use crate::symbol::{NameGen, Symbol};
+
+/// Upper bound on the number of statements inlining may produce, guarding
+/// against recursion without a decreasing depth annotation.
+const INLINE_BUDGET: usize = 4_000_000;
+
+/// Inline the body of `entry` at recursion depth `depth`, producing a
+/// call-free statement block. The entry function's parameters remain free
+/// variables (they become the compiled circuit's input registers) and its
+/// return variable keeps its name.
+///
+/// # Errors
+///
+/// Reports unknown functions, arity mismatches, non-variable call arguments,
+/// calls in un-assignments, and exceeded expansion budgets.
+///
+/// # Example
+///
+/// ```
+/// use tower::{inline, parse, NameGen, Symbol};
+///
+/// let src = r#"
+///     fun count[n](acc: uint) -> uint {
+///         let r <- acc + 1;
+///         let out <- count[n-1](r);
+///         return out;
+///     }
+/// "#;
+/// let program = parse(src).unwrap();
+/// let mut names = NameGen::new();
+/// let body = inline(&program, &Symbol::new("count"), 3, &mut names).unwrap();
+/// assert!(!body.is_empty());
+/// ```
+pub fn inline(
+    program: &Program,
+    entry: &Symbol,
+    depth: i64,
+    names: &mut NameGen,
+) -> Result<Vec<Stmt>, TowerError> {
+    let fun = program
+        .fun(entry)
+        .ok_or_else(|| TowerError::UnknownFun { name: entry.clone() })?;
+    let mut inliner = Inliner {
+        program,
+        names,
+        produced: 0,
+    };
+    // The entry body is processed with an identity substitution: parameters
+    // and the return variable keep their names.
+    let mut subst = Subst::identity();
+    let depth_env = fun.depth_param.as_ref().map(|p| (p.clone(), depth));
+    if fun.depth_param.is_some() && depth <= 0 {
+        // A whole-program entry at depth <= 0 is just the zero result.
+        return Ok(vec![Stmt::Let {
+            var: fun.ret_var.clone(),
+            expr: Expr::Default(fun.ret_ty.clone()),
+        }]);
+    }
+    inliner.block(&fun.body, &mut subst, &depth_env)
+}
+
+/// A variable renaming. `None` mappings are created on demand: in freshening
+/// mode unseen variables get fresh names; in identity mode they map to
+/// themselves.
+struct Subst {
+    map: HashMap<Symbol, Symbol>,
+    freshen: bool,
+}
+
+impl Subst {
+    fn identity() -> Self {
+        Subst {
+            map: HashMap::new(),
+            freshen: false,
+        }
+    }
+
+    fn freshening(map: HashMap<Symbol, Symbol>) -> Self {
+        Subst { map, freshen: true }
+    }
+
+    fn apply(&mut self, var: &Symbol, names: &mut NameGen) -> Symbol {
+        if let Some(mapped) = self.map.get(var) {
+            return mapped.clone();
+        }
+        let target = if self.freshen {
+            names.fresh(var.as_str())
+        } else {
+            var.clone()
+        };
+        self.map.insert(var.clone(), target.clone());
+        target
+    }
+}
+
+struct Inliner<'p, 'n> {
+    program: &'p Program,
+    names: &'n mut NameGen,
+    produced: usize,
+}
+
+impl Inliner<'_, '_> {
+    fn charge(&mut self, fun: &Symbol) -> Result<(), TowerError> {
+        self.produced += 1;
+        if self.produced > INLINE_BUDGET {
+            Err(TowerError::InlineBudgetExceeded { fun: fun.clone() })
+        } else {
+            Ok(())
+        }
+    }
+
+    fn block(
+        &mut self,
+        stmts: &[Stmt],
+        subst: &mut Subst,
+        depth_env: &Option<(Symbol, i64)>,
+    ) -> Result<Vec<Stmt>, TowerError> {
+        let mut out = Vec::new();
+        for stmt in stmts {
+            self.stmt(stmt, subst, depth_env, &mut out)?;
+        }
+        Ok(out)
+    }
+
+    fn stmt(
+        &mut self,
+        stmt: &Stmt,
+        subst: &mut Subst,
+        depth_env: &Option<(Symbol, i64)>,
+        out: &mut Vec<Stmt>,
+    ) -> Result<(), TowerError> {
+        match stmt {
+            Stmt::Let { var, expr } => {
+                if let Expr::Call { fun, depth, args } = expr {
+                    let target = subst.apply(var, self.names);
+                    self.charge(fun)?;
+                    self.inline_call(fun, depth, args, target, subst, depth_env, out)
+                } else {
+                    self.reject_nested_calls(expr)?;
+                    let var = subst.apply(var, self.names);
+                    let expr = self.rename_expr(expr, subst);
+                    out.push(Stmt::Let { var, expr });
+                    Ok(())
+                }
+            }
+            Stmt::UnLet { var, expr } => {
+                if matches!(expr, Expr::Call { .. }) {
+                    return Err(TowerError::UnloweredConstruct {
+                        construct: "function call in un-assignment".into(),
+                    });
+                }
+                self.reject_nested_calls(expr)?;
+                let var = subst.apply(var, self.names);
+                let expr = self.rename_expr(expr, subst);
+                out.push(Stmt::UnLet { var, expr });
+                Ok(())
+            }
+            Stmt::With { setup, body } => {
+                let setup = self.block(setup, subst, depth_env)?;
+                let body = self.block(body, subst, depth_env)?;
+                out.push(Stmt::With { setup, body });
+                Ok(())
+            }
+            Stmt::If {
+                cond,
+                then_block,
+                else_block,
+            } => {
+                self.reject_nested_calls(cond)?;
+                let cond = self.rename_expr(cond, subst);
+                let then_block = self.block(then_block, subst, depth_env)?;
+                let else_block = else_block
+                    .as_ref()
+                    .map(|b| self.block(b, subst, depth_env))
+                    .transpose()?;
+                out.push(Stmt::If {
+                    cond,
+                    then_block,
+                    else_block,
+                });
+                Ok(())
+            }
+            Stmt::Swap(a, b) => {
+                let a = subst.apply(a, self.names);
+                let b = subst.apply(b, self.names);
+                out.push(Stmt::Swap(a, b));
+                Ok(())
+            }
+            Stmt::MemSwap(p, v) => {
+                let p = subst.apply(p, self.names);
+                let v = subst.apply(v, self.names);
+                out.push(Stmt::MemSwap(p, v));
+                Ok(())
+            }
+            Stmt::Hadamard(x) => {
+                let x = subst.apply(x, self.names);
+                out.push(Stmt::Hadamard(x));
+                Ok(())
+            }
+            Stmt::Alloc { var, pointee } => {
+                let var = subst.apply(var, self.names);
+                out.push(Stmt::Alloc {
+                    var,
+                    pointee: pointee.clone(),
+                });
+                Ok(())
+            }
+            Stmt::Dealloc { var, pointee } => {
+                let var = subst.apply(var, self.names);
+                out.push(Stmt::Dealloc {
+                    var,
+                    pointee: pointee.clone(),
+                });
+                Ok(())
+            }
+            Stmt::Return(_) => Err(TowerError::UnloweredConstruct {
+                construct: "return outside function tail position".into(),
+            }),
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn inline_call(
+        &mut self,
+        fun: &Symbol,
+        depth: &Option<DepthExpr>,
+        args: &[Expr],
+        target: Symbol,
+        subst: &mut Subst,
+        depth_env: &Option<(Symbol, i64)>,
+        out: &mut Vec<Stmt>,
+    ) -> Result<(), TowerError> {
+        let callee: &FunDef = self
+            .program
+            .fun(fun)
+            .ok_or_else(|| TowerError::UnknownFun { name: fun.clone() })?;
+        if callee.params.len() != args.len() {
+            return Err(TowerError::ArityMismatch {
+                fun: fun.clone(),
+                expected: callee.params.len(),
+                found: args.len(),
+            });
+        }
+        // Resolve the depth argument in the caller's depth environment.
+        let depth_value = match (&callee.depth_param, depth) {
+            (Some(_), Some(d)) => {
+                let env = depth_env.as_ref().map(|(p, v)| (p, *v));
+                Some(d.eval(env)?)
+            }
+            (Some(_), None) => {
+                return Err(TowerError::BadDepthExpr {
+                    message: format!("call to `{fun}` is missing its depth argument"),
+                })
+            }
+            (None, Some(_)) => {
+                return Err(TowerError::BadDepthExpr {
+                    message: format!("`{fun}` takes no depth argument"),
+                })
+            }
+            (None, None) => None,
+        };
+
+        // Depth exhausted: the call is the zero value of the return type.
+        if let Some(d) = depth_value {
+            if d <= 0 {
+                out.push(Stmt::Let {
+                    var: target,
+                    expr: Expr::Default(callee.ret_ty.clone()),
+                });
+                return Ok(());
+            }
+        }
+
+        // Bind parameters to (renamed) argument variables; the return
+        // variable becomes the call's target. Everything else freshens.
+        let mut map = HashMap::new();
+        for ((param, _), arg) in callee.params.iter().zip(args) {
+            let arg_var = match arg {
+                Expr::Var(v) => subst.apply(v, self.names),
+                _ => {
+                    return Err(TowerError::UnloweredConstruct {
+                        construct: format!(
+                            "non-variable argument in call to `{fun}` (bind it with `let` first)"
+                        ),
+                    })
+                }
+            };
+            map.insert(param.clone(), arg_var);
+        }
+        map.insert(callee.ret_var.clone(), target);
+        let mut callee_subst = Subst::freshening(map);
+        let callee_env = callee
+            .depth_param
+            .clone()
+            .zip(depth_value);
+        let body = self.block(&callee.body, &mut callee_subst, &callee_env)?;
+        out.extend(body);
+        Ok(())
+    }
+
+    fn rename_expr(&mut self, expr: &Expr, subst: &mut Subst) -> Expr {
+        match expr {
+            Expr::Var(v) => Expr::Var(subst.apply(v, self.names)),
+            Expr::UIntLit(_)
+            | Expr::BoolLit(_)
+            | Expr::UnitLit
+            | Expr::Null
+            | Expr::Default(_) => expr.clone(),
+            Expr::Pair(a, b) => Expr::Pair(
+                Box::new(self.rename_expr(a, subst)),
+                Box::new(self.rename_expr(b, subst)),
+            ),
+            Expr::Proj(e, i) => Expr::Proj(Box::new(self.rename_expr(e, subst)), *i),
+            Expr::Not(e) => Expr::Not(Box::new(self.rename_expr(e, subst))),
+            Expr::Test(e) => Expr::Test(Box::new(self.rename_expr(e, subst))),
+            Expr::Bin(op, a, b) => Expr::Bin(
+                *op,
+                Box::new(self.rename_expr(a, subst)),
+                Box::new(self.rename_expr(b, subst)),
+            ),
+            Expr::Call { .. } => expr.clone(), // rejected separately
+        }
+    }
+
+    fn reject_nested_calls(&self, expr: &Expr) -> Result<(), TowerError> {
+        let nested = match expr {
+            Expr::Call { .. } => true,
+            Expr::Pair(a, b) | Expr::Bin(_, a, b) => {
+                contains_call(a) || contains_call(b)
+            }
+            Expr::Proj(e, _) | Expr::Not(e) | Expr::Test(e) => contains_call(e),
+            _ => false,
+        };
+        if nested {
+            Err(TowerError::UnloweredConstruct {
+                construct: "function call nested inside an expression".into(),
+            })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+fn contains_call(expr: &Expr) -> bool {
+    match expr {
+        Expr::Call { .. } => true,
+        Expr::Pair(a, b) | Expr::Bin(_, a, b) => contains_call(a) || contains_call(b),
+        Expr::Proj(e, _) | Expr::Not(e) | Expr::Test(e) => contains_call(e),
+        _ => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    const COUNT_SRC: &str = r#"
+        fun count[n](acc: uint) -> uint {
+            let r <- acc + 1;
+            let out <- count[n-1](r);
+            return out;
+        }
+    "#;
+
+    fn stmt_count(stmts: &[Stmt]) -> usize {
+        stmts
+            .iter()
+            .map(|s| match s {
+                Stmt::With { setup, body } => 1 + stmt_count(setup) + stmt_count(body),
+                Stmt::If {
+                    then_block,
+                    else_block,
+                    ..
+                } => {
+                    1 + stmt_count(then_block)
+                        + else_block.as_ref().map_or(0, |b| stmt_count(b))
+                }
+                _ => 1,
+            })
+            .sum()
+    }
+
+    #[test]
+    fn unrolls_to_requested_depth() {
+        let program = parse(COUNT_SRC).unwrap();
+        let mut names = NameGen::new();
+        let d2 = inline(&program, &Symbol::new("count"), 2, &mut names).unwrap();
+        let d5 = inline(&program, &Symbol::new("count"), 5, &mut names).unwrap();
+        // Each level contributes one `let r` and the final level one default.
+        assert_eq!(stmt_count(&d2), 2 * 2 + 1 - 2); // 2 lets + 1 default per shape
+        assert!(stmt_count(&d5) > stmt_count(&d2));
+    }
+
+    #[test]
+    fn depth_zero_is_default() {
+        let program = parse(COUNT_SRC).unwrap();
+        let mut names = NameGen::new();
+        let body = inline(&program, &Symbol::new("count"), 0, &mut names).unwrap();
+        assert_eq!(body.len(), 1);
+        assert!(matches!(
+            &body[0],
+            Stmt::Let {
+                expr: Expr::Default(_),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn locals_are_freshened_per_instance() {
+        let program = parse(COUNT_SRC).unwrap();
+        let mut names = NameGen::new();
+        let body = inline(&program, &Symbol::new("count"), 3, &mut names).unwrap();
+        // Collect all let-bound names; each inlined `r` must be distinct.
+        let mut lets = Vec::new();
+        fn collect(stmts: &[Stmt], lets: &mut Vec<Symbol>) {
+            for s in stmts {
+                if let Stmt::Let { var, .. } = s {
+                    lets.push(var.clone());
+                }
+            }
+        }
+        collect(&body, &mut lets);
+        let distinct: std::collections::HashSet<_> = lets.iter().collect();
+        assert_eq!(distinct.len(), lets.len(), "duplicate let-bound names: {lets:?}");
+    }
+
+    #[test]
+    fn entry_params_stay_free() {
+        let program = parse(COUNT_SRC).unwrap();
+        let mut names = NameGen::new();
+        let body = inline(&program, &Symbol::new("count"), 1, &mut names).unwrap();
+        // First statement reads the entry parameter by its source name.
+        let Stmt::Let { expr, .. } = &body[0] else {
+            panic!()
+        };
+        let Expr::Bin(_, lhs, _) = expr else { panic!() };
+        assert_eq!(**lhs, Expr::Var(Symbol::new("acc")));
+    }
+
+    #[test]
+    fn non_variable_argument_is_rejected() {
+        let src = r#"
+            fun g(x: uint) -> uint { let out <- x; return out; }
+            fun f() -> uint { let out <- g(1 + 2); return out; }
+        "#;
+        let program = parse(src).unwrap();
+        let mut names = NameGen::new();
+        assert!(matches!(
+            inline(&program, &Symbol::new("f"), 0, &mut names),
+            Err(TowerError::UnloweredConstruct { .. })
+        ));
+    }
+
+    #[test]
+    fn helper_without_depth_inlines() {
+        let src = r#"
+            fun double(x: uint) -> uint {
+                let out <- x + x;
+                return out;
+            }
+            fun f(a: uint) -> uint {
+                let out <- double(a);
+                return out;
+            }
+        "#;
+        let program = parse(src).unwrap();
+        let mut names = NameGen::new();
+        let body = inline(&program, &Symbol::new("f"), 0, &mut names).unwrap();
+        assert_eq!(body.len(), 1);
+        let Stmt::Let { var, .. } = &body[0] else {
+            panic!()
+        };
+        assert_eq!(var, &Symbol::new("out"));
+    }
+
+    #[test]
+    fn unknown_function_is_error() {
+        let program = parse(COUNT_SRC).unwrap();
+        let mut names = NameGen::new();
+        assert!(matches!(
+            inline(&program, &Symbol::new("missing"), 1, &mut names),
+            Err(TowerError::UnknownFun { .. })
+        ));
+    }
+
+    #[test]
+    fn arity_mismatch_is_error() {
+        let src = r#"
+            fun g(x: uint, y: uint) -> uint { let out <- x + y; return out; }
+            fun f(a: uint) -> uint { let out <- g(a); return out; }
+        "#;
+        let program = parse(src).unwrap();
+        let mut names = NameGen::new();
+        assert!(matches!(
+            inline(&program, &Symbol::new("f"), 0, &mut names),
+            Err(TowerError::ArityMismatch { .. })
+        ));
+    }
+}

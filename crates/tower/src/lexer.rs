@@ -1,0 +1,443 @@
+//! Lexer for the Tower surface language.
+
+use std::fmt;
+
+use crate::error::TowerError;
+
+/// A lexical token of the Tower surface language.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// Identifier.
+    Ident(String),
+    /// Unsigned integer literal.
+    Int(u64),
+
+    /// `type`
+    KwType,
+    /// `fun`
+    KwFun,
+    /// `with`
+    KwWith,
+    /// `do`
+    KwDo,
+    /// `if`
+    KwIf,
+    /// `else`
+    KwElse,
+    /// `let`
+    KwLet,
+    /// `return`
+    KwReturn,
+    /// `null`
+    KwNull,
+    /// `true`
+    KwTrue,
+    /// `false`
+    KwFalse,
+    /// `default`
+    KwDefault,
+    /// `not`
+    KwNot,
+    /// `test`
+    KwTest,
+    /// `had` (Hadamard statement)
+    KwHad,
+    /// `alloc`
+    KwAlloc,
+    /// `dealloc`
+    KwDealloc,
+    /// `uint`
+    KwUint,
+    /// `bool`
+    KwBool,
+    /// `ptr`
+    KwPtr,
+
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `<`
+    Lt,
+    /// `>`
+    Gt,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `.`
+    Dot,
+    /// `=`
+    Eq,
+    /// `*`
+    Star,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `==`
+    EqEq,
+    /// `!=`
+    BangEq,
+    /// `<-` (assignment)
+    LArrow,
+    /// `->` (un-assignment / return type)
+    RArrow,
+    /// `<->` (swap)
+    SwapArrow,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Token::Ident(s) => return write!(f, "identifier `{s}`"),
+            Token::Int(n) => return write!(f, "integer `{n}`"),
+            Token::KwType => "type",
+            Token::KwFun => "fun",
+            Token::KwWith => "with",
+            Token::KwDo => "do",
+            Token::KwIf => "if",
+            Token::KwElse => "else",
+            Token::KwLet => "let",
+            Token::KwReturn => "return",
+            Token::KwNull => "null",
+            Token::KwTrue => "true",
+            Token::KwFalse => "false",
+            Token::KwDefault => "default",
+            Token::KwNot => "not",
+            Token::KwTest => "test",
+            Token::KwHad => "had",
+            Token::KwAlloc => "alloc",
+            Token::KwDealloc => "dealloc",
+            Token::KwUint => "uint",
+            Token::KwBool => "bool",
+            Token::KwPtr => "ptr",
+            Token::LParen => "(",
+            Token::RParen => ")",
+            Token::LBrace => "{",
+            Token::RBrace => "}",
+            Token::LBracket => "[",
+            Token::RBracket => "]",
+            Token::Lt => "<",
+            Token::Gt => ">",
+            Token::Comma => ",",
+            Token::Semi => ";",
+            Token::Colon => ":",
+            Token::Dot => ".",
+            Token::Eq => "=",
+            Token::Star => "*",
+            Token::Plus => "+",
+            Token::Minus => "-",
+            Token::AndAnd => "&&",
+            Token::OrOr => "||",
+            Token::EqEq => "==",
+            Token::BangEq => "!=",
+            Token::LArrow => "<-",
+            Token::RArrow => "->",
+            Token::SwapArrow => "<->",
+        };
+        write!(f, "`{s}`")
+    }
+}
+
+/// A token paired with its source position (1-based line and column).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// 1-based source line.
+    pub line: usize,
+    /// 1-based source column.
+    pub col: usize,
+}
+
+/// Tokenize Tower source text.
+///
+/// Supports `//` line comments and `/* … */` block comments.
+///
+/// # Errors
+///
+/// Returns [`TowerError::Lex`] on unrecognized characters or unterminated
+/// block comments.
+///
+/// # Example
+///
+/// ```
+/// use tower::lexer::{lex, Token};
+///
+/// let tokens = lex("let x <- y + 1;").unwrap();
+/// assert_eq!(tokens[0].token, Token::KwLet);
+/// assert_eq!(tokens[2].token, Token::LArrow);
+/// ```
+pub fn lex(source: &str) -> Result<Vec<Spanned>, TowerError> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = source.chars().collect();
+    let mut i = 0;
+    let mut line = 1usize;
+    let mut col = 1usize;
+
+    macro_rules! advance {
+        () => {{
+            if chars[i] == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+            i += 1;
+        }};
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        let (tline, tcol) = (line, col);
+        let mut push = |token: Token| {
+            tokens.push(Spanned {
+                token,
+                line: tline,
+                col: tcol,
+            })
+        };
+
+        if c.is_whitespace() {
+            advance!();
+            continue;
+        }
+        // Comments.
+        if c == '/' && i + 1 < chars.len() {
+            if chars[i + 1] == '/' {
+                while i < chars.len() && chars[i] != '\n' {
+                    advance!();
+                }
+                continue;
+            }
+            if chars[i + 1] == '*' {
+                advance!();
+                advance!();
+                let mut closed = false;
+                while i + 1 < chars.len() {
+                    if chars[i] == '*' && chars[i + 1] == '/' {
+                        advance!();
+                        advance!();
+                        closed = true;
+                        break;
+                    }
+                    advance!();
+                }
+                if !closed {
+                    return Err(TowerError::Lex {
+                        line: tline,
+                        col: tcol,
+                        message: "unterminated block comment".into(),
+                    });
+                }
+                continue;
+            }
+        }
+        // Identifiers and keywords.
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                advance!();
+            }
+            let word: String = chars[start..i].iter().collect();
+            let token = match word.as_str() {
+                "type" => Token::KwType,
+                "fun" => Token::KwFun,
+                "with" => Token::KwWith,
+                "do" => Token::KwDo,
+                "if" => Token::KwIf,
+                "else" => Token::KwElse,
+                "let" => Token::KwLet,
+                "return" => Token::KwReturn,
+                "null" => Token::KwNull,
+                "true" => Token::KwTrue,
+                "false" => Token::KwFalse,
+                "default" => Token::KwDefault,
+                "not" => Token::KwNot,
+                "test" => Token::KwTest,
+                "had" => Token::KwHad,
+                "alloc" => Token::KwAlloc,
+                "dealloc" => Token::KwDealloc,
+                "uint" => Token::KwUint,
+                "bool" => Token::KwBool,
+                "ptr" => Token::KwPtr,
+                _ => Token::Ident(word),
+            };
+            push(token);
+            continue;
+        }
+        // Integers.
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < chars.len() && chars[i].is_ascii_digit() {
+                advance!();
+            }
+            let text: String = chars[start..i].iter().collect();
+            let value = text.parse::<u64>().map_err(|_| TowerError::Lex {
+                line: tline,
+                col: tcol,
+                message: format!("integer literal `{text}` out of range"),
+            })?;
+            push(Token::Int(value));
+            continue;
+        }
+        // Multi-character operators, longest first.
+        let rest: String = chars[i..chars.len().min(i + 3)].iter().collect();
+        let (token, len) = if rest.starts_with("<->") {
+            (Token::SwapArrow, 3)
+        } else if rest.starts_with("<-") {
+            (Token::LArrow, 2)
+        } else if rest.starts_with("->") {
+            (Token::RArrow, 2)
+        } else if rest.starts_with("&&") {
+            (Token::AndAnd, 2)
+        } else if rest.starts_with("||") {
+            (Token::OrOr, 2)
+        } else if rest.starts_with("==") {
+            (Token::EqEq, 2)
+        } else if rest.starts_with("!=") {
+            (Token::BangEq, 2)
+        } else {
+            let single = match c {
+                '(' => Token::LParen,
+                ')' => Token::RParen,
+                '{' => Token::LBrace,
+                '}' => Token::RBrace,
+                '[' => Token::LBracket,
+                ']' => Token::RBracket,
+                '<' => Token::Lt,
+                '>' => Token::Gt,
+                ',' => Token::Comma,
+                ';' => Token::Semi,
+                ':' => Token::Colon,
+                '.' => Token::Dot,
+                '=' => Token::Eq,
+                '*' => Token::Star,
+                '+' => Token::Plus,
+                '-' => Token::Minus,
+                other => {
+                    return Err(TowerError::Lex {
+                        line: tline,
+                        col: tcol,
+                        message: format!("unexpected character `{other}`"),
+                    })
+                }
+            };
+            (single, 1)
+        };
+        for _ in 0..len {
+            advance!();
+        }
+        push(token);
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Token> {
+        lex(src).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn lexes_assignment() {
+        assert_eq!(
+            kinds("let x <- acc + 1;"),
+            vec![
+                Token::KwLet,
+                Token::Ident("x".into()),
+                Token::LArrow,
+                Token::Ident("acc".into()),
+                Token::Plus,
+                Token::Int(1),
+                Token::Semi,
+            ]
+        );
+    }
+
+    #[test]
+    fn distinguishes_arrows() {
+        assert_eq!(
+            kinds("<- -> <-> < - >"),
+            vec![
+                Token::LArrow,
+                Token::RArrow,
+                Token::SwapArrow,
+                Token::Lt,
+                Token::Minus,
+                Token::Gt,
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_memswap() {
+        assert_eq!(
+            kinds("*xs <-> temp;"),
+            vec![
+                Token::Star,
+                Token::Ident("xs".into()),
+                Token::SwapArrow,
+                Token::Ident("temp".into()),
+                Token::Semi,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("x // whole line\n/* block\n comment */ y"),
+            vec![Token::Ident("x".into()), Token::Ident("y".into())]
+        );
+    }
+
+    #[test]
+    fn unterminated_comment_is_error() {
+        assert!(matches!(lex("/* oops"), Err(TowerError::Lex { .. })));
+    }
+
+    #[test]
+    fn positions_are_tracked() {
+        let tokens = lex("a\n  b").unwrap();
+        assert_eq!((tokens[0].line, tokens[0].col), (1, 1));
+        assert_eq!((tokens[1].line, tokens[1].col), (2, 3));
+    }
+
+    #[test]
+    fn keywords_are_recognized() {
+        assert_eq!(
+            kinds("with do if else default ptr"),
+            vec![
+                Token::KwWith,
+                Token::KwDo,
+                Token::KwIf,
+                Token::KwElse,
+                Token::KwDefault,
+                Token::KwPtr,
+            ]
+        );
+    }
+
+    #[test]
+    fn bad_character_is_error() {
+        assert!(matches!(lex("let @"), Err(TowerError::Lex { .. })));
+    }
+}

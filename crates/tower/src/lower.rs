@@ -1,0 +1,420 @@
+//! Lowering from (inlined, call-free) surface statements to the core IR.
+//!
+//! Three derived forms disappear here:
+//!
+//! * **Compound expressions** flatten through temporaries. The temporaries
+//!   are computed in a `with`-block so their uncomputation is automatic.
+//! * **Equality sugar** `a == b` / `a != b` rewrites to subtraction plus
+//!   `test` (pointers compare against null with `test` alone).
+//! * **`if-else`** desugars to a `with`-block computing the negated
+//!   condition and a pair of one-armed `if`s:
+//!   `with { nc ← not c } do { if c {A}; if nc {B} }`.
+//!   Keeping the negation in a `with`-block lets conditional narrowing
+//!   hoist it (paper Figure 10's `not_empty` variables), while the
+//!   conditional-flattening-only configuration first expands `with`s and
+//!   then sees directly nested `if`s.
+
+use crate::ast::{BinOp, Expr, Stmt};
+use crate::core_ir::{CoreBinOp, CoreExpr, CoreStmt, CoreValue};
+use crate::error::TowerError;
+use crate::symbol::{NameGen, Symbol};
+
+/// Lower a call-free surface block to core IR.
+///
+/// # Errors
+///
+/// Reports constructs that should have been removed earlier (calls,
+/// `return`) and sugar with no lowering (untyped `null` outside a
+/// comparison).
+///
+/// # Example
+///
+/// ```
+/// use tower::{lower_block, parser::parse_block, NameGen};
+///
+/// let stmts = parse_block("let s <- x && y && z;").unwrap();
+/// let mut names = NameGen::new();
+/// let core = lower_block(&stmts, &mut names).unwrap();
+/// // The nested conjunction computes a temporary inside a with-block.
+/// assert!(matches!(core, tower::CoreStmt::With { .. }));
+/// ```
+pub fn lower_block(stmts: &[Stmt], names: &mut NameGen) -> Result<CoreStmt, TowerError> {
+    let mut lowered = Vec::new();
+    for stmt in stmts {
+        lowered.push(lower_stmt(stmt, names)?);
+    }
+    Ok(CoreStmt::seq(lowered))
+}
+
+fn lower_stmt(stmt: &Stmt, names: &mut NameGen) -> Result<CoreStmt, TowerError> {
+    match stmt {
+        Stmt::Let { var, expr } => {
+            let (setup, core) = flatten(expr, names)?;
+            let assign = CoreStmt::Assign {
+                var: var.clone(),
+                expr: core,
+            };
+            Ok(wrap_setup(setup, assign))
+        }
+        Stmt::UnLet { var, expr } => {
+            let (setup, core) = flatten(expr, names)?;
+            let unassign = CoreStmt::Unassign {
+                var: var.clone(),
+                expr: core,
+            };
+            Ok(wrap_setup(setup, unassign))
+        }
+        Stmt::With { setup, body } => Ok(CoreStmt::With {
+            setup: Box::new(lower_block(setup, names)?),
+            body: Box::new(lower_block(body, names)?),
+        }),
+        Stmt::If {
+            cond,
+            then_block,
+            else_block,
+        } => lower_if(cond, then_block, else_block.as_deref(), names),
+        Stmt::Swap(a, b) => Ok(CoreStmt::Swap(a.clone(), b.clone())),
+        Stmt::MemSwap(p, v) => Ok(CoreStmt::MemSwap {
+            ptr: p.clone(),
+            val: v.clone(),
+        }),
+        Stmt::Hadamard(x) => Ok(CoreStmt::Hadamard(x.clone())),
+        Stmt::Alloc { var, pointee } => Ok(CoreStmt::Alloc {
+            var: var.clone(),
+            pointee: pointee.clone(),
+        }),
+        Stmt::Dealloc { var, pointee } => Ok(CoreStmt::Dealloc {
+            var: var.clone(),
+            pointee: pointee.clone(),
+        }),
+        Stmt::Return(_) => Err(TowerError::UnloweredConstruct {
+            construct: "return statement".into(),
+        }),
+    }
+}
+
+fn wrap_setup(setup: Vec<CoreStmt>, body: CoreStmt) -> CoreStmt {
+    if setup.is_empty() {
+        body
+    } else {
+        CoreStmt::With {
+            setup: Box::new(CoreStmt::seq(setup)),
+            body: Box::new(body),
+        }
+    }
+}
+
+fn lower_if(
+    cond: &Expr,
+    then_block: &[Stmt],
+    else_block: Option<&[Stmt]>,
+    names: &mut NameGen,
+) -> Result<CoreStmt, TowerError> {
+    let (mut setup, cond_var) = flatten_to_var(cond, names)?;
+    let then_core = lower_block(then_block, names)?;
+    match else_block {
+        None => {
+            let body = CoreStmt::If {
+                cond: cond_var,
+                body: Box::new(then_core),
+            };
+            Ok(wrap_setup(setup, body))
+        }
+        Some(els) => {
+            let neg = names.fresh("nc");
+            setup.push(CoreStmt::Assign {
+                var: neg.clone(),
+                expr: CoreExpr::Not(cond_var.clone()),
+            });
+            let else_core = lower_block(els, names)?;
+            let body = CoreStmt::seq(vec![
+                CoreStmt::If {
+                    cond: cond_var,
+                    body: Box::new(then_core),
+                },
+                CoreStmt::If {
+                    cond: neg,
+                    body: Box::new(else_core),
+                },
+            ]);
+            // The else desugaring always needs the with-block (for `nc`).
+            Ok(CoreStmt::With {
+                setup: Box::new(CoreStmt::seq(setup)),
+                body: Box::new(body),
+            })
+        }
+    }
+}
+
+/// Flatten an expression to a core expression plus the temporary
+/// assignments it needs (in dependency order).
+fn flatten(expr: &Expr, names: &mut NameGen) -> Result<(Vec<CoreStmt>, CoreExpr), TowerError> {
+    let mut setup = Vec::new();
+    let core = flatten_into(expr, names, &mut setup)?;
+    Ok((setup, core))
+}
+
+/// Flatten an expression all the way to a variable.
+fn flatten_to_var(
+    expr: &Expr,
+    names: &mut NameGen,
+) -> Result<(Vec<CoreStmt>, Symbol), TowerError> {
+    let mut setup = Vec::new();
+    let var = ensure_var(expr, names, &mut setup)?;
+    Ok((setup, var))
+}
+
+fn flatten_into(
+    expr: &Expr,
+    names: &mut NameGen,
+    setup: &mut Vec<CoreStmt>,
+) -> Result<CoreExpr, TowerError> {
+    Ok(match expr {
+        Expr::Var(v) => CoreExpr::Var(v.clone()),
+        Expr::UIntLit(n) => CoreExpr::Value(CoreValue::UInt(*n)),
+        Expr::BoolLit(b) => CoreExpr::Value(CoreValue::Bool(*b)),
+        Expr::UnitLit => CoreExpr::Value(CoreValue::Unit),
+        Expr::Default(ty) => CoreExpr::Value(CoreValue::ZeroOf(ty.clone())),
+        Expr::Null => {
+            return Err(TowerError::UnloweredConstruct {
+                construct:
+                    "`null` outside a comparison (write `default<ptr<T>>` for a typed null)"
+                        .into(),
+            })
+        }
+        Expr::Pair(a, b) => {
+            let va = ensure_var(a, names, setup)?;
+            let vb = ensure_var(b, names, setup)?;
+            CoreExpr::Value(CoreValue::Pair(va, vb))
+        }
+        Expr::Proj(e, idx) => {
+            let v = ensure_var(e, names, setup)?;
+            if *idx == 1 {
+                CoreExpr::Proj1(v)
+            } else {
+                CoreExpr::Proj2(v)
+            }
+        }
+        Expr::Not(e) => CoreExpr::Not(ensure_var(e, names, setup)?),
+        Expr::Test(e) => CoreExpr::Test(ensure_var(e, names, setup)?),
+        Expr::Bin(BinOp::Eq, a, b) => {
+            let nonzero = lower_disequality(a, b, names, setup)?;
+            let t = bind_temp(CoreExpr::Test(nonzero), "eqz", names, setup);
+            CoreExpr::Not(t)
+        }
+        Expr::Bin(BinOp::Ne, a, b) => {
+            let nonzero = lower_disequality(a, b, names, setup)?;
+            CoreExpr::Test(nonzero)
+        }
+        Expr::Bin(op, a, b) => {
+            let core_op = match op {
+                BinOp::And => CoreBinOp::And,
+                BinOp::Or => CoreBinOp::Or,
+                BinOp::Add => CoreBinOp::Add,
+                BinOp::Sub => CoreBinOp::Sub,
+                BinOp::Mul => CoreBinOp::Mul,
+                BinOp::Eq | BinOp::Ne => unreachable!("handled above"),
+            };
+            let va = ensure_var(a, names, setup)?;
+            let vb = ensure_var(b, names, setup)?;
+            CoreExpr::Bin(core_op, va, vb)
+        }
+        Expr::Call { .. } => {
+            return Err(TowerError::UnloweredConstruct {
+                construct: "function call (run the inliner first)".into(),
+            })
+        }
+    })
+}
+
+/// Produce the variable whose `test` decides `a == b`:
+/// for pointer-null comparisons the pointer itself, otherwise `a - b`.
+fn lower_disequality(
+    a: &Expr,
+    b: &Expr,
+    names: &mut NameGen,
+    setup: &mut Vec<CoreStmt>,
+) -> Result<Symbol, TowerError> {
+    match (a, b) {
+        (Expr::Null, other) | (other, Expr::Null) => ensure_var(other, names, setup),
+        _ => {
+            let va = ensure_var(a, names, setup)?;
+            let vb = ensure_var(b, names, setup)?;
+            Ok(bind_temp(
+                CoreExpr::Bin(CoreBinOp::Sub, va, vb),
+                "diff",
+                names,
+                setup,
+            ))
+        }
+    }
+}
+
+fn ensure_var(
+    expr: &Expr,
+    names: &mut NameGen,
+    setup: &mut Vec<CoreStmt>,
+) -> Result<Symbol, TowerError> {
+    if let Expr::Var(v) = expr {
+        return Ok(v.clone());
+    }
+    let core = flatten_into(expr, names, setup)?;
+    if let CoreExpr::Var(v) = core {
+        return Ok(v);
+    }
+    Ok(bind_temp(core, "t", names, setup))
+}
+
+fn bind_temp(
+    expr: CoreExpr,
+    prefix: &str,
+    names: &mut NameGen,
+    setup: &mut Vec<CoreStmt>,
+) -> Symbol {
+    let temp = names.fresh(prefix);
+    setup.push(CoreStmt::Assign {
+        var: temp.clone(),
+        expr,
+    });
+    temp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_block;
+
+    fn lower_src(src: &str) -> CoreStmt {
+        let stmts = parse_block(src).unwrap();
+        let mut names = NameGen::new();
+        lower_block(&stmts, &mut names).unwrap()
+    }
+
+    #[test]
+    fn simple_let_lowers_directly() {
+        let core = lower_src("let x <- y;");
+        assert!(matches!(core, CoreStmt::Assign { .. }));
+    }
+
+    #[test]
+    fn conjunction_chain_uses_with_temp() {
+        let core = lower_src("let s <- x && y && z;");
+        let CoreStmt::With { setup, body } = core else {
+            panic!("expected with, got {core:?}")
+        };
+        assert!(matches!(*setup, CoreStmt::Assign { .. }));
+        let CoreStmt::Assign { expr, .. } = *body else {
+            panic!()
+        };
+        assert!(matches!(expr, CoreExpr::Bin(CoreBinOp::And, _, _)));
+    }
+
+    #[test]
+    fn pointer_null_comparison_uses_test() {
+        let core = lower_src("let is_empty <- xs == null;");
+        let CoreStmt::With { setup, body } = core else {
+            panic!("expected with, got {core:?}")
+        };
+        // setup: eqz <- test xs; body: is_empty <- not eqz.
+        let CoreStmt::Assign { expr, .. } = *setup else {
+            panic!()
+        };
+        assert_eq!(expr, CoreExpr::Test(Symbol::new("xs")));
+        let CoreStmt::Assign { expr, .. } = *body else {
+            panic!()
+        };
+        assert!(matches!(expr, CoreExpr::Not(_)));
+    }
+
+    #[test]
+    fn uint_equality_uses_sub_and_test() {
+        let core = lower_src("let e <- a == b;");
+        let CoreStmt::With { setup, .. } = core else {
+            panic!()
+        };
+        let CoreStmt::Seq(setups) = *setup else {
+            panic!()
+        };
+        assert!(matches!(
+            &setups[0],
+            CoreStmt::Assign {
+                expr: CoreExpr::Bin(CoreBinOp::Sub, _, _),
+                ..
+            }
+        ));
+        assert!(matches!(
+            &setups[1],
+            CoreStmt::Assign {
+                expr: CoreExpr::Test(_),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn if_with_variable_condition_is_bare() {
+        let core = lower_src("if c { let x <- true; }");
+        assert!(matches!(core, CoreStmt::If { .. }));
+    }
+
+    #[test]
+    fn if_else_desugars_to_negation_pair() {
+        let core = lower_src("if c { let x <- true; } else { let x <- false; }");
+        let CoreStmt::With { setup, body } = core else {
+            panic!("expected with, got {core:?}")
+        };
+        let CoreStmt::Assign { expr, .. } = *setup else {
+            panic!()
+        };
+        assert_eq!(expr, CoreExpr::Not(Symbol::new("c")));
+        let CoreStmt::Seq(arms) = *body else { panic!() };
+        assert_eq!(arms.len(), 2);
+        assert!(matches!(arms[0], CoreStmt::If { .. }));
+        assert!(matches!(arms[1], CoreStmt::If { .. }));
+    }
+
+    #[test]
+    fn compound_condition_is_hoisted() {
+        let core = lower_src("if x && y { let a <- true; }");
+        let CoreStmt::With { setup, body } = core else {
+            panic!()
+        };
+        assert!(matches!(
+            *setup,
+            CoreStmt::Assign {
+                expr: CoreExpr::Bin(CoreBinOp::And, _, _),
+                ..
+            }
+        ));
+        assert!(matches!(*body, CoreStmt::If { .. }));
+    }
+
+    #[test]
+    fn unlet_with_projection() {
+        let core = lower_src("let next -> temp.2;");
+        assert!(matches!(
+            core,
+            CoreStmt::Unassign {
+                expr: CoreExpr::Proj2(_),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn bare_null_is_rejected() {
+        let stmts = parse_block("let p <- null;").unwrap();
+        let mut names = NameGen::new();
+        assert!(lower_block(&stmts, &mut names).is_err());
+    }
+
+    #[test]
+    fn nested_with_do_lowers_structurally() {
+        let core = lower_src("with { let t <- z; } do { if z { let a <- not t; } }");
+        let CoreStmt::With { setup, body } = core else {
+            panic!()
+        };
+        assert!(matches!(*setup, CoreStmt::Assign { .. }));
+        assert!(matches!(*body, CoreStmt::If { .. }));
+    }
+}

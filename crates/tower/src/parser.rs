@@ -1,0 +1,703 @@
+//! Recursive-descent parser for the Tower surface language.
+
+use crate::ast::{BinOp, DepthExpr, Expr, FunDef, Program, Stmt, TypeDef};
+use crate::error::TowerError;
+use crate::lexer::{lex, Spanned, Token};
+use crate::symbol::Symbol;
+use crate::types::Type;
+
+/// Parse a whole Tower program.
+///
+/// # Errors
+///
+/// Returns the first lexical or syntax error, with source position.
+///
+/// # Example
+///
+/// ```
+/// let src = r#"
+///     type list = (uint, ptr<list>);
+///     fun id(x: uint) -> uint {
+///         let out <- x;
+///         return out;
+///     }
+/// "#;
+/// let program = tower::parse(src).unwrap();
+/// assert_eq!(program.funs.len(), 1);
+/// assert_eq!(program.types.len(), 1);
+/// ```
+pub fn parse(source: &str) -> Result<Program, TowerError> {
+    let tokens = lex(source)?;
+    Parser { tokens, pos: 0 }.program()
+}
+
+/// Parse a single statement block (used by tests and the REPL-style tools).
+///
+/// # Errors
+///
+/// Returns the first lexical or syntax error.
+pub fn parse_block(source: &str) -> Result<Vec<Stmt>, TowerError> {
+    let tokens = lex(source)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    let mut stmts = Vec::new();
+    while !parser.at_end() {
+        stmts.push(parser.stmt()?);
+    }
+    Ok(stmts)
+}
+
+struct Parser {
+    tokens: Vec<Spanned>,
+    pos: usize,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos).map(|s| &s.token)
+    }
+
+    fn peek2(&self) -> Option<&Token> {
+        self.tokens.get(self.pos + 1).map(|s| &s.token)
+    }
+
+    fn here(&self) -> (usize, usize) {
+        self.tokens
+            .get(self.pos.min(self.tokens.len().saturating_sub(1)))
+            .map(|s| (s.line, s.col))
+            .unwrap_or((0, 0))
+    }
+
+    fn error(&self, message: impl Into<String>) -> TowerError {
+        let (line, col) = self.here();
+        TowerError::Parse {
+            line,
+            col,
+            message: message.into(),
+        }
+    }
+
+    fn advance(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).map(|s| s.token.clone());
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, expected: &Token) -> Result<(), TowerError> {
+        match self.peek() {
+            Some(t) if t == expected => {
+                self.pos += 1;
+                Ok(())
+            }
+            Some(t) => Err(self.error(format!("expected {expected}, found {t}"))),
+            None => Err(self.error(format!("expected {expected}, found end of input"))),
+        }
+    }
+
+    fn try_eat(&mut self, expected: &Token) -> bool {
+        if self.peek() == Some(expected) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> Result<Symbol, TowerError> {
+        match self.peek() {
+            Some(Token::Ident(name)) => {
+                let sym = Symbol::new(name);
+                self.pos += 1;
+                Ok(sym)
+            }
+            Some(t) => Err(self.error(format!("expected identifier, found {t}"))),
+            None => Err(self.error("expected identifier, found end of input")),
+        }
+    }
+
+    fn int(&mut self) -> Result<u64, TowerError> {
+        match self.peek() {
+            Some(Token::Int(n)) => {
+                let n = *n;
+                self.pos += 1;
+                Ok(n)
+            }
+            Some(t) => Err(self.error(format!("expected integer, found {t}"))),
+            None => Err(self.error("expected integer, found end of input")),
+        }
+    }
+
+    // ---- top level -------------------------------------------------------
+
+    fn program(&mut self) -> Result<Program, TowerError> {
+        let mut types = Vec::new();
+        let mut funs = Vec::new();
+        while let Some(token) = self.peek() {
+            match token {
+                Token::KwType => types.push(self.typedef()?),
+                Token::KwFun => funs.push(self.fundef()?),
+                other => return Err(self.error(format!("expected `type` or `fun`, found {other}"))),
+            }
+        }
+        Ok(Program { types, funs })
+    }
+
+    fn typedef(&mut self) -> Result<TypeDef, TowerError> {
+        self.eat(&Token::KwType)?;
+        let name = self.ident()?;
+        self.eat(&Token::Eq)?;
+        let ty = self.ty()?;
+        self.eat(&Token::Semi)?;
+        Ok(TypeDef { name, ty })
+    }
+
+    fn fundef(&mut self) -> Result<FunDef, TowerError> {
+        self.eat(&Token::KwFun)?;
+        let name = self.ident()?;
+        let depth_param = if self.try_eat(&Token::LBracket) {
+            let p = self.ident()?;
+            self.eat(&Token::RBracket)?;
+            Some(p)
+        } else {
+            None
+        };
+        self.eat(&Token::LParen)?;
+        let mut params = Vec::new();
+        if self.peek() != Some(&Token::RParen) {
+            loop {
+                let pname = self.ident()?;
+                self.eat(&Token::Colon)?;
+                let pty = self.ty()?;
+                params.push((pname, pty));
+                if !self.try_eat(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        self.eat(&Token::RParen)?;
+        self.eat(&Token::RArrow)?;
+        let ret_ty = self.ty()?;
+        self.eat(&Token::LBrace)?;
+        let mut body = Vec::new();
+        let mut ret_var = None;
+        while !self.try_eat(&Token::RBrace) {
+            let stmt = self.stmt()?;
+            if let Stmt::Return(var) = &stmt {
+                ret_var = Some(var.clone());
+                self.eat(&Token::RBrace)?;
+                break;
+            }
+            body.push(stmt);
+        }
+        let ret_var = ret_var.ok_or_else(|| {
+            self.error(format!("function `{name}` has no `return` statement"))
+        })?;
+        Ok(FunDef {
+            name,
+            depth_param,
+            params,
+            ret_ty,
+            body,
+            ret_var,
+        })
+    }
+
+    // ---- types -----------------------------------------------------------
+
+    fn ty(&mut self) -> Result<Type, TowerError> {
+        match self.advance() {
+            Some(Token::KwUint) => Ok(Type::UInt),
+            Some(Token::KwBool) => Ok(Type::Bool),
+            Some(Token::KwPtr) => {
+                self.eat(&Token::Lt)?;
+                let inner = self.ty()?;
+                self.eat(&Token::Gt)?;
+                Ok(Type::ptr(inner))
+            }
+            Some(Token::LParen) => {
+                if self.try_eat(&Token::RParen) {
+                    return Ok(Type::Unit);
+                }
+                let a = self.ty()?;
+                self.eat(&Token::Comma)?;
+                let b = self.ty()?;
+                self.eat(&Token::RParen)?;
+                Ok(Type::pair(a, b))
+            }
+            Some(Token::Ident(name)) => Ok(Type::Named(Symbol::new(name))),
+            Some(t) => Err(self.error(format!("expected a type, found {t}"))),
+            None => Err(self.error("expected a type, found end of input")),
+        }
+    }
+
+    // ---- statements ------------------------------------------------------
+
+    fn block(&mut self) -> Result<Vec<Stmt>, TowerError> {
+        self.eat(&Token::LBrace)?;
+        let mut stmts = Vec::new();
+        while !self.try_eat(&Token::RBrace) {
+            stmts.push(self.stmt()?);
+        }
+        Ok(stmts)
+    }
+
+    /// A `do`/`else` body: either a braced block or a single `if`/`with`
+    /// statement (paper Figure 1 writes `do if is_empty { … } else with …`).
+    fn block_or_single(&mut self) -> Result<Vec<Stmt>, TowerError> {
+        match self.peek() {
+            Some(Token::LBrace) => self.block(),
+            Some(Token::KwIf) | Some(Token::KwWith) => Ok(vec![self.stmt()?]),
+            Some(t) => Err(self.error(format!("expected a block, `if`, or `with`, found {t}"))),
+            None => Err(self.error("expected a block, found end of input")),
+        }
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, TowerError> {
+        match self.peek() {
+            Some(Token::KwLet) => {
+                self.pos += 1;
+                let var = self.ident()?;
+                let reversed = match self.advance() {
+                    Some(Token::LArrow) => false,
+                    Some(Token::RArrow) => true,
+                    Some(t) => return Err(self.error(format!("expected `<-` or `->`, found {t}"))),
+                    None => return Err(self.error("expected `<-` or `->`")),
+                };
+                let expr = self.expr()?;
+                self.eat(&Token::Semi)?;
+                Ok(if reversed {
+                    Stmt::UnLet { var, expr }
+                } else {
+                    Stmt::Let { var, expr }
+                })
+            }
+            Some(Token::KwWith) => {
+                self.pos += 1;
+                let setup = self.block()?;
+                self.eat(&Token::KwDo)?;
+                let body = self.block_or_single()?;
+                Ok(Stmt::With { setup, body })
+            }
+            Some(Token::KwIf) => {
+                self.pos += 1;
+                let cond = self.expr()?;
+                let then_block = self.block()?;
+                let else_block = if self.try_eat(&Token::KwElse) {
+                    Some(self.block_or_single()?)
+                } else {
+                    None
+                };
+                Ok(Stmt::If {
+                    cond,
+                    then_block,
+                    else_block,
+                })
+            }
+            Some(Token::KwHad) => {
+                self.pos += 1;
+                let var = self.ident()?;
+                self.eat(&Token::Semi)?;
+                Ok(Stmt::Hadamard(var))
+            }
+            Some(Token::KwAlloc) => {
+                self.pos += 1;
+                let var = self.ident()?;
+                self.eat(&Token::Colon)?;
+                let pointee = self.ty()?;
+                self.eat(&Token::Semi)?;
+                Ok(Stmt::Alloc { var, pointee })
+            }
+            Some(Token::KwDealloc) => {
+                self.pos += 1;
+                let var = self.ident()?;
+                self.eat(&Token::Colon)?;
+                let pointee = self.ty()?;
+                self.eat(&Token::Semi)?;
+                Ok(Stmt::Dealloc { var, pointee })
+            }
+            Some(Token::KwReturn) => {
+                self.pos += 1;
+                let var = self.ident()?;
+                self.eat(&Token::Semi)?;
+                Ok(Stmt::Return(var))
+            }
+            Some(Token::Star) => {
+                self.pos += 1;
+                let ptr = self.ident()?;
+                self.eat(&Token::SwapArrow)?;
+                let val = self.ident()?;
+                self.eat(&Token::Semi)?;
+                Ok(Stmt::MemSwap(ptr, val))
+            }
+            Some(Token::Ident(_)) if self.peek2() == Some(&Token::SwapArrow) => {
+                let a = self.ident()?;
+                self.eat(&Token::SwapArrow)?;
+                let b = self.ident()?;
+                self.eat(&Token::Semi)?;
+                Ok(Stmt::Swap(a, b))
+            }
+            Some(t) => Err(self.error(format!("expected a statement, found {t}"))),
+            None => Err(self.error("expected a statement, found end of input")),
+        }
+    }
+
+    // ---- expressions -----------------------------------------------------
+
+    fn expr(&mut self) -> Result<Expr, TowerError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, TowerError> {
+        let mut lhs = self.and_expr()?;
+        while self.try_eat(&Token::OrOr) {
+            let rhs = self.and_expr()?;
+            lhs = Expr::Bin(BinOp::Or, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, TowerError> {
+        let mut lhs = self.cmp_expr()?;
+        while self.try_eat(&Token::AndAnd) {
+            let rhs = self.cmp_expr()?;
+            lhs = Expr::Bin(BinOp::And, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> Result<Expr, TowerError> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek() {
+            Some(Token::EqEq) => Some(BinOp::Eq),
+            Some(Token::BangEq) => Some(BinOp::Ne),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.pos += 1;
+            let rhs = self.add_expr()?;
+            Ok(Expr::Bin(op, Box::new(lhs), Box::new(rhs)))
+        } else {
+            Ok(lhs)
+        }
+    }
+
+    fn add_expr(&mut self) -> Result<Expr, TowerError> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Plus) => BinOp::Add,
+                Some(Token::Minus) => BinOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.mul_expr()?;
+            lhs = Expr::Bin(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> Result<Expr, TowerError> {
+        let mut lhs = self.unary_expr()?;
+        while self.try_eat(&Token::Star) {
+            let rhs = self.unary_expr()?;
+            lhs = Expr::Bin(BinOp::Mul, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> Result<Expr, TowerError> {
+        match self.peek() {
+            Some(Token::KwNot) => {
+                self.pos += 1;
+                Ok(Expr::Not(Box::new(self.unary_expr()?)))
+            }
+            Some(Token::KwTest) => {
+                self.pos += 1;
+                Ok(Expr::Test(Box::new(self.unary_expr()?)))
+            }
+            _ => self.postfix_expr(),
+        }
+    }
+
+    fn postfix_expr(&mut self) -> Result<Expr, TowerError> {
+        let mut expr = self.atom()?;
+        while self.try_eat(&Token::Dot) {
+            let idx = self.int()?;
+            if idx != 1 && idx != 2 {
+                return Err(self.error(format!("projection must be .1 or .2, found .{idx}")));
+            }
+            expr = Expr::Proj(Box::new(expr), idx as u8);
+        }
+        Ok(expr)
+    }
+
+    fn atom(&mut self) -> Result<Expr, TowerError> {
+        match self.peek() {
+            Some(Token::Int(n)) => {
+                let n = *n;
+                self.pos += 1;
+                Ok(Expr::UIntLit(n))
+            }
+            Some(Token::KwTrue) => {
+                self.pos += 1;
+                Ok(Expr::BoolLit(true))
+            }
+            Some(Token::KwFalse) => {
+                self.pos += 1;
+                Ok(Expr::BoolLit(false))
+            }
+            Some(Token::KwNull) => {
+                self.pos += 1;
+                Ok(Expr::Null)
+            }
+            Some(Token::KwDefault) => {
+                self.pos += 1;
+                self.eat(&Token::Lt)?;
+                let ty = self.ty()?;
+                self.eat(&Token::Gt)?;
+                Ok(Expr::Default(ty))
+            }
+            Some(Token::LParen) => {
+                self.pos += 1;
+                if self.try_eat(&Token::RParen) {
+                    return Ok(Expr::UnitLit);
+                }
+                let first = self.expr()?;
+                if self.try_eat(&Token::Comma) {
+                    let second = self.expr()?;
+                    self.eat(&Token::RParen)?;
+                    Ok(Expr::Pair(Box::new(first), Box::new(second)))
+                } else {
+                    self.eat(&Token::RParen)?;
+                    Ok(first)
+                }
+            }
+            Some(Token::Ident(_)) => {
+                let name = self.ident()?;
+                // Call with depth: f[d](args); call without: f(args).
+                if self.peek() == Some(&Token::LBracket) {
+                    self.pos += 1;
+                    let depth = self.depth_expr()?;
+                    self.eat(&Token::RBracket)?;
+                    self.eat(&Token::LParen)?;
+                    let args = self.call_args()?;
+                    Ok(Expr::Call {
+                        fun: name,
+                        depth: Some(depth),
+                        args,
+                    })
+                } else if self.peek() == Some(&Token::LParen) {
+                    self.pos += 1;
+                    let args = self.call_args()?;
+                    Ok(Expr::Call {
+                        fun: name,
+                        depth: None,
+                        args,
+                    })
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            Some(t) => Err(self.error(format!("expected an expression, found {t}"))),
+            None => Err(self.error("expected an expression, found end of input")),
+        }
+    }
+
+    fn call_args(&mut self) -> Result<Vec<Expr>, TowerError> {
+        let mut args = Vec::new();
+        if self.peek() != Some(&Token::RParen) {
+            loop {
+                args.push(self.expr()?);
+                if !self.try_eat(&Token::Comma) {
+                    break;
+                }
+            }
+        }
+        self.eat(&Token::RParen)?;
+        Ok(args)
+    }
+
+    fn depth_expr(&mut self) -> Result<DepthExpr, TowerError> {
+        match self.peek() {
+            Some(Token::Int(n)) => {
+                let n = *n as i64;
+                self.pos += 1;
+                Ok(DepthExpr::Lit(n))
+            }
+            Some(Token::Ident(_)) => {
+                let var = self.ident()?;
+                if self.try_eat(&Token::Minus) {
+                    let k = self.int()? as i64;
+                    Ok(DepthExpr::Sub(var, k))
+                } else {
+                    Ok(DepthExpr::Var(var))
+                }
+            }
+            Some(t) => Err(self.error(format!("expected a depth expression, found {t}"))),
+            None => Err(self.error("expected a depth expression")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Figure 1 `length` program, adapted to this crate's
+    /// surface syntax (explicit return type annotation).
+    pub const LENGTH_SRC: &str = r#"
+        type list = (uint, ptr<list>);
+        fun length[n](xs: ptr<list>, acc: uint) -> uint {
+            with {
+                let is_empty <- xs == null;
+            } do if is_empty {
+                let out <- acc;
+            } else with {
+                let temp <- default<list>;
+                *xs <-> temp;
+                let next <- temp.2;
+                let r <- acc + 1;
+            } do {
+                let out <- length[n-1](next, r);
+            }
+            return out;
+        }
+    "#;
+
+    #[test]
+    fn parses_figure_1_length() {
+        let program = parse(LENGTH_SRC).unwrap();
+        assert_eq!(program.types.len(), 1);
+        let f = program.fun(&Symbol::new("length")).unwrap();
+        assert_eq!(f.depth_param, Some(Symbol::new("n")));
+        assert_eq!(f.params.len(), 2);
+        assert_eq!(f.ret_var, Symbol::new("out"));
+        // Body is a single with-do whose do-block is an if-else.
+        assert_eq!(f.body.len(), 1);
+        match &f.body[0] {
+            Stmt::With { setup, body } => {
+                assert_eq!(setup.len(), 1);
+                assert!(matches!(body[0], Stmt::If { .. }));
+            }
+            other => panic!("expected with-do, found {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_figure_3_nested_ifs() {
+        let src = r#"
+            if x {
+                if y {
+                    with {
+                        let t <- z;
+                    } do {
+                        if z {
+                            let a <- not t;
+                            let b <- true;
+                        }
+                    }
+                }
+            }
+        "#;
+        let stmts = parse_block(src).unwrap();
+        assert_eq!(stmts.len(), 1);
+        let Stmt::If { cond, then_block, .. } = &stmts[0] else {
+            panic!("expected if");
+        };
+        assert_eq!(cond, &Expr::Var(Symbol::new("x")));
+        assert!(matches!(&then_block[0], Stmt::If { .. }));
+    }
+
+    #[test]
+    fn operator_precedence() {
+        let stmts = parse_block("let s <- x && y && z;").unwrap();
+        let Stmt::Let { expr, .. } = &stmts[0] else {
+            panic!()
+        };
+        // Left-associative: (x && y) && z.
+        let Expr::Bin(BinOp::And, lhs, _) = expr else {
+            panic!()
+        };
+        assert!(matches!(**lhs, Expr::Bin(BinOp::And, _, _)));
+
+        let stmts = parse_block("let v <- a + b * c;").unwrap();
+        let Stmt::Let { expr, .. } = &stmts[0] else {
+            panic!()
+        };
+        let Expr::Bin(BinOp::Add, _, rhs) = expr else {
+            panic!("mul should bind tighter: {expr:?}")
+        };
+        assert!(matches!(**rhs, Expr::Bin(BinOp::Mul, _, _)));
+    }
+
+    #[test]
+    fn parses_swaps_and_memswap() {
+        let stmts = parse_block("a <-> b; *p <-> v;").unwrap();
+        assert_eq!(stmts[0], Stmt::Swap(Symbol::new("a"), Symbol::new("b")));
+        assert_eq!(stmts[1], Stmt::MemSwap(Symbol::new("p"), Symbol::new("v")));
+    }
+
+    #[test]
+    fn parses_alloc_dealloc() {
+        let stmts = parse_block("alloc x : list; dealloc x : list;").unwrap();
+        assert!(matches!(stmts[0], Stmt::Alloc { .. }));
+        assert!(matches!(stmts[1], Stmt::Dealloc { .. }));
+    }
+
+    #[test]
+    fn parses_projection_and_unlet() {
+        let stmts = parse_block("let next -> temp.2;").unwrap();
+        let Stmt::UnLet { expr, .. } = &stmts[0] else {
+            panic!()
+        };
+        assert!(matches!(expr, Expr::Proj(_, 2)));
+    }
+
+    #[test]
+    fn parses_equality_sugar() {
+        let stmts = parse_block("let e <- xs == null; let ne <- a != b;").unwrap();
+        let Stmt::Let { expr, .. } = &stmts[0] else {
+            panic!()
+        };
+        assert!(matches!(expr, Expr::Bin(BinOp::Eq, _, _)));
+    }
+
+    #[test]
+    fn missing_return_is_error() {
+        let src = "fun f(x: uint) -> uint { let y <- x; }";
+        assert!(parse(src).is_err());
+    }
+
+    #[test]
+    fn reports_position() {
+        let err = parse("fun f(x: uint) -> uint { let ; return x; }").unwrap_err();
+        let TowerError::Parse { line, .. } = err else {
+            panic!("expected parse error, got {err:?}")
+        };
+        assert_eq!(line, 1);
+    }
+
+    #[test]
+    fn parses_call_with_depth() {
+        let stmts = parse_block("let out <- length[n-1](next, r);").unwrap();
+        let Stmt::Let { expr, .. } = &stmts[0] else {
+            panic!()
+        };
+        let Expr::Call { depth, args, .. } = expr else {
+            panic!()
+        };
+        assert_eq!(depth, &Some(DepthExpr::Sub(Symbol::new("n"), 1)));
+        assert_eq!(args.len(), 2);
+    }
+
+    #[test]
+    fn parses_hadamard() {
+        let stmts = parse_block("had q;").unwrap();
+        assert_eq!(stmts[0], Stmt::Hadamard(Symbol::new("q")));
+    }
+}

@@ -1,0 +1,160 @@
+//! Pretty-printing of core-IR programs back to Tower-like source.
+
+use std::fmt::Write as _;
+
+use crate::core_ir::{CoreBinOp, CoreExpr, CoreStmt, CoreValue};
+
+/// Render a core statement as indented Tower-like source text.
+///
+/// # Example
+///
+/// ```
+/// use tower::{pretty, CoreExpr, CoreStmt, CoreValue, Symbol};
+///
+/// let s = CoreStmt::If {
+///     cond: Symbol::new("c"),
+///     body: Box::new(CoreStmt::Assign {
+///         var: Symbol::new("x"),
+///         expr: CoreExpr::Value(CoreValue::Bool(true)),
+///     }),
+/// };
+/// assert_eq!(pretty(&s), "if c {\n  let x <- true;\n}\n");
+/// ```
+pub fn pretty(stmt: &CoreStmt) -> String {
+    let mut out = String::new();
+    write_stmt(stmt, 0, &mut out);
+    out
+}
+
+fn indent(out: &mut String, level: usize) {
+    for _ in 0..level {
+        out.push_str("  ");
+    }
+}
+
+fn write_stmt(stmt: &CoreStmt, level: usize, out: &mut String) {
+    match stmt {
+        CoreStmt::Skip => {
+            indent(out, level);
+            out.push_str("skip;\n");
+        }
+        CoreStmt::Seq(ss) => {
+            for s in ss {
+                write_stmt(s, level, out);
+            }
+        }
+        CoreStmt::If { cond, body } => {
+            indent(out, level);
+            let _ = writeln!(out, "if {cond} {{");
+            write_stmt(body, level + 1, out);
+            indent(out, level);
+            out.push_str("}\n");
+        }
+        CoreStmt::With { setup, body } => {
+            indent(out, level);
+            out.push_str("with {\n");
+            write_stmt(setup, level + 1, out);
+            indent(out, level);
+            out.push_str("} do {\n");
+            write_stmt(body, level + 1, out);
+            indent(out, level);
+            out.push_str("}\n");
+        }
+        CoreStmt::Assign { var, expr } => {
+            indent(out, level);
+            let _ = writeln!(out, "let {var} <- {};", expr_str(expr));
+        }
+        CoreStmt::Unassign { var, expr } => {
+            indent(out, level);
+            let _ = writeln!(out, "let {var} -> {};", expr_str(expr));
+        }
+        CoreStmt::Hadamard(x) => {
+            indent(out, level);
+            let _ = writeln!(out, "had {x};");
+        }
+        CoreStmt::Swap(a, b) => {
+            indent(out, level);
+            let _ = writeln!(out, "{a} <-> {b};");
+        }
+        CoreStmt::MemSwap { ptr, val } => {
+            indent(out, level);
+            let _ = writeln!(out, "*{ptr} <-> {val};");
+        }
+        CoreStmt::Alloc { var, pointee } => {
+            indent(out, level);
+            let _ = writeln!(out, "alloc {var} : {pointee};");
+        }
+        CoreStmt::Dealloc { var, pointee } => {
+            indent(out, level);
+            let _ = writeln!(out, "dealloc {var} : {pointee};");
+        }
+    }
+}
+
+fn expr_str(expr: &CoreExpr) -> String {
+    match expr {
+        CoreExpr::Value(v) => value_str(v),
+        CoreExpr::Var(x) => x.to_string(),
+        CoreExpr::Proj1(x) => format!("{x}.1"),
+        CoreExpr::Proj2(x) => format!("{x}.2"),
+        CoreExpr::Not(x) => format!("not {x}"),
+        CoreExpr::Test(x) => format!("test {x}"),
+        CoreExpr::Bin(op, a, b) => {
+            let op = match op {
+                CoreBinOp::And => "&&",
+                CoreBinOp::Or => "||",
+                CoreBinOp::Add => "+",
+                CoreBinOp::Sub => "-",
+                CoreBinOp::Mul => "*",
+            };
+            format!("{a} {op} {b}")
+        }
+    }
+}
+
+fn value_str(value: &CoreValue) -> String {
+    match value {
+        CoreValue::Unit => "()".into(),
+        CoreValue::UInt(n) => n.to_string(),
+        CoreValue::Bool(b) => b.to_string(),
+        CoreValue::Null(ty) => format!("default<ptr<{ty}>>"),
+        CoreValue::PtrLit(ty, a) => format!("ptr<{ty}>[{a}]"),
+        CoreValue::Pair(a, b) => format!("({a}, {b})"),
+        CoreValue::ZeroOf(ty) => format!("default<{ty}>"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::symbol::Symbol;
+    use crate::types::Type;
+
+    #[test]
+    fn prints_with_do() {
+        let s = CoreStmt::With {
+            setup: Box::new(CoreStmt::Assign {
+                var: Symbol::new("t"),
+                expr: CoreExpr::Var(Symbol::new("z")),
+            }),
+            body: Box::new(CoreStmt::MemSwap {
+                ptr: Symbol::new("p"),
+                val: Symbol::new("t"),
+            }),
+        };
+        let text = pretty(&s);
+        assert!(text.contains("with {"));
+        assert!(text.contains("let t <- z;"));
+        assert!(text.contains("*p <-> t;"));
+    }
+
+    #[test]
+    fn prints_values() {
+        assert_eq!(value_str(&CoreValue::UInt(7)), "7");
+        assert_eq!(value_str(&CoreValue::ZeroOf(Type::UInt)), "default<uint>");
+        assert_eq!(
+            value_str(&CoreValue::Pair(Symbol::new("a"), Symbol::new("b"))),
+            "(a, b)"
+        );
+    }
+}

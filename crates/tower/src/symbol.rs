@@ -1,0 +1,118 @@
+//! Interned-ish symbols and deterministic fresh-name generation.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A variable, function, or type name.
+///
+/// Symbols are cheaply cloneable (shared string storage) and compare by
+/// string value.
+///
+/// # Example
+///
+/// ```
+/// use tower::Symbol;
+///
+/// let a = Symbol::new("xs");
+/// let b = Symbol::new("xs");
+/// assert_eq!(a, b);
+/// assert_eq!(a.as_str(), "xs");
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Symbol(Arc<str>);
+
+impl Symbol {
+    /// Create a symbol from a name.
+    pub fn new(name: impl AsRef<str>) -> Self {
+        Symbol(Arc::from(name.as_ref()))
+    }
+
+    /// The symbol's textual name.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl fmt::Debug for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "`{}`", self.0)
+    }
+}
+
+impl From<&str> for Symbol {
+    fn from(s: &str) -> Self {
+        Symbol::new(s)
+    }
+}
+
+impl From<String> for Symbol {
+    fn from(s: String) -> Self {
+        Symbol(Arc::from(s))
+    }
+}
+
+/// Deterministic generator of fresh symbols.
+///
+/// Fresh names contain a `%` character, which the lexer rejects in source
+/// identifiers, so generated names can never collide with user names.
+///
+/// # Example
+///
+/// ```
+/// use tower::NameGen;
+///
+/// let mut names = NameGen::new();
+/// let a = names.fresh("tmp");
+/// let b = names.fresh("tmp");
+/// assert_ne!(a, b);
+/// assert!(a.as_str().starts_with("tmp%"));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct NameGen {
+    counter: u64,
+}
+
+impl NameGen {
+    /// A generator starting at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Produce a fresh symbol with the given prefix.
+    pub fn fresh(&mut self, prefix: &str) -> Symbol {
+        let n = self.counter;
+        self.counter += 1;
+        Symbol::new(format!("{prefix}%{n}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn symbols_compare_by_value() {
+        assert_eq!(Symbol::new("x"), Symbol::from("x"));
+        assert_ne!(Symbol::new("x"), Symbol::new("y"));
+    }
+
+    #[test]
+    fn fresh_names_are_distinct() {
+        let mut names = NameGen::new();
+        let set: HashSet<_> = (0..100).map(|_| names.fresh("t")).collect();
+        assert_eq!(set.len(), 100);
+    }
+
+    #[test]
+    fn symbols_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Symbol>();
+    }
+}

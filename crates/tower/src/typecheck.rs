@@ -1,0 +1,517 @@
+//! Type checking for the core IR: the judgments of paper Appendix B.1
+//! (Figures 18–20), including the two Spire-era changes — re-declaration of
+//! a variable at its original type, and typing of the `H(x)` statement.
+
+use std::collections::HashMap;
+
+use crate::core_ir::{CoreBinOp, CoreExpr, CoreStmt, CoreValue};
+use crate::error::TowerError;
+use crate::symbol::Symbol;
+use crate::types::{Type, TypeTable};
+
+/// An ordered typing context Γ: later bindings shadow earlier ones.
+pub type Context = Vec<(Symbol, Type)>;
+
+/// Result of type checking a statement.
+#[derive(Debug, Clone)]
+pub struct TypeInfo {
+    /// Every variable's type. Re-declarations are required to agree with
+    /// the original type, so one entry per name suffices — which is also
+    /// what lets the register allocator give re-declared variables their
+    /// original registers (paper Appendix B.1 and Appendix D).
+    pub var_types: HashMap<Symbol, Type>,
+    /// The context Γ′ after the statement (the live variables).
+    pub final_context: Context,
+}
+
+impl TypeInfo {
+    /// Type of a variable, if it was ever declared.
+    pub fn type_of(&self, var: &Symbol) -> Option<&Type> {
+        self.var_types.get(var)
+    }
+}
+
+/// How strictly to enforce rule S-If's `dom Γ ⊆ dom Γ'` side condition.
+///
+/// User-written programs are checked [`Strictness::Strict`]ly, exactly as
+/// in paper Figure 20. The program-level optimizations split sequences
+/// under `if`, which separates paired declare/un-declare statements into
+/// individual `if`s; their output is re-checked with
+/// [`Strictness::Relaxed`], which permits an `if`-body to un-declare an
+/// outer variable (the dual of the paper's re-declaration relaxation, and
+/// sound for the same reason: the statements arose from a well-formed
+/// program by semantics-preserving rewrites).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Strictness {
+    /// Enforce `dom Γ ⊆ dom Γ'` (paper Figure 20).
+    #[default]
+    Strict,
+    /// Allow conditional un-declaration (optimizer output).
+    Relaxed,
+}
+
+/// Check `Γ ⊢ s ⊣ Γ′` for a statement under an initial context, producing
+/// the final context and the variable-type map.
+///
+/// # Errors
+///
+/// Reports unbound variables, type mismatches, violations of the S-If side
+/// conditions, and re-declarations at a different type.
+///
+/// # Example
+///
+/// ```
+/// use tower::{typecheck, CoreExpr, CoreStmt, CoreValue, Symbol, TypeTable, WordConfig};
+///
+/// let table = TypeTable::new(WordConfig::paper_default());
+/// let stmt = CoreStmt::Assign {
+///     var: Symbol::new("x"),
+///     expr: CoreExpr::Value(CoreValue::UInt(3)),
+/// };
+/// let info = typecheck(&stmt, &[], &table).unwrap();
+/// assert_eq!(info.final_context.len(), 1);
+/// ```
+pub fn typecheck(
+    stmt: &CoreStmt,
+    initial: &[(Symbol, Type)],
+    table: &TypeTable,
+) -> Result<TypeInfo, TowerError> {
+    typecheck_with(stmt, initial, table, Strictness::Strict)
+}
+
+/// [`typecheck`] with an explicit [`Strictness`] mode.
+///
+/// # Errors
+///
+/// As [`typecheck`]; in relaxed mode, conditional un-declaration is
+/// accepted instead of reported.
+pub fn typecheck_with(
+    stmt: &CoreStmt,
+    initial: &[(Symbol, Type)],
+    table: &TypeTable,
+    strictness: Strictness,
+) -> Result<TypeInfo, TowerError> {
+    let mut checker = Checker {
+        table,
+        var_types: HashMap::new(),
+        strictness,
+    };
+    for (var, ty) in initial {
+        checker.note_type(var, ty)?;
+    }
+    let final_context = checker.stmt(stmt, initial.to_vec())?;
+    Ok(TypeInfo {
+        var_types: checker.var_types,
+        final_context,
+    })
+}
+
+struct Checker<'t> {
+    table: &'t TypeTable,
+    var_types: HashMap<Symbol, Type>,
+    strictness: Strictness,
+}
+
+impl Checker<'_> {
+    fn note_type(&mut self, var: &Symbol, ty: &Type) -> Result<(), TowerError> {
+        match self.var_types.get(var) {
+            None => {
+                self.var_types.insert(var.clone(), ty.clone());
+                Ok(())
+            }
+            Some(existing) => {
+                if self.table.equiv(existing, ty)? {
+                    Ok(())
+                } else {
+                    Err(TowerError::RedeclaredAtDifferentType {
+                        var: var.clone(),
+                        original: existing.to_string(),
+                        new: ty.to_string(),
+                    })
+                }
+            }
+        }
+    }
+
+    fn lookup(&self, ctx: &Context, var: &Symbol) -> Result<Type, TowerError> {
+        ctx.iter()
+            .rev()
+            .find(|(v, _)| v == var)
+            .map(|(_, t)| t.clone())
+            .ok_or_else(|| TowerError::UnboundVar { var: var.clone() })
+    }
+
+    fn value_type(&self, ctx: &Context, value: &CoreValue) -> Result<Type, TowerError> {
+        Ok(match value {
+            CoreValue::Unit => Type::Unit,
+            CoreValue::UInt(_) => Type::UInt,
+            CoreValue::Bool(_) => Type::Bool,
+            CoreValue::Null(pointee) | CoreValue::PtrLit(pointee, _) => {
+                Type::ptr(pointee.clone())
+            }
+            CoreValue::Pair(a, b) => {
+                Type::pair(self.lookup(ctx, a)?, self.lookup(ctx, b)?)
+            }
+            CoreValue::ZeroOf(ty) => ty.clone(),
+        })
+    }
+
+    fn expr_type(&self, ctx: &Context, expr: &CoreExpr) -> Result<Type, TowerError> {
+        match expr {
+            CoreExpr::Value(v) => self.value_type(ctx, v),
+            CoreExpr::Var(x) => self.lookup(ctx, x),
+            CoreExpr::Proj1(x) | CoreExpr::Proj2(x) => {
+                let ty = self.lookup(ctx, x)?;
+                let resolved = self.table.resolve_shallow(&ty)?.clone();
+                match resolved {
+                    Type::Pair(a, b) => Ok(if matches!(expr, CoreExpr::Proj1(_)) {
+                        *a
+                    } else {
+                        *b
+                    }),
+                    other => Err(TowerError::TypeMismatch {
+                        context: format!("projection of `{x}`"),
+                        expected: "a pair type".into(),
+                        found: other.to_string(),
+                    }),
+                }
+            }
+            CoreExpr::Not(x) => {
+                self.expect(ctx, x, &Type::Bool, "operand of `not`")?;
+                Ok(Type::Bool)
+            }
+            CoreExpr::Test(x) => {
+                let ty = self.lookup(ctx, x)?;
+                let resolved = self.table.resolve_shallow(&ty)?;
+                match resolved {
+                    Type::UInt | Type::Ptr(_) => Ok(Type::Bool),
+                    other => Err(TowerError::TypeMismatch {
+                        context: format!("operand of `test {x}`"),
+                        expected: "uint or a pointer".into(),
+                        found: other.to_string(),
+                    }),
+                }
+            }
+            CoreExpr::Bin(op, a, b) => {
+                let operand = match op {
+                    CoreBinOp::And | CoreBinOp::Or => Type::Bool,
+                    CoreBinOp::Add | CoreBinOp::Sub | CoreBinOp::Mul => Type::UInt,
+                };
+                self.expect(ctx, a, &operand, "left operand")?;
+                self.expect(ctx, b, &operand, "right operand")?;
+                Ok(operand)
+            }
+        }
+    }
+
+    fn expect(
+        &self,
+        ctx: &Context,
+        var: &Symbol,
+        expected: &Type,
+        context: &str,
+    ) -> Result<(), TowerError> {
+        let found = self.lookup(ctx, var)?;
+        if self.table.equiv(&found, expected)? {
+            Ok(())
+        } else {
+            Err(TowerError::TypeMismatch {
+                context: format!("{context} `{var}`"),
+                expected: expected.to_string(),
+                found: found.to_string(),
+            })
+        }
+    }
+
+    /// Remove the most recent binding of `var` (rule S-UnAssign's shape:
+    /// `Γ, x:τ, Γ′` with `x ∉ Γ′` becomes `Γ, Γ′`).
+    fn unbind(&self, ctx: &mut Context, var: &Symbol) -> Result<Type, TowerError> {
+        let idx = ctx
+            .iter()
+            .rposition(|(v, _)| v == var)
+            .ok_or_else(|| TowerError::UnboundVar { var: var.clone() })?;
+        Ok(ctx.remove(idx).1)
+    }
+
+    fn stmt(&mut self, stmt: &CoreStmt, mut ctx: Context) -> Result<Context, TowerError> {
+        match stmt {
+            CoreStmt::Skip => Ok(ctx),
+            CoreStmt::Seq(ss) => {
+                for s in ss {
+                    ctx = self.stmt(s, ctx)?;
+                }
+                Ok(ctx)
+            }
+            CoreStmt::Assign { var, expr } => {
+                let ty = self.expr_type(&ctx, expr)?;
+                self.note_type(var, &ty)?;
+                ctx.push((var.clone(), ty));
+                Ok(ctx)
+            }
+            CoreStmt::Unassign { var, expr } => {
+                let ty = self.expr_type(&ctx, expr)?;
+                let bound = self.unbind(&mut ctx, var)?;
+                if !self.table.equiv(&bound, &ty)? {
+                    return Err(TowerError::TypeMismatch {
+                        context: format!("un-assignment of `{var}`"),
+                        expected: bound.to_string(),
+                        found: ty.to_string(),
+                    });
+                }
+                Ok(ctx)
+            }
+            CoreStmt::Hadamard(var) => {
+                self.expect(&ctx, var, &Type::Bool, "Hadamard operand")?;
+                Ok(ctx)
+            }
+            CoreStmt::Swap(a, b) => {
+                let ta = self.lookup(&ctx, a)?;
+                let tb = self.lookup(&ctx, b)?;
+                if !self.table.equiv(&ta, &tb)? {
+                    return Err(TowerError::TypeMismatch {
+                        context: format!("swap of `{a}` and `{b}`"),
+                        expected: ta.to_string(),
+                        found: tb.to_string(),
+                    });
+                }
+                Ok(ctx)
+            }
+            CoreStmt::MemSwap { ptr, val } => {
+                let tp = self.lookup(&ctx, ptr)?;
+                let pointee = match self.table.resolve_shallow(&tp)? {
+                    Type::Ptr(inner) => (**inner).clone(),
+                    other => {
+                        return Err(TowerError::TypeMismatch {
+                            context: format!("memory swap through `{ptr}`"),
+                            expected: "a pointer".into(),
+                            found: other.to_string(),
+                        })
+                    }
+                };
+                self.expect(&ctx, val, &pointee, "memory-swap operand")?;
+                Ok(ctx)
+            }
+            CoreStmt::If { cond, body } => {
+                self.expect(&ctx, cond, &Type::Bool, "if-condition")?;
+                if body.mod_set().contains(cond) {
+                    return Err(TowerError::IfConditionModified { var: cond.clone() });
+                }
+                let before: Vec<Symbol> = ctx.iter().map(|(v, _)| v.clone()).collect();
+                let after = self.stmt(body, ctx)?;
+                if self.strictness == Strictness::Strict {
+                    for var in &before {
+                        if !after.iter().any(|(v, _)| v == var) {
+                            return Err(TowerError::IfUndeclaresOuter { var: var.clone() });
+                        }
+                    }
+                }
+                Ok(after)
+            }
+            CoreStmt::With { .. } => {
+                // `with { s₁ } do { s₂ }` types as its expansion
+                // `s₁; s₂; I[s₁]`.
+                let expanded = stmt.expand_with();
+                self.stmt(&expanded, ctx)
+            }
+            CoreStmt::Alloc { var, pointee } => {
+                let ty = Type::ptr(pointee.clone());
+                self.note_type(var, &ty)?;
+                ctx.push((var.clone(), ty));
+                Ok(ctx)
+            }
+            CoreStmt::Dealloc { var, pointee } => {
+                let bound = self.unbind(&mut ctx, var)?;
+                let expected = Type::ptr(pointee.clone());
+                if !self.table.equiv(&bound, &expected)? {
+                    return Err(TowerError::TypeMismatch {
+                        context: format!("dealloc of `{var}`"),
+                        expected: expected.to_string(),
+                        found: bound.to_string(),
+                    });
+                }
+                Ok(ctx)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::WordConfig;
+
+    fn table() -> TypeTable {
+        let mut t = TypeTable::new(WordConfig::paper_default());
+        t.define(
+            Symbol::new("list"),
+            Type::pair(Type::UInt, Type::ptr(Type::Named(Symbol::new("list")))),
+        )
+        .unwrap();
+        t
+    }
+
+    fn assign(var: &str, expr: CoreExpr) -> CoreStmt {
+        CoreStmt::Assign {
+            var: Symbol::new(var),
+            expr,
+        }
+    }
+
+    #[test]
+    fn assign_extends_context() {
+        let info = typecheck(
+            &assign("x", CoreExpr::Value(CoreValue::UInt(1))),
+            &[],
+            &table(),
+        )
+        .unwrap();
+        assert_eq!(info.final_context, vec![(Symbol::new("x"), Type::UInt)]);
+    }
+
+    #[test]
+    fn unassign_removes_binding() {
+        let s = CoreStmt::seq(vec![
+            assign("x", CoreExpr::Value(CoreValue::UInt(1))),
+            CoreStmt::Unassign {
+                var: Symbol::new("x"),
+                expr: CoreExpr::Value(CoreValue::UInt(1)),
+            },
+        ]);
+        let info = typecheck(&s, &[], &table()).unwrap();
+        assert!(info.final_context.is_empty());
+        assert_eq!(info.type_of(&Symbol::new("x")), Some(&Type::UInt));
+    }
+
+    #[test]
+    fn redeclaration_at_same_type_is_allowed() {
+        let s = CoreStmt::seq(vec![
+            assign("out", CoreExpr::Value(CoreValue::UInt(1))),
+            assign("out", CoreExpr::Value(CoreValue::UInt(2))),
+        ]);
+        assert!(typecheck(&s, &[], &table()).is_ok());
+    }
+
+    #[test]
+    fn redeclaration_at_other_type_is_rejected() {
+        let s = CoreStmt::seq(vec![
+            assign("out", CoreExpr::Value(CoreValue::UInt(1))),
+            assign("out", CoreExpr::Value(CoreValue::Bool(true))),
+        ]);
+        assert!(matches!(
+            typecheck(&s, &[], &table()),
+            Err(TowerError::RedeclaredAtDifferentType { .. })
+        ));
+    }
+
+    #[test]
+    fn if_condition_must_be_bool_and_unmodified() {
+        let ctx = vec![(Symbol::new("c"), Type::Bool)];
+        let bad = CoreStmt::If {
+            cond: Symbol::new("c"),
+            body: Box::new(assign("c", CoreExpr::Value(CoreValue::Bool(true)))),
+        };
+        assert!(matches!(
+            typecheck(&bad, &ctx, &table()),
+            Err(TowerError::IfConditionModified { .. })
+        ));
+
+        let not_bool = vec![(Symbol::new("c"), Type::UInt)];
+        let s = CoreStmt::If {
+            cond: Symbol::new("c"),
+            body: Box::new(CoreStmt::Skip),
+        };
+        assert!(typecheck(&s, &not_bool, &table()).is_err());
+    }
+
+    #[test]
+    fn if_body_may_not_undeclare_outer() {
+        let ctx = vec![(Symbol::new("c"), Type::Bool), (Symbol::new("x"), Type::UInt)];
+        let bad = CoreStmt::If {
+            cond: Symbol::new("c"),
+            body: Box::new(CoreStmt::Unassign {
+                var: Symbol::new("x"),
+                expr: CoreExpr::Value(CoreValue::UInt(0)),
+            }),
+        };
+        assert!(matches!(
+            typecheck(&bad, &ctx, &table()),
+            Err(TowerError::IfUndeclaresOuter { .. })
+        ));
+    }
+
+    #[test]
+    fn projection_through_named_type() {
+        let list = Type::Named(Symbol::new("list"));
+        let ctx = vec![(Symbol::new("node"), list)];
+        let s = assign("next", CoreExpr::Proj2(Symbol::new("node")));
+        let info = typecheck(&s, &ctx, &table()).unwrap();
+        let next_ty = info.type_of(&Symbol::new("next")).unwrap();
+        assert!(table()
+            .equiv(next_ty, &Type::ptr(Type::Named(Symbol::new("list"))))
+            .unwrap());
+    }
+
+    #[test]
+    fn memswap_types_cell_against_pointee() {
+        let list = Type::Named(Symbol::new("list"));
+        let ctx = vec![
+            (Symbol::new("p"), Type::ptr(list.clone())),
+            (Symbol::new("v"), list),
+            (Symbol::new("w"), Type::UInt),
+        ];
+        let good = CoreStmt::MemSwap {
+            ptr: Symbol::new("p"),
+            val: Symbol::new("v"),
+        };
+        assert!(typecheck(&good, &ctx, &table()).is_ok());
+        let bad = CoreStmt::MemSwap {
+            ptr: Symbol::new("p"),
+            val: Symbol::new("w"),
+        };
+        assert!(typecheck(&bad, &ctx, &table()).is_err());
+    }
+
+    #[test]
+    fn with_types_as_expansion() {
+        // with { t <- 1 } do { out <- t } leaves only `out` live.
+        let s = CoreStmt::With {
+            setup: Box::new(assign("t", CoreExpr::Value(CoreValue::UInt(1)))),
+            body: Box::new(assign("out", CoreExpr::Var(Symbol::new("t")))),
+        };
+        let info = typecheck(&s, &[], &table()).unwrap();
+        assert_eq!(info.final_context, vec![(Symbol::new("out"), Type::UInt)]);
+    }
+
+    #[test]
+    fn alloc_dealloc_roundtrip() {
+        let list = Type::Named(Symbol::new("list"));
+        let s = CoreStmt::seq(vec![
+            CoreStmt::Alloc {
+                var: Symbol::new("p"),
+                pointee: list.clone(),
+            },
+            CoreStmt::Dealloc {
+                var: Symbol::new("p"),
+                pointee: list,
+            },
+        ]);
+        let info = typecheck(&s, &[], &table()).unwrap();
+        assert!(info.final_context.is_empty());
+    }
+
+    #[test]
+    fn arithmetic_requires_uint() {
+        let ctx = vec![(Symbol::new("b"), Type::Bool)];
+        let s = assign("x", CoreExpr::Bin(CoreBinOp::Add, Symbol::new("b"), Symbol::new("b")));
+        assert!(typecheck(&s, &ctx, &table()).is_err());
+    }
+
+    #[test]
+    fn unbound_variable_reported() {
+        let s = assign("x", CoreExpr::Var(Symbol::new("ghost")));
+        assert!(matches!(
+            typecheck(&s, &[], &table()),
+            Err(TowerError::UnboundVar { .. })
+        ));
+    }
+}

@@ -1,0 +1,331 @@
+//! Tower's data types (paper Figure 13) and the bit-level layout rules the
+//! compiler uses for them.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::error::TowerError;
+use crate::symbol::Symbol;
+
+/// Bit widths of the primitive register classes.
+///
+/// The paper fixes both widths to small constants (Section 3.2 assumes
+/// constant bit width; Section 3.5 computes savings "assuming 8-bit
+/// registers"). The defaults here — 8-bit integers and 4-bit pointers
+/// (a 16-cell memory) — land the absolute gate counts in the same regime
+/// as the paper's Table 1. Appendix A's bit-width experiment sweeps these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WordConfig {
+    /// Bits in a `uint` register.
+    pub uint_bits: u32,
+    /// Bits in a pointer register; the memory has `2^ptr_bits - 1`
+    /// addressable cells (address 0 is null).
+    pub ptr_bits: u32,
+}
+
+impl WordConfig {
+    /// The configuration used throughout the paper-scale experiments.
+    pub fn paper_default() -> Self {
+        WordConfig {
+            uint_bits: 8,
+            ptr_bits: 4,
+        }
+    }
+
+    /// A tiny configuration for simulation-based tests (few qubits).
+    pub fn tiny() -> Self {
+        WordConfig {
+            uint_bits: 2,
+            ptr_bits: 2,
+        }
+    }
+}
+
+impl Default for WordConfig {
+    fn default() -> Self {
+        WordConfig::paper_default()
+    }
+}
+
+/// A Tower type (paper Figure 13):
+/// `τ ::= () | uint | bool | (τ₁, τ₂) | ptr(τ)` plus named references to
+/// `type` declarations, which allow the recursive types that linked data
+/// structures need.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Type {
+    /// The unit type `()` (zero bits).
+    Unit,
+    /// Fixed-width unsigned integer.
+    UInt,
+    /// One-bit boolean.
+    Bool,
+    /// Pair of two types.
+    Pair(Box<Type>, Box<Type>),
+    /// Pointer to a value of the given type.
+    Ptr(Box<Type>),
+    /// Reference to a `type name = …` declaration.
+    Named(Symbol),
+}
+
+impl Type {
+    /// Convenience constructor for pair types.
+    pub fn pair(a: Type, b: Type) -> Type {
+        Type::Pair(Box::new(a), Box::new(b))
+    }
+
+    /// Convenience constructor for pointer types.
+    pub fn ptr(t: Type) -> Type {
+        Type::Ptr(Box::new(t))
+    }
+}
+
+impl fmt::Display for Type {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Type::Unit => write!(f, "()"),
+            Type::UInt => write!(f, "uint"),
+            Type::Bool => write!(f, "bool"),
+            Type::Pair(a, b) => write!(f, "({a}, {b})"),
+            Type::Ptr(t) => write!(f, "ptr<{t}>"),
+            Type::Named(n) => write!(f, "{n}"),
+        }
+    }
+}
+
+/// Table of `type` declarations, with layout queries.
+///
+/// # Example
+///
+/// ```
+/// use tower::{Symbol, Type, TypeTable, WordConfig};
+///
+/// let mut table = TypeTable::new(WordConfig::paper_default());
+/// // type list = (uint, ptr<list>);
+/// table.define(
+///     Symbol::new("list"),
+///     Type::pair(Type::UInt, Type::ptr(Type::Named(Symbol::new("list")))),
+/// ).unwrap();
+/// let list = Type::Named(Symbol::new("list"));
+/// assert_eq!(table.width(&list).unwrap(), 8 + 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TypeTable {
+    config: WordConfig,
+    defs: HashMap<Symbol, Type>,
+}
+
+/// Recursion fuel for type resolution; cyclic non-pointer recursion (which
+/// would denote an infinite-width type) is reported as an error once fuel
+/// runs out.
+const RESOLVE_FUEL: u32 = 64;
+
+impl TypeTable {
+    /// An empty table for the given word configuration.
+    pub fn new(config: WordConfig) -> Self {
+        TypeTable {
+            config,
+            defs: HashMap::new(),
+        }
+    }
+
+    /// The word configuration this table lays types out with.
+    pub fn config(&self) -> WordConfig {
+        self.config
+    }
+
+    /// Add a `type name = ty` declaration.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if `name` is already defined.
+    pub fn define(&mut self, name: Symbol, ty: Type) -> Result<(), TowerError> {
+        if self.defs.contains_key(&name) {
+            return Err(TowerError::DuplicateType { name });
+        }
+        self.defs.insert(name, ty);
+        Ok(())
+    }
+
+    /// Look up a type declaration.
+    pub fn get(&self, name: &Symbol) -> Option<&Type> {
+        self.defs.get(name)
+    }
+
+    /// Expand a top-level [`Type::Named`] reference (one level).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for references to undeclared type names.
+    pub fn resolve_shallow<'t>(&'t self, ty: &'t Type) -> Result<&'t Type, TowerError> {
+        let mut current = ty;
+        for _ in 0..RESOLVE_FUEL {
+            match current {
+                Type::Named(name) => {
+                    current = self.defs.get(name).ok_or_else(|| TowerError::UnknownType {
+                        name: name.clone(),
+                    })?;
+                }
+                other => return Ok(other),
+            }
+        }
+        Err(TowerError::CyclicType { ty: ty.to_string() })
+    }
+
+    /// Structural type equivalence, unfolding named types as needed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates unknown-type errors.
+    pub fn equiv(&self, a: &Type, b: &Type) -> Result<bool, TowerError> {
+        self.equiv_fuel(a, b, RESOLVE_FUEL)
+    }
+
+    fn equiv_fuel(&self, a: &Type, b: &Type, fuel: u32) -> Result<bool, TowerError> {
+        if fuel == 0 {
+            return Err(TowerError::CyclicType { ty: a.to_string() });
+        }
+        match (a, b) {
+            (Type::Named(x), Type::Named(y)) if x == y => Ok(true),
+            (Type::Named(_), _) => self.equiv_fuel(self.resolve_shallow(a)?, b, fuel - 1),
+            (_, Type::Named(_)) => self.equiv_fuel(a, self.resolve_shallow(b)?, fuel - 1),
+            (Type::Unit, Type::Unit)
+            | (Type::UInt, Type::UInt)
+            | (Type::Bool, Type::Bool) => Ok(true),
+            (Type::Pair(a1, a2), Type::Pair(b1, b2)) => {
+                Ok(self.equiv_fuel(a1, b1, fuel - 1)? && self.equiv_fuel(a2, b2, fuel - 1)?)
+            }
+            // Pointers compare by pointee name/structure without unfolding
+            // through the pointer, so recursive types terminate.
+            (Type::Ptr(p), Type::Ptr(q)) => self.ptr_equiv(p, q, fuel - 1),
+            _ => Ok(false),
+        }
+    }
+
+    fn ptr_equiv(&self, p: &Type, q: &Type, fuel: u32) -> Result<bool, TowerError> {
+        if fuel == 0 {
+            return Err(TowerError::CyclicType { ty: p.to_string() });
+        }
+        match (p, q) {
+            (Type::Named(x), Type::Named(y)) => Ok(x == y),
+            (Type::Named(_), _) => self.ptr_equiv(self.resolve_shallow(p)?, q, fuel - 1),
+            (_, Type::Named(_)) => self.ptr_equiv(p, self.resolve_shallow(q)?, fuel - 1),
+            _ => self.equiv_fuel(p, q, fuel),
+        }
+    }
+
+    /// Bit width of a type under this table's [`WordConfig`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for undeclared names or for types whose width is
+    /// infinite (recursion not guarded by a pointer).
+    pub fn width(&self, ty: &Type) -> Result<u32, TowerError> {
+        self.width_fuel(ty, RESOLVE_FUEL)
+    }
+
+    fn width_fuel(&self, ty: &Type, fuel: u32) -> Result<u32, TowerError> {
+        if fuel == 0 {
+            return Err(TowerError::CyclicType { ty: ty.to_string() });
+        }
+        match ty {
+            Type::Unit => Ok(0),
+            Type::UInt => Ok(self.config.uint_bits),
+            Type::Bool => Ok(1),
+            Type::Pair(a, b) => Ok(self.width_fuel(a, fuel - 1)? + self.width_fuel(b, fuel - 1)?),
+            Type::Ptr(_) => Ok(self.config.ptr_bits),
+            Type::Named(_) => self.width_fuel(self.resolve_shallow(ty)?, fuel - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn list_table() -> TypeTable {
+        let mut table = TypeTable::new(WordConfig::paper_default());
+        table
+            .define(
+                Symbol::new("list"),
+                Type::pair(Type::UInt, Type::ptr(Type::Named(Symbol::new("list")))),
+            )
+            .unwrap();
+        table
+    }
+
+    #[test]
+    fn widths_of_primitives() {
+        let table = TypeTable::new(WordConfig::paper_default());
+        assert_eq!(table.width(&Type::Unit).unwrap(), 0);
+        assert_eq!(table.width(&Type::UInt).unwrap(), 8);
+        assert_eq!(table.width(&Type::Bool).unwrap(), 1);
+        assert_eq!(table.width(&Type::ptr(Type::UInt)).unwrap(), 4);
+    }
+
+    #[test]
+    fn recursive_type_width_terminates() {
+        let table = list_table();
+        let list = Type::Named(Symbol::new("list"));
+        assert_eq!(table.width(&list).unwrap(), 12);
+    }
+
+    #[test]
+    fn named_type_equiv_unfolds() {
+        let table = list_table();
+        let list = Type::Named(Symbol::new("list"));
+        let unfolded = Type::pair(Type::UInt, Type::ptr(list.clone()));
+        assert!(table.equiv(&list, &unfolded).unwrap());
+        assert!(!table.equiv(&list, &Type::UInt).unwrap());
+    }
+
+    #[test]
+    fn recursive_equiv_terminates() {
+        let table = list_table();
+        let list = Type::Named(Symbol::new("list"));
+        assert!(table.equiv(&list, &list).unwrap());
+        assert!(table
+            .equiv(&Type::ptr(list.clone()), &Type::ptr(list))
+            .unwrap());
+    }
+
+    #[test]
+    fn unknown_type_is_error() {
+        let table = TypeTable::new(WordConfig::paper_default());
+        let bogus = Type::Named(Symbol::new("ghost"));
+        assert!(matches!(
+            table.width(&bogus),
+            Err(TowerError::UnknownType { .. })
+        ));
+    }
+
+    #[test]
+    fn unguarded_recursion_is_error() {
+        let mut table = TypeTable::new(WordConfig::paper_default());
+        table
+            .define(
+                Symbol::new("inf"),
+                Type::pair(Type::UInt, Type::Named(Symbol::new("inf"))),
+            )
+            .unwrap();
+        assert!(matches!(
+            table.width(&Type::Named(Symbol::new("inf"))),
+            Err(TowerError::CyclicType { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_definition_is_error() {
+        let mut table = TypeTable::new(WordConfig::paper_default());
+        table.define(Symbol::new("t"), Type::UInt).unwrap();
+        assert!(matches!(
+            table.define(Symbol::new("t"), Type::Bool),
+            Err(TowerError::DuplicateType { .. })
+        ));
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let ty = Type::pair(Type::UInt, Type::ptr(Type::Named(Symbol::new("list"))));
+        assert_eq!(ty.to_string(), "(uint, ptr<list>)");
+    }
+}

@@ -1,0 +1,67 @@
+//! Reproduce the paper's optimizer comparison (Section 8.3) interactively:
+//! compile `length-simplified`, hand the circuit to every baseline
+//! optimizer analogue, and print T-counts and running times side by side
+//! with Spire's program-level result.
+//!
+//! Run with: `cargo run --release --example optimizer_shootout`
+
+use std::time::Instant;
+
+use spire_repro::bench_suite::programs::LENGTH_SIMPLE;
+use spire_repro::qopt::{registry, CircuitOptimizer, SearchOpt};
+use spire_repro::spire::{compile_source, CompileOptions};
+use spire_repro::tower::WordConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let depth = 8;
+    let config = WordConfig::paper_default();
+    let baseline = compile_source(
+        LENGTH_SIMPLE,
+        "length_simple",
+        depth,
+        config,
+        &CompileOptions::baseline(),
+    )?;
+    let circuit = baseline.emit();
+    println!(
+        "length-simplified at depth {depth}: {} T gates unoptimized\n",
+        baseline.t_complexity()
+    );
+    println!("{:<22} {:>10} {:>12} {:>12}", "optimizer", "T", "reduction", "time");
+
+    let report = |name: &str, t: u64, seconds: f64| {
+        let reduction = 100.0 * (baseline.t_complexity() - t) as f64
+            / baseline.t_complexity() as f64;
+        println!("{name:<22} {t:>10} {reduction:>11.1}% {seconds:>11.4}s");
+    };
+
+    for optimizer in registry() {
+        let start = Instant::now();
+        let optimized = optimizer.optimize(&circuit);
+        let elapsed = start.elapsed().as_secs_f64();
+        report(
+            optimizer.name(),
+            optimized.clifford_t_counts().t_count(),
+            elapsed,
+        );
+    }
+    for search in [SearchOpt::quartz(), SearchOpt::queso()] {
+        let start = Instant::now();
+        let optimized = search.optimize(&circuit);
+        let elapsed = start.elapsed().as_secs_f64();
+        report(search.name(), optimized.clifford_t_counts().t_count(), elapsed);
+    }
+
+    // Spire's program-level route: optimize the *program*, then compile.
+    let start = Instant::now();
+    let spire = compile_source(
+        LENGTH_SIMPLE,
+        "length_simple",
+        depth,
+        config,
+        &CompileOptions::spire(),
+    )?;
+    let elapsed = start.elapsed().as_secs_f64();
+    report("spire (program-level)", spire.t_complexity(), elapsed);
+    Ok(())
+}

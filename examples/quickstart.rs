@@ -1,0 +1,61 @@
+//! Quickstart: compile the paper's running example (`length`, Figure 1),
+//! analyze its T-complexity with the cost model, optimize it with Spire,
+//! and execute the compiled circuit on a simulated machine.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use spire_repro::spire::{compile_source, CompileOptions, Machine};
+use spire_repro::tower::WordConfig;
+
+const LENGTH: &str = r#"
+type list = (uint, ptr<list>);
+
+fun length[n](xs: ptr<list>, acc: uint) -> uint {
+    with {
+        let is_empty <- xs == null;
+    } do if is_empty {
+        let out <- acc;
+    } else with {
+        let temp <- default<list>;
+        *xs <-> temp;
+        let next <- temp.2;
+        let r <- acc + 1;
+    } do {
+        let out <- length[n-1](next, r);
+    }
+    return out;
+}
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = WordConfig::paper_default();
+
+    // 1. Compile at recursion depth 8, without and with Spire's
+    //    program-level optimizations.
+    let baseline = compile_source(LENGTH, "length", 8, config, &CompileOptions::baseline())?;
+    let optimized = compile_source(LENGTH, "length", 8, config, &CompileOptions::spire())?;
+
+    // 2. The cost model (paper Section 5) prices both without building a
+    //    single gate.
+    println!("length at depth 8 under quantum error correction:");
+    println!(
+        "  unoptimized: {:>8} MCX gates, {:>8} T gates",
+        baseline.mcx_complexity(),
+        baseline.t_complexity()
+    );
+    println!(
+        "  spire:       {:>8} MCX gates, {:>8} T gates  ({}% fewer T)",
+        optimized.mcx_complexity(),
+        optimized.t_complexity(),
+        100 * (baseline.t_complexity() - optimized.t_complexity()) / baseline.t_complexity()
+    );
+
+    // 3. Execute the optimized circuit on a linked list [10, 20, 30].
+    let mut machine = Machine::new(&optimized.layout);
+    let head = machine.build_list(&[10, 20, 30]);
+    machine.set_var("xs", head)?;
+    machine.run(&optimized.emit())?;
+    println!("  length([10, 20, 30]) = {}", machine.var("out")?);
+    assert_eq!(machine.var("out")?, 3);
+    Ok(())
+}

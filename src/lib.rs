@@ -1,0 +1,21 @@
+//! # spire-repro
+//!
+//! A from-scratch Rust reproduction of *The T-Complexity Costs of Error
+//! Correction for Control Flow in Quantum Computation* (Yuan & Carbin,
+//! PLDI 2024). This facade crate re-exports the workspace's layers:
+//!
+//! * [`tower`] — the Tower quantum programming language front end.
+//! * [`spire`] — the Spire compiler: cost model, conditional
+//!   flattening/narrowing, register allocation, MCX code generation.
+//! * [`qcirc`] — the circuit substrate: gates, Clifford+T decomposition,
+//!   `.qc` format, simulators.
+//! * [`qopt`] — baseline circuit optimizer analogues.
+//! * [`bench_suite`] — the paper's benchmarks and experiment regenerators.
+//!
+//! See `README.md` for a tour and `DESIGN.md` for the system inventory.
+
+pub use bench_suite;
+pub use qcirc;
+pub use qopt;
+pub use spire;
+pub use tower;

@@ -1,0 +1,137 @@
+//! The paper's headline result (Table 1), asserted for every benchmark:
+//! the unoptimized T-complexity is one polynomial degree above the
+//! MCX-complexity, and Spire's optimizations recover a T-complexity of the
+//! same degree as the MCX-complexity — asymptotic efficiency.
+
+use bench_suite::polyfit::fit_exact;
+use bench_suite::programs::all_benchmarks;
+use spire::{compile_source, CompileOptions};
+use tower::WordConfig;
+
+/// Fit the degree of a sequence, tolerating up to two boundary points.
+fn degree(points: &[(i64, u64)]) -> usize {
+    for skip in 0..=2 {
+        let tail = &points[skip..];
+        if tail.len() < 3 {
+            break;
+        }
+        let xs: Vec<i128> = tail.iter().map(|&(x, _)| x as i128).collect();
+        let ys: Vec<u64> = tail.iter().map(|&(_, y)| y).collect();
+        if let Some(poly) = fit_exact(&xs, &ys) {
+            return poly.degree();
+        }
+    }
+    panic!("no polynomial fit for {points:?}");
+}
+
+#[test]
+fn every_benchmark_is_asymptotically_efficient_after_spire() {
+    let depths: Vec<i64> = (2..=8).collect();
+    for bench in all_benchmarks() {
+        let mut mcx = Vec::new();
+        let mut t_before = Vec::new();
+        let mut t_after = Vec::new();
+        for &n in &depths {
+            let depth = if bench.constant { 0 } else { n };
+            let baseline = compile_source(
+                &bench.source,
+                bench.entry,
+                depth,
+                WordConfig::paper_default(),
+                &CompileOptions::baseline(),
+            )
+            .unwrap();
+            let optimized = compile_source(
+                &bench.source,
+                bench.entry,
+                depth,
+                WordConfig::paper_default(),
+                &CompileOptions::spire(),
+            )
+            .unwrap();
+            let hist = baseline.histogram();
+            mcx.push((n, hist.mcx_complexity()));
+            t_before.push((n, hist.t_complexity()));
+            t_after.push((n, optimized.t_complexity()));
+        }
+        let mcx_deg = degree(&mcx);
+        let before_deg = degree(&t_before);
+        let after_deg = degree(&t_after);
+        if bench.constant {
+            assert_eq!(mcx_deg, 0, "{}: expected O(1) MCX", bench.name);
+            assert_eq!(before_deg, 0, "{}: expected O(1) T", bench.name);
+        } else {
+            assert_eq!(
+                before_deg,
+                mcx_deg + 1,
+                "{}: unoptimized T must be one degree above MCX (MCX {mcx:?}, T {t_before:?})",
+                bench.name
+            );
+        }
+        assert_eq!(
+            after_deg, mcx_deg,
+            "{}: Spire must recover the MCX degree (T after: {t_after:?})",
+            bench.name
+        );
+    }
+}
+
+#[test]
+fn set_benchmarks_have_the_paper_degrees() {
+    // Table 1: insert and contains are O(d²) MCX / O(d³) T before /
+    // O(d²) T after.
+    for bench in all_benchmarks().into_iter().filter(|b| b.group == "Set") {
+        let mut mcx = Vec::new();
+        let mut t_before = Vec::new();
+        let mut t_after = Vec::new();
+        for d in 2..=8 {
+            let baseline = compile_source(
+                &bench.source,
+                bench.entry,
+                d,
+                WordConfig::paper_default(),
+                &CompileOptions::baseline(),
+            )
+            .unwrap();
+            let optimized = compile_source(
+                &bench.source,
+                bench.entry,
+                d,
+                WordConfig::paper_default(),
+                &CompileOptions::spire(),
+            )
+            .unwrap();
+            mcx.push((d, baseline.mcx_complexity()));
+            t_before.push((d, baseline.t_complexity()));
+            t_after.push((d, optimized.t_complexity()));
+        }
+        assert_eq!(degree(&mcx), 2, "{} MCX should be quadratic", bench.name);
+        assert_eq!(degree(&t_before), 3, "{} T should be cubic", bench.name);
+        assert_eq!(degree(&t_after), 2, "{} optimized T should be quadratic", bench.name);
+    }
+}
+
+#[test]
+fn cost_model_equals_compilation_at_scale() {
+    // Theorem 5.1/5.2 at a depth large enough to exercise deep control
+    // stacks, for the most structurally complex benchmarks.
+    for bench in all_benchmarks() {
+        if !matches!(bench.name, "insert" | "remove" | "push_back") {
+            continue;
+        }
+        let compiled = compile_source(
+            &bench.source,
+            bench.entry,
+            5,
+            WordConfig::paper_default(),
+            &CompileOptions::spire(),
+        )
+        .unwrap();
+        assert_eq!(
+            compiled.histogram(),
+            compiled.counted_histogram(),
+            "{}",
+            bench.name
+        );
+    }
+}

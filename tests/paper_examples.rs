@@ -1,0 +1,268 @@
+//! The paper's worked examples (Sections 3 and 6) as executable tests:
+//! Figure 3's nested conditionals, the Figure 7 optimization, the cost
+//! arithmetic of Section 3.3, and Theorems 6.1/6.4's scaling claims.
+
+use qcirc::{t_of_mcx, Circuit, Gate};
+use qcirc::sim::BasisState;
+use spire::{compile_source, Compiled, CompileOptions, Machine, OptConfig};
+use tower::WordConfig;
+
+/// Paper Figure 3, wrapped in a function (outputs packed into a pair).
+const FIGURE_3: &str = r#"
+fun figure3(x: bool, y: bool, z: bool) -> (bool, bool) {
+    let a <- default<bool>;
+    let b <- default<bool>;
+    if x {
+        if y {
+            with {
+                let t <- z;
+            } do {
+                if z {
+                    let a <- not t;
+                    let b <- true;
+                }
+            }
+        }
+    }
+    let out <- (a, b);
+    let a -> out.1;
+    let b -> out.2;
+    return out;
+}
+"#;
+
+fn compile_fig3(options: &CompileOptions) -> Compiled {
+    compile_source(FIGURE_3, "figure3", 0, WordConfig::paper_default(), options)
+        .expect("figure 3 compiles")
+}
+
+fn run_fig3(compiled: &Compiled, x: bool, y: bool, z: bool) -> (bool, bool) {
+    let mut machine = Machine::new(&compiled.layout);
+    machine.set_var("x", x as u64).unwrap();
+    machine.set_var("y", y as u64).unwrap();
+    machine.set_var("z", z as u64).unwrap();
+    machine.run(&compiled.emit()).unwrap();
+    let out = machine.var("out").unwrap();
+    (out & 1 == 1, out >> 1 == 1)
+}
+
+#[test]
+fn figure_3_semantics() {
+    // a = ¬z ∧ (x∧y∧z) = false whenever the branch runs — the paper's
+    // program sets a to the negation of z under the condition that z is
+    // true, i.e. a stays false, and b = x∧y∧z.
+    let compiled = compile_fig3(&CompileOptions::baseline());
+    for bits in 0..8u32 {
+        let (x, y, z) = (bits & 1 == 1, bits & 2 == 2, bits & 4 == 4);
+        let (a, b) = run_fig3(&compiled, x, y, z);
+        assert!(!a, "a is ¬t under z, i.e. never set");
+        assert_eq!(b, x && y && z, "b is set exactly when all of x,y,z");
+    }
+}
+
+#[test]
+fn figure_7_optimization_preserves_semantics_and_flattens() {
+    let baseline = compile_fig3(&CompileOptions::baseline());
+    let optimized = compile_fig3(&CompileOptions::spire());
+    for bits in 0..8u32 {
+        let (x, y, z) = (bits & 1 == 1, bits & 2 == 2, bits & 4 == 4);
+        assert_eq!(
+            run_fig3(&baseline, x, y, z),
+            run_fig3(&optimized, x, y, z),
+            "optimization changed Figure 3's meaning at {bits:03b}"
+        );
+    }
+    // Figure 8 vs Figure 4: the optimized circuit has strictly lower
+    // T-complexity, and its largest control arity is smaller.
+    assert!(optimized.t_complexity() < baseline.t_complexity());
+    assert!(
+        optimized.histogram().max_controls() < baseline.histogram().max_controls(),
+        "flattening must reduce the deepest control arity"
+    );
+}
+
+#[test]
+fn section_3_3_control_bit_arithmetic() {
+    // "In addition to the 6 MCX gates, the 13 orange controls cost at
+    // least 7 × 2 × 13 = 182 T gates": every control beyond the second
+    // costs exactly 14 T in the Figure 5/6 decomposition.
+    for c in 2..12 {
+        assert_eq!(t_of_mcx(c + 1) - t_of_mcx(c), 14);
+    }
+    // A Toffoli costs 7 T (Figure 6), an MCX with 3 controls 21 (Figure 5).
+    assert_eq!(t_of_mcx(2), 7);
+    assert_eq!(t_of_mcx(3), 21);
+}
+
+#[test]
+fn theorem_6_1_flattening_asymptotics() {
+    // C J s K with k gates under n nested ifs: flattening takes T from
+    // O(k·n) to O(k + n). Measure both scalings directly.
+    fn nested_program(levels: usize, body_gates: usize) -> String {
+        let conds: Vec<String> = (0..levels).map(|i| format!("c{i}: bool")).collect();
+        let mut body = String::new();
+        for g in 0..body_gates {
+            body.push_str(&format!("let t{g} <- v0 && v1;\n"));
+        }
+        for g in (0..body_gates).rev() {
+            body.push_str(&format!("let t{g} -> v0 && v1;\n"));
+        }
+        let mut nest = body;
+        for i in (0..levels).rev() {
+            nest = format!("if c{i} {{\n{nest}}}\n");
+        }
+        format!(
+            "fun nest({}, v0: bool, v1: bool) -> bool {{\n{nest}let out <- v0;\nreturn out;\n}}",
+            conds.join(", ")
+        )
+    }
+    let t = |levels: usize, gates: usize, options: &CompileOptions| {
+        compile_source(
+            &nested_program(levels, gates),
+            "nest",
+            0,
+            WordConfig::paper_default(),
+            options,
+        )
+        .expect("nested program compiles")
+        .t_complexity()
+    };
+    // Unoptimized: linear in n for fixed k with slope ~ 14·k-ish
+    // (each level adds a control to every body gate).
+    let k = 8;
+    let unopt_slope_a = t(6, k, &CompileOptions::baseline()) as i64
+        - t(5, k, &CompileOptions::baseline()) as i64;
+    assert!(
+        unopt_slope_a >= 14 * k as i64,
+        "each extra level costs >= 14 T per body gate, got {unopt_slope_a}"
+    );
+    // Flattened: adding a level costs O(1) — one Toffoli pair for the new
+    // conjunction — independent of k.
+    let opt_slope_small =
+        t(6, 4, &CompileOptions::spire()) as i64 - t(5, 4, &CompileOptions::spire()) as i64;
+    let opt_slope_large =
+        t(6, 32, &CompileOptions::spire()) as i64 - t(5, 32, &CompileOptions::spire()) as i64;
+    assert_eq!(
+        opt_slope_small, opt_slope_large,
+        "flattened per-level cost must not depend on the body size"
+    );
+}
+
+#[test]
+fn theorem_6_4_narrowing_removes_setup_controls() {
+    // if x { with { s1 } do { s2 } }: narrowing removes the controls on
+    // CJs1K and its reverse — a 2k-gate additive saving.
+    let src = r#"
+fun narrowed(x: bool, v: uint) -> uint {
+    if x {
+        with {
+            let t <- v + v;
+        } do {
+            let out <- t + v;
+        }
+    }
+    let r <- out;
+    return r;
+}
+"#;
+    let base = compile_source(
+        src,
+        "narrowed",
+        0,
+        WordConfig::paper_default(),
+        &CompileOptions::with_opt(OptConfig::none()),
+    )
+    .unwrap();
+    let narrowed = compile_source(
+        src,
+        "narrowed",
+        0,
+        WordConfig::paper_default(),
+        &CompileOptions::with_opt(OptConfig::narrowing_only()),
+    )
+    .unwrap();
+    assert!(narrowed.t_complexity() < base.t_complexity());
+    // And the meaning is unchanged.
+    for v in [0u64, 3, 9] {
+        for x in [0u64, 1] {
+            let mut m1 = Machine::new(&base.layout);
+            m1.set_var("x", x).unwrap();
+            m1.set_var("v", v).unwrap();
+            m1.run(&base.emit()).unwrap();
+            let mut m2 = Machine::new(&narrowed.layout);
+            m2.set_var("x", x).unwrap();
+            m2.set_var("v", v).unwrap();
+            m2.run(&narrowed.emit()).unwrap();
+            assert_eq!(m1.var("r").unwrap(), m2.var("r").unwrap(), "x={x} v={v}");
+        }
+    }
+}
+
+#[test]
+fn figure_16_redundant_toffolis_cancel_at_toffoli_level() {
+    // Direct compilation of nested conditionals (Figure 16): consecutive
+    // body gates under the same 3 controls produce redundant V-chains that
+    // Toffoli-level cancellation removes and Clifford+T-level peepholes
+    // cannot (Figure 17).
+    let mut circuit = Circuit::new(8);
+    circuit.push(Gate::mcx(vec![0, 1, 2], 5));
+    circuit.push(Gate::mcx(vec![0, 1, 2], 6));
+    circuit.push(Gate::mcx(vec![0, 1, 2], 7));
+    use qopt::CircuitOptimizer;
+    let toffoli_aware = qopt::ToffoliCancel.optimize(&circuit);
+    let peephole = qopt::AdjacentCancel.optimize(&circuit);
+    let naive_t = circuit.histogram().t_complexity();
+    let aware_t = toffoli_aware.clifford_t_counts().t_count();
+    let peep_t = peephole.clifford_t_counts().t_count();
+    assert_eq!(naive_t, 3 * 21);
+    assert!(
+        aware_t <= 21 + 14,
+        "one shared chain plus payload Toffolis, got {aware_t}"
+    );
+    assert!(peep_t > aware_t, "peephole leaves the Figure 17 structure");
+}
+
+#[test]
+fn hadamard_statement_creates_superposition() {
+    // A Tower program with `had` compiles to a circuit with Hadamard
+    // gates; the state-vector simulator confirms the superposition.
+    let src = r#"
+fun coin(q: bool, v: uint) -> uint {
+    had q;
+    if q {
+        let r <- v + 1;
+    } else {
+        let r <- v;
+    }
+    return r;
+}
+"#;
+    let compiled = compile_source(
+        src,
+        "coin",
+        0,
+        WordConfig { uint_bits: 3, ptr_bits: 2 },
+        &CompileOptions::spire(),
+    )
+    .unwrap();
+    let circuit = compiled.emit();
+    let qubits = circuit.num_qubits();
+    assert!(qubits <= 24, "state-vector simulable");
+    let mut state = qcirc::sim::StateVec::basis(qubits, 0).unwrap();
+    // v = 2: write into the input register by flipping amplitude index.
+    let v_reg = compiled.layout.reg(&tower::Symbol::new("v")).unwrap();
+    let r_reg = compiled.layout.reg(&tower::Symbol::new("r")).unwrap();
+    let q_reg = compiled.layout.reg(&tower::Symbol::new("q")).unwrap();
+    let basis = 2u64 << v_reg.offset;
+    let mut state2 = qcirc::sim::StateVec::basis(qubits, basis).unwrap();
+    state2.run(&circuit).unwrap();
+    state.run(&circuit).unwrap();
+    // Outcomes r = v and r = v + 1 each occur with probability 1/2.
+    let prob_of = |state: &qcirc::sim::StateVec, v: u64, q: u64, r: u64| {
+        let index = (v << v_reg.offset) | (q << q_reg.bit(0)) | (r << r_reg.offset);
+        state.probability(index)
+    };
+    assert!((prob_of(&state2, 2, 0, 2) - 0.5).abs() < 1e-9);
+    assert!((prob_of(&state2, 2, 1, 3) - 0.5).abs() < 1e-9);
+    let _ = BasisState::new(1);
+}

@@ -1,0 +1,66 @@
+//! Round-trips through the `.qc` circuit format (the Tower compiler's
+//! output format, Mosca 2016) at both gate levels.
+
+use bench_suite::programs::LENGTH;
+use qcirc::qcformat;
+use spire::{compile_source, CompileOptions};
+use tower::WordConfig;
+
+#[test]
+fn mcx_circuit_roundtrips() {
+    let compiled = compile_source(
+        LENGTH,
+        "length",
+        3,
+        WordConfig::paper_default(),
+        &CompileOptions::spire(),
+    )
+    .unwrap();
+    let circuit = compiled.emit();
+    let text = qcformat::write(&circuit);
+    let parsed = qcformat::parse(&text).unwrap();
+    assert_eq!(parsed.gates(), circuit.gates());
+    assert_eq!(
+        parsed.histogram().t_complexity(),
+        compiled.t_complexity()
+    );
+}
+
+#[test]
+fn clifford_t_circuit_roundtrips() {
+    let compiled = compile_source(
+        LENGTH,
+        "length",
+        2,
+        WordConfig::paper_default(),
+        &CompileOptions::spire(),
+    )
+    .unwrap();
+    let lowered = qcirc::decompose::to_clifford_t(&compiled.emit()).unwrap();
+    let text = qcformat::write(&lowered);
+    let parsed = qcformat::parse(&text).unwrap();
+    assert_eq!(parsed.gates(), lowered.gates());
+    assert_eq!(
+        parsed.clifford_t_counts().t_count(),
+        compiled.t_complexity()
+    );
+}
+
+#[test]
+fn header_declares_every_qubit() {
+    let compiled = compile_source(
+        LENGTH,
+        "length",
+        2,
+        WordConfig::paper_default(),
+        &CompileOptions::spire(),
+    )
+    .unwrap();
+    let circuit = compiled.emit();
+    let text = qcformat::write(&circuit);
+    let v_line = text.lines().find(|l| l.starts_with(".v")).unwrap();
+    assert_eq!(
+        v_line.split_whitespace().count() - 1,
+        circuit.num_qubits() as usize
+    );
+}

@@ -1,0 +1,343 @@
+//! End-to-end semantic tests: every benchmark program is compiled to an
+//! MCX circuit and executed on the classical reversible simulator against
+//! real data structures laid out in the qRAM. Each test also checks
+//! Definition 6.2's cleanliness condition (non-live registers return to
+//! zero) and, where it matters, allocator state.
+
+use bench_suite::programs;
+use spire::{compile_source, Compiled, CompileOptions, Machine};
+use tower::WordConfig;
+
+fn compile(source: &str, entry: &str, depth: i64, options: &CompileOptions) -> Compiled {
+    compile_source(source, entry, depth, WordConfig::paper_default(), options)
+        .unwrap_or_else(|e| panic!("compiling {entry}: {e}"))
+}
+
+/// Run a compiled list program on the given list, with extra inputs set by
+/// the callback, and return the machine afterwards.
+fn run_on_list(
+    compiled: &Compiled,
+    list: &[u64],
+    setup: impl FnOnce(&mut Machine),
+) -> Machine {
+    let mut machine = Machine::new(&compiled.layout);
+    let head = machine.build_list(list);
+    machine.set_var("xs", head).unwrap();
+    setup(&mut machine);
+    machine.run(&compiled.emit()).unwrap();
+    machine
+}
+
+#[test]
+fn length_counts_nodes() {
+    for options in [CompileOptions::baseline(), CompileOptions::spire()] {
+        let compiled = compile(programs::LENGTH, "length", 6, &options);
+        for list in [vec![], vec![9], vec![1, 2, 3], vec![4, 4, 4, 4, 4]] {
+            let machine = run_on_list(&compiled, &list, |_| {});
+            assert_eq!(
+                machine.var("out").unwrap(),
+                list.len() as u64,
+                "length of {list:?} ({})",
+                options.opt.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn length_baseline_and_spire_agree_everywhere() {
+    // Theorems 6.3/6.5 (Definition 6.2): the optimized program computes the
+    // same function and leaves non-live registers clean.
+    let baseline = compile(programs::LENGTH, "length", 5, &CompileOptions::baseline());
+    let optimized = compile(programs::LENGTH, "length", 5, &CompileOptions::spire());
+    for list in [vec![], vec![7], vec![3, 1], vec![2, 2, 2, 2]] {
+        let base = run_on_list(&baseline, &list, |_| {});
+        let opt = run_on_list(&optimized, &list, |_| {});
+        assert_eq!(base.var("out").unwrap(), opt.var("out").unwrap());
+        // Inputs are preserved; everything else except out/inputs is zero.
+        assert!(base.clean_except(&["xs", "acc", "out"]), "baseline dirty on {list:?}");
+        assert!(opt.clean_except(&["xs", "acc", "out"]), "optimized dirty on {list:?}");
+    }
+}
+
+#[test]
+fn sum_adds_values() {
+    let compiled = compile(programs::SUM, "sum", 5, &CompileOptions::spire());
+    let machine = run_on_list(&compiled, &[5, 7, 9], |_| {});
+    assert_eq!(machine.var("out").unwrap(), 21);
+}
+
+#[test]
+fn find_pos_returns_one_based_position() {
+    let compiled = compile(programs::FIND_POS, "find_pos", 5, &CompileOptions::spire());
+    let machine = run_on_list(&compiled, &[5, 7, 9], |m| {
+        m.set_var("target", 7).unwrap();
+    });
+    assert_eq!(machine.var("out").unwrap(), 2);
+
+    let machine = run_on_list(&compiled, &[5, 7, 9], |m| {
+        m.set_var("target", 8).unwrap();
+    });
+    assert_eq!(machine.var("out").unwrap(), 0, "absent element gives 0");
+}
+
+#[test]
+fn pop_front_removes_head_and_frees_cell() {
+    let compiled = compile(programs::POP_FRONT, "pop_front", 0, &CompileOptions::spire());
+    let mut machine = Machine::new(&compiled.layout);
+    machine.build_list(&[4, 5]);
+    machine.set_var("xs", 1).unwrap();
+    let sp_before = machine.sp();
+    machine.run(&compiled.emit()).unwrap();
+    let out = machine.var("out").unwrap();
+    let value = out & 0xFF;
+    let rest = out >> 8;
+    assert_eq!(value, 4);
+    assert_eq!(rest, 2);
+    assert_eq!(machine.cell(1), 0, "head cell zeroed");
+    assert_eq!(machine.sp(), sp_before + 1, "cell returned to the free stack");
+}
+
+#[test]
+fn push_back_appends_at_end() {
+    for options in [CompileOptions::baseline(), CompileOptions::spire()] {
+        let compiled = compile(programs::PUSH_BACK, "push_back", 6, &options);
+        let mut machine = Machine::new(&compiled.layout);
+        machine.build_list(&[1, 2]);
+        machine.set_var("xs", 1).unwrap();
+        machine.set_var("val", 9).unwrap();
+        let sp_before = machine.sp();
+        machine.run(&compiled.emit()).unwrap();
+        let out = machine.var("out").unwrap();
+        let head = out & 0xF;
+        let flag = out >> 4;
+        assert_eq!(head, 1, "head unchanged ({})", options.opt.label());
+        assert_eq!(flag, 0, "no allocation at the top level");
+        assert_eq!(machine.sp(), sp_before - 1, "one cell allocated");
+        // Follow the chain: 1 -> 2 -> fresh, fresh holds (9, null).
+        let node1 = machine.cell(1);
+        assert_eq!(node1 & 0xFF, 1);
+        let node2_addr = (node1 >> 8) as u32;
+        assert_eq!(node2_addr, 2);
+        let node2 = machine.cell(2);
+        let node3_addr = (node2 >> 8) as u32;
+        assert_ne!(node3_addr, 0, "second node now links to the new node");
+        let node3 = machine.cell(node3_addr);
+        assert_eq!(node3 & 0xFF, 9, "appended value");
+        assert_eq!(node3 >> 8, 0, "appended node is the tail");
+    }
+}
+
+#[test]
+fn push_back_on_empty_list_allocates_head() {
+    let compiled = compile(programs::PUSH_BACK, "push_back", 3, &CompileOptions::spire());
+    let mut machine = Machine::new(&compiled.layout);
+    machine.build_list(&[]);
+    machine.set_var("xs", 0).unwrap();
+    machine.set_var("val", 6).unwrap();
+    machine.run(&compiled.emit()).unwrap();
+    let out = machine.var("out").unwrap();
+    let head = (out & 0xF) as u32;
+    let flag = out >> 4;
+    assert_ne!(head, 0);
+    assert_eq!(flag, 1, "allocation happened at the top level");
+    assert_eq!(machine.cell(head) & 0xFF, 6);
+}
+
+#[test]
+fn remove_detaches_last_node_and_frees_it() {
+    for options in [CompileOptions::baseline(), CompileOptions::spire()] {
+        let compiled = compile(programs::REMOVE, "remove", 6, &options);
+        let mut machine = Machine::new(&compiled.layout);
+        machine.build_list(&[3, 8, 6]);
+        machine.set_var("xs", 1).unwrap();
+        let sp_before = machine.sp();
+        machine.run(&compiled.emit()).unwrap();
+        let out = machine.var("out").unwrap();
+        let value = out & 0xFF;
+        let top_flag = out >> 8;
+        assert_eq!(value, 6, "last value removed ({})", options.opt.label());
+        assert_eq!(top_flag, 0, "the head itself was not the last node");
+        assert_eq!(machine.sp(), sp_before + 1, "cell deallocated");
+        assert_eq!(machine.cell(3), 0, "removed cell zeroed");
+        assert_eq!(machine.cell(2) >> 8, 0, "second node is the new tail");
+        assert_eq!(machine.cell(1) & 0xFF, 3, "head value untouched");
+    }
+}
+
+fn build_string(machine: &mut Machine, start: u32, chars: &[u64]) -> u64 {
+    // Strings use the same (uint, ptr) node shape as lists, laid out
+    // starting at `start`.
+    for (i, &c) in chars.iter().enumerate() {
+        let addr = start + i as u32;
+        let next = if i + 1 < chars.len() { (addr + 1) as u64 } else { 0 };
+        machine.write_cell(addr, c | (next << 8));
+    }
+    if chars.is_empty() {
+        0
+    } else {
+        start as u64
+    }
+}
+
+#[test]
+fn compare_detects_equality() {
+    let compiled = compile(programs::COMPARE, "compare", 5, &CompileOptions::spire());
+    let cases: Vec<(Vec<u64>, Vec<u64>, u64)> = vec![
+        (vec![1, 2], vec![1, 2], 1),
+        (vec![1, 2], vec![1, 3], 0),
+        (vec![1], vec![1, 2], 0),
+        (vec![], vec![], 1),
+    ];
+    for (a, b, expected) in cases {
+        let mut machine = Machine::new(&compiled.layout);
+        let pa = build_string(&mut machine, 1, &a);
+        let pb = build_string(&mut machine, 6, &b);
+        machine.set_var("a", pa).unwrap();
+        machine.set_var("b", pb).unwrap();
+        machine.run(&compiled.emit()).unwrap();
+        assert_eq!(machine.var("out").unwrap(), expected, "compare {a:?} {b:?}");
+    }
+}
+
+#[test]
+fn is_prefix_detects_prefixes() {
+    let compiled = compile(programs::IS_PREFIX, "is_prefix", 5, &CompileOptions::spire());
+    let cases: Vec<(Vec<u64>, Vec<u64>, u64)> = vec![
+        (vec![1], vec![1, 2], 1),
+        (vec![1, 2], vec![1, 2], 1),
+        (vec![2], vec![1, 2], 0),
+        (vec![], vec![1], 1),
+        (vec![1, 2, 3], vec![1, 2], 0),
+    ];
+    for (p, s, expected) in cases {
+        let mut machine = Machine::new(&compiled.layout);
+        let pp = build_string(&mut machine, 1, &p);
+        let ps = build_string(&mut machine, 6, &s);
+        machine.set_var("p", pp).unwrap();
+        machine.set_var("s", ps).unwrap();
+        machine.run(&compiled.emit()).unwrap();
+        assert_eq!(machine.var("out").unwrap(), expected, "is_prefix {p:?} {s:?}");
+    }
+}
+
+#[test]
+fn num_matching_counts_occurrences() {
+    let compiled =
+        compile(programs::NUM_MATCHING, "num_matching", 5, &CompileOptions::spire());
+    let mut machine = Machine::new(&compiled.layout);
+    let p = build_string(&mut machine, 1, &[2, 5, 2]);
+    machine.set_var("xs", p).unwrap();
+    machine.set_var("target", 2).unwrap();
+    machine.set_var("acc", 0).unwrap();
+    machine.run(&compiled.emit()).unwrap();
+    assert_eq!(machine.var("out").unwrap(), 2);
+}
+
+/// Tree cells are (stored: ptr<str>, (left: ptr<tree>, right: ptr<tree>)),
+/// 4+4+4 bits in the paper-default configuration.
+fn tree_cell(stored: u64, left: u64, right: u64) -> u64 {
+    stored | (left << 4) | (right << 8)
+}
+
+#[test]
+fn contains_finds_stored_keys() {
+    let source = programs::contains_source();
+    let compiled = compile(&source, "contains", 4, &CompileOptions::spire());
+    let mut machine = Machine::new(&compiled.layout);
+    // Strings: key "1" at cell 1; stored copy "1" at cell 2; a second key
+    // "2" at cell 3. Root node at cell 4 stores "1" with no children.
+    machine.write_cell(1, 1);
+    machine.write_cell(2, 1);
+    machine.write_cell(3, 2);
+    machine.write_cell(4, tree_cell(2, 0, 0));
+
+    machine.set_var("t", 4).unwrap();
+    machine.set_var("key", 1).unwrap();
+    machine.run(&compiled.emit()).unwrap();
+    assert_eq!(machine.var("out").unwrap(), 1, "key \"1\" is stored");
+
+    let mut machine = Machine::new(&compiled.layout);
+    machine.write_cell(1, 1);
+    machine.write_cell(2, 1);
+    machine.write_cell(3, 2);
+    machine.write_cell(4, tree_cell(2, 0, 0));
+    machine.set_var("t", 4).unwrap();
+    machine.set_var("key", 3).unwrap();
+    machine.run(&compiled.emit()).unwrap();
+    assert_eq!(machine.var("out").unwrap(), 0, "key \"2\" is absent");
+}
+
+#[test]
+fn insert_allocates_into_empty_tree() {
+    let source = programs::insert_source();
+    let compiled = compile(&source, "insert", 3, &CompileOptions::spire());
+    let mut machine = Machine::new(&compiled.layout);
+    machine.write_cell(1, 1); // key "1"
+    machine.init_free_stack(&[5, 6, 7]);
+    machine.set_var("t", 0).unwrap();
+    machine.set_var("key", 1).unwrap();
+    let sp_before = machine.sp();
+    machine.run(&compiled.emit()).unwrap();
+    let out = machine.var("out").unwrap();
+    let node = out & 0xF;
+    let flag = out >> 4;
+    assert_eq!(flag, 1, "allocated at the root");
+    assert_ne!(node, 0);
+    assert_eq!(machine.sp(), sp_before - 1);
+    assert_eq!(
+        machine.cell(node as u32),
+        tree_cell(1, 0, 0),
+        "fresh node stores the key"
+    );
+}
+
+#[test]
+fn insert_descends_and_links_a_leaf() {
+    let source = programs::insert_source();
+    let compiled = compile(&source, "insert", 4, &CompileOptions::spire());
+    let mut machine = Machine::new(&compiled.layout);
+    // Root at cell 4 stores "2" (cell 3). Insert key "1" (cell 1): the
+    // head char 1 sends it left; the new leaf stores the key's tail (null).
+    machine.write_cell(1, 1);
+    machine.write_cell(3, 2);
+    machine.write_cell(4, tree_cell(3, 0, 0));
+    machine.init_free_stack(&[5, 6, 7]);
+    machine.set_var("t", 4).unwrap();
+    machine.set_var("key", 1).unwrap();
+    machine.run(&compiled.emit()).unwrap();
+    let out = machine.var("out").unwrap();
+    assert_eq!(out & 0xF, 4, "root unchanged");
+    assert_eq!(out >> 4, 0, "no allocation at the root level");
+    let root = machine.cell(4);
+    let left = (root >> 4) & 0xF;
+    assert_ne!(left, 0, "a left child was linked");
+}
+
+#[test]
+fn all_optimization_configs_agree_on_length() {
+    use spire::OptConfig;
+    let configs = [
+        OptConfig::none(),
+        OptConfig::narrowing_only(),
+        OptConfig::flattening_only(),
+        OptConfig::spire(),
+    ];
+    let list = vec![6, 6, 6];
+    let mut reference = None;
+    for config in configs {
+        let compiled = compile(
+            programs::LENGTH,
+            "length",
+            5,
+            &CompileOptions::with_opt(config),
+        );
+        let machine = run_on_list(&compiled, &list, |_| {});
+        let out = machine.var("out").unwrap();
+        match reference {
+            None => reference = Some(out),
+            Some(r) => assert_eq!(out, r, "{} disagrees", config.label()),
+        }
+    }
+    assert_eq!(reference, Some(3));
+}
