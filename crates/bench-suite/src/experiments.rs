@@ -15,7 +15,7 @@ use qopt::{
     SearchConfig, SearchOpt, ToffoliCancel, ZxGraphLike,
 };
 use spire::cost::{flattening_uncomputation_t, CostEnv};
-use spire::{compile_source, Compiled, CompileOptions, OptConfig};
+use spire::{compile_source, CompileOptions, Compiled, OptConfig};
 use tower::WordConfig;
 
 use crate::programs::{all_benchmarks, Benchmark, LENGTH, LENGTH_SIMPLE};
@@ -47,10 +47,7 @@ fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
 }
 
 fn t_after(optimizer: &dyn CircuitOptimizer, circuit: &Circuit) -> u64 {
-    optimizer
-        .optimize(circuit)
-        .clifford_t_counts()
-        .t_count()
+    optimizer.optimize(circuit).clifford_t_counts().t_count()
 }
 
 /// Figure 2: T-complexity vs MCX-complexity of unoptimized `length`.
@@ -139,8 +136,13 @@ pub fn fig15a(depths: impl Iterator<Item = i64>) -> FigureReport {
             );
             series[i].1.push((n, compiled.t_complexity()));
         }
-        let baseline =
-            compile_src(LENGTH_SIMPLE, "length_simple", n, &CompileOptions::baseline()).emit();
+        let baseline = compile_src(
+            LENGTH_SIMPLE,
+            "length_simple",
+            n,
+            &CompileOptions::baseline(),
+        )
+        .emit();
         let spire_circ =
             compile_src(LENGTH_SIMPLE, "length_simple", n, &CompileOptions::spire()).emit();
         series[4].1.push((n, t_after(&ToffoliCancel, &baseline)));
@@ -176,12 +178,18 @@ pub fn fig15b(depths: impl Iterator<Item = i64>) -> FigureReport {
         .map(|o| (o.name().to_string(), Vec::new()))
         .collect();
     for n in depths {
-        let baseline =
-            compile_src(LENGTH_SIMPLE, "length_simple", n, &CompileOptions::baseline());
+        let baseline = compile_src(
+            LENGTH_SIMPLE,
+            "length_simple",
+            n,
+            &CompileOptions::baseline(),
+        );
         original.push((n, baseline.t_complexity()));
         let circuit = baseline.emit();
         for (i, optimizer) in optimizers.iter().enumerate() {
-            per_opt[i].1.push((n, t_after(optimizer.as_ref(), &circuit)));
+            per_opt[i]
+                .1
+                .push((n, t_after(optimizer.as_ref(), &circuit)));
         }
     }
     let mut series = vec![Series::fitted("original", original, "n")];
@@ -396,10 +404,14 @@ pub fn table5(max_depth: i64) -> TableReport {
     ];
     let mut rows = Vec::new();
     for n in 1..=max_depth {
-        let baseline =
-            compile_src(LENGTH_SIMPLE, "length_simple", n, &CompileOptions::baseline());
-        let circuit = qcirc::decompose::to_clifford_t(&baseline.emit())
-            .expect("decomposition succeeds");
+        let baseline = compile_src(
+            LENGTH_SIMPLE,
+            "length_simple",
+            n,
+            &CompileOptions::baseline(),
+        );
+        let circuit =
+            qcirc::decompose::to_clifford_t(&baseline.emit()).expect("decomposition succeeds");
         let counts = circuit.clifford_t_counts();
         rows.push(vec![
             format!("{n}"),
@@ -463,8 +475,12 @@ pub fn fig24(depths: impl Iterator<Item = i64>) -> FigureReport {
             );
             let circuit = compiled.emit();
             series[3 * i].1.push((n, compiled.t_complexity()));
-            series[3 * i + 1].1.push((n, t_after(&ToffoliCancel, &circuit)));
-            series[3 * i + 2].1.push((n, t_after(&GlobalResynth, &circuit)));
+            series[3 * i + 1]
+                .1
+                .push((n, t_after(&ToffoliCancel, &circuit)));
+            series[3 * i + 2]
+                .1
+                .push((n, t_after(&GlobalResynth, &circuit)));
         }
     }
     FigureReport {
@@ -487,17 +503,10 @@ pub fn appendix_a(depth: i64, widths: &[u32]) -> TableReport {
             uint_bits: w,
             ptr_bits: 4,
         };
-        let baseline = compile_source(
-            LENGTH,
-            "length",
-            depth,
-            config,
-            &CompileOptions::baseline(),
-        )
-        .expect("length compiles at any width");
-        let optimized =
-            compile_source(LENGTH, "length", depth, config, &CompileOptions::spire())
-                .expect("length compiles at any width");
+        let baseline = compile_source(LENGTH, "length", depth, config, &CompileOptions::baseline())
+            .expect("length compiles at any width");
+        let optimized = compile_source(LENGTH, "length", depth, config, &CompileOptions::spire())
+            .expect("length compiles at any width");
         rows.push(vec![
             format!("{w}"),
             format!("{}", baseline.mcx_complexity()),
@@ -556,8 +565,16 @@ mod tests {
                 .clone()
         };
         assert_eq!(degree_of(&by_label("original")), Some(2));
-        assert_eq!(degree_of(&by_label("cn-alone")), Some(2), "CN alone is a constant-factor win");
-        assert_eq!(degree_of(&by_label("cf-alone")), Some(1), "CF alone is the asymptotic win");
+        assert_eq!(
+            degree_of(&by_label("cn-alone")),
+            Some(2),
+            "CN alone is a constant-factor win"
+        );
+        assert_eq!(
+            degree_of(&by_label("cf-alone")),
+            Some(1),
+            "CF alone is the asymptotic win"
+        );
         assert_eq!(degree_of(&by_label("spire")), Some(1));
         // CN on top of CF improves the constant.
         let cf = by_label("cf-alone").points.last().unwrap().1;

@@ -62,11 +62,17 @@ impl Rational {
     }
 
     fn add(self, other: Rational) -> Rational {
-        Rational::new(self.num * other.den + other.num * self.den, self.den * other.den)
+        Rational::new(
+            self.num * other.den + other.num * self.den,
+            self.den * other.den,
+        )
     }
 
     fn sub(self, other: Rational) -> Rational {
-        Rational::new(self.num * other.den - other.num * self.den, self.den * other.den)
+        Rational::new(
+            self.num * other.den - other.num * self.den,
+            self.den * other.den,
+        )
     }
 
     fn mul(self, other: Rational) -> Rational {
@@ -220,9 +226,7 @@ pub fn fit_exact(xs: &[i128], ys: &[u64]) -> Option<Polynomial> {
             }
             basis = next;
         }
-        let lead = row[0]
-            .div(factorial)
-            .div(power(Rational::integer(step), k));
+        let lead = row[0].div(factorial).div(power(Rational::integer(step), k));
         for (i, &b) in basis.iter().enumerate() {
             coeffs[i] = coeffs[i].add(b.mul(lead));
         }
@@ -295,10 +299,7 @@ mod tests {
             .collect();
         // (3076192 d³ + 2) is divisible by 3 for all d ≡ d³ mod 3 ... check
         // exactness only when the integer division was exact.
-        if xs
-            .iter()
-            .all(|&d| (3076192 * d * d * d + 2) % 3 == 0)
-        {
+        if xs.iter().all(|&d| (3076192 * d * d * d + 2) % 3 == 0) {
             let poly = fit_exact(&xs, &ys).unwrap();
             assert_eq!(poly.degree(), 3);
             assert!(!poly.coeff(3).is_integer());

@@ -640,8 +640,7 @@ mod tests {
     #[test]
     fn every_benchmark_parses() {
         for bench in all_benchmarks() {
-            tower::parse(&bench.source)
-                .unwrap_or_else(|e| panic!("{}: {e}", bench.name));
+            tower::parse(&bench.source).unwrap_or_else(|e| panic!("{}: {e}", bench.name));
         }
     }
 

@@ -92,13 +92,7 @@ impl FigureReport {
             let fit = series
                 .fit
                 .as_deref()
-                .map(|f| {
-                    format!(
-                        "{} = {}",
-                        series.asymptotic.as_deref().unwrap_or(""),
-                        f
-                    )
-                })
+                .map(|f| format!("{} = {}", series.asymptotic.as_deref().unwrap_or(""), f))
                 .unwrap_or_else(|| "(no exact polynomial fit)".to_string());
             let _ = writeln!(out, "  | {fit}");
         }

@@ -41,11 +41,7 @@ impl Circuit {
 
     /// Build a circuit from a gate list, sizing the width to fit.
     pub fn from_gates(gates: Vec<Gate>) -> Self {
-        let num_qubits = gates
-            .iter()
-            .map(|g| g.max_qubit() + 1)
-            .max()
-            .unwrap_or(0);
+        let num_qubits = gates.iter().map(|g| g.max_qubit() + 1).max().unwrap_or(0);
         Circuit { gates, num_qubits }
     }
 
@@ -205,10 +201,7 @@ mod tests {
         c.push(Gate::T(1));
         c.push(Gate::cnot(0, 1));
         let inv = c.inverse();
-        assert_eq!(
-            inv.gates(),
-            &[Gate::cnot(0, 1), Gate::Tdg(1), Gate::h(0)]
-        );
+        assert_eq!(inv.gates(), &[Gate::cnot(0, 1), Gate::Tdg(1), Gate::h(0)]);
     }
 
     #[test]
@@ -225,10 +218,7 @@ mod tests {
         c.push(Gate::x(0));
         c.push(Gate::cnot(1, 0));
         let controlled = c.with_extra_controls(&[2]);
-        assert_eq!(
-            controlled.histogram(),
-            c.histogram().shifted(1)
-        );
+        assert_eq!(controlled.histogram(), c.histogram().shifted(1));
     }
 
     #[test]

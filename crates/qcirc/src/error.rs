@@ -58,7 +58,10 @@ impl fmt::Display for QcircError {
                 write!(f, "parse error at line {line}: {message}")
             }
             QcircError::TooManyQubits { requested, max } => {
-                write!(f, "{requested} qubits requested, simulator supports at most {max}")
+                write!(
+                    f,
+                    "{requested} qubits requested, simulator supports at most {max}"
+                )
             }
         }
     }
@@ -74,10 +77,19 @@ mod tests {
     fn errors_display_nonempty() {
         let errors = [
             QcircError::NotClassical { gate: "H 0".into() },
-            QcircError::QubitOutOfRange { qubit: 9, num_qubits: 4 },
+            QcircError::QubitOutOfRange {
+                qubit: 9,
+                num_qubits: 4,
+            },
             QcircError::ArityTooLarge { max: 2, found: 5 },
-            QcircError::Parse { line: 3, message: "bad token".into() },
-            QcircError::TooManyQubits { requested: 40, max: 28 },
+            QcircError::Parse {
+                line: 3,
+                message: "bad token".into(),
+            },
+            QcircError::TooManyQubits {
+                requested: 40,
+                max: 28,
+            },
         ];
         for e in errors {
             assert!(!e.to_string().is_empty());

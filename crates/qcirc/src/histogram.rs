@@ -411,10 +411,7 @@ mod tests {
         let mut base = GateHistogram::new();
         base.add_mcx(2, 1);
         let under = base.shifted(13);
-        assert_eq!(
-            under.t_complexity() - base.t_complexity(),
-            7 * 2 * 13
-        );
+        assert_eq!(under.t_complexity() - base.t_complexity(), 7 * 2 * 13);
     }
 
     #[test]

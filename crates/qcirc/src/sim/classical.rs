@@ -144,11 +144,8 @@ impl BasisState {
     /// Used to check Definition 6.2's requirement that non-live registers
     /// map to zero.
     pub fn zero_outside(&self, keep: &[(Qubit, u32)]) -> bool {
-        (0..self.num_qubits).all(|q| {
-            keep.iter()
-                .any(|&(off, width)| q >= off && q < off + width)
-                || !self.bit(q)
-        })
+        (0..self.num_qubits)
+            .all(|q| keep.iter().any(|&(off, width)| q >= off && q < off + width) || !self.bit(q))
     }
 }
 

@@ -14,9 +14,16 @@ use qcirc::{Gate, Qubit};
 /// * Hadamard-type gates commute only with gates touching disjoint qubits.
 pub fn commutes(a: &Gate, b: &Gate) -> bool {
     match (a, b) {
-        (Gate::Mcx { controls: ca, target: ta }, Gate::Mcx { controls: cb, target: tb }) => {
-            !cb.contains(ta) && !ca.contains(tb)
-        }
+        (
+            Gate::Mcx {
+                controls: ca,
+                target: ta,
+            },
+            Gate::Mcx {
+                controls: cb,
+                target: tb,
+            },
+        ) => !cb.contains(ta) && !ca.contains(tb),
         (Gate::Mch { .. }, _) | (_, Gate::Mch { .. }) => {
             let h = if matches!(a, Gate::Mch { .. }) { a } else { b };
             let o = other_of(a, b, h);

@@ -44,8 +44,7 @@ impl std::fmt::Debug for dyn CircuitOptimizer {
 }
 
 fn decompose(circuit: &Circuit) -> Circuit {
-    toffoli_to_clifford_t(&mcx_to_toffoli(circuit))
-        .expect("mcx_to_toffoli leaves arity <= 2")
+    toffoli_to_clifford_t(&mcx_to_toffoli(circuit)).expect("mcx_to_toffoli leaves arity <= 2")
 }
 
 /// Qiskit-style adjacent-gate cancellation on the Clifford+T circuit.
@@ -267,9 +266,18 @@ mod tests {
     #[test]
     fn toffoli_level_passes_beat_clifford_t_passes() {
         let circuit = control_flow_circuit(5);
-        let peephole = AdjacentCancel.optimize(&circuit).clifford_t_counts().t_count();
-        let mct = ToffoliCancel.optimize(&circuit).clifford_t_counts().t_count();
-        let zx = GlobalResynth.optimize(&circuit).clifford_t_counts().t_count();
+        let peephole = AdjacentCancel
+            .optimize(&circuit)
+            .clifford_t_counts()
+            .t_count();
+        let mct = ToffoliCancel
+            .optimize(&circuit)
+            .clifford_t_counts()
+            .t_count();
+        let zx = GlobalResynth
+            .optimize(&circuit)
+            .clifford_t_counts()
+            .t_count();
         assert!(mct < peephole, "mctExpand {mct} vs peephole {peephole}");
         assert!(zx <= mct, "global resynthesis {zx} vs mctExpand {mct}");
     }

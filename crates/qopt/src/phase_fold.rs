@@ -101,10 +101,7 @@ pub fn phase_fold(circuit: &Circuit) -> Circuit {
     for gate in circuit.gates() {
         match gate {
             Gate::Mcx { controls, target } if controls.is_empty() => {
-                parities
-                    .get_mut(target)
-                    .expect("initialized")
-                    .constant ^= true;
+                parities.get_mut(target).expect("initialized").constant ^= true;
                 slots.push(Slot::Gate(gate.clone()));
             }
             Gate::Mcx { controls, target } if controls.len() == 1 => {

@@ -164,8 +164,7 @@ fn search_phase(circuit: &Circuit, config: &SearchConfig) -> Circuit {
         let window = 1usize << rng.random_range(0..6u32);
         let candidate = cancel_with_window(&best, window);
         let better_len = candidate.len() < best.len();
-        let same_t = candidate.clifford_t_counts().t_count()
-            <= best.clifford_t_counts().t_count();
+        let same_t = candidate.clifford_t_counts().t_count() <= best.clifford_t_counts().t_count();
         if better_len && same_t {
             best = candidate;
             stagnant = 0;

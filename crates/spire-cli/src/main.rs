@@ -137,7 +137,11 @@ fn cmd_benchmarks() -> Result<(), String> {
             bench.group,
             bench.name,
             bench.entry,
-            if bench.constant { "  (constant size)" } else { "" }
+            if bench.constant {
+                "  (constant size)"
+            } else {
+                ""
+            }
         );
     }
     Ok(())
@@ -157,7 +161,10 @@ fn cmd_experiments(args: &[String]) -> Result<(), String> {
             "table5" | "table6" => println!("{}", experiments::table5(5).render()),
             "fig24" => println!("{}", experiments::fig24(2..=10).render()),
             "appendix-a" => {
-                println!("{}", experiments::appendix_a(6, &[2, 4, 8, 12, 16]).render())
+                println!(
+                    "{}",
+                    experiments::appendix_a(6, &[2, 4, 8, 12, 16]).render()
+                )
             }
             other => return Err(format!("unknown experiment `{other}`")),
         }
@@ -165,8 +172,16 @@ fn cmd_experiments(args: &[String]) -> Result<(), String> {
     };
     if which == "all" {
         for id in [
-            "fig2", "fig12", "fig15a", "fig15b", "table1", "table2", "table4", "table5",
-            "fig24", "appendix-a",
+            "fig2",
+            "fig12",
+            "fig15a",
+            "fig15b",
+            "table1",
+            "table2",
+            "table4",
+            "table5",
+            "fig24",
+            "appendix-a",
         ] {
             run(id)?;
         }

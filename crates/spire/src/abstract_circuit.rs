@@ -312,15 +312,7 @@ impl AOp {
                 let mut phase1 = Vec::new();
                 for i in 0..w {
                     let m = w - i;
-                    cuccaro_add_controlled(
-                        a,
-                        product,
-                        i,
-                        m,
-                        *cuccaro,
-                        b.bit(i),
-                        &mut phase1,
-                    );
+                    cuccaro_add_controlled(a, product, i, m, *cuccaro, b.bit(i), &mut phase1);
                 }
                 out.extend(phase1.iter().cloned());
                 // Phase 2 (payload): dst ^= product.
@@ -476,7 +468,9 @@ impl AOp {
                 h.add_mcx(1, 2 * w);
                 h.add_mcx(1 + k, w);
             }
-            AOp::MemSwap { addr, data, mem, .. } => {
+            AOp::MemSwap {
+                addr, data, mem, ..
+            } => {
                 let p = addr.width;
                 let cells = (mem.num_cells - 1) as u64;
                 let zeros: u64 = (1..mem.num_cells)
@@ -496,7 +490,9 @@ impl AOp {
                 }
                 // Slot scan.
                 let slots = 1u64 << p;
-                let zeros: u64 = (0..slots).map(|s| (p - (s as u32).count_ones()) as u64).sum();
+                let zeros: u64 = (0..slots)
+                    .map(|s| (p - (s as u32).count_ones()) as u64)
+                    .sum();
                 let w = p.min(dst.width) as u64;
                 h.add_mcx(0, 2 * zeros);
                 h.add_mcx(p as usize, 2 * slots);
@@ -595,26 +591,88 @@ mod tests {
             stack_base: 33,
         };
         let ops = vec![
-            AOp::XorConst { dst: reg(0, 8), value: 0xA5 },
-            AOp::XorReg { dst: reg(0, 8), src: reg(8, 8) },
-            AOp::XorNot { dst: reg(0, 1), src: reg(1, 1) },
-            AOp::XorTest { dst: reg(0, 1), src: reg(8, 5) },
-            AOp::XorAnd { dst: reg(0, 1), a: reg(1, 1), b: reg(2, 1) },
-            AOp::XorOr { dst: reg(0, 1), a: reg(1, 1), b: reg(2, 1) },
-            AOp::XorAdd { dst: reg(0, 8), a: reg(8, 8), b: reg(16, 8), carries: reg(24, 8) },
-            AOp::XorAdd { dst: reg(0, 1), a: reg(8, 1), b: reg(16, 1), carries: reg(24, 1) },
-            AOp::XorSub { dst: reg(0, 8), a: reg(8, 8), b: reg(16, 8), carries: reg(24, 8) },
-            AOp::XorSub { dst: reg(0, 1), a: reg(8, 1), b: reg(16, 1), carries: reg(24, 1) },
-            AOp::XorMul { dst: reg(0, 4), a: reg(8, 4), b: reg(16, 4), product: reg(24, 4), cuccaro: 28 },
-            AOp::SwapReg { a: reg(0, 8), b: reg(8, 8) },
-            AOp::MemSwap { addr: reg(0, 3), data: reg(8, 6), mem: mem.clone(), match_bit: 90 },
-            AOp::StackPop { dst: reg(8, 3), mem, match_bit: 90 },
+            AOp::XorConst {
+                dst: reg(0, 8),
+                value: 0xA5,
+            },
+            AOp::XorReg {
+                dst: reg(0, 8),
+                src: reg(8, 8),
+            },
+            AOp::XorNot {
+                dst: reg(0, 1),
+                src: reg(1, 1),
+            },
+            AOp::XorTest {
+                dst: reg(0, 1),
+                src: reg(8, 5),
+            },
+            AOp::XorAnd {
+                dst: reg(0, 1),
+                a: reg(1, 1),
+                b: reg(2, 1),
+            },
+            AOp::XorOr {
+                dst: reg(0, 1),
+                a: reg(1, 1),
+                b: reg(2, 1),
+            },
+            AOp::XorAdd {
+                dst: reg(0, 8),
+                a: reg(8, 8),
+                b: reg(16, 8),
+                carries: reg(24, 8),
+            },
+            AOp::XorAdd {
+                dst: reg(0, 1),
+                a: reg(8, 1),
+                b: reg(16, 1),
+                carries: reg(24, 1),
+            },
+            AOp::XorSub {
+                dst: reg(0, 8),
+                a: reg(8, 8),
+                b: reg(16, 8),
+                carries: reg(24, 8),
+            },
+            AOp::XorSub {
+                dst: reg(0, 1),
+                a: reg(8, 1),
+                b: reg(16, 1),
+                carries: reg(24, 1),
+            },
+            AOp::XorMul {
+                dst: reg(0, 4),
+                a: reg(8, 4),
+                b: reg(16, 4),
+                product: reg(24, 4),
+                cuccaro: 28,
+            },
+            AOp::SwapReg {
+                a: reg(0, 8),
+                b: reg(8, 8),
+            },
+            AOp::MemSwap {
+                addr: reg(0, 3),
+                data: reg(8, 6),
+                mem: mem.clone(),
+                match_bit: 90,
+            },
+            AOp::StackPop {
+                dst: reg(8, 3),
+                mem,
+                match_bit: 90,
+            },
             AOp::Had { target: 0 },
         ];
         for op in ops {
             for k in [0usize, 1, 3] {
                 let controls: Vec<Qubit> = (100..100 + k as u32).collect();
-                let instr = AInstr { op: op.clone(), controls, reversed: false };
+                let instr = AInstr {
+                    op: op.clone(),
+                    controls,
+                    reversed: false,
+                };
                 let mut circuit = Circuit::new(0);
                 instr.emit(&mut circuit);
                 assert_eq!(
@@ -641,7 +699,11 @@ mod tests {
             state.write_range(4, 4, a_val);
             state.write_range(8, 4, b_val);
             run_op(&op, &[], &mut state);
-            assert_eq!(state.read_range(0, 4), (a_val + b_val) % 16, "{a_val}+{b_val}");
+            assert_eq!(
+                state.read_range(0, 4),
+                (a_val + b_val) % 16,
+                "{a_val}+{b_val}"
+            );
             // Operands and scratch preserved.
             assert_eq!(state.read_range(4, 4), a_val);
             assert_eq!(state.read_range(8, 4), b_val);
@@ -702,7 +764,11 @@ mod tests {
             state.write_range(4, 4, a_val);
             state.write_range(8, 4, b_val);
             run_op(&op, &[], &mut state);
-            assert_eq!(state.read_range(0, 4), (a_val * b_val) % 16, "{a_val}*{b_val}");
+            assert_eq!(
+                state.read_range(0, 4),
+                (a_val * b_val) % 16,
+                "{a_val}*{b_val}"
+            );
             assert_eq!(state.read_range(12, 4), 0, "product scratch restored");
             assert!(!state.bit(16), "cuccaro ancilla restored");
         }
@@ -711,7 +777,10 @@ mod tests {
     #[test]
     fn test_op_detects_nonzero() {
         for v in [0u64, 1, 16, 31] {
-            let op = AOp::XorTest { dst: reg(0, 1), src: reg(8, 5) };
+            let op = AOp::XorTest {
+                dst: reg(0, 1),
+                src: reg(8, 5),
+            };
             let mut state = BasisState::new(16);
             state.write_range(8, 5, v);
             run_op(&op, &[], &mut state);
@@ -742,7 +811,10 @@ mod tests {
 
     #[test]
     fn swap_exchanges_registers() {
-        let op = AOp::SwapReg { a: reg(0, 4), b: reg(4, 4) };
+        let op = AOp::SwapReg {
+            a: reg(0, 4),
+            b: reg(4, 4),
+        };
         let mut state = BasisState::new(10);
         state.write_range(0, 4, 0b0110);
         state.write_range(4, 4, 0b1001);
@@ -763,7 +835,12 @@ mod tests {
             sp: reg(8, 2),
             stack_base: 8, // unused here
         };
-        let op = AOp::MemSwap { addr: reg(0, 2), data: reg(4, 4), mem: mem.clone(), match_bit: 29 };
+        let op = AOp::MemSwap {
+            addr: reg(0, 2),
+            data: reg(4, 4),
+            mem: mem.clone(),
+            match_bit: 29,
+        };
         let mut state = BasisState::new(30);
         // Cell 2 holds 0b1111; register holds 0b0101; address = 2.
         state.write_range(mem.cell(2).offset, 4, 0b1111);
@@ -785,7 +862,12 @@ mod tests {
             sp: reg(8, 2),
             stack_base: 8,
         };
-        let op = AOp::MemSwap { addr: reg(0, 2), data: reg(4, 4), mem, match_bit: 29 };
+        let op = AOp::MemSwap {
+            addr: reg(0, 2),
+            data: reg(4, 4),
+            mem,
+            match_bit: 29,
+        };
         let mut state = BasisState::new(30);
         state.write_range(4, 4, 0b0101);
         run_op(&op, &[], &mut state); // addr = 0 (null)
@@ -801,7 +883,11 @@ mod tests {
             sp: reg(10, 2),
             stack_base: 12, // slots: 12..14,14..16,16..18,18..20
         };
-        let op = AOp::StackPop { dst: reg(0, 2), mem: mem.clone(), match_bit: 59 };
+        let op = AOp::StackPop {
+            dst: reg(0, 2),
+            mem: mem.clone(),
+            match_bit: 59,
+        };
         let mut state = BasisState::new(60);
         // Free stack holds addresses [3, 2, 1] (slot 0 = 3 at bottom), sp = 3.
         state.write_range(mem.stack_slot(0, 2).offset, 2, 3);
@@ -811,11 +897,19 @@ mod tests {
         run_op(&op, &[], &mut state);
         assert_eq!(state.read_range(0, 2), 1, "top of stack popped");
         assert_eq!(state.read_range(10, 2), 2, "sp decremented");
-        assert_eq!(state.read_range(mem.stack_slot(2, 2).offset, 2), 0, "slot cleared");
+        assert_eq!(
+            state.read_range(mem.stack_slot(2, 2).offset, 2),
+            0,
+            "slot cleared"
+        );
 
         // Push it back (reversed pop).
         let push = AInstr {
-            op: AOp::StackPop { dst: reg(0, 2), mem: mem.clone(), match_bit: 59 },
+            op: AOp::StackPop {
+                dst: reg(0, 2),
+                mem: mem.clone(),
+                match_bit: 59,
+            },
             controls: vec![],
             reversed: true,
         };
@@ -841,8 +935,16 @@ mod tests {
             },
             match_bit: 39,
         };
-        let fwd = AInstr { op: op.clone(), controls: vec![], reversed: false };
-        let rev = AInstr { op, controls: vec![], reversed: true };
+        let fwd = AInstr {
+            op: op.clone(),
+            controls: vec![],
+            reversed: false,
+        };
+        let rev = AInstr {
+            op,
+            controls: vec![],
+            reversed: true,
+        };
         let mut circuit = Circuit::new(40);
         fwd.emit(&mut circuit);
         rev.emit(&mut circuit);

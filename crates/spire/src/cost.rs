@@ -81,7 +81,10 @@ pub struct FormulaConstants {
 impl FormulaConstants {
     /// The constants used in the paper's Section 5.
     pub fn paper() -> Self {
-        FormulaConstants { c_ctrl: 14, c_ch: 8 }
+        FormulaConstants {
+            c_ctrl: 14,
+            c_ch: 8,
+        }
     }
 }
 
@@ -93,10 +96,7 @@ impl Default for FormulaConstants {
 
 /// Histogram of one primitive statement at control depth 0 (its `c^MCX_s`
 /// and `c^T_s` constants).
-fn primitive_histogram(
-    stmt: &CoreStmt,
-    env: &CostEnv<'_>,
-) -> Result<GateHistogram, SpireError> {
+fn primitive_histogram(stmt: &CoreStmt, env: &CostEnv<'_>) -> Result<GateHistogram, SpireError> {
     exact_histogram(stmt, env)
 }
 
@@ -118,9 +118,7 @@ pub fn formula_mcx(stmt: &CoreStmt, env: &CostEnv<'_>) -> Result<u64, SpireError
         // The if-statement does not change the number of arbitrarily
         // controllable Clifford gates.
         CoreStmt::If { body, .. } => formula_mcx(body, env)?,
-        CoreStmt::With { setup, body } => {
-            2 * formula_mcx(setup, env)? + formula_mcx(body, env)?
-        }
+        CoreStmt::With { setup, body } => 2 * formula_mcx(setup, env)? + formula_mcx(body, env)?,
         primitive => primitive_histogram(primitive, env)?.mcx_complexity(),
     })
 }
@@ -190,14 +188,16 @@ pub fn formula_t(
 /// # Errors
 ///
 /// Propagates selection errors.
-pub fn flattening_uncomputation_t(
-    stmt: &CoreStmt,
-    env: &CostEnv<'_>,
-) -> Result<u64, SpireError> {
+pub fn flattening_uncomputation_t(stmt: &CoreStmt, env: &CostEnv<'_>) -> Result<u64, SpireError> {
     fn is_flattening_temp(var: &Symbol) -> bool {
         var.as_str().starts_with("z%")
     }
-    fn walk(stmt: &CoreStmt, k: usize, env: &CostEnv<'_>, total: &mut u64) -> Result<(), SpireError> {
+    fn walk(
+        stmt: &CoreStmt,
+        k: usize,
+        env: &CostEnv<'_>,
+        total: &mut u64,
+    ) -> Result<(), SpireError> {
         match stmt {
             CoreStmt::Seq(ss) => {
                 for s in ss {
@@ -253,7 +253,10 @@ mod tests {
     #[test]
     fn if_shifts_primitive_histogram() {
         let table = table();
-        let inputs = vec![(Symbol::new("c"), Type::Bool), (Symbol::new("y"), Type::UInt)];
+        let inputs = vec![
+            (Symbol::new("c"), Type::Bool),
+            (Symbol::new("y"), Type::UInt),
+        ];
         let body = CoreStmt::Assign {
             var: Symbol::new("x"),
             expr: CoreExpr::Var(Symbol::new("y")),
@@ -265,13 +268,21 @@ mod tests {
         let (l1, i1) = env_and(&body, &inputs, &table);
         let plain = exact_histogram(
             &body,
-            &CostEnv { layout: &l1, types: &i1, table: &table },
+            &CostEnv {
+                layout: &l1,
+                types: &i1,
+                table: &table,
+            },
         )
         .unwrap();
         let (l2, i2) = env_and(&under_if, &inputs, &table);
         let shifted = exact_histogram(
             &under_if,
-            &CostEnv { layout: &l2, types: &i2, table: &table },
+            &CostEnv {
+                layout: &l2,
+                types: &i2,
+                table: &table,
+            },
         )
         .unwrap();
         assert_eq!(shifted, plain.shifted(1));
@@ -283,7 +294,10 @@ mod tests {
     #[test]
     fn formula_mcx_ignores_ifs() {
         let table = table();
-        let inputs = vec![(Symbol::new("c"), Type::Bool), (Symbol::new("y"), Type::UInt)];
+        let inputs = vec![
+            (Symbol::new("c"), Type::Bool),
+            (Symbol::new("y"), Type::UInt),
+        ];
         let body = CoreStmt::Assign {
             var: Symbol::new("x"),
             expr: CoreExpr::Var(Symbol::new("y")),
@@ -293,7 +307,11 @@ mod tests {
             body: Box::new(body.clone()),
         };
         let (l, i) = env_and(&under_if, &inputs, &table);
-        let env = CostEnv { layout: &l, types: &i, table: &table };
+        let env = CostEnv {
+            layout: &l,
+            types: &i,
+            table: &table,
+        };
         assert_eq!(
             formula_mcx(&body, &env).unwrap(),
             formula_mcx(&under_if, &env).unwrap()
@@ -303,7 +321,10 @@ mod tests {
     #[test]
     fn formula_t_charges_c_ctrl_per_mcx() {
         let table = table();
-        let inputs = vec![(Symbol::new("c"), Type::Bool), (Symbol::new("y"), Type::UInt)];
+        let inputs = vec![
+            (Symbol::new("c"), Type::Bool),
+            (Symbol::new("y"), Type::UInt),
+        ];
         let body = CoreStmt::Assign {
             var: Symbol::new("x"),
             expr: CoreExpr::Var(Symbol::new("y")),
@@ -313,7 +334,11 @@ mod tests {
             body: Box::new(body.clone()),
         };
         let (l, i) = env_and(&under_if, &inputs, &table);
-        let env = CostEnv { layout: &l, types: &i, table: &table };
+        let env = CostEnv {
+            layout: &l,
+            types: &i,
+            table: &table,
+        };
         let c = FormulaConstants::paper();
         // copy = 8 CNOT gates; formula charges 14 each.
         assert_eq!(formula_t(&under_if, &env, c).unwrap(), 14 * 8);
@@ -326,20 +351,31 @@ mod tests {
             }),
         };
         let (l2, i2) = env_and(&const_if, &inputs, &table);
-        let env2 = CostEnv { layout: &l2, types: &i2, table: &table };
+        let env2 = CostEnv {
+            layout: &l2,
+            types: &i2,
+            table: &table,
+        };
         assert_eq!(formula_t(&const_if, &env2, c).unwrap(), 0);
     }
 
     #[test]
     fn formula_t_charges_c_ch_for_controlled_hadamard() {
         let table = table();
-        let inputs = vec![(Symbol::new("c"), Type::Bool), (Symbol::new("q"), Type::Bool)];
+        let inputs = vec![
+            (Symbol::new("c"), Type::Bool),
+            (Symbol::new("q"), Type::Bool),
+        ];
         let stmt = CoreStmt::If {
             cond: Symbol::new("c"),
             body: Box::new(CoreStmt::Hadamard(Symbol::new("q"))),
         };
         let (l, i) = env_and(&stmt, &inputs, &table);
-        let env = CostEnv { layout: &l, types: &i, table: &table };
+        let env = CostEnv {
+            layout: &l,
+            types: &i,
+            table: &table,
+        };
         assert_eq!(
             formula_t(&stmt, &env, FormulaConstants::paper()).unwrap(),
             8
@@ -370,7 +406,11 @@ mod tests {
             (Symbol::new("y"), Type::UInt),
         ];
         let (l, i) = env_and(&optimized, &inputs, &table);
-        let env = CostEnv { layout: &l, types: &i, table: &table };
+        let env = CostEnv {
+            layout: &l,
+            types: &i,
+            table: &table,
+        };
         // One flattening temp: z <- a && b is a single Toffoli, 7 T.
         assert_eq!(flattening_uncomputation_t(&optimized, &env).unwrap(), 7);
         let _ = CoreBinOp::And;

@@ -41,7 +41,11 @@ impl Reg {
     ///
     /// Panics if `i >= width`.
     pub fn bit(&self, i: u32) -> u32 {
-        assert!(i < self.width, "bit {i} out of register width {}", self.width);
+        assert!(
+            i < self.width,
+            "bit {i} out of register width {}",
+            self.width
+        );
         self.offset + i
     }
 
@@ -83,7 +87,10 @@ impl MemoryLayout {
     ///
     /// Panics on address 0 or past the end of memory.
     pub fn cell(&self, addr: u32) -> Reg {
-        assert!(addr >= 1 && addr < self.num_cells, "bad cell address {addr}");
+        assert!(
+            addr >= 1 && addr < self.num_cells,
+            "bad cell address {addr}"
+        );
         Reg {
             offset: self.cells_base + (addr - 1) * self.cell_width,
             width: self.cell_width,
@@ -157,7 +164,8 @@ impl Layout {
 
     /// Scratch sub-region accumulating products (`uint_bits` wide).
     pub fn scratch_product(&self) -> Reg {
-        self.scratch.slice(self.config.uint_bits + 1, self.config.uint_bits)
+        self.scratch
+            .slice(self.config.uint_bits + 1, self.config.uint_bits)
     }
 
     /// Scratch sub-region for duplicating an operand when both operands of
@@ -618,7 +626,7 @@ mod tests {
                 + l.scratch.width
                 + 4          // sp
                 + 16 * 4     // free-stack slots
-                + 15 * 12    // cells
+                + 15 * 12 // cells
         );
     }
 
@@ -640,14 +648,35 @@ mod tests {
         ];
         let info = typecheck(&s, &inputs, &table).unwrap();
         let l = layout(&s, &inputs, &info, &table, AllocPolicy::Conservative).unwrap();
-        assert_eq!(l.reg(&Symbol::new("a")).unwrap(), Reg { offset: 0, width: 8 });
-        assert_eq!(l.reg(&Symbol::new("b")).unwrap(), Reg { offset: 8, width: 1 });
+        assert_eq!(
+            l.reg(&Symbol::new("a")).unwrap(),
+            Reg {
+                offset: 0,
+                width: 8
+            }
+        );
+        assert_eq!(
+            l.reg(&Symbol::new("b")).unwrap(),
+            Reg {
+                offset: 8,
+                width: 1
+            }
+        );
     }
 
     #[test]
     fn reg_slice_and_bit() {
-        let r = Reg { offset: 10, width: 8 };
+        let r = Reg {
+            offset: 10,
+            width: 8,
+        };
         assert_eq!(r.bit(3), 13);
-        assert_eq!(r.slice(4, 4), Reg { offset: 14, width: 4 });
+        assert_eq!(
+            r.slice(4, 4),
+            Reg {
+                offset: 14,
+                width: 4
+            }
+        );
     }
 }

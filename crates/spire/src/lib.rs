@@ -65,5 +65,5 @@ pub use error::SpireError;
 pub use layout::{AllocPolicy, Layout, MemoryLayout, Reg};
 pub use machine::Machine;
 pub use opt::{optimize, OptConfig};
-pub use pipeline::{compile_source, compile_unit, Compiled, CompileOptions};
+pub use pipeline::{compile_source, compile_unit, CompileOptions, Compiled};
 pub use select::select;

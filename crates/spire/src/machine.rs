@@ -93,10 +93,10 @@ impl Machine {
         let p = mem.sp.width;
         let (sp, base) = (mem.sp, mem.stack_base);
         for (i, &addr) in free.iter().enumerate() {
-            self.state
-                .write_range(base + i as u32 * p, p, addr as u64);
+            self.state.write_range(base + i as u32 * p, p, addr as u64);
         }
-        self.state.write_range(sp.offset, sp.width, free.len() as u64);
+        self.state
+            .write_range(sp.offset, sp.width, free.len() as u64);
     }
 
     /// Current stack-pointer value.
@@ -129,7 +129,11 @@ impl Machine {
         );
         for (i, &v) in values.iter().enumerate() {
             let addr = i as u32 + 1;
-            let next = if i + 1 < values.len() { addr as u64 + 1 } else { 0 };
+            let next = if i + 1 < values.len() {
+                addr as u64 + 1
+            } else {
+                0
+            };
             self.write_cell(addr, (v & ((1 << uint_bits) - 1)) | (next << uint_bits));
         }
         // Free cells: everything after the list, pushed bottom-first.

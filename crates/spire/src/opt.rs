@@ -138,9 +138,7 @@ fn optimize_stmt(stmt: &CoreStmt, config: OptConfig, names: &mut NameGen) -> Vec
                             body: inner.clone(),
                         };
                         out.push(CoreStmt::With {
-                            setup: Box::new(CoreStmt::seq(optimize_list(
-                                setup, config, names,
-                            ))),
+                            setup: Box::new(CoreStmt::seq(optimize_list(setup, config, names))),
                             body: Box::new(CoreStmt::seq(optimize_stmt(
                                 &narrowed_if,
                                 config,
@@ -227,13 +225,15 @@ mod tests {
     #[test]
     fn flattening_reduces_nesting_to_one() {
         // if a { if b { if c { x <- true } } }
-        let nested = if_stmt(
-            "a",
-            if_stmt("b", if_stmt("c", assign_bool("x", true))),
-        );
+        let nested = if_stmt("a", if_stmt("b", if_stmt("c", assign_bool("x", true))));
         let mut names = NameGen::new();
         let optimized = optimize(&nested, OptConfig::spire(), &mut names);
-        assert_eq!(max_if_depth(&optimized), 1, "got:\n{}", tower::pretty(&optimized));
+        assert_eq!(
+            max_if_depth(&optimized),
+            1,
+            "got:\n{}",
+            tower::pretty(&optimized)
+        );
     }
 
     #[test]
@@ -268,7 +268,10 @@ mod tests {
         let mut names = NameGen::new();
         let optimized = optimize(&stmt, OptConfig::spire(), &mut names);
         let CoreStmt::Seq(parts) = &optimized else {
-            panic!("expected split sequence, got:\n{}", tower::pretty(&optimized));
+            panic!(
+                "expected split sequence, got:\n{}",
+                tower::pretty(&optimized)
+            );
         };
         assert_eq!(parts.len(), 2);
         assert!(parts.iter().all(|p| matches!(p, CoreStmt::If { .. })));
@@ -287,7 +290,12 @@ mod tests {
         );
         let mut names = NameGen::new();
         let optimized = optimize(&stmt, OptConfig::flattening_only(), &mut names);
-        assert_eq!(max_if_depth(&optimized), 1, "got:\n{}", tower::pretty(&optimized));
+        assert_eq!(
+            max_if_depth(&optimized),
+            1,
+            "got:\n{}",
+            tower::pretty(&optimized)
+        );
     }
 
     #[test]
@@ -335,7 +343,12 @@ mod tests {
         let optimized = optimize(&fig3, OptConfig::spire(), &mut names);
         // Figure 7: a single level of if remains, and the t <- z setup is
         // outside every if.
-        assert_eq!(max_if_depth(&optimized), 1, "got:\n{}", tower::pretty(&optimized));
+        assert_eq!(
+            max_if_depth(&optimized),
+            1,
+            "got:\n{}",
+            tower::pretty(&optimized)
+        );
         // The `t <- z` assignment must appear un-controlled: find it.
         fn setup_has_uncontrolled_t(stmt: &CoreStmt, under_if: bool) -> bool {
             match stmt {
@@ -346,9 +359,7 @@ mod tests {
                         || setup_has_uncontrolled_t(body, under_if)
                 }
                 CoreStmt::Assign { var, expr } => {
-                    var == &Symbol::new("t")
-                        && matches!(expr, CoreExpr::Var(_))
-                        && !under_if
+                    var == &Symbol::new("t") && matches!(expr, CoreExpr::Var(_)) && !under_if
                 }
                 _ => false,
             }

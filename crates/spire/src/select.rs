@@ -171,7 +171,14 @@ impl Selector<'_> {
                     .clone()
                     .expect("layout allocates memory for programs with alloc");
                 let match_bit = self.layout.scratch_qram_match();
-                self.push(AOp::StackPop { dst, mem, match_bit }, reversed);
+                self.push(
+                    AOp::StackPop {
+                        dst,
+                        mem,
+                        match_bit,
+                    },
+                    reversed,
+                );
                 Ok(())
             }
             CoreStmt::Dealloc { var, .. } => {
@@ -182,7 +189,14 @@ impl Selector<'_> {
                     .clone()
                     .expect("layout allocates memory for programs with dealloc");
                 let match_bit = self.layout.scratch_qram_match();
-                self.push(AOp::StackPop { dst, mem, match_bit }, !reversed);
+                self.push(
+                    AOp::StackPop {
+                        dst,
+                        mem,
+                        match_bit,
+                    },
+                    !reversed,
+                );
                 Ok(())
             }
         }
@@ -214,11 +228,7 @@ impl Selector<'_> {
     /// Instructions computing `dst ^= expr`. The boolean marks conjugation
     /// instructions (operand duplication) that never carry `if`-controls
     /// and are their own inverse as a pair.
-    fn ops_for_expr(
-        &mut self,
-        dst: Reg,
-        expr: &CoreExpr,
-    ) -> Result<Vec<(AOp, bool)>, SpireError> {
+    fn ops_for_expr(&mut self, dst: Reg, expr: &CoreExpr) -> Result<Vec<(AOp, bool)>, SpireError> {
         let config = self.layout.config;
         Ok(match expr {
             CoreExpr::Value(value) => match value {
@@ -418,7 +428,10 @@ mod tests {
                 }),
             }),
         };
-        let inputs = vec![(Symbol::new("a"), Type::Bool), (Symbol::new("b"), Type::Bool)];
+        let inputs = vec![
+            (Symbol::new("a"), Type::Bool),
+            (Symbol::new("b"), Type::Bool),
+        ];
         let instrs = compile_ir(&stmt, &inputs);
         assert_eq!(instrs[0].controls.len(), 2);
     }

@@ -63,7 +63,10 @@ fn formula_model_has_the_exact_models_degree() {
             types: &compiled.types,
             table: &compiled.table,
         };
-        exact.push((n, exact_histogram(&compiled.ir, &env).unwrap().t_complexity()));
+        exact.push((
+            n,
+            exact_histogram(&compiled.ir, &env).unwrap().t_complexity(),
+        ));
         formula.push((
             n,
             formula_t(&compiled.ir, &env, FormulaConstants::paper()).unwrap(),
@@ -71,7 +74,11 @@ fn formula_model_has_the_exact_models_degree() {
         formula_mcx_points.push((n, formula_mcx(&compiled.ir, &env).unwrap()));
     }
     assert_eq!(degree(&exact), 2, "exact model is quadratic: {exact:?}");
-    assert_eq!(degree(&formula), 2, "formula model is quadratic: {formula:?}");
+    assert_eq!(
+        degree(&formula),
+        2,
+        "formula model is quadratic: {formula:?}"
+    );
     assert_eq!(
         degree(&formula_mcx_points),
         1,
@@ -99,7 +106,9 @@ fn formula_mcx_equals_exact_mcx() {
         };
         assert_eq!(
             formula_mcx(&compiled.ir, &env).unwrap(),
-            exact_histogram(&compiled.ir, &env).unwrap().mcx_complexity(),
+            exact_histogram(&compiled.ir, &env)
+                .unwrap()
+                .mcx_complexity(),
             "n = {n}"
         );
     }

@@ -205,10 +205,7 @@ mod tests {
         let n = Symbol::new("n");
         assert_eq!(DepthExpr::Lit(3).eval(None).unwrap(), 3);
         assert_eq!(DepthExpr::Var(n.clone()).eval(Some((&n, 7))).unwrap(), 7);
-        assert_eq!(
-            DepthExpr::Sub(n.clone(), 2).eval(Some((&n, 7))).unwrap(),
-            5
-        );
+        assert_eq!(DepthExpr::Sub(n.clone(), 2).eval(Some((&n, 7))).unwrap(), 5);
     }
 
     #[test]

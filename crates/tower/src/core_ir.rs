@@ -237,9 +237,7 @@ impl CoreStmt {
     pub fn reversed(&self) -> CoreStmt {
         match self {
             CoreStmt::Skip => CoreStmt::Skip,
-            CoreStmt::Seq(ss) => {
-                CoreStmt::Seq(ss.iter().rev().map(CoreStmt::reversed).collect())
-            }
+            CoreStmt::Seq(ss) => CoreStmt::Seq(ss.iter().rev().map(CoreStmt::reversed).collect()),
             CoreStmt::If { cond, body } => CoreStmt::If {
                 cond: cond.clone(),
                 body: Box::new(body.reversed()),
@@ -389,7 +387,10 @@ mod tests {
         ]);
         let mods = s.mod_set();
         for name in ["a", "b", "v", "x"] {
-            assert!(mods.contains(&Symbol::new(name)), "{name} should be modified");
+            assert!(
+                mods.contains(&Symbol::new(name)),
+                "{name} should be modified"
+            );
         }
         // The pointer of a memswap and the if-condition are not modified.
         assert!(!mods.contains(&Symbol::new("p")));

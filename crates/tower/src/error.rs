@@ -140,7 +140,10 @@ impl fmt::Display for TowerError {
                 context,
                 expected,
                 found,
-            } => write!(f, "type mismatch in {context}: expected {expected}, found {found}"),
+            } => write!(
+                f,
+                "type mismatch in {context}: expected {expected}, found {found}"
+            ),
             TowerError::RedeclaredAtDifferentType { var, original, new } => write!(
                 f,
                 "variable `{var}` re-declared at type {new}, originally {original}"
@@ -155,7 +158,10 @@ impl fmt::Display for TowerError {
                 fun,
                 expected,
                 found,
-            } => write!(f, "call to `{fun}` with {found} arguments, expected {expected}"),
+            } => write!(
+                f,
+                "call to `{fun}` with {found} arguments, expected {expected}"
+            ),
             TowerError::BadDepthExpr { message } => write!(f, "bad depth expression: {message}"),
             TowerError::InlineBudgetExceeded { fun } => {
                 write!(f, "inlining `{fun}` exceeded the expansion budget")

@@ -50,9 +50,9 @@ pub fn inline(
     depth: i64,
     names: &mut NameGen,
 ) -> Result<Vec<Stmt>, TowerError> {
-    let fun = program
-        .fun(entry)
-        .ok_or_else(|| TowerError::UnknownFun { name: entry.clone() })?;
+    let fun = program.fun(entry).ok_or_else(|| TowerError::UnknownFun {
+        name: entry.clone(),
+    })?;
     let mut inliner = Inliner {
         program,
         names,
@@ -302,10 +302,7 @@ impl Inliner<'_, '_> {
         }
         map.insert(callee.ret_var.clone(), target);
         let mut callee_subst = Subst::freshening(map);
-        let callee_env = callee
-            .depth_param
-            .clone()
-            .zip(depth_value);
+        let callee_env = callee.depth_param.clone().zip(depth_value);
         let body = self.block(&callee.body, &mut callee_subst, &callee_env)?;
         out.extend(body);
         Ok(())
@@ -314,11 +311,9 @@ impl Inliner<'_, '_> {
     fn rename_expr(&mut self, expr: &Expr, subst: &mut Subst) -> Expr {
         match expr {
             Expr::Var(v) => Expr::Var(subst.apply(v, self.names)),
-            Expr::UIntLit(_)
-            | Expr::BoolLit(_)
-            | Expr::UnitLit
-            | Expr::Null
-            | Expr::Default(_) => expr.clone(),
+            Expr::UIntLit(_) | Expr::BoolLit(_) | Expr::UnitLit | Expr::Null | Expr::Default(_) => {
+                expr.clone()
+            }
             Expr::Pair(a, b) => Expr::Pair(
                 Box::new(self.rename_expr(a, subst)),
                 Box::new(self.rename_expr(b, subst)),
@@ -338,9 +333,7 @@ impl Inliner<'_, '_> {
     fn reject_nested_calls(&self, expr: &Expr) -> Result<(), TowerError> {
         let nested = match expr {
             Expr::Call { .. } => true,
-            Expr::Pair(a, b) | Expr::Bin(_, a, b) => {
-                contains_call(a) || contains_call(b)
-            }
+            Expr::Pair(a, b) | Expr::Bin(_, a, b) => contains_call(a) || contains_call(b),
             Expr::Proj(e, _) | Expr::Not(e) | Expr::Test(e) => contains_call(e),
             _ => false,
         };
@@ -385,10 +378,7 @@ mod tests {
                     then_block,
                     else_block,
                     ..
-                } => {
-                    1 + stmt_count(then_block)
-                        + else_block.as_ref().map_or(0, |b| stmt_count(b))
-                }
+                } => 1 + stmt_count(then_block) + else_block.as_ref().map_or(0, |b| stmt_count(b)),
                 _ => 1,
             })
             .sum()
@@ -436,7 +426,11 @@ mod tests {
         }
         collect(&body, &mut lets);
         let distinct: std::collections::HashSet<_> = lets.iter().collect();
-        assert_eq!(distinct.len(), lets.len(), "duplicate let-bound names: {lets:?}");
+        assert_eq!(
+            distinct.len(),
+            lets.len(),
+            "duplicate let-bound names: {lets:?}"
+        );
     }
 
     #[test]

@@ -212,8 +212,10 @@ mod tests {
                     .size()
             })
             .collect();
-        let deltas: Vec<isize> =
-            sizes.windows(2).map(|w| w[1] as isize - w[0] as isize).collect();
+        let deltas: Vec<isize> = sizes
+            .windows(2)
+            .map(|w| w[1] as isize - w[0] as isize)
+            .collect();
         assert!(
             deltas.windows(2).all(|w| w[0] == w[1]),
             "expected constant growth, sizes {sizes:?}"

@@ -155,10 +155,7 @@ fn flatten(expr: &Expr, names: &mut NameGen) -> Result<(Vec<CoreStmt>, CoreExpr)
 }
 
 /// Flatten an expression all the way to a variable.
-fn flatten_to_var(
-    expr: &Expr,
-    names: &mut NameGen,
-) -> Result<(Vec<CoreStmt>, Symbol), TowerError> {
+fn flatten_to_var(expr: &Expr, names: &mut NameGen) -> Result<(Vec<CoreStmt>, Symbol), TowerError> {
     let mut setup = Vec::new();
     let var = ensure_var(expr, names, &mut setup)?;
     Ok((setup, var))
@@ -177,9 +174,8 @@ fn flatten_into(
         Expr::Default(ty) => CoreExpr::Value(CoreValue::ZeroOf(ty.clone())),
         Expr::Null => {
             return Err(TowerError::UnloweredConstruct {
-                construct:
-                    "`null` outside a comparison (write `default<ptr<T>>` for a typed null)"
-                        .into(),
+                construct: "`null` outside a comparison (write `default<ptr<T>>` for a typed null)"
+                    .into(),
             })
         }
         Expr::Pair(a, b) => {

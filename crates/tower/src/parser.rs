@@ -194,9 +194,8 @@ impl Parser {
             }
             body.push(stmt);
         }
-        let ret_var = ret_var.ok_or_else(|| {
-            self.error(format!("function `{name}` has no `return` statement"))
-        })?;
+        let ret_var = ret_var
+            .ok_or_else(|| self.error(format!("function `{name}` has no `return` statement")))?;
         Ok(FunDef {
             name,
             depth_param,
@@ -606,7 +605,10 @@ mod tests {
         "#;
         let stmts = parse_block(src).unwrap();
         assert_eq!(stmts.len(), 1);
-        let Stmt::If { cond, then_block, .. } = &stmts[0] else {
+        let Stmt::If {
+            cond, then_block, ..
+        } = &stmts[0]
+        else {
             panic!("expected if");
         };
         assert_eq!(cond, &Expr::Var(Symbol::new("x")));

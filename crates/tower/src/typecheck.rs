@@ -146,12 +146,8 @@ impl Checker<'_> {
             CoreValue::Unit => Type::Unit,
             CoreValue::UInt(_) => Type::UInt,
             CoreValue::Bool(_) => Type::Bool,
-            CoreValue::Null(pointee) | CoreValue::PtrLit(pointee, _) => {
-                Type::ptr(pointee.clone())
-            }
-            CoreValue::Pair(a, b) => {
-                Type::pair(self.lookup(ctx, a)?, self.lookup(ctx, b)?)
-            }
+            CoreValue::Null(pointee) | CoreValue::PtrLit(pointee, _) => Type::ptr(pointee.clone()),
+            CoreValue::Pair(a, b) => Type::pair(self.lookup(ctx, a)?, self.lookup(ctx, b)?),
             CoreValue::ZeroOf(ty) => ty.clone(),
         })
     }
@@ -425,7 +421,10 @@ mod tests {
 
     #[test]
     fn if_body_may_not_undeclare_outer() {
-        let ctx = vec![(Symbol::new("c"), Type::Bool), (Symbol::new("x"), Type::UInt)];
+        let ctx = vec![
+            (Symbol::new("c"), Type::Bool),
+            (Symbol::new("x"), Type::UInt),
+        ];
         let bad = CoreStmt::If {
             cond: Symbol::new("c"),
             body: Box::new(CoreStmt::Unassign {
@@ -502,7 +501,10 @@ mod tests {
     #[test]
     fn arithmetic_requires_uint() {
         let ctx = vec![(Symbol::new("b"), Type::Bool)];
-        let s = assign("x", CoreExpr::Bin(CoreBinOp::Add, Symbol::new("b"), Symbol::new("b")));
+        let s = assign(
+            "x",
+            CoreExpr::Bin(CoreBinOp::Add, Symbol::new("b"), Symbol::new("b")),
+        );
         assert!(typecheck(&s, &ctx, &table()).is_err());
     }
 

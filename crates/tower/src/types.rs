@@ -161,9 +161,10 @@ impl TypeTable {
         for _ in 0..RESOLVE_FUEL {
             match current {
                 Type::Named(name) => {
-                    current = self.defs.get(name).ok_or_else(|| TowerError::UnknownType {
-                        name: name.clone(),
-                    })?;
+                    current = self
+                        .defs
+                        .get(name)
+                        .ok_or_else(|| TowerError::UnknownType { name: name.clone() })?;
                 }
                 other => return Ok(other),
             }
@@ -188,9 +189,9 @@ impl TypeTable {
             (Type::Named(x), Type::Named(y)) if x == y => Ok(true),
             (Type::Named(_), _) => self.equiv_fuel(self.resolve_shallow(a)?, b, fuel - 1),
             (_, Type::Named(_)) => self.equiv_fuel(a, self.resolve_shallow(b)?, fuel - 1),
-            (Type::Unit, Type::Unit)
-            | (Type::UInt, Type::UInt)
-            | (Type::Bool, Type::Bool) => Ok(true),
+            (Type::Unit, Type::Unit) | (Type::UInt, Type::UInt) | (Type::Bool, Type::Bool) => {
+                Ok(true)
+            }
             (Type::Pair(a1, a2), Type::Pair(b1, b2)) => {
                 Ok(self.equiv_fuel(a1, b1, fuel - 1)? && self.equiv_fuel(a2, b2, fuel - 1)?)
             }

@@ -27,11 +27,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "length-simplified at depth {depth}: {} T gates unoptimized\n",
         baseline.t_complexity()
     );
-    println!("{:<22} {:>10} {:>12} {:>12}", "optimizer", "T", "reduction", "time");
+    println!(
+        "{:<22} {:>10} {:>12} {:>12}",
+        "optimizer", "T", "reduction", "time"
+    );
 
     let report = |name: &str, t: u64, seconds: f64| {
-        let reduction = 100.0 * (baseline.t_complexity() - t) as f64
-            / baseline.t_complexity() as f64;
+        let reduction =
+            100.0 * (baseline.t_complexity() - t) as f64 / baseline.t_complexity() as f64;
         println!("{name:<22} {t:>10} {reduction:>11.1}% {seconds:>11.4}s");
     };
 
@@ -49,7 +52,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let start = Instant::now();
         let optimized = search.optimize(&circuit);
         let elapsed = start.elapsed().as_secs_f64();
-        report(search.name(), optimized.clifford_t_counts().t_count(), elapsed);
+        report(
+            search.name(),
+            optimized.clifford_t_counts().t_count(),
+            elapsed,
+        );
     }
 
     // Spire's program-level route: optimize the *program*, then compile.

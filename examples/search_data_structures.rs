@@ -16,10 +16,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- Membership queries on a radix-tree set (paper Section 8.1) ----
     let contains_src = programs::contains_source();
-    let contains =
-        compile_source(&contains_src, "contains", 4, config, &CompileOptions::spire())?;
-    let contains_base =
-        compile_source(&contains_src, "contains", 4, config, &CompileOptions::baseline())?;
+    let contains = compile_source(
+        &contains_src,
+        "contains",
+        4,
+        config,
+        &CompileOptions::spire(),
+    )?;
+    let contains_base = compile_source(
+        &contains_src,
+        "contains",
+        4,
+        config,
+        &CompileOptions::baseline(),
+    )?;
 
     let mut machine = Machine::new(&contains.layout);
     // Key strings are lists of 1/2 characters; the set stores "1".

@@ -49,10 +49,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("after one coin-controlled step from v = 5:");
     for (q, r) in [(0u64, 5u64), (1, 6)] {
         let index = (5 << v_reg.offset) | (q << q_reg.bit(0)) | (r << r_reg.offset);
-        println!(
-            "  P(coin={q}, r={r}) = {:.3}",
-            state.probability(index)
-        );
+        println!("  P(coin={q}, r={r}) = {:.3}", state.probability(index));
     }
     let p0 = state.probability((5 << v_reg.offset) | (5 << r_reg.offset));
     assert!((p0 - 0.5).abs() < 1e-9);

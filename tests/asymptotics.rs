@@ -107,7 +107,12 @@ fn set_benchmarks_have_the_paper_degrees() {
         }
         assert_eq!(degree(&mcx), 2, "{} MCX should be quadratic", bench.name);
         assert_eq!(degree(&t_before), 3, "{} T should be cubic", bench.name);
-        assert_eq!(degree(&t_after), 2, "{} optimized T should be quadratic", bench.name);
+        assert_eq!(
+            degree(&t_after),
+            2,
+            "{} optimized T should be quadratic",
+            bench.name
+        );
     }
 }
 

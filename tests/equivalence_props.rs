@@ -7,8 +7,8 @@
 use proptest::prelude::*;
 use spire::{compile_unit, CompileOptions, Machine, OptConfig};
 use tower::{
-    typecheck_with, CompilationUnit, CoreBinOp, CoreExpr, CoreStmt, CoreValue, NameGen,
-    Strictness, Symbol, Type, TypeTable, WordConfig,
+    typecheck_with, CompilationUnit, CoreBinOp, CoreExpr, CoreStmt, CoreValue, NameGen, Strictness,
+    Symbol, Type, TypeTable, WordConfig,
 };
 
 /// A pool of input variables available to generated programs.
@@ -181,7 +181,10 @@ fn pick(seed: &mut impl Iterator<Item = u8>, pool: &[Symbol]) -> Symbol {
 
 /// Compile a generated statement with the given optimization config.
 fn compile(stmt: &CoreStmt, opt: OptConfig) -> spire::Compiled {
-    let table = TypeTable::new(WordConfig { uint_bits: 3, ptr_bits: 2 });
+    let table = TypeTable::new(WordConfig {
+        uint_bits: 3,
+        ptr_bits: 2,
+    });
     let types = typecheck_with(stmt, &inputs(), &table, Strictness::Relaxed)
         .expect("generated programs are well-formed");
     let unit = CompilationUnit {
@@ -198,10 +201,18 @@ fn compile(stmt: &CoreStmt, opt: OptConfig) -> spire::Compiled {
 fn run(compiled: &spire::Compiled, input_bits: u16) -> Machine {
     let mut machine = Machine::new(&compiled.layout);
     machine.set_var("b0", (input_bits & 1) as u64).unwrap();
-    machine.set_var("b1", ((input_bits >> 1) & 1) as u64).unwrap();
-    machine.set_var("b2", ((input_bits >> 2) & 1) as u64).unwrap();
-    machine.set_var("u0", ((input_bits >> 3) & 0x7) as u64).unwrap();
-    machine.set_var("u1", ((input_bits >> 6) & 0x7) as u64).unwrap();
+    machine
+        .set_var("b1", ((input_bits >> 1) & 1) as u64)
+        .unwrap();
+    machine
+        .set_var("b2", ((input_bits >> 2) & 1) as u64)
+        .unwrap();
+    machine
+        .set_var("u0", ((input_bits >> 3) & 0x7) as u64)
+        .unwrap();
+    machine
+        .set_var("u1", ((input_bits >> 6) & 0x7) as u64)
+        .unwrap();
     machine.run(&compiled.emit()).unwrap();
     machine
 }

@@ -7,9 +7,7 @@ use std::time::Instant;
 
 use bench_suite::polyfit::fit_exact;
 use bench_suite::programs::LENGTH_SIMPLE;
-use qopt::{
-    registry, AdjacentCancel, CircuitOptimizer, GlobalResynth, Peephole, ToffoliCancel,
-};
+use qopt::{registry, AdjacentCancel, CircuitOptimizer, GlobalResynth, Peephole, ToffoliCancel};
 use spire::{compile_source, CompileOptions};
 use tower::WordConfig;
 
@@ -69,7 +67,10 @@ fn only_toffoli_level_optimizers_recover_linearity() {
             "feynman-mctexpand" | "global-resynth" => 1,
             _ => 2,
         };
-        assert_eq!(deg, expected, "{name} should be degree {expected}: {points:?}");
+        assert_eq!(
+            deg, expected,
+            "{name} should be degree {expected}: {points:?}"
+        );
     }
 }
 
@@ -130,9 +131,15 @@ fn spire_plus_circuit_optimizer_beats_either_alone() {
 fn peephole_windows_rank_as_expected() {
     // Wider windows can only help.
     let circuit = compiled_length_simple(6, &CompileOptions::baseline()).emit();
-    let narrow = AdjacentCancel.optimize(&circuit).clifford_t_counts().total();
+    let narrow = AdjacentCancel
+        .optimize(&circuit)
+        .clifford_t_counts()
+        .total();
     let wide = Peephole.optimize(&circuit).clifford_t_counts().total();
-    assert!(wide <= narrow, "wider peephole should cancel at least as much");
+    assert!(
+        wide <= narrow,
+        "wider peephole should cancel at least as much"
+    );
 }
 
 #[test]
@@ -143,7 +150,10 @@ fn all_optimizers_preserve_length_simple_semantics() {
         LENGTH_SIMPLE,
         "length_simple",
         2,
-        WordConfig { uint_bits: 2, ptr_bits: 2 },
+        WordConfig {
+            uint_bits: 2,
+            ptr_bits: 2,
+        },
         &CompileOptions::baseline(),
     )
     .unwrap();

@@ -2,9 +2,9 @@
 //! Figure 3's nested conditionals, the Figure 7 optimization, the cost
 //! arithmetic of Section 3.3, and Theorems 6.1/6.4's scaling claims.
 
-use qcirc::{t_of_mcx, Circuit, Gate};
 use qcirc::sim::BasisState;
-use spire::{compile_source, Compiled, CompileOptions, Machine, OptConfig};
+use qcirc::{t_of_mcx, Circuit, Gate};
+use spire::{compile_source, CompileOptions, Compiled, Machine, OptConfig};
 use tower::WordConfig;
 
 /// Paper Figure 3, wrapped in a function (outputs packed into a pair).
@@ -130,8 +130,8 @@ fn theorem_6_1_flattening_asymptotics() {
     // Unoptimized: linear in n for fixed k with slope ~ 14·k-ish
     // (each level adds a control to every body gate).
     let k = 8;
-    let unopt_slope_a = t(6, k, &CompileOptions::baseline()) as i64
-        - t(5, k, &CompileOptions::baseline()) as i64;
+    let unopt_slope_a =
+        t(6, k, &CompileOptions::baseline()) as i64 - t(5, k, &CompileOptions::baseline()) as i64;
     assert!(
         unopt_slope_a >= 14 * k as i64,
         "each extra level costs >= 14 T per body gate, got {unopt_slope_a}"
@@ -241,7 +241,10 @@ fun coin(q: bool, v: uint) -> uint {
         src,
         "coin",
         0,
-        WordConfig { uint_bits: 3, ptr_bits: 2 },
+        WordConfig {
+            uint_bits: 3,
+            ptr_bits: 2,
+        },
         &CompileOptions::spire(),
     )
     .unwrap();

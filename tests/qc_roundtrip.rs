@@ -20,10 +20,7 @@ fn mcx_circuit_roundtrips() {
     let text = qcformat::write(&circuit);
     let parsed = qcformat::parse(&text).unwrap();
     assert_eq!(parsed.gates(), circuit.gates());
-    assert_eq!(
-        parsed.histogram().t_complexity(),
-        compiled.t_complexity()
-    );
+    assert_eq!(parsed.histogram().t_complexity(), compiled.t_complexity());
 }
 
 #[test]

@@ -9,8 +9,8 @@
 
 use spire::{compile_unit, AllocPolicy, CompileOptions, Machine, OptConfig, SpireError};
 use tower::{
-    typecheck_with, CompilationUnit, CoreBinOp, CoreExpr, CoreStmt, CoreValue, NameGen,
-    Strictness, Symbol, Type, TypeTable, WordConfig,
+    typecheck_with, CompilationUnit, CoreBinOp, CoreExpr, CoreStmt, CoreValue, NameGen, Strictness,
+    Symbol, Type, TypeTable, WordConfig,
 };
 
 /// Figure 23c (the post-narrowing program):

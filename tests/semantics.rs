@@ -5,7 +5,7 @@
 //! zero) and, where it matters, allocator state.
 
 use bench_suite::programs;
-use spire::{compile_source, Compiled, CompileOptions, Machine};
+use spire::{compile_source, CompileOptions, Compiled, Machine};
 use tower::WordConfig;
 
 fn compile(source: &str, entry: &str, depth: i64, options: &CompileOptions) -> Compiled {
@@ -15,11 +15,7 @@ fn compile(source: &str, entry: &str, depth: i64, options: &CompileOptions) -> C
 
 /// Run a compiled list program on the given list, with extra inputs set by
 /// the callback, and return the machine afterwards.
-fn run_on_list(
-    compiled: &Compiled,
-    list: &[u64],
-    setup: impl FnOnce(&mut Machine),
-) -> Machine {
+fn run_on_list(compiled: &Compiled, list: &[u64], setup: impl FnOnce(&mut Machine)) -> Machine {
     let mut machine = Machine::new(&compiled.layout);
     let head = machine.build_list(list);
     machine.set_var("xs", head).unwrap();
@@ -55,8 +51,14 @@ fn length_baseline_and_spire_agree_everywhere() {
         let opt = run_on_list(&optimized, &list, |_| {});
         assert_eq!(base.var("out").unwrap(), opt.var("out").unwrap());
         // Inputs are preserved; everything else except out/inputs is zero.
-        assert!(base.clean_except(&["xs", "acc", "out"]), "baseline dirty on {list:?}");
-        assert!(opt.clean_except(&["xs", "acc", "out"]), "optimized dirty on {list:?}");
+        assert!(
+            base.clean_except(&["xs", "acc", "out"]),
+            "baseline dirty on {list:?}"
+        );
+        assert!(
+            opt.clean_except(&["xs", "acc", "out"]),
+            "optimized dirty on {list:?}"
+        );
     }
 }
 
@@ -83,7 +85,12 @@ fn find_pos_returns_one_based_position() {
 
 #[test]
 fn pop_front_removes_head_and_frees_cell() {
-    let compiled = compile(programs::POP_FRONT, "pop_front", 0, &CompileOptions::spire());
+    let compiled = compile(
+        programs::POP_FRONT,
+        "pop_front",
+        0,
+        &CompileOptions::spire(),
+    );
     let mut machine = Machine::new(&compiled.layout);
     machine.build_list(&[4, 5]);
     machine.set_var("xs", 1).unwrap();
@@ -95,7 +102,11 @@ fn pop_front_removes_head_and_frees_cell() {
     assert_eq!(value, 4);
     assert_eq!(rest, 2);
     assert_eq!(machine.cell(1), 0, "head cell zeroed");
-    assert_eq!(machine.sp(), sp_before + 1, "cell returned to the free stack");
+    assert_eq!(
+        machine.sp(),
+        sp_before + 1,
+        "cell returned to the free stack"
+    );
 }
 
 #[test]
@@ -130,7 +141,12 @@ fn push_back_appends_at_end() {
 
 #[test]
 fn push_back_on_empty_list_allocates_head() {
-    let compiled = compile(programs::PUSH_BACK, "push_back", 3, &CompileOptions::spire());
+    let compiled = compile(
+        programs::PUSH_BACK,
+        "push_back",
+        3,
+        &CompileOptions::spire(),
+    );
     let mut machine = Machine::new(&compiled.layout);
     machine.build_list(&[]);
     machine.set_var("xs", 0).unwrap();
@@ -170,7 +186,11 @@ fn build_string(machine: &mut Machine, start: u32, chars: &[u64]) -> u64 {
     // starting at `start`.
     for (i, &c) in chars.iter().enumerate() {
         let addr = start + i as u32;
-        let next = if i + 1 < chars.len() { (addr + 1) as u64 } else { 0 };
+        let next = if i + 1 < chars.len() {
+            (addr + 1) as u64
+        } else {
+            0
+        };
         machine.write_cell(addr, c | (next << 8));
     }
     if chars.is_empty() {
@@ -202,7 +222,12 @@ fn compare_detects_equality() {
 
 #[test]
 fn is_prefix_detects_prefixes() {
-    let compiled = compile(programs::IS_PREFIX, "is_prefix", 5, &CompileOptions::spire());
+    let compiled = compile(
+        programs::IS_PREFIX,
+        "is_prefix",
+        5,
+        &CompileOptions::spire(),
+    );
     let cases: Vec<(Vec<u64>, Vec<u64>, u64)> = vec![
         (vec![1], vec![1, 2], 1),
         (vec![1, 2], vec![1, 2], 1),
@@ -217,14 +242,22 @@ fn is_prefix_detects_prefixes() {
         machine.set_var("p", pp).unwrap();
         machine.set_var("s", ps).unwrap();
         machine.run(&compiled.emit()).unwrap();
-        assert_eq!(machine.var("out").unwrap(), expected, "is_prefix {p:?} {s:?}");
+        assert_eq!(
+            machine.var("out").unwrap(),
+            expected,
+            "is_prefix {p:?} {s:?}"
+        );
     }
 }
 
 #[test]
 fn num_matching_counts_occurrences() {
-    let compiled =
-        compile(programs::NUM_MATCHING, "num_matching", 5, &CompileOptions::spire());
+    let compiled = compile(
+        programs::NUM_MATCHING,
+        "num_matching",
+        5,
+        &CompileOptions::spire(),
+    );
     let mut machine = Machine::new(&compiled.layout);
     let p = build_string(&mut machine, 1, &[2, 5, 2]);
     machine.set_var("xs", p).unwrap();
