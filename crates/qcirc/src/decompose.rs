@@ -213,7 +213,7 @@ mod tests {
             let mut rhs = StateVec::basis(total, basis).unwrap();
             rhs.run(reference).unwrap();
             assert!(
-                lhs.approx_eq(&rhs, 1e-9),
+                lhs.approx_eq_exact(&rhs, 1e-9),
                 "decomposition differs on basis state {basis:#b}"
             );
         }

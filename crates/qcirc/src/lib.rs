@@ -15,9 +15,12 @@
 //!   the standard 7-T Toffoli→Clifford+T decomposition (Figure 6).
 //! * [`qcformat`] — reader/writer for the `.qc` circuit format
 //!   (Mosca 2016) that the Tower compiler emits.
-//! * [`sim`] — a classical reversible simulator for MCX circuits and a
-//!   dense state-vector simulator for Clifford+T+H circuits, used to verify
-//!   the paper's circuit-equivalence theorems (Theorems 6.3 and 6.5).
+//! * [`sim`] — three interchangeable simulation backends behind the
+//!   [`sim::Simulator`] trait: a classical reversible simulator for MCX
+//!   circuits, a dense state-vector simulator, and a sparse amplitude-map
+//!   simulator that scales with the support of the state (what the
+//!   differential-testing harness uses to equivalence-check compiled
+//!   programs at paper-sized qubit counts, Theorems 6.3 and 6.5).
 //!
 //! # Example
 //!

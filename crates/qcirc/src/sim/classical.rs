@@ -149,6 +149,32 @@ impl BasisState {
     }
 }
 
+impl crate::sim::Simulator for BasisState {
+    fn zeroed(num_qubits: u32) -> Result<Self, QcircError> {
+        Ok(BasisState::new(num_qubits))
+    }
+
+    fn num_qubits(&self) -> u32 {
+        self.num_qubits
+    }
+
+    fn apply_gate(&mut self, gate: &Gate) -> Result<(), QcircError> {
+        self.apply(gate)
+    }
+
+    fn read_range(&self, offset: Qubit, width: u32) -> Option<u64> {
+        Some(BasisState::read_range(self, offset, width))
+    }
+
+    fn write_range(&mut self, offset: Qubit, width: u32, value: u64) {
+        BasisState::write_range(self, offset, width, value);
+    }
+
+    fn zero_outside(&self, keep: &[(Qubit, u32)]) -> bool {
+        BasisState::zero_outside(self, keep)
+    }
+}
+
 impl fmt::Display for BasisState {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         for q in (0..self.num_qubits).rev() {

@@ -8,12 +8,139 @@
 //!   Definition 6.2).
 //! * [`StateVec`] — a dense state-vector simulator supporting the full gate
 //!   set (including Hadamard and the phase gates), used to verify the
-//!   Clifford+T decompositions exactly, phases included.
+//!   Clifford+T decompositions exactly, phases included. Allocates all 2ⁿ
+//!   amplitudes, so it is capped at small registers.
+//! * [`SparseState`] — a sparse amplitude-map simulator over the full gate
+//!   set. Cost scales with the support of the state rather than the
+//!   register width, which is what lets the differential-testing harness
+//!   equivalence-check compiled programs at paper-sized qubit counts.
+//!
+//! All three implement the [`Simulator`] trait, so machinery built on top
+//! (notably `spire::Machine` and the workspace equivalence tests) can swap
+//! backends freely.
 
 mod classical;
 mod complex;
+mod sparse;
 mod statevec;
 
 pub use classical::BasisState;
 pub use complex::Complex;
+pub use sparse::SparseState;
 pub use statevec::StateVec;
+
+use crate::circuit::Circuit;
+use crate::error::QcircError;
+use crate::gate::{Gate, Qubit};
+
+/// A circuit-execution backend.
+///
+/// The trait covers what the register-level machinery needs from a
+/// simulator: construction in the all-zero state, gate application, and
+/// classical access to qubit ranges (initializing inputs, reading outputs,
+/// checking Definition 6.2's everything-else-is-zero requirement).
+///
+/// Backends differ in reach, not interface:
+///
+/// | backend | gate set | register size | cost per gate |
+/// |---|---|---|---|
+/// | [`BasisState`] | MCX only | unbounded | O(1) |
+/// | [`StateVec`] | full | ≤ 26 qubits | O(2ⁿ) |
+/// | [`SparseState`] | full | ≤ 64 qubits | O(support) |
+///
+/// # Example
+///
+/// ```
+/// use qcirc::{Circuit, Gate};
+/// use qcirc::sim::{BasisState, Simulator, SparseState};
+///
+/// fn run_and_read<S: Simulator>(circuit: &Circuit) -> Option<u64> {
+///     let mut sim = S::zeroed(circuit.num_qubits()).unwrap();
+///     sim.run(circuit).ok()?;
+///     sim.read_range(0, 2)
+/// }
+///
+/// let mut circuit = Circuit::new(2);
+/// circuit.push(Gate::x(1));
+/// assert_eq!(run_and_read::<BasisState>(&circuit), Some(0b10));
+/// assert_eq!(run_and_read::<SparseState>(&circuit), Some(0b10));
+/// ```
+pub trait Simulator {
+    /// The all-zero state of `num_qubits` qubits.
+    ///
+    /// # Errors
+    ///
+    /// [`QcircError::TooManyQubits`] if the backend cannot represent a
+    /// register of this size.
+    fn zeroed(num_qubits: u32) -> Result<Self, QcircError>
+    where
+        Self: Sized;
+
+    /// Number of qubits in the register.
+    fn num_qubits(&self) -> u32;
+
+    /// Apply a single gate.
+    ///
+    /// # Errors
+    ///
+    /// [`QcircError::QubitOutOfRange`] for out-of-range qubits;
+    /// [`QcircError::NotClassical`] from backends that do not support the
+    /// gate (Hadamard or phase gates on [`BasisState`]).
+    fn apply_gate(&mut self, gate: &Gate) -> Result<(), QcircError>;
+
+    /// Run a whole circuit.
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first failing gate (see [`Simulator::apply_gate`]).
+    fn run(&mut self, circuit: &Circuit) -> Result<(), QcircError> {
+        for gate in circuit.gates() {
+            self.apply_gate(gate)?;
+        }
+        Ok(())
+    }
+
+    /// Read `width ≤ 64` consecutive qubits starting at `offset` as a
+    /// little-endian unsigned integer, or `None` if the range does not hold
+    /// a single classical value (it is in superposition).
+    fn read_range(&self, offset: Qubit, width: u32) -> Option<u64>;
+
+    /// Overwrite `width ≤ 64` consecutive qubits starting at `offset` with
+    /// the low bits of `value`.
+    ///
+    /// This is classical initialization, not a unitary: quantum backends
+    /// re-key their amplitudes, which is only meaningful when the target
+    /// qubits are unentangled with the rest of the register (as they are
+    /// when setting up inputs).
+    fn write_range(&mut self, offset: Qubit, width: u32, value: u64);
+
+    /// Whether every qubit outside the given `(offset, width)` ranges is
+    /// zero in every branch of the state — Definition 6.2's requirement on
+    /// non-live registers.
+    fn zero_outside(&self, keep: &[(Qubit, u32)]) -> bool;
+}
+
+#[cfg(test)]
+mod trait_tests {
+    use super::*;
+
+    fn roundtrip<S: Simulator>() {
+        let mut sim = S::zeroed(12).unwrap();
+        assert_eq!(Simulator::num_qubits(&sim), 12);
+        sim.write_range(3, 5, 0b10111);
+        assert_eq!(sim.read_range(3, 5), Some(0b10111));
+        assert!(sim.zero_outside(&[(3, 5)]));
+        assert!(!sim.zero_outside(&[(4, 4)]));
+        let mut circuit = Circuit::new(12);
+        circuit.push(Gate::cnot(4, 11));
+        sim.run(&circuit).unwrap();
+        assert_eq!(sim.read_range(11, 1), Some(1));
+    }
+
+    #[test]
+    fn all_backends_agree_on_classical_circuits() {
+        roundtrip::<BasisState>();
+        roundtrip::<StateVec>();
+        roundtrip::<SparseState>();
+    }
+}

@@ -1,0 +1,540 @@
+//! Sparse amplitude-map simulation of Clifford+T+H circuits.
+//!
+//! Tower programs compile to highly structured circuits: Hadamard-free
+//! programs permute basis states, and the Hadamard statements the language
+//! does admit each at most double the number of nonzero amplitudes. A
+//! register of 30+ qubits therefore typically carries only a handful of
+//! nonzero amplitudes — far too few to justify the dense simulator's
+//! 2ⁿ-element vector. [`SparseState`] stores only the nonzero amplitudes
+//! in a hash map keyed by basis index, so simulation cost scales with the
+//! *support* of the state rather than with the register width.
+
+use std::collections::HashMap;
+use std::f64::consts::{FRAC_1_SQRT_2, FRAC_PI_4};
+
+use crate::circuit::Circuit;
+use crate::error::QcircError;
+use crate::gate::{Gate, Qubit};
+use crate::sim::complex::Complex;
+use crate::sim::Simulator;
+
+/// Largest register the sparse simulator supports: basis indices are `u64`
+/// keys, so one bit per qubit.
+const MAX_QUBITS: u32 = 64;
+
+/// Default pruning threshold on amplitude magnitude. Hadamard pairs that
+/// cancel leave residues around 1e-16; anything below this is numerical
+/// noise, not state.
+const DEFAULT_EPSILON: f64 = 1e-12;
+
+/// A sparse quantum state over up to 64 qubits: a map from basis index to
+/// nonzero amplitude.
+///
+/// Supports the full gate set of this crate exactly (phases included).
+/// Gate application is batched per gate — one pass over the amplitude map —
+/// and amplitudes whose magnitude falls below a configurable epsilon are
+/// pruned after interfering gates, so states with small support stay small
+/// even through Hadamard cancellations.
+///
+/// # Example
+///
+/// ```
+/// use qcirc::{Circuit, Gate};
+/// use qcirc::sim::SparseState;
+///
+/// // A 40-qubit GHZ state: far beyond any dense simulator, two amplitudes.
+/// let mut circuit = Circuit::new(40);
+/// circuit.push(Gate::h(0));
+/// for q in 1..40 {
+///     circuit.push(Gate::cnot(q - 1, q));
+/// }
+/// let mut state = SparseState::basis(40, 0).unwrap();
+/// state.run(&circuit).unwrap();
+/// assert_eq!(state.support(), 2);
+/// assert!((state.probability(0) - 0.5).abs() < 1e-12);
+/// assert!((state.probability((1u64 << 40) - 1) - 0.5).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SparseState {
+    amps: HashMap<u64, Complex>,
+    num_qubits: u32,
+    epsilon: f64,
+}
+
+impl SparseState {
+    /// The basis state `|index⟩` of an `n`-qubit register.
+    ///
+    /// # Errors
+    ///
+    /// [`QcircError::TooManyQubits`] if `n` exceeds 64 (basis indices are
+    /// `u64` keys).
+    pub fn basis(num_qubits: u32, index: u64) -> Result<Self, QcircError> {
+        if num_qubits > MAX_QUBITS {
+            return Err(QcircError::TooManyQubits {
+                requested: num_qubits,
+                max: MAX_QUBITS,
+            });
+        }
+        let mut amps = HashMap::new();
+        amps.insert(index, Complex::ONE);
+        Ok(SparseState {
+            amps,
+            num_qubits,
+            epsilon: DEFAULT_EPSILON,
+        })
+    }
+
+    /// The same state with a different pruning threshold: amplitudes with
+    /// magnitude `<= epsilon` are dropped after interfering gates.
+    pub fn with_epsilon(mut self, epsilon: f64) -> Self {
+        assert!(epsilon >= 0.0, "pruning epsilon must be non-negative");
+        self.epsilon = epsilon;
+        self
+    }
+
+    /// The pruning threshold.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> u32 {
+        self.num_qubits
+    }
+
+    /// Number of stored (nonzero) amplitudes.
+    pub fn support(&self) -> usize {
+        self.amps.len()
+    }
+
+    /// The amplitude of basis state `index` (zero if not stored).
+    pub fn amplitude(&self, index: u64) -> Complex {
+        self.amps.get(&index).copied().unwrap_or(Complex::ZERO)
+    }
+
+    /// The probability of measuring basis state `index`.
+    pub fn probability(&self, index: u64) -> f64 {
+        self.amplitude(index).norm_sqr()
+    }
+
+    /// Iterate over the stored `(basis index, amplitude)` pairs in
+    /// unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, Complex)> + '_ {
+        self.amps.iter().map(|(&k, &a)| (k, a))
+    }
+
+    /// Total probability mass (1 for a valid state, up to pruning loss).
+    pub fn norm(&self) -> f64 {
+        self.amps.values().map(|a| a.norm_sqr()).sum()
+    }
+
+    /// Apply one gate.
+    ///
+    /// # Errors
+    ///
+    /// [`QcircError::QubitOutOfRange`] if the gate references a qubit beyond
+    /// the register.
+    pub fn apply(&mut self, gate: &Gate) -> Result<(), QcircError> {
+        if gate.max_qubit() >= self.num_qubits {
+            return Err(QcircError::QubitOutOfRange {
+                qubit: gate.max_qubit(),
+                num_qubits: self.num_qubits,
+            });
+        }
+        match gate {
+            Gate::Mcx { controls, target } => self.apply_mcx(controls, *target),
+            Gate::Mch { controls, target } => self.apply_mch(controls, *target),
+            Gate::T(q) => self.apply_phase(*q, Complex::from_polar_unit(FRAC_PI_4)),
+            Gate::Tdg(q) => self.apply_phase(*q, Complex::from_polar_unit(-FRAC_PI_4)),
+            Gate::S(q) => self.apply_phase(*q, Complex::new(0.0, 1.0)),
+            Gate::Sdg(q) => self.apply_phase(*q, Complex::new(0.0, -1.0)),
+            Gate::Z(q) => self.apply_phase(*q, Complex::new(-1.0, 0.0)),
+        }
+        Ok(())
+    }
+
+    /// Run a whole circuit.
+    ///
+    /// # Errors
+    ///
+    /// Stops at the first failing gate (see [`SparseState::apply`]).
+    pub fn run(&mut self, circuit: &Circuit) -> Result<(), QcircError> {
+        for gate in circuit.gates() {
+            self.apply(gate)?;
+        }
+        Ok(())
+    }
+
+    fn controls_mask(controls: &[Qubit]) -> u64 {
+        controls.iter().fold(0u64, |m, &c| m | (1u64 << c))
+    }
+
+    /// MCX permutes basis states: re-key every entry whose controls are all
+    /// set. One batched pass, no interference, no pruning needed.
+    fn apply_mcx(&mut self, controls: &[Qubit], target: Qubit) {
+        let cmask = Self::controls_mask(controls);
+        let tbit = 1u64 << target;
+        self.amps = self
+            .amps
+            .drain()
+            .map(|(k, a)| {
+                if k & cmask == cmask {
+                    (k ^ tbit, a)
+                } else {
+                    (k, a)
+                }
+            })
+            .collect();
+    }
+
+    /// MCH splits each controlled entry into the two target branches; the
+    /// branches of partner entries interfere, so amplitudes are accumulated
+    /// and then pruned.
+    fn apply_mch(&mut self, controls: &[Qubit], target: Qubit) {
+        let cmask = Self::controls_mask(controls);
+        let tbit = 1u64 << target;
+        let mut next: HashMap<u64, Complex> = HashMap::with_capacity(self.amps.len() * 2);
+        for (k, a) in self.amps.drain() {
+            if k & cmask != cmask {
+                *next.entry(k).or_insert(Complex::ZERO) += a;
+                continue;
+            }
+            let half = a.scale(FRAC_1_SQRT_2);
+            if k & tbit == 0 {
+                *next.entry(k).or_insert(Complex::ZERO) += half;
+                *next.entry(k | tbit).or_insert(Complex::ZERO) += half;
+            } else {
+                *next.entry(k & !tbit).or_insert(Complex::ZERO) += half;
+                *next.entry(k).or_insert(Complex::ZERO) += -half;
+            }
+        }
+        let eps_sqr = self.epsilon * self.epsilon;
+        next.retain(|_, a| a.norm_sqr() > eps_sqr);
+        self.amps = next;
+    }
+
+    fn apply_phase(&mut self, qubit: Qubit, phase: Complex) {
+        let qbit = 1u64 << qubit;
+        for (&k, a) in self.amps.iter_mut() {
+            if k & qbit != 0 {
+                *a = *a * phase;
+            }
+        }
+    }
+
+    /// Approximate equality up to a global phase, like
+    /// [`StateVec::approx_eq`](crate::sim::StateVec::approx_eq).
+    pub fn approx_eq(&self, other: &SparseState, eps: f64) -> bool {
+        if self.num_qubits != other.num_qubits {
+            return false;
+        }
+        // Pick the reference phase from this state's largest amplitude.
+        let Some((&kmax, &amax)) = self
+            .amps
+            .iter()
+            .max_by(|a, b| a.1.norm_sqr().total_cmp(&b.1.norm_sqr()))
+        else {
+            return other.amps.values().all(|a| a.norm_sqr() <= eps * eps);
+        };
+        if amax.norm_sqr() <= eps * eps {
+            // This state is (numerically) zero everywhere — e.g. sub-eps
+            // residues kept alive by `with_epsilon(0.0)`; equal iff the
+            // other is too. Also keeps `relative_phase` away from 0/0.
+            return other.amps.values().all(|a| a.norm_sqr() <= eps * eps);
+        }
+        let bmax = other.amplitude(kmax);
+        if bmax.norm_sqr() <= eps * eps {
+            return false;
+        }
+        // phase = b/a normalized to unit modulus.
+        let phase = relative_phase(amax, bmax);
+        // Every key of either map must agree after rotating self by phase.
+        self.amps
+            .keys()
+            .chain(other.amps.keys())
+            .all(|&k| (self.amplitude(k) * phase).approx_eq(other.amplitude(k), eps))
+    }
+
+    /// Exact (phase-sensitive) approximate equality of two states, like
+    /// [`StateVec::approx_eq_exact`](crate::sim::StateVec::approx_eq_exact).
+    pub fn approx_eq_exact(&self, other: &SparseState, eps: f64) -> bool {
+        self.num_qubits == other.num_qubits
+            && self
+                .amps
+                .keys()
+                .chain(other.amps.keys())
+                .all(|&k| self.amplitude(k).approx_eq(other.amplitude(k), eps))
+    }
+
+    /// `|⟨self|other⟩|²` — fidelity between two pure states.
+    pub fn fidelity(&self, other: &SparseState) -> f64 {
+        // Sum over the smaller support.
+        let (small, big) = if self.amps.len() <= other.amps.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        small
+            .amps
+            .iter()
+            .fold(Complex::ZERO, |acc, (&k, &a)| {
+                acc + a.conj() * big.amplitude(k)
+            })
+            .norm_sqr()
+    }
+
+    /// Whether every stored amplitude's basis index has zero bits outside
+    /// the given `(offset, width)` ranges.
+    pub fn zero_outside(&self, keep: &[(Qubit, u32)]) -> bool {
+        let mut mask = 0u64;
+        for &(off, width) in keep {
+            for q in off..off + width {
+                if q < self.num_qubits {
+                    mask |= 1u64 << q;
+                }
+            }
+        }
+        self.amps.keys().all(|&k| k & !mask == 0)
+    }
+
+    /// Read `width ≤ 64` consecutive qubits as a little-endian integer, if
+    /// every stored amplitude agrees on their value (`None` when the range
+    /// is in superposition).
+    pub fn read_range(&self, offset: Qubit, width: u32) -> Option<u64> {
+        assert!(width <= 64, "range width {width} exceeds 64 bits");
+        let mut values = self.amps.keys().map(|&k| extract_range(k, offset, width));
+        let first = values.next()?;
+        values.all(|v| v == first).then_some(first)
+    }
+
+    /// Overwrite `width` consecutive qubits with the low bits of `value` in
+    /// every stored amplitude (classical initialization; only meaningful
+    /// when the target qubits are unentangled with the rest). Branches
+    /// whose re-keyed indices collide accumulate, matching
+    /// [`StateVec`](crate::sim::StateVec)'s behaviour.
+    pub fn write_range(&mut self, offset: Qubit, width: u32, value: u64) {
+        assert!(width <= 64, "range width {width} exceeds 64 bits");
+        let mask = range_mask(offset, width);
+        let bits = (value << offset) & mask;
+        let mut next: HashMap<u64, Complex> = HashMap::with_capacity(self.amps.len());
+        for (k, a) in self.amps.drain() {
+            *next.entry((k & !mask) | bits).or_insert(Complex::ZERO) += a;
+        }
+        self.amps = next;
+    }
+}
+
+/// `(b / a)` scaled to unit modulus — the global phase rotating `a` onto
+/// `b`'s ray.
+pub(crate) fn relative_phase(a: Complex, b: Complex) -> Complex {
+    let ratio = b * a.conj();
+    let norm = ratio.norm_sqr().sqrt();
+    ratio.scale(1.0 / norm)
+}
+
+fn range_mask(offset: Qubit, width: u32) -> u64 {
+    if width == 0 {
+        0
+    } else if width == 64 {
+        u64::MAX << offset
+    } else {
+        ((1u64 << width) - 1) << offset
+    }
+}
+
+fn extract_range(key: u64, offset: Qubit, width: u32) -> u64 {
+    if width == 0 {
+        0
+    } else {
+        (key >> offset) & (u64::MAX >> (64 - width))
+    }
+}
+
+impl Simulator for SparseState {
+    fn zeroed(num_qubits: u32) -> Result<Self, QcircError> {
+        SparseState::basis(num_qubits, 0)
+    }
+
+    fn num_qubits(&self) -> u32 {
+        self.num_qubits
+    }
+
+    fn apply_gate(&mut self, gate: &Gate) -> Result<(), QcircError> {
+        self.apply(gate)
+    }
+
+    fn read_range(&self, offset: Qubit, width: u32) -> Option<u64> {
+        SparseState::read_range(self, offset, width)
+    }
+
+    fn write_range(&mut self, offset: Qubit, width: u32, value: u64) {
+        SparseState::write_range(self, offset, width, value);
+    }
+
+    fn zero_outside(&self, keep: &[(Qubit, u32)]) -> bool {
+        SparseState::zero_outside(self, keep)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::StateVec;
+
+    /// Dense/sparse cross-check on a random-ish structured circuit.
+    fn cross_check(circuit: &Circuit, initial: u64) {
+        let n = circuit.num_qubits();
+        let mut dense = StateVec::basis(n, initial).unwrap();
+        dense.run(circuit).unwrap();
+        let mut sparse = SparseState::basis(n, initial).unwrap();
+        sparse.run(circuit).unwrap();
+        for index in 0..(1u64 << n) {
+            assert!(
+                dense
+                    .amplitude(index)
+                    .approx_eq(sparse.amplitude(index), 1e-10),
+                "index {index}: dense {} vs sparse {}",
+                dense.amplitude(index),
+                sparse.amplitude(index)
+            );
+        }
+    }
+
+    #[test]
+    fn matches_dense_on_clifford_t_circuit() {
+        let mut c = Circuit::new(4);
+        for g in [
+            Gate::h(0),
+            Gate::T(0),
+            Gate::cnot(0, 1),
+            Gate::toffoli(0, 1, 2),
+            Gate::ch(2, 3),
+            Gate::S(3),
+            Gate::Tdg(1),
+            Gate::Z(0),
+            Gate::mcx(vec![0, 1], 3),
+            Gate::Sdg(2),
+            Gate::h(2),
+        ] {
+            c.push(g);
+        }
+        cross_check(&c, 0b0000);
+        cross_check(&c, 0b1011);
+    }
+
+    #[test]
+    fn hadamard_twice_restores_support_one() {
+        let mut s = SparseState::basis(8, 5).unwrap();
+        s.apply(&Gate::h(3)).unwrap();
+        assert_eq!(s.support(), 2);
+        s.apply(&Gate::h(3)).unwrap();
+        // The cancelled branch is pruned, not left as a ~1e-17 residue.
+        assert_eq!(s.support(), 1);
+        assert!((s.probability(5) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mcx_fires_only_when_controls_set() {
+        let mut s = SparseState::basis(40, 0b011).unwrap();
+        s.apply(&Gate::mcx(vec![0, 1], 39)).unwrap();
+        assert!((s.probability(0b011 | (1u64 << 39)) - 1.0).abs() < 1e-12);
+        s.apply(&Gate::mcx(vec![0, 2], 39)).unwrap();
+        assert!(
+            (s.probability(0b011 | (1u64 << 39)) - 1.0).abs() < 1e-12,
+            "unset control must not fire"
+        );
+    }
+
+    #[test]
+    fn phase_gates_act_on_set_bit_only() {
+        let mut s = SparseState::basis(2, 0).unwrap();
+        s.apply(&Gate::h(0)).unwrap();
+        for _ in 0..8 {
+            s.apply(&Gate::T(0)).unwrap();
+        }
+        s.apply(&Gate::h(0)).unwrap();
+        assert!(s.approx_eq(&SparseState::basis(2, 0).unwrap(), 1e-12));
+    }
+
+    #[test]
+    fn approx_eq_ignores_global_phase() {
+        let mut a = SparseState::basis(1, 1).unwrap();
+        a.apply(&Gate::T(0)).unwrap(); // e^{iπ/4}|1⟩
+        let b = SparseState::basis(1, 1).unwrap();
+        assert!(a.approx_eq(&b, 1e-12));
+        assert!(b.approx_eq(&a, 1e-12));
+    }
+
+    #[test]
+    fn approx_eq_distinguishes_relative_phase() {
+        // (|0⟩+|1⟩)/√2 vs (|0⟩−|1⟩)/√2 differ by a *relative* phase.
+        let mut plus = SparseState::basis(1, 0).unwrap();
+        plus.apply(&Gate::h(0)).unwrap();
+        let mut minus = plus.clone();
+        minus.apply(&Gate::Z(0)).unwrap();
+        assert!(!plus.approx_eq(&minus, 1e-12));
+    }
+
+    #[test]
+    fn ghz_at_60_qubits_has_support_two() {
+        let mut c = Circuit::new(60);
+        c.push(Gate::h(0));
+        for q in 1..60 {
+            c.push(Gate::cnot(q - 1, q));
+        }
+        let mut s = SparseState::basis(60, 0).unwrap();
+        s.run(&c).unwrap();
+        assert_eq!(s.support(), 2);
+        assert!((s.norm() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn read_range_detects_superposition() {
+        let mut s = SparseState::basis(10, 0).unwrap();
+        s.write_range(2, 4, 0b1010);
+        assert_eq!(s.read_range(2, 4), Some(0b1010));
+        assert_eq!(s.read_range(0, 2), Some(0));
+        s.apply(&Gate::h(3)).unwrap();
+        assert_eq!(s.read_range(2, 4), None, "superposed range has no value");
+        assert_eq!(s.read_range(0, 2), Some(0), "other ranges still classical");
+    }
+
+    #[test]
+    fn zero_outside_checks_live_ranges() {
+        let mut s = SparseState::basis(50, 0).unwrap();
+        s.write_range(40, 3, 0b111);
+        assert!(s.zero_outside(&[(40, 3)]));
+        assert!(!s.zero_outside(&[(40, 2)]));
+    }
+
+    #[test]
+    fn too_many_qubits_is_error() {
+        assert!(matches!(
+            SparseState::basis(65, 0),
+            Err(QcircError::TooManyQubits { .. })
+        ));
+    }
+
+    #[test]
+    fn fidelity_of_orthogonal_states_is_zero() {
+        let a = SparseState::basis(30, 0).unwrap();
+        let b = SparseState::basis(30, 1u64 << 29).unwrap();
+        assert!(a.fidelity(&b) < 1e-12);
+        assert!((a.fidelity(&a) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn epsilon_pruning_is_configurable() {
+        // With epsilon = 0, the cancelled Hadamard branch survives as a
+        // numerical residue (or exact zero); with the default it is pruned.
+        let mut s = SparseState::basis(1, 0).unwrap().with_epsilon(0.0);
+        s.apply(&Gate::h(0)).unwrap();
+        s.apply(&Gate::Z(0)).unwrap();
+        s.apply(&Gate::h(0)).unwrap();
+        // |0⟩ → |1⟩ via HZH = X; the |0⟩ amplitude cancels to exactly 0.0
+        // here, which `> 0*0` still drops — so support is 1 either way, but
+        // the threshold itself must be respected for nonzero residues.
+        assert!((s.probability(1) - 1.0).abs() < 1e-12);
+        assert!(s.epsilon() == 0.0);
+    }
+}

@@ -148,8 +148,45 @@ impl StateVec {
         }
     }
 
-    /// Exact (not up-to-global-phase) approximate equality of two states.
+    /// Approximate equality of two states up to a global phase.
+    ///
+    /// Circuits that are equal as *operations* can differ by a global phase
+    /// as *state preparations* — a T gate on a qubit in state |1⟩ is the
+    /// textbook example — and no measurement distinguishes the two, so this
+    /// is the right notion of equality for equivalence checking. Use
+    /// [`StateVec::approx_eq_exact`] when the phase itself is under test
+    /// (e.g. verifying a decomposition is exactly unitary-equal).
     pub fn approx_eq(&self, other: &StateVec, eps: f64) -> bool {
+        if self.num_qubits != other.num_qubits {
+            return false;
+        }
+        // Reference phase from this state's largest amplitude.
+        let Some((imax, amax)) = self
+            .amps
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.norm_sqr().total_cmp(&b.1.norm_sqr()))
+        else {
+            return true; // zero qubits: both states are the empty product
+        };
+        if amax.norm_sqr() <= eps * eps {
+            // This state is (numerically) zero everywhere; equal iff the
+            // other is too.
+            return other.amps.iter().all(|b| b.norm_sqr() <= eps * eps);
+        }
+        let bmax = other.amps[imax];
+        if bmax.norm_sqr() <= eps * eps {
+            return false;
+        }
+        let phase = crate::sim::sparse::relative_phase(*amax, bmax);
+        self.amps
+            .iter()
+            .zip(&other.amps)
+            .all(|(a, b)| (*a * phase).approx_eq(*b, eps))
+    }
+
+    /// Exact (phase-sensitive) approximate equality of two states.
+    pub fn approx_eq_exact(&self, other: &StateVec, eps: f64) -> bool {
         self.num_qubits == other.num_qubits
             && self
                 .amps
@@ -171,6 +208,70 @@ impl StateVec {
     /// Total probability mass (should be 1 for a valid state).
     pub fn norm(&self) -> f64 {
         self.amps.iter().map(|a| a.norm_sqr()).sum()
+    }
+
+    /// Indices of the amplitudes that are numerically nonzero.
+    fn support_indices(&self) -> impl Iterator<Item = u64> + '_ {
+        self.amps
+            .iter()
+            .enumerate()
+            .filter(|(_, a)| a.norm_sqr() > 1e-24)
+            .map(|(i, _)| i as u64)
+    }
+}
+
+impl crate::sim::Simulator for StateVec {
+    fn zeroed(num_qubits: u32) -> Result<Self, QcircError> {
+        StateVec::basis(num_qubits, 0)
+    }
+
+    fn num_qubits(&self) -> u32 {
+        self.num_qubits
+    }
+
+    fn apply_gate(&mut self, gate: &Gate) -> Result<(), QcircError> {
+        self.apply(gate)
+    }
+
+    fn read_range(&self, offset: Qubit, width: u32) -> Option<u64> {
+        assert!(width <= 64, "range width {width} exceeds 64 bits");
+        let extract = |i: u64| {
+            if width == 0 {
+                0
+            } else {
+                (i >> offset) & (u64::MAX >> (64 - width))
+            }
+        };
+        let mut values = self.support_indices().map(extract);
+        let first = values.next()?;
+        values.all(|v| v == first).then_some(first)
+    }
+
+    fn write_range(&mut self, offset: Qubit, width: u32, value: u64) {
+        assert!(width <= 64, "range width {width} exceeds 64 bits");
+        let mask = if width == 0 {
+            0
+        } else {
+            (u64::MAX >> (64 - width)) << offset
+        };
+        let bits = (value << offset) & mask;
+        let mut next = vec![Complex::ZERO; self.amps.len()];
+        for i in self.support_indices() {
+            next[((i & !mask) | bits) as usize] += self.amps[i as usize];
+        }
+        self.amps = next;
+    }
+
+    fn zero_outside(&self, keep: &[(Qubit, u32)]) -> bool {
+        let mut mask = 0u64;
+        for &(off, width) in keep {
+            for q in off..off + width {
+                if q < self.num_qubits {
+                    mask |= 1u64 << q;
+                }
+            }
+        }
+        self.support_indices().all(|i| i & !mask == 0)
     }
 }
 
@@ -267,6 +368,55 @@ mod tests {
             StateVec::basis(60, 0),
             Err(QcircError::TooManyQubits { .. })
         ));
+    }
+
+    #[test]
+    fn approx_eq_ignores_t_gate_global_phase() {
+        // T|1⟩ = e^{iπ/4}|1⟩: physically the same state as |1⟩. This used
+        // to be reported unequal (regression test for the exact-comparison
+        // bug).
+        let mut a = StateVec::basis(1, 1).unwrap();
+        a.apply(&Gate::T(0)).unwrap();
+        let b = StateVec::basis(1, 1).unwrap();
+        assert!(a.approx_eq(&b, 1e-12));
+        assert!(b.approx_eq(&a, 1e-12));
+        assert!(
+            !a.approx_eq_exact(&b, 1e-12),
+            "exact comparison still sees the phase"
+        );
+    }
+
+    #[test]
+    fn approx_eq_ignores_anticommutation_global_phase() {
+        // ZX = -XZ: the two orders prepare states differing by a -1 global
+        // phase.
+        let mut a = StateVec::basis(1, 0).unwrap();
+        a.apply(&Gate::x(0)).unwrap();
+        a.apply(&Gate::Z(0)).unwrap();
+        let mut b = StateVec::basis(1, 0).unwrap();
+        b.apply(&Gate::Z(0)).unwrap();
+        b.apply(&Gate::x(0)).unwrap();
+        assert!(a.approx_eq(&b, 1e-12));
+        assert!(!a.approx_eq_exact(&b, 1e-12));
+    }
+
+    #[test]
+    fn approx_eq_still_sees_relative_phase() {
+        // (|0⟩+|1⟩)/√2 vs (|0⟩−|1⟩)/√2: a relative phase, not a global one.
+        let mut plus = StateVec::basis(1, 0).unwrap();
+        plus.apply(&Gate::h(0)).unwrap();
+        let mut minus = plus.clone();
+        minus.apply(&Gate::Z(0)).unwrap();
+        assert!(!plus.approx_eq(&minus, 1e-12));
+    }
+
+    #[test]
+    fn approx_eq_rejects_different_states_and_sizes() {
+        let a = StateVec::basis(2, 0).unwrap();
+        let b = StateVec::basis(2, 3).unwrap();
+        assert!(!a.approx_eq(&b, 1e-12));
+        let c = StateVec::basis(3, 0).unwrap();
+        assert!(!a.approx_eq(&c, 1e-12));
     }
 
     #[test]

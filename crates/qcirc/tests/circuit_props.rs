@@ -66,7 +66,7 @@ proptest! {
         state.run(&circuit).expect("valid gates");
         state.run(&circuit.inverse()).expect("valid gates");
         let reference = StateVec::basis(QUBITS, basis).expect("small register");
-        prop_assert!(state.approx_eq(&reference, 1e-6));
+        prop_assert!(state.approx_eq_exact(&reference, 1e-6));
     }
 
     /// Full Clifford+T lowering preserves the unitary action on the

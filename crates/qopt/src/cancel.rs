@@ -149,7 +149,7 @@ mod tests {
             s1.run(&c).unwrap();
             let mut s2 = StateVec::basis(4, basis).unwrap();
             s2.run(&reduced).unwrap();
-            assert!(s1.approx_eq(&s2, 1e-9), "basis {basis}");
+            assert!(s1.approx_eq_exact(&s2, 1e-9), "basis {basis}");
         }
     }
 }

@@ -129,7 +129,7 @@ mod tests {
                 s1.run(&ab).unwrap();
                 let mut s2 = StateVec::basis(4, basis).unwrap();
                 s2.run(&ba).unwrap();
-                assert!(s1.approx_eq(&s2, 1e-9), "{a};{b} on |{basis:b}⟩");
+                assert!(s1.approx_eq_exact(&s2, 1e-9), "{a};{b} on |{basis:b}⟩");
             }
         }
     }

@@ -11,7 +11,8 @@ use std::fs;
 use std::process::ExitCode;
 
 use bench_suite::experiments;
-use spire::{compile_source, CompileOptions, OptConfig};
+use qcirc::sim::{BasisState, SparseState};
+use spire::{compile_source, CompileOptions, Compiled, Machine, OptConfig};
 use tower::WordConfig;
 
 fn main() -> ExitCode {
@@ -37,9 +38,14 @@ fn main() -> ExitCode {
 
 const USAGE: &str = "usage:
   spire-cli compile <file.twr> --entry <fun> --depth <n> [--opt spire|cf|cn|none] [--out <file.qc>]
+                    [--simulate] [--set <var>=<value> ...]
   spire-cli analyze <file.twr> --entry <fun> --depth <n>
   spire-cli benchmarks
-  spire-cli experiments <fig2|fig12|fig15a|fig15b|table1|table2|table4|table5|fig24|appendix-a|all>";
+  spire-cli experiments <fig2|fig12|fig15a|fig15b|table1|table2|table4|table5|fig24|appendix-a|all>
+
+  --simulate runs the compiled circuit (sparse backend for layouts of up
+  to 64 qubits, classical otherwise) and prints every live variable;
+  --set initializes an input register first.";
 
 fn flag(args: &[String], name: &str) -> Option<String> {
     args.iter()
@@ -96,7 +102,85 @@ fn cmd_compile(args: &[String]) -> Result<(), String> {
         }
         None => print!("{qc}"),
     }
+    if args.iter().any(|a| a == "--simulate") {
+        cmd_simulate(&compiled, args)?;
+    }
     Ok(())
+}
+
+/// Collect repeated `--set name=value` flags.
+fn input_sets(args: &[String]) -> Result<Vec<(String, u64)>, String> {
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        if args[i] == "--set" {
+            let kv = args
+                .get(i + 1)
+                .ok_or("missing argument to --set (expected name=value)")?;
+            let (name, value) = kv
+                .split_once('=')
+                .ok_or_else(|| format!("bad --set `{kv}`, expected name=value"))?;
+            let value: u64 = value
+                .parse()
+                .map_err(|e| format!("bad value in --set `{kv}`: {e}"))?;
+            out.push((name.to_string(), value));
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    Ok(out)
+}
+
+/// Execute the compiled circuit and print the live variables. Layouts of
+/// up to 64 qubits use the sparse backend (full gate set, including
+/// Hadamard statements); larger layouts fall back to the classical
+/// simulator, which Tower's Hadamard-free benchmarks permute exactly.
+fn cmd_simulate(compiled: &Compiled, args: &[String]) -> Result<(), String> {
+    let sets = input_sets(args)?;
+    let total = compiled.layout.total_qubits;
+    if total <= 64 {
+        let machine = simulate_on::<SparseState>(compiled, &sets)?;
+        println!(
+            "simulated {total} qubits on the sparse backend ({} nonzero amplitude(s))",
+            machine.state().support()
+        );
+        print_live_vars(compiled, |name| machine.var(name).ok());
+    } else {
+        let machine = simulate_on::<BasisState>(compiled, &sets)?;
+        println!("simulated {total} qubits on the classical backend");
+        print_live_vars(compiled, |name| machine.var(name).ok());
+    }
+    Ok(())
+}
+
+fn simulate_on<S: qcirc::sim::Simulator>(
+    compiled: &Compiled,
+    sets: &[(String, u64)],
+) -> Result<Machine<S>, String> {
+    let mut machine: Machine<S> = Machine::with_backend(&compiled.layout);
+    for (name, value) in sets {
+        machine.set_var(name, *value).map_err(|e| e.to_string())?;
+    }
+    machine.run(&compiled.emit()).map_err(|e| e.to_string())?;
+    Ok(machine)
+}
+
+fn print_live_vars(compiled: &Compiled, read: impl Fn(&str) -> Option<u64>) {
+    let mut seen = std::collections::HashSet::new();
+    for (var, ty) in &compiled.types.final_context {
+        let name = var.as_str();
+        if name.contains('%') {
+            continue; // optimizer temporary
+        }
+        if !seen.insert(name) {
+            continue; // re-declarations share one register; print it once
+        }
+        match read(name) {
+            Some(value) => println!("  {name}: {ty} = {value}"),
+            None => println!("  {name}: {ty} = (superposed)"),
+        }
+    }
 }
 
 fn cmd_analyze(args: &[String]) -> Result<(), String> {

@@ -36,6 +36,12 @@ pub enum SpireError {
         /// Description of the divergence.
         message: String,
     },
+    /// A register was read on a quantum simulation backend while in
+    /// superposition: it holds no single classical value.
+    Superposed {
+        /// The variable whose register is superposed.
+        var: Symbol,
+    },
     /// The program swaps memory cells of a type wider than the memory's
     /// cell width (an internal invariant violation).
     CellTooWide {
@@ -62,6 +68,9 @@ impl fmt::Display for SpireError {
             }
             SpireError::UnsoundAllocation { var, message } => {
                 write!(f, "unsound register allocation for `{var}`: {message}")
+            }
+            SpireError::Superposed { var } => {
+                write!(f, "register of `{var}` is in superposition")
             }
             SpireError::CellTooWide {
                 requested,

@@ -1,36 +1,76 @@
-//! Simulation bridge: a named-register view over the classical simulator.
+//! Simulation bridge: a named-register view over a simulation backend.
 //!
-//! [`Machine`] wraps a [`BasisState`] with a [`Layout`], so tests and
+//! [`Machine`] wraps any [`Simulator`] with a [`Layout`], so tests and
 //! examples can read and write program variables, memory cells, and the
 //! allocator free stack by name — and check Definition 6.2's equivalence
 //! (live variables equal, everything else zero) between two compiled
 //! programs with *different* layouts.
+//!
+//! The backend defaults to [`BasisState`] (classical, unbounded register
+//! size), which runs every Hadamard-free benchmark. Swap in
+//! [`SparseState`](qcirc::sim::SparseState) to execute circuits containing
+//! Hadamard statements at qubit counts the dense simulator cannot allocate
+//! — this is what the differential-testing harness does:
+//!
+//! ```
+//! use qcirc::sim::SparseState;
+//! use spire::{compile_source, CompileOptions, Machine};
+//! use tower::WordConfig;
+//!
+//! let src = "fun inc(x: uint) -> uint { let out <- x + 1; return out; }";
+//! let compiled = compile_source(
+//!     src, "inc", 0, WordConfig::paper_default(), &CompileOptions::spire(),
+//! ).unwrap();
+//! let mut machine: Machine<SparseState> = Machine::with_backend(&compiled.layout);
+//! machine.set_var("x", 6).unwrap();
+//! machine.run(&compiled.emit()).unwrap();
+//! assert_eq!(machine.var("out").unwrap(), 7);
+//! ```
 
-use qcirc::sim::BasisState;
+use qcirc::sim::{BasisState, Simulator};
 use qcirc::{Circuit, QcircError};
 
 use crate::error::SpireError;
 use crate::layout::Layout;
 use tower::Symbol;
 
-/// A machine state laid out according to a compiled program's [`Layout`].
+/// A machine state laid out according to a compiled program's [`Layout`],
+/// generic over the simulation backend.
 #[derive(Debug, Clone)]
-pub struct Machine {
-    state: BasisState,
+pub struct Machine<S: Simulator = BasisState> {
+    state: S,
     layout: Layout,
 }
 
 impl Machine {
-    /// A zeroed machine for the given layout.
+    /// A zeroed classical machine for the given layout.
     pub fn new(layout: &Layout) -> Self {
+        Machine::with_backend(layout)
+    }
+}
+
+impl<S: Simulator> Machine<S> {
+    /// A zeroed machine for the given layout on backend `S`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the backend cannot represent a register of the layout's
+    /// size (e.g. a dense state vector for a 40-qubit layout).
+    pub fn with_backend(layout: &Layout) -> Self {
+        let state = S::zeroed(layout.total_qubits).unwrap_or_else(|e| {
+            panic!(
+                "backend cannot hold this layout's {} qubits: {e}",
+                layout.total_qubits
+            )
+        });
         Machine {
-            state: BasisState::new(layout.total_qubits),
+            state,
             layout: layout.clone(),
         }
     }
 
-    /// The underlying basis state.
-    pub fn state(&self) -> &BasisState {
+    /// The underlying simulator state.
+    pub fn state(&self) -> &S {
         &self.state
     }
 
@@ -54,10 +94,16 @@ impl Machine {
     ///
     /// # Errors
     ///
-    /// [`SpireError::NoRegister`] for unknown variables.
+    /// [`SpireError::NoRegister`] for unknown variables;
+    /// [`SpireError::Superposed`] when the register does not hold a single
+    /// classical value on a quantum backend.
     pub fn var(&self, name: &str) -> Result<u64, SpireError> {
         let reg = self.layout.reg(&Symbol::new(name))?;
-        Ok(self.state.read_range(reg.offset, reg.width))
+        self.state
+            .read_range(reg.offset, reg.width)
+            .ok_or_else(|| SpireError::Superposed {
+                var: Symbol::new(name),
+            })
     }
 
     /// Write a memory cell (1-based address).
@@ -75,11 +121,14 @@ impl Machine {
     ///
     /// # Panics
     ///
-    /// Panics if the program has no memory or the address is out of range.
+    /// Panics if the program has no memory, the address is out of range, or
+    /// the cell is in superposition.
     pub fn cell(&self, addr: u32) -> u64 {
         let mem = self.layout.memory.as_ref().expect("program has memory");
         let cell = mem.cell(addr);
-        self.state.read_range(cell.offset, cell.width)
+        self.state
+            .read_range(cell.offset, cell.width)
+            .expect("memory cell holds a classical value")
     }
 
     /// Initialize the allocator's free stack to hold the given addresses
@@ -103,10 +152,13 @@ impl Machine {
     ///
     /// # Panics
     ///
-    /// Panics if the program has no memory regions.
+    /// Panics if the program has no memory regions or the stack pointer is
+    /// in superposition.
     pub fn sp(&self) -> u64 {
         let mem = self.layout.memory.as_ref().expect("program has memory");
-        self.state.read_range(mem.sp.offset, mem.sp.width)
+        self.state
+            .read_range(mem.sp.offset, mem.sp.width)
+            .expect("stack pointer holds a classical value")
     }
 
     /// Lay out a linked list of `(uint, ptr)` nodes in memory: node `i`
@@ -150,7 +202,7 @@ impl Machine {
     ///
     /// # Errors
     ///
-    /// Propagates simulator errors (non-classical gates, bad qubits).
+    /// Propagates simulator errors (unsupported gates, bad qubits).
     pub fn run(&mut self, circuit: &Circuit) -> Result<(), QcircError> {
         self.state.run(circuit)
     }
@@ -176,10 +228,16 @@ impl Machine {
 mod tests {
     use super::*;
     use crate::layout::{layout, AllocPolicy};
+    use qcirc::sim::SparseState;
+    use qcirc::Gate;
     use tower::{typecheck, CoreExpr, CoreStmt, CoreValue, Type, TypeTable, WordConfig};
 
     fn list_program_layout() -> Layout {
-        let mut table = TypeTable::new(WordConfig::paper_default());
+        list_layout_with(WordConfig::paper_default())
+    }
+
+    fn list_layout_with(config: WordConfig) -> Layout {
+        let mut table = TypeTable::new(config);
         table
             .define(
                 Symbol::new("list"),
@@ -240,5 +298,33 @@ mod tests {
         m.set_var("p", 1).unwrap();
         assert!(m.clean_except(&["p"]));
         assert!(!m.clean_except(&[]));
+    }
+
+    #[test]
+    fn sparse_backend_mirrors_classical_behaviour() {
+        // The tiny word config keeps the whole layout (memory included)
+        // inside the sparse backend's 64-qubit key space.
+        let l = list_layout_with(WordConfig::tiny());
+        let mut classical = Machine::new(&l);
+        let mut sparse: Machine<SparseState> = Machine::with_backend(&l);
+        classical.build_list(&[1, 3]);
+        classical.set_var("p", 1).unwrap();
+        sparse.build_list(&[1, 3]);
+        sparse.set_var("p", 1).unwrap();
+        assert_eq!(classical.var("p").unwrap(), sparse.var("p").unwrap());
+        assert_eq!(classical.cell(1), sparse.cell(1));
+        assert_eq!(classical.sp(), sparse.sp());
+        assert_eq!(classical.clean_except(&["p"]), sparse.clean_except(&["p"]));
+    }
+
+    #[test]
+    fn superposed_register_reads_as_error() {
+        let l = list_layout_with(WordConfig::tiny());
+        let mut m: Machine<SparseState> = Machine::with_backend(&l);
+        let reg = l.reg(&Symbol::new("p")).unwrap();
+        let mut h = qcirc::Circuit::new(l.total_qubits);
+        h.push(Gate::h(reg.offset));
+        m.run(&h).unwrap();
+        assert!(matches!(m.var("p"), Err(SpireError::Superposed { .. })));
     }
 }

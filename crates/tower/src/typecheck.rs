@@ -400,6 +400,169 @@ mod tests {
     }
 
     #[test]
+    fn redeclaration_at_equivalent_named_type_is_allowed() {
+        // App. B.1 requires re-declaration *at the original type*; type
+        // equality is structural equivalence, so the named type and its
+        // unfolding are interchangeable.
+        let list = Type::Named(Symbol::new("list"));
+        let unfolding = Type::pair(Type::UInt, Type::ptr(list.clone()));
+        let s = CoreStmt::seq(vec![
+            assign("x", CoreExpr::Value(CoreValue::ZeroOf(list))),
+            assign("x", CoreExpr::Value(CoreValue::ZeroOf(unfolding))),
+        ]);
+        assert!(typecheck(&s, &[], &table()).is_ok());
+    }
+
+    #[test]
+    fn redeclaration_of_input_at_other_type_is_rejected() {
+        // The rule also covers entry parameters: the initial context seeds
+        // the one-type-per-name map.
+        let ctx = vec![(Symbol::new("x"), Type::UInt)];
+        let s = assign("x", CoreExpr::Value(CoreValue::Bool(true)));
+        assert!(matches!(
+            typecheck(&s, &ctx, &table()),
+            Err(TowerError::RedeclaredAtDifferentType { .. })
+        ));
+    }
+
+    #[test]
+    fn redeclaration_after_unassign_still_pins_the_type() {
+        // Un-assignment removes the binding from Γ but not from the
+        // one-type-per-name map — that is what lets the register allocator
+        // give re-declared variables their original registers (App. D).
+        let s = CoreStmt::seq(vec![
+            assign("x", CoreExpr::Value(CoreValue::UInt(1))),
+            CoreStmt::Unassign {
+                var: Symbol::new("x"),
+                expr: CoreExpr::Value(CoreValue::UInt(1)),
+            },
+            assign("x", CoreExpr::Value(CoreValue::Bool(true))),
+        ]);
+        assert!(matches!(
+            typecheck(&s, &[], &table()),
+            Err(TowerError::RedeclaredAtDifferentType { .. })
+        ));
+    }
+
+    #[test]
+    fn unassign_at_wrong_type_is_rejected() {
+        let s = CoreStmt::seq(vec![
+            assign("x", CoreExpr::Value(CoreValue::UInt(1))),
+            CoreStmt::Unassign {
+                var: Symbol::new("x"),
+                expr: CoreExpr::Value(CoreValue::Bool(true)),
+            },
+        ]);
+        assert!(matches!(
+            typecheck(&s, &[], &table()),
+            Err(TowerError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn hadamard_requires_a_boolean_operand() {
+        let ok = vec![(Symbol::new("q"), Type::Bool)];
+        assert!(typecheck(&CoreStmt::Hadamard(Symbol::new("q")), &ok, &table()).is_ok());
+        let bad = vec![(Symbol::new("q"), Type::UInt)];
+        assert!(matches!(
+            typecheck(&CoreStmt::Hadamard(Symbol::new("q")), &bad, &table()),
+            Err(TowerError::TypeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_named_type_surfaces_from_projection() {
+        let ghost = Type::Named(Symbol::new("ghost"));
+        let s = CoreStmt::seq(vec![
+            assign("p", CoreExpr::Value(CoreValue::ZeroOf(ghost))),
+            assign("q", CoreExpr::Proj1(Symbol::new("p"))),
+        ]);
+        assert!(matches!(
+            typecheck(&s, &[], &table()),
+            Err(TowerError::UnknownType { .. })
+        ));
+    }
+
+    #[test]
+    fn one_bit_words_typecheck_arithmetic() {
+        // WordConfig edge: 1-bit uints and 1-bit pointers. Typing is
+        // width-agnostic, so arithmetic still checks; widths collapse to
+        // the minimum the config allows.
+        let config = WordConfig {
+            uint_bits: 1,
+            ptr_bits: 1,
+        };
+        let mut narrow = TypeTable::new(config);
+        narrow
+            .define(
+                Symbol::new("list"),
+                Type::pair(Type::UInt, Type::ptr(Type::Named(Symbol::new("list")))),
+            )
+            .unwrap();
+        let ctx = vec![
+            (Symbol::new("a"), Type::UInt),
+            (Symbol::new("b"), Type::UInt),
+        ];
+        let s = assign(
+            "c",
+            CoreExpr::Bin(CoreBinOp::Add, Symbol::new("a"), Symbol::new("b")),
+        );
+        assert!(typecheck(&s, &ctx, &narrow).is_ok());
+        assert_eq!(narrow.width(&Type::UInt).unwrap(), 1);
+        assert_eq!(narrow.width(&Type::Named(Symbol::new("list"))).unwrap(), 2);
+    }
+
+    #[test]
+    fn zero_width_words_are_representable() {
+        // WordConfig edge: a 0-bit uint denotes a zero-width register.
+        // The type level permits it (the backend decides what to do with
+        // an empty register); widths add up correctly through pairs.
+        let config = WordConfig {
+            uint_bits: 0,
+            ptr_bits: 2,
+        };
+        let zero = TypeTable::new(config);
+        assert_eq!(zero.width(&Type::UInt).unwrap(), 0);
+        assert_eq!(
+            zero.width(&Type::pair(Type::UInt, Type::Bool)).unwrap(),
+            1,
+            "only the bool contributes bits"
+        );
+        let s = assign("x", CoreExpr::Value(CoreValue::UInt(0)));
+        assert!(typecheck(&s, &[], &zero).is_ok());
+    }
+
+    #[test]
+    fn wide_words_exceeding_u64_still_typecheck() {
+        // WordConfig edge: widths above 64 bits are fine at the type level
+        // (simulator read/write ranges are the 64-bit-bounded layer).
+        let config = WordConfig {
+            uint_bits: 64,
+            ptr_bits: 8,
+        };
+        let wide = TypeTable::new(config);
+        let pair = Type::pair(Type::UInt, Type::UInt);
+        assert_eq!(wide.width(&pair).unwrap(), 128);
+        let ctx = vec![(Symbol::new("a"), pair)];
+        let s = assign("b", CoreExpr::Proj2(Symbol::new("a")));
+        assert!(typecheck(&s, &ctx, &wide).is_ok());
+    }
+
+    #[test]
+    fn uint_literal_wider_than_the_word_still_types() {
+        // Literal truncation is a code-generation concern, not a typing
+        // one: `let k <- 255` checks under a 2-bit word config.
+        let config = WordConfig {
+            uint_bits: 2,
+            ptr_bits: 2,
+        };
+        let narrow = TypeTable::new(config);
+        let s = assign("k", CoreExpr::Value(CoreValue::UInt(255)));
+        let info = typecheck(&s, &[], &narrow).unwrap();
+        assert_eq!(info.type_of(&Symbol::new("k")), Some(&Type::UInt));
+    }
+
+    #[test]
     fn if_condition_must_be_bool_and_unmodified() {
         let ctx = vec![(Symbol::new("c"), Type::Bool)];
         let bad = CoreStmt::If {

@@ -1,0 +1,433 @@
+//! Differential-testing support: seed-driven random Tower programs plus
+//! helpers for compiling and executing them on any simulation backend.
+//!
+//! The equivalence property tests (`tests/equivalence_props.rs`) and the
+//! differential harness (`tests/differential.rs`) share this module. A
+//! program is generated from a stream of seed bytes, so any byte-vector
+//! strategy (or a plain counter) drives it deterministically; every
+//! generated program is well-formed by construction — each variable is
+//! assigned exactly once and either stays live or is uncomputed by an
+//! enclosing with-block.
+//!
+//! The [`GenConfig::wide`] configuration produces programs whose layouts
+//! land in the 24–64 qubit range: beyond the dense simulator's reach
+//! (2²⁶ amplitudes ≈ 1 GiB is its hard cap) but inside the sparse
+//! simulator's 64-bit basis-index key space.
+
+use qcirc::sim::Simulator;
+use spire::{compile_unit, CompileOptions, Compiled, Machine, OptConfig};
+use tower::{
+    CompilationUnit, CoreBinOp, CoreExpr, CoreStmt, CoreValue, NameGen, Strictness, Symbol, Type,
+    WordConfig,
+};
+
+/// Shape parameters for the random-program generator.
+#[derive(Debug, Clone)]
+pub struct GenConfig {
+    /// Number of boolean inputs (`b0`, `b1`, …).
+    pub bools: u32,
+    /// Number of uint inputs (`u0`, `u1`, …).
+    pub uints: u32,
+    /// Register widths.
+    pub word: WordConfig,
+    /// Maximum `if`/`with` nesting depth.
+    pub depth: u32,
+    /// Statements per top-level block.
+    pub block_len: usize,
+    /// Budget of Hadamard statements to weave in (0 keeps the program
+    /// classical, so every backend — including [`qcirc::sim::BasisState`] —
+    /// can run it).
+    pub hadamards: u32,
+}
+
+impl GenConfig {
+    /// The configuration of the original equivalence property tests: tiny
+    /// registers, so the classical simulator covers the whole input space
+    /// quickly.
+    pub fn small() -> Self {
+        GenConfig {
+            bools: 3,
+            uints: 2,
+            word: WordConfig {
+                uint_bits: 3,
+                ptr_bits: 2,
+            },
+            depth: 3,
+            block_len: 4,
+            hadamards: 0,
+        }
+    }
+
+    /// Paper-sized programs: 8-bit words over several inputs, for layouts
+    /// of ≥ 24 qubits that only the sparse backend can simulate.
+    pub fn wide() -> Self {
+        GenConfig {
+            bools: 3,
+            uints: 3,
+            word: WordConfig {
+                uint_bits: 8,
+                ptr_bits: 2,
+            },
+            depth: 2,
+            block_len: 3,
+            hadamards: 0,
+        }
+    }
+
+    /// Like [`GenConfig::wide`], with a budget of Hadamard statements so
+    /// compiled circuits exercise superposition and controlled-H gates.
+    /// Slightly narrower words keep the decomposed circuits (ancillas
+    /// included) inside the sparse backend's 64-qubit key space.
+    pub fn wide_quantum() -> Self {
+        GenConfig {
+            uints: 2,
+            word: WordConfig {
+                uint_bits: 6,
+                ptr_bits: 2,
+            },
+            hadamards: 4,
+            ..GenConfig::wide()
+        }
+    }
+
+    fn inputs(&self) -> Vec<(Symbol, Type)> {
+        let mut inputs = Vec::new();
+        for i in 0..self.bools {
+            inputs.push((Symbol::new(format!("b{i}")), Type::Bool));
+        }
+        for i in 0..self.uints {
+            inputs.push((Symbol::new(format!("u{i}")), Type::UInt));
+        }
+        inputs
+    }
+}
+
+/// A generated program together with everything needed to compile and run
+/// it.
+#[derive(Debug, Clone)]
+pub struct TestProgram {
+    /// The program body.
+    pub stmt: CoreStmt,
+    /// Entry parameters (`b0…`, `u0…`).
+    pub inputs: Vec<(Symbol, Type)>,
+    /// Register widths.
+    pub word: WordConfig,
+}
+
+/// State threaded through the generator: live variables by type, plus a
+/// counter for fresh names and the remaining Hadamard budget.
+#[derive(Debug, Clone)]
+struct GenCtx {
+    bools: Vec<Symbol>,
+    uints: Vec<Symbol>,
+    counter: u64,
+    hadamards: u32,
+}
+
+fn pick(seed: &mut impl Iterator<Item = u8>, pool: &[Symbol]) -> Symbol {
+    let i = seed.next().unwrap_or(0) as usize % pool.len();
+    pool[i].clone()
+}
+
+impl GenCtx {
+    fn fresh(&mut self, prefix: &str) -> Symbol {
+        self.counter += 1;
+        Symbol::new(format!("{prefix}_{}", self.counter))
+    }
+}
+
+/// Generate a statement from a seed stream. Every generated variable is
+/// assigned exactly once and either stays live (tracked in `ctx`) or is
+/// uncomputed automatically by an enclosing with-block, so the program is
+/// well-formed by construction.
+fn gen_stmt(seed: &mut impl Iterator<Item = u8>, ctx: &mut GenCtx, depth: u32) -> CoreStmt {
+    let mut choice = seed.next().unwrap_or(0) % if depth == 0 { 4 } else { 7 };
+    // Nested ifs remove their condition from the visible pool; fall back
+    // to a plain temporary when too few booleans remain.
+    if matches!(choice, 4 | 6) && ctx.bools.len() < 2 {
+        choice = 0;
+    }
+    // Spend the Hadamard budget eagerly on a fraction of the draws.
+    if ctx.hadamards > 0 && seed.next().unwrap_or(0).is_multiple_of(4) {
+        ctx.hadamards -= 1;
+        let var = pick(seed, &ctx.bools);
+        return CoreStmt::Hadamard(var);
+    }
+    match choice {
+        // Boolean temporary.
+        0 | 3 => {
+            let a = pick(seed, &ctx.bools);
+            let b = pick(seed, &ctx.bools);
+            let var = ctx.fresh("t");
+            let op = if seed.next().unwrap_or(0).is_multiple_of(2) {
+                CoreBinOp::And
+            } else {
+                CoreBinOp::Or
+            };
+            let stmt = CoreStmt::Assign {
+                var: var.clone(),
+                expr: CoreExpr::Bin(op, a, b),
+            };
+            ctx.bools.push(var);
+            stmt
+        }
+        // Arithmetic temporary.
+        1 => {
+            let a = pick(seed, &ctx.uints);
+            let b = pick(seed, &ctx.uints);
+            let var = ctx.fresh("u");
+            let op = match seed.next().unwrap_or(0) % 3 {
+                0 => CoreBinOp::Add,
+                1 => CoreBinOp::Sub,
+                _ => CoreBinOp::Mul,
+            };
+            let stmt = CoreStmt::Assign {
+                var: var.clone(),
+                expr: CoreExpr::Bin(op, a, b),
+            };
+            ctx.uints.push(var);
+            stmt
+        }
+        // Constant or copy or negation.
+        2 => {
+            let var = ctx.fresh("k");
+            match seed.next().unwrap_or(0) % 3 {
+                0 => {
+                    let v = seed.next().unwrap_or(0) as u64;
+                    ctx.uints.push(var.clone());
+                    CoreStmt::Assign {
+                        var,
+                        expr: CoreExpr::Value(CoreValue::UInt(v)),
+                    }
+                }
+                1 => {
+                    let src = pick(seed, &ctx.uints);
+                    ctx.uints.push(var.clone());
+                    CoreStmt::Assign {
+                        var,
+                        expr: CoreExpr::Var(src),
+                    }
+                }
+                _ => {
+                    let src = pick(seed, &ctx.bools);
+                    ctx.bools.push(var.clone());
+                    CoreStmt::Assign {
+                        var,
+                        expr: CoreExpr::Not(src),
+                    }
+                }
+            }
+        }
+        // Quantum if: the body must not modify the condition, so the body
+        // is generated in a child context that cannot see the condition.
+        4 | 6 => {
+            let cond = pick(seed, &ctx.bools);
+            let mut inner = ctx.clone();
+            inner.bools.retain(|v| v != &cond);
+            inner.counter += 1000; // disjoint names for the branch
+            let body = gen_block(seed, &mut inner, depth - 1, 2);
+            ctx.counter = inner.counter;
+            ctx.hadamards = inner.hadamards;
+            // Branch-local variables stay declared (sequential typing);
+            // track them so the final comparison sees every register.
+            for v in inner.bools {
+                if !ctx.bools.contains(&v) {
+                    ctx.bools.push(v);
+                }
+            }
+            for v in inner.uints {
+                if !ctx.uints.contains(&v) {
+                    ctx.uints.push(v);
+                }
+            }
+            CoreStmt::If {
+                cond,
+                body: Box::new(body),
+            }
+        }
+        // With-do: temporaries of the setup are uncomputed automatically.
+        _ => {
+            let mut inner = ctx.clone();
+            inner.counter += 2000;
+            let setup = gen_block(seed, &mut inner, 0, 2);
+            let body = gen_block(seed, &mut inner, depth - 1, 2);
+            ctx.counter = inner.counter;
+            ctx.hadamards = inner.hadamards;
+            // Variables born in the body survive the with; setup ones die.
+            CoreStmt::With {
+                setup: Box::new(setup),
+                body: Box::new(body),
+            }
+        }
+    }
+}
+
+fn gen_block(
+    seed: &mut impl Iterator<Item = u8>,
+    ctx: &mut GenCtx,
+    depth: u32,
+    len: usize,
+) -> CoreStmt {
+    let stmts: Vec<CoreStmt> = (0..len).map(|_| gen_stmt(seed, ctx, depth)).collect();
+    CoreStmt::seq(stmts)
+}
+
+/// Generate a well-formed program from seed bytes under the given shape.
+pub fn generate(seed: &[u8], config: &GenConfig) -> TestProgram {
+    let inputs = config.inputs();
+    let mut ctx = GenCtx {
+        bools: inputs
+            .iter()
+            .filter(|(_, t)| *t == Type::Bool)
+            .map(|(v, _)| v.clone())
+            .collect(),
+        uints: inputs
+            .iter()
+            .filter(|(_, t)| *t == Type::UInt)
+            .map(|(v, _)| v.clone())
+            .collect(),
+        counter: 0,
+        hadamards: config.hadamards,
+    };
+    let mut stream = seed.iter().copied();
+    let stmt = gen_block(&mut stream, &mut ctx, config.depth, config.block_len);
+    TestProgram {
+        stmt,
+        inputs,
+        word: config.word,
+    }
+}
+
+impl TestProgram {
+    /// Compile this program with the given optimization configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program fails to type-check or compile — generated
+    /// programs are well-formed by construction, so either is a bug.
+    pub fn compile(&self, opt: OptConfig) -> Compiled {
+        let table = tower::TypeTable::new(self.word);
+        let types = tower::typecheck_with(&self.stmt, &self.inputs, &table, Strictness::Relaxed)
+            .expect("generated programs are well-formed");
+        let unit = CompilationUnit {
+            core: self.stmt.clone(),
+            inputs: self.inputs.clone(),
+            ret_var: self.inputs[0].0.clone(),
+            table,
+            types,
+            names: NameGen::new(),
+        };
+        compile_unit(&unit, &CompileOptions::with_opt(opt)).expect("compiles")
+    }
+
+    /// Run a compiled form of this program on backend `S`, distributing the
+    /// bits of `input_bits` across the inputs (one bit per bool,
+    /// `uint_bits` per uint, low bits first).
+    ///
+    /// # Panics
+    ///
+    /// Panics on simulator failure (e.g. a Hadamard gate on the classical
+    /// backend).
+    pub fn run<S: Simulator>(&self, compiled: &Compiled, input_bits: u64) -> Machine<S> {
+        let mut machine: Machine<S> = Machine::with_backend(&compiled.layout);
+        let mut cursor = 0u32;
+        for (var, ty) in &self.inputs {
+            let width = match ty {
+                Type::Bool => 1,
+                Type::UInt => self.word.uint_bits,
+                other => panic!("unsupported input type {other}"),
+            };
+            let value = (input_bits >> (cursor % 64)) & ((1u64 << width) - 1);
+            machine.set_var(var.as_str(), value).expect("input exists");
+            cursor += width;
+        }
+        machine.run(&compiled.emit()).expect("circuit runs");
+        machine
+    }
+
+    /// The live (end-of-program) user variables of a compiled form, the
+    /// ones Definition 6.2 compares. Optimizer temporaries (`z%k`) are
+    /// excluded (they exist only on the optimized side), and re-declared
+    /// names — which share one register — appear once.
+    pub fn live_vars(compiled: &Compiled) -> Vec<String> {
+        let mut out: Vec<String> = Vec::new();
+        for (var, _) in &compiled.types.final_context {
+            let name = var.as_str();
+            if !name.contains('%') && !out.iter().any(|n| n == name) {
+                out.push(name.to_string());
+            }
+        }
+        out
+    }
+}
+
+/// Deterministic seed stream for non-proptest drivers: splitmix64-style
+/// expansion of a `u64` into bytes.
+pub fn seed_bytes(seed: u64, len: usize) -> Vec<u8> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    (0..len)
+        .map(|_| {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            (z ^ (z >> 31)) as u8
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcirc::sim::{BasisState, SparseState};
+
+    #[test]
+    fn generated_programs_compile_under_all_configs() {
+        for s in 0..8u64 {
+            let program = generate(&seed_bytes(s, 64), &GenConfig::small());
+            for opt in [
+                OptConfig::none(),
+                OptConfig::narrowing_only(),
+                OptConfig::flattening_only(),
+                OptConfig::spire(),
+            ] {
+                let compiled = program.compile(opt);
+                assert!(compiled.layout.total_qubits > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn wide_programs_reach_differential_sizes() {
+        let program = generate(&seed_bytes(3, 64), &GenConfig::wide());
+        let compiled = program.compile(OptConfig::none());
+        assert!(
+            compiled.layout.total_qubits >= 24,
+            "wide config must produce ≥24-qubit layouts, got {}",
+            compiled.layout.total_qubits
+        );
+    }
+
+    #[test]
+    fn classical_and_sparse_backends_agree() {
+        let program = generate(&seed_bytes(7, 64), &GenConfig::small());
+        let compiled = program.compile(OptConfig::spire());
+        let a = program.run::<BasisState>(&compiled, 0b1011_0110);
+        let b = program.run::<SparseState>(&compiled, 0b1011_0110);
+        for name in TestProgram::live_vars(&compiled) {
+            assert_eq!(a.var(&name).unwrap(), b.var(&name).unwrap(), "{name}");
+        }
+    }
+
+    #[test]
+    fn quantum_config_emits_hadamards() {
+        let program = generate(&seed_bytes(1, 96), &GenConfig::wide_quantum());
+        let compiled = program.compile(OptConfig::spire());
+        let has_h = compiled
+            .emit()
+            .gates()
+            .iter()
+            .any(|g| matches!(g, qcirc::Gate::Mch { .. }));
+        assert!(has_h, "expected Hadamard gates in the circuit");
+    }
+}

@@ -14,6 +14,8 @@
 //!
 //! See `README.md` for a tour and `DESIGN.md` for the system inventory.
 
+pub mod difftest;
+
 pub use bench_suite;
 pub use qcirc;
 pub use qopt;

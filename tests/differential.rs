@@ -1,0 +1,225 @@
+//! The differential-testing harness: equivalence checks at paper-sized
+//! qubit counts that the dense simulator cannot touch.
+//!
+//! Three layers of the toolchain are cross-checked against each other on
+//! randomly generated Tower programs (from `spire_repro::difftest`):
+//!
+//! 1. **Program-level optimizations** (Theorems 6.3/6.5): every
+//!    [`OptConfig`] combination compiles to a circuit computing the same
+//!    function, checked variable-by-variable (Definition 6.2) on the
+//!    sparse backend at layouts of ≥ 24 qubits.
+//! 2. **Gate-level decomposition** (Figures 5/6): the emitted MCX circuit
+//!    and its Clifford+T decomposition prepare the same state, phases
+//!    included, on Hadamard-bearing programs.
+//! 3. **Every circuit optimizer** in [`qopt::registry`]: each analogue's
+//!    output prepares the same state as its input circuit (up to global
+//!    phase — several decompositions differ from the identity by one).
+
+use qcirc::decompose;
+use qcirc::sim::{BasisState, SparseState, StateVec};
+use qcirc::{Circuit, Gate};
+use spire::OptConfig;
+use spire_repro::difftest::{generate, seed_bytes, GenConfig, TestProgram};
+
+/// Qubit range the harness targets: beyond the dense simulator's 26-qubit
+/// cap (modulo its margin: we insist on ≥ 24 and prove ≥ 28 below), inside
+/// the sparse simulator's 64-bit key space.
+const MIN_QUBITS: u32 = 24;
+const MAX_QUBITS: u32 = 64;
+
+/// Find `count` seeds whose generated program compiles (under every listed
+/// config) into the harness's qubit window, and hand each program plus its
+/// reference compilation to `check`.
+fn for_programs_in_window(
+    config: &GenConfig,
+    count: usize,
+    mut check: impl FnMut(u64, &TestProgram, &spire::Compiled),
+) {
+    let mut tested = 0;
+    for seed in 0..400u64 {
+        if tested == count {
+            return;
+        }
+        let program = generate(&seed_bytes(seed, 96), config);
+        let reference = program.compile(OptConfig::none());
+        let total = reference.layout.total_qubits;
+        if !(MIN_QUBITS..=MAX_QUBITS).contains(&total) {
+            continue;
+        }
+        tested += 1;
+        check(seed, &program, &reference);
+    }
+    assert_eq!(
+        tested, count,
+        "seed budget found only {tested}/{count} programs in the \
+         {MIN_QUBITS}–{MAX_QUBITS} qubit window"
+    );
+}
+
+#[test]
+fn optconfigs_agree_at_paper_sizes() {
+    // One entry per non-reference config: how many programs actually
+    // exercised it (a config whose layout overflows the sparse key space
+    // is skipped for that program, and must not end up untested overall).
+    let mut coverage = [0usize; 3];
+    for_programs_in_window(&GenConfig::wide(), 6, |seed, program, reference| {
+        let optimized: Vec<(OptConfig, spire::Compiled)> = [
+            OptConfig::narrowing_only(),
+            OptConfig::flattening_only(),
+            OptConfig::spire(),
+        ]
+        .into_iter()
+        .map(|opt| (opt, program.compile(opt)))
+        .collect();
+        for bits in [0u64, 0xACE1_1234_5678_9ABC, u64::MAX] {
+            let reference_machine = program.run::<SparseState>(reference, bits);
+            for (i, (opt, compiled)) in optimized.iter().enumerate() {
+                if compiled.layout.total_qubits > MAX_QUBITS {
+                    continue; // flattening temporaries pushed it past u64 keys
+                }
+                coverage[i] += 1;
+                let machine = program.run::<SparseState>(compiled, bits);
+                for name in TestProgram::live_vars(reference) {
+                    assert_eq!(
+                        reference_machine.var(&name).unwrap(),
+                        machine.var(&name).unwrap(),
+                        "variable {name} differs under {} (seed {seed}, inputs {bits:#x})",
+                        opt.label(),
+                    );
+                }
+            }
+        }
+    });
+    assert!(
+        coverage.iter().all(|&c| c > 0),
+        "a config was never exercised (runs per config: {coverage:?})"
+    );
+}
+
+#[test]
+fn sparse_reaches_sizes_dense_cannot() {
+    let mut proved = false;
+    for seed in 0..400u64 {
+        let program = generate(&seed_bytes(seed, 96), &GenConfig::wide());
+        let compiled = program.compile(OptConfig::spire());
+        let total = compiled.layout.total_qubits;
+        if !(28..=MAX_QUBITS).contains(&total) {
+            continue;
+        }
+        // The dense simulator cannot even allocate this register.
+        assert!(
+            StateVec::basis(total, 0).is_err(),
+            "dense simulator unexpectedly allocated {total} qubits"
+        );
+        // The sparse backend runs it — and agrees with the classical
+        // simulator on every live variable (the program is Hadamard-free).
+        let classical = program.run::<BasisState>(&compiled, 0x5A5A_5A5A);
+        let sparse = program.run::<SparseState>(&compiled, 0x5A5A_5A5A);
+        for name in TestProgram::live_vars(&compiled) {
+            assert_eq!(
+                classical.var(&name).unwrap(),
+                sparse.var(&name).unwrap(),
+                "variable {name} differs between backends (seed {seed})"
+            );
+        }
+        proved = true;
+        break;
+    }
+    assert!(proved, "no ≥28-qubit program found in the seed budget");
+}
+
+/// Run a circuit on the sparse backend at an explicit width from the given
+/// basis state.
+fn sparse_state_after(circuit: &Circuit, width: u32, initial: u64) -> SparseState {
+    let mut state = SparseState::basis(width, initial).expect("width fits sparse keys");
+    state.run(circuit).expect("circuit runs");
+    state
+}
+
+/// A basis index whose input registers hold a fixed nonzero bit pattern,
+/// so the compiled circuit's conditionals and arithmetic actually fire.
+fn input_pattern(program: &TestProgram, compiled: &spire::Compiled) -> u64 {
+    let mut index = 0u64;
+    let mut pattern = 0xB5F3_9D17_2C6A_E481u64;
+    for (var, _) in &program.inputs {
+        let reg = compiled.layout.reg(var).expect("input register exists");
+        let value = pattern & ((1u64 << reg.width) - 1);
+        pattern = pattern.rotate_right(reg.width);
+        index |= value << reg.offset;
+    }
+    index
+}
+
+#[test]
+fn decomposition_and_optimizers_preserve_states_at_paper_sizes() {
+    let mut tested = 0;
+    for seed in 0..400u64 {
+        if tested == 3 {
+            break;
+        }
+        let program = generate(&seed_bytes(seed, 96), &GenConfig::wide_quantum());
+        let compiled = program.compile(OptConfig::spire());
+        let circuit = compiled.emit();
+        if !(MIN_QUBITS..=48).contains(&circuit.num_qubits()) {
+            continue;
+        }
+        // Only Hadamard-bearing circuits make this interesting: they put
+        // the state into superposition and their decompositions use the
+        // full Clifford+T gate set.
+        if !circuit
+            .gates()
+            .iter()
+            .any(|g| matches!(g, Gate::Mch { .. }))
+        {
+            continue;
+        }
+        let decomposed = decompose::to_clifford_t(&circuit).expect("decomposes");
+        // The decomposition is exact (phases included, Figures 5/6), so it
+        // is compared phase-sensitively; the optimizer analogues are only
+        // promised up to global phase.
+        let candidates: Vec<(String, bool, Circuit)> =
+            std::iter::once(("clifford+t".to_string(), true, decomposed))
+                .chain(
+                    qopt::registry()
+                        .iter()
+                        .map(|opt| (opt.name().to_string(), false, opt.optimize(&circuit))),
+                )
+                .collect();
+        // All states are compared at one common width (ancilla qubits
+        // return to zero, so widening is benign).
+        let width = candidates
+            .iter()
+            .map(|(_, _, c)| c.num_qubits())
+            .chain(std::iter::once(circuit.num_qubits()))
+            .max()
+            .expect("nonempty");
+        if width > MAX_QUBITS {
+            continue;
+        }
+        let initial = input_pattern(&program, &compiled);
+        let reference = sparse_state_after(&circuit, width, initial);
+        if reference.support() < 2 {
+            // The Hadamards cancelled out on this input; not interesting.
+            continue;
+        }
+        tested += 1;
+        for (name, exact, candidate) in &candidates {
+            let state = sparse_state_after(candidate, width, initial);
+            let equal = if *exact {
+                reference.approx_eq_exact(&state, 1e-7)
+            } else {
+                reference.approx_eq(&state, 1e-7)
+            };
+            assert!(
+                equal,
+                "{name} changed the prepared state (seed {seed}, support {} vs {})",
+                reference.support(),
+                state.support(),
+            );
+        }
+    }
+    assert_eq!(
+        tested, 3,
+        "seed budget found only {tested}/3 quantum programs"
+    );
+}

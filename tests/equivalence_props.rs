@@ -3,219 +3,16 @@
 //! well-formed programs, the circuits compiled from the original and the
 //! optimized program compute the same function on every tested basis
 //! state, and non-live registers return to zero.
+//!
+//! Program generation lives in [`spire_repro::difftest`], shared with the
+//! large-register differential harness (`tests/differential.rs`); this
+//! file drives it through proptest so failures shrink toward minimal
+//! seeds.
 
 use proptest::prelude::*;
-use spire::{compile_unit, CompileOptions, Machine, OptConfig};
-use tower::{
-    typecheck_with, CompilationUnit, CoreBinOp, CoreExpr, CoreStmt, CoreValue, NameGen, Strictness,
-    Symbol, Type, TypeTable, WordConfig,
-};
-
-/// A pool of input variables available to generated programs.
-fn inputs() -> Vec<(Symbol, Type)> {
-    vec![
-        (Symbol::new("b0"), Type::Bool),
-        (Symbol::new("b1"), Type::Bool),
-        (Symbol::new("b2"), Type::Bool),
-        (Symbol::new("u0"), Type::UInt),
-        (Symbol::new("u1"), Type::UInt),
-    ]
-}
-
-/// State threaded through the generator: live variables by type, plus a
-/// counter for fresh names.
-#[derive(Debug, Clone)]
-struct GenCtx {
-    bools: Vec<Symbol>,
-    uints: Vec<Symbol>,
-    counter: u64,
-}
-
-impl GenCtx {
-    fn initial() -> Self {
-        GenCtx {
-            bools: vec![Symbol::new("b0"), Symbol::new("b1"), Symbol::new("b2")],
-            uints: vec![Symbol::new("u0"), Symbol::new("u1")],
-            counter: 0,
-        }
-    }
-
-    fn fresh(&mut self, prefix: &str) -> Symbol {
-        self.counter += 1;
-        Symbol::new(format!("{prefix}_{}", self.counter))
-    }
-}
-
-/// Generate a statement from a seed stream. Every generated variable is
-/// assigned exactly once and either stays live (tracked in `ctx`) or is
-/// uncomputed automatically by an enclosing with-block, so the program is
-/// well-formed by construction.
-fn gen_stmt(seed: &mut impl Iterator<Item = u8>, ctx: &mut GenCtx, depth: u32) -> CoreStmt {
-    let mut choice = seed.next().unwrap_or(0) % if depth == 0 { 4 } else { 7 };
-    // Nested ifs remove their condition from the visible pool; fall back
-    // to a plain temporary when too few booleans remain.
-    if matches!(choice, 4 | 6) && ctx.bools.len() < 2 {
-        choice = 0;
-    }
-    match choice {
-        // Boolean temporary.
-        0 | 3 => {
-            let a = pick(seed, &ctx.bools);
-            let b = pick(seed, &ctx.bools);
-            let var = ctx.fresh("t");
-            let op = if seed.next().unwrap_or(0).is_multiple_of(2) {
-                CoreBinOp::And
-            } else {
-                CoreBinOp::Or
-            };
-            let stmt = CoreStmt::Assign {
-                var: var.clone(),
-                expr: CoreExpr::Bin(op, a, b),
-            };
-            ctx.bools.push(var);
-            stmt
-        }
-        // Arithmetic temporary.
-        1 => {
-            let a = pick(seed, &ctx.uints);
-            let b = pick(seed, &ctx.uints);
-            let var = ctx.fresh("u");
-            let op = match seed.next().unwrap_or(0) % 3 {
-                0 => CoreBinOp::Add,
-                1 => CoreBinOp::Sub,
-                _ => CoreBinOp::Mul,
-            };
-            let stmt = CoreStmt::Assign {
-                var: var.clone(),
-                expr: CoreExpr::Bin(op, a, b),
-            };
-            ctx.uints.push(var);
-            stmt
-        }
-        // Constant or copy or negation.
-        2 => {
-            let var = ctx.fresh("k");
-            match seed.next().unwrap_or(0) % 3 {
-                0 => {
-                    let v = seed.next().unwrap_or(0) as u64;
-                    ctx.uints.push(var.clone());
-                    CoreStmt::Assign {
-                        var,
-                        expr: CoreExpr::Value(CoreValue::UInt(v)),
-                    }
-                }
-                1 => {
-                    let src = pick(seed, &ctx.uints);
-                    ctx.uints.push(var.clone());
-                    CoreStmt::Assign {
-                        var,
-                        expr: CoreExpr::Var(src),
-                    }
-                }
-                _ => {
-                    let src = pick(seed, &ctx.bools);
-                    ctx.bools.push(var.clone());
-                    CoreStmt::Assign {
-                        var,
-                        expr: CoreExpr::Not(src),
-                    }
-                }
-            }
-        }
-        // Quantum if: the body must not modify the condition, so the body
-        // is generated in a child context that cannot see the condition.
-        4 | 6 => {
-            let cond = pick(seed, &ctx.bools);
-            let mut inner = ctx.clone();
-            inner.bools.retain(|v| v != &cond);
-            inner.counter += 1000; // disjoint names for the branch
-            let body = gen_block(seed, &mut inner, depth - 1, 2);
-            ctx.counter = inner.counter;
-            // Branch-local variables stay declared (sequential typing);
-            // track them so the final comparison sees every register.
-            for v in inner.bools {
-                if !ctx.bools.contains(&v) {
-                    ctx.bools.push(v);
-                }
-            }
-            for v in inner.uints {
-                if !ctx.uints.contains(&v) {
-                    ctx.uints.push(v);
-                }
-            }
-            CoreStmt::If {
-                cond,
-                body: Box::new(body),
-            }
-        }
-        // With-do: temporaries of the setup are uncomputed automatically.
-        _ => {
-            let mut inner = ctx.clone();
-            inner.counter += 2000;
-            let setup = gen_block(seed, &mut inner, 0, 2);
-            let body = gen_block(seed, &mut inner, depth - 1, 2);
-            ctx.counter = inner.counter;
-            // Variables born in the body survive the with; setup ones die.
-            CoreStmt::With {
-                setup: Box::new(setup),
-                body: Box::new(body),
-            }
-        }
-    }
-}
-
-fn gen_block(
-    seed: &mut impl Iterator<Item = u8>,
-    ctx: &mut GenCtx,
-    depth: u32,
-    len: usize,
-) -> CoreStmt {
-    let stmts: Vec<CoreStmt> = (0..len).map(|_| gen_stmt(seed, ctx, depth)).collect();
-    CoreStmt::seq(stmts)
-}
-
-fn pick(seed: &mut impl Iterator<Item = u8>, pool: &[Symbol]) -> Symbol {
-    let i = seed.next().unwrap_or(0) as usize % pool.len();
-    pool[i].clone()
-}
-
-/// Compile a generated statement with the given optimization config.
-fn compile(stmt: &CoreStmt, opt: OptConfig) -> spire::Compiled {
-    let table = TypeTable::new(WordConfig {
-        uint_bits: 3,
-        ptr_bits: 2,
-    });
-    let types = typecheck_with(stmt, &inputs(), &table, Strictness::Relaxed)
-        .expect("generated programs are well-formed");
-    let unit = CompilationUnit {
-        core: stmt.clone(),
-        inputs: inputs(),
-        ret_var: Symbol::new("b0"),
-        table,
-        types,
-        names: NameGen::new(),
-    };
-    compile_unit(&unit, &CompileOptions::with_opt(opt)).expect("compiles")
-}
-
-fn run(compiled: &spire::Compiled, input_bits: u16) -> Machine {
-    let mut machine = Machine::new(&compiled.layout);
-    machine.set_var("b0", (input_bits & 1) as u64).unwrap();
-    machine
-        .set_var("b1", ((input_bits >> 1) & 1) as u64)
-        .unwrap();
-    machine
-        .set_var("b2", ((input_bits >> 2) & 1) as u64)
-        .unwrap();
-    machine
-        .set_var("u0", ((input_bits >> 3) & 0x7) as u64)
-        .unwrap();
-    machine
-        .set_var("u1", ((input_bits >> 6) & 0x7) as u64)
-        .unwrap();
-    machine.run(&compiled.emit()).unwrap();
-    machine
-}
+use qcirc::sim::BasisState;
+use spire::OptConfig;
+use spire_repro::difftest::{generate, GenConfig, TestProgram};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
@@ -227,31 +24,25 @@ proptest! {
         seed in proptest::collection::vec(any::<u8>(), 64),
         input_bits in any::<u16>(),
     ) {
-        let mut stream = seed.into_iter();
-        let mut ctx = GenCtx::initial();
-        let program = gen_block(&mut stream, &mut ctx, 3, 4);
-
-        let reference = compile(&program, OptConfig::none());
-        let reference_machine = run(&reference, input_bits);
+        let program = generate(&seed, &GenConfig::small());
+        let reference = program.compile(OptConfig::none());
+        let reference_machine = program.run::<BasisState>(&reference, input_bits as u64);
 
         for opt in [
             OptConfig::narrowing_only(),
             OptConfig::flattening_only(),
             OptConfig::spire(),
         ] {
-            let optimized = compile(&program, opt);
-            let machine = run(&optimized, input_bits);
+            let optimized = program.compile(opt);
+            let machine = program.run::<BasisState>(&optimized, input_bits as u64);
             // Definition 6.2 compares the variables of dom Γ′ — the ones
             // live at the end. (Dead variables' registers are legitimately
             // recycled, differently per layout.) Optimizer temporaries
-            // (z%k) exist only on the optimized side and are skipped.
-            for (var, _) in &reference.types.final_context {
-                let name = var.as_str();
-                if name.contains('%') {
-                    continue;
-                }
-                let expected = reference_machine.var(name).unwrap();
-                let actual = machine.var(name).unwrap_or_else(|_| {
+            // (z%k) exist only on the optimized side and are skipped by
+            // `live_vars`.
+            for name in TestProgram::live_vars(&reference) {
+                let expected = reference_machine.var(&name).unwrap();
+                let actual = machine.var(&name).unwrap_or_else(|_| {
                     panic!("{}: variable {name} missing after {}", input_bits, opt.label())
                 });
                 prop_assert_eq!(
@@ -269,11 +60,9 @@ proptest! {
     fn cost_model_matches_emission(
         seed in proptest::collection::vec(any::<u8>(), 48),
     ) {
-        let mut stream = seed.into_iter();
-        let mut ctx = GenCtx::initial();
-        let program = gen_block(&mut stream, &mut ctx, 3, 3);
+        let program = generate(&seed, &GenConfig::small());
         for opt in [OptConfig::none(), OptConfig::spire()] {
-            let compiled = compile(&program, opt);
+            let compiled = program.compile(opt);
             prop_assert_eq!(
                 compiled.histogram(),
                 compiled.counted_histogram(),
@@ -287,11 +76,9 @@ proptest! {
     fn optimization_never_regresses_t(
         seed in proptest::collection::vec(any::<u8>(), 64),
     ) {
-        let mut stream = seed.into_iter();
-        let mut ctx = GenCtx::initial();
-        let program = gen_block(&mut stream, &mut ctx, 3, 4);
-        let baseline = compile(&program, OptConfig::none()).t_complexity();
-        let optimized = compile(&program, OptConfig::spire()).t_complexity();
+        let program = generate(&seed, &GenConfig::small());
+        let baseline = program.compile(OptConfig::none()).t_complexity();
+        let optimized = program.compile(OptConfig::spire()).t_complexity();
         prop_assert!(
             optimized <= baseline,
             "spire regressed T: {baseline} -> {optimized}"

@@ -1,0 +1,122 @@
+//! Golden-file round-trip tests for the `.qc` serialization of every
+//! benchmark program.
+//!
+//! Each `bench_suite::programs` benchmark is compiled at a small fixed
+//! depth, serialized through the `.qc` writer, and compared against a
+//! pinned file under `tests/golden/`. A mismatch prints a line-level diff
+//! — either the compiler's output drifted (a real regression: code
+//! generation is deterministic) or the change is intentional, in which
+//! case regenerate the pins with:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test golden_roundtrip
+//! ```
+//!
+//! The parse half of the round trip is checked too: reading a pin back
+//! must reproduce the exact gate list.
+
+use std::fs;
+use std::path::PathBuf;
+
+use bench_suite::programs::all_benchmarks;
+use spire::{compile_source, CompileOptions};
+use tower::WordConfig;
+
+/// Depth for size-scaling benchmarks; constant-size ones use 0. Small
+/// enough to keep the pinned files reviewable, deep enough to include one
+/// recursive unfolding.
+const GOLDEN_DEPTH: i64 = 2;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+}
+
+fn first_diff(expected: &str, actual: &str) -> String {
+    for (i, (e, a)) in expected.lines().zip(actual.lines()).enumerate() {
+        if e != a {
+            return format!(
+                "first difference at line {}:\n  pinned: {e}\n  actual: {a}",
+                i + 1
+            );
+        }
+    }
+    format!(
+        "line counts differ: pinned {} vs actual {}",
+        expected.lines().count(),
+        actual.lines().count()
+    )
+}
+
+#[test]
+fn benchmarks_match_their_golden_qc_files() {
+    let update = std::env::var_os("UPDATE_GOLDEN").is_some();
+    let dir = golden_dir();
+    if update {
+        fs::create_dir_all(&dir).expect("create golden dir");
+    }
+    let mut failures = Vec::new();
+    for bench in all_benchmarks() {
+        let depth = if bench.constant { 0 } else { GOLDEN_DEPTH };
+        let compiled = compile_source(
+            &bench.source,
+            bench.entry,
+            depth,
+            WordConfig::tiny(),
+            &CompileOptions::spire(),
+        )
+        .unwrap_or_else(|e| panic!("{}: {e}", bench.name));
+        let circuit = compiled.emit();
+        let qc = qcirc::qcformat::write(&circuit);
+
+        // Round trip through the parser must be exact regardless of pins.
+        let parsed = qcirc::qcformat::parse(&qc).unwrap_or_else(|e| panic!("{}: {e}", bench.name));
+        assert_eq!(
+            parsed.gates(),
+            circuit.gates(),
+            "{}: .qc round trip lost gates",
+            bench.name
+        );
+
+        let path = dir.join(format!("{}.qc", bench.name));
+        if update {
+            fs::write(&path, &qc).expect("write golden file");
+            continue;
+        }
+        match fs::read_to_string(&path) {
+            Ok(pinned) if pinned == qc => {}
+            Ok(pinned) => failures.push(format!(
+                "{}: output drifted from {} — {}",
+                bench.name,
+                path.display(),
+                first_diff(&pinned, &qc)
+            )),
+            Err(e) => failures.push(format!(
+                "{}: missing golden file {} ({e}); run UPDATE_GOLDEN=1 to create it",
+                bench.name,
+                path.display()
+            )),
+        }
+    }
+    assert!(failures.is_empty(), "{}", failures.join("\n"));
+}
+
+#[test]
+fn golden_files_parse_back_to_valid_circuits() {
+    // The pins themselves are valid .qc: parseable, nonempty, and their
+    // qubit counts match the declared headers.
+    for bench in all_benchmarks() {
+        let path = golden_dir().join(format!("{}.qc", bench.name));
+        let Ok(text) = fs::read_to_string(&path) else {
+            continue; // reported by the pinning test
+        };
+        let circuit = qcirc::qcformat::parse(&text)
+            .unwrap_or_else(|e| panic!("{}: pinned file does not parse: {e}", bench.name));
+        assert!(
+            !circuit.is_empty(),
+            "{}: pinned circuit is empty",
+            bench.name
+        );
+    }
+}

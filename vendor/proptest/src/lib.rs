@@ -7,12 +7,32 @@
 //! `prop_assert*` macros.
 //!
 //! The build environment has no access to a crates.io registry, so the
-//! dependency is provided as a small local crate. Differences from real
-//! proptest: generation is purely random (deterministic per test name and
-//! case index) with **no shrinking**, and `prop_assert*` failures panic
-//! immediately instead of entering the shrinking loop. Failures are still
-//! reproducible because the RNG seed is a pure function of the test name
-//! and case number.
+//! dependency is provided as a small local crate. Generation is purely
+//! random but deterministic: the RNG seed is a pure function of the test
+//! name and case number, so failures reproduce without persistence files.
+//!
+//! # Shrinking
+//!
+//! Failing cases are shrunk toward a near-minimal counterexample before
+//! being reported: integers are halved toward their range's lower bound
+//! (plus a final single-step walk), vectors are truncated toward their
+//! minimum length and shrunk element-wise, tuples component-wise, and
+//! `prop_filter` re-applies its predicate to candidates. Remaining
+//! deviations from real proptest's value-tree shrinking:
+//!
+//! * [`Strategy::prop_map`] does not shrink — the stand-in keeps no value
+//!   tree, so there is no pre-image to shrink and re-map (use
+//!   `prop_filter` or shrink-friendly source strategies where minimal
+//!   counterexamples matter).
+//! * [`prop_oneof!`] / [`strategy::Union`] do not shrink across or within
+//!   arms, because the chosen arm is not recorded.
+//! * [`strategy::Just`] never shrinks (there is nothing smaller).
+//! * The shrink loop is budgeted (1000 candidate evaluations) rather than
+//!   exhaustive, and reports the best counterexample found in budget.
+//! * While a property runs under the shrinking harness, the global panic
+//!   hook is filtered on the current thread to keep candidate failures
+//!   quiet; the minimal counterexample is reported in the final panic
+//!   message instead.
 
 /// `proptest::collection` — strategies for collections.
 pub mod collection {
@@ -80,12 +100,37 @@ pub mod collection {
         }
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
 
         fn generate(&self, rng: &mut TestRng) -> Self::Value {
             let len = rng.usize_in(self.size.lo, self.size.hi);
             (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+
+        fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+            let mut out = Vec::new();
+            // Truncations first: minimum length, halfway, one shorter.
+            if value.len() > self.size.lo {
+                out.push(value[..self.size.lo].to_vec());
+                let half = (value.len() + self.size.lo) / 2;
+                if half > self.size.lo && half < value.len() {
+                    out.push(value[..half].to_vec());
+                }
+                out.push(value[..value.len() - 1].to_vec());
+            }
+            // Then element-wise shrinks (a couple of candidates per slot).
+            for (i, v) in value.iter().enumerate() {
+                for candidate in self.element.shrink(v).into_iter().take(2) {
+                    let mut copy = value.clone();
+                    copy[i] = candidate;
+                    out.push(copy);
+                }
+            }
+            out
         }
     }
 }
@@ -111,14 +156,24 @@ pub mod strategy {
 
     /// A generator of values of an associated type.
     ///
-    /// Unlike real proptest there is no value tree and no shrinking: a
-    /// strategy simply produces a value from the test RNG.
+    /// Unlike real proptest there is no value tree: a strategy produces a
+    /// value from the test RNG, and shrinking is a separate
+    /// candidate-proposal step over already-produced values.
     pub trait Strategy {
         /// The type of generated values.
         type Value;
 
         /// Produce one value.
         fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Propose simpler candidates for a failing value, best first.
+        ///
+        /// The default proposes nothing (the strategy does not shrink);
+        /// see the crate docs for which combinators do.
+        fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+            let _ = value;
+            Vec::new()
+        }
 
         /// Map generated values through `f`.
         fn prop_map<T, F>(self, f: F) -> Map<Self, F>
@@ -160,6 +215,10 @@ pub mod strategy {
         fn generate(&self, rng: &mut TestRng) -> Self::Value {
             (**self).generate(rng)
         }
+
+        fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+            (**self).shrink(value)
+        }
     }
 
     impl<S: Strategy + ?Sized> Strategy for &S {
@@ -167,6 +226,10 @@ pub mod strategy {
 
         fn generate(&self, rng: &mut TestRng) -> Self::Value {
             (**self).generate(rng)
+        }
+
+        fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+            (**self).shrink(value)
         }
     }
 
@@ -230,6 +293,14 @@ pub mod strategy {
                 self.whence
             );
         }
+
+        fn shrink(&self, value: &S::Value) -> Vec<S::Value> {
+            self.inner
+                .shrink(value)
+                .into_iter()
+                .filter(|v| (self.f)(v))
+                .collect()
+        }
     }
 
     /// Uniform choice between type-erased alternatives (`prop_oneof!`).
@@ -262,43 +333,113 @@ pub mod strategy {
         }
     }
 
+    /// Integer types that shrink by halving toward an origin (the lower
+    /// bound of the range that generated them).
+    pub trait IntShrink: Copy + PartialEq {
+        /// Candidates between `origin` and `value`, best (smallest) first:
+        /// the origin itself, the halfway point, and one step back.
+        fn shrink_toward(origin: Self, value: Self) -> Vec<Self>;
+    }
+
+    macro_rules! impl_int_shrink {
+        ($(($ty:ty, $unsigned:ty)),*) => {$(
+            impl IntShrink for $ty {
+                fn shrink_toward(origin: Self, value: Self) -> Vec<Self> {
+                    if value == origin {
+                        return Vec::new();
+                    }
+                    // Distance in the unsigned counterpart: correct for
+                    // signed types even across the full domain.
+                    let diff = (value as $unsigned).wrapping_sub(origin as $unsigned);
+                    let mut out = vec![origin];
+                    let mid = origin.wrapping_add((diff / 2) as $ty);
+                    if mid != origin && mid != value {
+                        out.push(mid);
+                    }
+                    let prev = origin.wrapping_add((diff - 1) as $ty);
+                    if prev != origin && prev != mid {
+                        out.push(prev);
+                    }
+                    out
+                }
+            }
+        )*};
+    }
+
+    impl_int_shrink!(
+        (u8, u8),
+        (u16, u16),
+        (u32, u32),
+        (u64, u64),
+        (u128, u128),
+        (usize, usize),
+        (i8, u8),
+        (i16, u16),
+        (i32, u32),
+        (i64, u64),
+        (i128, u128),
+        (isize, usize)
+    );
+
     /// Integer ranges are strategies.
-    impl<T: SampleUniform> Strategy for core::ops::Range<T> {
+    impl<T: SampleUniform + IntShrink> Strategy for core::ops::Range<T> {
         type Value = T;
 
         fn generate(&self, rng: &mut TestRng) -> T {
             rng.as_rng().random_range(self.clone())
         }
+
+        fn shrink(&self, value: &T) -> Vec<T> {
+            T::shrink_toward(self.start, *value)
+        }
     }
 
-    impl<T: SampleUniform> Strategy for core::ops::RangeInclusive<T> {
+    impl<T: SampleUniform + IntShrink> Strategy for core::ops::RangeInclusive<T> {
         type Value = T;
 
         fn generate(&self, rng: &mut TestRng) -> T {
             rng.as_rng().random_range(self.clone())
+        }
+
+        fn shrink(&self, value: &T) -> Vec<T> {
+            T::shrink_toward(*self.start(), *value)
         }
     }
 
     macro_rules! impl_tuple_strategy {
-        ($($name:ident),+) => {
-            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+        ($(($name:ident, $idx:tt)),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+)
+            where
+                $($name::Value: Clone,)+
+            {
                 type Value = ($($name::Value,)+);
 
-                #[allow(non_snake_case)]
                 fn generate(&self, rng: &mut TestRng) -> Self::Value {
-                    let ($($name,)+) = self;
-                    ($($name.generate(rng),)+)
+                    ($(self.$idx.generate(rng),)+)
+                }
+
+                fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                    // One component at a time, the others held fixed.
+                    let mut out = Vec::new();
+                    $(
+                        for candidate in self.$idx.shrink(&value.$idx) {
+                            let mut copy = value.clone();
+                            copy.$idx = candidate;
+                            out.push(copy);
+                        }
+                    )+
+                    out
                 }
             }
         };
     }
 
-    impl_tuple_strategy!(A);
-    impl_tuple_strategy!(A, B);
-    impl_tuple_strategy!(A, B, C);
-    impl_tuple_strategy!(A, B, C, D);
-    impl_tuple_strategy!(A, B, C, D, E);
-    impl_tuple_strategy!(A, B, C, D, E, F);
+    impl_tuple_strategy!((A, 0));
+    impl_tuple_strategy!((A, 0), (B, 1));
+    impl_tuple_strategy!((A, 0), (B, 1), (C, 2));
+    impl_tuple_strategy!((A, 0), (B, 1), (C, 2), (D, 3));
+    impl_tuple_strategy!((A, 0), (B, 1), (C, 2), (D, 3), (E, 4));
+    impl_tuple_strategy!((A, 0), (B, 1), (C, 2), (D, 3), (E, 4), (F, 5));
 
     /// Types with a canonical "any value" strategy.
     pub trait Arbitrary: Sized {
@@ -332,6 +473,14 @@ pub mod strategy {
 
         fn generate(&self, rng: &mut TestRng) -> bool {
             rng.as_rng().random_bool(0.5)
+        }
+
+        fn shrink(&self, value: &bool) -> Vec<bool> {
+            if *value {
+                vec![false]
+            } else {
+                Vec::new()
+            }
         }
     }
 
@@ -412,6 +561,102 @@ pub mod test_runner {
             self.inner.next_u64()
         }
     }
+
+    use std::cell::Cell;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+    use std::sync::Once;
+
+    use crate::strategy::Strategy;
+
+    thread_local! {
+        /// While true, panics on this thread are candidate evaluations of
+        /// the shrinking loop and their output is suppressed.
+        static SUPPRESS_PANIC_OUTPUT: Cell<bool> = const { Cell::new(false) };
+    }
+
+    /// Install (once, process-wide) a panic hook that stays silent while
+    /// the current thread is evaluating shrink candidates and defers to
+    /// the previous hook otherwise. Per-thread filtering keeps unrelated
+    /// concurrently-failing tests' diagnostics intact.
+    fn install_filter_hook() {
+        static INIT: Once = Once::new();
+        INIT.call_once(|| {
+            let previous = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                if !SUPPRESS_PANIC_OUTPUT.with(Cell::get) {
+                    previous(info);
+                }
+            }));
+        });
+    }
+
+    fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+        if let Some(s) = payload.downcast_ref::<&str>() {
+            (*s).to_string()
+        } else if let Some(s) = payload.downcast_ref::<String>() {
+            s.clone()
+        } else {
+            "(non-string panic payload)".to_string()
+        }
+    }
+
+    /// Maximum number of shrink-candidate evaluations per failing case.
+    const SHRINK_BUDGET: usize = 1_000;
+
+    /// Drive one property: generate `config.cases` values, and on the
+    /// first failure shrink it to a near-minimal counterexample before
+    /// panicking. This is the runtime behind the [`crate::proptest!`]
+    /// macro.
+    ///
+    /// # Panics
+    ///
+    /// Panics (after shrinking) if `test` panics for any generated value.
+    pub fn run_property<S, F>(name: &str, config: &ProptestConfig, strategy: &S, test: F)
+    where
+        S: Strategy,
+        S::Value: Clone + std::fmt::Debug,
+        F: Fn(S::Value),
+    {
+        install_filter_hook();
+        let run_case = |value: S::Value| -> Result<(), String> {
+            SUPPRESS_PANIC_OUTPUT.with(|s| s.set(true));
+            let outcome = catch_unwind(AssertUnwindSafe(|| test(value)));
+            SUPPRESS_PANIC_OUTPUT.with(|s| s.set(false));
+            outcome.map_err(|payload| panic_message(&*payload))
+        };
+        for case in 0..config.cases {
+            let mut rng = TestRng::for_case(name, case);
+            let value = strategy.generate(&mut rng);
+            let Err(first_message) = run_case(value.clone()) else {
+                continue;
+            };
+            // Greedy shrink: take the first simpler candidate that still
+            // fails, restart from it, stop when none fails (local minimum)
+            // or the budget runs out.
+            let mut minimal = value;
+            let mut message = first_message;
+            let mut steps = 0usize;
+            'shrinking: loop {
+                for candidate in strategy.shrink(&minimal) {
+                    if steps >= SHRINK_BUDGET {
+                        break 'shrinking;
+                    }
+                    steps += 1;
+                    if let Err(candidate_message) = run_case(candidate.clone()) {
+                        minimal = candidate;
+                        message = candidate_message;
+                        continue 'shrinking;
+                    }
+                }
+                break;
+            }
+            panic!(
+                "proptest property {name} failed (case {case}); \
+                 minimal counterexample after {steps} shrink evaluation(s):\n\
+                 value: {minimal:?}\npanic: {message}"
+            );
+        }
+    }
 }
 
 /// Uniform choice between strategies, all erased to a common value type.
@@ -476,6 +721,11 @@ macro_rules! proptest {
 }
 
 /// Internal expansion helper for [`proptest!`]; not part of the API.
+///
+/// All bindings are bundled into one tuple strategy so the shrinking
+/// runner can re-execute the body on candidate values; the generation
+/// order (and therefore the RNG stream per case) is identical to drawing
+/// each binding in sequence.
 #[doc(hidden)]
 #[macro_export]
 macro_rules! __proptest_tests {
@@ -490,16 +740,13 @@ macro_rules! __proptest_tests {
             $(#[$meta])*
             fn $name() {
                 let config: $crate::test_runner::ProptestConfig = $config;
-                for case in 0..config.cases {
-                    let mut rng = $crate::test_runner::TestRng::for_case(
-                        concat!(module_path!(), "::", stringify!($name)),
-                        case,
-                    );
-                    $(
-                        let $pat = $crate::strategy::Strategy::generate(&($strategy), &mut rng);
-                    )+
-                    $body
-                }
+                let strategy = ($($strategy,)+);
+                $crate::test_runner::run_property(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    &config,
+                    &strategy,
+                    |($($pat,)+)| $body,
+                );
             }
         )*
     };
@@ -557,5 +804,60 @@ mod tests {
         let mut a = crate::test_runner::TestRng::for_case("t", 3);
         let mut b = crate::test_runner::TestRng::for_case("t", 3);
         assert_eq!(strat.generate(&mut a), strat.generate(&mut b));
+    }
+
+    /// Run a property expected to fail and return the shrunk report.
+    fn failing_report<S>(strategy: S, test: impl Fn(S::Value)) -> String
+    where
+        S: Strategy,
+        S::Value: Clone + std::fmt::Debug,
+    {
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            crate::test_runner::run_property(
+                "shrink_demo",
+                &ProptestConfig::with_cases(32),
+                &strategy,
+                test,
+            );
+        }));
+        let payload = outcome.expect_err("property should fail");
+        payload
+            .downcast_ref::<String>()
+            .expect("string panic payload")
+            .clone()
+    }
+
+    #[test]
+    fn integers_shrink_to_the_boundary() {
+        // Failing set is x >= 37; the minimal counterexample is exactly 37.
+        let report = failing_report((0u32..1000,), |(x,)| {
+            assert!(x < 37, "x too big: {x}");
+        });
+        assert!(report.contains("value: (37,)"), "report: {report}");
+    }
+
+    #[test]
+    fn vectors_shrink_to_minimal_length_and_zero_elements() {
+        // Failing set is len >= 3; minimal is three zero bytes.
+        let report = failing_report((crate::collection::vec(any::<u8>(), 0..20),), |(v,)| {
+            assert!(v.len() < 3, "vector of length {}", v.len());
+        });
+        assert!(report.contains("value: ([0, 0, 0],)"), "report: {report}");
+    }
+
+    #[test]
+    fn tuples_shrink_component_wise() {
+        let report = failing_report((0u32..100, 0u32..100), |(a, b)| {
+            assert!(a < 10 || b < 20, "a={a} b={b}");
+        });
+        assert!(report.contains("value: (10, 20)"), "report: {report}");
+    }
+
+    #[test]
+    fn shrink_candidates_respect_filters() {
+        let strategy = (0u32..1000).prop_filter("even", |x| x % 2 == 0);
+        for candidate in strategy.shrink(&800) {
+            assert_eq!(candidate % 2, 0, "shrink must preserve the filter");
+        }
     }
 }
