@@ -7,6 +7,7 @@
 //! optimizers recover linearity, who is faster) are the reproduction
 //! targets and are asserted by the integration tests.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use qcirc::Circuit;
@@ -15,7 +16,7 @@ use qopt::{
     SearchConfig, SearchOpt, ToffoliCancel, ZxGraphLike,
 };
 use spire::cost::{flattening_uncomputation_t, CostEnv};
-use spire::{compile_source, CompileOptions, Compiled, OptConfig};
+use spire::{compile_source, compile_source_cached, CompileOptions, Compiled, OptConfig};
 use tower::WordConfig;
 
 use crate::programs::{all_benchmarks, Benchmark, LENGTH, LENGTH_SIMPLE};
@@ -24,8 +25,14 @@ use crate::report::{FigureReport, Series, TableReport};
 /// Default depth range used by the paper (2..=10).
 pub const DEPTHS: std::ops::RangeInclusive<i64> = 2..=10;
 
-fn compile(bench: &Benchmark, depth: i64, options: &CompileOptions) -> Compiled {
-    compile_source(
+/// Compile a benchmark through the process-wide compile cache.
+///
+/// Every regenerator except the *timing* experiments goes through here:
+/// the figures and tables sweep overlapping `(program, depth, config)`
+/// matrices, so a full pipeline run (`bench-suite::runner`) compiles each
+/// configuration exactly once no matter how many artifacts consume it.
+fn compile(bench: &Benchmark, depth: i64, options: &CompileOptions) -> Arc<Compiled> {
+    compile_source_cached(
         &bench.source,
         bench.entry,
         depth,
@@ -35,7 +42,16 @@ fn compile(bench: &Benchmark, depth: i64, options: &CompileOptions) -> Compiled 
     .unwrap_or_else(|e| panic!("compiling {} at depth {depth}: {e}", bench.name))
 }
 
-fn compile_src(source: &str, entry: &str, depth: i64, options: &CompileOptions) -> Compiled {
+/// Cached compilation of an arbitrary source (see [`compile`]).
+fn compile_src(source: &str, entry: &str, depth: i64, options: &CompileOptions) -> Arc<Compiled> {
+    compile_source_cached(source, entry, depth, WordConfig::paper_default(), options)
+        .unwrap_or_else(|e| panic!("compiling {entry} at depth {depth}: {e}"))
+}
+
+/// Uncached compilation, for experiments whose *artifact* is the compile
+/// time itself (Table 2): a cache hit would report lookup time, not
+/// compilation time.
+fn compile_src_fresh(source: &str, entry: &str, depth: i64, options: &CompileOptions) -> Compiled {
     compile_source(source, entry, depth, WordConfig::paper_default(), options)
         .unwrap_or_else(|e| panic!("compiling {entry} at depth {depth}: {e}"))
 }
@@ -46,8 +62,29 @@ fn timed<T>(f: impl FnOnce() -> T) -> (T, Duration) {
     (value, start.elapsed())
 }
 
+/// T-count after a circuit optimizer, memoized process-wide.
+///
+/// The figure regenerators apply the same optimizers to the same emitted
+/// circuits across overlapping sweeps (Figures 12, 15a/b, and 24 all
+/// optimize `length`/`length-simplified` circuits over the same depth
+/// range), and optimizer passes — not compilation — dominate the artifact
+/// phase once the compile cache is warm. The memo key is the circuit's
+/// [`Circuit::content_hash`] plus the optimizer name, so a repeated
+/// `(circuit, optimizer)` pair costs a map lookup. The *timing*
+/// experiments (Tables 2 and 5) never consult this memo: they time the
+/// optimizer itself, so their passes must run fresh.
 fn t_after(optimizer: &dyn CircuitOptimizer, circuit: &Circuit) -> u64 {
-    optimizer.optimize(circuit).clifford_t_counts().t_count()
+    use std::collections::HashMap;
+    use std::sync::{Mutex, OnceLock};
+    static MEMO: OnceLock<Mutex<HashMap<(u128, &'static str), u64>>> = OnceLock::new();
+    let memo = MEMO.get_or_init(|| Mutex::new(HashMap::new()));
+    let key = (circuit.content_hash(), optimizer.name());
+    if let Some(&t) = memo.lock().expect("t_after memo poisoned").get(&key) {
+        return t;
+    }
+    let t = optimizer.optimize(circuit).clifford_t_counts().t_count();
+    memo.lock().expect("t_after memo poisoned").insert(key, t);
+    t
 }
 
 /// Figure 2: T-complexity vs MCX-complexity of unoptimized `length`.
@@ -284,12 +321,12 @@ pub fn table2(depth: i64) -> TableReport {
         ("length", LENGTH, "length"),
     ] {
         let (baseline, base_time) =
-            timed(|| compile_src(source, entry, depth, &CompileOptions::baseline()));
+            timed(|| compile_src_fresh(source, entry, depth, &CompileOptions::baseline()));
         let base_t = baseline.t_complexity();
         let base_circuit = baseline.emit();
 
         let (spire_compiled, spire_time) =
-            timed(|| compile_src(source, entry, depth, &CompileOptions::spire()));
+            timed(|| compile_src_fresh(source, entry, depth, &CompileOptions::spire()));
         let spire_t = spire_compiled.t_complexity();
         let spire_circuit = spire_compiled.emit();
 
@@ -503,10 +540,12 @@ pub fn appendix_a(depth: i64, widths: &[u32]) -> TableReport {
             uint_bits: w,
             ptr_bits: 4,
         };
-        let baseline = compile_source(LENGTH, "length", depth, config, &CompileOptions::baseline())
-            .expect("length compiles at any width");
-        let optimized = compile_source(LENGTH, "length", depth, config, &CompileOptions::spire())
-            .expect("length compiles at any width");
+        let baseline =
+            compile_source_cached(LENGTH, "length", depth, config, &CompileOptions::baseline())
+                .expect("length compiles at any width");
+        let optimized =
+            compile_source_cached(LENGTH, "length", depth, config, &CompileOptions::spire())
+                .expect("length compiles at any width");
         rows.push(vec![
             format!("{w}"),
             format!("{}", baseline.mcx_complexity()),

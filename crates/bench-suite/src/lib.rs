@@ -7,7 +7,12 @@
 //!   paper's "lowest-degree polynomial that exactly fits" methodology.
 //! * [`experiments`] — one regenerator per table and figure of the
 //!   evaluation (Figures 2, 12, 15, 24; Tables 1–6; Appendix A).
-//! * [`report`] — plain-text rendering of figures and tables.
+//! * [`report`] — rendering and serialization of figures and tables as
+//!   plain text, Markdown, and JSON.
+//! * [`runner`] — the parallel artifact pipeline: warms the compile
+//!   cache across the experiment matrix on scoped worker threads, then
+//!   regenerates every artifact (`spire-cli report` is a thin shell over
+//!   it; `docs/EXPERIMENTS.md` is the artifact index).
 //!
 //! # Example
 //!
@@ -15,6 +20,11 @@
 //! // Regenerate Figure 2 (quadratic T vs linear MCX for `length`):
 //! let report = bench_suite::experiments::fig2(2..=10);
 //! println!("{}", report.render());
+//!
+//! // Or regenerate every artifact in parallel, with a warm cache:
+//! use bench_suite::runner::{run_all, MatrixParams};
+//! let summary = run_all(&MatrixParams::paper(), 4, &|_event| {});
+//! assert_eq!(summary.artifacts.len(), 10);
 //! ```
 
 #![warn(missing_docs)]
@@ -23,3 +33,4 @@ pub mod experiments;
 pub mod polyfit;
 pub mod programs;
 pub mod report;
+pub mod runner;

@@ -1,5 +1,11 @@
-//! Plain-text rendering of experiment results (series tables and row
-//! tables), used by the CLI and recorded in `EXPERIMENTS.md`.
+//! Rendering and serialization of experiment results (series tables and
+//! row tables) as plain text, Markdown, and JSON.
+//!
+//! The plain-text renderers feed `spire-cli experiments`; the Markdown
+//! and JSON serializers feed the artifact pipeline (`spire-cli report`),
+//! which writes both formats under `reports/` — Markdown as the
+//! committed, drift-checked snapshot and JSON for downstream tooling.
+//! See `docs/EXPERIMENTS.md` for the artifact ↔ paper index.
 
 use std::fmt::Write as _;
 
@@ -145,6 +151,228 @@ impl TableReport {
     }
 }
 
+impl FigureReport {
+    /// Render as a Markdown section: one pipe table with a row per series
+    /// and a trailing `fit` column.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "## `{}` — {}\n", self.id, self.title);
+        let xs: Vec<i64> = self
+            .series
+            .first()
+            .map(|s| s.points.iter().map(|&(x, _)| x).collect())
+            .unwrap_or_default();
+        let _ = write!(out, "| {} |", self.var);
+        for x in &xs {
+            let _ = write!(out, " {x} |");
+        }
+        let _ = writeln!(out, " fit |");
+        let _ = write!(out, "|---|");
+        for _ in &xs {
+            let _ = write!(out, "---:|");
+        }
+        let _ = writeln!(out, "---|");
+        for series in &self.series {
+            let _ = write!(out, "| {} |", series.label);
+            for &(_, y) in &series.points {
+                let _ = write!(out, " {y} |");
+            }
+            let _ = writeln!(out, " {} |", fit_cell(series));
+        }
+        out
+    }
+
+    /// Serialize as a JSON object (`kind`, `id`, `title`, `var`, and a
+    /// `series` array of labeled point lists with their exact fits).
+    pub fn to_json(&self) -> String {
+        let series: Vec<String> = self
+            .series
+            .iter()
+            .map(|s| {
+                let points: Vec<String> = s
+                    .points
+                    .iter()
+                    .map(|&(x, y)| format!("[{x},{y}]"))
+                    .collect();
+                format!(
+                    "{{\"label\":{},\"points\":[{}],\"fit\":{},\"asymptotic\":{}}}",
+                    json_string(&s.label),
+                    points.join(","),
+                    json_opt_string(s.fit.as_deref()),
+                    json_opt_string(s.asymptotic.as_deref()),
+                )
+            })
+            .collect();
+        format!(
+            "{{\"kind\":\"figure\",\"id\":{},\"title\":{},\"var\":{},\"series\":[{}]}}",
+            json_string(self.id),
+            json_string(&self.title),
+            json_string(self.var),
+            series.join(","),
+        )
+    }
+}
+
+fn fit_cell(series: &Series) -> String {
+    series
+        .fit
+        .as_deref()
+        .map(|f| format!("{} = {f}", series.asymptotic.as_deref().unwrap_or("")))
+        .unwrap_or_else(|| "(no exact polynomial fit)".to_string())
+}
+
+impl TableReport {
+    /// Render as a Markdown section with one pipe table.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "## `{}` — {}\n", self.id, self.title);
+        let _ = writeln!(out, "| {} |", self.header.join(" | "));
+        let _ = writeln!(out, "|{}", "---|".repeat(self.header.len()));
+        for row in &self.rows {
+            let _ = writeln!(out, "| {} |", row.join(" | "));
+        }
+        out
+    }
+
+    /// Serialize as a JSON object (`kind`, `id`, `title`, `header`, and
+    /// `rows` as arrays of strings).
+    pub fn to_json(&self) -> String {
+        let header: Vec<String> = self.header.iter().map(|h| json_string(h)).collect();
+        let rows: Vec<String> = self
+            .rows
+            .iter()
+            .map(|row| {
+                let cells: Vec<String> = row.iter().map(|c| json_string(c)).collect();
+                format!("[{}]", cells.join(","))
+            })
+            .collect();
+        format!(
+            "{{\"kind\":\"table\",\"id\":{},\"title\":{},\"header\":[{}],\"rows\":[{}]}}",
+            json_string(self.id),
+            json_string(&self.title),
+            header.join(","),
+            rows.join(","),
+        )
+    }
+}
+
+/// One generated artifact of the evaluation: a figure or a table.
+#[derive(Debug, Clone)]
+pub enum Artifact {
+    /// A figure-style report (series over a depth sweep).
+    Figure(FigureReport),
+    /// A table-style report.
+    Table(TableReport),
+}
+
+impl Artifact {
+    /// The artifact identifier (`fig2`, `table1`, …).
+    pub fn id(&self) -> &'static str {
+        match self {
+            Artifact::Figure(f) => f.id,
+            Artifact::Table(t) => t.id,
+        }
+    }
+
+    /// The artifact's human title.
+    pub fn title(&self) -> &str {
+        match self {
+            Artifact::Figure(f) => &f.title,
+            Artifact::Table(t) => &t.title,
+        }
+    }
+
+    /// Render as aligned plain text.
+    pub fn render(&self) -> String {
+        match self {
+            Artifact::Figure(f) => f.render(),
+            Artifact::Table(t) => t.render(),
+        }
+    }
+
+    /// Render as a Markdown section.
+    pub fn to_markdown(&self) -> String {
+        match self {
+            Artifact::Figure(f) => f.to_markdown(),
+            Artifact::Table(t) => t.to_markdown(),
+        }
+    }
+
+    /// Serialize as a JSON object.
+    pub fn to_json(&self) -> String {
+        match self {
+            Artifact::Figure(f) => f.to_json(),
+            Artifact::Table(t) => t.to_json(),
+        }
+    }
+}
+
+/// Escape a string as a JSON string literal.
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_opt_string(s: Option<&str>) -> String {
+    s.map(json_string).unwrap_or_else(|| "null".into())
+}
+
+/// Replace wall-clock timing cells (the `1.234 s` format every timed
+/// experiment uses) with a stable `<time>` placeholder.
+///
+/// Timings are the only nondeterministic content in the generated
+/// Markdown; the report drift check (`spire-cli report --check`)
+/// normalizes both sides with this function so an artifact diff means the
+/// *results* changed, not the machine's speed.
+pub fn normalize_timings(text: &str) -> String {
+    let mut out: Vec<u8> = Vec::with_capacity(text.len());
+    let bytes = text.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let start = i;
+        // Candidate: digits '.' digits, then " s" followed by a
+        // non-alphanumeric boundary.
+        let mut j = i;
+        while j < bytes.len() && bytes[j].is_ascii_digit() {
+            j += 1;
+        }
+        if j > start && j + 1 < bytes.len() && bytes[j] == b'.' && bytes[j + 1].is_ascii_digit() {
+            let mut k = j + 1;
+            while k < bytes.len() && bytes[k].is_ascii_digit() {
+                k += 1;
+            }
+            let unit_follows = bytes.get(k) == Some(&b' ')
+                && bytes.get(k + 1) == Some(&b's')
+                && !bytes.get(k + 2).is_some_and(|b| b.is_ascii_alphanumeric());
+            if unit_follows {
+                out.extend_from_slice(b"<time>");
+                i = k + 2;
+                continue;
+            }
+        }
+        out.push(bytes[start]);
+        i = start + 1;
+    }
+    // Replacements are pure ASCII and multi-byte sequences are copied
+    // verbatim (a digit byte never starts inside one), so this is valid.
+    String::from_utf8(out).expect("normalization preserves UTF-8")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -178,5 +406,47 @@ mod tests {
         let text = report.render();
         assert!(text.contains("long-name"));
         assert!(text.lines().count() >= 4);
+    }
+
+    #[test]
+    fn markdown_and_json_serialize_figures() {
+        let report = FigureReport {
+            id: "figX",
+            title: "demo".into(),
+            var: "n",
+            series: vec![Series::fitted("T", vec![(2, 7), (3, 9), (4, 11)], "n")],
+        };
+        let md = report.to_markdown();
+        assert!(md.starts_with("## `figX`"));
+        assert!(md.contains("| T | 7 | 9 | 11 |"));
+        let json = report.to_json();
+        assert!(json.contains("\"kind\":\"figure\""));
+        assert!(json.contains("\"points\":[[2,7],[3,9],[4,11]]"));
+        assert!(json.contains("\"fit\":\"2n+3\""));
+    }
+
+    #[test]
+    fn markdown_and_json_serialize_tables() {
+        let table = TableReport {
+            id: "tabX",
+            title: "demo \"quoted\"".into(),
+            header: vec!["a".into(), "b".into()],
+            rows: vec![vec!["1".into(), "x\ny".into()]],
+        };
+        let artifact = Artifact::Table(table);
+        assert_eq!(artifact.id(), "tabX");
+        assert!(artifact.to_markdown().contains("| a | b |"));
+        let json = artifact.to_json();
+        assert!(json.contains("\"title\":\"demo \\\"quoted\\\"\""));
+        assert!(json.contains("\"x\\ny\""));
+    }
+
+    #[test]
+    fn timing_normalization_is_targeted() {
+        let text = "spire  0.123 s done; 12.000 s; v1.2 set; 3.4 sx; naïve 1.0 s";
+        assert_eq!(
+            normalize_timings(text),
+            "spire  <time> done; <time>; v1.2 set; 3.4 sx; naïve <time>"
+        );
     }
 }

@@ -1,0 +1,521 @@
+//! Parallel artifact pipeline: fan the full experiment matrix across
+//! worker threads, backed by the content-addressed compile cache.
+//!
+//! `spire-cli report` (and the pipeline tests) drive the evaluation
+//! through this module instead of calling the [`crate::experiments`]
+//! regenerators one by one. A run has two phases, both scheduled over the
+//! same [`run_jobs`] worker pool built on [`std::thread::scope`]:
+//!
+//! 1. **Warm** — the deduplicated compile matrix (every benchmark ×
+//!    depth × [`OptConfig`] combination any artifact will request) is
+//!    compiled in parallel into [`CompileCache::global`]. Compilation is
+//!    the pipeline's dominant cost and the matrix overlaps heavily
+//!    between artifacts, so this phase converts the artifact phase's
+//!    compiles into cache hits.
+//! 2. **Artifacts** — every [`ArtifactSpec`] regenerates its table or
+//!    figure (one job per artifact); their compiles hit the warm cache.
+//!
+//! A second [`run_all`] in the same process reuses the cache from the
+//! first and is substantially faster — the pipeline test asserts this,
+//! along with the multi-threaded execution, via [`RunSummary`].
+
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use spire::{CacheKey, CacheStats, CompileCache, CompileOptions, OptConfig};
+use tower::WordConfig;
+
+use crate::experiments;
+use crate::programs::all_benchmarks;
+use crate::report::Artifact;
+
+/// Size parameters of the experiment matrix.
+///
+/// [`MatrixParams::paper`] reproduces the evaluation at the paper's
+/// scale; [`MatrixParams::quick`] is a small instance of the same matrix
+/// for tests and smoke runs.
+#[derive(Debug, Clone)]
+pub struct MatrixParams {
+    /// Figures sweep recursion depths `2..=max_depth`; Table 1 fits its
+    /// polynomials on the same range (paper: 10).
+    pub max_depth: i64,
+    /// Depth of the Table 2 timing comparison (paper: 10).
+    pub table_depth: i64,
+    /// Depths of the Table 4 uncomputation/qubit accounting (paper: 2, 10).
+    pub table4_depths: Vec<i64>,
+    /// Maximum depth of the Table 5/6 search-optimizer sweep (paper: 5).
+    pub search_depth: i64,
+    /// Depth of the Appendix A bit-width sweep (paper figure: 6).
+    pub width_depth: i64,
+    /// `uint` bit widths of the Appendix A sweep.
+    pub widths: Vec<u32>,
+}
+
+impl MatrixParams {
+    /// The paper-scale matrix (the committed `reports/` snapshot).
+    pub fn paper() -> Self {
+        MatrixParams {
+            max_depth: 10,
+            table_depth: 10,
+            table4_depths: vec![2, 10],
+            search_depth: 5,
+            width_depth: 6,
+            widths: vec![2, 4, 8, 12, 16],
+        }
+    }
+
+    /// A reduced matrix with the same artifact set, for tests.
+    pub fn quick() -> Self {
+        MatrixParams {
+            max_depth: 5,
+            table_depth: 3,
+            table4_depths: vec![2, 3],
+            search_depth: 2,
+            width_depth: 3,
+            widths: vec![2, 4],
+        }
+    }
+}
+
+/// One regenerable artifact of the evaluation.
+#[derive(Debug, Clone, Copy)]
+pub struct ArtifactSpec {
+    /// Artifact identifier; also the `reports/<id>.{md,json}` file stem.
+    pub id: &'static str,
+    /// What the artifact reproduces in the paper.
+    pub paper_ref: &'static str,
+    /// The [`crate::experiments`] function behind it.
+    pub function: &'static str,
+    run: fn(&MatrixParams) -> Artifact,
+}
+
+impl ArtifactSpec {
+    /// Regenerate the artifact at the given matrix size.
+    pub fn run(&self, params: &MatrixParams) -> Artifact {
+        (self.run)(params)
+    }
+}
+
+/// The complete artifact set, in the paper's order.
+pub fn artifact_specs() -> Vec<ArtifactSpec> {
+    vec![
+        ArtifactSpec {
+            id: "fig2",
+            paper_ref: "Figure 2",
+            function: "experiments::fig2",
+            run: |p| Artifact::Figure(experiments::fig2(2..=p.max_depth)),
+        },
+        ArtifactSpec {
+            id: "fig12",
+            paper_ref: "Figures 12a and 12b",
+            function: "experiments::fig12",
+            run: |p| Artifact::Figure(experiments::fig12(2..=p.max_depth)),
+        },
+        ArtifactSpec {
+            id: "fig15a",
+            paper_ref: "Figure 15a",
+            function: "experiments::fig15a",
+            run: |p| Artifact::Figure(experiments::fig15a(2..=p.max_depth)),
+        },
+        ArtifactSpec {
+            id: "fig15b",
+            paper_ref: "Figure 15b",
+            function: "experiments::fig15b",
+            run: |p| Artifact::Figure(experiments::fig15b(2..=p.max_depth)),
+        },
+        ArtifactSpec {
+            id: "table1",
+            paper_ref: "Tables 1 and 3",
+            function: "experiments::table1",
+            run: |p| Artifact::Table(experiments::table1(p.max_depth)),
+        },
+        ArtifactSpec {
+            id: "table2",
+            paper_ref: "Table 2",
+            function: "experiments::table2",
+            run: |p| Artifact::Table(experiments::table2(p.table_depth)),
+        },
+        ArtifactSpec {
+            id: "table4",
+            paper_ref: "Table 4 (Appendix F)",
+            function: "experiments::table4",
+            run: |p| Artifact::Table(experiments::table4(&p.table4_depths)),
+        },
+        ArtifactSpec {
+            id: "table5",
+            paper_ref: "Tables 5 and 6 (Appendix G)",
+            function: "experiments::table5",
+            run: |p| Artifact::Table(experiments::table5(p.search_depth)),
+        },
+        ArtifactSpec {
+            id: "fig24",
+            paper_ref: "Figure 24 (Appendix H)",
+            function: "experiments::fig24",
+            run: |p| Artifact::Figure(experiments::fig24(2..=p.max_depth)),
+        },
+        ArtifactSpec {
+            id: "appendix-a",
+            paper_ref: "Appendix A",
+            function: "experiments::appendix_a",
+            run: |p| Artifact::Table(experiments::appendix_a(p.width_depth, &p.widths)),
+        },
+    ]
+}
+
+/// Concurrency observed by a [`run_jobs`] pool.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ParallelismStats {
+    /// Highest number of jobs observed in flight at once.
+    pub peak: usize,
+    /// Workers that executed at least one job.
+    pub workers_engaged: usize,
+}
+
+impl ParallelismStats {
+    fn merge(self, other: ParallelismStats) -> ParallelismStats {
+        ParallelismStats {
+            peak: self.peak.max(other.peak),
+            workers_engaged: self.workers_engaged.max(other.workers_engaged),
+        }
+    }
+}
+
+/// Run `worker` over `items` on up to `threads` scoped worker threads.
+///
+/// Jobs are pulled from a shared atomic queue (no static partitioning, so
+/// a slow artifact does not idle the other workers) and results are
+/// returned in item order. A panicking job propagates after the scope
+/// joins, like any `std::thread::scope` panic.
+pub fn run_jobs<T, R, F>(items: &[T], threads: usize, worker: F) -> (Vec<R>, ParallelismStats)
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let threads = threads.clamp(1, items.len().max(1));
+    let next = AtomicUsize::new(0);
+    let active = AtomicUsize::new(0);
+    let peak = AtomicUsize::new(0);
+    let engaged = AtomicUsize::new(0);
+    let results: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let mut first_job = true;
+                loop {
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    if index >= items.len() {
+                        break;
+                    }
+                    if first_job {
+                        engaged.fetch_add(1, Ordering::Relaxed);
+                        first_job = false;
+                    }
+                    let in_flight = active.fetch_add(1, Ordering::Relaxed) + 1;
+                    peak.fetch_max(in_flight, Ordering::Relaxed);
+                    let result = worker(index, &items[index]);
+                    active.fetch_sub(1, Ordering::Relaxed);
+                    *results[index].lock().expect("result slot poisoned") = Some(result);
+                }
+            });
+        }
+    });
+    let results = results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("every job ran")
+        })
+        .collect();
+    (
+        results,
+        ParallelismStats {
+            peak: peak.load(Ordering::Relaxed),
+            workers_engaged: engaged.load(Ordering::Relaxed),
+        },
+    )
+}
+
+/// One compile job of the warm phase.
+#[derive(Debug, Clone)]
+struct WarmJob {
+    source: String,
+    entry: &'static str,
+    depth: i64,
+    config: WordConfig,
+    options: CompileOptions,
+}
+
+/// The deduplicated compile matrix behind the artifact set: every
+/// benchmark × depth × optimization configuration any artifact requests
+/// through the cache (Table 2 compiles fresh by design — its artifact is
+/// the compile time — and is deliberately absent).
+fn warm_jobs(params: &MatrixParams) -> Vec<WarmJob> {
+    let mut jobs = Vec::new();
+    let mut seen: HashSet<CacheKey> = HashSet::new();
+    let mut push = |source: &str, entry: &'static str, depth: i64, config, options| {
+        let key = CacheKey::new(source, entry, depth, config, &options);
+        if seen.insert(key) {
+            jobs.push(WarmJob {
+                source: source.to_string(),
+                entry,
+                depth,
+                config,
+                options,
+            });
+        }
+    };
+    let paper = WordConfig::paper_default();
+    let all_configs = [
+        OptConfig::none(),
+        OptConfig::narrowing_only(),
+        OptConfig::flattening_only(),
+        OptConfig::spire(),
+    ];
+    for bench in all_benchmarks() {
+        // The figure sweeps run `length` and `length-simplified` under
+        // every configuration; Tables 1 and 4 run the whole suite under
+        // baseline and Spire.
+        let configs: &[OptConfig] = if bench.name == "length" || bench.name == "length-simple" {
+            &all_configs
+        } else {
+            &[OptConfig::none(), OptConfig::spire()]
+        };
+        let depths: Vec<i64> = if bench.constant {
+            vec![0]
+        } else {
+            (2..=params.max_depth).collect()
+        };
+        for &depth in &depths {
+            for &opt in configs {
+                push(
+                    &bench.source,
+                    bench.entry,
+                    depth,
+                    paper,
+                    CompileOptions::with_opt(opt),
+                );
+            }
+        }
+        // Table 5 compiles `length-simplified` from depth 1.
+        if bench.name == "length-simple" {
+            push(
+                &bench.source,
+                bench.entry,
+                1,
+                paper,
+                CompileOptions::baseline(),
+            );
+        }
+    }
+    // Appendix A sweeps the register width at a fixed depth.
+    let length = all_benchmarks()
+        .into_iter()
+        .find(|b| b.name == "length")
+        .expect("length benchmark exists");
+    for &uint_bits in &params.widths {
+        let config = WordConfig {
+            uint_bits,
+            ptr_bits: 4,
+        };
+        push(
+            &length.source,
+            length.entry,
+            params.width_depth,
+            config,
+            CompileOptions::baseline(),
+        );
+        push(
+            &length.source,
+            length.entry,
+            params.width_depth,
+            config,
+            CompileOptions::spire(),
+        );
+    }
+    jobs
+}
+
+/// Progress events emitted by [`run_all`].
+#[derive(Debug, Clone, Copy)]
+pub enum RunnerEvent {
+    /// The warm phase is starting.
+    WarmStart {
+        /// Deduplicated compile jobs in the matrix.
+        jobs: usize,
+        /// Worker threads in the pool.
+        threads: usize,
+    },
+    /// The warm phase finished.
+    WarmDone {
+        /// Compile jobs executed.
+        jobs: usize,
+        /// Wall-clock time of the phase.
+        wall: Duration,
+    },
+    /// One artifact finished regenerating.
+    ArtifactDone {
+        /// The artifact's identifier.
+        id: &'static str,
+        /// Wall-clock time this artifact took.
+        wall: Duration,
+        /// Artifacts finished so far (including this one).
+        done: usize,
+        /// Total artifacts in the run.
+        total: usize,
+    },
+}
+
+/// One regenerated artifact with its provenance and timing.
+#[derive(Debug, Clone)]
+pub struct ArtifactResult {
+    /// The spec that produced it.
+    pub spec: ArtifactSpec,
+    /// The regenerated table or figure.
+    pub artifact: Artifact,
+    /// Wall-clock time of this artifact's job.
+    pub wall: Duration,
+}
+
+/// The outcome of one full pipeline run.
+#[derive(Debug, Clone)]
+pub struct RunSummary {
+    /// Every artifact, in the paper's order.
+    pub artifacts: Vec<ArtifactResult>,
+    /// Wall-clock time of the whole run (warm + artifacts).
+    pub wall: Duration,
+    /// Wall-clock time of the warm phase alone.
+    pub warm_wall: Duration,
+    /// Worker threads requested.
+    pub threads: usize,
+    /// Compile jobs in the (deduplicated) warm matrix.
+    pub warm_jobs: usize,
+    /// Concurrency actually observed across both phases.
+    pub parallelism: ParallelismStats,
+    /// Compile-cache activity during this run (hits/misses are the delta
+    /// since the run started; `entries` is the cache's current size).
+    pub cache: CacheStats,
+}
+
+/// Default worker count: the machine's parallelism, at least 2 (the
+/// pipeline is specified to be parallel) and capped at 8 (the matrix
+/// stops scaling well beyond that).
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2)
+        .clamp(2, 8)
+}
+
+/// Run the full artifact pipeline: warm the compile cache across the
+/// experiment matrix, then regenerate every artifact, all on `threads`
+/// workers. `on_event` receives progress callbacks (possibly from worker
+/// threads; it must be `Sync`).
+pub fn run_all(
+    params: &MatrixParams,
+    threads: usize,
+    on_event: &(dyn Fn(RunnerEvent) + Sync),
+) -> RunSummary {
+    let started = Instant::now();
+    let cache = CompileCache::global();
+    let stats_before = cache.stats();
+
+    let jobs = warm_jobs(params);
+    on_event(RunnerEvent::WarmStart {
+        jobs: jobs.len(),
+        threads,
+    });
+    let warm_started = Instant::now();
+    let (_, warm_parallelism) = run_jobs(&jobs, threads, |_, job| {
+        cache
+            .get_or_compile(&job.source, job.entry, job.depth, job.config, &job.options)
+            .unwrap_or_else(|e| panic!("warming {} at depth {}: {e}", job.entry, job.depth));
+    });
+    let warm_wall = warm_started.elapsed();
+    on_event(RunnerEvent::WarmDone {
+        jobs: jobs.len(),
+        wall: warm_wall,
+    });
+
+    let specs = artifact_specs();
+    let total = specs.len();
+    let done = AtomicUsize::new(0);
+    let (artifacts, artifact_parallelism) = run_jobs(&specs, threads, |_, spec| {
+        let job_started = Instant::now();
+        let artifact = spec.run(params);
+        let wall = job_started.elapsed();
+        on_event(RunnerEvent::ArtifactDone {
+            id: spec.id,
+            wall,
+            done: done.fetch_add(1, Ordering::Relaxed) + 1,
+            total,
+        });
+        ArtifactResult {
+            spec: *spec,
+            artifact,
+            wall,
+        }
+    });
+
+    RunSummary {
+        artifacts,
+        wall: started.elapsed(),
+        warm_wall,
+        threads,
+        warm_jobs: jobs.len(),
+        parallelism: warm_parallelism.merge(artifact_parallelism),
+        cache: cache.stats().since(&stats_before),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn warm_matrix_is_deduplicated() {
+        let params = MatrixParams::quick();
+        let jobs = warm_jobs(&params);
+        let keys: HashSet<CacheKey> = jobs
+            .iter()
+            .map(|j| CacheKey::new(&j.source, j.entry, j.depth, j.config, &j.options))
+            .collect();
+        assert_eq!(keys.len(), jobs.len(), "warm jobs must be unique");
+        // 12 benchmarks × depths × ≥2 configs: the matrix is real.
+        assert!(jobs.len() > 50, "matrix too small: {}", jobs.len());
+    }
+
+    #[test]
+    fn run_jobs_preserves_order_and_runs_everything() {
+        let items: Vec<usize> = (0..64).collect();
+        let (results, parallelism) = run_jobs(&items, 4, |i, &x| {
+            assert_eq!(i, x);
+            x * 2
+        });
+        assert_eq!(results, (0..64).map(|x| x * 2).collect::<Vec<_>>());
+        assert!(parallelism.workers_engaged >= 1);
+    }
+
+    #[test]
+    fn specs_cover_every_experiment() {
+        let ids: Vec<&str> = artifact_specs().iter().map(|s| s.id).collect();
+        assert_eq!(
+            ids,
+            [
+                "fig2",
+                "fig12",
+                "fig15a",
+                "fig15b",
+                "table1",
+                "table2",
+                "table4",
+                "table5",
+                "fig24",
+                "appendix-a",
+            ]
+        );
+    }
+}

@@ -137,6 +137,56 @@ impl Circuit {
         CliffordTCounts::of_gates(&self.gates)
     }
 
+    /// A stable 128-bit content address of the circuit: FNV-1a over the
+    /// qubit count and every gate (kind, controls, target), in order.
+    ///
+    /// Two circuits share a content hash exactly when they are the same
+    /// gate list over the same register — the key the experiment
+    /// pipeline's memoization layers use to recognize a circuit they
+    /// have already processed. Stable across processes and platforms.
+    pub fn content_hash(&self) -> u128 {
+        let mut hasher = crate::hash::Fnv1a128::new();
+        hasher.write_u32(self.num_qubits);
+        for gate in &self.gates {
+            match gate {
+                Gate::Mcx { controls, target } | Gate::Mch { controls, target } => {
+                    let kind = if matches!(gate, Gate::Mcx { .. }) {
+                        0
+                    } else {
+                        1
+                    };
+                    hasher.write_u32(kind);
+                    hasher.write_u32(controls.len() as u32);
+                    for &control in controls {
+                        hasher.write_u32(control);
+                    }
+                    hasher.write_u32(*target);
+                }
+                Gate::T(q) => {
+                    hasher.write_u32(2);
+                    hasher.write_u32(*q);
+                }
+                Gate::Tdg(q) => {
+                    hasher.write_u32(3);
+                    hasher.write_u32(*q);
+                }
+                Gate::S(q) => {
+                    hasher.write_u32(4);
+                    hasher.write_u32(*q);
+                }
+                Gate::Sdg(q) => {
+                    hasher.write_u32(5);
+                    hasher.write_u32(*q);
+                }
+                Gate::Z(q) => {
+                    hasher.write_u32(6);
+                    hasher.write_u32(*q);
+                }
+            }
+        }
+        hasher.finish()
+    }
+
     /// Total T-count of the circuit under this crate's decompositions,
     /// regardless of which level the circuit is expressed at.
     pub fn t_count(&self) -> u64 {
@@ -235,5 +285,22 @@ mod tests {
         let c = Circuit::from_gates(vec![Gate::x(7)]);
         assert_eq!(c.num_qubits(), 8);
         assert_eq!(Circuit::from_gates(Vec::new()).num_qubits(), 0);
+    }
+
+    #[test]
+    fn content_hash_distinguishes_structure() {
+        let a = Circuit::from_gates(vec![Gate::cnot(0, 1), Gate::T(2)]);
+        let same = Circuit::from_gates(vec![Gate::cnot(0, 1), Gate::T(2)]);
+        assert_eq!(a.content_hash(), same.content_hash());
+        // Gate order, gate kind, operands, and register width all matter.
+        let reordered = Circuit::from_gates(vec![Gate::T(2), Gate::cnot(0, 1)]);
+        let retargeted = Circuit::from_gates(vec![Gate::cnot(0, 2), Gate::T(2)]);
+        let rekinded = Circuit::from_gates(vec![Gate::cnot(0, 1), Gate::Tdg(2)]);
+        let mut widened = Circuit::new(9);
+        widened.push(Gate::cnot(0, 1));
+        widened.push(Gate::T(2));
+        for other in [&reordered, &retargeted, &rekinded, &widened] {
+            assert_ne!(a.content_hash(), other.content_hash());
+        }
     }
 }

@@ -1,0 +1,99 @@
+//! Minimal stable content hashing (128-bit FNV-1a).
+//!
+//! The workspace's content-addressing layers — [`Circuit::content_hash`]
+//! and the compile cache's key in `spire::cache` — need a hash that is
+//! stable across processes and platforms (ruling out `std`'s randomized
+//! `DefaultHasher`) without pulling in an external crate. FNV-1a at 128
+//! bits is tiny, well-known, and collision-resistant enough for cache
+//! keys over kilobyte-sized inputs.
+//!
+//! [`Circuit::content_hash`]: crate::Circuit::content_hash
+
+/// A streaming 128-bit FNV-1a hasher.
+///
+/// # Example
+///
+/// ```
+/// use qcirc::hash::Fnv1a128;
+///
+/// let mut h = Fnv1a128::new();
+/// h.write(b"abc");
+/// let once = h.finish();
+/// assert_eq!(once, Fnv1a128::of(b"abc"));
+/// assert_ne!(once, Fnv1a128::of(b"abd"));
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv1a128(u128);
+
+/// 128-bit FNV-1a offset basis.
+const FNV_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+/// 128-bit FNV-1a prime.
+const FNV_PRIME: u128 = 0x0000000001000000000000000000013b;
+
+impl Fnv1a128 {
+    /// A hasher at the offset basis.
+    pub fn new() -> Self {
+        Fnv1a128(FNV_OFFSET)
+    }
+
+    /// Hash one byte slice from scratch.
+    pub fn of(bytes: &[u8]) -> u128 {
+        let mut hasher = Fnv1a128::new();
+        hasher.write(bytes);
+        hasher.finish()
+    }
+
+    /// Absorb bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.0 ^= byte as u128;
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Absorb a `u32` (little-endian).
+    pub fn write_u32(&mut self, word: u32) {
+        self.write(&word.to_le_bytes());
+    }
+
+    /// Absorb a byte slice prefixed by its length, so adjacent
+    /// variable-length fields cannot collide by concatenation.
+    pub fn write_len_prefixed(&mut self, bytes: &[u8]) {
+        self.write(&(bytes.len() as u64).to_le_bytes());
+        self.write(bytes);
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u128 {
+        self.0
+    }
+}
+
+impl Default for Fnv1a128 {
+    fn default() -> Self {
+        Fnv1a128::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_reference_vectors() {
+        // Standard FNV-1a 128-bit test vectors.
+        assert_eq!(Fnv1a128::of(b""), FNV_OFFSET);
+        assert_eq!(Fnv1a128::of(b"a"), 0xd228cb696f1a8caf78912b704e4a8964);
+    }
+
+    #[test]
+    fn length_prefix_prevents_concatenation_collisions() {
+        let mut ab_c = Fnv1a128::new();
+        ab_c.write_len_prefixed(b"ab");
+        ab_c.write_len_prefixed(b"c");
+        let mut a_bc = Fnv1a128::new();
+        a_bc.write_len_prefixed(b"a");
+        a_bc.write_len_prefixed(b"bc");
+        assert_ne!(ab_c.finish(), a_bc.finish());
+    }
+}

@@ -220,6 +220,59 @@ impl GateHistogram {
     pub fn is_empty(&self) -> bool {
         self.mcx.iter().all(|&n| n == 0) && self.mch.iter().all(|&n| n == 0)
     }
+
+    /// Nonzero MCX entries as `(controls, count)` pairs, ascending arity.
+    pub fn mcx_counts(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.mcx
+            .iter()
+            .enumerate()
+            .filter(|&(_, &n)| n > 0)
+            .map(|(c, &n)| (c, n))
+    }
+
+    /// Nonzero MCH entries as `(controls, count)` pairs, ascending arity.
+    pub fn mch_counts(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.mch
+            .iter()
+            .enumerate()
+            .filter(|&(_, &n)| n > 0)
+            .map(|(c, &n)| (c, n))
+    }
+
+    /// Serialize as a JSON object.
+    ///
+    /// The arity histograms are arrays of `[controls, count]` pairs (only
+    /// nonzero entries), alongside the derived complexity measures, e.g.
+    /// `{"mcx":[[2,3]],"mch":[],"mcx_complexity":3,"t_complexity":21,...}`.
+    ///
+    /// ```
+    /// use qcirc::{Gate, GateHistogram};
+    ///
+    /// let mut hist = GateHistogram::new();
+    /// hist.record(&Gate::toffoli(0, 1, 2));
+    /// assert_eq!(
+    ///     hist.to_json(),
+    ///     r#"{"mcx":[[2,1]],"mch":[],"mcx_complexity":1,"t_complexity":7,"toffoli_count":1,"max_controls":2}"#
+    /// );
+    /// ```
+    pub fn to_json(&self) -> String {
+        let pairs = |entries: Vec<(usize, u64)>| {
+            let cells: Vec<String> = entries
+                .into_iter()
+                .map(|(c, n)| format!("[{c},{n}]"))
+                .collect();
+            format!("[{}]", cells.join(","))
+        };
+        format!(
+            "{{\"mcx\":{},\"mch\":{},\"mcx_complexity\":{},\"t_complexity\":{},\"toffoli_count\":{},\"max_controls\":{}}}",
+            pairs(self.mcx_counts().collect()),
+            pairs(self.mch_counts().collect()),
+            self.mcx_complexity(),
+            self.t_complexity(),
+            self.toffoli_count(),
+            self.max_controls(),
+        )
+    }
 }
 
 impl Add for GateHistogram {
@@ -321,6 +374,27 @@ impl CliffordTCounts {
         self.t + self.tdg + 7 * self.toffoli + 2 * self.ch
         // mcx_large is intentionally not folded in: callers decompose first,
         // and the tests assert mcx_large == 0 before reading t_count.
+    }
+
+    /// Serialize as a flat JSON object of gate counters plus the derived
+    /// `t_count` and `total`.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"x\":{},\"cnot\":{},\"toffoli\":{},\"mcx_large\":{},\"h\":{},\"ch\":{},\"t\":{},\"tdg\":{},\"s\":{},\"sdg\":{},\"z\":{},\"t_count\":{},\"total\":{}}}",
+            self.x,
+            self.cnot,
+            self.toffoli,
+            self.mcx_large,
+            self.h,
+            self.ch,
+            self.t,
+            self.tdg,
+            self.s,
+            self.sdg,
+            self.z,
+            self.t_count(),
+            self.total(),
+        )
     }
 
     /// Total number of gates counted.

@@ -47,6 +47,7 @@ mod histogram;
 mod sink;
 
 pub mod decompose;
+pub mod hash;
 pub mod qcformat;
 pub mod sim;
 

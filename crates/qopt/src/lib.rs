@@ -38,7 +38,7 @@ mod cancel;
 mod commute;
 mod passes;
 mod phase_fold;
-mod search;
+pub mod search;
 
 pub use cancel::{cancel_fixpoint, cancel_with_window};
 pub use commute::commutes;

@@ -5,12 +5,18 @@
 //! spire-cli analyze <file.twr> --entry f --depth n
 //! spire-cli benchmarks
 //! spire-cli experiments <fig2|fig12|fig15a|fig15b|table1|table2|table4|table5|fig24|appendix-a|all>
+//! spire-cli report [--out-dir reports] [--threads n] [--quick] [--check]
 //! ```
 
+#![warn(missing_docs)]
+
 use std::fs;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use bench_suite::experiments;
+use bench_suite::report::normalize_timings;
+use bench_suite::runner::{self, MatrixParams, RunSummary, RunnerEvent};
 use qcirc::sim::{BasisState, SparseState};
 use spire::{compile_source, CompileOptions, Compiled, Machine, OptConfig};
 use tower::WordConfig;
@@ -22,6 +28,7 @@ fn main() -> ExitCode {
         Some("analyze") => cmd_analyze(&args[1..]),
         Some("benchmarks") => cmd_benchmarks(),
         Some("experiments") => cmd_experiments(&args[1..]),
+        Some("report") => cmd_report(&args[1..]),
         _ => {
             eprintln!("{USAGE}");
             return ExitCode::FAILURE;
@@ -42,10 +49,17 @@ const USAGE: &str = "usage:
   spire-cli analyze <file.twr> --entry <fun> --depth <n>
   spire-cli benchmarks
   spire-cli experiments <fig2|fig12|fig15a|fig15b|table1|table2|table4|table5|fig24|appendix-a|all>
+  spire-cli report [--out-dir <dir>] [--threads <n>] [--quick] [--check]
 
   --simulate runs the compiled circuit (sparse backend for layouts of up
   to 64 qubits, classical otherwise) and prints every live variable;
-  --set initializes an input register first.";
+  --set initializes an input register first.
+
+  report regenerates every paper table/figure artifact in parallel
+  (Markdown + JSON under --out-dir, default `reports/`). --check
+  regenerates and diffs the Markdown against the committed snapshot in
+  `reports/` (timing cells normalized) instead of overwriting it, and
+  fails on drift. --quick runs a reduced matrix for smoke testing.";
 
 fn flag(args: &[String], name: &str) -> Option<String> {
     args.iter()
@@ -229,6 +243,272 @@ fn cmd_benchmarks() -> Result<(), String> {
         );
     }
     Ok(())
+}
+
+/// `report`: the parallel artifact pipeline (see `docs/EXPERIMENTS.md`).
+fn cmd_report(args: &[String]) -> Result<(), String> {
+    let out_dir = PathBuf::from(flag(args, "--out-dir").unwrap_or_else(|| "reports".into()));
+    let check = args.iter().any(|a| a == "--check");
+    let quick = args.iter().any(|a| a == "--quick");
+    let threads = match flag(args, "--threads") {
+        Some(n) => n.parse().map_err(|e| format!("bad --threads: {e}"))?,
+        None => runner::default_threads(),
+    };
+    if threads == 0 {
+        return Err("--threads must be at least 1".into());
+    }
+    let params = if quick {
+        MatrixParams::quick()
+    } else {
+        MatrixParams::paper()
+    };
+
+    let summary = runner::run_all(&params, threads, &|event| match event {
+        RunnerEvent::WarmStart { jobs, threads } => {
+            println!("warming compile cache: {jobs} configurations on {threads} threads");
+        }
+        RunnerEvent::WarmDone { jobs, wall } => {
+            println!(
+                "warmed {jobs} configurations in {:.3} s",
+                wall.as_secs_f64()
+            );
+        }
+        RunnerEvent::ArtifactDone {
+            id,
+            wall,
+            done,
+            total,
+        } => {
+            println!("[{done}/{total}] {id} in {:.3} s", wall.as_secs_f64());
+        }
+    });
+    println!(
+        "pipeline: {} artifacts in {:.3} s on {} threads (peak parallelism {}), cache {}",
+        summary.artifacts.len(),
+        summary.wall.as_secs_f64(),
+        summary.threads,
+        summary.parallelism.peak,
+        summary.cache,
+    );
+
+    // The snapshot being checked against is never overwritten: a plain
+    // `report --check` is a pure read-only verification, whatever
+    // spelling of the snapshot path --out-dir uses.
+    let snapshot_dir = Path::new("reports");
+    let write = !check || !same_dir(&out_dir, snapshot_dir);
+    if write {
+        write_reports(&out_dir, &summary)?;
+        println!(
+            "wrote {} to {}",
+            artifact_file_list(&summary),
+            out_dir.display()
+        );
+    }
+    if check {
+        check_reports(snapshot_dir, &summary)?;
+        println!(
+            "report check passed: {} artifacts match {}",
+            summary.artifacts.len(),
+            snapshot_dir.display()
+        );
+    }
+    Ok(())
+}
+
+/// Whether two directory paths name the same location, robust to
+/// spelling differences (`reports`, `./reports`, `reports/`, absolute).
+/// Falls back to lexical normalization when a path does not exist yet.
+fn same_dir(a: &Path, b: &Path) -> bool {
+    match (fs::canonicalize(a), fs::canonicalize(b)) {
+        (Ok(a), Ok(b)) => a == b,
+        _ => {
+            let normalize = |p: &Path| -> PathBuf {
+                let absolute = std::env::current_dir().unwrap_or_default().join(p);
+                let mut out = PathBuf::new();
+                for component in absolute.components() {
+                    match component {
+                        std::path::Component::CurDir => {}
+                        std::path::Component::ParentDir => {
+                            out.pop();
+                        }
+                        other => out.push(other),
+                    }
+                }
+                out
+            };
+            normalize(a) == normalize(b)
+        }
+    }
+}
+
+fn artifact_file_list(summary: &RunSummary) -> String {
+    format!(
+        "{} artifacts (Markdown + JSON), README.md, summary.json",
+        summary.artifacts.len()
+    )
+}
+
+/// Write every artifact as `<id>.md` and `<id>.json`, plus the index
+/// (`README.md`) and the machine-readable run metadata (`summary.json`).
+fn write_reports(dir: &Path, summary: &RunSummary) -> Result<(), String> {
+    fs::create_dir_all(dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+    let write = |name: String, content: String| -> Result<(), String> {
+        let path = dir.join(name);
+        fs::write(&path, content).map_err(|e| format!("writing {}: {e}", path.display()))
+    };
+    for result in &summary.artifacts {
+        write(format!("{}.md", result.spec.id), artifact_markdown(result))?;
+        write(
+            format!("{}.json", result.spec.id),
+            format!("{}\n", result.artifact.to_json()),
+        )?;
+    }
+    write("README.md".into(), index_markdown(summary))?;
+    write("summary.json".into(), summary_json(summary))?;
+    Ok(())
+}
+
+/// The Markdown document for one artifact (this is what the drift check
+/// compares, after timing normalization).
+fn artifact_markdown(result: &bench_suite::runner::ArtifactResult) -> String {
+    format!(
+        "<!-- generated by `spire-cli report`; do not edit (see docs/EXPERIMENTS.md) -->\n\n{}",
+        result.artifact.to_markdown()
+    )
+}
+
+/// The `reports/README.md` index: one row per artifact. Deliberately free
+/// of timings and machine details so it is as stable as the artifacts.
+fn index_markdown(summary: &RunSummary) -> String {
+    let mut out = String::from(
+        "<!-- generated by `spire-cli report`; do not edit (see docs/EXPERIMENTS.md) -->\n\n\
+         # Paper artifacts\n\n\
+         Every table and figure of the evaluation, regenerated by\n\
+         `cargo run --release -p spire-cli -- report`. The experiment index in\n\
+         [docs/EXPERIMENTS.md](../docs/EXPERIMENTS.md) maps each artifact to the paper and to\n\
+         the code that produces it.\n\n\
+         | artifact | reproduces | generator | files |\n|---|---|---|---|\n",
+    );
+    for result in &summary.artifacts {
+        let id = result.spec.id;
+        out.push_str(&format!(
+            "| {} | {} | `{}` | [{id}.md]({id}.md), [{id}.json]({id}.json) |\n",
+            result.artifact.title(),
+            result.spec.paper_ref,
+            result.spec.function,
+        ));
+    }
+    out
+}
+
+/// Machine-readable run metadata: timings, cache statistics, and the gate
+/// histograms of every benchmark at a reference depth (the `qcirc`
+/// histogram serialization). Not drift-checked — it contains timings.
+fn summary_json(summary: &RunSummary) -> String {
+    use bench_suite::report::json_string;
+    let artifacts: Vec<String> = summary
+        .artifacts
+        .iter()
+        .map(|r| {
+            format!(
+                "{{\"id\":{},\"paper_ref\":{},\"function\":{},\"seconds\":{:.6}}}",
+                json_string(r.spec.id),
+                json_string(r.spec.paper_ref),
+                json_string(r.spec.function),
+                r.wall.as_secs_f64(),
+            )
+        })
+        .collect();
+    let reference_depth = 4;
+    let histograms: Vec<String> = bench_suite::programs::all_benchmarks()
+        .iter()
+        .map(|bench| {
+            let depth = if bench.constant { 0 } else { reference_depth };
+            let compiled = |options: &CompileOptions| {
+                spire::compile_source_cached(
+                    &bench.source,
+                    bench.entry,
+                    depth,
+                    WordConfig::paper_default(),
+                    options,
+                )
+            };
+            let hist = |options: &CompileOptions| {
+                compiled(options)
+                    .map(|c| c.histogram().to_json())
+                    .unwrap_or_else(|_| "null".into())
+            };
+            // The fully decomposed Clifford+T gate counts of the
+            // Spire-optimized circuit (Tables 5/6 currency).
+            let clifford_t = compiled(&CompileOptions::spire())
+                .ok()
+                .and_then(|c| qcirc::decompose::to_clifford_t(&c.emit()).ok())
+                .map(|circuit| circuit.clifford_t_counts().to_json())
+                .unwrap_or_else(|| "null".into());
+            format!(
+                "{{\"name\":{},\"group\":{},\"entry\":{},\"depth\":{depth},\"baseline\":{},\"spire\":{},\"spire_clifford_t\":{}}}",
+                json_string(bench.name),
+                json_string(bench.group),
+                json_string(bench.entry),
+                hist(&CompileOptions::baseline()),
+                hist(&CompileOptions::spire()),
+                clifford_t,
+            )
+        })
+        .collect();
+    format!(
+        "{{\"threads\":{},\"warm_jobs\":{},\"warm_seconds\":{:.6},\"wall_seconds\":{:.6},\
+         \"peak_parallelism\":{},\"cache\":{{\"hits\":{},\"misses\":{},\"entries\":{}}},\
+         \"artifacts\":[{}],\"benchmark_histograms\":[{}]}}\n",
+        summary.threads,
+        summary.warm_jobs,
+        summary.warm_wall.as_secs_f64(),
+        summary.wall.as_secs_f64(),
+        summary.parallelism.peak,
+        summary.cache.hits,
+        summary.cache.misses,
+        summary.cache.entries,
+        artifacts.join(","),
+        histograms.join(","),
+    )
+}
+
+/// Compare the regenerated Markdown against the committed snapshot,
+/// normalizing wall-clock timing cells on both sides.
+fn check_reports(snapshot_dir: &Path, summary: &RunSummary) -> Result<(), String> {
+    let mut drifted = Vec::new();
+    for result in &summary.artifacts {
+        let name = format!("{}.md", result.spec.id);
+        let path = snapshot_dir.join(&name);
+        let committed = match fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) => {
+                drifted.push(format!("{name}: unreadable ({e})"));
+                continue;
+            }
+        };
+        let fresh = artifact_markdown(result);
+        if normalize_timings(&committed) != normalize_timings(&fresh) {
+            drifted.push(format!("{name}: content differs"));
+        }
+    }
+    let index_path = snapshot_dir.join("README.md");
+    match fs::read_to_string(&index_path) {
+        Ok(committed) if committed == index_markdown(summary) => {}
+        Ok(_) => drifted.push("README.md: content differs".into()),
+        Err(e) => drifted.push(format!("README.md: unreadable ({e})")),
+    }
+    if drifted.is_empty() {
+        Ok(())
+    } else {
+        Err(format!(
+            "report drift against {} in {} file(s):\n  {}\n\
+             regenerate with `cargo run --release -p spire-cli -- report` and commit the result",
+            snapshot_dir.display(),
+            drifted.len(),
+            drifted.join("\n  ")
+        ))
+    }
 }
 
 fn cmd_experiments(args: &[String]) -> Result<(), String> {

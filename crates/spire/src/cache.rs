@@ -1,0 +1,304 @@
+//! Content-addressed compile cache.
+//!
+//! The experiment matrix of the paper's evaluation (12 benchmarks ×
+//! depths 2..=10 × every optimization configuration) compiles the same
+//! `(source, entry, depth, WordConfig, CompileOptions)` tuples over and
+//! over: every figure regenerator sweeps the same depth range, and the
+//! tables re-compile the programs the figures already compiled. A
+//! [`CompileCache`] memoizes those compilations behind a *content
+//! address* — a stable 128-bit FNV-1a hash of the source text and every
+//! input that affects the compiler's output — so a repeated configuration
+//! returns its [`Compiled`] program as a cheap `Arc` clone.
+//!
+//! The cache is thread-safe and designed for the fan-out in
+//! `bench-suite`'s parallel runner: lookups take a short-lived lock,
+//! compilation itself runs outside the lock (two threads racing on the
+//! same key may both compile; the duplicate insert is benign and the
+//! results are identical because compilation is deterministic), and hit
+//! and miss counts are observable through [`CompileCache::stats`].
+//! Compilation errors are *not* cached; a failing configuration fails
+//! again on the next call.
+//!
+//! # Example
+//!
+//! ```
+//! use spire::cache::CompileCache;
+//! use spire::CompileOptions;
+//! use tower::WordConfig;
+//!
+//! let cache = CompileCache::new();
+//! let src = "fun inc(x: uint) -> uint { let out <- x + 1; return out; }";
+//! let args = (src, "inc", 0, WordConfig::paper_default());
+//! let first = cache.get_or_compile(args.0, args.1, args.2, args.3, &CompileOptions::spire())?;
+//! let second = cache.get_or_compile(args.0, args.1, args.2, args.3, &CompileOptions::spire())?;
+//! assert!(std::sync::Arc::ptr_eq(&first, &second));
+//! assert_eq!(cache.stats().hits, 1);
+//! assert_eq!(cache.stats().misses, 1);
+//! # Ok::<(), spire::SpireError>(())
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use qcirc::hash::Fnv1a128;
+use tower::WordConfig;
+
+use crate::error::SpireError;
+use crate::layout::AllocPolicy;
+use crate::pipeline::{compile_source, CompileOptions, Compiled};
+
+/// A stable content address for one compilation.
+///
+/// The key covers everything that determines a [`Compiled`] program: the
+/// source text, the entry function, the recursion depth, the register
+/// widths ([`WordConfig`]), and the backend options ([`CompileOptions`] —
+/// both the optimization configuration and the allocation policy).
+/// Hashing is [`Fnv1a128`] over a length-prefixed serialization, so the
+/// key is stable across processes and platforms (unlike `std`'s
+/// `DefaultHasher`) and two different field values can never collide by
+/// concatenation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheKey(u128);
+
+impl CacheKey {
+    /// Compute the content address of one compilation request.
+    pub fn new(
+        source: &str,
+        entry: &str,
+        depth: i64,
+        config: WordConfig,
+        options: &CompileOptions,
+    ) -> Self {
+        let mut hasher = Fnv1a128::new();
+        hasher.write_len_prefixed(source.as_bytes());
+        hasher.write_len_prefixed(entry.as_bytes());
+        hasher.write_len_prefixed(&depth.to_le_bytes());
+        hasher.write_len_prefixed(&config.uint_bits.to_le_bytes());
+        hasher.write_len_prefixed(&config.ptr_bits.to_le_bytes());
+        hasher.write_len_prefixed(&[
+            options.opt.flattening as u8,
+            options.opt.narrowing as u8,
+            match options.policy {
+                AllocPolicy::Conservative => 0,
+                AllocPolicy::Aggressive => 1,
+            },
+        ]);
+        CacheKey(hasher.finish())
+    }
+
+    /// The raw 128-bit hash value.
+    pub fn value(&self) -> u128 {
+        self.0
+    }
+}
+
+impl fmt::Display for CacheKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+/// Counters observed on a [`CompileCache`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Requests answered from the cache.
+    pub hits: u64,
+    /// Requests that had to compile.
+    pub misses: u64,
+    /// Distinct compiled programs currently stored.
+    pub entries: usize,
+}
+
+impl CacheStats {
+    /// Counter difference since an earlier snapshot (entry count is the
+    /// current value, not a difference).
+    pub fn since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+            entries: self.entries,
+        }
+    }
+}
+
+impl fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} hits / {} misses ({} cached)",
+            self.hits, self.misses, self.entries
+        )
+    }
+}
+
+/// A thread-safe, content-addressed cache of compiled programs.
+#[derive(Debug, Default)]
+pub struct CompileCache {
+    entries: Mutex<HashMap<u128, Arc<Compiled>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl CompileCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        CompileCache::default()
+    }
+
+    /// The process-wide shared cache.
+    ///
+    /// The experiment regenerators in `bench-suite` route every
+    /// compilation through this instance, so sweeps that revisit a
+    /// configuration (and a second pipeline run in the same process) get
+    /// cache hits without threading a cache handle through every API.
+    pub fn global() -> &'static CompileCache {
+        static GLOBAL: OnceLock<CompileCache> = OnceLock::new();
+        GLOBAL.get_or_init(CompileCache::new)
+    }
+
+    /// Return the cached compilation for this request, compiling on miss.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`compile_source`] errors; failures are never cached.
+    pub fn get_or_compile(
+        &self,
+        source: &str,
+        entry: &str,
+        depth: i64,
+        config: WordConfig,
+        options: &CompileOptions,
+    ) -> Result<Arc<Compiled>, SpireError> {
+        let key = CacheKey::new(source, entry, depth, config, options);
+        if let Some(found) = self.lookup(key) {
+            return Ok(found);
+        }
+        let compiled = Arc::new(compile_source(source, entry, depth, config, options)?);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut entries = self.entries.lock().expect("compile cache poisoned");
+        // A racing thread may have inserted the same key; keep the first
+        // insert so existing Arcs stay shared.
+        Ok(entries.entry(key.0).or_insert(compiled).clone())
+    }
+
+    /// Look up a key without compiling. Counts a hit when present.
+    pub fn lookup(&self, key: CacheKey) -> Option<Arc<Compiled>> {
+        let entries = self.entries.lock().expect("compile cache poisoned");
+        let found = entries.get(&key.0).cloned();
+        if found.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        found
+    }
+
+    /// Number of cached programs.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("compile cache poisoned").len()
+    }
+
+    /// Whether the cache holds no programs.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop every cached program (counters are kept).
+    pub fn clear(&self) {
+        self.entries.lock().expect("compile cache poisoned").clear();
+    }
+
+    /// Current hit/miss/entry counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.len(),
+        }
+    }
+}
+
+/// Compile through the process-wide [`CompileCache::global`] cache.
+///
+/// Drop-in cached variant of [`compile_source`]; returns a shared handle
+/// to the (immutable) compilation.
+///
+/// # Errors
+///
+/// Propagates [`compile_source`] errors; failures are never cached.
+pub fn compile_source_cached(
+    source: &str,
+    entry: &str,
+    depth: i64,
+    config: WordConfig,
+    options: &CompileOptions,
+) -> Result<Arc<Compiled>, SpireError> {
+    CompileCache::global().get_or_compile(source, entry, depth, config, options)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: &str = "fun inc(x: uint) -> uint { let out <- x + 1; return out; }";
+
+    #[test]
+    fn keys_are_stable_and_sensitive() {
+        let base = CacheKey::new(
+            SRC,
+            "inc",
+            0,
+            WordConfig::paper_default(),
+            &CompileOptions::spire(),
+        );
+        // Stable: same inputs, same key (also across processes — FNV-1a).
+        assert_eq!(
+            base,
+            CacheKey::new(
+                SRC,
+                "inc",
+                0,
+                WordConfig::paper_default(),
+                &CompileOptions::spire(),
+            )
+        );
+        // Length-prefixing prevents concatenation collisions.
+        assert_ne!(
+            CacheKey::new("ab", "c", 0, WordConfig::tiny(), &CompileOptions::spire()),
+            CacheKey::new("a", "bc", 0, WordConfig::tiny(), &CompileOptions::spire()),
+        );
+    }
+
+    #[test]
+    fn hit_returns_shared_arc() {
+        let cache = CompileCache::new();
+        let options = CompileOptions::spire();
+        let first = cache
+            .get_or_compile(SRC, "inc", 0, WordConfig::tiny(), &options)
+            .unwrap();
+        let second = cache
+            .get_or_compile(SRC, "inc", 0, WordConfig::tiny(), &options)
+            .unwrap();
+        assert!(Arc::ptr_eq(&first, &second));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn errors_are_not_cached() {
+        let cache = CompileCache::new();
+        for _ in 0..2 {
+            assert!(cache
+                .get_or_compile(
+                    "fun broken(",
+                    "broken",
+                    0,
+                    WordConfig::tiny(),
+                    &CompileOptions::baseline(),
+                )
+                .is_err());
+        }
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().misses, 0);
+    }
+}

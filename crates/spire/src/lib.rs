@@ -17,8 +17,9 @@
 //!
 //! Around them sits the rest of the Tower backend (Section 7): register
 //! allocation with the Appendix-D soundness constraint ([`layout`]), the
-//! abstract circuit ([`abstract_circuit`]), and concrete MCX code
-//! generation ([`select`], [`compile_source`]).
+//! abstract circuit ([`abstract_circuit`]), concrete MCX code generation
+//! ([`select()`], [`compile_source`]), and the content-addressed compile
+//! cache behind the experiment pipeline ([`cache`]).
 //!
 //! # Example
 //!
@@ -52,15 +53,17 @@
 #![warn(missing_debug_implementations)]
 
 pub mod abstract_circuit;
+pub mod cache;
 pub mod cost;
 mod error;
 pub mod layout;
 mod machine;
 pub mod opt;
 mod pipeline;
-mod select;
+pub mod select;
 
 pub use abstract_circuit::{AInstr, AOp};
+pub use cache::{compile_source_cached, CacheKey, CacheStats, CompileCache};
 pub use error::SpireError;
 pub use layout::{AllocPolicy, Layout, MemoryLayout, Reg};
 pub use machine::Machine;

@@ -1,0 +1,60 @@
+//! Property-based test for the compile cache: over a random slice of the
+//! compilation input space (program × depth × register widths ×
+//! optimization configuration), a cached compilation is indistinguishable
+//! from a fresh one — identical exact-cost histograms and identical
+//! emitted circuits — and repeated lookups keep returning it.
+
+use proptest::prelude::*;
+use spire::cache::CompileCache;
+use spire::{compile_source, CompileOptions, OptConfig};
+use tower::WordConfig;
+
+fn opt_configs() -> [OptConfig; 4] {
+    [
+        OptConfig::none(),
+        OptConfig::narrowing_only(),
+        OptConfig::flattening_only(),
+        OptConfig::spire(),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn cached_and_fresh_compilations_agree(
+        bench_index in 0usize..12,
+        depth in 0i64..5,
+        uint_bits in 2u32..10,
+        ptr_bits in 2u32..6,
+        opt_index in 0usize..4,
+    ) {
+        let benchmarks = bench_suite::programs::all_benchmarks();
+        let bench = &benchmarks[bench_index];
+        let depth = if bench.constant { 0 } else { depth };
+        let config = WordConfig { uint_bits, ptr_bits };
+        let options = CompileOptions::with_opt(opt_configs()[opt_index]);
+
+        let fresh = compile_source(&bench.source, bench.entry, depth, config, &options)
+            .expect("benchmarks compile at any sampled configuration");
+
+        let cache = CompileCache::new();
+        let miss = cache
+            .get_or_compile(&bench.source, bench.entry, depth, config, &options)
+            .expect("cached compile succeeds when fresh compile does");
+        let hit = cache
+            .get_or_compile(&bench.source, bench.entry, depth, config, &options)
+            .expect("hit path succeeds");
+
+        prop_assert!(std::sync::Arc::ptr_eq(&miss, &hit));
+        prop_assert_eq!(cache.stats().hits, 1);
+        prop_assert_eq!(cache.stats().misses, 1);
+
+        // The cost model's histogram (and therefore both complexity
+        // measures) and the emitted circuit agree exactly.
+        prop_assert_eq!(fresh.histogram(), hit.histogram());
+        prop_assert_eq!(fresh.t_complexity(), hit.t_complexity());
+        prop_assert_eq!(fresh.mcx_complexity(), hit.mcx_complexity());
+        prop_assert_eq!(fresh.emit().gates(), hit.emit().gates());
+    }
+}

@@ -1,0 +1,208 @@
+//! The documentation cannot drift from the implementation:
+//!
+//! * every fenced `tower` code block in `docs/TOWER.md` is a complete
+//!   program and must compile (baseline and Spire-optimized);
+//! * `docs/EXPERIMENTS.md` must index every artifact the pipeline
+//!   produces, by id and by generator function;
+//! * the README quick-tour transcript's gate counts are recomputed from
+//!   the same program the `quickstart` example compiles, and its
+//!   simulated result is re-executed.
+
+use bench_suite::runner::artifact_specs;
+use spire::{compile_source, CompileOptions, Machine};
+use tower::WordConfig;
+
+const TOWER_MD: &str = include_str!("../docs/TOWER.md");
+const EXPERIMENTS_MD: &str = include_str!("../docs/EXPERIMENTS.md");
+const README_MD: &str = include_str!("../README.md");
+
+/// Extract fenced code blocks with the given info string.
+fn fenced_blocks(markdown: &str, language: &str) -> Vec<String> {
+    let mut blocks = Vec::new();
+    let mut current: Option<String> = None;
+    for line in markdown.lines() {
+        match &mut current {
+            Some(block) => {
+                if line.trim_end() == "```" {
+                    blocks.push(current.take().expect("block in progress"));
+                } else {
+                    block.push_str(line);
+                    block.push('\n');
+                }
+            }
+            None => {
+                if line.trim_end() == format!("```{language}") {
+                    current = Some(String::new());
+                }
+            }
+        }
+    }
+    assert!(current.is_none(), "unterminated ```{language} block");
+    blocks
+}
+
+/// The entry point of a doc example: its first declared function.
+fn first_fun(source: &str) -> &str {
+    let rest = source
+        .split("fun ")
+        .nth(1)
+        .expect("doc example declares a function");
+    rest.split(|c: char| c == '[' || c == '(' || c.is_whitespace())
+        .next()
+        .expect("function has a name")
+}
+
+#[test]
+fn every_tower_block_in_the_language_reference_compiles() {
+    let blocks = fenced_blocks(TOWER_MD, "tower");
+    assert!(
+        blocks.len() >= 8,
+        "TOWER.md should be example-rich, found {} blocks",
+        blocks.len()
+    );
+    for (index, source) in blocks.iter().enumerate() {
+        let entry = first_fun(source);
+        // Depth 3 exercises the unrolling for recursive examples; a
+        // depth argument on a function without a depth parameter is
+        // simply unused.
+        for options in [CompileOptions::baseline(), CompileOptions::spire()] {
+            let compiled = compile_source(source, entry, 3, WordConfig::paper_default(), &options)
+                .unwrap_or_else(|e| {
+                    panic!("TOWER.md block #{index} (`{entry}`) failed to compile: {e}\n{source}")
+                });
+            assert!(
+                compiled.mcx_complexity() > 0,
+                "TOWER.md block #{index} (`{entry}`) compiled to an empty circuit"
+            );
+        }
+    }
+}
+
+#[test]
+fn experiment_index_covers_every_artifact() {
+    for spec in artifact_specs() {
+        assert!(
+            EXPERIMENTS_MD.contains(&format!("reports/{}.md", spec.id)),
+            "docs/EXPERIMENTS.md does not link the report file for {}",
+            spec.id
+        );
+        let function = spec
+            .function
+            .strip_prefix("experiments::")
+            .unwrap_or(spec.function);
+        assert!(
+            EXPERIMENTS_MD.contains(function),
+            "docs/EXPERIMENTS.md does not name the generator for {}",
+            spec.id
+        );
+        assert!(
+            EXPERIMENTS_MD.contains(spec.paper_ref),
+            "docs/EXPERIMENTS.md does not mention {} ({})",
+            spec.paper_ref,
+            spec.id
+        );
+    }
+}
+
+/// The `length` program of the README quick tour / `examples/quickstart.rs`.
+const QUICKSTART_LENGTH: &str = r#"
+type list = (uint, ptr<list>);
+
+fun length[n](xs: ptr<list>, acc: uint) -> uint {
+    with {
+        let is_empty <- xs == null;
+    } do if is_empty {
+        let out <- acc;
+    } else with {
+        let temp <- default<list>;
+        *xs <-> temp;
+        let next <- temp.2;
+        let r <- acc + 1;
+    } do {
+        let out <- length[n-1](next, r);
+    }
+    return out;
+}
+"#;
+
+/// Parse the integers out of a quick-tour transcript line.
+fn numbers(line: &str) -> Vec<u64> {
+    let mut out = Vec::new();
+    let mut current = String::new();
+    for ch in line.chars() {
+        if ch.is_ascii_digit() {
+            current.push(ch);
+        } else if !current.is_empty() {
+            out.push(current.parse().expect("digits parse"));
+            current.clear();
+        }
+    }
+    if !current.is_empty() {
+        out.push(current.parse().expect("digits parse"));
+    }
+    out
+}
+
+#[test]
+fn readme_quick_tour_numbers_are_not_hand_pinned_drift() {
+    let config = WordConfig::paper_default();
+    let baseline = compile_source(
+        QUICKSTART_LENGTH,
+        "length",
+        8,
+        config,
+        &CompileOptions::baseline(),
+    )
+    .expect("quickstart program compiles");
+    let optimized = compile_source(
+        QUICKSTART_LENGTH,
+        "length",
+        8,
+        config,
+        &CompileOptions::spire(),
+    )
+    .expect("quickstart program compiles");
+
+    let line = |needle: &str| {
+        README_MD
+            .lines()
+            .find(|l| l.contains(needle))
+            .unwrap_or_else(|| panic!("README quick tour lost its `{needle}` line"))
+    };
+
+    // `unoptimized:    11536 MCX gates,   257880 T gates`
+    let unopt = numbers(line("unoptimized:"));
+    assert_eq!(
+        unopt,
+        vec![baseline.mcx_complexity(), baseline.t_complexity()],
+        "README unoptimized gate counts drifted; regenerate with \
+         `cargo run --release --example quickstart`"
+    );
+
+    // `spire:          11564 MCX gates,    42980 T gates  (83% fewer T)`
+    let spire_line = numbers(line("spire:"));
+    let percent =
+        100 * (baseline.t_complexity() - optimized.t_complexity()) / baseline.t_complexity();
+    assert_eq!(
+        spire_line,
+        vec![
+            optimized.mcx_complexity(),
+            optimized.t_complexity(),
+            percent
+        ],
+        "README spire gate counts drifted; regenerate with \
+         `cargo run --release --example quickstart`"
+    );
+
+    // `length([10, 20, 30]) = 3` — re-run the simulation.
+    let mut machine = Machine::new(&optimized.layout);
+    let head = machine.build_list(&[10, 20, 30]);
+    machine.set_var("xs", head).expect("xs exists");
+    machine.run(&optimized.emit()).expect("circuit runs");
+    assert_eq!(machine.var("out").expect("out exists"), 3);
+    assert_eq!(
+        numbers(line("length([10, 20, 30])")),
+        vec![10, 20, 30, 3],
+        "README simulated result drifted"
+    );
+}

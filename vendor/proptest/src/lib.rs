@@ -1,7 +1,7 @@
 //! Vendored minimal stand-in for the
 //! [`proptest`](https://crates.io/crates/proptest) property-testing
 //! framework, exposing the API surface this workspace's tests use:
-//! [`Strategy`] with `prop_map`/`prop_filter`, range and tuple strategies,
+//! [`Strategy`](strategy::Strategy) with `prop_map`/`prop_filter`, range and tuple strategies,
 //! [`collection::vec`], [`prelude::any`], [`prop_oneof!`], the
 //! [`proptest!`] test macro with `#![proptest_config(..)]`, and the
 //! `prop_assert*` macros.
@@ -20,7 +20,7 @@
 //! `prop_filter` re-applies its predicate to candidates. Remaining
 //! deviations from real proptest's value-tree shrinking:
 //!
-//! * [`Strategy::prop_map`] does not shrink — the stand-in keeps no value
+//! * [`prop_map`](strategy::Strategy::prop_map) does not shrink — the stand-in keeps no value
 //!   tree, so there is no pre-image to shrink and re-map (use
 //!   `prop_filter` or shrink-friendly source strategies where minimal
 //!   counterexamples matter).
