@@ -3,8 +3,14 @@
 //! analogue, against Spire's program-level route. Reproduces the ordering
 //! peephole < mctExpand-style < long-range resynthesis, with Spire's
 //! own pass orders of magnitude cheaper than any of them.
+//!
+//! Besides the criterion loops, the target writes the machine-readable
+//! perf trajectory `BENCH_optimizer.json` at the repo root (per-pass wall
+//! times and gate throughput, with the pinned pre-refactor baseline; see
+//! `bench_suite::opt_bench`). Pass `--quick` (or set `OPT_BENCH_QUICK=1`)
+//! for the reduced smoke matrix CI runs and uploads.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, Criterion};
 use std::hint::black_box;
 
 use bench_suite::programs::LENGTH_SIMPLE;
@@ -12,8 +18,16 @@ use qopt::{AdjacentCancel, CircuitOptimizer, GlobalResynth, PhaseFoldLight, Toff
 use spire::{compile_source, CompileOptions};
 use tower::WordConfig;
 
+fn quick_mode() -> bool {
+    let env_quick = matches!(
+        std::env::var("OPT_BENCH_QUICK").ok().as_deref(),
+        Some(v) if !v.is_empty() && v != "0"
+    );
+    std::env::args().any(|a| a == "--quick") || env_quick
+}
+
 fn bench_optimizers(c: &mut Criterion) {
-    let depth = 8;
+    let (depth, samples) = if quick_mode() { (5, 5) } else { (8, 10) };
     let baseline = compile_source(
         LENGTH_SIMPLE,
         "length_simple",
@@ -24,8 +38,8 @@ fn bench_optimizers(c: &mut Criterion) {
     .expect("length-simplified compiles");
     let circuit = baseline.emit();
 
-    let mut group = c.benchmark_group("optimize-length-simple-d8");
-    group.sample_size(10);
+    let mut group = c.benchmark_group(format!("optimize-length-simple-d{depth}"));
+    group.sample_size(samples);
     group.bench_function("qiskit-like-peephole", |b| {
         b.iter(|| AdjacentCancel.optimize(black_box(&circuit)).len())
     });
@@ -55,4 +69,34 @@ fn bench_optimizers(c: &mut Criterion) {
 }
 
 criterion_group!(benches, bench_optimizers);
-criterion_main!(benches);
+
+fn main() {
+    benches();
+    let quick = quick_mode();
+    let report = bench_suite::opt_bench::run(quick);
+    // Bench binaries run with the package dir as cwd; write at the
+    // workspace root, where `spire-cli report` puts the file too.
+    let repo_root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root exists");
+    match bench_suite::opt_bench::write_json(&report, repo_root) {
+        Ok(path) => {
+            println!(
+                "\nwrote {} ({} mode, {} passes)",
+                path.display(),
+                report.mode,
+                report.entries.len()
+            );
+            if let Some(speedup) = report.headline_speedup() {
+                println!(
+                    "headline: {} at depth {} runs {speedup:.1}x the {} baseline",
+                    bench_suite::opt_bench::HEADLINE.2,
+                    bench_suite::opt_bench::HEADLINE.1,
+                    bench_suite::opt_bench::BASELINE_COMMIT,
+                );
+            }
+        }
+        Err(e) => eprintln!("could not write BENCH_optimizer.json: {e}"),
+    }
+}

@@ -13,6 +13,9 @@
 //!   cache across the experiment matrix on scoped worker threads, then
 //!   regenerates every artifact (`spire-cli report` is a thin shell over
 //!   it; `docs/EXPERIMENTS.md` is the artifact index).
+//! * [`opt_bench`] — the optimizer perf trajectory: per-pass wall times
+//!   and gate throughput over the headline benchmarks, serialized as
+//!   `BENCH_optimizer.json` with the pinned pre-refactor baseline.
 //!
 //! # Example
 //!
@@ -30,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod opt_bench;
 pub mod polyfit;
 pub mod programs;
 pub mod report;

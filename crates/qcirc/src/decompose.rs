@@ -30,7 +30,7 @@
 
 use crate::circuit::Circuit;
 use crate::error::QcircError;
-use crate::gate::{Gate, Qubit};
+use crate::gate::{Gate, GateKind, GateView, Qubit};
 use crate::sink::GateSink;
 
 /// Decompose every MCX gate with three or more controls into Toffoli gates
@@ -43,74 +43,100 @@ use crate::sink::GateSink;
 pub fn mcx_to_toffoli(circuit: &Circuit) -> Circuit {
     let ancilla_base = circuit.num_qubits();
     let mut out = Circuit::new(circuit.num_qubits());
-    for gate in circuit.gates() {
-        emit_toffoli_level(gate, ancilla_base, &mut out);
+    for view in circuit.iter() {
+        emit_toffoli_level_view(view, ancilla_base, &mut out);
     }
     out
 }
 
 /// Stream one MCX-level gate into `sink` at the Toffoli level.
 pub fn emit_toffoli_level<S: GateSink>(gate: &Gate, ancilla_base: Qubit, sink: &mut S) {
-    match gate {
-        Gate::Mcx { controls, target } if controls.len() <= 2 => {
-            sink.push_gate(gate.clone());
-            let _ = target;
-        }
-        Gate::Mcx { controls, target } => {
-            let chain = conjunction_chain(controls, ancilla_base, controls.len() - 2);
-            for g in &chain {
-                sink.push_gate(g.clone());
-            }
+    emit_toffoli_level_view(gate.as_view(), ancilla_base, sink);
+}
+
+/// Push a Toffoli onto `sink` without materializing a [`Gate`] (the
+/// controls live on the stack; `a < b` need not hold).
+fn push_toffoli<S: GateSink>(a: Qubit, b: Qubit, target: Qubit, sink: &mut S) {
+    let controls = if a <= b { [a, b] } else { [b, a] };
+    sink.push_view(GateView {
+        kind: GateKind::Mcx,
+        controls: &controls,
+        target,
+    });
+}
+
+/// Stream one MCX-level gate (as a view) into `sink` at the Toffoli level,
+/// allocation-free.
+pub fn emit_toffoli_level_view<S: GateSink>(view: GateView<'_>, ancilla_base: Qubit, sink: &mut S) {
+    let controls = view.controls;
+    match view.kind {
+        GateKind::Mcx if controls.len() <= 2 => sink.push_view(view),
+        GateKind::Mcx => {
+            let chain_len = controls.len() - 2;
+            emit_conjunction_chain(controls, ancilla_base, chain_len, false, sink);
             let top = ancilla_base + (controls.len() as Qubit - 3);
-            sink.push_gate(Gate::toffoli(top, controls[controls.len() - 1], *target));
-            for g in chain.iter().rev() {
-                sink.push_gate(g.clone());
-            }
+            push_toffoli(top, controls[controls.len() - 1], view.target, sink);
+            emit_conjunction_chain(controls, ancilla_base, chain_len, true, sink);
         }
-        Gate::Mch { controls, target } if controls.len() <= 1 => {
-            sink.push_gate(gate.clone());
-            let _ = target;
-        }
-        Gate::Mch { controls, target } => {
-            let chain = conjunction_chain(controls, ancilla_base, controls.len() - 1);
-            for g in &chain {
-                sink.push_gate(g.clone());
-            }
+        GateKind::Mch if controls.len() <= 1 => sink.push_view(view),
+        GateKind::Mch => {
+            let chain_len = controls.len() - 1;
+            emit_conjunction_chain(controls, ancilla_base, chain_len, false, sink);
             let top = ancilla_base + (controls.len() as Qubit - 2);
-            sink.push_gate(Gate::ch(top, *target));
-            for g in chain.iter().rev() {
-                sink.push_gate(g.clone());
-            }
+            let cs = [top];
+            sink.push_view(GateView {
+                kind: GateKind::Mch,
+                controls: &cs,
+                target: view.target,
+            });
+            emit_conjunction_chain(controls, ancilla_base, chain_len, true, sink);
         }
-        other => sink.push_gate(other.clone()),
+        _ => sink.push_view(view),
     }
 }
 
-/// Toffoli chain computing conjunctions of a control set into ancillas:
-/// `a_1 = c_1 ∧ c_2`, `a_i = a_{i-1} ∧ c_{i+1}` for `i < len`.
-fn conjunction_chain(controls: &[Qubit], ancilla_base: Qubit, len: usize) -> Vec<Gate> {
+/// Emit the Toffoli chain computing conjunctions of a control set into
+/// ancillas (`a_1 = c_1 ∧ c_2`, `a_i = a_{i-1} ∧ c_{i+1}` for `i < len`),
+/// in forward or reverse order, without building an intermediate vector.
+fn emit_conjunction_chain<S: GateSink>(
+    controls: &[Qubit],
+    ancilla_base: Qubit,
+    len: usize,
+    reversed: bool,
+    sink: &mut S,
+) {
     debug_assert!(len >= 1 && len < controls.len().max(2));
-    let mut chain = Vec::with_capacity(len);
-    chain.push(Gate::toffoli(controls[0], controls[1], ancilla_base));
-    for i in 1..len {
-        chain.push(Gate::toffoli(
-            ancilla_base + i as Qubit - 1,
-            controls[i + 1],
-            ancilla_base + i as Qubit,
-        ));
+    let emit_one = |i: usize, sink: &mut S| {
+        if i == 0 {
+            push_toffoli(controls[0], controls[1], ancilla_base, sink);
+        } else {
+            push_toffoli(
+                ancilla_base + i as Qubit - 1,
+                controls[i + 1],
+                ancilla_base + i as Qubit,
+                sink,
+            );
+        }
+    };
+    if reversed {
+        for i in (0..len).rev() {
+            emit_one(i, sink);
+        }
+    } else {
+        for i in 0..len {
+            emit_one(i, sink);
+        }
     }
-    chain
 }
 
 /// Number of ancillas [`mcx_to_toffoli`] needs for a circuit: the maximum
 /// over its gates of the per-gate ancilla requirement.
 pub fn ancillas_needed(circuit: &Circuit) -> u32 {
     circuit
-        .gates()
         .iter()
-        .map(|g| match g {
-            Gate::Mcx { controls, .. } => controls.len().saturating_sub(2) as u32,
-            Gate::Mch { controls, .. } => controls.len().saturating_sub(1) as u32,
+        .map(|v| match v.kind {
+            GateKind::Mcx => v.controls.len().saturating_sub(2) as u32,
+            GateKind::Mch => v.controls.len().saturating_sub(1) as u32,
             _ => 0,
         })
         .max()
@@ -126,29 +152,29 @@ pub fn ancillas_needed(circuit: &Circuit) -> u32 {
 /// remains; run [`mcx_to_toffoli`] first.
 pub fn toffoli_to_clifford_t(circuit: &Circuit) -> Result<Circuit, QcircError> {
     let mut out = Circuit::new(circuit.num_qubits());
-    for gate in circuit.gates() {
-        match gate {
-            Gate::Mcx { controls, target } => match controls[..] {
-                [] | [_] => out.push(gate.clone()),
-                [a, b] => emit_toffoli_7t(a, b, *target, &mut out),
+    for view in circuit.iter() {
+        match view.kind {
+            GateKind::Mcx => match view.controls[..] {
+                [] | [_] => out.push_view(view),
+                [a, b] => emit_toffoli_7t(a, b, view.target, &mut out),
                 _ => {
                     return Err(QcircError::ArityTooLarge {
                         max: 2,
-                        found: controls.len(),
+                        found: view.controls.len(),
                     })
                 }
             },
-            Gate::Mch { controls, target } => match controls[..] {
-                [] => out.push(gate.clone()),
-                [c] => emit_controlled_h(c, *target, &mut out),
+            GateKind::Mch => match view.controls[..] {
+                [] => out.push_view(view),
+                [c] => emit_controlled_h(c, view.target, &mut out),
                 _ => {
                     return Err(QcircError::ArityTooLarge {
                         max: 1,
-                        found: controls.len(),
+                        found: view.controls.len(),
                     })
                 }
             },
-            phase => out.push(phase.clone()),
+            _ => out.push_view(view),
         }
     }
     Ok(out)
@@ -164,36 +190,55 @@ pub fn to_clifford_t(circuit: &Circuit) -> Result<Circuit, QcircError> {
     toffoli_to_clifford_t(&mcx_to_toffoli(circuit))
 }
 
+/// Push an uncontrolled or singly-controlled gate view (no allocation).
+fn push_small<S: GateSink>(kind: GateKind, control: Option<Qubit>, target: Qubit, sink: &mut S) {
+    match control {
+        Some(c) => {
+            let cs = [c];
+            sink.push_view(GateView {
+                kind,
+                controls: &cs,
+                target,
+            });
+        }
+        None => sink.push_view(GateView {
+            kind,
+            controls: &[],
+            target,
+        }),
+    }
+}
+
 /// The standard 7-T-gate Clifford+T network for a Toffoli gate
 /// (paper Figure 6).
 pub fn emit_toffoli_7t<S: GateSink>(a: Qubit, b: Qubit, t: Qubit, sink: &mut S) {
-    sink.push_gate(Gate::h(t));
-    sink.push_gate(Gate::cnot(b, t));
-    sink.push_gate(Gate::Tdg(t));
-    sink.push_gate(Gate::cnot(a, t));
-    sink.push_gate(Gate::T(t));
-    sink.push_gate(Gate::cnot(b, t));
-    sink.push_gate(Gate::Tdg(t));
-    sink.push_gate(Gate::cnot(a, t));
-    sink.push_gate(Gate::T(b));
-    sink.push_gate(Gate::T(t));
-    sink.push_gate(Gate::h(t));
-    sink.push_gate(Gate::cnot(a, b));
-    sink.push_gate(Gate::T(a));
-    sink.push_gate(Gate::Tdg(b));
-    sink.push_gate(Gate::cnot(a, b));
+    push_small(GateKind::Mch, None, t, sink);
+    push_small(GateKind::Mcx, Some(b), t, sink);
+    push_small(GateKind::Tdg, None, t, sink);
+    push_small(GateKind::Mcx, Some(a), t, sink);
+    push_small(GateKind::T, None, t, sink);
+    push_small(GateKind::Mcx, Some(b), t, sink);
+    push_small(GateKind::Tdg, None, t, sink);
+    push_small(GateKind::Mcx, Some(a), t, sink);
+    push_small(GateKind::T, None, b, sink);
+    push_small(GateKind::T, None, t, sink);
+    push_small(GateKind::Mch, None, t, sink);
+    push_small(GateKind::Mcx, Some(a), b, sink);
+    push_small(GateKind::T, None, a, sink);
+    push_small(GateKind::Tdg, None, b, sink);
+    push_small(GateKind::Mcx, Some(a), b, sink);
 }
 
 /// The 2-T-gate Clifford+T network for a controlled Hadamard:
 /// `S·H·T · CX · T†·H·S†` on the target.
 pub fn emit_controlled_h<S: GateSink>(c: Qubit, t: Qubit, sink: &mut S) {
-    sink.push_gate(Gate::S(t));
-    sink.push_gate(Gate::h(t));
-    sink.push_gate(Gate::T(t));
-    sink.push_gate(Gate::cnot(c, t));
-    sink.push_gate(Gate::Tdg(t));
-    sink.push_gate(Gate::h(t));
-    sink.push_gate(Gate::Sdg(t));
+    push_small(GateKind::S, None, t, sink);
+    push_small(GateKind::Mch, None, t, sink);
+    push_small(GateKind::T, None, t, sink);
+    push_small(GateKind::Mcx, Some(c), t, sink);
+    push_small(GateKind::Tdg, None, t, sink);
+    push_small(GateKind::Mch, None, t, sink);
+    push_small(GateKind::Sdg, None, t, sink);
 }
 
 #[cfg(test)]
@@ -295,9 +340,9 @@ mod tests {
         let mut circuit = Circuit::new(6);
         circuit.push(Gate::mcx(vec![0, 1, 2, 3], 4));
         circuit.push(Gate::mcx(vec![0, 1, 2, 3], 4));
-        let lowered = mcx_to_toffoli(&circuit);
+        let lowered = mcx_to_toffoli(&circuit).to_gates();
         let half = lowered.len() / 2;
-        assert_eq!(&lowered.gates()[..half], &lowered.gates()[half..]);
+        assert_eq!(&lowered[..half], &lowered[half..]);
     }
 
     #[test]

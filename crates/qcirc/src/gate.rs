@@ -28,6 +28,9 @@ pub type Qubit = u32;
 /// ```
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Gate {
+    // NOTE: keep the variant set in sync with [`GateKind`] and
+    // [`GateView`]; the packed circuit representation round-trips through
+    // them.
     /// Multiply-controlled NOT. Zero controls is an X gate, one control is a
     /// CNOT, two controls is a Toffoli gate.
     Mcx {
@@ -53,6 +56,150 @@ pub enum Gate {
     Sdg(Qubit),
     /// Z = S² phase flip.
     Z(Qubit),
+}
+
+/// The kind of a gate, without its operands.
+///
+/// [`GateView`] pairs a kind with borrowed operands; the packed
+/// [`Circuit`](crate::Circuit) representation stores kinds tag-free per
+/// gate. Phase gates carry their qubit in the view's `target` field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GateKind {
+    /// Multiply-controlled NOT.
+    Mcx,
+    /// Multiply-controlled Hadamard.
+    Mch,
+    /// T gate.
+    T,
+    /// T† gate.
+    Tdg,
+    /// S gate.
+    S,
+    /// S† gate.
+    Sdg,
+    /// Z gate.
+    Z,
+}
+
+impl GateKind {
+    /// Whether this is a single-qubit phase gate (T/T†/S/S†/Z).
+    pub fn is_phase(self) -> bool {
+        matches!(
+            self,
+            GateKind::T | GateKind::Tdg | GateKind::S | GateKind::Sdg | GateKind::Z
+        )
+    }
+
+    /// The kind of the Hermitian adjoint: T↔T†, S↔S†, everything else is
+    /// self-inverse.
+    pub fn adjoint(self) -> GateKind {
+        match self {
+            GateKind::T => GateKind::Tdg,
+            GateKind::Tdg => GateKind::T,
+            GateKind::S => GateKind::Sdg,
+            GateKind::Sdg => GateKind::S,
+            other => other,
+        }
+    }
+}
+
+/// A borrowed, allocation-free view of one gate.
+///
+/// This is the currency of the packed [`Circuit`](crate::Circuit): iterating
+/// a circuit yields views whose control lists borrow the circuit's shared
+/// operand arena, so consumers (simulators, decomposition, `.qc` emission,
+/// the optimizer passes) never clone a control vector per gate. For phase
+/// gates `controls` is empty and `target` is the phase qubit.
+///
+/// # Example
+///
+/// ```
+/// use qcirc::{Gate, GateKind};
+///
+/// let toffoli = Gate::toffoli(0, 1, 2);
+/// let view = toffoli.as_view();
+/// assert_eq!(view.kind, GateKind::Mcx);
+/// assert_eq!(view.controls, &[0, 1]);
+/// assert_eq!(view.target, 2);
+/// assert_eq!(view.to_gate(), toffoli);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GateView<'a> {
+    /// The gate kind.
+    pub kind: GateKind,
+    /// Positive control qubits (sorted, duplicate-free; empty for phase
+    /// gates and uncontrolled X/H).
+    pub controls: &'a [Qubit],
+    /// The target qubit (for phase gates, the qubit the phase acts on).
+    pub target: Qubit,
+}
+
+impl GateView<'_> {
+    /// Materialize this view as an owned [`Gate`].
+    pub fn to_gate(&self) -> Gate {
+        match self.kind {
+            GateKind::Mcx => Gate::Mcx {
+                controls: self.controls.to_vec(),
+                target: self.target,
+            },
+            GateKind::Mch => Gate::Mch {
+                controls: self.controls.to_vec(),
+                target: self.target,
+            },
+            GateKind::T => Gate::T(self.target),
+            GateKind::Tdg => Gate::Tdg(self.target),
+            GateKind::S => Gate::S(self.target),
+            GateKind::Sdg => Gate::Sdg(self.target),
+            GateKind::Z => Gate::Z(self.target),
+        }
+    }
+
+    /// Number of control qubits.
+    pub fn num_controls(&self) -> usize {
+        self.controls.len()
+    }
+
+    /// Iterate over all qubits this gate touches (controls then target).
+    pub fn qubits(&self) -> impl Iterator<Item = Qubit> + '_ {
+        self.controls
+            .iter()
+            .copied()
+            .chain(std::iter::once(self.target))
+    }
+
+    /// The largest qubit index used by this gate.
+    pub fn max_qubit(&self) -> Qubit {
+        self.controls.last().copied().unwrap_or(0).max(self.target)
+    }
+
+    /// Whether `other` is the Hermitian adjoint of this gate — the
+    /// comparison [`cancel passes`](https://docs.rs/qopt) make per
+    /// candidate, without materializing an adjoint gate.
+    pub fn is_adjoint_of(&self, other: &GateView<'_>) -> bool {
+        self.target == other.target
+            && self.kind == other.kind.adjoint()
+            && self.controls == other.controls
+    }
+
+    /// Whether the gate is a Clifford gate (see [`Gate::is_clifford`]).
+    pub fn is_clifford(&self) -> bool {
+        match self.kind {
+            GateKind::Mcx => self.controls.len() <= 1,
+            GateKind::Mch => self.controls.is_empty(),
+            GateKind::S | GateKind::Sdg | GateKind::Z => true,
+            GateKind::T | GateKind::Tdg => false,
+        }
+    }
+
+    /// T-cost of this gate (see [`Gate::t_cost`]).
+    pub fn t_cost(&self) -> u64 {
+        match self.kind {
+            GateKind::Mcx => crate::histogram::t_of_mcx(self.controls.len()),
+            GateKind::Mch => crate::histogram::t_of_mch(self.controls.len()),
+            GateKind::T | GateKind::Tdg => 1,
+            GateKind::S | GateKind::Sdg | GateKind::Z => 0,
+        }
+    }
 }
 
 fn normalize_controls(mut controls: Vec<Qubit>, target: Qubit) -> Vec<Qubit> {
@@ -113,6 +260,49 @@ impl Gate {
             controls: normalize_controls(controls, target),
             target,
         }
+    }
+
+    /// The kind of this gate.
+    pub fn kind(&self) -> GateKind {
+        match self {
+            Gate::Mcx { .. } => GateKind::Mcx,
+            Gate::Mch { .. } => GateKind::Mch,
+            Gate::T(_) => GateKind::T,
+            Gate::Tdg(_) => GateKind::Tdg,
+            Gate::S(_) => GateKind::S,
+            Gate::Sdg(_) => GateKind::Sdg,
+            Gate::Z(_) => GateKind::Z,
+        }
+    }
+
+    /// A borrowed [`GateView`] of this gate.
+    pub fn as_view(&self) -> GateView<'_> {
+        match self {
+            Gate::Mcx { controls, target } => GateView {
+                kind: GateKind::Mcx,
+                controls,
+                target: *target,
+            },
+            Gate::Mch { controls, target } => GateView {
+                kind: GateKind::Mch,
+                controls,
+                target: *target,
+            },
+            Gate::T(q) | Gate::Tdg(q) | Gate::S(q) | Gate::Sdg(q) | Gate::Z(q) => GateView {
+                kind: self.kind(),
+                controls: &[],
+                target: *q,
+            },
+        }
+    }
+
+    /// Whether `other` is the Hermitian adjoint of this gate.
+    ///
+    /// Equivalent to `*self == other.adjoint()` but without constructing
+    /// the adjoint gate (no control-vector clone); this is the comparison
+    /// the cancellation passes make once per walked candidate.
+    pub fn is_adjoint_of(&self, other: &Gate) -> bool {
+        self.as_view().is_adjoint_of(&other.as_view())
     }
 
     /// Number of control qubits (zero for uncontrolled and phase gates).
@@ -212,6 +402,35 @@ impl Gate {
     }
 }
 
+impl fmt::Display for GateView<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let (q, t) = (self.target, self.target);
+        match self.kind {
+            GateKind::Mcx if self.controls.is_empty() => write!(f, "X {t}"),
+            GateKind::Mcx => {
+                write!(f, "tof")?;
+                for c in self.controls {
+                    write!(f, " {c}")?;
+                }
+                write!(f, " {t}")
+            }
+            GateKind::Mch if self.controls.is_empty() => write!(f, "H {t}"),
+            GateKind::Mch => {
+                write!(f, "ch")?;
+                for c in self.controls {
+                    write!(f, " {c}")?;
+                }
+                write!(f, " {t}")
+            }
+            GateKind::T => write!(f, "T {q}"),
+            GateKind::Tdg => write!(f, "T* {q}"),
+            GateKind::S => write!(f, "S {q}"),
+            GateKind::Sdg => write!(f, "S* {q}"),
+            GateKind::Z => write!(f, "Z {q}"),
+        }
+    }
+}
+
 impl fmt::Display for Gate {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -301,6 +520,51 @@ mod tests {
         assert_eq!(Gate::x(3).to_string(), "X 3");
         assert_eq!(Gate::toffoli(0, 1, 2).to_string(), "tof 0 1 2");
         assert_eq!(Gate::Tdg(7).to_string(), "T* 7");
+    }
+
+    #[test]
+    fn is_adjoint_of_matches_materialized_adjoint() {
+        let gates = [
+            Gate::x(0),
+            Gate::cnot(0, 1),
+            Gate::toffoli(0, 1, 2),
+            Gate::mcx(vec![0, 1, 2], 3),
+            Gate::h(1),
+            Gate::ch(0, 1),
+            Gate::T(0),
+            Gate::Tdg(0),
+            Gate::S(2),
+            Gate::Sdg(2),
+            Gate::Z(1),
+            Gate::T(1),
+        ];
+        for a in &gates {
+            for b in &gates {
+                assert_eq!(
+                    a.is_adjoint_of(b),
+                    *a == b.adjoint(),
+                    "is_adjoint_of disagrees on {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn view_roundtrips_and_displays() {
+        for gate in [
+            Gate::x(3),
+            Gate::toffoli(0, 1, 2),
+            Gate::mch(vec![4, 5], 6),
+            Gate::Tdg(7),
+            Gate::Z(0),
+        ] {
+            let view = gate.as_view();
+            assert_eq!(view.to_gate(), gate);
+            assert_eq!(view.to_string(), gate.to_string());
+            assert_eq!(view.max_qubit(), gate.max_qubit());
+            assert_eq!(view.t_cost(), gate.t_cost());
+            assert_eq!(view.is_clifford(), gate.is_clifford());
+        }
     }
 
     #[test]

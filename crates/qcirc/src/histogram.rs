@@ -133,9 +133,19 @@ impl GateHistogram {
     /// Panics when given a decomposed phase gate (T/S/Z): histograms account
     /// for MCX-level circuits only.
     pub fn record(&mut self, gate: &Gate) {
-        match gate {
-            Gate::Mcx { controls, .. } => self.add_mcx(controls.len(), 1),
-            Gate::Mch { controls, .. } => self.add_mch(controls.len(), 1),
+        self.record_view(&gate.as_view());
+    }
+
+    /// Record one MCX-level gate by view (no gate materialized).
+    ///
+    /// # Panics
+    ///
+    /// Panics when given a decomposed phase gate, like
+    /// [`GateHistogram::record`].
+    pub fn record_view(&mut self, view: &crate::gate::GateView<'_>) {
+        match view.kind {
+            crate::gate::GateKind::Mcx => self.add_mcx(view.controls.len(), 1),
+            crate::gate::GateKind::Mch => self.add_mch(view.controls.len(), 1),
             other => panic!("phase gate {other:?} in MCX-level histogram"),
         }
     }
@@ -349,22 +359,28 @@ impl CliffordTCounts {
 
     /// Record a single gate.
     pub fn record(&mut self, gate: &Gate) {
-        match gate {
-            Gate::Mcx { controls, .. } => match controls.len() {
+        self.record_view(&gate.as_view());
+    }
+
+    /// Record a single gate by view (no gate materialized).
+    pub fn record_view(&mut self, view: &crate::gate::GateView<'_>) {
+        use crate::gate::GateKind;
+        match view.kind {
+            GateKind::Mcx => match view.controls.len() {
                 0 => self.x += 1,
                 1 => self.cnot += 1,
                 2 => self.toffoli += 1,
                 _ => self.mcx_large += 1,
             },
-            Gate::Mch { controls, .. } => match controls.len() {
+            GateKind::Mch => match view.controls.len() {
                 0 => self.h += 1,
                 _ => self.ch += 1,
             },
-            Gate::T(_) => self.t += 1,
-            Gate::Tdg(_) => self.tdg += 1,
-            Gate::S(_) => self.s += 1,
-            Gate::Sdg(_) => self.sdg += 1,
-            Gate::Z(_) => self.z += 1,
+            GateKind::T => self.t += 1,
+            GateKind::Tdg => self.tdg += 1,
+            GateKind::S => self.s += 1,
+            GateKind::Sdg => self.sdg += 1,
+            GateKind::Z => self.z += 1,
         }
     }
 

@@ -51,9 +51,9 @@ pub mod hash;
 pub mod qcformat;
 pub mod sim;
 
-pub use circuit::Circuit;
+pub use circuit::{Circuit, Footprint, GateIter};
 pub use error::QcircError;
-pub use gate::{Gate, Qubit};
+pub use gate::{Gate, GateKind, GateView, Qubit};
 pub use histogram::{
     ancillas_of_mcx, t_of_mch, t_of_mcx, toffolis_of_mcx, CliffordTCounts, GateHistogram,
 };

@@ -17,7 +17,7 @@
 //! circuit.push(Gate::toffoli(0, 1, 2));
 //! let text = qcformat::write(&circuit);
 //! let back = qcformat::parse(&text).unwrap();
-//! assert_eq!(back.gates(), circuit.gates());
+//! assert_eq!(back, circuit);
 //! ```
 
 use std::collections::HashMap;
@@ -25,7 +25,7 @@ use std::fmt::Write as _;
 
 use crate::circuit::Circuit;
 use crate::error::QcircError;
-use crate::gate::Gate;
+use crate::gate::{Gate, GateKind};
 
 /// Render a circuit in `.qc` format.
 pub fn write(circuit: &Circuit) -> String {
@@ -39,32 +39,42 @@ pub fn write(circuit: &Circuit) -> String {
         out.push('\n');
     }
     out.push_str("\nBEGIN\n");
-    for gate in circuit.gates() {
-        let line = match gate {
-            Gate::Mcx { controls, target } => {
-                let mut s = String::from("tof");
-                for c in controls {
-                    let _ = write!(s, " q{c}");
+    for view in circuit.iter() {
+        // Write straight into the output buffer: no per-gate line string.
+        match view.kind {
+            GateKind::Mcx => {
+                out.push_str("tof");
+                for c in view.controls {
+                    let _ = write!(out, " q{c}");
                 }
-                let _ = write!(s, " q{target}");
-                s
+                let _ = write!(out, " q{}", view.target);
             }
-            Gate::Mch { controls, target } if controls.is_empty() => format!("H q{target}"),
-            Gate::Mch { controls, target } => {
-                let mut s = String::from("ch");
-                for c in controls {
-                    let _ = write!(s, " q{c}");
+            GateKind::Mch if view.controls.is_empty() => {
+                let _ = write!(out, "H q{}", view.target);
+            }
+            GateKind::Mch => {
+                out.push_str("ch");
+                for c in view.controls {
+                    let _ = write!(out, " q{c}");
                 }
-                let _ = write!(s, " q{target}");
-                s
+                let _ = write!(out, " q{}", view.target);
             }
-            Gate::T(q) => format!("T q{q}"),
-            Gate::Tdg(q) => format!("T* q{q}"),
-            Gate::S(q) => format!("S q{q}"),
-            Gate::Sdg(q) => format!("S* q{q}"),
-            Gate::Z(q) => format!("Z q{q}"),
-        };
-        out.push_str(&line);
+            GateKind::T => {
+                let _ = write!(out, "T q{}", view.target);
+            }
+            GateKind::Tdg => {
+                let _ = write!(out, "T* q{}", view.target);
+            }
+            GateKind::S => {
+                let _ = write!(out, "S q{}", view.target);
+            }
+            GateKind::Sdg => {
+                let _ = write!(out, "S* q{}", view.target);
+            }
+            GateKind::Z => {
+                let _ = write!(out, "Z q{}", view.target);
+            }
+        }
         out.push('\n');
     }
     out.push_str("END\n");
@@ -129,9 +139,23 @@ pub fn parse(text: &str) -> Result<Circuit, QcircError> {
             line: lineno,
             message: format!("`{mnemonic}` needs at least {need} operand(s)"),
         };
+        // A gate whose target is also a control (`tof a a`) is not a
+        // permutation; reject it here rather than hand downstream passes
+        // an ill-formed gate (the constructors only debug-assert this).
+        let distinct = |controls: &[u32], target: u32| -> Result<(), QcircError> {
+            if controls.contains(&target) {
+                Err(QcircError::Parse {
+                    line: lineno,
+                    message: format!("`{mnemonic}` target is also a control"),
+                })
+            } else {
+                Ok(())
+            }
+        };
         let gate = match mnemonic {
             "tof" | "Tof" | "TOF" | "cnot" | "not" => {
                 let (&target, controls) = operands.split_last().ok_or_else(|| too_few(1))?;
+                distinct(controls, target)?;
                 Gate::mcx(controls.to_vec(), target)
             }
             "X" | "x" => Gate::x(*operands.first().ok_or_else(|| too_few(1))?),
@@ -141,6 +165,7 @@ pub fn parse(text: &str) -> Result<Circuit, QcircError> {
                 if controls.is_empty() {
                     return Err(too_few(2));
                 }
+                distinct(controls, target)?;
                 Gate::mch(controls.to_vec(), target)
             }
             "T" | "t" => Gate::T(*operands.first().ok_or_else(|| too_few(1))?),
@@ -184,7 +209,7 @@ mod tests {
     fn roundtrip_preserves_gates_and_width() {
         let circuit = sample_circuit();
         let parsed = parse(&write(&circuit)).unwrap();
-        assert_eq!(parsed.gates(), circuit.gates());
+        assert_eq!(parsed, circuit);
         assert_eq!(parsed.num_qubits(), circuit.num_qubits());
     }
 
@@ -200,7 +225,7 @@ X a
 END
 ";
         let circuit = parse(text).unwrap();
-        assert_eq!(circuit.gates(), &[Gate::toffoli(0, 1, 2), Gate::x(0)]);
+        assert_eq!(circuit.to_gates(), vec![Gate::toffoli(0, 1, 2), Gate::x(0)]);
     }
 
     #[test]
@@ -208,6 +233,17 @@ END
         let text = ".v a\nBEGIN\nX b\nEND\n";
         let err = parse(text).unwrap_err();
         assert!(matches!(err, QcircError::Parse { line: 3, .. }));
+    }
+
+    #[test]
+    fn self_controlled_gate_is_an_error() {
+        for body in ["tof a a", "tof a b a", "ch a a"] {
+            let text = format!(".v a b\nBEGIN\n{body}\nEND\n");
+            assert!(
+                matches!(parse(&text), Err(QcircError::Parse { line: 3, .. })),
+                "`{body}` should be rejected"
+            );
+        }
     }
 
     #[test]

@@ -4,7 +4,7 @@ use std::fmt;
 
 use crate::circuit::Circuit;
 use crate::error::QcircError;
-use crate::gate::{Gate, Qubit};
+use crate::gate::{Gate, GateKind, GateView, Qubit};
 
 /// A classical basis state of an `n`-qubit register, stored as a bit vector.
 ///
@@ -106,9 +106,18 @@ impl BasisState {
     /// [`QcircError::NotClassical`] for Hadamard or phase gates;
     /// [`QcircError::QubitOutOfRange`] for out-of-range qubits.
     pub fn apply(&mut self, gate: &Gate) -> Result<(), QcircError> {
-        match gate {
-            Gate::Mcx { controls, target } => {
-                for &q in controls.iter().chain(std::iter::once(target)) {
+        self.apply_view(gate.as_view())
+    }
+
+    /// Apply a single MCX-level gate by view (no gate materialized).
+    ///
+    /// # Errors
+    ///
+    /// As [`BasisState::apply`].
+    pub fn apply_view(&mut self, view: GateView<'_>) -> Result<(), QcircError> {
+        match view.kind {
+            GateKind::Mcx => {
+                for q in view.qubits() {
                     if q >= self.num_qubits {
                         return Err(QcircError::QubitOutOfRange {
                             qubit: q,
@@ -116,13 +125,13 @@ impl BasisState {
                         });
                     }
                 }
-                if controls.iter().all(|&c| self.bit(c)) {
-                    self.flip(*target);
+                if view.controls.iter().all(|&c| self.bit(c)) {
+                    self.flip(view.target);
                 }
                 Ok(())
             }
-            other => Err(QcircError::NotClassical {
-                gate: other.to_string(),
+            _ => Err(QcircError::NotClassical {
+                gate: view.to_string(),
             }),
         }
     }
@@ -133,8 +142,8 @@ impl BasisState {
     ///
     /// Stops at the first gate that fails to apply (see [`BasisState::apply`]).
     pub fn run(&mut self, circuit: &Circuit) -> Result<(), QcircError> {
-        for gate in circuit.gates() {
-            self.apply(gate)?;
+        for view in circuit.iter() {
+            self.apply_view(view)?;
         }
         Ok(())
     }
@@ -158,8 +167,8 @@ impl crate::sim::Simulator for BasisState {
         self.num_qubits
     }
 
-    fn apply_gate(&mut self, gate: &Gate) -> Result<(), QcircError> {
-        self.apply(gate)
+    fn apply_view(&mut self, view: GateView<'_>) -> Result<(), QcircError> {
+        BasisState::apply_view(self, view)
     }
 
     fn read_range(&self, offset: Qubit, width: u32) -> Option<u64> {

@@ -31,7 +31,7 @@ pub use statevec::StateVec;
 
 use crate::circuit::Circuit;
 use crate::error::QcircError;
-use crate::gate::{Gate, Qubit};
+use crate::gate::{Gate, GateView, Qubit};
 
 /// A circuit-execution backend.
 ///
@@ -79,23 +79,33 @@ pub trait Simulator {
     /// Number of qubits in the register.
     fn num_qubits(&self) -> u32;
 
-    /// Apply a single gate.
+    /// Apply a single gate by view (the packed circuit's native currency;
+    /// no gate is materialized).
     ///
     /// # Errors
     ///
     /// [`QcircError::QubitOutOfRange`] for out-of-range qubits;
     /// [`QcircError::NotClassical`] from backends that do not support the
     /// gate (Hadamard or phase gates on [`BasisState`]).
-    fn apply_gate(&mut self, gate: &Gate) -> Result<(), QcircError>;
+    fn apply_view(&mut self, view: GateView<'_>) -> Result<(), QcircError>;
+
+    /// Apply a single owned gate.
+    ///
+    /// # Errors
+    ///
+    /// As [`Simulator::apply_view`].
+    fn apply_gate(&mut self, gate: &Gate) -> Result<(), QcircError> {
+        self.apply_view(gate.as_view())
+    }
 
     /// Run a whole circuit.
     ///
     /// # Errors
     ///
-    /// Stops at the first failing gate (see [`Simulator::apply_gate`]).
+    /// Stops at the first failing gate (see [`Simulator::apply_view`]).
     fn run(&mut self, circuit: &Circuit) -> Result<(), QcircError> {
-        for gate in circuit.gates() {
-            self.apply_gate(gate)?;
+        for view in circuit.iter() {
+            self.apply_view(view)?;
         }
         Ok(())
     }

@@ -4,7 +4,7 @@ use std::f64::consts::FRAC_PI_4;
 
 use crate::circuit::Circuit;
 use crate::error::QcircError;
-use crate::gate::{Gate, Qubit};
+use crate::gate::{Gate, GateKind, GateView, Qubit};
 use crate::sim::complex::Complex;
 
 /// Largest register the state-vector simulator will allocate (2²⁶ complex
@@ -79,20 +79,29 @@ impl StateVec {
     /// [`QcircError::QubitOutOfRange`] if the gate references a qubit beyond
     /// the register.
     pub fn apply(&mut self, gate: &Gate) -> Result<(), QcircError> {
-        if gate.max_qubit() >= self.num_qubits {
+        self.apply_view(gate.as_view())
+    }
+
+    /// Apply one gate by view (no gate materialized).
+    ///
+    /// # Errors
+    ///
+    /// As [`StateVec::apply`].
+    pub fn apply_view(&mut self, view: GateView<'_>) -> Result<(), QcircError> {
+        if view.max_qubit() >= self.num_qubits {
             return Err(QcircError::QubitOutOfRange {
-                qubit: gate.max_qubit(),
+                qubit: view.max_qubit(),
                 num_qubits: self.num_qubits,
             });
         }
-        match gate {
-            Gate::Mcx { controls, target } => self.apply_mcx(controls, *target),
-            Gate::Mch { controls, target } => self.apply_mch(controls, *target),
-            Gate::T(q) => self.apply_phase(*q, Complex::from_polar_unit(FRAC_PI_4)),
-            Gate::Tdg(q) => self.apply_phase(*q, Complex::from_polar_unit(-FRAC_PI_4)),
-            Gate::S(q) => self.apply_phase(*q, Complex::new(0.0, 1.0)),
-            Gate::Sdg(q) => self.apply_phase(*q, Complex::new(0.0, -1.0)),
-            Gate::Z(q) => self.apply_phase(*q, Complex::new(-1.0, 0.0)),
+        match view.kind {
+            GateKind::Mcx => self.apply_mcx(view.controls, view.target),
+            GateKind::Mch => self.apply_mch(view.controls, view.target),
+            GateKind::T => self.apply_phase(view.target, Complex::from_polar_unit(FRAC_PI_4)),
+            GateKind::Tdg => self.apply_phase(view.target, Complex::from_polar_unit(-FRAC_PI_4)),
+            GateKind::S => self.apply_phase(view.target, Complex::new(0.0, 1.0)),
+            GateKind::Sdg => self.apply_phase(view.target, Complex::new(0.0, -1.0)),
+            GateKind::Z => self.apply_phase(view.target, Complex::new(-1.0, 0.0)),
         }
         Ok(())
     }
@@ -103,8 +112,8 @@ impl StateVec {
     ///
     /// Stops at the first failing gate (see [`StateVec::apply`]).
     pub fn run(&mut self, circuit: &Circuit) -> Result<(), QcircError> {
-        for gate in circuit.gates() {
-            self.apply(gate)?;
+        for view in circuit.iter() {
+            self.apply_view(view)?;
         }
         Ok(())
     }
@@ -229,8 +238,8 @@ impl crate::sim::Simulator for StateVec {
         self.num_qubits
     }
 
-    fn apply_gate(&mut self, gate: &Gate) -> Result<(), QcircError> {
-        self.apply(gate)
+    fn apply_view(&mut self, view: GateView<'_>) -> Result<(), QcircError> {
+        StateVec::apply_view(self, view)
     }
 
     fn read_range(&self, offset: Qubit, width: u32) -> Option<u64> {

@@ -8,13 +8,21 @@
 //! circuit optimizers materialize into a [`Circuit`](crate::Circuit), which
 //! also implements [`GateSink`].
 
-use crate::gate::{Gate, Qubit};
+use crate::gate::{Gate, GateView, Qubit};
 use crate::histogram::GateHistogram;
 
 /// A consumer of a stream of gates.
 pub trait GateSink {
     /// Consume one gate.
     fn push_gate(&mut self, gate: Gate);
+
+    /// Consume one gate by view. Sinks that can store a view without
+    /// materializing a [`Gate`] (the packed [`Circuit`](crate::Circuit),
+    /// [`CountingSink`]) override this to keep streaming emission
+    /// allocation-free; the default materializes.
+    fn push_view(&mut self, view: GateView<'_>) {
+        self.push_gate(view.to_gate());
+    }
 }
 
 impl GateSink for Vec<Gate> {
@@ -26,6 +34,10 @@ impl GateSink for Vec<Gate> {
 impl<S: GateSink + ?Sized> GateSink for &mut S {
     fn push_gate(&mut self, gate: Gate) {
         (**self).push_gate(gate);
+    }
+
+    fn push_view(&mut self, view: GateView<'_>) {
+        (**self).push_view(view);
     }
 }
 
@@ -79,12 +91,16 @@ impl CountingSink {
 
 impl GateSink for CountingSink {
     fn push_gate(&mut self, gate: Gate) {
+        self.push_view(gate.as_view());
+    }
+
+    fn push_view(&mut self, view: GateView<'_>) {
         self.gate_count += 1;
         self.max_qubit = Some(match self.max_qubit {
-            Some(m) => m.max(gate.max_qubit()),
-            None => gate.max_qubit(),
+            Some(m) => m.max(view.max_qubit()),
+            None => view.max_qubit(),
         });
-        self.hist.record(&gate);
+        self.hist.record_view(&view);
     }
 }
 

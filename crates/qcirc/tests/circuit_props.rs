@@ -55,7 +55,7 @@ proptest! {
     fn qc_format_roundtrips(circuit in arb_circuit()) {
         let text = qcformat::write(&circuit);
         let parsed = qcformat::parse(&text).expect("written circuits parse");
-        prop_assert_eq!(parsed.gates(), circuit.gates());
+        prop_assert_eq!(parsed, circuit);
     }
 
     /// A circuit followed by its inverse is the identity on every basis
@@ -92,10 +92,9 @@ proptest! {
     fn histogram_t_matches_decomposed_t(circuit in arb_circuit()) {
         // Histograms cover MCX-level gates; keep only those.
         let mcx_only: Circuit = circuit
-            .gates()
-            .iter()
+            .to_gates()
+            .into_iter()
             .filter(|g| matches!(g, Gate::Mcx { .. } | Gate::Mch { .. }))
-            .cloned()
             .collect();
         let predicted = mcx_only.histogram().t_complexity();
         let lowered = decompose::to_clifford_t(&mcx_only).expect("lowering succeeds");
@@ -109,6 +108,6 @@ proptest! {
     fn parse_write_parse_is_stable(circuit in arb_circuit()) {
         let once = qcformat::parse(&qcformat::write(&circuit)).expect("parses");
         let twice = qcformat::parse(&qcformat::write(&once)).expect("parses");
-        prop_assert_eq!(once.gates(), twice.gates());
+        prop_assert_eq!(once, twice);
     }
 }

@@ -1,7 +1,17 @@
 //! Commutation rules between gates, used by the cancellation passes to
 //! move candidate gates next to each other.
+//!
+//! Two entry points decide the same relation:
+//!
+//! * [`commutes`] — the original syntactic rules over owned [`Gate`]s
+//!   (`Vec::contains` scans). Kept as the specification; the property
+//!   tests assert the fast kernel agrees with it on random gate pairs.
+//! * [`commutes_views`] — the hot-path kernel over [`GateView`]s and
+//!   precomputed [`Footprint`] masks: disjoint masks prove commutation in
+//!   one AND; only mask collisions fall back to exact membership tests on
+//!   the sorted control slices. Exactly equivalent to [`commutes`].
 
-use qcirc::{Gate, Qubit};
+use qcirc::{Footprint, Gate, GateKind, GateView, Qubit};
 
 /// Whether two gates commute under the (sound, incomplete) syntactic rules
 /// this crate uses:
@@ -33,6 +43,43 @@ pub fn commutes(a: &Gate, b: &Gate) -> bool {
         (other, phase) if is_phase(phase) => phase_commutes(phase_qubit(phase), other),
         _ => false,
     }
+}
+
+/// The footprint-mask commutation kernel: same relation as [`commutes`],
+/// computed on gate views with their precomputed footprints.
+///
+/// Disjoint footprints prove commutation under every rule below, so the
+/// mask test short-circuits the common case; overlapping masks fall back
+/// to the exact rule on the sorted operand slices.
+pub fn commutes_views(a: &GateView<'_>, fa: Footprint, b: &GateView<'_>, fb: Footprint) -> bool {
+    // Any pair of gates over disjoint qubit sets commutes under every
+    // syntactic rule; a disjoint mask proves disjoint qubit sets.
+    if fa.disjoint(fb) {
+        return true;
+    }
+    match (a.kind, b.kind) {
+        (GateKind::Mcx, GateKind::Mcx) => {
+            !control_contains(b, fb, a.target) && !control_contains(a, fa, b.target)
+        }
+        (GateKind::Mch, _) | (_, GateKind::Mch) => !overlaps_exact(a, b),
+        (GateKind::Mcx, _phase) => a.target != b.target,
+        (_phase, GateKind::Mcx) => b.target != a.target,
+        // Diagonal gates always commute with each other.
+        _ => true,
+    }
+}
+
+/// Whether qubit `q` is one of `view`'s controls: mask fast-reject, then
+/// binary search of the sorted control slice.
+#[inline]
+fn control_contains(view: &GateView<'_>, footprint: Footprint, q: Qubit) -> bool {
+    footprint.may_contain(q) && view.target != q && view.controls.binary_search(&q).is_ok()
+}
+
+/// Exact qubit-set overlap of two views (called only on mask collision).
+fn overlaps_exact(a: &GateView<'_>, b: &GateView<'_>) -> bool {
+    let in_b = |q: Qubit| q == b.target || b.controls.binary_search(&q).is_ok();
+    a.qubits().any(in_b)
 }
 
 fn other_of<'g>(a: &'g Gate, b: &'g Gate, h: &Gate) -> &'g Gate {

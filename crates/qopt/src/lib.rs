@@ -41,7 +41,7 @@ mod phase_fold;
 pub mod search;
 
 pub use cancel::{cancel_fixpoint, cancel_with_window};
-pub use commute::commutes;
+pub use commute::{commutes, commutes_views};
 pub use passes::{
     registry, AdjacentCancel, CircuitOptimizer, CliffordTResynth, GlobalResynth, Peephole,
     PhaseFoldLight, ToffoliCancel, ZxGraphLike,

@@ -15,10 +15,19 @@
 //! recover Toffoli-level structure, which is exactly why the
 //! `-toCliffordT`-style pipeline stays asymptotically quadratic on the
 //! paper's benchmarks.
+//!
+//! The pass runs on the packed gate stream: the parity table is a dense
+//! vector indexed by qubit (region splitting — the fresh-label
+//! assignments on Hadamard/Toffoli boundaries — is an O(1) slot write,
+//! not a hash-map insert), non-phase gates are carried through as slot
+//! *indices* into the input circuit rather than cloned `Gate`s, and the
+//! output is rebuilt by pushing views. The only per-gate allocations
+//! left are the parity label vectors themselves, which are the pass's
+//! mathematical payload.
 
 use std::collections::HashMap;
 
-use qcirc::{Circuit, Gate, Qubit};
+use qcirc::{Circuit, Gate, GateKind, Qubit};
 
 /// An affine function of region inputs: an XOR of labels plus a constant.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -61,11 +70,13 @@ impl Parity {
     }
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone, Copy)]
 enum Slot {
-    Gate(Gate),
-    /// Placeholder where a merged rotation for a term key will be emitted.
-    Anchor(Vec<u32>),
+    /// Index of a carried-through gate in the *input* circuit.
+    Gate(u32),
+    /// Placeholder where the merged rotation of term `terms[i]` will be
+    /// emitted.
+    Anchor(u32),
 }
 
 #[derive(Debug)]
@@ -84,75 +95,96 @@ struct Term {
 /// merging rotations on equal parities. Preserves the unitary up to global
 /// phase.
 pub fn phase_fold(circuit: &Circuit) -> Circuit {
-    let mut parities: HashMap<Qubit, Parity> = HashMap::new();
+    let n_qubits = circuit.num_qubits() as usize;
     let mut next_label = 0u32;
-    let fresh = |parities: &mut HashMap<Qubit, Parity>, q: Qubit, next_label: &mut u32| {
-        let label = *next_label;
-        *next_label += 1;
-        parities.insert(q, Parity::fresh(label));
-    };
-    for q in 0..circuit.num_qubits() {
-        fresh(&mut parities, q, &mut next_label);
-    }
+    let mut parities: Vec<Parity> = (0..n_qubits)
+        .map(|_| {
+            let label = next_label;
+            next_label += 1;
+            Parity::fresh(label)
+        })
+        .collect();
 
     let mut slots: Vec<Slot> = Vec::with_capacity(circuit.len());
-    let mut terms: HashMap<Vec<u32>, Term> = HashMap::new();
+    let mut terms: Vec<Term> = Vec::new();
+    let mut term_index: HashMap<Vec<u32>, u32> = HashMap::new();
 
-    for gate in circuit.gates() {
-        match gate {
-            Gate::Mcx { controls, target } if controls.is_empty() => {
-                parities.get_mut(target).expect("initialized").constant ^= true;
-                slots.push(Slot::Gate(gate.clone()));
+    for (i, view) in circuit.iter().enumerate() {
+        match view.kind {
+            GateKind::Mcx if view.controls.is_empty() => {
+                parities[view.target as usize].constant ^= true;
+                slots.push(Slot::Gate(i as u32));
             }
-            Gate::Mcx { controls, target } if controls.len() == 1 => {
-                let source = parities[&controls[0]].clone();
-                parities
-                    .get_mut(target)
-                    .expect("initialized")
-                    .xor_with(&source);
-                slots.push(Slot::Gate(gate.clone()));
+            GateKind::Mcx if view.controls.len() == 1 => {
+                let control = view.controls[0] as usize;
+                let target = view.target as usize;
+                // Split the table to xor one entry with another in place.
+                // A degenerate control == target (constructible through the
+                // public `Gate::Mcx` variant, though rejected by the gate
+                // constructors and the `.qc` parser) xors the parity with
+                // itself, like the pre-refactor table-based code did.
+                match control.cmp(&target) {
+                    std::cmp::Ordering::Less => {
+                        let (lo, hi) = parities.split_at_mut(target);
+                        hi[0].xor_with(&lo[control]);
+                    }
+                    std::cmp::Ordering::Greater => {
+                        let (lo, hi) = parities.split_at_mut(control);
+                        lo[target].xor_with(&hi[0]);
+                    }
+                    std::cmp::Ordering::Equal => {
+                        let source = parities[control].clone();
+                        parities[target].xor_with(&source);
+                    }
+                }
+                slots.push(Slot::Gate(i as u32));
             }
-            Gate::Mcx { target, .. } => {
-                // Toffoli or larger: target leaves the linear domain.
-                fresh(&mut parities, *target, &mut next_label);
-                slots.push(Slot::Gate(gate.clone()));
+            GateKind::Mcx | GateKind::Mch => {
+                // Region split: the target leaves the linear domain and
+                // gets a fresh parity label.
+                parities[view.target as usize] = Parity::fresh(next_label);
+                next_label += 1;
+                slots.push(Slot::Gate(i as u32));
             }
-            Gate::Mch { target, .. } => {
-                fresh(&mut parities, *target, &mut next_label);
-                slots.push(Slot::Gate(gate.clone()));
-            }
-            Gate::T(q) | Gate::Tdg(q) | Gate::S(q) | Gate::Sdg(q) | Gate::Z(q) => {
-                let amount: i32 = match gate {
-                    Gate::T(_) => 1,
-                    Gate::S(_) => 2,
-                    Gate::Z(_) => 4,
-                    Gate::Sdg(_) => 6,
-                    Gate::Tdg(_) => 7,
-                    _ => unreachable!(),
+            phase => {
+                let amount: i32 = match phase {
+                    GateKind::T => 1,
+                    GateKind::S => 2,
+                    GateKind::Z => 4,
+                    GateKind::Sdg => 6,
+                    GateKind::Tdg => 7,
+                    _ => unreachable!("Mcx/Mch handled above"),
                 };
-                let parity = parities[q].clone();
+                let parity = &parities[view.target as usize];
                 // Rotation on (c ⊕ x_L) contributes ±amount to the x_L
                 // coefficient (the sign flip absorbs a global phase).
                 let signed = if parity.constant { -amount } else { amount };
-                let term = terms.entry(parity.labels.clone()).or_insert_with(|| {
-                    slots.push(Slot::Anchor(parity.labels.clone()));
-                    Term {
-                        amount: 0,
-                        qubit: *q,
-                        anchor_constant: parity.constant,
+                match term_index.get(&parity.labels) {
+                    Some(&t) => {
+                        let term = &mut terms[t as usize];
+                        term.amount = (term.amount + signed).rem_euclid(8);
                     }
-                });
-                term.amount = (term.amount + signed).rem_euclid(8);
+                    None => {
+                        let t = terms.len() as u32;
+                        slots.push(Slot::Anchor(t));
+                        terms.push(Term {
+                            amount: signed.rem_euclid(8),
+                            qubit: view.target,
+                            anchor_constant: parity.constant,
+                        });
+                        term_index.insert(parity.labels.clone(), t);
+                    }
+                }
             }
         }
     }
 
-    let mut out = Circuit::new(circuit.num_qubits());
+    let mut out = Circuit::with_capacity(circuit.num_qubits(), slots.len());
     for slot in slots {
         match slot {
-            Slot::Gate(g) => out.push(g),
-            Slot::Anchor(key) => {
-                let term = &terms[&key];
+            Slot::Gate(i) => out.push_view(circuit.view(i as usize)),
+            Slot::Anchor(t) => {
+                let term = &terms[t as usize];
                 let physical = if term.anchor_constant {
                     (-term.amount).rem_euclid(8)
                 } else {
@@ -162,6 +194,7 @@ pub fn phase_fold(circuit: &Circuit) -> Circuit {
             }
         }
     }
+    out.ensure_qubits(circuit.num_qubits());
     out
 }
 
@@ -217,7 +250,7 @@ mod tests {
         let c = Circuit::from_gates(vec![Gate::T(0), Gate::T(0)]);
         let folded = phase_fold(&c);
         assert_eq!(t_count(&folded), 0);
-        assert_eq!(folded.gates(), &[Gate::S(0)]);
+        assert_eq!(folded.to_gates(), vec![Gate::S(0)]);
     }
 
     #[test]
@@ -279,6 +312,22 @@ mod tests {
         let folded = phase_fold(&c);
         assert_equiv_up_to_global_phase(&c, &folded, 3);
         assert!(t_count(&folded) <= t_count(&c));
+    }
+
+    #[test]
+    fn degenerate_self_controlled_cnot_does_not_panic() {
+        // `Gate::Mcx` is a public variant, so a control equal to the
+        // target can reach the pass without going through the validating
+        // constructors (the `.qc` parser now rejects it). The parity xors
+        // with itself — labels cancel — exactly as the pre-refactor
+        // table-based implementation behaved.
+        let degenerate = Gate::Mcx {
+            controls: vec![0],
+            target: 0,
+        };
+        let c = Circuit::from_gates(vec![Gate::T(0), degenerate.clone(), Gate::T(0)]);
+        let folded = phase_fold(&c);
+        assert!(folded.to_gates().contains(&degenerate));
     }
 
     #[test]

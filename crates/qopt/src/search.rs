@@ -223,7 +223,7 @@ mod tests {
         let opt = SearchOpt::quartz();
         let a = opt.optimize(&circuit);
         let b = opt.optimize(&circuit);
-        assert_eq!(a.gates(), b.gates());
+        assert_eq!(a, b);
     }
 
     #[test]

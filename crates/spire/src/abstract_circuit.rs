@@ -174,14 +174,24 @@ pub struct AInstr {
 impl AInstr {
     /// Emit this instruction's gates.
     pub fn emit<S: GateSink>(&self, sink: &mut S) {
-        let mut gates = Vec::new();
-        self.op.build(&self.controls, &mut gates);
+        let mut buffer = Vec::new();
+        self.emit_with(&mut buffer, sink);
+    }
+
+    /// Emit this instruction's gates through a caller-provided scratch
+    /// buffer (cleared on entry), so a loop over many instructions —
+    /// [`Compiled::emit_into`](crate::Compiled::emit_into) — reuses one
+    /// allocation instead of building a fresh staging vector per
+    /// instruction.
+    pub fn emit_with<S: GateSink>(&self, buffer: &mut Vec<Gate>, sink: &mut S) {
+        buffer.clear();
+        self.op.build(&self.controls, buffer);
         if self.reversed {
-            for gate in gates.into_iter().rev() {
+            for gate in buffer.drain(..).rev() {
                 sink.push_gate(gate);
             }
         } else {
-            for gate in gates {
+            for gate in buffer.drain(..) {
                 sink.push_gate(gate);
             }
         }

@@ -59,6 +59,12 @@ use crate::pipeline::{compile_source, CompileOptions, Compiled};
 /// key is stable across processes and platforms (unlike `std`'s
 /// `DefaultHasher`) and two different field values can never collide by
 /// concatenation.
+///
+/// Downstream memo layers key *emitted circuits* by
+/// [`Circuit::content_hash`](qcirc::Circuit::content_hash) instead; that
+/// hash is likewise defined over the logical gate stream (not the packed
+/// storage layout), so both addressing schemes survive representation
+/// changes such as the footprint-indexed gate stream refactor unchanged.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CacheKey(u128);
 

@@ -95,14 +95,21 @@ impl Compiled {
 
     /// Stream the concrete MCX circuit into a sink.
     pub fn emit_into<S: GateSink>(&self, sink: &mut S) {
+        let mut buffer = Vec::new();
         for instr in &self.instrs {
-            instr.emit(sink);
+            instr.emit_with(&mut buffer, sink);
         }
     }
 
     /// Materialize the concrete MCX circuit.
     pub fn emit(&self) -> Circuit {
-        let mut circuit = Circuit::new(self.layout.total_qubits);
+        // The cost model's MCX-complexity is the exact emitted gate count
+        // (Theorem 5.1, asserted by `histogram_matches_emitted_circuit`),
+        // so the packed stream can be sized up front.
+        let mut circuit = Circuit::with_capacity(
+            self.layout.total_qubits,
+            self.histogram().mcx_complexity() as usize,
+        );
         self.emit_into(&mut circuit);
         circuit
     }

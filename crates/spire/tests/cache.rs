@@ -227,7 +227,7 @@ fn cached_equals_fresh_compilation() {
             .unwrap();
         assert_eq!(fresh.histogram(), cached.histogram());
         assert_eq!(fresh.layout.total_qubits, cached.layout.total_qubits);
-        assert_eq!(fresh.emit().gates(), cached.emit().gates());
+        assert_eq!(fresh.emit(), cached.emit());
     }
 }
 

@@ -425,9 +425,8 @@ mod tests {
         let compiled = program.compile(OptConfig::spire());
         let has_h = compiled
             .emit()
-            .gates()
             .iter()
-            .any(|g| matches!(g, qcirc::Gate::Mch { .. }));
+            .any(|v| v.kind == qcirc::GateKind::Mch);
         assert!(has_h, "expected Hadamard gates in the circuit");
     }
 }

@@ -55,6 +55,6 @@ proptest! {
         prop_assert_eq!(fresh.histogram(), hit.histogram());
         prop_assert_eq!(fresh.t_complexity(), hit.t_complexity());
         prop_assert_eq!(fresh.mcx_complexity(), hit.mcx_complexity());
-        prop_assert_eq!(fresh.emit().gates(), hit.emit().gates());
+        prop_assert_eq!(fresh.emit(), hit.emit());
     }
 }

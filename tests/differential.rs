@@ -17,7 +17,7 @@
 
 use qcirc::decompose;
 use qcirc::sim::{BasisState, SparseState, StateVec};
-use qcirc::{Circuit, Gate};
+use qcirc::Circuit;
 use spire::OptConfig;
 use spire_repro::difftest::{generate, seed_bytes, GenConfig, TestProgram};
 
@@ -166,11 +166,7 @@ fn decomposition_and_optimizers_preserve_states_at_paper_sizes() {
         // Only Hadamard-bearing circuits make this interesting: they put
         // the state into superposition and their decompositions use the
         // full Clifford+T gate set.
-        if !circuit
-            .gates()
-            .iter()
-            .any(|g| matches!(g, Gate::Mch { .. }))
-        {
+        if !circuit.iter().any(|v| v.kind == qcirc::GateKind::Mch) {
             continue;
         }
         let decomposed = decompose::to_clifford_t(&circuit).expect("decomposes");

@@ -72,12 +72,7 @@ fn benchmarks_match_their_golden_qc_files() {
 
         // Round trip through the parser must be exact regardless of pins.
         let parsed = qcirc::qcformat::parse(&qc).unwrap_or_else(|e| panic!("{}: {e}", bench.name));
-        assert_eq!(
-            parsed.gates(),
-            circuit.gates(),
-            "{}: .qc round trip lost gates",
-            bench.name
-        );
+        assert_eq!(parsed, circuit, "{}: .qc round trip lost gates", bench.name);
 
         let path = dir.join(format!("{}.qc", bench.name));
         if update {

@@ -19,7 +19,7 @@ fn mcx_circuit_roundtrips() {
     let circuit = compiled.emit();
     let text = qcformat::write(&circuit);
     let parsed = qcformat::parse(&text).unwrap();
-    assert_eq!(parsed.gates(), circuit.gates());
+    assert_eq!(parsed, circuit);
     assert_eq!(parsed.histogram().t_complexity(), compiled.t_complexity());
 }
 
@@ -36,7 +36,7 @@ fn clifford_t_circuit_roundtrips() {
     let lowered = qcirc::decompose::to_clifford_t(&compiled.emit()).unwrap();
     let text = qcformat::write(&lowered);
     let parsed = qcformat::parse(&text).unwrap();
-    assert_eq!(parsed.gates(), lowered.gates());
+    assert_eq!(parsed, lowered);
     assert_eq!(
         parsed.clifford_t_counts().t_count(),
         compiled.t_complexity()
