@@ -9,6 +9,8 @@
 
 use std::fmt::Write as _;
 
+use qcirc::json::Json;
+
 /// One curve of a figure: a label and `(x, y)` points.
 #[derive(Debug, Clone)]
 pub struct Series {
@@ -185,31 +187,36 @@ impl FigureReport {
     /// Serialize as a JSON object (`kind`, `id`, `title`, `var`, and a
     /// `series` array of labeled point lists with their exact fits).
     pub fn to_json(&self) -> String {
-        let series: Vec<String> = self
+        self.to_json_value().to_string()
+    }
+
+    /// The [`to_json`](FigureReport::to_json) serialization as a
+    /// structured [`Json`] value.
+    pub fn to_json_value(&self) -> Json {
+        let series: Json = self
             .series
             .iter()
             .map(|s| {
-                let points: Vec<String> = s
+                let points: Json = s
                     .points
                     .iter()
-                    .map(|&(x, y)| format!("[{x},{y}]"))
+                    .map(|&(x, y)| Json::array([Json::from(x), Json::from(y)]))
                     .collect();
-                format!(
-                    "{{\"label\":{},\"points\":[{}],\"fit\":{},\"asymptotic\":{}}}",
-                    json_string(&s.label),
-                    points.join(","),
-                    json_opt_string(s.fit.as_deref()),
-                    json_opt_string(s.asymptotic.as_deref()),
-                )
+                Json::obj()
+                    .field("label", s.label.as_str())
+                    .field("points", points)
+                    .field("fit", s.fit.as_deref().map(Json::from))
+                    .field("asymptotic", s.asymptotic.as_deref().map(Json::from))
+                    .build()
             })
             .collect();
-        format!(
-            "{{\"kind\":\"figure\",\"id\":{},\"title\":{},\"var\":{},\"series\":[{}]}}",
-            json_string(self.id),
-            json_string(&self.title),
-            json_string(self.var),
-            series.join(","),
-        )
+        Json::obj()
+            .field("kind", "figure")
+            .field("id", self.id)
+            .field("title", self.title.as_str())
+            .field("var", self.var)
+            .field("series", series)
+            .build()
     }
 }
 
@@ -237,22 +244,23 @@ impl TableReport {
     /// Serialize as a JSON object (`kind`, `id`, `title`, `header`, and
     /// `rows` as arrays of strings).
     pub fn to_json(&self) -> String {
-        let header: Vec<String> = self.header.iter().map(|h| json_string(h)).collect();
-        let rows: Vec<String> = self
-            .rows
-            .iter()
-            .map(|row| {
-                let cells: Vec<String> = row.iter().map(|c| json_string(c)).collect();
-                format!("[{}]", cells.join(","))
-            })
-            .collect();
-        format!(
-            "{{\"kind\":\"table\",\"id\":{},\"title\":{},\"header\":[{}],\"rows\":[{}]}}",
-            json_string(self.id),
-            json_string(&self.title),
-            header.join(","),
-            rows.join(","),
-        )
+        self.to_json_value().to_string()
+    }
+
+    /// The [`to_json`](TableReport::to_json) serialization as a
+    /// structured [`Json`] value.
+    pub fn to_json_value(&self) -> Json {
+        let strings = |cells: &[String]| Json::array(cells.iter().map(String::as_str));
+        Json::obj()
+            .field("kind", "table")
+            .field("id", self.id)
+            .field("title", self.title.as_str())
+            .field("header", strings(&self.header))
+            .field(
+                "rows",
+                self.rows.iter().map(|row| strings(row)).collect::<Json>(),
+            )
+            .build()
     }
 }
 
@@ -305,31 +313,22 @@ impl Artifact {
             Artifact::Table(t) => t.to_json(),
         }
     }
+
+    /// The artifact as a structured [`Json`] value.
+    pub fn to_json_value(&self) -> Json {
+        match self {
+            Artifact::Figure(f) => f.to_json_value(),
+            Artifact::Table(t) => t.to_json_value(),
+        }
+    }
 }
 
 /// Escape a string as a JSON string literal.
+///
+/// Thin re-export of [`qcirc::json::quoted`] kept for the existing call
+/// sites that splice escaped strings into handwritten JSON templates.
 pub fn json_string(s: &str) -> String {
-    let mut out = String::with_capacity(s.len() + 2);
-    out.push('"');
-    for ch in s.chars() {
-        match ch {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-    out
-}
-
-fn json_opt_string(s: Option<&str>) -> String {
-    s.map(json_string).unwrap_or_else(|| "null".into())
+    qcirc::json::quoted(s)
 }
 
 /// Replace wall-clock timing cells (the `1.234 s` format every timed

@@ -42,6 +42,23 @@ pub enum QcircError {
     },
 }
 
+impl QcircError {
+    /// Stable machine-readable error code (`qcirc/` namespace).
+    ///
+    /// Codes are append-only: published codes never change meaning. The
+    /// serving layer exposes them in structured error bodies alongside
+    /// the `tower/` and `spire/` codes.
+    pub fn code(&self) -> &'static str {
+        match self {
+            QcircError::NotClassical { .. } => "qcirc/not-classical",
+            QcircError::QubitOutOfRange { .. } => "qcirc/qubit-out-of-range",
+            QcircError::ArityTooLarge { .. } => "qcirc/arity-too-large",
+            QcircError::Parse { .. } => "qcirc/parse",
+            QcircError::TooManyQubits { .. } => "qcirc/too-many-qubits",
+        }
+    }
+}
+
 impl fmt::Display for QcircError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -91,8 +108,11 @@ mod tests {
                 max: 28,
             },
         ];
+        let mut codes = std::collections::HashSet::new();
         for e in errors {
             assert!(!e.to_string().is_empty());
+            assert!(e.code().starts_with("qcirc/"));
+            assert!(codes.insert(e.code()), "duplicate code {}", e.code());
         }
     }
 }

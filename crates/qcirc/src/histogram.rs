@@ -266,22 +266,26 @@ impl GateHistogram {
     /// );
     /// ```
     pub fn to_json(&self) -> String {
-        let pairs = |entries: Vec<(usize, u64)>| {
-            let cells: Vec<String> = entries
-                .into_iter()
-                .map(|(c, n)| format!("[{c},{n}]"))
-                .collect();
-            format!("[{}]", cells.join(","))
-        };
-        format!(
-            "{{\"mcx\":{},\"mch\":{},\"mcx_complexity\":{},\"t_complexity\":{},\"toffoli_count\":{},\"max_controls\":{}}}",
-            pairs(self.mcx_counts().collect()),
-            pairs(self.mch_counts().collect()),
-            self.mcx_complexity(),
-            self.t_complexity(),
-            self.toffoli_count(),
-            self.max_controls(),
-        )
+        self.to_json_value().to_string()
+    }
+
+    /// The [`to_json`](GateHistogram::to_json) serialization as a
+    /// structured [`Json`](crate::json::Json) value.
+    pub fn to_json_value(&self) -> crate::json::Json {
+        use crate::json::Json;
+        fn pairs(entries: impl Iterator<Item = (usize, u64)>) -> Json {
+            entries
+                .map(|(c, n)| Json::array([Json::from(c), Json::from(n)]))
+                .collect()
+        }
+        Json::obj()
+            .field("mcx", pairs(self.mcx_counts()))
+            .field("mch", pairs(self.mch_counts()))
+            .field("mcx_complexity", self.mcx_complexity())
+            .field("t_complexity", self.t_complexity())
+            .field("toffoli_count", self.toffoli_count())
+            .field("max_controls", self.max_controls())
+            .build()
     }
 }
 
@@ -395,22 +399,27 @@ impl CliffordTCounts {
     /// Serialize as a flat JSON object of gate counters plus the derived
     /// `t_count` and `total`.
     pub fn to_json(&self) -> String {
-        format!(
-            "{{\"x\":{},\"cnot\":{},\"toffoli\":{},\"mcx_large\":{},\"h\":{},\"ch\":{},\"t\":{},\"tdg\":{},\"s\":{},\"sdg\":{},\"z\":{},\"t_count\":{},\"total\":{}}}",
-            self.x,
-            self.cnot,
-            self.toffoli,
-            self.mcx_large,
-            self.h,
-            self.ch,
-            self.t,
-            self.tdg,
-            self.s,
-            self.sdg,
-            self.z,
-            self.t_count(),
-            self.total(),
-        )
+        self.to_json_value().to_string()
+    }
+
+    /// The [`to_json`](CliffordTCounts::to_json) serialization as a
+    /// structured [`Json`](crate::json::Json) value.
+    pub fn to_json_value(&self) -> crate::json::Json {
+        crate::json::Json::obj()
+            .field("x", self.x)
+            .field("cnot", self.cnot)
+            .field("toffoli", self.toffoli)
+            .field("mcx_large", self.mcx_large)
+            .field("h", self.h)
+            .field("ch", self.ch)
+            .field("t", self.t)
+            .field("tdg", self.tdg)
+            .field("s", self.s)
+            .field("sdg", self.sdg)
+            .field("z", self.z)
+            .field("t_count", self.t_count())
+            .field("total", self.total())
+            .build()
     }
 
     /// Total number of gates counted.

@@ -1,0 +1,763 @@
+//! Minimal JSON value model: writer **and** parser, no dependencies.
+//!
+//! Every machine-readable artifact this workspace emits — report JSON,
+//! gate-histogram serializations, the perf trajectories, and the
+//! `spire-serve` request/response bodies — goes through this one module,
+//! replacing the ad-hoc `format!`-built JSON strings that used to live in
+//! `bench_suite::report`. The parser exists because the serving layer
+//! must *decode* untrusted request bodies, so it is defensive: it caps
+//! nesting depth, rejects trailing garbage, and reports byte offsets in
+//! its errors.
+//!
+//! The value model is deliberately small:
+//!
+//! * objects preserve insertion order (`Vec<(String, Json)>`), so
+//!   serialization is deterministic and byte-stable across runs;
+//! * integers keep their full `i64`/`u64` precision (gate counts exceed
+//!   the `f64` 53-bit mantissa at paper scale in principle), and numbers
+//!   that fit an integer parse as one;
+//! * writing is compact (no whitespace), matching the committed report
+//!   artifacts.
+//!
+//! # Example
+//!
+//! ```
+//! use qcirc::json::Json;
+//!
+//! let value = Json::obj()
+//!     .field("name", "length")
+//!     .field("t_complexity", 42980u64)
+//!     .field("fit", Json::Null)
+//!     .build();
+//! let text = value.to_string();
+//! assert_eq!(text, r#"{"name":"length","t_complexity":42980,"fit":null}"#);
+//! assert_eq!(qcirc::json::parse(&text).unwrap(), value);
+//! ```
+
+use std::fmt;
+
+/// Maximum nesting depth the parser accepts. Deep enough for any artifact
+/// this workspace produces, shallow enough that a hostile request body
+/// cannot overflow the stack.
+const MAX_DEPTH: usize = 96;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A signed integer (any number written without `.`/`e` that fits).
+    Int(i64),
+    /// An unsigned integer too large for `i64`.
+    UInt(u64),
+    /// Any other number. Non-finite values serialize as `null`.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object; insertion order is preserved on write.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Start building an object (see the module example).
+    pub fn obj() -> ObjBuilder {
+        ObjBuilder(Vec::new())
+    }
+
+    /// Build an array value from anything iterable over `Into<Json>`.
+    pub fn array(items: impl IntoIterator<Item = impl Into<Json>>) -> Json {
+        Json::Array(items.into_iter().map(Into::into).collect())
+    }
+
+    /// Member of an object by key (first occurrence), if this is an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Element of an array by index, if this is an array.
+    pub fn item(&self, index: usize) -> Option<&Json> {
+        match self {
+            Json::Array(items) => items.get(index),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean value, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, when it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Json::Int(i) => u64::try_from(i).ok(),
+            Json::UInt(u) => Some(u),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64`, when it is an integer in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Json::Int(i) => Some(i),
+            Json::UInt(u) => i64::try_from(u).ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`, for any numeric variant.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Json::Int(i) => Some(i as f64),
+            Json::UInt(u) => Some(u as f64),
+            Json::Float(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The fields, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
+    /// Whether this is `null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Json::Null)
+    }
+
+    /// Append the compact serialization to `out`.
+    pub fn write(&self, out: &mut String) {
+        use std::fmt::Write as _;
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(true) => out.push_str("true"),
+            Json::Bool(false) => out.push_str("false"),
+            Json::Int(i) => {
+                let _ = write!(out, "{i}");
+            }
+            Json::UInt(u) => {
+                let _ = write!(out, "{u}");
+            }
+            Json::Float(f) => write_float(out, *f),
+            Json::Str(s) => escape_into(out, s),
+            Json::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write(out);
+                }
+                out.push(']');
+            }
+            Json::Object(fields) => {
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    escape_into(out, key);
+                    out.push(':');
+                    value.write(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        self.write(&mut out);
+        f.write_str(&out)
+    }
+}
+
+/// Builder for [`Json::Object`] values (see [`Json::obj`]).
+#[derive(Debug, Default)]
+pub struct ObjBuilder(Vec<(String, Json)>);
+
+impl ObjBuilder {
+    /// Append one field.
+    pub fn field(mut self, key: impl Into<String>, value: impl Into<Json>) -> Self {
+        self.0.push((key.into(), value.into()));
+        self
+    }
+
+    /// Finish the object.
+    pub fn build(self) -> Json {
+        Json::Object(self.0)
+    }
+}
+
+impl From<ObjBuilder> for Json {
+    fn from(builder: ObjBuilder) -> Json {
+        builder.build()
+    }
+}
+
+impl From<bool> for Json {
+    fn from(b: bool) -> Json {
+        Json::Bool(b)
+    }
+}
+
+impl From<i64> for Json {
+    fn from(i: i64) -> Json {
+        Json::Int(i)
+    }
+}
+
+impl From<i32> for Json {
+    fn from(i: i32) -> Json {
+        Json::Int(i as i64)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(u: u64) -> Json {
+        match i64::try_from(u) {
+            Ok(i) => Json::Int(i),
+            Err(_) => Json::UInt(u),
+        }
+    }
+}
+
+impl From<u32> for Json {
+    fn from(u: u32) -> Json {
+        Json::Int(u as i64)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(u: usize) -> Json {
+        Json::from(u as u64)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(f: f64) -> Json {
+        Json::Float(f)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::Str(s)
+    }
+}
+
+impl<T: Into<Json>> From<Option<T>> for Json {
+    fn from(opt: Option<T>) -> Json {
+        opt.map(Into::into).unwrap_or(Json::Null)
+    }
+}
+
+impl From<Vec<Json>> for Json {
+    fn from(items: Vec<Json>) -> Json {
+        Json::Array(items)
+    }
+}
+
+impl FromIterator<Json> for Json {
+    fn from_iter<I: IntoIterator<Item = Json>>(iter: I) -> Json {
+        Json::Array(iter.into_iter().collect())
+    }
+}
+
+/// Append `s` as a quoted, escaped JSON string literal to `out`.
+pub fn escape_into(out: &mut String, s: &str) {
+    use std::fmt::Write as _;
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// `s` as a quoted, escaped JSON string literal.
+pub fn quoted(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    escape_into(&mut out, s);
+    out
+}
+
+/// Write a float so that parsing it back yields the same value and the
+/// same [`Json`] variant: Rust's shortest-roundtrip `Display` output,
+/// with `.0` appended when it would otherwise read back as an integer.
+/// Non-finite values have no JSON spelling and serialize as `null`.
+fn write_float(out: &mut String, f: f64) {
+    use std::fmt::Write as _;
+    if !f.is_finite() {
+        out.push_str("null");
+        return;
+    }
+    let start = out.len();
+    let _ = write!(out, "{f}");
+    if !out[start..].contains(['.', 'e', 'E']) {
+        out.push_str(".0");
+    }
+}
+
+/// A parse failure: what went wrong and the byte offset it happened at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset into the input.
+    pub offset: usize,
+    /// Description of the failure.
+    pub message: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid JSON at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// Parse one JSON document.
+///
+/// Trailing non-whitespace input is an error, as is nesting deeper than an
+/// internal cap (a request-body hardening measure).
+///
+/// # Errors
+///
+/// Returns a [`JsonError`] with the byte offset of the first problem.
+pub fn parse(text: &str) -> Result<Json, JsonError> {
+    let mut parser = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_ws();
+    let value = parser.value(0)?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(parser.error("trailing characters after JSON value"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, message: impl Into<String>) -> JsonError {
+        JsonError {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(format!("expected `{}`", byte as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.error(format!("expected `{word}`")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, JsonError> {
+        if depth > MAX_DEPTH {
+            return Err(self.error("nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(self.error(format!("unexpected character `{}`", c as char))),
+            None => Err(self.error("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(self.error("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, JsonError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(fields));
+                }
+                _ => return Err(self.error("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')
+            .map_err(|_| self.error("expected string"))?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: a run of plain bytes, copied as one str slice.
+            while let Some(c) = self.peek() {
+                if c == b'"' || c == b'\\' || c < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            if self.pos > start {
+                // Safety of from_utf8: the input is a &str and the scan
+                // only stops on ASCII boundaries, so the slice is valid
+                // UTF-8 by construction.
+                out.push_str(std::str::from_utf8(&self.bytes[start..self.pos]).expect("utf8"));
+            }
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    self.escape(&mut out)?;
+                }
+                Some(_) => return Err(self.error("unescaped control character in string")),
+                None => return Err(self.error("unterminated string")),
+            }
+        }
+    }
+
+    fn escape(&mut self, out: &mut String) -> Result<(), JsonError> {
+        let c = self
+            .peek()
+            .ok_or_else(|| self.error("unterminated escape"))?;
+        self.pos += 1;
+        match c {
+            b'"' => out.push('"'),
+            b'\\' => out.push('\\'),
+            b'/' => out.push('/'),
+            b'b' => out.push('\u{8}'),
+            b'f' => out.push('\u{c}'),
+            b'n' => out.push('\n'),
+            b'r' => out.push('\r'),
+            b't' => out.push('\t'),
+            b'u' => {
+                let unit = self.hex4()?;
+                let ch = if (0xD800..0xDC00).contains(&unit) {
+                    // High surrogate: require a low surrogate escape next.
+                    if self.peek() == Some(b'\\') {
+                        self.pos += 1;
+                        self.expect(b'u')
+                            .map_err(|_| self.error("expected low surrogate escape"))?;
+                        let low = self.hex4()?;
+                        if !(0xDC00..0xE000).contains(&low) {
+                            return Err(self.error("invalid low surrogate"));
+                        }
+                        let code = 0x10000 + ((unit - 0xD800) << 10) + (low - 0xDC00);
+                        char::from_u32(code).ok_or_else(|| self.error("invalid surrogate pair"))?
+                    } else {
+                        return Err(self.error("unpaired high surrogate"));
+                    }
+                } else if (0xDC00..0xE000).contains(&unit) {
+                    return Err(self.error("unpaired low surrogate"));
+                } else {
+                    char::from_u32(unit).ok_or_else(|| self.error("invalid \\u escape"))?
+                };
+                out.push(ch);
+            }
+            other => return Err(self.error(format!("invalid escape `\\{}`", other as char))),
+        }
+        Ok(())
+    }
+
+    fn hex4(&mut self) -> Result<u32, JsonError> {
+        let mut value: u32 = 0;
+        for _ in 0..4 {
+            let c = self
+                .peek()
+                .and_then(|c| (c as char).to_digit(16))
+                .ok_or_else(|| self.error("expected four hex digits"))?;
+            value = value * 16 + c;
+            self.pos += 1;
+        }
+        Ok(value)
+    }
+
+    fn number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let digits_start = self.pos;
+        while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.pos == digits_start {
+            return Err(self.error("expected digits"));
+        }
+        let mut is_integer = true;
+        if self.peek() == Some(b'.') {
+            is_integer = false;
+            self.pos += 1;
+            let frac_start = self.pos;
+            while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+            if self.pos == frac_start {
+                return Err(self.error("expected digits after `.`"));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_integer = false;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            let exp_start = self.pos;
+            while self.peek().is_some_and(|c| c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+            if self.pos == exp_start {
+                return Err(self.error("expected digits in exponent"));
+            }
+        }
+        // The lexed slice is pure ASCII by construction.
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
+        if is_integer {
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Json::Int(i));
+            }
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Json::UInt(u));
+            }
+        }
+        match text.parse::<f64>() {
+            Ok(f) if f.is_finite() => Ok(Json::Float(f)),
+            _ => Err(JsonError {
+                offset: start,
+                message: format!("number out of range: `{text}`"),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(value: &Json) -> Json {
+        parse(&value.to_string()).expect("own output parses")
+    }
+
+    #[test]
+    fn scalars_roundtrip() {
+        for value in [
+            Json::Null,
+            Json::Bool(true),
+            Json::Bool(false),
+            Json::Int(0),
+            Json::Int(-42),
+            Json::Int(i64::MAX),
+            Json::Int(i64::MIN),
+            Json::UInt(u64::MAX),
+            Json::Float(1.5),
+            Json::Float(-0.25),
+            Json::Str("hello \"world\"\n\t\\ \u{1}\u{1F600}".into()),
+        ] {
+            assert_eq!(roundtrip(&value), value, "{value}");
+        }
+    }
+
+    #[test]
+    fn integral_floats_stay_floats() {
+        let value = Json::Float(2.0);
+        assert_eq!(value.to_string(), "2.0");
+        assert_eq!(roundtrip(&value), value);
+    }
+
+    #[test]
+    fn nonfinite_floats_serialize_as_null() {
+        assert_eq!(Json::Float(f64::NAN).to_string(), "null");
+        assert_eq!(Json::Float(f64::INFINITY).to_string(), "null");
+    }
+
+    #[test]
+    fn parses_standard_document() {
+        let doc = r#" {
+            "name": "length" ,
+            "depth": 10,
+            "ratio": 1.25e2,
+            "fit": null,
+            "flags": [true, false],
+            "nested": {"unicode": "\u0041\ud83d\ude00"}
+        } "#;
+        let value = parse(doc).unwrap();
+        assert_eq!(value.get("name").and_then(Json::as_str), Some("length"));
+        assert_eq!(value.get("depth").and_then(Json::as_u64), Some(10));
+        assert_eq!(value.get("ratio").and_then(Json::as_f64), Some(125.0));
+        assert!(value.get("fit").unwrap().is_null());
+        assert_eq!(
+            value.get("flags").and_then(|f| f.item(0)).unwrap(),
+            &Json::Bool(true)
+        );
+        assert_eq!(
+            value
+                .get("nested")
+                .and_then(|n| n.get("unicode"))
+                .and_then(Json::as_str),
+            Some("A\u{1F600}")
+        );
+    }
+
+    #[test]
+    fn big_unsigned_integers_survive() {
+        let text = u64::MAX.to_string();
+        assert_eq!(parse(&text).unwrap(), Json::UInt(u64::MAX));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\" 1}",
+            "[1] x",
+            "\"unterminated",
+            "01e",
+            "1.",
+            "nul",
+            "+1",
+            "{a:1}",
+            "\"\\q\"",
+            "\"\\ud800\"",
+        ] {
+            assert!(parse(bad).is_err(), "accepted `{bad}`");
+        }
+    }
+
+    #[test]
+    fn rejects_hostile_nesting() {
+        let deep = "[".repeat(10_000) + &"]".repeat(10_000);
+        let err = parse(&deep).unwrap_err();
+        assert!(err.message.contains("nesting"), "{err}");
+    }
+
+    #[test]
+    fn object_builder_preserves_order() {
+        let value = Json::obj()
+            .field("z", 1u64)
+            .field("a", "x")
+            .field("opt", Some(3i64))
+            .field("none", None::<i64>)
+            .build();
+        assert_eq!(value.to_string(), r#"{"z":1,"a":"x","opt":3,"none":null}"#);
+    }
+
+    #[test]
+    fn errors_carry_offsets() {
+        let err = parse("{\"a\": 1, }").unwrap_err();
+        assert_eq!(err.offset, 9);
+        assert!(err.to_string().contains("byte 9"));
+    }
+}

@@ -15,6 +15,8 @@
 //!   the standard 7-T Toffoli→Clifford+T decomposition (Figure 6).
 //! * [`qcformat`] — reader/writer for the `.qc` circuit format
 //!   (Mosca 2016) that the Tower compiler emits.
+//! * [`json`] — the workspace's minimal JSON value model (writer and
+//!   parser), shared by the report serializers and the serving layer.
 //! * [`sim`] — three interchangeable simulation backends behind the
 //!   [`sim::Simulator`] trait: a classical reversible simulator for MCX
 //!   circuits, a dense state-vector simulator, and a sparse amplitude-map
@@ -48,6 +50,7 @@ mod sink;
 
 pub mod decompose;
 pub mod hash;
+pub mod json;
 pub mod qcformat;
 pub mod sim;
 

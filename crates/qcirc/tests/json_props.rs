@@ -1,0 +1,76 @@
+//! Property test for the shared JSON module: `parse ∘ write` is the
+//! identity on generated values. Every machine-readable artifact the
+//! workspace writes and every `spire-serve` request body it reads goes
+//! through this module, so the round trip is load-bearing: the server's
+//! view of a request must be exactly what a client serialized.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use qcirc::json::{parse, Json};
+
+/// Strings over a mix of plain text, escapes, and non-ASCII codepoints
+/// (surrogate range excluded — those have no scalar value).
+fn arb_string() -> BoxedStrategy<String> {
+    vec(0u32..0x2_0000, 0..8)
+        .prop_map(|codes| {
+            codes
+                .into_iter()
+                .filter_map(char::from_u32)
+                .collect::<String>()
+        })
+        .boxed()
+}
+
+fn arb_scalar() -> BoxedStrategy<Json> {
+    prop_oneof![
+        Just(Json::Null),
+        any::<bool>().prop_map(Json::Bool).boxed(),
+        any::<i64>().prop_map(Json::Int).boxed(),
+        // Unsigned values beyond i64::MAX keep their own variant.
+        ((i64::MAX as u64 + 1)..=u64::MAX)
+            .prop_map(Json::UInt)
+            .boxed(),
+        // Floats from a wide dyadic family (sign * mantissa / 2^shift):
+        // always finite, frequently non-integral, and exercising the
+        // shortest-roundtrip Display path.
+        (any::<i32>(), 0u32..40)
+            .prop_map(|(m, shift)| { Json::Float(m as f64 / f64::from(2u32.pow(shift % 32))) })
+            .boxed(),
+        arb_string().prop_map(Json::Str).boxed(),
+    ]
+    .boxed()
+}
+
+fn arb_json(depth: usize) -> BoxedStrategy<Json> {
+    if depth == 0 {
+        return arb_scalar();
+    }
+    let inner = arb_json(depth - 1);
+    let arrays = vec(arb_json(depth - 1), 0..4).prop_map(Json::Array).boxed();
+    let objects = vec((arb_string(), inner), 0..4)
+        .prop_map(Json::Object)
+        .boxed();
+    prop_oneof![arb_scalar(), arrays, objects].boxed()
+}
+
+// Writing maps integral `Float`s to a `.0` spelling that parses back as
+// `Float`, so every generated variant survives the round trip; duplicate
+// object keys are preserved verbatim in both directions.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn parse_write_is_identity(value in arb_json(3)) {
+        let text = value.to_string();
+        let reparsed = parse(&text).unwrap_or_else(|e| panic!("own output `{text}` rejected: {e}"));
+        prop_assert_eq!(&reparsed, &value, "wrote `{}`", text);
+        // Writing the reparse is also byte-stable (a fixed point).
+        prop_assert_eq!(reparsed.to_string(), text);
+    }
+
+    #[test]
+    fn parse_never_panics_on_arbitrary_bytes(chunk in vec(0u8..=255, 0..64)) {
+        let text = String::from_utf8_lossy(&chunk);
+        let _ = parse(&text); // must return, not panic
+    }
+}

@@ -6,6 +6,8 @@
 //! spire-cli benchmarks
 //! spire-cli experiments <fig2|fig12|fig15a|fig15b|table1|table2|table4|table5|fig24|appendix-a|all>
 //! spire-cli report [--out-dir reports] [--threads n] [--quick] [--check]
+//! spire-cli serve [--addr 127.0.0.1:0] [--threads n]
+//! spire-cli loadtest [--addr host:port] [--workers n] [--seconds s] [--quick]
 //! ```
 
 #![warn(missing_docs)]
@@ -29,6 +31,8 @@ fn main() -> ExitCode {
         Some("benchmarks") => cmd_benchmarks(),
         Some("experiments") => cmd_experiments(&args[1..]),
         Some("report") => cmd_report(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("loadtest") => cmd_loadtest(&args[1..]),
         _ => {
             eprintln!("{USAGE}");
             return ExitCode::FAILURE;
@@ -50,10 +54,23 @@ const USAGE: &str = "usage:
   spire-cli benchmarks
   spire-cli experiments <fig2|fig12|fig15a|fig15b|table1|table2|table4|table5|fig24|appendix-a|all>
   spire-cli report [--out-dir <dir>] [--threads <n>] [--quick] [--check]
+  spire-cli serve [--addr <host:port>] [--threads <n>] [--backlog <n>]
+  spire-cli loadtest [--addr <host:port>] [--workers <n>] [--seconds <s>]
+                     [--depth <n>] [--quick] [--out-dir <dir>]
 
   --simulate runs the compiled circuit (sparse backend for layouts of up
   to 64 qubits, classical otherwise) and prints every live variable;
   --set initializes an input register first.
+
+  serve runs the compile-and-estimate HTTP service (POST /compile,
+  POST /simulate, GET /benchmarks, GET /metrics, GET /healthz) until the
+  process is killed; port 0 picks an ephemeral port, printed on stdout.
+  See docs/SERVING.md for the protocol.
+
+  loadtest drives a closed-loop request mix over the benchmark programs
+  against --addr (or an in-process server when omitted) and writes the
+  BENCH_serve.json perf trajectory (throughput, latency percentiles,
+  cache/single-flight rates). --quick is the CI smoke configuration.
 
   report regenerates every paper table/figure artifact in parallel
   (Markdown + JSON under --out-dir, default `reports/`). --check
@@ -320,11 +337,7 @@ fn cmd_report(args: &[String]) -> Result<(), String> {
     // the build-time manifest path, same as the `optimizer_time` bench,
     // so both call sites agree wherever the command is run from); never
     // drift-checked — it is all timings.
-    let repo_root = Path::new(env!("CARGO_MANIFEST_DIR"))
-        .ancestors()
-        .nth(2)
-        .filter(|p| p.is_dir())
-        .unwrap_or_else(|| Path::new("."));
+    let repo_root = workspace_root();
     let opt_report = bench_suite::opt_bench::run(quick);
     let path = bench_suite::opt_bench::write_json(&opt_report, repo_root)
         .map_err(|e| format!("writing BENCH_optimizer.json: {e}"))?;
@@ -540,6 +553,121 @@ fn check_reports(snapshot_dir: &Path, summary: &RunSummary) -> Result<(), String
             drifted.join("\n  ")
         ))
     }
+}
+
+/// `serve`: run the compile-and-estimate service until killed.
+fn cmd_serve(args: &[String]) -> Result<(), String> {
+    let mut config = spire_serve::ServerConfig {
+        addr: flag(args, "--addr").unwrap_or_else(|| "127.0.0.1:8577".into()),
+        ..spire_serve::ServerConfig::default()
+    };
+    if let Some(threads) = flag(args, "--threads") {
+        config.threads = threads
+            .parse()
+            .ok()
+            .filter(|&n| n > 0)
+            .ok_or("bad --threads: expected a positive integer")?;
+    }
+    if let Some(backlog) = flag(args, "--backlog") {
+        config.backlog = backlog
+            .parse()
+            .ok()
+            .filter(|&n| n > 0)
+            .ok_or("bad --backlog: expected a positive integer")?;
+    }
+    let threads = config.threads;
+    let server = spire_serve::Server::start(config).map_err(|e| format!("starting server: {e}"))?;
+    // The smoke tooling greps this line for the ephemeral port.
+    println!(
+        "spire-serve listening on {} ({threads} worker threads)",
+        server.addr()
+    );
+    server.join();
+    Ok(())
+}
+
+/// `loadtest`: closed-loop load generation + `BENCH_serve.json`.
+fn cmd_loadtest(args: &[String]) -> Result<(), String> {
+    let quick = args.iter().any(|a| a == "--quick");
+    let mut config = if quick {
+        spire_serve::LoadConfig::quick()
+    } else {
+        spire_serve::LoadConfig::full()
+    };
+    config.addr = flag(args, "--addr");
+    if let Some(workers) = flag(args, "--workers") {
+        config.workers = workers
+            .parse()
+            .ok()
+            .filter(|&n| n > 0)
+            .ok_or("bad --workers: expected a positive integer")?;
+    }
+    if let Some(seconds) = flag(args, "--seconds") {
+        let seconds: f64 = seconds.parse().map_err(|e| format!("bad --seconds: {e}"))?;
+        if !seconds.is_finite() || seconds <= 0.0 {
+            return Err("bad --seconds: must be a positive number".into());
+        }
+        config.duration = std::time::Duration::from_secs_f64(seconds);
+    }
+    if let Some(depth) = flag(args, "--depth") {
+        // Validate against the server's own cap up front: a rejected
+        // depth would silently turn the whole run into an error-latency
+        // benchmark and poison the BENCH_serve.json trajectory.
+        config.depth = depth
+            .parse()
+            .ok()
+            .filter(|d| (0..=spire_serve::api::MAX_DEPTH).contains(d))
+            .ok_or(format!(
+                "bad --depth: expected an integer in 0..={}",
+                spire_serve::api::MAX_DEPTH
+            ))?;
+    }
+    match &config.addr {
+        Some(addr) => println!(
+            "load-testing {addr}: {} workers, {:.1} s",
+            config.workers,
+            config.duration.as_secs_f64()
+        ),
+        None => println!(
+            "load-testing an in-process server: {} workers, {:.1} s",
+            config.workers,
+            config.duration.as_secs_f64()
+        ),
+    }
+    let report = spire_serve::loadtest::run(&config).map_err(|e| format!("load test: {e}"))?;
+    println!(
+        "{} requests in {:.2} s: {:.0} req/s, p50 {} µs, p99 {} µs \
+         ({} ok / {} 4xx / {} 5xx / {} transport)",
+        report.total,
+        report.wall.as_secs_f64(),
+        report.throughput_rps,
+        report.p50_us,
+        report.p99_us,
+        report.ok,
+        report.client_errors,
+        report.server_errors,
+        report.transport_errors,
+    );
+    let out_dir = match flag(args, "--out-dir") {
+        Some(dir) => PathBuf::from(dir),
+        None => workspace_root().to_path_buf(),
+    };
+    let path = report
+        .write_json(&out_dir)
+        .map_err(|e| format!("writing BENCH_serve.json: {e}"))?;
+    println!("wrote {}", path.display());
+    Ok(())
+}
+
+/// The workspace root, resolved from the build-time manifest path (same
+/// scheme as the bench writers, so artifacts land in one place wherever
+/// the command is run from).
+fn workspace_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .filter(|p| p.is_dir())
+        .unwrap_or_else(|| Path::new("."))
 }
 
 fn cmd_experiments(args: &[String]) -> Result<(), String> {

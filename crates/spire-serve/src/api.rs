@@ -1,0 +1,428 @@
+//! Request routing, schemas, and error mapping.
+//!
+//! Every response body is JSON. Failures are *structured*: the body is
+//! `{"error":{"code":..., "message":...}}` where `code` is a stable
+//! machine-readable identifier — request-shape problems use the
+//! `request/` namespace, service conditions use `server/`, and compiler
+//! failures carry [`SpireError::code`]/`TowerError::code` verbatim (so a
+//! client can distinguish `tower/parse` from `spire/unsound-allocation`
+//! without scraping prose). The HTTP status encodes the class: `400` for
+//! malformed requests, `404`/`405` for routing, `413` for oversized
+//! bodies, `422` for well-formed requests whose *program* is rejected by
+//! the compiler, `500`/`503` for service conditions.
+
+use std::sync::atomic::Ordering;
+
+use qcirc::json::{self, Json};
+use qcirc::sim::{BasisState, SparseState};
+use spire::{CompileOptions, Compiled, Machine, OptConfig, Served, SpireError};
+use tower::WordConfig;
+
+use crate::http::{Request, Response};
+use crate::server::AppState;
+
+/// Deepest recursion depth a request may ask for: compilation cost grows
+/// quickly with depth, and an unbounded request would let one client
+/// stall a worker arbitrarily long. The paper's own sweeps stop at 10.
+pub const MAX_DEPTH: i64 = 12;
+
+/// A structured API failure.
+#[derive(Debug, Clone)]
+pub struct ApiError {
+    /// HTTP status.
+    pub status: u16,
+    /// Stable machine-readable code.
+    pub code: String,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl ApiError {
+    fn new(status: u16, code: impl Into<String>, message: impl Into<String>) -> Self {
+        ApiError {
+            status,
+            code: code.into(),
+            message: message.into(),
+        }
+    }
+
+    /// 400 with a `request/` code.
+    pub fn bad_request(code: &str, message: impl Into<String>) -> Self {
+        ApiError::new(400, code, message)
+    }
+
+    /// 422 from a compiler error, carrying its stable code.
+    pub fn from_spire(error: &SpireError) -> Self {
+        ApiError::new(422, error.code(), error.to_string())
+    }
+
+    /// 422 from a circuit/simulation error, carrying its stable code.
+    pub fn from_qcirc(error: &qcirc::QcircError) -> Self {
+        ApiError::new(422, error.code(), error.to_string())
+    }
+
+    /// The JSON response for this error.
+    pub fn response(&self) -> Response {
+        let body = Json::obj()
+            .field(
+                "error",
+                Json::obj()
+                    .field("code", self.code.as_str())
+                    .field("message", self.message.as_str()),
+            )
+            .build();
+        Response::json(self.status, body.to_string())
+    }
+}
+
+/// Route one request. Infallible: every failure path returns a
+/// structured error response.
+pub fn handle(state: &AppState, request: &Request) -> Response {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("POST", "/compile") => {
+            state
+                .metrics
+                .compile
+                .requests
+                .fetch_add(1, Ordering::Relaxed);
+            run(|| compile_endpoint(state, request))
+        }
+        ("POST", "/simulate") => {
+            state
+                .metrics
+                .simulate
+                .requests
+                .fetch_add(1, Ordering::Relaxed);
+            run(|| simulate_endpoint(state, request))
+        }
+        ("GET", "/benchmarks") => {
+            state
+                .metrics
+                .benchmarks
+                .requests
+                .fetch_add(1, Ordering::Relaxed);
+            run(|| benchmarks_endpoint(state, request))
+        }
+        ("GET", "/metrics") => {
+            state
+                .metrics
+                .control
+                .requests
+                .fetch_add(1, Ordering::Relaxed);
+            metrics_endpoint(state)
+        }
+        ("GET", "/healthz") => {
+            state
+                .metrics
+                .control
+                .requests
+                .fetch_add(1, Ordering::Relaxed);
+            healthz_endpoint(state)
+        }
+        (_, "/compile" | "/simulate" | "/benchmarks" | "/metrics" | "/healthz") => ApiError::new(
+            405,
+            "request/method-not-allowed",
+            format!(
+                "method {} not supported on {}",
+                request.method, request.path
+            ),
+        )
+        .response(),
+        _ => ApiError::new(
+            404,
+            "request/unknown-route",
+            format!("no route for {}", request.path),
+        )
+        .response(),
+    }
+}
+
+fn run(endpoint: impl FnOnce() -> Result<Json, ApiError>) -> Response {
+    match endpoint() {
+        Ok(body) => Response::json(200, body.to_string()),
+        Err(e) => e.response(),
+    }
+}
+
+/// Parameters shared by `/compile` and `/simulate`.
+struct CompileParams {
+    source: String,
+    entry: String,
+    depth: i64,
+    config: WordConfig,
+    options: CompileOptions,
+}
+
+fn parse_body(request: &Request) -> Result<Json, ApiError> {
+    let text = std::str::from_utf8(&request.body)
+        .map_err(|_| ApiError::bad_request("request/invalid-utf8", "body is not UTF-8"))?;
+    json::parse(text).map_err(|e| ApiError::bad_request("request/invalid-json", e.to_string()))
+}
+
+fn required_str<'a>(body: &'a Json, key: &str) -> Result<&'a str, ApiError> {
+    body.get(key)
+        .ok_or_else(|| {
+            ApiError::bad_request("request/missing-field", format!("missing field `{key}`"))
+        })?
+        .as_str()
+        .ok_or_else(|| {
+            ApiError::bad_request(
+                "request/invalid-field",
+                format!("field `{key}` must be a string"),
+            )
+        })
+}
+
+fn compile_params(body: &Json) -> Result<CompileParams, ApiError> {
+    let source = required_str(body, "source")?.to_string();
+    let entry = required_str(body, "entry")?.to_string();
+    let depth = match body.get("depth") {
+        None => 0,
+        Some(value) => value.as_i64().ok_or_else(|| {
+            ApiError::bad_request("request/invalid-field", "field `depth` must be an integer")
+        })?,
+    };
+    if !(0..=MAX_DEPTH).contains(&depth) {
+        return Err(ApiError::bad_request(
+            "request/invalid-field",
+            format!("field `depth` must be in 0..={MAX_DEPTH}"),
+        ));
+    }
+    let config = match body.get("word") {
+        None => WordConfig::paper_default(),
+        Some(word) => {
+            let bits = |key: &str, default: u32| -> Result<u32, ApiError> {
+                match word.get(key) {
+                    None => Ok(default),
+                    Some(v) => v
+                        .as_u64()
+                        .and_then(|b| u32::try_from(b).ok())
+                        .filter(|&b| (1..=64).contains(&b))
+                        .ok_or_else(|| {
+                            ApiError::bad_request(
+                                "request/invalid-field",
+                                format!("field `word.{key}` must be an integer in 1..=64"),
+                            )
+                        }),
+                }
+            };
+            let paper = WordConfig::paper_default();
+            WordConfig {
+                uint_bits: bits("uint_bits", paper.uint_bits)?,
+                ptr_bits: bits("ptr_bits", paper.ptr_bits)?,
+            }
+        }
+    };
+    let opt = match body.get("opt") {
+        None => OptConfig::spire(),
+        Some(value) => match value.as_str() {
+            Some("spire") => OptConfig::spire(),
+            Some("cf") => OptConfig::flattening_only(),
+            Some("cn") => OptConfig::narrowing_only(),
+            Some("none") => OptConfig::none(),
+            _ => {
+                return Err(ApiError::bad_request(
+                    "request/invalid-field",
+                    "field `opt` must be one of spire|cf|cn|none",
+                ))
+            }
+        },
+    };
+    Ok(CompileParams {
+        source,
+        entry,
+        depth,
+        config,
+        options: CompileOptions::with_opt(opt),
+    })
+}
+
+fn served_label(served: Served) -> &'static str {
+    match served {
+        Served::CacheHit => "cache",
+        Served::Led => "compiled",
+        Served::Coalesced => "coalesced",
+    }
+}
+
+fn compile_through_cache(
+    state: &AppState,
+    params: &CompileParams,
+) -> Result<(std::sync::Arc<Compiled>, Served, spire::CacheKey), ApiError> {
+    let (result, served, key) = state.compiler.get_or_compile_traced(
+        &params.source,
+        &params.entry,
+        params.depth,
+        params.config,
+        &params.options,
+    );
+    let compiled = result.map_err(|e| ApiError::from_spire(&e))?;
+    Ok((compiled, served, key))
+}
+
+fn compile_endpoint(state: &AppState, request: &Request) -> Result<Json, ApiError> {
+    let timer = std::time::Instant::now();
+    let body = parse_body(request)?;
+    let params = compile_params(&body)?;
+    let include_qc = matches!(body.get("include_qc"), Some(Json::Bool(true)));
+    let (compiled, served, key) = compile_through_cache(state, &params)?;
+    let hist = compiled.histogram();
+    let mut response = Json::obj()
+        .field("key", key.to_string())
+        .field("served", served_label(served))
+        .field("t_complexity", hist.t_complexity())
+        .field("mcx_complexity", hist.mcx_complexity())
+        .field("toffoli_count", hist.toffoli_count())
+        .field("max_controls", hist.max_controls())
+        .field("qubits", compiled.qubits())
+        .field(
+            "qubits_after_decomposition",
+            compiled.qubits_after_decomposition(),
+        )
+        .field("histogram", hist.to_json_value());
+    if include_qc {
+        let circuit = compiled.emit();
+        response = response.field("qc", qcirc::qcformat::write(&circuit));
+    }
+    state
+        .metrics
+        .compile_latency
+        .record_micros(timer.elapsed().as_micros() as u64);
+    Ok(response.build())
+}
+
+fn simulate_endpoint(state: &AppState, request: &Request) -> Result<Json, ApiError> {
+    let body = parse_body(request)?;
+    let params = compile_params(&body)?;
+    let mut inputs: Vec<(String, u64)> = Vec::new();
+    if let Some(value) = body.get("inputs") {
+        let fields = value.as_object().ok_or_else(|| {
+            ApiError::bad_request("request/invalid-field", "field `inputs` must be an object")
+        })?;
+        for (name, v) in fields {
+            let value = v.as_u64().ok_or_else(|| {
+                ApiError::bad_request(
+                    "request/invalid-field",
+                    format!("input `{name}` must be a non-negative integer"),
+                )
+            })?;
+            inputs.push((name.clone(), value));
+        }
+    }
+    let (compiled, served, _key) = compile_through_cache(state, &params)?;
+    // Sparse backend for layouts it can address (full gate set including
+    // Hadamard); classical reversible simulation beyond 64 qubits.
+    let total = compiled.layout.total_qubits;
+    let (backend, support, vars) = if total <= 64 {
+        let machine = run_machine::<SparseState>(&compiled, &inputs)?;
+        let support = machine.state().support();
+        let vars = read_vars(&compiled, |name| machine.var(name).ok());
+        ("sparse", Some(support), vars)
+    } else {
+        let machine = run_machine::<BasisState>(&compiled, &inputs)?;
+        let vars = read_vars(&compiled, |name| machine.var(name).ok());
+        ("classical", None, vars)
+    };
+    Ok(Json::obj()
+        .field("served", served_label(served))
+        .field("backend", backend)
+        .field("qubits", total)
+        .field("support", support.map(Json::from))
+        .field("vars", vars)
+        .build())
+}
+
+fn run_machine<S: qcirc::sim::Simulator>(
+    compiled: &Compiled,
+    inputs: &[(String, u64)],
+) -> Result<Machine<S>, ApiError> {
+    let mut machine: Machine<S> = Machine::with_backend(&compiled.layout);
+    for (name, value) in inputs {
+        machine
+            .set_var(name, *value)
+            .map_err(|e| ApiError::from_spire(&e))?;
+    }
+    machine
+        .run(&compiled.emit())
+        .map_err(|e| ApiError::from_qcirc(&e))?;
+    Ok(machine)
+}
+
+/// Final values of the program's live variables, in declaration order:
+/// the same view `spire-cli compile --simulate` prints. Superposed
+/// registers serialize as `null`.
+fn read_vars(compiled: &Compiled, read: impl Fn(&str) -> Option<u64>) -> Json {
+    let mut seen = std::collections::HashSet::new();
+    let mut fields = Vec::new();
+    for (var, _ty) in &compiled.types.final_context {
+        let name = var.as_str();
+        if name.contains('%') {
+            continue; // optimizer temporary
+        }
+        if !seen.insert(name) {
+            continue; // re-declarations share one register
+        }
+        fields.push((name.to_string(), Json::from(read(name))));
+    }
+    Json::Object(fields)
+}
+
+fn benchmarks_endpoint(state: &AppState, request: &Request) -> Result<Json, ApiError> {
+    let depth: i64 = match request.query_param("depth") {
+        None => 3,
+        Some(raw) => raw
+            .parse()
+            .ok()
+            .filter(|d| (0..=MAX_DEPTH).contains(d))
+            .ok_or_else(|| {
+                ApiError::bad_request(
+                    "request/invalid-field",
+                    format!("query `depth` must be an integer in 0..={MAX_DEPTH}"),
+                )
+            })?,
+    };
+    let mut rows = Vec::new();
+    for bench in bench_suite::programs::all_benchmarks() {
+        let bench_depth = if bench.constant { 0 } else { depth };
+        let (result, served, _key) = state.compiler.get_or_compile_traced(
+            &bench.source,
+            bench.entry,
+            bench_depth,
+            WordConfig::paper_default(),
+            &CompileOptions::spire(),
+        );
+        let compiled = result.map_err(|e| ApiError::from_spire(&e))?;
+        let hist = compiled.histogram();
+        rows.push(
+            Json::obj()
+                .field("name", bench.name)
+                .field("group", bench.group)
+                .field("entry", bench.entry)
+                .field("depth", bench_depth)
+                .field("served", served_label(served))
+                .field("t_complexity", hist.t_complexity())
+                .field("mcx_complexity", hist.mcx_complexity())
+                .field("qubits", compiled.qubits())
+                .build(),
+        );
+    }
+    Ok(Json::obj()
+        .field("depth", depth)
+        .field("benchmarks", Json::Array(rows))
+        .build())
+}
+
+fn metrics_endpoint(state: &AppState) -> Response {
+    let cache = state.compiler.cache().stats();
+    let flights = state.compiler.flight_stats();
+    let body = state.metrics.to_json_value(&cache, &flights);
+    Response::json(200, body.to_string())
+}
+
+fn healthz_endpoint(state: &AppState) -> Response {
+    let body = Json::obj()
+        .field("status", "ok")
+        .field("uptime_seconds", state.metrics.uptime_seconds())
+        .build();
+    Response::json(200, body.to_string())
+}

@@ -1,0 +1,393 @@
+//! Minimal HTTP/1.1 on `std::net`: request reader, response writer, and
+//! a small client used by the load-test harness.
+//!
+//! This is deliberately not a general HTTP implementation — it is the
+//! subset the service needs, hardened where the input is untrusted:
+//! header and body sizes are capped, `Content-Length` is required for
+//! bodies (no chunked transfer), and socket read/write timeouts bound
+//! every connection's worst case. Keep-alive is honored so a closed-loop
+//! load-test worker can reuse one connection per request chain.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Cap on the request line + headers block.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Default cap on a request body ([`Limits::max_body_bytes`]).
+pub const MAX_BODY_BYTES: usize = 1024 * 1024;
+
+/// Per-connection parsing limits.
+#[derive(Debug, Clone, Copy)]
+pub struct Limits {
+    /// Largest accepted `Content-Length`.
+    pub max_body_bytes: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_body_bytes: MAX_BODY_BYTES,
+        }
+    }
+}
+
+/// A parsed request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Upper-cased method (`GET`, `POST`, …).
+    pub method: String,
+    /// Path component, query string split off.
+    pub path: String,
+    /// Raw query string (without `?`), empty when absent.
+    pub query: String,
+    /// Header `(name, value)` pairs; names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First value of a header, by lower-case name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked to close the connection after this
+    /// exchange (HTTP/1.1 defaults to keep-alive).
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+
+    /// Value of one `key=value` query parameter.
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=')?;
+            (k == key).then_some(v)
+        })
+    }
+}
+
+/// Why reading a request failed.
+#[derive(Debug)]
+pub enum ReadError {
+    /// The peer closed the connection before sending a request line
+    /// (normal end of a keep-alive session).
+    Closed,
+    /// An I/O failure or timeout mid-request.
+    Io(io::Error),
+    /// The bytes were not a well-formed request. The server answers 400
+    /// with this message and closes.
+    Malformed(&'static str),
+    /// `Content-Length` exceeded [`Limits::max_body_bytes`]. Answered
+    /// with 413.
+    BodyTooLarge,
+    /// The socket read timeout expired. `mid_request` distinguishes a
+    /// stall partway through a request (answered with a best-effort
+    /// 408) from an idle keep-alive connection that never started one
+    /// (closed quietly).
+    TimedOut {
+        /// Whether any request bytes had already arrived.
+        mid_request: bool,
+    },
+}
+
+impl From<io::Error> for ReadError {
+    fn from(e: io::Error) -> Self {
+        if is_timeout(&e) {
+            // Only body reads convert implicitly (via `?` after the head
+            // completed), so the request was underway.
+            ReadError::TimedOut { mid_request: true }
+        } else {
+            ReadError::Io(e)
+        }
+    }
+}
+
+/// Whether an I/O error is a socket-timeout expiry (spelled differently
+/// across platforms).
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+/// Read one request from the stream.
+///
+/// # Errors
+///
+/// See [`ReadError`]; `Closed` at a request boundary is the normal end
+/// of a keep-alive connection, everything else ends the connection.
+pub fn read_request(stream: &mut TcpStream, limits: &Limits) -> Result<Request, ReadError> {
+    let mut head = Vec::with_capacity(512);
+    let mut byte = [0u8; 1];
+    // Byte-at-a-time until CRLFCRLF: requests are small (the cap is
+    // 16 KiB) and this keeps any over-read out of the body accounting.
+    loop {
+        match stream.read(&mut byte) {
+            Ok(0) => {
+                if head.is_empty() {
+                    return Err(ReadError::Closed);
+                }
+                return Err(ReadError::Malformed("connection closed mid-header"));
+            }
+            Ok(_) => head.push(byte[0]),
+            Err(e) if is_timeout(&e) => {
+                return Err(ReadError::TimedOut {
+                    mid_request: !head.is_empty(),
+                })
+            }
+            Err(e) => return Err(ReadError::Io(e)),
+        }
+        if head.len() > MAX_HEAD_BYTES {
+            return Err(ReadError::Malformed("request head too large"));
+        }
+        if head.ends_with(b"\r\n\r\n") {
+            break;
+        }
+    }
+    let head = std::str::from_utf8(&head).map_err(|_| ReadError::Malformed("head not UTF-8"))?;
+    let mut lines = head.trim_end().lines();
+    let request_line = lines.next().ok_or(ReadError::Malformed("empty request"))?;
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or(ReadError::Malformed("missing method"))?
+        .to_ascii_uppercase();
+    let target = parts.next().ok_or(ReadError::Malformed("missing path"))?;
+    let version = parts
+        .next()
+        .ok_or(ReadError::Malformed("missing version"))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(ReadError::Malformed("unsupported HTTP version"));
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
+    let mut headers = Vec::new();
+    for line in lines {
+        let (name, value) = line
+            .split_once(':')
+            .ok_or(ReadError::Malformed("malformed header"))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    // No chunked transfer: bodies are framed by Content-Length only.
+    // Silently ignoring Transfer-Encoding would desync the keep-alive
+    // stream (the chunk framing would be read as the next request), so
+    // reject it outright.
+    if headers
+        .iter()
+        .any(|(n, v)| n == "transfer-encoding" && !v.eq_ignore_ascii_case("identity"))
+    {
+        return Err(ReadError::Malformed(
+            "transfer-encoding is not supported; send a content-length body",
+        ));
+    }
+    let content_length = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .map(|(_, v)| {
+            v.parse::<usize>()
+                .map_err(|_| ReadError::Malformed("bad content-length"))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    if content_length > limits.max_body_bytes {
+        return Err(ReadError::BodyTooLarge);
+    }
+    let mut body = vec![0u8; content_length];
+    stream.read_exact(&mut body)?;
+    Ok(Request {
+        method,
+        path,
+        query,
+        headers,
+        body,
+    })
+}
+
+/// A response ready to serialize.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// `Content-Type` of the body.
+    pub content_type: &'static str,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: impl Into<String>) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into().into_bytes(),
+        }
+    }
+
+    /// The standard reason phrase for this status.
+    pub fn reason(&self) -> &'static str {
+        match self.status {
+            200 => "OK",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            408 => "Request Timeout",
+            413 => "Payload Too Large",
+            422 => "Unprocessable Entity",
+            500 => "Internal Server Error",
+            503 => "Service Unavailable",
+            _ => "Unknown",
+        }
+    }
+}
+
+/// Serialize `response` onto the stream.
+///
+/// # Errors
+///
+/// Propagates socket write failures (including write timeouts).
+pub fn write_response(
+    stream: &mut TcpStream,
+    response: &Response,
+    keep_alive: bool,
+) -> io::Result<()> {
+    // One write for head + body: two small writes on a Nagle-enabled
+    // socket interact with delayed ACK into ~40 ms stalls per response,
+    // which would dominate every latency percentile the service reports.
+    let mut message = format!(
+        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
+        response.status,
+        response.reason(),
+        response.content_type,
+        response.body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    )
+    .into_bytes();
+    message.extend_from_slice(&response.body);
+    stream.write_all(&message)?;
+    stream.flush()
+}
+
+/// A minimal client: send one request on an open connection and read the
+/// response. Used by the load-test harness and the integration tests;
+/// reuses the connection (keep-alive) across calls.
+///
+/// # Errors
+///
+/// Propagates socket errors; a malformed response is an
+/// `io::ErrorKind::InvalidData` error.
+pub fn client_roundtrip(
+    stream: &mut TcpStream,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> io::Result<(u16, Vec<u8>)> {
+    let (status, body, _keep_alive) = client_roundtrip_keepalive(stream, method, path, body)?;
+    Ok((status, body))
+}
+
+/// [`client_roundtrip`], also reporting whether the server left the
+/// connection open (`connection: keep-alive`). A `false` means the
+/// caller must reconnect before the next request — reusing the stream
+/// would be a transport error, not a server failure.
+///
+/// # Errors
+///
+/// See [`client_roundtrip`].
+pub fn client_roundtrip_keepalive(
+    stream: &mut TcpStream,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> io::Result<(u16, Vec<u8>, bool)> {
+    let body = body.unwrap_or("");
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nhost: localhost\r\ncontent-length: {}\r\n\r\n{body}",
+        body.len(),
+    );
+    stream.write_all(request.as_bytes())?;
+    stream.flush()?;
+    read_client_response(stream)
+}
+
+fn invalid(message: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, message.to_string())
+}
+
+/// Read one response (status + body + keep-alive flag) from the stream.
+fn read_client_response(stream: &mut TcpStream) -> io::Result<(u16, Vec<u8>, bool)> {
+    let mut head = Vec::with_capacity(256);
+    let mut byte = [0u8; 1];
+    loop {
+        let n = stream.read(&mut byte)?;
+        if n == 0 {
+            return Err(invalid("connection closed mid-response"));
+        }
+        head.push(byte[0]);
+        if head.len() > MAX_HEAD_BYTES {
+            return Err(invalid("response head too large"));
+        }
+        if head.ends_with(b"\r\n\r\n") {
+            break;
+        }
+    }
+    let head = std::str::from_utf8(&head).map_err(|_| invalid("response head not UTF-8"))?;
+    let mut lines = head.trim_end().lines();
+    let status_line = lines.next().ok_or_else(|| invalid("empty response"))?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| invalid("bad status line"))?;
+    let mut content_length = 0usize;
+    let mut keep_alive = true;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            let name = name.trim();
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| invalid("bad content-length"))?;
+            } else if name.eq_ignore_ascii_case("connection") {
+                keep_alive = !value.trim().eq_ignore_ascii_case("close");
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    stream.read_exact(&mut body)?;
+    Ok((status, body, keep_alive))
+}
+
+/// Configure both socket timeouts on a stream, and disable Nagle: the
+/// request/response ping-pong of a keep-alive connection is exactly the
+/// small-write pattern that Nagle + delayed ACK turns into ~40 ms
+/// stalls.
+///
+/// # Errors
+///
+/// Propagates `set_read_timeout`/`set_write_timeout` failures.
+pub fn set_timeouts(stream: &TcpStream, read: Duration, write: Duration) -> io::Result<()> {
+    let _ = stream.set_nodelay(true);
+    stream.set_read_timeout(Some(read))?;
+    stream.set_write_timeout(Some(write))
+}

@@ -1,0 +1,73 @@
+//! # spire-serve: the always-on compile-and-estimate service
+//!
+//! Large-scale quantum deployments need always-on classical control
+//! services that compile and re-cost programs on demand; this crate
+//! turns the batch Spire reproduction into that long-running,
+//! measurable service. It is dependency-free — HTTP/1.1 directly on
+//! [`std::net::TcpListener`] — because the build environment is offline,
+//! and because the service's hot path is the compiler, not the protocol.
+//!
+//! Layers:
+//!
+//! * [`http`] — the minimal HTTP/1.1 subset: hardened request reader
+//!   (size caps, timeouts, `Content-Length` bodies only), response
+//!   writer, keep-alive, and the small client the load-test harness and
+//!   tests use.
+//! * [`pool`] — a bounded worker thread pool with graceful drain; a full
+//!   backlog sheds connections with `503` instead of queueing without
+//!   limit.
+//! * [`metrics`] — wait-free counters and power-of-two-bucket latency
+//!   histograms behind `GET /metrics`.
+//! * [`api`] — the endpoints: `POST /compile` (source → T-counts, gate
+//!   histogram, optional `.qc` text), `POST /simulate` (sparse-backend
+//!   execution with variable bindings), `GET /benchmarks` (the paper's
+//!   12 programs through the cache), `GET /metrics`, `GET /healthz` —
+//!   every failure mapped to a structured JSON body with a stable
+//!   machine-readable error code.
+//! * [`server`] — accept loop, connection lifecycle, graceful shutdown.
+//! * [`loadtest`] — a closed-loop load generator over the benchmark
+//!   programs that writes the `BENCH_serve.json` perf trajectory.
+//!
+//! The compile path sits on [`spire::SingleFlightCache`]: the
+//! content-addressed compile cache with a single-flight layer, so a
+//! thundering herd of identical requests costs exactly one compilation.
+//!
+//! See `docs/SERVING.md` for the protocol reference and a worked `curl`
+//! session.
+//!
+//! # Example
+//!
+//! ```
+//! use spire_serve::http::client_roundtrip;
+//! use spire_serve::{Server, ServerConfig};
+//!
+//! let server = Server::start(ServerConfig::default())?;
+//! let mut conn = std::net::TcpStream::connect(server.addr())?;
+//! let (status, body) = client_roundtrip(
+//!     &mut conn,
+//!     "POST",
+//!     "/compile",
+//!     Some(r#"{"source":"fun f(x: uint) -> uint { let y <- x + 1; return y; }","entry":"f"}"#),
+//! )?;
+//! assert_eq!(status, 200);
+//! let reply = qcirc::json::parse(std::str::from_utf8(&body).unwrap()).unwrap();
+//! assert!(reply.get("t_complexity").is_some());
+//! drop(conn);
+//! server.shutdown();
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod api;
+pub mod http;
+pub mod loadtest;
+pub mod metrics;
+pub mod pool;
+pub mod server;
+
+pub use api::ApiError;
+pub use loadtest::{LoadConfig, LoadReport};
+pub use metrics::Metrics;
+pub use server::{default_threads, AppState, Server, ServerConfig};

@@ -1,0 +1,380 @@
+//! Closed-loop load-test client and the `BENCH_serve.json` perf
+//! trajectory.
+//!
+//! Each worker thread owns one keep-alive connection and drives it in a
+//! closed loop — send a request, wait for the response, record the
+//! latency, repeat — so offered load self-limits to what the server
+//! sustains (the standard closed-loop model; throughput is the measured
+//! outcome, not an input). The request mix cycles deterministically
+//! (seeded per worker) over the paper's benchmark programs as `/compile`
+//! requests, with a configurable share of `/simulate` on the running
+//! example.
+//!
+//! The report serializes the client-side view (throughput, exact
+//! p50/p90/p99 over every recorded latency) together with the server's
+//! own final `/metrics` document (cache hit rate, single-flight
+//! counters), and is written as `BENCH_serve.json` — the serving
+//! analogue of `BENCH_optimizer.json`, a perf trajectory CI uploads on
+//! every run.
+
+use std::io;
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+use qcirc::json::{self, Json};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::http::client_roundtrip;
+use crate::server::{Server, ServerConfig};
+
+/// Load-test parameters.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Target `host:port`. `None` boots an in-process server on an
+    /// ephemeral port and tears it down afterwards.
+    pub addr: Option<String>,
+    /// Closed-loop worker (connection) count.
+    pub workers: usize,
+    /// Measurement duration.
+    pub duration: Duration,
+    /// Recursion depth of the `/compile` mix.
+    pub depth: i64,
+    /// Fraction of requests sent to `/simulate` (the rest compile).
+    pub simulate_share: f64,
+    /// RNG seed for the request mix.
+    pub seed: u64,
+}
+
+impl LoadConfig {
+    /// The CI smoke configuration: small but long enough that every
+    /// benchmark program is requested at least once per worker.
+    pub fn quick() -> Self {
+        LoadConfig {
+            addr: None,
+            workers: 4,
+            duration: Duration::from_secs(2),
+            depth: 3,
+            simulate_share: 0.1,
+            seed: 0x5EED,
+        }
+    }
+
+    /// The full local configuration.
+    pub fn full() -> Self {
+        LoadConfig {
+            addr: None,
+            workers: 8,
+            duration: Duration::from_secs(10),
+            depth: 5,
+            simulate_share: 0.1,
+            seed: 0x5EED,
+        }
+    }
+
+    fn mode(&self) -> &'static str {
+        if self.duration <= Duration::from_secs(2) {
+            "quick"
+        } else {
+            "full"
+        }
+    }
+}
+
+/// Aggregated outcome of one load test.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// `"quick"` or `"full"`.
+    pub mode: &'static str,
+    /// Worker count used.
+    pub workers: usize,
+    /// Wall-clock measurement window.
+    pub wall: Duration,
+    /// Requests completed (any status).
+    pub total: u64,
+    /// `2xx` responses.
+    pub ok: u64,
+    /// `4xx` responses.
+    pub client_errors: u64,
+    /// `5xx` responses (including shed `503`s).
+    pub server_errors: u64,
+    /// Requests that died on the socket (reconnected after).
+    pub transport_errors: u64,
+    /// `/compile` requests sent.
+    pub compile_requests: u64,
+    /// `/simulate` requests sent.
+    pub simulate_requests: u64,
+    /// Completed requests per second over the window.
+    pub throughput_rps: f64,
+    /// Exact percentiles over every recorded latency, in microseconds.
+    pub p50_us: u64,
+    /// 90th percentile.
+    pub p90_us: u64,
+    /// 99th percentile.
+    pub p99_us: u64,
+    /// Slowest request.
+    pub max_us: u64,
+    /// The server's final `/metrics` document.
+    pub server_metrics: Json,
+}
+
+impl LoadReport {
+    /// Serialize as the `BENCH_serve.json` document.
+    pub fn to_json(&self) -> String {
+        let mut doc = Json::obj()
+            .field("schema", 1u64)
+            .field("mode", self.mode)
+            .field("workers", self.workers)
+            .field("duration_seconds", self.wall.as_secs_f64())
+            .field(
+                "requests",
+                Json::obj()
+                    .field("total", self.total)
+                    .field("ok", self.ok)
+                    .field("client_errors", self.client_errors)
+                    .field("server_errors", self.server_errors)
+                    .field("transport_errors", self.transport_errors)
+                    .field("compile", self.compile_requests)
+                    .field("simulate", self.simulate_requests),
+            )
+            .field("throughput_rps", self.throughput_rps)
+            .field(
+                "latency_us",
+                Json::obj()
+                    .field("p50", self.p50_us)
+                    .field("p90", self.p90_us)
+                    .field("p99", self.p99_us)
+                    .field("max", self.max_us),
+            )
+            .field("server", self.server_metrics.clone())
+            .build()
+            .to_string();
+        doc.push('\n');
+        doc
+    }
+
+    /// Write the report as `BENCH_serve.json` in `dir`, returning the
+    /// path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the I/O error when the file cannot be written.
+    pub fn write_json(&self, dir: &Path) -> io::Result<PathBuf> {
+        let path = dir.join("BENCH_serve.json");
+        std::fs::write(&path, self.to_json())?;
+        Ok(path)
+    }
+}
+
+/// The `/simulate` probe program: the paper's running example with a
+/// concrete input, small enough to execute on every loop iteration.
+const SIMULATE_SOURCE: &str = r#"
+fun count[n](acc: uint, flag: bool) -> uint {
+    if flag {
+        let r <- acc + 1;
+        let out <- count[n-1](r, flag);
+    } else {
+        let out <- acc;
+    }
+    return out;
+}
+"#;
+
+struct WorkerOutcome {
+    latencies_us: Vec<u64>,
+    ok: u64,
+    client_errors: u64,
+    server_errors: u64,
+    transport_errors: u64,
+    compile_requests: u64,
+    simulate_requests: u64,
+}
+
+/// Run a load test.
+///
+/// # Errors
+///
+/// Propagates server-boot and final-metrics-fetch failures; individual
+/// request failures are counted, not fatal.
+pub fn run(config: &LoadConfig) -> io::Result<LoadReport> {
+    let (addr, server) = match &config.addr {
+        Some(addr) => (addr.clone(), None),
+        None => {
+            let server = Server::start(ServerConfig::default())?;
+            (server.addr().to_string(), Some(server))
+        }
+    };
+
+    // Pre-render the request bodies once: the mix cycles over them.
+    let compile_bodies: Vec<String> = bench_suite::programs::all_benchmarks()
+        .iter()
+        .map(|bench| {
+            Json::obj()
+                .field("source", bench.source.as_str())
+                .field("entry", bench.entry)
+                .field("depth", if bench.constant { 0 } else { config.depth })
+                .build()
+                .to_string()
+        })
+        .collect();
+    let simulate_body = Json::obj()
+        .field("source", SIMULATE_SOURCE)
+        .field("entry", "count")
+        .field("depth", 4i64)
+        .field("inputs", Json::obj().field("flag", 1u64).field("acc", 0u64))
+        .build()
+        .to_string();
+
+    let deadline = Instant::now() + config.duration;
+    let started = Instant::now();
+    let outcomes: Vec<WorkerOutcome> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..config.workers)
+            .map(|worker| {
+                let addr = addr.as_str();
+                let compile_bodies = &compile_bodies;
+                let simulate_body = simulate_body.as_str();
+                scope.spawn(move || {
+                    worker_loop(
+                        addr,
+                        deadline,
+                        compile_bodies,
+                        simulate_body,
+                        config.simulate_share,
+                        config.seed.wrapping_add(worker as u64),
+                    )
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("load worker panicked"))
+            .collect()
+    });
+    let wall = started.elapsed();
+
+    // One final metrics scrape, after the measurement window.
+    let mut stream = TcpStream::connect(&addr)?;
+    let (status, body) = client_roundtrip(&mut stream, "GET", "/metrics", None)?;
+    drop(stream);
+    if status != 200 {
+        return Err(io::Error::other(format!(
+            "final /metrics returned {status}"
+        )));
+    }
+    let server_metrics = json::parse(&String::from_utf8_lossy(&body))
+        .map_err(|e| io::Error::other(format!("unparseable /metrics body: {e}")))?;
+
+    if let Some(server) = server {
+        server.shutdown();
+    }
+
+    let mut latencies: Vec<u64> = outcomes
+        .iter()
+        .flat_map(|o| o.latencies_us.iter().copied())
+        .collect();
+    latencies.sort_unstable();
+    let pct = |p: f64| -> u64 {
+        if latencies.is_empty() {
+            return 0;
+        }
+        let rank = ((p / 100.0) * latencies.len() as f64).ceil().max(1.0) as usize;
+        latencies[rank.min(latencies.len()) - 1]
+    };
+    let sum = |f: fn(&WorkerOutcome) -> u64| outcomes.iter().map(f).sum::<u64>();
+    let total = latencies.len() as u64;
+    Ok(LoadReport {
+        mode: config.mode(),
+        workers: config.workers,
+        wall,
+        total,
+        ok: sum(|o| o.ok),
+        client_errors: sum(|o| o.client_errors),
+        server_errors: sum(|o| o.server_errors),
+        transport_errors: sum(|o| o.transport_errors),
+        compile_requests: sum(|o| o.compile_requests),
+        simulate_requests: sum(|o| o.simulate_requests),
+        throughput_rps: if wall.as_secs_f64() > 0.0 {
+            total as f64 / wall.as_secs_f64()
+        } else {
+            0.0
+        },
+        p50_us: pct(50.0),
+        p90_us: pct(90.0),
+        p99_us: pct(99.0),
+        max_us: latencies.last().copied().unwrap_or(0),
+        server_metrics,
+    })
+}
+
+fn worker_loop(
+    addr: &str,
+    deadline: Instant,
+    compile_bodies: &[String],
+    simulate_body: &str,
+    simulate_share: f64,
+    seed: u64,
+) -> WorkerOutcome {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut outcome = WorkerOutcome {
+        latencies_us: Vec::new(),
+        ok: 0,
+        client_errors: 0,
+        server_errors: 0,
+        transport_errors: 0,
+        compile_requests: 0,
+        simulate_requests: 0,
+    };
+    let mut stream: Option<TcpStream> = None;
+    while Instant::now() < deadline {
+        if stream.is_none() {
+            match TcpStream::connect(addr) {
+                Ok(fresh) => {
+                    let _ = crate::http::set_timeouts(
+                        &fresh,
+                        Duration::from_secs(30),
+                        Duration::from_secs(30),
+                    );
+                    stream = Some(fresh);
+                }
+                Err(_) => {
+                    outcome.transport_errors += 1;
+                    // Back off instead of hammering a dead listener.
+                    std::thread::sleep(Duration::from_millis(10));
+                    continue;
+                }
+            }
+        }
+        let connection = stream.as_mut().expect("connected above");
+        let simulate = rng.random_bool(simulate_share);
+        let (path, body) = if simulate {
+            outcome.simulate_requests += 1;
+            ("/simulate", simulate_body)
+        } else {
+            outcome.compile_requests += 1;
+            let i = rng.random_range(0..compile_bodies.len());
+            ("/compile", compile_bodies[i].as_str())
+        };
+        let sent = Instant::now();
+        match crate::http::client_roundtrip_keepalive(connection, "POST", path, Some(body)) {
+            Ok((status, _, keep_alive)) => {
+                outcome.latencies_us.push(sent.elapsed().as_micros() as u64);
+                match status {
+                    200..=299 => outcome.ok += 1,
+                    400..=499 => outcome.client_errors += 1,
+                    _ => outcome.server_errors += 1,
+                }
+                if !keep_alive {
+                    // Orderly close (keep-alive budget reached, or
+                    // shutdown began): reconnect, not a transport error.
+                    stream = None;
+                }
+            }
+            Err(_) => {
+                outcome.transport_errors += 1;
+                stream = None; // reconnect on the next iteration
+            }
+        }
+    }
+    outcome
+}

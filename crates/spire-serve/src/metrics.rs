@@ -1,0 +1,349 @@
+//! Service metrics: lock-free counters and a log-bucketed latency
+//! histogram, serialized for `GET /metrics`.
+//!
+//! Everything on the request path is an atomic increment — no locks, no
+//! allocation — so metrics collection never becomes the contention point
+//! it is supposed to diagnose. The histogram buckets latencies by
+//! power-of-two microseconds (64 buckets cover `[1 µs, ~5 × 10¹³ µs)`,
+//! far beyond any request this service can serve), and percentiles are
+//! reconstructed from the bucket counts: a reported `p99` is the upper
+//! bound of the bucket containing the 99th-percentile sample, i.e. exact
+//! to within the 2× bucket resolution. That trade — coarse buckets for a
+//! wait-free hot path — is the standard one for serving systems.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use qcirc::json::Json;
+
+/// Number of power-of-two latency buckets.
+const BUCKETS: usize = 64;
+
+/// A wait-free histogram of microsecond latencies in power-of-two
+/// buckets.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    total_micros: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            total_micros: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram::default()
+    }
+
+    /// Record one latency.
+    pub fn record_micros(&self, micros: u64) {
+        // Bucket b holds samples in [2^b, 2^(b+1)); 0 µs lands in b = 0.
+        let bucket = (63 - micros.max(1).leading_zeros() as usize).min(BUCKETS - 1);
+        self.buckets[bucket].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_micros.fetch_add(micros, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Mean latency in microseconds (0 when empty).
+    pub fn mean_micros(&self) -> u64 {
+        self.total_micros
+            .load(Ordering::Relaxed)
+            .checked_div(self.count())
+            .unwrap_or(0)
+    }
+
+    /// Upper bound (µs) of the bucket containing the `p`-th percentile
+    /// sample, for `p` in `0..=100`. Returns 0 when empty.
+    ///
+    /// Concurrent writers can skew an in-flight snapshot by at most the
+    /// samples recorded during the scan; the value is a monitoring
+    /// estimate, not an accounting figure.
+    pub fn percentile_micros(&self, p: f64) -> u64 {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0;
+        }
+        let rank = ((p / 100.0) * total as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (bucket, &n) in counts.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return upper_bound_micros(bucket);
+            }
+        }
+        upper_bound_micros(BUCKETS - 1)
+    }
+
+    /// Serialize count/mean/percentiles as a JSON object.
+    pub fn to_json_value(&self) -> Json {
+        Json::obj()
+            .field("count", self.count())
+            .field("mean_us", self.mean_micros())
+            .field("p50_us", self.percentile_micros(50.0))
+            .field("p90_us", self.percentile_micros(90.0))
+            .field("p99_us", self.percentile_micros(99.0))
+            .build()
+    }
+}
+
+/// Exclusive upper bound of bucket `b` in microseconds.
+fn upper_bound_micros(bucket: usize) -> u64 {
+    1u64 << (bucket + 1)
+}
+
+/// One endpoint's request counter set.
+#[derive(Debug, Default)]
+pub struct EndpointCounters {
+    /// Requests routed to the endpoint.
+    pub requests: AtomicU64,
+}
+
+/// All service metrics, shared across workers.
+#[derive(Debug)]
+pub struct Metrics {
+    start: Instant,
+    /// Requests currently being handled.
+    in_flight: AtomicU64,
+    /// Per-endpoint request counts.
+    pub compile: EndpointCounters,
+    /// `/simulate` requests.
+    pub simulate: EndpointCounters,
+    /// `/benchmarks` requests.
+    pub benchmarks: EndpointCounters,
+    /// `/metrics` + `/healthz` requests.
+    pub control: EndpointCounters,
+    /// Responses by class.
+    ok_2xx: AtomicU64,
+    client_4xx: AtomicU64,
+    server_5xx: AtomicU64,
+    /// Connections shed because the worker pool backlog was full.
+    shed: AtomicU64,
+    /// End-to-end handler latency (all endpoints).
+    pub latency: LatencyHistogram,
+    /// Handler latency of `/compile` alone (the hot endpoint).
+    pub compile_latency: LatencyHistogram,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics {
+            start: Instant::now(),
+            in_flight: AtomicU64::new(0),
+            compile: EndpointCounters::default(),
+            simulate: EndpointCounters::default(),
+            benchmarks: EndpointCounters::default(),
+            control: EndpointCounters::default(),
+            ok_2xx: AtomicU64::new(0),
+            client_4xx: AtomicU64::new(0),
+            server_5xx: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            latency: LatencyHistogram::new(),
+            compile_latency: LatencyHistogram::new(),
+        }
+    }
+}
+
+impl Metrics {
+    /// Fresh metrics anchored at "now".
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Seconds since the metrics (i.e. the server) started.
+    pub fn uptime_seconds(&self) -> f64 {
+        self.start.elapsed().as_secs_f64()
+    }
+
+    /// Mark a request in flight; decrements on drop.
+    pub fn begin_request(&self) -> InFlightGuard<'_> {
+        self.in_flight.fetch_add(1, Ordering::Relaxed);
+        InFlightGuard { metrics: self }
+    }
+
+    /// Requests currently being handled.
+    pub fn in_flight(&self) -> u64 {
+        self.in_flight.load(Ordering::Relaxed)
+    }
+
+    /// Count a response status.
+    pub fn record_status(&self, status: u16) {
+        let class = match status {
+            200..=299 => &self.ok_2xx,
+            400..=499 => &self.client_4xx,
+            _ => &self.server_5xx,
+        };
+        class.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count a connection shed by pool backpressure.
+    pub fn record_shed(&self) {
+        self.shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Connections shed so far.
+    pub fn shed_total(&self) -> u64 {
+        self.shed.load(Ordering::Relaxed)
+    }
+
+    /// The `/metrics` document body, combining service counters with the
+    /// compile layer's cache and single-flight statistics.
+    pub fn to_json_value(&self, cache: &spire::CacheStats, flights: &spire::FlightStats) -> Json {
+        let load = Ordering::Relaxed;
+        let total_cache = cache.hits + cache.misses;
+        let hit_rate = if total_cache == 0 {
+            0.0
+        } else {
+            cache.hits as f64 / total_cache as f64
+        };
+        Json::obj()
+            .field("uptime_seconds", self.uptime_seconds())
+            .field("in_flight", self.in_flight())
+            .field(
+                "requests",
+                Json::obj()
+                    .field("compile", self.compile.requests.load(load))
+                    .field("simulate", self.simulate.requests.load(load))
+                    .field("benchmarks", self.benchmarks.requests.load(load))
+                    .field("control", self.control.requests.load(load)),
+            )
+            .field(
+                "responses",
+                Json::obj()
+                    .field("ok_2xx", self.ok_2xx.load(load))
+                    .field("client_4xx", self.client_4xx.load(load))
+                    .field("server_5xx", self.server_5xx.load(load))
+                    .field("shed", self.shed.load(load)),
+            )
+            .field("latency", self.latency.to_json_value())
+            .field("compile_latency", self.compile_latency.to_json_value())
+            .field(
+                "cache",
+                Json::obj()
+                    .field("hits", cache.hits)
+                    .field("misses", cache.misses)
+                    .field("entries", cache.entries)
+                    .field("hit_rate", hit_rate),
+            )
+            .field(
+                "single_flight",
+                Json::obj()
+                    .field("led", flights.led)
+                    .field("coalesced", flights.coalesced),
+            )
+            .build()
+    }
+}
+
+/// RAII in-flight marker from [`Metrics::begin_request`].
+#[derive(Debug)]
+pub struct InFlightGuard<'a> {
+    metrics: &'a Metrics,
+}
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        self.metrics.in_flight.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_percentiles() {
+        let hist = LatencyHistogram::new();
+        assert_eq!(hist.percentile_micros(99.0), 0, "empty reports zero");
+        // 90 fast samples at ~8 µs, 10 slow at ~4096 µs.
+        for _ in 0..90 {
+            hist.record_micros(8);
+        }
+        for _ in 0..10 {
+            hist.record_micros(4096);
+        }
+        assert_eq!(hist.count(), 100);
+        // p50 falls in the [8,16) bucket, p99 in [4096,8192).
+        assert_eq!(hist.percentile_micros(50.0), 16);
+        assert_eq!(hist.percentile_micros(99.0), 8192);
+        let mean = hist.mean_micros();
+        assert!((400..=500).contains(&mean), "mean ≈ 416, got {mean}");
+    }
+
+    #[test]
+    fn zero_micros_is_representable() {
+        let hist = LatencyHistogram::new();
+        hist.record_micros(0);
+        assert_eq!(hist.count(), 1);
+        assert_eq!(hist.percentile_micros(100.0), 2);
+    }
+
+    #[test]
+    fn in_flight_guard_is_balanced() {
+        let metrics = Metrics::new();
+        {
+            let _a = metrics.begin_request();
+            let _b = metrics.begin_request();
+            assert_eq!(metrics.in_flight(), 2);
+        }
+        assert_eq!(metrics.in_flight(), 0);
+    }
+
+    #[test]
+    fn metrics_document_is_parseable() {
+        let metrics = Metrics::new();
+        metrics.record_status(200);
+        metrics.record_status(422);
+        metrics.latency.record_micros(120);
+        let cache = spire::CacheStats {
+            hits: 3,
+            misses: 1,
+            entries: 1,
+        };
+        let flights = spire::FlightStats {
+            led: 1,
+            coalesced: 2,
+        };
+        let doc = metrics.to_json_value(&cache, &flights).to_string();
+        let parsed = qcirc::json::parse(&doc).unwrap();
+        assert_eq!(
+            parsed
+                .get("cache")
+                .and_then(|c| c.get("hit_rate"))
+                .and_then(Json::as_f64),
+            Some(0.75)
+        );
+        assert_eq!(
+            parsed
+                .get("single_flight")
+                .and_then(|c| c.get("coalesced"))
+                .and_then(Json::as_u64),
+            Some(2)
+        );
+        assert_eq!(
+            parsed
+                .get("responses")
+                .and_then(|c| c.get("client_4xx"))
+                .and_then(Json::as_u64),
+            Some(1)
+        );
+    }
+}

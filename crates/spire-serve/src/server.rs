@@ -1,0 +1,303 @@
+//! The server: accept loop, connection lifecycle, graceful shutdown.
+//!
+//! One acceptor thread owns the [`TcpListener`] and hands every accepted
+//! connection to the bounded [`ThreadPool`]; a full backlog sheds the
+//! connection with `503` instead of queueing unboundedly. Each worker
+//! drives one connection's keep-alive loop under per-socket read/write
+//! timeouts, so a slow or silent client can hold a worker for at most
+//! one timeout, not forever.
+//!
+//! Shutdown ([`Server::shutdown`]) is graceful: the acceptor stops
+//! accepting (woken by a self-connection), workers finish the requests
+//! they are serving (plus any already-accepted backlog), and the call
+//! returns once every thread has exited. Idle keep-alive connections are
+//! abandoned after at most one read timeout.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use spire::SingleFlightCache;
+
+use crate::http::{self, Limits, Request, Response};
+use crate::metrics::Metrics;
+use crate::pool::ThreadPool;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 asks the OS for an ephemeral port.
+    pub addr: String,
+    /// Worker threads (connections served concurrently).
+    pub threads: usize,
+    /// Accepted connections that may wait for a worker before new ones
+    /// are shed with `503`.
+    pub backlog: usize,
+    /// Per-socket read timeout (bounds slow/silent clients).
+    pub read_timeout: Duration,
+    /// Per-socket write timeout.
+    pub write_timeout: Duration,
+    /// Request parsing limits.
+    pub limits: Limits,
+    /// Requests served per connection before it is closed (bounds how
+    /// long one client can pin a worker via keep-alive).
+    pub max_keepalive_requests: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            threads: default_threads(),
+            backlog: 64,
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+            limits: Limits::default(),
+            max_keepalive_requests: 1000,
+        }
+    }
+}
+
+/// Worker count default: the machine's parallelism, capped small — the
+/// service is compile-bound, not I/O-bound, so more threads than cores
+/// only add contention.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(16)
+}
+
+/// Shared state every request handler sees.
+#[derive(Debug)]
+pub struct AppState {
+    /// The compile path: content-addressed cache + single-flight layer.
+    pub compiler: SingleFlightCache,
+    /// Service counters and latency histograms.
+    pub metrics: Metrics,
+}
+
+impl AppState {
+    /// Fresh state (empty cache, zeroed metrics).
+    pub fn new() -> Self {
+        AppState {
+            compiler: SingleFlightCache::new(),
+            metrics: Metrics::new(),
+        }
+    }
+}
+
+impl Default for AppState {
+    fn default() -> Self {
+        AppState::new()
+    }
+}
+
+/// A running server.
+#[derive(Debug)]
+pub struct Server {
+    addr: SocketAddr,
+    state: Arc<AppState>,
+    stop: Arc<AtomicBool>,
+    acceptor: JoinHandle<()>,
+}
+
+impl Server {
+    /// Bind and start serving.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind/local-addr failures.
+    pub fn start(config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let state = Arc::new(AppState::new());
+        let stop = Arc::new(AtomicBool::new(false));
+        let acceptor = {
+            let state = Arc::clone(&state);
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("spire-serve-acceptor".to_string())
+                .spawn(move || accept_loop(&listener, &config, &state, &stop))
+                .expect("spawning acceptor thread")
+        };
+        Ok(Server {
+            addr,
+            state,
+            stop,
+            acceptor,
+        })
+    }
+
+    /// The bound address (with the OS-assigned port when `addr` used 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared application state (cache, metrics).
+    pub fn state(&self) -> &Arc<AppState> {
+        &self.state
+    }
+
+    /// Block on the acceptor thread (serve until process exit).
+    pub fn join(self) {
+        let _ = self.acceptor.join();
+    }
+
+    /// Graceful shutdown: stop accepting, drain in-progress work, join
+    /// every thread.
+    pub fn shutdown(self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        let _ = self.acceptor.join();
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    config: &ServerConfig,
+    state: &Arc<AppState>,
+    stop: &Arc<AtomicBool>,
+) {
+    // The pool lives (and dies) with the accept loop: dropping it at the
+    // end of this function performs the drain-and-join.
+    let pool = ThreadPool::new(config.threads, config.backlog);
+    loop {
+        let (mut stream, _) = match listener.accept() {
+            Ok(accepted) => accepted,
+            Err(_) if stop.load(Ordering::SeqCst) => break,
+            Err(_) => {
+                // Persistent accept errors (EMFILE under fd exhaustion,
+                // ECONNABORTED storms) return immediately; retrying
+                // without a pause would pin this thread at 100% CPU in
+                // exactly the overload scenario backpressure targets.
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                continue;
+            }
+        };
+        if stop.load(Ordering::SeqCst) {
+            break; // the wake-up connection (or a straggler): stop now
+        }
+        // Backpressure: the acceptor is the queue's only producer, so a
+        // backlog check here cannot race another push — a full backlog
+        // sheds this connection with a best-effort 503, keeping the
+        // accepted-but-unserved set bounded.
+        if pool.backlog() >= config.backlog {
+            state.metrics.record_shed();
+            state.metrics.record_status(503);
+            let _ = http::set_timeouts(&stream, config.write_timeout, config.write_timeout);
+            let response = error_response(503, "server/overloaded", "connection backlog is full");
+            let _ = http::write_response(&mut stream, &response, false);
+            continue;
+        }
+        let state = Arc::clone(state);
+        let stop = Arc::clone(stop);
+        let config_for_conn = config.clone();
+        let _ = pool.try_execute(move || {
+            serve_connection(stream, &config_for_conn, &state, &stop);
+        });
+    }
+    pool.shutdown();
+}
+
+fn serve_connection(
+    mut stream: TcpStream,
+    config: &ServerConfig,
+    state: &Arc<AppState>,
+    stop: &Arc<AtomicBool>,
+) {
+    if http::set_timeouts(&stream, config.read_timeout, config.write_timeout).is_err() {
+        return;
+    }
+    for served in 0..config.max_keepalive_requests {
+        let request = match http::read_request(&mut stream, &config.limits) {
+            Ok(request) => request,
+            Err(http::ReadError::Closed) => return,
+            Err(http::ReadError::Io(_)) => return,
+            Err(http::ReadError::TimedOut { mid_request }) => {
+                // An idle connection expiring between requests closes
+                // quietly; a stall partway through one gets a
+                // best-effort 408 so the client knows the half-sent
+                // request was not processed.
+                if mid_request {
+                    let response = error_response(408, "request/timeout", "request timed out");
+                    respond_and_close(&mut stream, state, response);
+                }
+                return;
+            }
+            Err(http::ReadError::Malformed(message)) => {
+                let response = error_response(400, "request/malformed", message);
+                respond_and_close(&mut stream, state, response);
+                return;
+            }
+            Err(http::ReadError::BodyTooLarge) => {
+                let response =
+                    error_response(413, "request/body-too-large", "request body exceeds limit");
+                respond_and_close(&mut stream, state, response);
+                return;
+            }
+        };
+        let response = handle_request(state, &request);
+        state.metrics.record_status(response.status);
+        // Stop pinning the worker once shutdown began; the response
+        // header tells the client the connection is closing.
+        let keep_alive = !request.wants_close()
+            && !stop.load(Ordering::SeqCst)
+            && served + 1 < config.max_keepalive_requests;
+        if http::write_response(&mut stream, &response, keep_alive).is_err() || !keep_alive {
+            return;
+        }
+    }
+}
+
+/// Write a terminal error response, then drain a bounded amount of
+/// unread input before the socket drops. Closing with unread bytes in
+/// the receive buffer makes the kernel send RST instead of FIN, which
+/// can discard the just-written error before the client reads it — the
+/// drain lets well-formed-but-rejected requests (unsupported framing,
+/// oversized bodies) still see their 4xx.
+fn respond_and_close(stream: &mut TcpStream, state: &Arc<AppState>, response: Response) {
+    use std::io::Read as _;
+    state.metrics.record_status(response.status);
+    if http::write_response(stream, &response, false).is_err() {
+        return;
+    }
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
+    let mut sink = [0u8; 4096];
+    let mut drained = 0usize;
+    while drained < 256 * 1024 {
+        match stream.read(&mut sink) {
+            Ok(0) => break,
+            Ok(n) => drained += n,
+            Err(_) => break,
+        }
+    }
+}
+
+fn handle_request(state: &Arc<AppState>, request: &Request) -> Response {
+    let _in_flight = state.metrics.begin_request();
+    let timer = Instant::now();
+    // A handler panic must cost one 500, not the connection or worker.
+    let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        crate::api::handle(state, request)
+    }))
+    .unwrap_or_else(|_| error_response(500, "server/internal", "request handler panicked"));
+    state
+        .metrics
+        .latency
+        .record_micros(timer.elapsed().as_micros() as u64);
+    response
+}
+
+fn error_response(status: u16, code: &str, message: &str) -> Response {
+    crate::api::ApiError {
+        status,
+        code: code.to_string(),
+        message: message.to_string(),
+    }
+    .response()
+}

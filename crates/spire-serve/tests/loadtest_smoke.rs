@@ -1,0 +1,66 @@
+//! Smoke test for the closed-loop load harness: a quick run against an
+//! in-process server produces a well-formed `BENCH_serve.json` with
+//! nonzero throughput and coherent request accounting.
+
+use std::time::Duration;
+
+use qcirc::json::{parse, Json};
+use spire_serve::loadtest::{self, LoadConfig};
+
+#[test]
+fn quick_loadtest_produces_a_well_formed_report() {
+    let config = LoadConfig {
+        workers: 2,
+        duration: Duration::from_millis(600),
+        ..LoadConfig::quick()
+    };
+    let report = loadtest::run(&config).expect("load test completes");
+
+    assert!(report.total > 0, "no requests completed");
+    assert!(report.throughput_rps > 0.0);
+    assert_eq!(report.transport_errors, 0, "local sockets must not fail");
+    assert_eq!(report.server_errors, 0, "benchmark mix must be accepted");
+    assert_eq!(report.total, report.ok + report.client_errors);
+    assert_eq!(
+        report.total,
+        report.compile_requests + report.simulate_requests
+    );
+    assert!(report.p50_us <= report.p99_us && report.p99_us <= report.max_us);
+
+    // The serialized document parses and carries the schema the CI
+    // artifact consumers read.
+    let doc = parse(report.to_json().trim()).expect("report JSON parses");
+    assert_eq!(doc.get("schema").and_then(Json::as_u64), Some(1));
+    assert_eq!(doc.get("mode").and_then(Json::as_str), Some("quick"));
+    assert!(doc.get("throughput_rps").and_then(Json::as_f64).unwrap() > 0.0);
+    let latency = doc.get("latency_us").expect("latency section");
+    assert!(latency.get("p99").and_then(Json::as_u64).is_some());
+
+    // The embedded server-side view: the cache saw real traffic, and
+    // after warmup the hit rate is high (each worker re-requests the
+    // same 12 programs).
+    let cache = doc
+        .get("server")
+        .and_then(|s| s.get("cache"))
+        .expect("server cache metrics");
+    let hits = cache.get("hits").and_then(Json::as_u64).unwrap();
+    let misses = cache.get("misses").and_then(Json::as_u64).unwrap();
+    assert!(misses > 0, "at least the first compiles miss");
+    assert!(hits > 0, "repeats must hit the cache");
+    assert!(
+        doc.get("server")
+            .and_then(|s| s.get("single_flight"))
+            .and_then(|f| f.get("led"))
+            .and_then(Json::as_u64)
+            .unwrap()
+            > 0
+    );
+
+    // Writing the artifact works and round-trips.
+    let dir = std::env::temp_dir().join(format!("spire-serve-smoke-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = report.write_json(&dir).unwrap();
+    let written = std::fs::read_to_string(&path).unwrap();
+    assert_eq!(written, report.to_json());
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,383 @@
+//! End-to-end integration tests: a real server on an ephemeral port,
+//! driven over real sockets.
+//!
+//! The load-bearing assertions mirror the service's contract:
+//!
+//! * `/compile` and `/simulate` answers are **identical** to direct
+//!   `spire::pipeline` calls — same T-counts, same `.qc` text bytes,
+//!   same simulated variable values;
+//! * a repeated identical request is served from the cache, observable
+//!   through `/metrics`;
+//! * concurrent requests all succeed and agree;
+//! * failures come back as structured JSON with stable error codes.
+
+use std::net::TcpStream;
+use std::sync::Arc;
+
+use qcirc::json::{parse, Json};
+use qcirc::sim::SparseState;
+use spire::{compile_source, CompileOptions, Machine};
+use spire_serve::http::client_roundtrip;
+use spire_serve::{Server, ServerConfig};
+use tower::WordConfig;
+
+const COUNT_SRC: &str = r#"
+fun count[n](acc: uint, flag: bool) -> uint {
+    if flag {
+        let r <- acc + 1;
+        let out <- count[n-1](r, flag);
+    } else {
+        let out <- acc;
+    }
+    return out;
+}
+"#;
+
+fn start_server() -> Server {
+    Server::start(ServerConfig::default()).expect("server starts on an ephemeral port")
+}
+
+fn request(server: &Server, method: &str, path: &str, body: Option<&str>) -> (u16, Json) {
+    let mut conn = TcpStream::connect(server.addr()).expect("connect");
+    let (status, body) = client_roundtrip(&mut conn, method, path, body).expect("roundtrip");
+    let text = String::from_utf8(body).expect("UTF-8 response");
+    let json = parse(&text).unwrap_or_else(|e| panic!("unparseable response `{text}`: {e}"));
+    (status, json)
+}
+
+fn compile_body(depth: i64, include_qc: bool) -> String {
+    Json::obj()
+        .field("source", COUNT_SRC)
+        .field("entry", "count")
+        .field("depth", depth)
+        .field("include_qc", include_qc)
+        .build()
+        .to_string()
+}
+
+#[test]
+fn compile_matches_direct_pipeline_byte_for_byte() {
+    let server = start_server();
+    let (status, reply) = request(&server, "POST", "/compile", Some(&compile_body(5, true)));
+    assert_eq!(status, 200, "{reply}");
+
+    let direct = compile_source(
+        COUNT_SRC,
+        "count",
+        5,
+        WordConfig::paper_default(),
+        &CompileOptions::spire(),
+    )
+    .unwrap();
+    let hist = direct.histogram();
+    assert_eq!(
+        reply.get("t_complexity").and_then(Json::as_u64),
+        Some(hist.t_complexity())
+    );
+    assert_eq!(
+        reply.get("mcx_complexity").and_then(Json::as_u64),
+        Some(hist.mcx_complexity())
+    );
+    assert_eq!(
+        reply.get("qubits").and_then(Json::as_u64),
+        Some(direct.qubits() as u64)
+    );
+    // The returned .qc text is byte-identical to a direct emission.
+    assert_eq!(
+        reply.get("qc").and_then(Json::as_str),
+        Some(qcirc::qcformat::write(&direct.emit()).as_str())
+    );
+    // And the embedded histogram is the same serialization qcirc produces.
+    assert_eq!(
+        reply.get("histogram").map(|h| h.to_string()),
+        Some(hist.to_json())
+    );
+    server.shutdown();
+}
+
+#[test]
+fn simulate_matches_direct_machine_run() {
+    let server = start_server();
+    let body = Json::obj()
+        .field("source", COUNT_SRC)
+        .field("entry", "count")
+        .field("depth", 4i64)
+        .field(
+            "word",
+            Json::obj().field("uint_bits", 4u64).field("ptr_bits", 2u64),
+        )
+        .field("inputs", Json::obj().field("acc", 3u64).field("flag", 0u64))
+        .build()
+        .to_string();
+    let (status, reply) = request(&server, "POST", "/simulate", Some(&body));
+    assert_eq!(status, 200, "{reply}");
+
+    // Direct execution of the same request.
+    let config = WordConfig {
+        uint_bits: 4,
+        ptr_bits: 2,
+    };
+    let compiled = compile_source(COUNT_SRC, "count", 4, config, &CompileOptions::spire()).unwrap();
+    let mut machine: Machine<SparseState> = Machine::with_backend(&compiled.layout);
+    machine.set_var("acc", 3).unwrap();
+    machine.set_var("flag", 0).unwrap();
+    machine.run(&compiled.emit()).unwrap();
+
+    assert_eq!(reply.get("backend").and_then(Json::as_str), Some("sparse"));
+    assert_eq!(
+        reply.get("qubits").and_then(Json::as_u64),
+        Some(compiled.layout.total_qubits as u64)
+    );
+    let vars = reply.get("vars").expect("vars object");
+    // count(3, false) takes the base case immediately: out = acc = 3 —
+    // identical through the server and the direct machine.
+    assert_eq!(machine.var("out").unwrap(), 3);
+    assert_eq!(vars.get("out").and_then(Json::as_u64), Some(3));
+    // Every live variable the machine reports classically matches.
+    for (name, value) in vars.as_object().unwrap() {
+        assert_eq!(
+            value.as_u64(),
+            machine.var(name).ok(),
+            "variable `{name}` diverges"
+        );
+    }
+    server.shutdown();
+}
+
+#[test]
+fn repeated_request_is_served_from_cache() {
+    let server = start_server();
+    let body = compile_body(3, false);
+    let (status, first) = request(&server, "POST", "/compile", Some(&body));
+    assert_eq!(status, 200);
+    assert_eq!(
+        first.get("served").and_then(Json::as_str),
+        Some("compiled"),
+        "first request compiles"
+    );
+    let (_, second) = request(&server, "POST", "/compile", Some(&body));
+    assert_eq!(
+        second.get("served").and_then(Json::as_str),
+        Some("cache"),
+        "repeat is a cache hit"
+    );
+    assert_eq!(
+        first.get("t_complexity").and_then(Json::as_u64),
+        second.get("t_complexity").and_then(Json::as_u64),
+    );
+
+    // The hit is observable in /metrics, and the stats snapshot is
+    // coherent: one miss, one hit, one entry.
+    let (_, metrics) = request(&server, "GET", "/metrics", None);
+    let cache = metrics.get("cache").expect("cache section");
+    assert_eq!(cache.get("hits").and_then(Json::as_u64), Some(1));
+    assert_eq!(cache.get("misses").and_then(Json::as_u64), Some(1));
+    assert_eq!(cache.get("entries").and_then(Json::as_u64), Some(1));
+    assert_eq!(cache.get("hit_rate").and_then(Json::as_f64), Some(0.5));
+    assert_eq!(
+        metrics
+            .get("requests")
+            .and_then(|r| r.get("compile"))
+            .and_then(Json::as_u64),
+        Some(2)
+    );
+    server.shutdown();
+}
+
+#[test]
+fn concurrent_compile_and_simulate_agree_with_direct_calls() {
+    let server = Arc::new(start_server());
+    let direct = compile_source(
+        COUNT_SRC,
+        "count",
+        6,
+        WordConfig::paper_default(),
+        &CompileOptions::spire(),
+    )
+    .unwrap();
+    let expected_t = direct.histogram().t_complexity();
+
+    let threads: Vec<_> = (0..8)
+        .map(|i| {
+            let server = Arc::clone(&server);
+            std::thread::spawn(move || {
+                if i % 2 == 0 {
+                    let (status, reply) =
+                        request(&server, "POST", "/compile", Some(&compile_body(6, false)));
+                    assert_eq!(status, 200, "{reply}");
+                    reply.get("t_complexity").and_then(Json::as_u64).unwrap()
+                } else {
+                    let body = Json::obj()
+                        .field("source", COUNT_SRC)
+                        .field("entry", "count")
+                        .field("depth", 6i64)
+                        .field("inputs", Json::obj().field("acc", 9u64))
+                        .build()
+                        .to_string();
+                    let (status, reply) = request(&server, "POST", "/simulate", Some(&body));
+                    assert_eq!(status, 200, "{reply}");
+                    // flag defaults to 0: the base case copies acc out.
+                    assert_eq!(
+                        reply
+                            .get("vars")
+                            .and_then(|v| v.get("out"))
+                            .and_then(Json::as_u64),
+                        Some(9)
+                    );
+                    expected_t
+                }
+            })
+        })
+        .collect();
+    for handle in threads {
+        assert_eq!(handle.join().unwrap(), expected_t);
+    }
+
+    // All compile-path requests resolved one underlying compilation:
+    // /compile and /simulate share the content-addressed key.
+    let (_, metrics) = request(&server, "GET", "/metrics", None);
+    let cache = metrics.get("cache").expect("cache section");
+    assert_eq!(cache.get("misses").and_then(Json::as_u64), Some(1));
+    assert_eq!(cache.get("entries").and_then(Json::as_u64), Some(1));
+
+    Arc::try_unwrap(server)
+        .expect("all clients done")
+        .shutdown();
+}
+
+#[test]
+fn benchmarks_endpoint_compiles_the_paper_programs() {
+    let server = start_server();
+    let (status, reply) = request(&server, "GET", "/benchmarks?depth=2", None);
+    assert_eq!(status, 200, "{reply}");
+    let rows = reply
+        .get("benchmarks")
+        .and_then(Json::as_array)
+        .expect("benchmark rows");
+    assert_eq!(rows.len(), bench_suite::programs::all_benchmarks().len());
+    for row in rows {
+        assert!(row.get("t_complexity").and_then(Json::as_u64).unwrap() > 0);
+    }
+    // A second sweep is fully cache-served.
+    let (_, again) = request(&server, "GET", "/benchmarks?depth=2", None);
+    for row in again.get("benchmarks").and_then(Json::as_array).unwrap() {
+        assert_eq!(row.get("served").and_then(Json::as_str), Some("cache"));
+    }
+    server.shutdown();
+}
+
+#[test]
+fn failures_are_structured_with_stable_codes() {
+    let server = start_server();
+    let cases: Vec<(&str, &str, Option<String>, u16, &str)> = vec![
+        ("POST", "/compile", Some("{not json".into()), 400, "request/invalid-json"),
+        ("POST", "/compile", Some("{}".into()), 400, "request/missing-field"),
+        (
+            "POST",
+            "/compile",
+            Some(r#"{"source":"fun f() -> () { }","entry":"f","depth":99}"#.into()),
+            400,
+            "request/invalid-field",
+        ),
+        (
+            "POST",
+            "/compile",
+            Some(r#"{"source":"fun broken(","entry":"broken"}"#.into()),
+            422,
+            "tower/parse",
+        ),
+        (
+            "POST",
+            "/compile",
+            Some(
+                r#"{"source":"fun f(x: uint) -> uint { let y <- x; return y; }","entry":"missing"}"#
+                    .into(),
+            ),
+            422,
+            "tower/unknown-fun",
+        ),
+        (
+            "POST",
+            "/simulate",
+            Some(
+                Json::obj()
+                    .field("source", COUNT_SRC)
+                    .field("entry", "count")
+                    .field("depth", 2i64)
+                    .field("inputs", Json::obj().field("no_such_var", 1u64))
+                    .build()
+                    .to_string(),
+            ),
+            422,
+            "spire/no-register",
+        ),
+        ("GET", "/nope", None, 404, "request/unknown-route"),
+        ("GET", "/compile", None, 405, "request/method-not-allowed"),
+    ];
+    for (method, path, body, expected_status, expected_code) in cases {
+        let (status, reply) = request(&server, method, path, body.as_deref());
+        assert_eq!(status, expected_status, "{method} {path}: {reply}");
+        let error = reply.get("error").expect("structured error body");
+        assert_eq!(
+            error.get("code").and_then(Json::as_str),
+            Some(expected_code),
+            "{method} {path}: {reply}"
+        );
+        assert!(error
+            .get("message")
+            .and_then(Json::as_str)
+            .is_some_and(|m| !m.is_empty()));
+    }
+    server.shutdown();
+}
+
+#[test]
+fn oversized_bodies_are_rejected_with_413() {
+    use std::io::{Read, Write};
+    let server = start_server();
+    let mut conn = TcpStream::connect(server.addr()).unwrap();
+    // Announce a body over the limit; the server must reject from the
+    // header alone, before any body bytes arrive.
+    conn.write_all(b"POST /compile HTTP/1.1\r\nhost: test\r\ncontent-length: 2097152\r\n\r\n")
+        .unwrap();
+    let mut response = String::new();
+    conn.read_to_string(&mut response).unwrap(); // server closes after the 413
+    assert!(response.starts_with("HTTP/1.1 413"), "{response}");
+    assert!(response.contains("request/body-too-large"), "{response}");
+    server.shutdown();
+}
+
+#[test]
+fn chunked_transfer_encoding_is_rejected_not_desynced() {
+    use std::io::{Read, Write};
+    let server = start_server();
+    let mut conn = TcpStream::connect(server.addr()).unwrap();
+    // A chunked body would desync the keep-alive stream if the framing
+    // were ignored; the server must reject it from the headers alone.
+    conn.write_all(
+        b"POST /compile HTTP/1.1\r\nhost: test\r\ntransfer-encoding: chunked\r\n\r\n\
+          5\r\nhello\r\n0\r\n\r\n",
+    )
+    .unwrap();
+    let mut response = String::new();
+    conn.read_to_string(&mut response).unwrap(); // server closes after the 400
+    assert!(response.starts_with("HTTP/1.1 400"), "{response}");
+    assert!(response.contains("request/malformed"), "{response}");
+    server.shutdown();
+}
+
+#[test]
+fn healthz_reports_ok_and_keepalive_reuses_the_connection() {
+    let server = start_server();
+    let mut conn = TcpStream::connect(server.addr()).unwrap();
+    // Three requests down one connection.
+    for _ in 0..3 {
+        let (status, body) = client_roundtrip(&mut conn, "GET", "/healthz", None).unwrap();
+        assert_eq!(status, 200);
+        let json = parse(std::str::from_utf8(&body).unwrap()).unwrap();
+        assert_eq!(json.get("status").and_then(Json::as_str), Some("ok"));
+        assert!(json.get("uptime_seconds").and_then(Json::as_f64).unwrap() >= 0.0);
+    }
+    drop(conn);
+    server.shutdown();
+}

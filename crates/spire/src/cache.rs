@@ -39,7 +39,6 @@
 
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use qcirc::hash::Fnv1a128;
@@ -140,11 +139,22 @@ impl fmt::Display for CacheStats {
 }
 
 /// A thread-safe, content-addressed cache of compiled programs.
+///
+/// The hit/miss counters live under the same lock as the entry map, so
+/// [`CompileCache::stats`] is a *consistent snapshot*: hits, misses, and
+/// the entry count are read atomically together, and a reader (such as
+/// the `spire-serve` `/metrics` endpoint) can never observe torn
+/// counters — e.g. a miss already counted whose entry is not yet visible.
 #[derive(Debug, Default)]
 pub struct CompileCache {
-    entries: Mutex<HashMap<u128, Arc<Compiled>>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    inner: Mutex<CacheInner>,
+}
+
+#[derive(Debug, Default)]
+struct CacheInner {
+    entries: HashMap<u128, Arc<Compiled>>,
+    hits: u64,
+    misses: u64,
 }
 
 impl CompileCache {
@@ -182,26 +192,30 @@ impl CompileCache {
             return Ok(found);
         }
         let compiled = Arc::new(compile_source(source, entry, depth, config, options)?);
-        self.misses.fetch_add(1, Ordering::Relaxed);
-        let mut entries = self.entries.lock().expect("compile cache poisoned");
+        let mut inner = self.inner.lock().expect("compile cache poisoned");
+        inner.misses += 1;
         // A racing thread may have inserted the same key; keep the first
         // insert so existing Arcs stay shared.
-        Ok(entries.entry(key.0).or_insert(compiled).clone())
+        Ok(inner.entries.entry(key.0).or_insert(compiled).clone())
     }
 
     /// Look up a key without compiling. Counts a hit when present.
     pub fn lookup(&self, key: CacheKey) -> Option<Arc<Compiled>> {
-        let entries = self.entries.lock().expect("compile cache poisoned");
-        let found = entries.get(&key.0).cloned();
+        let mut inner = self.inner.lock().expect("compile cache poisoned");
+        let found = inner.entries.get(&key.0).cloned();
         if found.is_some() {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            inner.hits += 1;
         }
         found
     }
 
     /// Number of cached programs.
     pub fn len(&self) -> usize {
-        self.entries.lock().expect("compile cache poisoned").len()
+        self.inner
+            .lock()
+            .expect("compile cache poisoned")
+            .entries
+            .len()
     }
 
     /// Whether the cache holds no programs.
@@ -211,15 +225,23 @@ impl CompileCache {
 
     /// Drop every cached program (counters are kept).
     pub fn clear(&self) {
-        self.entries.lock().expect("compile cache poisoned").clear();
+        self.inner
+            .lock()
+            .expect("compile cache poisoned")
+            .entries
+            .clear();
     }
 
-    /// Current hit/miss/entry counters.
+    /// A consistent snapshot of the hit/miss/entry counters: all three
+    /// fields are read under one lock acquisition, so derived quantities
+    /// (hit rate, requests = hits + misses) are internally coherent even
+    /// while other threads compile.
     pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().expect("compile cache poisoned");
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            entries: self.len(),
+            hits: inner.hits,
+            misses: inner.misses,
+            entries: inner.entries.len(),
         }
     }
 }

@@ -52,6 +52,26 @@ pub enum SpireError {
     },
 }
 
+impl SpireError {
+    /// Stable machine-readable error code.
+    ///
+    /// Front-end errors forward [`TowerError::code`]; backend variants
+    /// use the `spire/` namespace. Codes are append-only (the serving
+    /// layer exposes them in structured error bodies), so a published
+    /// code never changes meaning.
+    pub fn code(&self) -> &'static str {
+        match self {
+            SpireError::Front(e) => e.code(),
+            SpireError::NoRegister { .. } => "spire/no-register",
+            SpireError::SelfAssignment { .. } => "spire/self-assignment",
+            SpireError::AliasedMemSwap { .. } => "spire/aliased-mem-swap",
+            SpireError::UnsoundAllocation { .. } => "spire/unsound-allocation",
+            SpireError::Superposed { .. } => "spire/superposed",
+            SpireError::CellTooWide { .. } => "spire/cell-too-wide",
+        }
+    }
+}
+
 impl fmt::Display for SpireError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -120,5 +140,48 @@ mod tests {
         for e in errs {
             assert!(!e.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn codes_are_namespaced_and_distinct() {
+        let errs = [
+            SpireError::Front(TowerError::UnboundVar {
+                var: Symbol::new("x"),
+            }),
+            SpireError::NoRegister {
+                var: Symbol::new("x"),
+            },
+            SpireError::SelfAssignment {
+                var: Symbol::new("x"),
+            },
+            SpireError::AliasedMemSwap {
+                var: Symbol::new("p"),
+            },
+            SpireError::UnsoundAllocation {
+                var: Symbol::new("x"),
+                message: "m".into(),
+            },
+            SpireError::Superposed {
+                var: Symbol::new("x"),
+            },
+            SpireError::CellTooWide {
+                requested: 9,
+                available: 8,
+            },
+        ];
+        let mut seen = std::collections::HashSet::new();
+        for e in errs {
+            let code = e.code();
+            assert!(
+                code.starts_with("spire/") || code.starts_with("tower/"),
+                "code `{code}` must be namespaced"
+            );
+            assert!(seen.insert(code), "code `{code}` is duplicated");
+        }
+        // Front-end errors forward the tower code unchanged.
+        let front = SpireError::Front(TowerError::UnknownFun {
+            name: Symbol::new("f"),
+        });
+        assert_eq!(front.code(), "tower/unknown-fun");
     }
 }

@@ -56,6 +56,7 @@ pub mod abstract_circuit;
 pub mod cache;
 pub mod cost;
 mod error;
+pub mod flight;
 pub mod layout;
 mod machine;
 pub mod opt;
@@ -65,6 +66,7 @@ pub mod select;
 pub use abstract_circuit::{AInstr, AOp};
 pub use cache::{compile_source_cached, CacheKey, CacheStats, CompileCache};
 pub use error::SpireError;
+pub use flight::{FlightStats, Served, SingleFlight, SingleFlightCache};
 pub use layout::{AllocPolicy, Layout, MemoryLayout, Reg};
 pub use machine::Machine;
 pub use opt::{optimize, OptConfig};

@@ -119,6 +119,35 @@ pub enum TowerError {
     },
 }
 
+impl TowerError {
+    /// Stable machine-readable error code.
+    ///
+    /// Codes are part of the serving API surface (`spire-serve` maps
+    /// every failure to a structured JSON body carrying this code), so
+    /// they are append-only: a variant's code never changes once
+    /// published, and new variants add new codes.
+    pub fn code(&self) -> &'static str {
+        match self {
+            TowerError::Lex { .. } => "tower/lex",
+            TowerError::Parse { .. } => "tower/parse",
+            TowerError::DuplicateType { .. } => "tower/duplicate-type",
+            TowerError::DuplicateFun { .. } => "tower/duplicate-fun",
+            TowerError::UnknownType { .. } => "tower/unknown-type",
+            TowerError::CyclicType { .. } => "tower/cyclic-type",
+            TowerError::UnknownFun { .. } => "tower/unknown-fun",
+            TowerError::UnboundVar { .. } => "tower/unbound-var",
+            TowerError::TypeMismatch { .. } => "tower/type-mismatch",
+            TowerError::RedeclaredAtDifferentType { .. } => "tower/redeclared-at-different-type",
+            TowerError::IfConditionModified { .. } => "tower/if-condition-modified",
+            TowerError::IfUndeclaresOuter { .. } => "tower/if-undeclares-outer",
+            TowerError::ArityMismatch { .. } => "tower/arity-mismatch",
+            TowerError::BadDepthExpr { .. } => "tower/bad-depth-expr",
+            TowerError::InlineBudgetExceeded { .. } => "tower/inline-budget-exceeded",
+            TowerError::UnloweredConstruct { .. } => "tower/unlowered-construct",
+        }
+    }
+}
+
 impl fmt::Display for TowerError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
@@ -178,6 +207,83 @@ impl Error for TowerError {}
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn codes_are_stable_and_well_formed() {
+        let samples = [
+            TowerError::Lex {
+                line: 1,
+                col: 1,
+                message: "m".into(),
+            },
+            TowerError::Parse {
+                line: 1,
+                col: 1,
+                message: "m".into(),
+            },
+            TowerError::DuplicateType {
+                name: Symbol::new("t"),
+            },
+            TowerError::DuplicateFun {
+                name: Symbol::new("f"),
+            },
+            TowerError::UnknownType {
+                name: Symbol::new("t"),
+            },
+            TowerError::CyclicType { ty: "t".into() },
+            TowerError::UnknownFun {
+                name: Symbol::new("f"),
+            },
+            TowerError::UnboundVar {
+                var: Symbol::new("x"),
+            },
+            TowerError::TypeMismatch {
+                context: "c".into(),
+                expected: "a".into(),
+                found: "b".into(),
+            },
+            TowerError::RedeclaredAtDifferentType {
+                var: Symbol::new("x"),
+                original: "a".into(),
+                new: "b".into(),
+            },
+            TowerError::IfConditionModified {
+                var: Symbol::new("x"),
+            },
+            TowerError::IfUndeclaresOuter {
+                var: Symbol::new("x"),
+            },
+            TowerError::ArityMismatch {
+                fun: Symbol::new("f"),
+                expected: 1,
+                found: 2,
+            },
+            TowerError::BadDepthExpr {
+                message: "m".into(),
+            },
+            TowerError::InlineBudgetExceeded {
+                fun: Symbol::new("f"),
+            },
+            TowerError::UnloweredConstruct {
+                construct: "c".into(),
+            },
+        ];
+        let mut seen = std::collections::HashSet::new();
+        for e in samples {
+            let code = e.code();
+            assert!(
+                code.starts_with("tower/"),
+                "code `{code}` must be namespaced"
+            );
+            assert!(
+                code.chars()
+                    .all(|c| c.is_ascii_lowercase() || c == '/' || c == '-'),
+                "code `{code}` must be kebab-case"
+            );
+            assert!(seen.insert(code), "code `{code}` is duplicated");
+        }
+        assert_eq!(seen.len(), 16, "every variant carries a distinct code");
+    }
 
     #[test]
     fn errors_display_nonempty() {

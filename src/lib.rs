@@ -11,6 +11,8 @@
 //!   `.qc` format, simulators.
 //! * [`qopt`] — baseline circuit optimizer analogues.
 //! * [`bench_suite`] — the paper's benchmarks and experiment regenerators.
+//! * [`spire_serve`] — the always-on compile-and-estimate HTTP service
+//!   with single-flight caching and the load-test harness.
 //!
 //! See `README.md` for a tour and `DESIGN.md` for the system inventory.
 
@@ -20,4 +22,5 @@ pub use bench_suite;
 pub use qcirc;
 pub use qopt;
 pub use spire;
+pub use spire_serve;
 pub use tower;
