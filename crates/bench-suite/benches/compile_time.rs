@@ -33,7 +33,7 @@ fn bench_compile(c: &mut Criterion) {
                         )
                         .unwrap()
                         .t_complexity()
-                    })
+                    });
                 },
             );
             group.bench_with_input(
@@ -50,7 +50,7 @@ fn bench_compile(c: &mut Criterion) {
                         )
                         .unwrap()
                         .t_complexity()
-                    })
+                    });
                 },
             );
         }

@@ -25,10 +25,10 @@ fn bench_cost_model(c: &mut Criterion) {
     let mut group = c.benchmark_group("cost-of-costing-insert-d6");
     group.sample_size(10);
     group.bench_function("cost-model-histogram", |b| {
-        b.iter(|| black_box(&compiled).histogram().t_complexity())
+        b.iter(|| black_box(&compiled).histogram().t_complexity());
     });
     group.bench_function("emit-and-count", |b| {
-        b.iter(|| black_box(&compiled).counted_histogram().t_complexity())
+        b.iter(|| black_box(&compiled).counted_histogram().t_complexity());
     });
     group.finish();
 }

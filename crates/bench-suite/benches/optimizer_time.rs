@@ -41,16 +41,16 @@ fn bench_optimizers(c: &mut Criterion) {
     let mut group = c.benchmark_group(format!("optimize-length-simple-d{depth}"));
     group.sample_size(samples);
     group.bench_function("qiskit-like-peephole", |b| {
-        b.iter(|| AdjacentCancel.optimize(black_box(&circuit)).len())
+        b.iter(|| AdjacentCancel.optimize(black_box(&circuit)).len());
     });
     group.bench_function("voqc-like-phasefold", |b| {
-        b.iter(|| PhaseFoldLight.optimize(black_box(&circuit)).len())
+        b.iter(|| PhaseFoldLight.optimize(black_box(&circuit)).len());
     });
     group.bench_function("feynman-mctexpand", |b| {
-        b.iter(|| ToffoliCancel.optimize(black_box(&circuit)).len())
+        b.iter(|| ToffoliCancel.optimize(black_box(&circuit)).len());
     });
     group.bench_function("quizx-like-resynth", |b| {
-        b.iter(|| GlobalResynth.optimize(black_box(&circuit)).len())
+        b.iter(|| GlobalResynth.optimize(black_box(&circuit)).len());
     });
     group.bench_function("spire-program-level", |b| {
         b.iter(|| {
@@ -63,7 +63,7 @@ fn bench_optimizers(c: &mut Criterion) {
             )
             .unwrap()
             .t_complexity()
-        })
+        });
     });
     group.finish();
 }

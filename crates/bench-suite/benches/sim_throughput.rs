@@ -95,7 +95,7 @@ fn sim_throughput(c: &mut Criterion) {
     for n in [24u32, 40, 60] {
         let circuit = structured_workload(n);
         group.bench_with_input(BenchmarkId::new("sparse", n), &circuit, |b, circuit| {
-            b.iter(|| run_sparse(circuit))
+            b.iter(|| run_sparse(circuit));
         });
     }
     group.finish();

@@ -30,6 +30,7 @@
 //! assert_eq!(summary.artifacts.len(), 10);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiments;

@@ -222,7 +222,7 @@ impl OptBenchReport {
     /// as a JSON document.
     pub fn to_json(&self) -> String {
         let entries: Vec<String> = self.entries.iter().map(PassMeasurement::to_json).collect();
-        let base: Vec<String> = baseline().iter().map(|e| e.to_json()).collect();
+        let base: Vec<String> = baseline().iter().map(PassMeasurement::to_json).collect();
         let headline = match self.headline_speedup() {
             Some(speedup) => format!(
                 "{{\"benchmark\":{},\"depth\":{},\"optimizer\":{},\"speedup_vs_baseline\":{:.2}}}",

@@ -97,11 +97,10 @@ impl FigureReport {
             for &(_, y) in &series.points {
                 let _ = write!(out, " {y:>12}");
             }
-            let fit = series
-                .fit
-                .as_deref()
-                .map(|f| format!("{} = {}", series.asymptotic.as_deref().unwrap_or(""), f))
-                .unwrap_or_else(|| "(no exact polynomial fit)".to_string());
+            let fit = series.fit.as_deref().map_or_else(
+                || "(no exact polynomial fit)".to_string(),
+                |f| format!("{} = {}", series.asymptotic.as_deref().unwrap_or(""), f),
+            );
             let _ = writeln!(out, "  | {fit}");
         }
         out
@@ -221,11 +220,10 @@ impl FigureReport {
 }
 
 fn fit_cell(series: &Series) -> String {
-    series
-        .fit
-        .as_deref()
-        .map(|f| format!("{} = {f}", series.asymptotic.as_deref().unwrap_or("")))
-        .unwrap_or_else(|| "(no exact polynomial fit)".to_string())
+    series.fit.as_deref().map_or_else(
+        || "(no exact polynomial fit)".to_string(),
+        |f| format!("{} = {f}", series.asymptotic.as_deref().unwrap_or("")),
+    )
 }
 
 impl TableReport {
@@ -357,7 +355,7 @@ pub fn normalize_timings(text: &str) -> String {
             }
             let unit_follows = bytes.get(k) == Some(&b' ')
                 && bytes.get(k + 1) == Some(&b's')
-                && !bytes.get(k + 2).is_some_and(|b| b.is_ascii_alphanumeric());
+                && !bytes.get(k + 2).is_some_and(u8::is_ascii_alphanumeric);
             if unit_follows {
                 out.extend_from_slice(b"<time>");
                 i = k + 2;

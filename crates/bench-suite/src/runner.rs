@@ -405,8 +405,7 @@ pub struct RunSummary {
 /// stops scaling well beyond that).
 pub fn default_threads() -> usize {
     std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(2)
+        .map_or(2, std::num::NonZero::get)
         .clamp(2, 8)
 }
 

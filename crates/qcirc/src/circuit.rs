@@ -197,7 +197,7 @@ impl Circuit {
     pub fn append(&mut self, other: &Circuit) {
         self.num_qubits = self.num_qubits.max(other.num_qubits);
         self.ops.reserve(other.ops.len());
-        for view in other.iter() {
+        for view in other {
             self.push_view(view);
         }
     }
@@ -298,7 +298,7 @@ impl Circuit {
     /// only ever added at the MCX level.
     pub fn with_extra_controls(&self, extra: &[Qubit]) -> Circuit {
         let mut out = Circuit::new(self.num_qubits);
-        for view in self.iter() {
+        for view in self {
             out.push(view.to_gate().with_extra_controls(extra));
         }
         out
@@ -312,7 +312,7 @@ impl Circuit {
     /// [`Circuit::clifford_t_counts`] for decomposed circuits.
     pub fn histogram(&self) -> GateHistogram {
         let mut hist = GateHistogram::new();
-        for view in self.iter() {
+        for view in self {
             hist.record_view(&view);
         }
         hist
@@ -321,7 +321,7 @@ impl Circuit {
     /// Clifford+T-level gate counts for this circuit.
     pub fn clifford_t_counts(&self) -> CliffordTCounts {
         let mut counts = CliffordTCounts::default();
-        for view in self.iter() {
+        for view in self {
             counts.record_view(&view);
         }
         counts
@@ -339,7 +339,7 @@ impl Circuit {
     pub fn content_hash(&self) -> u128 {
         let mut hasher = crate::hash::Fnv1a128::new();
         hasher.write_u32(self.num_qubits);
-        for view in self.iter() {
+        for view in self {
             let kind = match view.kind {
                 GateKind::Mcx => 0,
                 GateKind::Mch => 1,
@@ -366,6 +366,197 @@ impl Circuit {
     pub fn t_count(&self) -> u64 {
         self.iter().map(|v| v.t_cost()).sum()
     }
+
+    /// Audit the packed representation itself: operand-arena bounds,
+    /// control-list ordering, control/target overlap, qubit accounting,
+    /// and — the invariant every optimizer pass trusts — that each gate's
+    /// precomputed [`Footprint`] equals the mask recomputed from its
+    /// operands.
+    ///
+    /// Every public constructor maintains these invariants, so a non-empty
+    /// result means the stream was corrupted (bit flip, bad interop, or a
+    /// deliberately broken test fixture). The walk never panics: defective
+    /// records are reported, not dereferenced.
+    pub fn audit_raw(&self) -> Vec<RawDefect> {
+        let mut defects = Vec::new();
+        for (index, op) in self.ops.iter().enumerate() {
+            let n = op.nctrl as usize;
+            let controls: &[Qubit] = if n <= INLINE_CONTROLS {
+                &op.cs[..n]
+            } else {
+                let offset = op.cs[0] as usize;
+                match self.arena.get(offset..offset + n) {
+                    Some(slice) => slice,
+                    None => {
+                        defects.push(RawDefect::ArenaOutOfBounds {
+                            index,
+                            offset: op.cs[0],
+                            nctrl: op.nctrl,
+                            arena_len: self.arena.len(),
+                        });
+                        continue;
+                    }
+                }
+            };
+            for pair in controls.windows(2) {
+                if pair[0] >= pair[1] {
+                    defects.push(RawDefect::UnsortedControls {
+                        index,
+                        first: pair[0],
+                        second: pair[1],
+                    });
+                }
+            }
+            if controls.contains(&op.target) {
+                defects.push(RawDefect::ControlTargetOverlap {
+                    index,
+                    qubit: op.target,
+                });
+            }
+            let mut max_qubit = op.target;
+            let mut mask = bit(op.target);
+            for &c in controls {
+                max_qubit = max_qubit.max(c);
+                mask |= bit(c);
+            }
+            if max_qubit >= self.num_qubits {
+                defects.push(RawDefect::QubitOutOfRange {
+                    index,
+                    qubit: max_qubit,
+                    width: self.num_qubits,
+                });
+            }
+            if op.footprint.0 != mask {
+                defects.push(RawDefect::FootprintMismatch {
+                    index,
+                    stored: op.footprint.0,
+                    recomputed: mask,
+                });
+            }
+        }
+        defects
+    }
+
+    /// Overwrite the stored footprint of the `index`-th gate.
+    ///
+    /// Fixture hook for negative tests of [`Circuit::audit_raw`]: it
+    /// deliberately breaks the footprint invariant that every public
+    /// constructor maintains. Never call this outside a test corpus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    #[doc(hidden)]
+    pub fn corrupt_footprint_for_test(&mut self, index: usize, mask: u64) {
+        self.ops[index].footprint = Footprint(mask);
+    }
+
+    /// Overwrite the arena offset of the `index`-th gate.
+    ///
+    /// Fixture hook for negative tests of [`Circuit::audit_raw`]; only
+    /// meaningful for gates with more than two controls (whose control
+    /// list lives in the arena). Never call this outside a test corpus.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= self.len()`.
+    #[doc(hidden)]
+    pub fn corrupt_arena_offset_for_test(&mut self, index: usize, offset: u32) {
+        self.ops[index].cs[0] = offset;
+    }
+
+    /// Push a gate record verbatim, bypassing the control-list
+    /// normalization (sorting, deduplication, overlap assertions) that
+    /// [`Gate`]'s constructors perform.
+    ///
+    /// Fixture hook for building deliberately malformed streams (for
+    /// example a gate whose target is also a control) that exercise
+    /// [`Circuit::audit_raw`] and the static verifier. The stored
+    /// footprint is still computed from the operands, so only the
+    /// invariants the caller chooses to break are broken. Never call this
+    /// outside a test corpus.
+    #[doc(hidden)]
+    pub fn push_raw_for_test(&mut self, kind: GateKind, controls: &[Qubit], target: Qubit) {
+        let mut max_qubit = target;
+        let mut mask = bit(target);
+        for &c in controls {
+            max_qubit = max_qubit.max(c);
+            mask |= bit(c);
+        }
+        self.num_qubits = self.num_qubits.max(max_qubit + 1);
+        let nctrl = controls.len();
+        let cs = if nctrl <= INLINE_CONTROLS {
+            [
+                controls.first().copied().unwrap_or(0),
+                controls.get(1).copied().unwrap_or(0),
+            ]
+        } else {
+            let offset = self.arena.len() as u32;
+            self.arena.extend_from_slice(controls);
+            [offset, 0]
+        };
+        self.ops.push(PackedOp {
+            kind,
+            nctrl: nctrl as u32,
+            target,
+            cs,
+            footprint: Footprint(mask),
+        });
+    }
+}
+
+/// A structural defect in a circuit's packed gate stream, reported by
+/// [`Circuit::audit_raw`].
+///
+/// `index` is always the position of the defective gate in the stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RawDefect {
+    /// A gate's control list points outside the operand arena.
+    ArenaOutOfBounds {
+        /// Gate position.
+        index: usize,
+        /// Claimed arena offset.
+        offset: u32,
+        /// Claimed control count.
+        nctrl: u32,
+        /// Actual arena length.
+        arena_len: usize,
+    },
+    /// Adjacent controls out of order (or duplicated).
+    UnsortedControls {
+        /// Gate position.
+        index: usize,
+        /// Earlier control.
+        first: Qubit,
+        /// Later control (≤ the earlier one).
+        second: Qubit,
+    },
+    /// The target also appears in the control list.
+    ControlTargetOverlap {
+        /// Gate position.
+        index: usize,
+        /// The shared qubit.
+        qubit: Qubit,
+    },
+    /// A gate references a qubit at or beyond the circuit's width.
+    QubitOutOfRange {
+        /// Gate position.
+        index: usize,
+        /// The out-of-range qubit.
+        qubit: Qubit,
+        /// The circuit's claimed width.
+        width: u32,
+    },
+    /// The stored footprint differs from the mask recomputed from the
+    /// gate's operands.
+    FootprintMismatch {
+        /// Gate position.
+        index: usize,
+        /// Stored mask.
+        stored: u64,
+        /// Mask recomputed from the operands.
+        recomputed: u64,
+    },
 }
 
 impl GateSink for Circuit {
@@ -435,7 +626,7 @@ impl<'a> IntoIterator for &'a Circuit {
 impl fmt::Display for Circuit {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "# {} qubits, {} gates", self.num_qubits, self.len())?;
-        for view in self.iter() {
+        for view in self {
             writeln!(f, "{view}")?;
         }
         Ok(())
@@ -583,6 +774,58 @@ mod tests {
         for other in [&reordered, &retargeted, &rekinded, &widened] {
             assert_ne!(a.content_hash(), other.content_hash());
         }
+    }
+
+    #[test]
+    fn audit_accepts_every_constructed_circuit() {
+        let c = Circuit::from_gates(vec![
+            Gate::x(0),
+            Gate::cnot(1, 2),
+            Gate::mcx(vec![0, 1, 2, 3, 4], 5),
+            Gate::h(1),
+            Gate::T(4),
+        ]);
+        assert!(c.audit_raw().is_empty());
+    }
+
+    #[test]
+    fn audit_reports_corrupted_footprint() {
+        let mut c = Circuit::from_gates(vec![Gate::toffoli(0, 1, 2), Gate::x(3)]);
+        c.corrupt_footprint_for_test(0, 0b1000);
+        let defects = c.audit_raw();
+        assert_eq!(defects.len(), 1);
+        assert!(matches!(
+            defects[0],
+            RawDefect::FootprintMismatch {
+                index: 0,
+                stored: 0b1000,
+                recomputed: 0b111,
+            }
+        ));
+    }
+
+    #[test]
+    fn audit_reports_arena_out_of_bounds() {
+        let mut c = Circuit::from_gates(vec![Gate::mcx(vec![0, 1, 2, 3], 4)]);
+        c.corrupt_arena_offset_for_test(0, 1000);
+        assert!(matches!(
+            c.audit_raw()[0],
+            RawDefect::ArenaOutOfBounds { index: 0, .. }
+        ));
+    }
+
+    #[test]
+    fn audit_reports_overlap_and_ordering() {
+        let mut c = Circuit::new(4);
+        c.push_raw_for_test(GateKind::Mcx, &[0, 0], 1);
+        c.push_raw_for_test(GateKind::Mcx, &[2], 2);
+        let defects = c.audit_raw();
+        assert!(defects
+            .iter()
+            .any(|d| matches!(d, RawDefect::UnsortedControls { index: 0, .. })));
+        assert!(defects
+            .iter()
+            .any(|d| matches!(d, RawDefect::ControlTargetOverlap { index: 1, qubit: 2 })));
     }
 
     #[test]

@@ -43,7 +43,7 @@ use crate::sink::GateSink;
 pub fn mcx_to_toffoli(circuit: &Circuit) -> Circuit {
     let ancilla_base = circuit.num_qubits();
     let mut out = Circuit::new(circuit.num_qubits());
-    for view in circuit.iter() {
+    for view in circuit {
         emit_toffoli_level_view(view, ancilla_base, &mut out);
     }
     out
@@ -152,7 +152,7 @@ pub fn ancillas_needed(circuit: &Circuit) -> u32 {
 /// remains; run [`mcx_to_toffoli`] first.
 pub fn toffoli_to_clifford_t(circuit: &Circuit) -> Result<Circuit, QcircError> {
     let mut out = Circuit::new(circuit.num_qubits());
-    for view in circuit.iter() {
+    for view in circuit {
         match view.kind {
             GateKind::Mcx => match view.controls[..] {
                 [] | [_] => out.push_view(view),

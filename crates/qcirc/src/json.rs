@@ -285,7 +285,7 @@ impl From<String> for Json {
 
 impl<T: Into<Json>> From<Option<T>> for Json {
     fn from(opt: Option<T>) -> Json {
-        opt.map(Into::into).unwrap_or(Json::Null)
+        opt.map_or(Json::Null, Into::into)
     }
 }
 

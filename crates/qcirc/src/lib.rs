@@ -39,6 +39,7 @@
 //! assert_eq!(hist.t_complexity(), 21);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
@@ -54,7 +55,7 @@ pub mod json;
 pub mod qcformat;
 pub mod sim;
 
-pub use circuit::{Circuit, Footprint, GateIter};
+pub use circuit::{Circuit, Footprint, GateIter, RawDefect};
 pub use error::QcircError;
 pub use gate::{Gate, GateKind, GateView, Qubit};
 pub use histogram::{

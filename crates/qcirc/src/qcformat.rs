@@ -39,7 +39,7 @@ pub fn write(circuit: &Circuit) -> String {
         out.push('\n');
     }
     out.push_str("\nBEGIN\n");
-    for view in circuit.iter() {
+    for view in circuit {
         // Write straight into the output buffer: no per-gate line string.
         match view.kind {
             GateKind::Mcx => {

@@ -142,7 +142,7 @@ impl BasisState {
     ///
     /// Stops at the first gate that fails to apply (see [`BasisState::apply`]).
     pub fn run(&mut self, circuit: &Circuit) -> Result<(), QcircError> {
-        for view in circuit.iter() {
+        for view in circuit {
             self.apply_view(view)?;
         }
         Ok(())

@@ -104,7 +104,7 @@ pub trait Simulator {
     ///
     /// Stops at the first failing gate (see [`Simulator::apply_view`]).
     fn run(&mut self, circuit: &Circuit) -> Result<(), QcircError> {
-        for view in circuit.iter() {
+        for view in circuit {
             self.apply_view(view)?;
         }
         Ok(())

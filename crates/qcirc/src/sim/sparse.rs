@@ -168,7 +168,7 @@ impl SparseState {
     ///
     /// Stops at the first failing gate (see [`SparseState::apply`]).
     pub fn run(&mut self, circuit: &Circuit) -> Result<(), QcircError> {
-        for view in circuit.iter() {
+        for view in circuit {
             self.apply_view(view)?;
         }
         Ok(())
@@ -224,7 +224,7 @@ impl SparseState {
 
     fn apply_phase(&mut self, qubit: Qubit, phase: Complex) {
         let qbit = 1u64 << qubit;
-        for (&k, a) in self.amps.iter_mut() {
+        for (&k, a) in &mut self.amps {
             if k & qbit != 0 {
                 *a = *a * phase;
             }

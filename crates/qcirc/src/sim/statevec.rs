@@ -112,7 +112,7 @@ impl StateVec {
     ///
     /// Stops at the first failing gate (see [`StateVec::apply`]).
     pub fn run(&mut self, circuit: &Circuit) -> Result<(), QcircError> {
-        for view in circuit.iter() {
+        for view in circuit {
             self.apply_view(view)?;
         }
         Ok(())

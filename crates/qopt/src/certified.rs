@@ -1,0 +1,90 @@
+//! Post-pass certification: re-verify every optimizer output.
+//!
+//! Wraps any [`CircuitOptimizer`] so that each `optimize` call is followed
+//! by `spire-verify`'s pass certification — structural well-formedness of
+//! the rewritten stream (footprint audit included) and the T-count
+//! non-increase invariant every pass in this crate promises. A failure is
+//! always an optimizer bug, so certification panics with the full
+//! diagnostic list rather than returning it.
+//!
+//! Certification runs when `debug_assertions` are on (so every test build
+//! certifies for free) or when the `QOPT_CERTIFY` environment variable is
+//! set to anything but `0`/`off` (the release-build opt-in).
+
+use qcirc::Circuit;
+
+use crate::passes::CircuitOptimizer;
+
+/// Whether pass certification is active for this process.
+pub fn certification_enabled() -> bool {
+    if cfg!(debug_assertions) {
+        return true;
+    }
+    std::env::var_os("QOPT_CERTIFY").is_some_and(|v| v != *"0" && v != *"off")
+}
+
+/// A [`CircuitOptimizer`] whose output is certified after every call.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Certified<O>(pub O);
+
+impl<O: CircuitOptimizer> CircuitOptimizer for Certified<O> {
+    fn name(&self) -> &'static str {
+        self.0.name()
+    }
+
+    fn analogue_of(&self) -> &'static str {
+        self.0.analogue_of()
+    }
+
+    fn optimize(&self, circuit: &Circuit) -> Circuit {
+        let optimized = self.0.optimize(circuit);
+        if certification_enabled() {
+            spire_verify::assert_certified(self.0.name(), circuit, &optimized);
+        }
+        optimized
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::passes::ToffoliCancel;
+    use qcirc::Gate;
+
+    #[test]
+    fn certified_pass_is_transparent_on_clean_rewrites() {
+        let mut c = Circuit::new(4);
+        c.push(Gate::mcx(vec![0, 1, 2], 3));
+        c.push(Gate::mcx(vec![0, 1, 2], 3));
+        let plain = ToffoliCancel.optimize(&c);
+        let certified = Certified(ToffoliCancel).optimize(&c);
+        assert_eq!(plain.content_hash(), certified.content_hash());
+        assert_eq!(Certified(ToffoliCancel).name(), ToffoliCancel.name());
+    }
+
+    struct Bloater;
+
+    impl CircuitOptimizer for Bloater {
+        fn name(&self) -> &'static str {
+            "bloater"
+        }
+
+        fn analogue_of(&self) -> &'static str {
+            "a buggy pass"
+        }
+
+        fn optimize(&self, circuit: &Circuit) -> Circuit {
+            let mut out = circuit.clone();
+            out.push(Gate::mcx(vec![0, 1], 2));
+            out
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed certification")]
+    fn certified_pass_catches_t_increase() {
+        // Debug builds (as tests are) always certify.
+        let c = Circuit::new(3);
+        let _ = Certified(Bloater).optimize(&c);
+    }
+}

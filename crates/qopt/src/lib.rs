@@ -32,19 +32,22 @@
 //! assert_eq!(optimized.clifford_t_counts().t_count(), 0);
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod cancel;
+mod certified;
 mod commute;
 mod passes;
 mod phase_fold;
 pub mod search;
 
 pub use cancel::{cancel_fixpoint, cancel_with_window};
+pub use certified::{certification_enabled, Certified};
 pub use commute::{commutes, commutes_views};
 pub use passes::{
-    registry, AdjacentCancel, CircuitOptimizer, CliffordTResynth, GlobalResynth, Peephole,
-    PhaseFoldLight, ToffoliCancel, ZxGraphLike,
+    registry, registry_certified, AdjacentCancel, CircuitOptimizer, CliffordTResynth,
+    GlobalResynth, Peephole, PhaseFoldLight, ToffoliCancel, ZxGraphLike,
 };
 pub use phase_fold::phase_fold;
 pub use search::{SearchConfig, SearchOpt};

@@ -217,6 +217,22 @@ pub fn registry() -> Vec<Box<dyn CircuitOptimizer>> {
     ]
 }
 
+/// [`registry`] with every pass wrapped in [`crate::Certified`]: each
+/// application is re-verified (structural audit plus the T-count
+/// non-increase invariant) when certification is active — always under
+/// `debug_assertions`, or via `QOPT_CERTIFY=1` in release builds.
+pub fn registry_certified() -> Vec<Box<dyn CircuitOptimizer>> {
+    vec![
+        Box::new(crate::Certified(AdjacentCancel)),
+        Box::new(crate::Certified(Peephole)),
+        Box::new(crate::Certified(PhaseFoldLight)),
+        Box::new(crate::Certified(ZxGraphLike)),
+        Box::new(crate::Certified(CliffordTResynth)),
+        Box::new(crate::Certified(ToffoliCancel)),
+        Box::new(crate::Certified(GlobalResynth)),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

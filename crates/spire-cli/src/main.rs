@@ -3,6 +3,7 @@
 //! ```text
 //! spire-cli compile <file.twr> --entry f --depth n [--opt spire|cf|cn|none] [--out circuit.qc]
 //! spire-cli analyze <file.twr> --entry f --depth n
+//! spire-cli check (<file.twr> --entry f --depth n [--opt ...] | --benchmarks) [--json]
 //! spire-cli benchmarks
 //! spire-cli experiments <fig2|fig12|fig15a|fig15b|table1|table2|table4|table5|fig24|appendix-a|all>
 //! spire-cli report [--out-dir reports] [--threads n] [--quick] [--check]
@@ -10,6 +11,7 @@
 //! spire-cli loadtest [--addr host:port] [--workers n] [--seconds s] [--quick]
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::fs;
@@ -28,6 +30,7 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("compile") => cmd_compile(&args[1..]),
         Some("analyze") => cmd_analyze(&args[1..]),
+        Some("check") => cmd_check(&args[1..]),
         Some("benchmarks") => cmd_benchmarks(),
         Some("experiments") => cmd_experiments(&args[1..]),
         Some("report") => cmd_report(&args[1..]),
@@ -51,6 +54,8 @@ const USAGE: &str = "usage:
   spire-cli compile <file.twr> --entry <fun> --depth <n> [--opt spire|cf|cn|none] [--out <file.qc>]
                     [--simulate] [--set <var>=<value> ...]
   spire-cli analyze <file.twr> --entry <fun> --depth <n>
+  spire-cli check <file.twr> --entry <fun> --depth <n> [--opt spire|cf|cn|none] [--json]
+  spire-cli check --benchmarks [--json]
   spire-cli benchmarks
   spire-cli experiments <fig2|fig12|fig15a|fig15b|table1|table2|table4|table5|fig24|appendix-a|all>
   spire-cli report [--out-dir <dir>] [--threads <n>] [--quick] [--check]
@@ -62,8 +67,17 @@ const USAGE: &str = "usage:
   to 64 qubits, classical otherwise) and prints every live variable;
   --set initializes an input register first.
 
+  check runs the spire-verify static analyses (gate-stream
+  well-formedness, ancilla discipline, static T-complexity bounds; see
+  docs/ANALYSIS.md) over the compiled program and prints structured
+  diagnostics with stable `verify/...` codes. --benchmarks checks every
+  paper benchmark instead of a file; --json emits the machine-readable
+  report (the format CI pins a golden copy of). Exits nonzero on any
+  error-severity diagnostic.
+
   serve runs the compile-and-estimate HTTP service (POST /compile,
-  POST /simulate, GET /benchmarks, GET /metrics, GET /healthz) until the
+  POST /simulate, POST /check, GET /benchmarks, GET /metrics,
+  GET /healthz) until the
   process is killed; port 0 picks an ephemeral port, printed on stdout.
   See docs/SERVING.md for the protocol.
 
@@ -110,6 +124,29 @@ fn load(args: &[String]) -> Result<(String, String, i64, OptConfig), String> {
     Ok((source, entry, depth, opt))
 }
 
+/// Render a compile error with its source location when one can be
+/// recovered: code, `line:col`, the offending line, and a caret under the
+/// span.
+fn render_compile_error(source: &str, err: &spire::SpireError) -> String {
+    let Some(span) = err.locate(source) else {
+        return format!("{err} [{}]", err.code());
+    };
+    let (line, col) = span.line_col(source);
+    let text = source.lines().nth(line - 1).unwrap_or("");
+    let span_chars = source[span.start.min(source.len())..span.end.min(source.len())]
+        .chars()
+        .count();
+    let room = text.chars().count().saturating_sub(col - 1);
+    let caret = "^".repeat(span_chars.min(room).max(1));
+    format!(
+        "{err} [{}]\n --> {line}:{col} (bytes {}..{})\n  | {text}\n  | {}{caret}",
+        err.code(),
+        span.start,
+        span.end,
+        " ".repeat(col - 1),
+    )
+}
+
 fn cmd_compile(args: &[String]) -> Result<(), String> {
     let (source, entry, depth, opt) = load(args)?;
     let compiled = compile_source(
@@ -119,7 +156,7 @@ fn cmd_compile(args: &[String]) -> Result<(), String> {
         WordConfig::paper_default(),
         &CompileOptions::with_opt(opt),
     )
-    .map_err(|e| e.to_string())?;
+    .map_err(|e| render_compile_error(&source, &e))?;
     let circuit = compiled.emit();
     let qc = qcirc::qcformat::write(&circuit);
     match flag(args, "--out") {
@@ -242,6 +279,106 @@ fn cmd_analyze(args: &[String]) -> Result<(), String> {
         );
     }
     Ok(())
+}
+
+/// `check`: the spire-verify static analyses as a diagnostics surface
+/// (see `docs/ANALYSIS.md`). Exits nonzero on error-severity diagnostics.
+fn cmd_check(args: &[String]) -> Result<(), String> {
+    let json = args.iter().any(|a| a == "--json");
+    if args.iter().any(|a| a == "--benchmarks") {
+        return check_benchmarks(json);
+    }
+    let (source, entry, depth, opt) = load(args)?;
+    let report = spire::check_source(
+        &source,
+        &entry,
+        depth,
+        WordConfig::paper_default(),
+        &CompileOptions::with_opt(opt),
+    )
+    .map_err(|e| render_compile_error(&source, &e))?;
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        print_report(&format!("`{entry}` at depth {depth}"), &report);
+    }
+    if report.is_clean() {
+        Ok(())
+    } else {
+        Err(format!(
+            "check failed with {} error(s)",
+            report.error_count()
+        ))
+    }
+}
+
+/// Check every paper benchmark under the full Spire configuration. The
+/// `--json` output is deterministic (no timings) and pinned as a golden
+/// file by the CI `check` job.
+fn check_benchmarks(json: bool) -> Result<(), String> {
+    let mut rows = Vec::new();
+    let mut dirty = 0usize;
+    for bench in bench_suite::programs::all_benchmarks() {
+        let depth = if bench.constant { 0 } else { 3 };
+        let report = spire::check_source(
+            &bench.source,
+            bench.entry,
+            depth,
+            WordConfig::paper_default(),
+            &CompileOptions::spire(),
+        )
+        .map_err(|e| format!("checking {}: {e}", bench.name))?;
+        if !report.is_clean() {
+            dirty += 1;
+        }
+        if json {
+            rows.push(
+                qcirc::json::Json::obj()
+                    .field("name", bench.name)
+                    .field("entry", bench.entry)
+                    .field("depth", depth)
+                    .field("report", report.to_json())
+                    .build(),
+            );
+        } else {
+            print_report(&format!("{} at depth {depth}", bench.name), &report);
+        }
+    }
+    if json {
+        let doc = qcirc::json::Json::obj()
+            .field("clean", dirty == 0)
+            .field("benchmarks", rows)
+            .build();
+        println!("{doc}");
+    }
+    if dirty == 0 {
+        Ok(())
+    } else {
+        Err(format!("check failed on {dirty} benchmark(s)"))
+    }
+}
+
+/// Human-readable rendering of one verification report.
+fn print_report(subject: &str, report: &spire::spire_verify::Report) {
+    let verdict = if report.is_clean() { "clean" } else { "FAILED" };
+    println!(
+        "check {subject}: {verdict} ({} diagnostic(s), {} function bound(s))",
+        report.diagnostics.len(),
+        report.functions.len()
+    );
+    for diag in &report.diagnostics {
+        println!("  {diag}");
+    }
+    for bounds in &report.functions {
+        println!(
+            "  fn {:<16} T in [{}, {}]  actual {}  {}",
+            bounds.name,
+            bounds.min,
+            bounds.max,
+            bounds.actual,
+            if bounds.holds() { "ok" } else { "VIOLATED" }
+        );
+    }
 }
 
 fn cmd_benchmarks() -> Result<(), String> {
@@ -478,17 +615,13 @@ fn summary_json(summary: &RunSummary) -> String {
                 )
             };
             let hist = |options: &CompileOptions| {
-                compiled(options)
-                    .map(|c| c.histogram().to_json())
-                    .unwrap_or_else(|_| "null".into())
+                compiled(options).map_or_else(|_| "null".into(), |c| c.histogram().to_json())
             };
             // The fully decomposed Clifford+T gate counts of the
             // Spire-optimized circuit (Tables 5/6 currency).
             let clifford_t = compiled(&CompileOptions::spire())
                 .ok()
-                .and_then(|c| qcirc::decompose::to_clifford_t(&c.emit()).ok())
-                .map(|circuit| circuit.clifford_t_counts().to_json())
-                .unwrap_or_else(|| "null".into());
+                .and_then(|c| qcirc::decompose::to_clifford_t(&c.emit()).ok()).map_or_else(|| "null".into(), |circuit| circuit.clifford_t_counts().to_json());
             format!(
                 "{{\"name\":{},\"group\":{},\"entry\":{},\"depth\":{depth},\"baseline\":{},\"spire\":{},\"spire_clifford_t\":{}}}",
                 json_string(bench.name),
@@ -671,7 +804,7 @@ fn workspace_root() -> &'static Path {
 }
 
 fn cmd_experiments(args: &[String]) -> Result<(), String> {
-    let which = args.first().map(String::as_str).unwrap_or("all");
+    let which = args.first().map_or("all", String::as_str);
     let run = |id: &str| -> Result<(), String> {
         match id {
             "fig2" => println!("{}", experiments::fig2(2..=10).render()),
@@ -687,7 +820,7 @@ fn cmd_experiments(args: &[String]) -> Result<(), String> {
                 println!(
                     "{}",
                     experiments::appendix_a(6, &[2, 4, 8, 12, 16]).render()
-                )
+                );
             }
             other => return Err(format!("unknown experiment `{other}`")),
         }

@@ -1,0 +1,37 @@
+//! Pins the machine-readable `spire check --benchmarks --json` output.
+//!
+//! The golden file is the contract the CI `check` job enforces: every
+//! benchmark verifies clean, and the static T-complexity bounds printed
+//! there only change when a reviewed commit changes them. Regenerate with
+//!
+//! ```text
+//! cargo run --release -p spire-cli -- check --benchmarks --json \
+//!     > tests/golden/check_benchmarks.json
+//! ```
+
+use std::process::Command;
+
+#[test]
+fn check_benchmarks_json_matches_golden() {
+    let out = Command::new(env!("CARGO_BIN_EXE_spire"))
+        .args(["check", "--benchmarks", "--json"])
+        .output()
+        .expect("run spire check");
+    assert!(
+        out.status.success(),
+        "spire check --benchmarks failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let actual = String::from_utf8(out.stdout).expect("utf-8 output");
+    let golden_path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../tests/golden/check_benchmarks.json"
+    );
+    let golden = std::fs::read_to_string(golden_path).expect("read golden file");
+    assert_eq!(
+        actual.trim(),
+        golden.trim(),
+        "spire check --benchmarks --json drifted from tests/golden/check_benchmarks.json; \
+         if the change is intentional, regenerate the golden file"
+    );
+}

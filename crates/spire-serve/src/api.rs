@@ -95,6 +95,10 @@ pub fn handle(state: &AppState, request: &Request) -> Response {
                 .fetch_add(1, Ordering::Relaxed);
             run(|| simulate_endpoint(state, request))
         }
+        ("POST", "/check") => {
+            state.metrics.check.requests.fetch_add(1, Ordering::Relaxed);
+            run(|| check_endpoint(state, request))
+        }
         ("GET", "/benchmarks") => {
             state
                 .metrics
@@ -119,15 +123,17 @@ pub fn handle(state: &AppState, request: &Request) -> Response {
                 .fetch_add(1, Ordering::Relaxed);
             healthz_endpoint(state)
         }
-        (_, "/compile" | "/simulate" | "/benchmarks" | "/metrics" | "/healthz") => ApiError::new(
-            405,
-            "request/method-not-allowed",
-            format!(
-                "method {} not supported on {}",
-                request.method, request.path
-            ),
-        )
-        .response(),
+        (_, "/compile" | "/simulate" | "/check" | "/benchmarks" | "/metrics" | "/healthz") => {
+            ApiError::new(
+                405,
+                "request/method-not-allowed",
+                format!(
+                    "method {} not supported on {}",
+                    request.method, request.path
+                ),
+            )
+            .response()
+        }
         _ => ApiError::new(
             404,
             "request/unknown-route",
@@ -365,6 +371,24 @@ fn read_vars(compiled: &Compiled, read: impl Fn(&str) -> Option<u64>) -> Json {
         fields.push((name.to_string(), Json::from(read(name))));
     }
     Json::Object(fields)
+}
+
+/// `POST /check`: run the `spire-verify` static analyses over the
+/// compiled program (same request schema as `/compile`, served through
+/// the same cache) and return the diagnostics report — gate-stream
+/// well-formedness, ancilla discipline, and the entry function's static
+/// T-complexity bounds. A dirty report is still a `200`: the *check*
+/// succeeded; `report.clean` says what it found.
+fn check_endpoint(state: &AppState, request: &Request) -> Result<Json, ApiError> {
+    let body = parse_body(request)?;
+    let params = compile_params(&body)?;
+    let (compiled, served, key) = compile_through_cache(state, &params)?;
+    let report = spire::check_compiled(&compiled, &params.entry);
+    Ok(Json::obj()
+        .field("key", key.to_string())
+        .field("served", served_label(served))
+        .field("report", report.to_json())
+        .build())
 }
 
 fn benchmarks_endpoint(state: &AppState, request: &Request) -> Result<Json, ApiError> {

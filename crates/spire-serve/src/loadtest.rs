@@ -7,8 +7,8 @@
 //! sustains (the standard closed-loop model; throughput is the measured
 //! outcome, not an input). The request mix cycles deterministically
 //! (seeded per worker) over the paper's benchmark programs as `/compile`
-//! requests, with a configurable share of `/simulate` on the running
-//! example.
+//! requests, with configurable shares of `/simulate` on the running
+//! example and `/check` (static verification) on the benchmark bodies.
 //!
 //! The report serializes the client-side view (throughput, exact
 //! p50/p90/p99 over every recorded latency) together with the server's
@@ -41,8 +41,12 @@ pub struct LoadConfig {
     pub duration: Duration,
     /// Recursion depth of the `/compile` mix.
     pub depth: i64,
-    /// Fraction of requests sent to `/simulate` (the rest compile).
+    /// Fraction of requests sent to `/simulate`.
     pub simulate_share: f64,
+    /// Fraction of requests sent to `/check` (static verification over
+    /// the benchmark programs; the remainder after `/simulate` and
+    /// `/check` goes to `/compile`).
+    pub check_share: f64,
     /// RNG seed for the request mix.
     pub seed: u64,
 }
@@ -57,6 +61,7 @@ impl LoadConfig {
             duration: Duration::from_secs(2),
             depth: 3,
             simulate_share: 0.1,
+            check_share: 0.1,
             seed: 0x5EED,
         }
     }
@@ -69,6 +74,7 @@ impl LoadConfig {
             duration: Duration::from_secs(10),
             depth: 5,
             simulate_share: 0.1,
+            check_share: 0.1,
             seed: 0x5EED,
         }
     }
@@ -105,6 +111,8 @@ pub struct LoadReport {
     pub compile_requests: u64,
     /// `/simulate` requests sent.
     pub simulate_requests: u64,
+    /// `/check` requests sent.
+    pub check_requests: u64,
     /// Completed requests per second over the window.
     pub throughput_rps: f64,
     /// Exact percentiles over every recorded latency, in microseconds.
@@ -123,7 +131,7 @@ impl LoadReport {
     /// Serialize as the `BENCH_serve.json` document.
     pub fn to_json(&self) -> String {
         let mut doc = Json::obj()
-            .field("schema", 1u64)
+            .field("schema", 2u64)
             .field("mode", self.mode)
             .field("workers", self.workers)
             .field("duration_seconds", self.wall.as_secs_f64())
@@ -136,7 +144,8 @@ impl LoadReport {
                     .field("server_errors", self.server_errors)
                     .field("transport_errors", self.transport_errors)
                     .field("compile", self.compile_requests)
-                    .field("simulate", self.simulate_requests),
+                    .field("simulate", self.simulate_requests)
+                    .field("check", self.check_requests),
             )
             .field("throughput_rps", self.throughput_rps)
             .field(
@@ -189,6 +198,7 @@ struct WorkerOutcome {
     transport_errors: u64,
     compile_requests: u64,
     simulate_requests: u64,
+    check_requests: u64,
 }
 
 /// Run a load test.
@@ -241,6 +251,7 @@ pub fn run(config: &LoadConfig) -> io::Result<LoadReport> {
                         compile_bodies,
                         simulate_body,
                         config.simulate_share,
+                        config.check_share,
                         config.seed.wrapping_add(worker as u64),
                     )
                 })
@@ -294,6 +305,7 @@ pub fn run(config: &LoadConfig) -> io::Result<LoadReport> {
         transport_errors: sum(|o| o.transport_errors),
         compile_requests: sum(|o| o.compile_requests),
         simulate_requests: sum(|o| o.simulate_requests),
+        check_requests: sum(|o| o.check_requests),
         throughput_rps: if wall.as_secs_f64() > 0.0 {
             total as f64 / wall.as_secs_f64()
         } else {
@@ -313,6 +325,7 @@ fn worker_loop(
     compile_bodies: &[String],
     simulate_body: &str,
     simulate_share: f64,
+    check_share: f64,
     seed: u64,
 ) -> WorkerOutcome {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -324,6 +337,7 @@ fn worker_loop(
         transport_errors: 0,
         compile_requests: 0,
         simulate_requests: 0,
+        check_requests: 0,
     };
     let mut stream: Option<TcpStream> = None;
     while Instant::now() < deadline {
@@ -346,10 +360,21 @@ fn worker_loop(
             }
         }
         let connection = stream.as_mut().expect("connected above");
-        let simulate = rng.random_bool(simulate_share);
-        let (path, body) = if simulate {
+        // One roll splits the mix: [0, sim) → /simulate,
+        // [sim, sim+check) → /check, the rest → /compile. The check and
+        // compile arms draw from the same benchmark bodies, so every
+        // /check after the first warm-up is a cache hit plus analysis —
+        // exactly the production shape the endpoint is built for.
+        // The vendored rand only samples integer ranges; a 20-bit roll
+        // gives the shares ~1e-6 resolution, plenty for a request mix.
+        let roll = f64::from(rng.random_range(0u32..1 << 20)) / f64::from(1u32 << 20);
+        let (path, body) = if roll < simulate_share {
             outcome.simulate_requests += 1;
             ("/simulate", simulate_body)
+        } else if roll < simulate_share + check_share {
+            outcome.check_requests += 1;
+            let i = rng.random_range(0..compile_bodies.len());
+            ("/check", compile_bodies[i].as_str())
         } else {
             outcome.compile_requests += 1;
             let i = rng.random_range(0..compile_bodies.len());

@@ -127,6 +127,8 @@ pub struct Metrics {
     pub compile: EndpointCounters,
     /// `/simulate` requests.
     pub simulate: EndpointCounters,
+    /// `/check` requests.
+    pub check: EndpointCounters,
     /// `/benchmarks` requests.
     pub benchmarks: EndpointCounters,
     /// `/metrics` + `/healthz` requests.
@@ -150,6 +152,7 @@ impl Default for Metrics {
             in_flight: AtomicU64::new(0),
             compile: EndpointCounters::default(),
             simulate: EndpointCounters::default(),
+            check: EndpointCounters::default(),
             benchmarks: EndpointCounters::default(),
             control: EndpointCounters::default(),
             ok_2xx: AtomicU64::new(0),
@@ -222,6 +225,7 @@ impl Metrics {
                 Json::obj()
                     .field("compile", self.compile.requests.load(load))
                     .field("simulate", self.simulate.requests.load(load))
+                    .field("check", self.check.requests.load(load))
                     .field("benchmarks", self.benchmarks.requests.load(load))
                     .field("control", self.control.requests.load(load)),
             )

@@ -66,8 +66,7 @@ impl Default for ServerConfig {
 /// only add contention.
 pub fn default_threads() -> usize {
     std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4)
+        .map_or(4, std::num::NonZero::get)
         .min(16)
 }
 

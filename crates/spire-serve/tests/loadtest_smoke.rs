@@ -23,14 +23,15 @@ fn quick_loadtest_produces_a_well_formed_report() {
     assert_eq!(report.total, report.ok + report.client_errors);
     assert_eq!(
         report.total,
-        report.compile_requests + report.simulate_requests
+        report.compile_requests + report.simulate_requests + report.check_requests
     );
+    assert!(report.check_requests > 0, "the mix must exercise /check");
     assert!(report.p50_us <= report.p99_us && report.p99_us <= report.max_us);
 
     // The serialized document parses and carries the schema the CI
     // artifact consumers read.
     let doc = parse(report.to_json().trim()).expect("report JSON parses");
-    assert_eq!(doc.get("schema").and_then(Json::as_u64), Some(1));
+    assert_eq!(doc.get("schema").and_then(Json::as_u64), Some(2));
     assert_eq!(doc.get("mode").and_then(Json::as_str), Some("quick"));
     assert!(doc.get("throughput_rps").and_then(Json::as_f64).unwrap() > 0.0);
     let latency = doc.get("latency_us").expect("latency section");

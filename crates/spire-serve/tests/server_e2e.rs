@@ -89,7 +89,7 @@ fn compile_matches_direct_pipeline_byte_for_byte() {
     );
     // And the embedded histogram is the same serialization qcirc produces.
     assert_eq!(
-        reply.get("histogram").map(|h| h.to_string()),
+        reply.get("histogram").map(std::string::ToString::to_string),
         Some(hist.to_json())
     );
     server.shutdown();
@@ -243,6 +243,55 @@ fn concurrent_compile_and_simulate_agree_with_direct_calls() {
     Arc::try_unwrap(server)
         .expect("all clients done")
         .shutdown();
+}
+
+#[test]
+fn check_endpoint_verifies_through_the_cache() {
+    let server = start_server();
+    let body = compile_body(4, false);
+    let (status, first) = request(&server, "POST", "/check", Some(&body));
+    assert_eq!(status, 200, "{first}");
+    let report = first.get("report").expect("report object");
+    assert_eq!(report.get("clean").and_then(Json::as_bool), Some(true));
+    assert_eq!(report.get("errors").and_then(Json::as_u64), Some(0));
+
+    // The T-bound row matches a direct compile + check of the same
+    // program.
+    let direct = compile_source(
+        COUNT_SRC,
+        "count",
+        4,
+        WordConfig::paper_default(),
+        &CompileOptions::spire(),
+    )
+    .unwrap();
+    let expected_t = direct.histogram().t_complexity();
+    let functions = report
+        .get("functions")
+        .and_then(Json::as_array)
+        .expect("function bounds");
+    let row = &functions[0];
+    assert_eq!(row.get("function").and_then(Json::as_str), Some("count"));
+    assert_eq!(row.get("t_actual").and_then(Json::as_u64), Some(expected_t));
+    assert_eq!(row.get("holds").and_then(Json::as_bool), Some(true));
+
+    // /check rides the same content-addressed cache as /compile: a
+    // repeat is a hit, and the request counter is its own metrics line.
+    let (_, second) = request(&server, "POST", "/check", Some(&body));
+    assert_eq!(
+        second.get("served").and_then(Json::as_str),
+        Some("cache"),
+        "repeat is a cache hit"
+    );
+    let (_, metrics) = request(&server, "GET", "/metrics", None);
+    assert_eq!(
+        metrics
+            .get("requests")
+            .and_then(|r| r.get("check"))
+            .and_then(Json::as_u64),
+        Some(2)
+    );
+    server.shutdown();
 }
 
 #[test]

@@ -1,0 +1,558 @@
+//! Ancilla-discipline checking: symbolic dataflow over the permutation
+//! fragment.
+//!
+//! The paper's Bennett-style uncomputation discipline requires every ancilla
+//! to be returned to |0⟩ before release. This analysis proves it statically
+//! with an abstract interpretation of the X/CX/CCX/MCX fragment in a
+//! *term-graph* domain: each qubit's value is an XOR-set of hash-consed
+//! terms, where a term is either an initial qubit value, the constant 1, or
+//! an interned product of control values. Products are never expanded into
+//! algebraic normal form — a multiply-controlled NOT XORs a single product
+//! term into its target, and the *uncompute* of that gate (same controls,
+//! restored to the same symbolic values) XORs the syntactically identical
+//! term back out. That is precisely the discipline Bennett-style circuits
+//! follow, so the domain is exact on everything the Tower pipeline emits
+//! while staying linear in circuit size.
+//!
+//! CNOT is handled linearly (the target absorbs the source's whole XOR-set),
+//! so Cuccaro carry chains, register copies, and swap conjugations cancel
+//! exactly. Phase gates (T/S/Z and adjoints) are diagonal and never move
+//! basis-state mass: they are identities here. Hadamard creates
+//! superposition and havocs its target to ⊤; anything ⊤ feeds becomes ⊤. The
+//! abstraction is therefore sound on arbitrary Clifford+T streams and exact
+//! on the measurement-free permutation circuits of the benchmarks.
+//!
+//! Verdicts per ancilla at the end of the stream:
+//!
+//! * empty XOR-set — clean (provably |0⟩ on every input);
+//! * nonempty XOR-set — `verify/leaked-ancilla` (not returned to |0⟩; exact
+//!   up to XOR-cancellation, which the pipeline's circuits always exhibit);
+//! * ⊤ — `verify/ancilla-indeterminate` (a warning: precision was lost, the
+//!   property is unproven but not refuted).
+//!
+//! Along the way, reading an ancilla as a control *after* it was uncomputed
+//! back to |0⟩ (and before any recompute) is flagged as
+//! `verify/use-after-uncompute`: such a control provably reads |0⟩, so the
+//! gate is dead — always a compiler bug in this pipeline.
+
+use std::collections::HashMap;
+
+use qcirc::{Circuit, GateKind, Qubit};
+
+use crate::codes;
+use crate::diag::Diagnostic;
+
+/// Cap on the number of XOR-terms a single qubit may accumulate before the
+/// analysis gives up on it and widens to ⊤. Compiled circuits stay far
+/// below this; only adversarial streams hit it.
+const TERM_CAP: usize = 1 << 14;
+
+/// Identifier of an interned term.
+type TermId = u32;
+/// Identifier of an interned value (a sorted XOR-set of terms).
+type ValueId = u32;
+
+/// A hash-consed term: structural equality is id equality.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Term {
+    /// The constant 1 (introduced by uncontrolled X gates).
+    One,
+    /// The initial value of a (non-ancilla) qubit.
+    Leaf(Qubit),
+    /// A product of control values, by interned value id (sorted, deduped).
+    Product(Vec<ValueId>),
+}
+
+#[derive(Debug, Default)]
+struct Interner {
+    terms: Vec<Term>,
+    term_ids: HashMap<Term, TermId>,
+    value_ids: HashMap<Vec<TermId>, ValueId>,
+    next_value: ValueId,
+}
+
+impl Interner {
+    fn term(&mut self, t: Term) -> TermId {
+        if let Some(&id) = self.term_ids.get(&t) {
+            return id;
+        }
+        let id = self.terms.len() as TermId;
+        self.terms.push(t.clone());
+        self.term_ids.insert(t, id);
+        id
+    }
+
+    /// Intern an XOR-set (must be sorted and duplicate-free).
+    fn value(&mut self, set: &[TermId]) -> ValueId {
+        if let Some(&id) = self.value_ids.get(set) {
+            return id;
+        }
+        let id = self.next_value;
+        self.next_value += 1;
+        self.value_ids.insert(set.to_vec(), id);
+        id
+    }
+}
+
+/// Abstract value of one qubit: a sorted XOR-set of term ids, or ⊤.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum AbsVal {
+    /// XOR of the listed terms; the empty set is the constant 0.
+    Set(Vec<TermId>),
+    /// Unknown (behind a Hadamard frontier or past the term cap).
+    Top,
+}
+
+impl AbsVal {
+    fn is_zero(&self) -> bool {
+        matches!(self, AbsVal::Set(s) if s.is_empty())
+    }
+}
+
+/// XOR two sorted term sets (symmetric difference, stays sorted).
+fn xor_sets(a: &[TermId], b: &[TermId]) -> Vec<TermId> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+/// Which qubits of a circuit are ancillae, and what to call them in
+/// diagnostics.
+#[derive(Debug, Clone, Default)]
+pub struct AncillaSpec {
+    /// `(qubit, label)` pairs; each listed qubit starts in |0⟩ and must be
+    /// provably back in |0⟩ when the stream ends.
+    pub ancillas: Vec<(Qubit, String)>,
+}
+
+impl AncillaSpec {
+    /// Spec over a contiguous range `lo..hi`, labelled `"{label} qubit {q}"`.
+    pub fn range(lo: Qubit, hi: Qubit, label: &str) -> AncillaSpec {
+        AncillaSpec {
+            ancillas: (lo..hi)
+                .map(|q| (q, format!("{label} qubit {q}")))
+                .collect(),
+        }
+    }
+
+    /// Add one labelled ancilla.
+    pub fn push(&mut self, qubit: Qubit, label: impl Into<String>) {
+        self.ancillas.push((qubit, label.into()));
+    }
+
+    /// Merge another spec's ancillae into this one.
+    pub fn extend(&mut self, other: AncillaSpec) {
+        self.ancillas.extend(other.ancillas);
+    }
+}
+
+/// Lifecycle of an ancilla, for use-after-uncompute detection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    /// Never held a nonzero value.
+    Fresh,
+    /// Currently possibly nonzero.
+    Active,
+    /// Was active, then provably uncomputed back to |0⟩.
+    Released,
+}
+
+/// Run the ancilla-discipline analysis over a gate stream.
+///
+/// Every qubit listed in `spec` starts as the constant-0 value; every other
+/// qubit starts as an opaque initial-value term. Works at any gate level
+/// (MCX streams and Toffoli/Clifford+T streams alike) and at any width —
+/// the term domain has no 64-qubit limit, unlike the simulators.
+pub fn check_ancillas(circuit: &Circuit, spec: &AncillaSpec) -> Vec<Diagnostic> {
+    // A corrupted operand arena makes the gate views themselves
+    // unreadable; the well-formedness audit owns that finding, and this
+    // analysis must not iterate a stream it cannot trust.
+    if !circuit.audit_raw().is_empty() {
+        return Vec::new();
+    }
+    let n = circuit.num_qubits() as usize;
+
+    // Last gate index that writes each qubit. A read of a released ancilla
+    // that a *later* gate recomputes is the degenerate arm of a conjugation
+    // template — provably dead but benign (compilers legitimately emit
+    // these at small word widths, where an operand collapses to a constant).
+    // A read after the ancilla's final write can never fire for the rest of
+    // the circuit: that is the classic stale-read bug, reported as an error.
+    let mut last_write: Vec<usize> = vec![0; n];
+    for (index, view) in circuit.iter().enumerate() {
+        if !view.kind.is_phase() && (view.target as usize) < n {
+            last_write[view.target as usize] = index;
+        }
+    }
+
+    let mut diags = Vec::new();
+    let mut label_of: Vec<Option<&str>> = vec![None; n];
+    for (q, label) in &spec.ancillas {
+        if (*q as usize) < n {
+            label_of[*q as usize] = Some(label.as_str());
+        }
+        // Ancillae past the circuit's width are untouched, hence still |0⟩.
+    }
+
+    let mut interner = Interner::default();
+    let one = interner.term(Term::One);
+    let mut values: Vec<AbsVal> = (0..n as u32)
+        .map(|q| {
+            if label_of[q as usize].is_some() {
+                AbsVal::Set(Vec::new())
+            } else {
+                let leaf = interner.term(Term::Leaf(q));
+                AbsVal::Set(vec![leaf])
+            }
+        })
+        .collect();
+    let mut phases: Vec<Phase> = vec![Phase::Fresh; n];
+
+    for (index, view) in circuit.iter().enumerate() {
+        // Phase gates are diagonal: they never change basis values, so the
+        // abstraction ignores them entirely.
+        if view.kind.is_phase() {
+            continue;
+        }
+
+        // Pass 1 over the controls: flag dead reads of released ancillae and
+        // detect provable no-ops (any identically-zero control kills the
+        // gate, even when other controls are ⊤).
+        let mut dead = false;
+        let mut any_top = false;
+        for &c in view.controls {
+            if let Some(label) = label_of.get(c as usize).copied().flatten() {
+                if phases[c as usize] == Phase::Released {
+                    let diag = if last_write[c as usize] > index {
+                        Diagnostic::warning(
+                            codes::USE_AFTER_UNCOMPUTE,
+                            format!(
+                                "gate {index} reads {label} as a control while it \
+                                 is uncomputed to |0⟩ (the gate is provably dead; \
+                                 the ancilla is recomputed later)"
+                            ),
+                        )
+                    } else {
+                        Diagnostic::error(
+                            codes::USE_AFTER_UNCOMPUTE,
+                            format!(
+                                "gate {index} reads {label} as a control after its \
+                                 final uncompute to |0⟩ (stale read: the gate can \
+                                 never fire)"
+                            ),
+                        )
+                    };
+                    diags.push(diag.at_gate(index));
+                }
+            }
+            match values.get(c as usize) {
+                Some(AbsVal::Set(s)) if s.is_empty() => dead = true,
+                Some(AbsVal::Set(_)) => {}
+                Some(AbsVal::Top) | None => any_top = true,
+            }
+        }
+        if dead {
+            continue;
+        }
+
+        let t = view.target as usize;
+        if t >= n {
+            continue; // out-of-range target: wellformedness reports it
+        }
+
+        let update_phase = |phases: &mut Vec<Phase>, values: &[AbsVal], t: usize| {
+            phases[t] = if values[t].is_zero() {
+                match phases[t] {
+                    Phase::Fresh => Phase::Fresh,
+                    Phase::Active | Phase::Released => Phase::Released,
+                }
+            } else {
+                Phase::Active
+            };
+        };
+
+        if view.kind == GateKind::Mch || any_top {
+            values[t] = AbsVal::Top;
+            if label_of[t].is_some() {
+                update_phase(&mut phases, &values, t);
+            }
+            continue;
+        }
+
+        // All controls are concrete sets. Fold them into the XOR-set to add
+        // to the target: drop constant-1 controls, treat a single remaining
+        // control linearly, intern a product term for two or more.
+        let mut factor_ids: Vec<ValueId> = Vec::with_capacity(view.controls.len());
+        let mut linear: Option<Vec<TermId>> = None;
+        for &c in view.controls {
+            let AbsVal::Set(s) = &values[c as usize] else {
+                unreachable!("⊤ controls handled above")
+            };
+            if s.as_slice() == [one] {
+                continue; // multiplying by the constant 1
+            }
+            linear = Some(s.clone());
+            factor_ids.push(interner.value(s));
+        }
+        factor_ids.sort_unstable();
+        factor_ids.dedup();
+        let addend: Vec<TermId> = match factor_ids.len() {
+            0 => vec![one],
+            1 => linear.expect("one non-trivial control"),
+            _ => vec![interner.term(Term::Product(factor_ids))],
+        };
+
+        let AbsVal::Set(old) = &values[t] else {
+            // A ⊤ target stays ⊤ under XOR updates.
+            continue;
+        };
+        let next = xor_sets(old, &addend);
+        values[t] = if next.len() > TERM_CAP {
+            AbsVal::Top
+        } else {
+            AbsVal::Set(next)
+        };
+        if label_of[t].is_some() {
+            update_phase(&mut phases, &values, t);
+        }
+    }
+
+    for (q, label) in &spec.ancillas {
+        let Some(value) = values.get(*q as usize) else {
+            continue;
+        };
+        match value {
+            AbsVal::Set(s) if s.is_empty() => {}
+            AbsVal::Set(s) => {
+                diags.push(Diagnostic::error(
+                    codes::LEAKED_ANCILLA,
+                    format!(
+                        "{label} is not returned to |0⟩ ({} residual symbolic \
+                         term{})",
+                        s.len(),
+                        if s.len() == 1 { "" } else { "s" }
+                    ),
+                ));
+            }
+            AbsVal::Top => {
+                diags.push(Diagnostic::warning(
+                    codes::ANCILLA_INDETERMINATE,
+                    format!(
+                        "{label} crossed a Hadamard or precision frontier; the \
+                         analysis cannot prove it returns to |0⟩"
+                    ),
+                ));
+            }
+        }
+    }
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcirc::Gate;
+
+    fn spec(qs: &[Qubit]) -> AncillaSpec {
+        let mut s = AncillaSpec::default();
+        for &q in qs {
+            s.push(q, format!("ancilla {q}"));
+        }
+        s
+    }
+
+    #[test]
+    fn compute_uncompute_pair_is_clean() {
+        // Bennett pattern: compute a AND b into ancilla 2, use it, uncompute.
+        let mut c = Circuit::new(4);
+        c.push(Gate::toffoli(0, 1, 2));
+        c.push(Gate::cnot(2, 3));
+        c.push(Gate::toffoli(0, 1, 2));
+        assert!(check_ancillas(&c, &spec(&[2])).is_empty());
+    }
+
+    #[test]
+    fn leaked_ancilla_is_an_error() {
+        let mut c = Circuit::new(3);
+        c.push(Gate::toffoli(0, 1, 2)); // never uncomputed
+        let diags = check_ancillas(&c, &spec(&[2]));
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, codes::LEAKED_ANCILLA);
+    }
+
+    #[test]
+    fn leak_by_cancellation_is_still_clean() {
+        // a⊕b computed twice cancels even though no gate pair is adjacent.
+        let mut c = Circuit::new(3);
+        c.push(Gate::cnot(0, 2));
+        c.push(Gate::cnot(1, 2));
+        c.push(Gate::cnot(0, 2));
+        c.push(Gate::cnot(1, 2));
+        assert!(check_ancillas(&c, &spec(&[2])).is_empty());
+    }
+
+    #[test]
+    fn x_conjugation_cancels() {
+        // X flips around a Toffoli pair: constant-1 terms cancel, and both
+        // product terms see the same flipped control value.
+        let mut c = Circuit::new(4);
+        c.push(Gate::x(0));
+        c.push(Gate::toffoli(0, 1, 2));
+        c.push(Gate::cnot(2, 3));
+        c.push(Gate::toffoli(0, 1, 2));
+        c.push(Gate::x(0));
+        assert!(check_ancillas(&c, &spec(&[2])).is_empty());
+    }
+
+    #[test]
+    fn use_after_uncompute_is_flagged() {
+        let mut c = Circuit::new(4);
+        c.push(Gate::toffoli(0, 1, 2)); // compute
+        c.push(Gate::toffoli(0, 1, 2)); // uncompute
+        c.push(Gate::cnot(2, 3)); // dead read of released ancilla
+        let diags = check_ancillas(&c, &spec(&[2]));
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, codes::USE_AFTER_UNCOMPUTE);
+        assert_eq!(diags[0].severity, crate::Severity::Error);
+        assert_eq!(diags[0].gate, Some(2));
+    }
+
+    #[test]
+    fn transient_zero_read_is_a_warning() {
+        // The read is dead, but the ancilla is recomputed afterwards: the
+        // degenerate arm of a conjugation template, not a stale-read bug.
+        let mut c = Circuit::new(4);
+        c.push(Gate::toffoli(0, 1, 2)); // compute
+        c.push(Gate::toffoli(0, 1, 2)); // uncompute
+        c.push(Gate::cnot(2, 3)); // dead read of the released ancilla
+        c.push(Gate::toffoli(0, 1, 2)); // recompute
+        c.push(Gate::toffoli(0, 1, 2)); // release again
+        let diags = check_ancillas(&c, &spec(&[2]));
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, codes::USE_AFTER_UNCOMPUTE);
+        assert_eq!(diags[0].severity, crate::Severity::Warning);
+        assert_eq!(diags[0].gate, Some(2));
+    }
+
+    #[test]
+    fn zero_controls_make_gates_dead_not_leaky() {
+        // Ancilla 2 stays identically 0, so CNOT(2→3) never fires and
+        // ancilla 3 stays clean; reading a *fresh* (never-computed) ancilla
+        // is not use-after-uncompute.
+        let mut c = Circuit::new(4);
+        c.push(Gate::cnot(2, 3));
+        assert!(check_ancillas(&c, &spec(&[2, 3])).is_empty());
+    }
+
+    #[test]
+    fn hadamard_frontier_degrades_to_warning() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::h(1));
+        let diags = check_ancillas(&c, &spec(&[1]));
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, codes::ANCILLA_INDETERMINATE);
+        assert_eq!(diags[0].severity, crate::Severity::Warning);
+    }
+
+    #[test]
+    fn top_control_taints_targets_but_zero_control_still_kills() {
+        let mut c = Circuit::new(4);
+        c.push(Gate::h(0));
+        // Controls {0 (⊤), 2 (zero ancilla)}: provably dead despite ⊤.
+        c.push(Gate::mcx(vec![0, 2], 3));
+        assert!(check_ancillas(&c, &spec(&[2, 3])).is_empty());
+        // Without the zero control, ⊤ taints the target.
+        let mut c2 = Circuit::new(3);
+        c2.push(Gate::h(0));
+        c2.push(Gate::cnot(0, 2));
+        let diags = check_ancillas(&c2, &spec(&[2]));
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, codes::ANCILLA_INDETERMINATE);
+    }
+
+    #[test]
+    fn phase_gates_are_transparent() {
+        let mut c = Circuit::new(3);
+        c.push(Gate::toffoli(0, 1, 2));
+        c.push(Gate::T(2));
+        c.push(Gate::Tdg(2));
+        c.push(Gate::toffoli(0, 1, 2));
+        assert!(check_ancillas(&c, &spec(&[2])).is_empty());
+    }
+
+    #[test]
+    fn recompute_after_release_is_allowed() {
+        // V-chain style reuse: compute, uncompute, recompute, uncompute.
+        let mut c = Circuit::new(3);
+        for _ in 0..2 {
+            c.push(Gate::toffoli(0, 1, 2));
+            c.push(Gate::toffoli(0, 1, 2));
+        }
+        assert!(check_ancillas(&c, &spec(&[2])).is_empty());
+    }
+
+    #[test]
+    fn barenco_vchain_is_clean() {
+        // The Figure-5 shape: chain products into fresh ancillae, use the
+        // top, then unwind. Nested product terms must cancel exactly.
+        let mut c = Circuit::new(7);
+        c.push(Gate::toffoli(0, 1, 4));
+        c.push(Gate::toffoli(2, 4, 5));
+        c.push(Gate::toffoli(3, 5, 6));
+        c.push(Gate::toffoli(3, 5, 6)); // stand-in for the final use
+        c.push(Gate::toffoli(2, 4, 5));
+        c.push(Gate::toffoli(0, 1, 4));
+        assert!(check_ancillas(&c, &spec(&[4, 5, 6])).is_empty());
+    }
+
+    #[test]
+    fn carry_chain_cancels_linearly() {
+        // Cuccaro-style MAJ/UMA pairs: CNOT-heavy compute/uncompute with the
+        // carry rippling through; everything must cancel.
+        let mut c = Circuit::new(9);
+        let (a, b, carry) = ([0, 1, 2], [3, 4, 5], [6, 7, 8]);
+        for i in 0..3 {
+            c.push(Gate::cnot(a[i], b[i]));
+            if i > 0 {
+                c.push(Gate::cnot(carry[i - 1], carry[i]));
+            }
+            c.push(Gate::toffoli(a[i], b[i], carry[i]));
+        }
+        for i in (0..3).rev() {
+            c.push(Gate::toffoli(a[i], b[i], carry[i]));
+            if i > 0 {
+                c.push(Gate::cnot(carry[i - 1], carry[i]));
+            }
+            c.push(Gate::cnot(a[i], b[i]));
+        }
+        assert!(check_ancillas(&c, &spec(&[6, 7, 8])).is_empty());
+    }
+
+    #[test]
+    fn analysis_scales_past_sixty_four_qubits() {
+        // Footprints fold at 64 qubits and the dense simulators stop far
+        // earlier; the term domain does not care.
+        let mut c = Circuit::new(130);
+        c.push(Gate::toffoli(0, 100, 129));
+        c.push(Gate::toffoli(0, 100, 129));
+        assert!(check_ancillas(&c, &spec(&[129])).is_empty());
+    }
+}

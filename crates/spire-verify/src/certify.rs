@@ -1,0 +1,113 @@
+//! Optimizer pass certification: re-verify every rewritten circuit.
+//!
+//! The optimizer's correctness argument is equivalence-preservation, but its
+//! *output discipline* — structurally sound gate streams with intact
+//! footprints, never more expensive than the input — is checkable without a
+//! simulator. [`certify_pass`] runs the structural audit on a pass's output
+//! and checks the T-count non-increase invariant every pass in this
+//! workspace promises; `qopt` calls it on each pass application behind
+//! `debug_assertions` or an explicit opt-in.
+
+use qcirc::Circuit;
+
+use crate::codes;
+use crate::diag::Diagnostic;
+use crate::wellformed;
+
+/// Certify the output of one optimizer pass.
+///
+/// Checks that `after` is structurally well-formed (audit included) and that
+/// the pass did not increase the circuit's T-count relative to `before`.
+/// Returns one diagnostic per violated obligation; an empty vector certifies
+/// the application.
+pub fn certify_pass(pass: &str, before: &Circuit, after: &Circuit) -> Vec<Diagnostic> {
+    let mut diags = wellformed::check_circuit(after, None);
+    for d in &mut diags {
+        d.message = format!("after pass `{pass}`: {}", d.message);
+    }
+    let (t_before, t_after) = (before.t_count(), after.t_count());
+    if t_after > t_before {
+        diags.push(Diagnostic::error(
+            codes::PASS_T_INCREASE,
+            format!("pass `{pass}` raised the T-count from {t_before} to {t_after}"),
+        ));
+    }
+    diags
+}
+
+/// Panic with a readable report unless `certify_pass` returns no findings.
+///
+/// This is the hook optimizer pipelines call under `debug_assertions`: a
+/// certification failure is always a compiler bug, so failing fast with the
+/// full diagnostic list beats threading a `Result` through every rewrite.
+///
+/// # Panics
+///
+/// Panics if any certification obligation is violated.
+pub fn assert_certified(pass: &str, before: &Circuit, after: &Circuit) {
+    let diags = certify_pass(pass, before, after);
+    assert!(
+        diags.is_empty(),
+        "pass `{pass}` failed certification:\n{}",
+        diags
+            .iter()
+            .map(|d| format!("  {d}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qcirc::Gate;
+
+    fn sample() -> Circuit {
+        let mut c = Circuit::new(4);
+        c.push(Gate::mcx(vec![0, 1, 2], 3));
+        c.push(Gate::toffoli(0, 1, 2));
+        c
+    }
+
+    #[test]
+    fn identity_rewrite_certifies() {
+        let c = sample();
+        assert!(certify_pass("noop", &c, &c).is_empty());
+        assert_certified("noop", &c, &c);
+    }
+
+    #[test]
+    fn t_reduction_certifies() {
+        let before = sample();
+        let mut after = Circuit::new(4);
+        after.push(Gate::toffoli(0, 1, 2));
+        assert!(certify_pass("cancel", &before, &after).is_empty());
+    }
+
+    #[test]
+    fn t_increase_is_reported() {
+        let before = Circuit::new(4);
+        let after = sample();
+        let diags = certify_pass("bloat", &before, &after);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, codes::PASS_T_INCREASE);
+    }
+
+    #[test]
+    fn structural_damage_is_reported_with_pass_context() {
+        let before = sample();
+        let mut after = sample();
+        after.corrupt_footprint_for_test(0, 0);
+        let diags = certify_pass("mangle", &before, &after);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, codes::FOOTPRINT_MISMATCH);
+        assert!(diags[0].message.contains("mangle"));
+    }
+
+    #[test]
+    #[should_panic(expected = "failed certification")]
+    fn assert_certified_panics_on_violation() {
+        let before = Circuit::new(4);
+        assert_certified("bloat", &before, &sample());
+    }
+}

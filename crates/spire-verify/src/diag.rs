@@ -1,0 +1,249 @@
+//! Diagnostics, reports, and their JSON serialization.
+
+use qcirc::json::Json;
+
+/// How serious a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// The analysis could not decide; the property may still hold.
+    Warning,
+    /// The property is provably violated.
+    Error,
+}
+
+impl Severity {
+    /// The lowercase label used in JSON and human-readable output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// One finding from one analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable `verify/…` code (see [`crate::codes`]).
+    pub code: &'static str,
+    /// Whether the property is violated or merely unproven.
+    pub severity: Severity,
+    /// Human-readable description of the finding.
+    pub message: String,
+    /// Index of the offending gate in the gate stream, when the finding is
+    /// anchored to a specific gate.
+    pub gate: Option<usize>,
+    /// Byte span in the source program, when the finding is locatable.
+    pub span: Option<(usize, usize)>,
+}
+
+impl Diagnostic {
+    /// An error diagnostic with no location.
+    pub fn error(code: &'static str, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            code,
+            severity: Severity::Error,
+            message: message.into(),
+            gate: None,
+            span: None,
+        }
+    }
+
+    /// A warning diagnostic with no location.
+    pub fn warning(code: &'static str, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            severity: Severity::Warning,
+            ..Diagnostic::error(code, message)
+        }
+    }
+
+    /// Attach a gate index.
+    pub fn at_gate(mut self, index: usize) -> Diagnostic {
+        self.gate = Some(index);
+        self
+    }
+
+    /// Attach a source byte span.
+    pub fn with_span(mut self, span: (usize, usize)) -> Diagnostic {
+        self.span = Some(span);
+        self
+    }
+
+    /// Serialize to the workspace JSON model.
+    pub fn to_json(&self) -> Json {
+        let mut obj = Json::obj()
+            .field("code", self.code)
+            .field("severity", self.severity.label())
+            .field("message", self.message.as_str());
+        if let Some(gate) = self.gate {
+            obj = obj.field("gate", gate);
+        }
+        if let Some((start, end)) = self.span {
+            obj = obj.field("span", Json::obj().field("start", start).field("end", end));
+        }
+        obj.build()
+    }
+}
+
+impl std::fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {} [{}]",
+            self.severity.label(),
+            self.message,
+            self.code
+        )?;
+        if let Some(gate) = self.gate {
+            write!(f, " (gate {gate})")?;
+        }
+        if let Some((start, end)) = self.span {
+            write!(f, " (bytes {start}..{end})")?;
+        }
+        Ok(())
+    }
+}
+
+/// Static T-count interval versus the actual compiled count for one function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FunctionBounds {
+    /// Function name as written in the source program.
+    pub name: String,
+    /// Statically predicted minimum T-count.
+    pub min: u64,
+    /// Statically predicted maximum T-count.
+    pub max: u64,
+    /// T-count of the actually compiled circuit.
+    pub actual: u64,
+}
+
+impl FunctionBounds {
+    /// Whether the compiled count falls inside the predicted interval.
+    pub fn holds(&self) -> bool {
+        self.min <= self.actual && self.actual <= self.max
+    }
+
+    /// Serialize to the workspace JSON model.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field("function", self.name.as_str())
+            .field("t_min", self.min)
+            .field("t_max", self.max)
+            .field("t_actual", self.actual)
+            .field("holds", self.holds())
+            .build()
+    }
+}
+
+/// One `verify/t-bound-violation` error per row whose compiled T-count
+/// falls outside its static interval.
+pub fn bound_violations(rows: &[FunctionBounds]) -> Vec<Diagnostic> {
+    rows.iter()
+        .filter(|row| !row.holds())
+        .map(|row| {
+            Diagnostic::error(
+                crate::codes::T_BOUND_VIOLATION,
+                format!(
+                    "function `{}` compiled to {} T gates, outside the static \
+                     interval [{}, {}]",
+                    row.name, row.actual, row.min, row.max
+                ),
+            )
+        })
+        .collect()
+}
+
+/// Aggregated result of running the verifier over one compiled program.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Report {
+    /// All findings, in analysis order.
+    pub diagnostics: Vec<Diagnostic>,
+    /// Per-function static T-bounds with the compiled counts they predict.
+    pub functions: Vec<FunctionBounds>,
+}
+
+impl Report {
+    /// Whether no analysis reported an [`Severity::Error`] finding.
+    pub fn is_clean(&self) -> bool {
+        !self
+            .diagnostics
+            .iter()
+            .any(|d| d.severity == Severity::Error)
+    }
+
+    /// Number of error-severity findings.
+    pub fn error_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+            .count()
+    }
+
+    /// Serialize to the workspace JSON model.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .field("clean", self.is_clean())
+            .field("errors", self.error_count())
+            .field(
+                "diagnostics",
+                self.diagnostics
+                    .iter()
+                    .map(Diagnostic::to_json)
+                    .collect::<Json>(),
+            )
+            .field(
+                "functions",
+                self.functions
+                    .iter()
+                    .map(FunctionBounds::to_json)
+                    .collect::<Json>(),
+            )
+            .build()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codes;
+
+    #[test]
+    fn report_json_shape_is_stable() {
+        let mut report = Report::default();
+        report
+            .diagnostics
+            .push(Diagnostic::error(codes::LEAKED_ANCILLA, "ancilla 3 leaks").at_gate(7));
+        report.functions.push(FunctionBounds {
+            name: "length".into(),
+            min: 10,
+            max: 20,
+            actual: 15,
+        });
+        let json = report.to_json();
+        assert_eq!(json.get("clean").and_then(Json::as_bool), Some(false));
+        assert_eq!(json.get("errors").and_then(Json::as_u64), Some(1));
+        let diag = json.get("diagnostics").and_then(|d| d.item(0)).unwrap();
+        assert_eq!(
+            diag.get("code").and_then(Json::as_str),
+            Some(codes::LEAKED_ANCILLA)
+        );
+        assert_eq!(diag.get("gate").and_then(Json::as_u64), Some(7));
+        let fun = json.get("functions").and_then(|f| f.item(0)).unwrap();
+        assert_eq!(fun.get("holds").and_then(Json::as_bool), Some(true));
+        // Round-trips through the workspace JSON parser.
+        let mut text = String::new();
+        json.write(&mut text);
+        assert_eq!(qcirc::json::parse(&text).unwrap(), json);
+    }
+
+    #[test]
+    fn warnings_do_not_dirty_a_report() {
+        let mut report = Report::default();
+        report.diagnostics.push(Diagnostic::warning(
+            codes::ANCILLA_INDETERMINATE,
+            "unproven",
+        ));
+        assert!(report.is_clean());
+        assert_eq!(report.error_count(), 0);
+    }
+}

@@ -1,0 +1,402 @@
+//! Static T-complexity bounds: interval analysis over the Tower core IR.
+//!
+//! An independent reimplementation of the compiler's cost model (paper
+//! Figure 20's `c^MCX` judgments composed with the MCX→Clifford+T T-cost
+//! formula): the walk mirrors instruction selection — the quantum-`if`
+//! control stack, `with-do` expansion `s₁; s₂; I[s₁]`, conjugation
+//! instructions that carry no `if`-controls — but runs on the *core IR*
+//! only, before layout, selection, or decomposition exist.
+//!
+//! The single source of imprecision is the control-stack depth `k` of an
+//! instruction: selection deduplicates condition *qubits*, which this
+//! analysis cannot see. It brackets `k` between the number of *distinct*
+//! condition symbols on the stack (a lower bound, since distinct live
+//! condition variables occupy distinct registers) and the raw stack depth
+//! (an upper bound). Every per-instruction T-cost is monotone in `k`, so
+//! evaluating the closed forms at both ends yields a sound `[min, max]`
+//! interval for the whole function. The compiled count landing inside the
+//! interval is the cross-check (`verify/t-bound-violation` when it does
+//! not), exercised over all 12 paper benchmarks.
+
+use qcirc::{t_of_mch, t_of_mcx};
+use tower::{CoreBinOp, CoreExpr, CoreStmt, CoreValue, Symbol, TowerError, TypeInfo, TypeTable};
+
+/// A statically predicted T-count interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TBound {
+    /// Inclusive lower bound on the T-count of the compiled function.
+    pub min: u64,
+    /// Inclusive upper bound on the T-count of the compiled function.
+    pub max: u64,
+}
+
+impl TBound {
+    /// Whether `actual` falls inside the interval.
+    pub fn contains(&self, actual: u64) -> bool {
+        self.min <= actual && actual <= self.max
+    }
+}
+
+/// Predict the `[min, max]` T-count of a typechecked core-IR function.
+///
+/// `stmt` is the inlined function body, `types`/`table` the typing
+/// information the compiler produced for it — the same inputs instruction
+/// selection consumes.
+///
+/// # Errors
+///
+/// Propagates [`TowerError`] for unbound variables or unresolvable types;
+/// a typechecked program never triggers either.
+pub fn bound_function(
+    stmt: &CoreStmt,
+    types: &TypeInfo,
+    table: &TypeTable,
+) -> Result<TBound, TowerError> {
+    let mut walker = Walker {
+        types,
+        table,
+        conds: Vec::new(),
+        lo: 0,
+        hi: 0,
+    };
+    walker.stmt(stmt)?;
+    Ok(TBound {
+        min: walker.lo,
+        max: walker.hi,
+    })
+}
+
+struct Walker<'a> {
+    types: &'a TypeInfo,
+    table: &'a TypeTable,
+    /// Raw stack of enclosing `if` condition symbols (duplicates kept).
+    conds: Vec<Symbol>,
+    lo: u64,
+    hi: u64,
+}
+
+impl Walker<'_> {
+    /// `[k_min, k_max]` for the current control-stack depth.
+    fn k_bounds(&self) -> (usize, usize) {
+        let distinct = {
+            let mut seen: Vec<&Symbol> = Vec::with_capacity(self.conds.len());
+            for c in &self.conds {
+                if !seen.contains(&c) {
+                    seen.push(c);
+                }
+            }
+            seen.len()
+        };
+        (distinct, self.conds.len())
+    }
+
+    /// Add `count` MCX gates whose arity is `extra` plus the control depth.
+    fn add_mcx(&mut self, extra: usize, count: u64) {
+        let (k_lo, k_hi) = self.k_bounds();
+        self.lo += count * t_of_mcx(extra + k_lo);
+        self.hi += count * t_of_mcx(extra + k_hi);
+    }
+
+    /// Add `count` MCX gates of fixed arity, independent of control depth.
+    fn add_mcx_fixed(&mut self, arity: usize, count: u64) {
+        let cost = count * t_of_mcx(arity);
+        self.lo += cost;
+        self.hi += cost;
+    }
+
+    fn width_of(&self, var: &Symbol) -> Result<u32, TowerError> {
+        let ty = self
+            .types
+            .var_types
+            .get(var)
+            .ok_or_else(|| TowerError::UnboundVar { var: var.clone() })?;
+        self.table.width(ty)
+    }
+
+    fn stmt(&mut self, stmt: &CoreStmt) -> Result<(), TowerError> {
+        match stmt {
+            CoreStmt::Skip => Ok(()),
+            CoreStmt::Seq(ss) => {
+                for s in ss {
+                    self.stmt(s)?;
+                }
+                Ok(())
+            }
+            CoreStmt::If { cond, body } => {
+                self.conds.push(cond.clone());
+                self.stmt(body)?;
+                self.conds.pop();
+                Ok(())
+            }
+            // Straightforward strategy s₁; s₂; I[s₁]: the setup's cost is
+            // paid twice; reversal never changes a histogram.
+            CoreStmt::With { setup, body } => {
+                self.stmt(setup)?;
+                self.stmt(body)?;
+                self.stmt(setup)
+            }
+            // Un-assignment emits the reversed instructions of the matching
+            // assignment — identical cost.
+            CoreStmt::Assign { var, expr } | CoreStmt::Unassign { var, expr } => {
+                self.assign(var, expr)
+            }
+            CoreStmt::Hadamard(_) => {
+                let (k_lo, k_hi) = self.k_bounds();
+                self.lo += t_of_mch(k_lo);
+                self.hi += t_of_mch(k_hi);
+                Ok(())
+            }
+            CoreStmt::Swap(a, b) => {
+                if a == b {
+                    return Ok(());
+                }
+                let w = u64::from(self.width_of(a)?);
+                if w > 0 {
+                    self.add_mcx_fixed(1, 2 * w);
+                    self.add_mcx(1, w);
+                }
+                Ok(())
+            }
+            CoreStmt::MemSwap { ptr, val } => {
+                let p = self.width_of(ptr)?;
+                let data_width = u64::from(self.width_of(val)?);
+                if data_width == 0 {
+                    return Ok(());
+                }
+                let num_cells = 1u64 << self.table.config().ptr_bits;
+                let cells = num_cells - 1;
+                self.add_mcx_fixed(p as usize, 2 * cells);
+                self.add_mcx_fixed(1, 2 * data_width * cells);
+                self.add_mcx(2, data_width * cells);
+                Ok(())
+            }
+            // Alloc and dealloc both emit the stack-pop circuit (one of them
+            // reversed); the cost is identical.
+            CoreStmt::Alloc { var, .. } | CoreStmt::Dealloc { var, .. } => {
+                let p = self.table.config().ptr_bits;
+                let dst_width = self.width_of(var).unwrap_or(p);
+                // Decrement chain.
+                self.add_mcx(0, 1);
+                for i in 1..p {
+                    self.add_mcx(i as usize, 1);
+                }
+                // Slot scan.
+                let slots = 1u64 << p;
+                let w = u64::from(p.min(dst_width));
+                self.add_mcx_fixed(p as usize, 2 * slots);
+                self.add_mcx_fixed(1, 2 * w * slots);
+                self.add_mcx(2, w * slots);
+                Ok(())
+            }
+        }
+    }
+
+    fn assign(&mut self, var: &Symbol, expr: &CoreExpr) -> Result<(), TowerError> {
+        let dst_width = self.width_of(var)?;
+        match expr {
+            CoreExpr::Value(value) => match value {
+                CoreValue::Unit | CoreValue::Null(_) | CoreValue::ZeroOf(_) => Ok(()),
+                CoreValue::UInt(n) | CoreValue::PtrLit(_, n) => {
+                    if *n == 0 || dst_width == 0 {
+                        return Ok(());
+                    }
+                    self.add_mcx(0, u64::from(masked_popcount(*n, dst_width)));
+                    Ok(())
+                }
+                CoreValue::Bool(b) => {
+                    if *b {
+                        self.add_mcx(0, 1);
+                    }
+                    Ok(())
+                }
+                CoreValue::Pair(x, y) => {
+                    let wx = u64::from(self.width_of(x)?);
+                    let wy = u64::from(self.width_of(y)?);
+                    if wx > 0 {
+                        self.add_mcx(1, wx);
+                    }
+                    if wy > 0 {
+                        self.add_mcx(1, wy);
+                    }
+                    Ok(())
+                }
+            },
+            CoreExpr::Var(_) => {
+                if dst_width > 0 {
+                    self.add_mcx(1, u64::from(dst_width));
+                }
+                Ok(())
+            }
+            CoreExpr::Proj1(_) | CoreExpr::Proj2(_) => {
+                // Selection slices the source; the copy width is the
+                // destination's (the projected component's) width.
+                if dst_width > 0 {
+                    self.add_mcx(1, u64::from(dst_width));
+                }
+                Ok(())
+            }
+            CoreExpr::Not(_) => {
+                self.add_mcx(1, 1);
+                self.add_mcx(0, 1);
+                Ok(())
+            }
+            CoreExpr::Test(x) => {
+                let src_width = self.width_of(x)?;
+                self.add_mcx(src_width as usize, 1);
+                self.add_mcx(0, 1);
+                Ok(())
+            }
+            CoreExpr::Bin(op, a, b) => {
+                match op {
+                    CoreBinOp::And | CoreBinOp::Or if a == b => {
+                        if dst_width > 0 {
+                            self.add_mcx(1, u64::from(dst_width));
+                        }
+                    }
+                    CoreBinOp::And => self.add_mcx(2, 1),
+                    CoreBinOp::Or => {
+                        self.add_mcx(2, 1);
+                        self.add_mcx(0, 1);
+                    }
+                    CoreBinOp::Sub if a == b => {}
+                    CoreBinOp::Add | CoreBinOp::Sub | CoreBinOp::Mul => {
+                        let w = u64::from(dst_width);
+                        if *op == CoreBinOp::Mul {
+                            let m_sum = w * (w + 1) / 2;
+                            self.add_mcx_fixed(3, 4 * m_sum);
+                            self.add_mcx_fixed(2, 8 * m_sum);
+                            self.add_mcx(1, w);
+                        } else if w == 1 {
+                            self.add_mcx(1, 2);
+                        } else if *op == CoreBinOp::Add {
+                            self.add_mcx_fixed(2, 6 * w - 10);
+                            self.add_mcx(1, 3 * w - 1);
+                        } else {
+                            self.add_mcx_fixed(2, 6 * (w - 1));
+                            self.add_mcx(1, 3 * w);
+                        }
+                        // Same-operand arithmetic duplicates one operand
+                        // through scratch: two uncontrolled register copies
+                        // (conjugation, k = 0 — and CNOTs cost no T anyway).
+                        if a == b {
+                            let wa = u64::from(self.width_of(a)?);
+                            self.add_mcx_fixed(1, 2 * wa);
+                        }
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Popcount of `value` restricted to the low `width` bits.
+fn masked_popcount(value: u64, width: u32) -> u32 {
+    let mask = if width >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << width) - 1
+    };
+    (value & mask).count_ones()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tower::{typecheck, Type, WordConfig};
+
+    fn bound(stmt: &CoreStmt, inputs: &[(Symbol, Type)]) -> TBound {
+        let table = TypeTable::new(WordConfig::paper_default());
+        let info = typecheck(stmt, inputs, &table).expect("typechecks");
+        bound_function(stmt, &info, &table).expect("bounds")
+    }
+
+    fn assign_and(dst: &str, a: &str, b: &str) -> CoreStmt {
+        CoreStmt::Assign {
+            var: Symbol::new(dst),
+            expr: CoreExpr::Bin(CoreBinOp::And, Symbol::new(a), Symbol::new(b)),
+        }
+    }
+
+    #[test]
+    fn uncontrolled_and_costs_one_toffoli() {
+        let inputs = vec![
+            (Symbol::new("a"), Type::Bool),
+            (Symbol::new("b"), Type::Bool),
+        ];
+        let b = bound(&assign_and("x", "a", "b"), &inputs);
+        assert_eq!(b, TBound { min: 7, max: 7 });
+    }
+
+    #[test]
+    fn duplicate_condition_widens_the_interval() {
+        // if c { if c { x <- a && b } }: selection deduplicates the
+        // condition qubit (actual arity 3) but the raw stack depth says 4.
+        let inner = assign_and("x", "a", "b");
+        let stmt = CoreStmt::If {
+            cond: Symbol::new("c"),
+            body: Box::new(CoreStmt::If {
+                cond: Symbol::new("c"),
+                body: Box::new(inner),
+            }),
+        };
+        let inputs = vec![
+            (Symbol::new("a"), Type::Bool),
+            (Symbol::new("b"), Type::Bool),
+            (Symbol::new("c"), Type::Bool),
+        ];
+        let b = bound(&stmt, &inputs);
+        assert_eq!(b.min, t_of_mcx(3));
+        assert_eq!(b.max, t_of_mcx(4));
+        assert!(b.min < b.max);
+    }
+
+    #[test]
+    fn with_pays_setup_twice() {
+        let setup = assign_and("t", "a", "b");
+        let body = assign_and("x", "a", "b");
+        let stmt = CoreStmt::With {
+            setup: Box::new(setup.clone()),
+            body: Box::new(body.clone()),
+        };
+        let inputs = vec![
+            (Symbol::new("a"), Type::Bool),
+            (Symbol::new("b"), Type::Bool),
+        ];
+        assert_eq!(bound(&stmt, &inputs), TBound { min: 21, max: 21 });
+    }
+
+    #[test]
+    fn unassign_costs_the_same_as_assign() {
+        let a = CoreStmt::Assign {
+            var: Symbol::new("x"),
+            expr: CoreExpr::Value(CoreValue::UInt(5)),
+        };
+        let inputs: Vec<(Symbol, Type)> = Vec::new();
+        let cost_a = bound(&a, &inputs);
+        let both = CoreStmt::seq(vec![a.clone(), a.reversed()]);
+        let cost_both = bound(&both, &inputs);
+        assert_eq!(cost_both.min, 2 * cost_a.min);
+        assert_eq!(cost_both.max, 2 * cost_a.max);
+    }
+
+    #[test]
+    fn constant_and_zero_assignments_are_free() {
+        let stmt = CoreStmt::seq(vec![
+            CoreStmt::Assign {
+                var: Symbol::new("x"),
+                expr: CoreExpr::Value(CoreValue::UInt(0)),
+            },
+            CoreStmt::Assign {
+                var: Symbol::new("y"),
+                expr: CoreExpr::Value(CoreValue::UInt(0b101)),
+            },
+            CoreStmt::Assign {
+                var: Symbol::new("z"),
+                expr: CoreExpr::Var(Symbol::new("y")),
+            },
+        ]);
+        // XorConst is plain X gates and XorReg is CNOTs: no T cost at all.
+        assert_eq!(bound(&stmt, &[]), TBound { min: 0, max: 0 });
+    }
+}

@@ -3,7 +3,7 @@
 use std::error::Error;
 use std::fmt;
 
-use tower::{Symbol, TowerError};
+use tower::{Span, Symbol, TowerError};
 
 /// Errors produced by the Spire backend (layout, selection, code
 /// generation).
@@ -68,6 +68,33 @@ impl SpireError {
             SpireError::UnsoundAllocation { .. } => "spire/unsound-allocation",
             SpireError::Superposed { .. } => "spire/superposed",
             SpireError::CellTooWide { .. } => "spire/cell-too-wide",
+        }
+    }
+
+    /// The byte span this error carries intrinsically (front-end lex and
+    /// parse errors only); see [`SpireError::locate`] for recovery.
+    pub fn span(&self) -> Option<Span> {
+        match self {
+            SpireError::Front(e) => e.span(),
+            _ => None,
+        }
+    }
+
+    /// Best-effort byte span of this error within `source`.
+    ///
+    /// Front-end errors delegate to [`TowerError::locate`]; backend errors
+    /// that mention a source variable are located at that variable's first
+    /// identifier token. Errors about compiler-internal state
+    /// ([`SpireError::CellTooWide`]) have no source span.
+    pub fn locate(&self, source: &str) -> Option<Span> {
+        match self {
+            SpireError::Front(e) => e.locate(source),
+            SpireError::NoRegister { var }
+            | SpireError::SelfAssignment { var }
+            | SpireError::AliasedMemSwap { var }
+            | SpireError::UnsoundAllocation { var, .. }
+            | SpireError::Superposed { var } => tower::locate_ident(source, var.as_str(), 0),
+            SpireError::CellTooWide { .. } => None,
         }
     }
 }
@@ -140,6 +167,31 @@ mod tests {
         for e in errs {
             assert!(!e.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn locate_recovers_source_spans() {
+        // Backend errors locate the variable they mention.
+        let source = "fun f(x: uint) -> uint { let y <- x; return y; }";
+        let err = SpireError::NoRegister {
+            var: Symbol::new("y"),
+        };
+        let span = err.locate(source).unwrap();
+        assert_eq!(&source[span.start..span.end], "y");
+
+        // Front-end parse errors carry their span intrinsically, and
+        // locate() returns the same one.
+        let bad = "fun f( -> uint";
+        let parse_err = SpireError::from(tower::parse(bad).unwrap_err());
+        assert!(parse_err.span().is_some());
+        assert_eq!(parse_err.span(), parse_err.locate(bad));
+
+        // Internal-state errors have no source anchor.
+        let internal = SpireError::CellTooWide {
+            requested: 9,
+            available: 8,
+        };
+        assert!(internal.locate(source).is_none());
     }
 
     #[test]

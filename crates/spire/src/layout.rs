@@ -356,7 +356,7 @@ impl Allocator<'_> {
                         reg.offset,
                         self.owner
                             .get(&reg.offset)
-                            .map(|s| s.to_string())
+                            .map(std::string::ToString::to_string)
                             .unwrap_or_default(),
                     ),
                 });

@@ -49,11 +49,13 @@
 //! # Ok::<(), spire::SpireError>(())
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
 pub mod abstract_circuit;
 pub mod cache;
+pub mod check;
 pub mod cost;
 mod error;
 pub mod flight;
@@ -65,6 +67,7 @@ pub mod select;
 
 pub use abstract_circuit::{AInstr, AOp};
 pub use cache::{compile_source_cached, CacheKey, CacheStats, CompileCache};
+pub use check::{check_compiled, check_source};
 pub use error::SpireError;
 pub use flight::{FlightStats, Served, SingleFlight, SingleFlightCache};
 pub use layout::{AllocPolicy, Layout, MemoryLayout, Reg};
@@ -72,3 +75,4 @@ pub use machine::Machine;
 pub use opt::{optimize, OptConfig};
 pub use pipeline::{compile_source, compile_unit, CompileOptions, Compiled};
 pub use select::select;
+pub use spire_verify;

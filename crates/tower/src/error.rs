@@ -5,6 +5,61 @@ use std::fmt;
 
 use crate::symbol::Symbol;
 
+/// A half-open byte range `start..end` into the source text.
+///
+/// Lex and parse errors carry the exact span of the offending token;
+/// [`TowerError::locate`] recovers best-effort spans for later-phase
+/// errors that mention a source identifier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// Byte offset of the first byte of the spanned text.
+    pub start: usize,
+    /// Byte offset one past the last byte of the spanned text.
+    pub end: usize,
+}
+
+impl Span {
+    /// A span covering `start..end`.
+    pub fn new(start: usize, end: usize) -> Span {
+        Span { start, end }
+    }
+
+    /// The 1-based `(line, column)` of the span's start within `source`.
+    ///
+    /// Columns count characters, not bytes, matching the positions the
+    /// lexer reports.
+    pub fn line_col(&self, source: &str) -> (usize, usize) {
+        let upto = &source[..self.start.min(source.len())];
+        let line = upto.matches('\n').count() + 1;
+        let col = upto.chars().rev().take_while(|&c| c != '\n').count() + 1;
+        (line, col)
+    }
+}
+
+/// The span of the first occurrence of `name` as an identifier token in
+/// `source`, skipping matches inside comments, keywords, and longer
+/// identifiers. `occurrence` selects which match (0-based), so duplicate
+/// declarations can point at the second appearance. Falls back to the
+/// first occurrence when `occurrence` is out of range, and to `None` when
+/// the name never appears (or the source does not lex).
+///
+/// This is the recovery path behind [`TowerError::locate`]; downstream
+/// error types that mention source identifiers (the Spire backend's
+/// errors) reuse it for the same best-effort spans.
+pub fn locate_ident(source: &str, name: &str, occurrence: usize) -> Option<Span> {
+    let tokens = crate::lexer::lex(source).ok()?;
+    tokens
+        .iter()
+        .filter(|t| matches!(&t.token, crate::lexer::Token::Ident(s) if s == name))
+        .nth(occurrence)
+        .or_else(|| {
+            tokens
+                .iter()
+                .find(|t| matches!(&t.token, crate::lexer::Token::Ident(s) if s == name))
+        })
+        .map(|t| t.span)
+}
+
 /// Errors produced while lexing, parsing, type checking, inlining, or
 /// lowering a Tower program.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -15,6 +70,8 @@ pub enum TowerError {
         line: usize,
         /// 1-based column.
         col: usize,
+        /// Byte span of the offending text.
+        span: Span,
         /// Description.
         message: String,
     },
@@ -24,6 +81,8 @@ pub enum TowerError {
         line: usize,
         /// 1-based column.
         col: usize,
+        /// Byte span of the offending token.
+        span: Span,
         /// Description.
         message: String,
     },
@@ -146,15 +205,61 @@ impl TowerError {
             TowerError::UnloweredConstruct { .. } => "tower/unlowered-construct",
         }
     }
+
+    /// The byte span this error carries intrinsically, if any.
+    ///
+    /// Only lex and parse errors know their exact source position; for
+    /// later phases use [`TowerError::locate`], which recovers a span
+    /// from the source text.
+    pub fn span(&self) -> Option<Span> {
+        match self {
+            TowerError::Lex { span, .. } | TowerError::Parse { span, .. } => Some(*span),
+            _ => None,
+        }
+    }
+
+    /// Best-effort byte span of this error within `source`.
+    ///
+    /// Lex and parse errors return their stored span. Errors that mention
+    /// a source-level name (unbound variables, unknown or duplicate
+    /// declarations, arity mismatches, …) are located at that name's
+    /// identifier token — the *second* occurrence for duplicate
+    /// declarations, since the first one is legitimate. Errors about
+    /// compiler-synthesized constructs have no source span.
+    pub fn locate(&self, source: &str) -> Option<Span> {
+        let ident = |name: &Symbol, occurrence| locate_ident(source, name.as_str(), occurrence);
+        match self {
+            TowerError::Lex { span, .. } | TowerError::Parse { span, .. } => Some(*span),
+            TowerError::DuplicateType { name } | TowerError::DuplicateFun { name } => {
+                ident(name, 1)
+            }
+            TowerError::UnknownType { name } | TowerError::UnknownFun { name } => ident(name, 0),
+            TowerError::UnboundVar { var }
+            | TowerError::RedeclaredAtDifferentType { var, .. }
+            | TowerError::IfConditionModified { var }
+            | TowerError::IfUndeclaresOuter { var } => ident(var, 0),
+            TowerError::ArityMismatch { fun, .. } | TowerError::InlineBudgetExceeded { fun } => {
+                ident(fun, 0)
+            }
+            TowerError::CyclicType { .. }
+            | TowerError::TypeMismatch { .. }
+            | TowerError::BadDepthExpr { .. }
+            | TowerError::UnloweredConstruct { .. } => None,
+        }
+    }
 }
 
 impl fmt::Display for TowerError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            TowerError::Lex { line, col, message } => {
+            TowerError::Lex {
+                line, col, message, ..
+            } => {
                 write!(f, "lex error at {line}:{col}: {message}")
             }
-            TowerError::Parse { line, col, message } => {
+            TowerError::Parse {
+                line, col, message, ..
+            } => {
                 write!(f, "parse error at {line}:{col}: {message}")
             }
             TowerError::DuplicateType { name } => write!(f, "duplicate type `{name}`"),
@@ -214,11 +319,13 @@ mod tests {
             TowerError::Lex {
                 line: 1,
                 col: 1,
+                span: Span::default(),
                 message: "m".into(),
             },
             TowerError::Parse {
                 line: 1,
                 col: 1,
+                span: Span::default(),
                 message: "m".into(),
             },
             TowerError::DuplicateType {
@@ -297,11 +404,53 @@ mod tests {
             TowerError::Parse {
                 line: 1,
                 col: 2,
+                span: Span::new(4, 5),
                 message: "oops".into(),
             },
         ];
         for e in errors {
             assert!(!e.to_string().is_empty());
         }
+    }
+
+    #[test]
+    fn line_col_counts_characters_per_line() {
+        let source = "ab\ncdé f";
+        // Span of `f`: é is 2 bytes, so `f` starts at byte 8.
+        assert_eq!(Span::new(8, 9).line_col(source), (2, 5));
+        assert_eq!(Span::new(0, 1).line_col(source), (1, 1));
+        // A span past the end clamps instead of panicking.
+        assert_eq!(Span::new(999, 999).line_col(source).0, 2);
+    }
+
+    #[test]
+    fn locate_finds_identifier_tokens_not_substrings() {
+        let source = "// xs in a comment\nlet xsxs <- 1; let xs <- 2;";
+        let span = locate_ident(source, "xs", 0).unwrap();
+        assert_eq!(&source[span.start..span.end], "xs");
+        // Not the comment, and not inside `xsxs`.
+        assert_eq!(span.line_col(source), (2, 20));
+    }
+
+    #[test]
+    fn locate_points_duplicates_at_the_second_occurrence() {
+        let source = "fun f() -> uint { return x; } fun f() -> uint { return y; }";
+        let err = TowerError::DuplicateFun {
+            name: Symbol::new("f"),
+        };
+        let span = err.locate(source).unwrap();
+        let second = source.rfind("fun f").unwrap() + "fun ".len();
+        assert_eq!(span.start, second);
+    }
+
+    #[test]
+    fn locate_falls_back_to_none_for_synthesized_errors() {
+        let err = TowerError::TypeMismatch {
+            context: "c".into(),
+            expected: "a".into(),
+            found: "b".into(),
+        };
+        assert!(err.locate("let x <- 1;").is_none());
+        assert!(err.span().is_none());
     }
 }

@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use crate::error::TowerError;
+use crate::error::{Span, TowerError};
 
 /// A lexical token of the Tower surface language.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -154,7 +154,8 @@ impl fmt::Display for Token {
     }
 }
 
-/// A token paired with its source position (1-based line and column).
+/// A token paired with its source position (1-based line and column) and
+/// byte span.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Spanned {
     /// The token.
@@ -163,6 +164,8 @@ pub struct Spanned {
     pub line: usize,
     /// 1-based source column.
     pub col: usize,
+    /// Byte span of the token's text in the source.
+    pub span: Span,
 }
 
 /// Tokenize Tower source text.
@@ -189,6 +192,7 @@ pub fn lex(source: &str) -> Result<Vec<Spanned>, TowerError> {
     let mut i = 0;
     let mut line = 1usize;
     let mut col = 1usize;
+    let mut byte = 0usize;
 
     macro_rules! advance {
         () => {{
@@ -198,6 +202,7 @@ pub fn lex(source: &str) -> Result<Vec<Spanned>, TowerError> {
             } else {
                 col += 1;
             }
+            byte += chars[i].len_utf8();
             i += 1;
         }};
     }
@@ -205,13 +210,17 @@ pub fn lex(source: &str) -> Result<Vec<Spanned>, TowerError> {
     while i < chars.len() {
         let c = chars[i];
         let (tline, tcol) = (line, col);
-        let mut push = |token: Token| {
-            tokens.push(Spanned {
-                token,
-                line: tline,
-                col: tcol,
-            })
-        };
+        let tstart = byte;
+        macro_rules! push {
+            ($token:expr) => {
+                tokens.push(Spanned {
+                    token: $token,
+                    line: tline,
+                    col: tcol,
+                    span: Span::new(tstart, byte),
+                })
+            };
+        }
 
         if c.is_whitespace() {
             advance!();
@@ -242,6 +251,7 @@ pub fn lex(source: &str) -> Result<Vec<Spanned>, TowerError> {
                     return Err(TowerError::Lex {
                         line: tline,
                         col: tcol,
+                        span: Span::new(tstart, source.len()),
                         message: "unterminated block comment".into(),
                     });
                 }
@@ -278,7 +288,7 @@ pub fn lex(source: &str) -> Result<Vec<Spanned>, TowerError> {
                 "ptr" => Token::KwPtr,
                 _ => Token::Ident(word),
             };
-            push(token);
+            push!(token);
             continue;
         }
         // Integers.
@@ -291,9 +301,10 @@ pub fn lex(source: &str) -> Result<Vec<Spanned>, TowerError> {
             let value = text.parse::<u64>().map_err(|_| TowerError::Lex {
                 line: tline,
                 col: tcol,
+                span: Span::new(tstart, byte),
                 message: format!("integer literal `{text}` out of range"),
             })?;
-            push(Token::Int(value));
+            push!(Token::Int(value));
             continue;
         }
         // Multi-character operators, longest first.
@@ -334,6 +345,7 @@ pub fn lex(source: &str) -> Result<Vec<Spanned>, TowerError> {
                     return Err(TowerError::Lex {
                         line: tline,
                         col: tcol,
+                        span: Span::new(tstart, tstart + c.len_utf8()),
                         message: format!("unexpected character `{other}`"),
                     })
                 }
@@ -343,7 +355,7 @@ pub fn lex(source: &str) -> Result<Vec<Spanned>, TowerError> {
         for _ in 0..len {
             advance!();
         }
-        push(token);
+        push!(token);
     }
     Ok(tokens)
 }

@@ -46,6 +46,7 @@
 //! # Ok::<(), tower::TowerError>(())
 //! ```
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
@@ -62,7 +63,7 @@ mod typecheck;
 mod types;
 
 pub use core_ir::{CoreBinOp, CoreExpr, CoreStmt, CoreValue};
-pub use error::TowerError;
+pub use error::{locate_ident, Span, TowerError};
 pub use inline::inline;
 pub use lower::lower_block;
 pub use parser::parse;

@@ -1,7 +1,7 @@
 //! Recursive-descent parser for the Tower surface language.
 
 use crate::ast::{BinOp, DepthExpr, Expr, FunDef, Program, Stmt, TypeDef};
-use crate::error::TowerError;
+use crate::error::{Span, TowerError};
 use crate::lexer::{lex, Spanned, Token};
 use crate::symbol::Symbol;
 use crate::types::Type;
@@ -64,18 +64,20 @@ impl Parser {
         self.tokens.get(self.pos + 1).map(|s| &s.token)
     }
 
-    fn here(&self) -> (usize, usize) {
+    /// Position of the current token — or of the last token when the
+    /// parser ran off the end of the input.
+    fn here(&self) -> (usize, usize, Span) {
         self.tokens
             .get(self.pos.min(self.tokens.len().saturating_sub(1)))
-            .map(|s| (s.line, s.col))
-            .unwrap_or((0, 0))
+            .map_or((0, 0, Span::default()), |s| (s.line, s.col, s.span))
     }
 
     fn error(&self, message: impl Into<String>) -> TowerError {
-        let (line, col) = self.here();
+        let (line, col, span) = self.here();
         TowerError::Parse {
             line,
             col,
+            span,
             message: message.into(),
         }
     }

@@ -10,11 +10,16 @@
 //! * [`qcirc`] — the circuit substrate: gates, Clifford+T decomposition,
 //!   `.qc` format, simulators.
 //! * [`qopt`] — baseline circuit optimizer analogues.
+//! * [`spire_verify`] — the static verifier: gate-stream well-formedness,
+//!   ancilla-discipline dataflow, T-complexity interval bounds, and
+//!   optimizer pass certification (see `docs/ANALYSIS.md`).
 //! * [`bench_suite`] — the paper's benchmarks and experiment regenerators.
 //! * [`spire_serve`] — the always-on compile-and-estimate HTTP service
 //!   with single-flight caching and the load-test harness.
 //!
 //! See `README.md` for a tour and `DESIGN.md` for the system inventory.
+
+#![forbid(unsafe_code)]
 
 pub mod difftest;
 
@@ -23,4 +28,5 @@ pub use qcirc;
 pub use qopt;
 pub use spire;
 pub use spire_serve;
+pub use spire_verify;
 pub use tower;

@@ -176,7 +176,11 @@ fn decomposition_and_optimizers_preserve_states_at_paper_sizes() {
         let candidates: Vec<(String, bool, Circuit)> =
             std::iter::once(("clifford+t".to_string(), true, decomposed))
                 .chain(
-                    qopt::registry()
+                    // The certified registry re-verifies every pass output
+                    // (structural audit + T-count non-increase) in debug
+                    // builds, so the difftest corpus doubles as the
+                    // certification corpus.
+                    qopt::registry_certified()
                         .iter()
                         .map(|opt| (opt.name().to_string(), false, opt.optimize(&circuit))),
                 )

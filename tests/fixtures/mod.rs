@@ -1,0 +1,152 @@
+//! The negative-fixture corpus for `spire-verify`.
+//!
+//! Each fixture is a deliberately defective circuit (or, for the T-bound
+//! class, a defective bounds row) paired with the stable `verify/…` code
+//! the analyses must report for it. `tests/verify_fixtures.rs` asserts
+//! the static catch; `tests/verify_props.rs` additionally shows the
+//! semantic fixtures are *observably wrong dynamically* — the defect has
+//! simulator-visible consequences, not just an unhappy analyzer.
+
+// Each test binary compiles this module independently and uses its own
+// subset of the corpus.
+#![allow(dead_code)]
+
+use spire_repro::qcirc::{Circuit, Gate, GateKind};
+use spire_repro::spire_verify::{AncillaSpec, FunctionBounds};
+
+/// One defective circuit and the diagnostic it must provoke.
+pub struct Fixture {
+    /// Short name, used in assertion messages.
+    pub name: &'static str,
+    /// The stable `verify/…` code the analyses must emit.
+    pub code: &'static str,
+    /// The defective gate stream.
+    pub circuit: Circuit,
+    /// Ancillae the discipline analysis should track (empty for purely
+    /// structural fixtures).
+    pub ancillas: AncillaSpec,
+    /// Allocated layout width handed to the well-formedness sweep.
+    pub width: Option<u32>,
+}
+
+/// A gate whose control set contains its own target, injected past the
+/// constructor's normalization.
+pub fn control_target_overlap() -> Fixture {
+    let mut circuit = Circuit::new(4);
+    circuit.push(Gate::cnot(0, 1));
+    circuit.push_raw_for_test(GateKind::Mcx, &[2], 2);
+    Fixture {
+        name: "control-target-overlap",
+        code: "verify/control-target-overlap",
+        circuit,
+        ancillas: AncillaSpec::default(),
+        width: None,
+    }
+}
+
+/// A gate addressing a qubit the layout never allocated.
+pub fn qubit_out_of_range() -> Fixture {
+    let mut circuit = Circuit::new(8);
+    circuit.push(Gate::cnot(0, 7));
+    Fixture {
+        name: "qubit-out-of-range",
+        code: "verify/qubit-out-of-range",
+        circuit,
+        ancillas: AncillaSpec::default(),
+        width: Some(4),
+    }
+}
+
+/// A gate whose precomputed footprint mask disagrees with its operands —
+/// the invariant every footprint-indexed optimizer pass trusts.
+pub fn corrupted_footprint() -> Fixture {
+    let mut circuit = Circuit::new(4);
+    circuit.push(Gate::toffoli(0, 1, 2));
+    circuit.corrupt_footprint_for_test(0, 0b1000);
+    Fixture {
+        name: "corrupted-footprint",
+        code: "verify/footprint-mismatch",
+        circuit,
+        ancillas: AncillaSpec::default(),
+        width: None,
+    }
+}
+
+/// An MCX whose operand-arena offset points past the arena's end.
+pub fn corrupted_arena() -> Fixture {
+    let mut circuit = Circuit::new(5);
+    circuit.push(Gate::mcx(vec![0, 1, 2], 3));
+    circuit.corrupt_arena_offset_for_test(0, u32::MAX);
+    Fixture {
+        name: "corrupted-arena",
+        code: "verify/arena-out-of-bounds",
+        circuit,
+        ancillas: AncillaSpec::default(),
+        width: None,
+    }
+}
+
+/// An ancilla computed into and never uncomputed: qubit 2 still carries
+/// `q0 ∧ q1` when the circuit ends. The leading X gates make the leak
+/// dynamically visible from the all-zeros input.
+pub fn leaked_ancilla() -> Fixture {
+    let mut circuit = Circuit::new(4);
+    circuit.push(Gate::x(0));
+    circuit.push(Gate::x(1));
+    circuit.push(Gate::toffoli(0, 1, 2));
+    circuit.push(Gate::cnot(2, 3));
+    let mut ancillas = AncillaSpec::default();
+    ancillas.push(2, "fixture ancilla".to_string());
+    Fixture {
+        name: "leaked-ancilla",
+        code: "verify/leaked-ancilla",
+        circuit,
+        ancillas,
+        width: None,
+    }
+}
+
+/// An ancilla read *after its final uncompute*: the last CNOT controls on
+/// qubit 2, which the preceding pair restored to |0⟩ and which nothing
+/// ever recomputes — so the gate can never fire, which is exactly the
+/// stale-read Bennett-discipline bug the analysis reports as an error.
+pub fn use_after_uncompute() -> Fixture {
+    let mut circuit = Circuit::new(4);
+    circuit.push(Gate::x(0));
+    circuit.push(Gate::x(1));
+    circuit.push(Gate::toffoli(0, 1, 2));
+    circuit.push(Gate::toffoli(0, 1, 2));
+    circuit.push(Gate::cnot(2, 3));
+    let mut ancillas = AncillaSpec::default();
+    ancillas.push(2, "fixture ancilla".to_string());
+    Fixture {
+        name: "use-after-uncompute",
+        code: "verify/use-after-uncompute",
+        circuit,
+        ancillas,
+        width: None,
+    }
+}
+
+/// Every circuit-level fixture, one per defect class.
+pub fn circuit_fixtures() -> Vec<Fixture> {
+    vec![
+        control_target_overlap(),
+        qubit_out_of_range(),
+        corrupted_footprint(),
+        corrupted_arena(),
+        leaked_ancilla(),
+        use_after_uncompute(),
+    ]
+}
+
+/// The T-bound defect class: a function whose compiled T-count falls
+/// outside its static interval (`verify/t-bound-violation`).
+pub fn bound_violation_row() -> FunctionBounds {
+    FunctionBounds {
+        name: "fixture".to_string(),
+        min: 10,
+        max: 20,
+        actual: 100,
+    }
+}

@@ -1,0 +1,56 @@
+//! The static verifier over the full paper benchmark suite.
+//!
+//! Acceptance gate for the analyses: all 12 benchmarks must verify with
+//! zero diagnostics under both compilation strategies, and every compiled
+//! T-count must land inside its statically predicted interval.
+
+use spire::{check_source, CompileOptions};
+use spire_repro::bench_suite::programs::all_benchmarks;
+use spire_repro::spire;
+use spire_repro::tower::WordConfig;
+
+fn bench_depth(constant: bool) -> i64 {
+    if constant {
+        0
+    } else {
+        3
+    }
+}
+
+#[test]
+fn all_benchmarks_verify_clean() {
+    for options in [CompileOptions::baseline(), CompileOptions::spire()] {
+        for bench in all_benchmarks() {
+            let report = check_source(
+                &bench.source,
+                bench.entry,
+                bench_depth(bench.constant),
+                WordConfig::paper_default(),
+                &options,
+            )
+            .unwrap_or_else(|e| panic!("{} fails to compile: {e}", bench.name));
+            assert!(
+                report.diagnostics.is_empty(),
+                "{}: unexpected diagnostics: {:#?}",
+                bench.name,
+                report.diagnostics
+            );
+            assert!(
+                !report.functions.is_empty(),
+                "{}: missing T-bound rows",
+                bench.name
+            );
+            for row in &report.functions {
+                assert!(
+                    row.holds(),
+                    "{}: function `{}` compiled to {} T gates, outside [{}, {}]",
+                    bench.name,
+                    row.name,
+                    row.actual,
+                    row.min,
+                    row.max
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,102 @@
+//! Every negative fixture is caught statically, with its stable code.
+//!
+//! The corpus lives in `tests/fixtures/` — one fixture per defect class
+//! (control/target overlap, out-of-range qubit, corrupted footprint
+//! mask, corrupted operand arena, leaked ancilla, use-after-uncompute,
+//! T-bound violation). A fixture slipping past the analyses, or being
+//! reported under a different code, is a regression in the verifier's
+//! contract: the codes are API.
+
+mod fixtures;
+
+use spire_repro::spire_verify::{
+    bound_violations, check_ancillas, check_circuit, codes, Diagnostic, Severity,
+};
+
+/// Run the circuit-level analyses the way `spire check` does.
+fn diagnose(fixture: &fixtures::Fixture) -> Vec<Diagnostic> {
+    let mut diagnostics = check_circuit(&fixture.circuit, fixture.width);
+    diagnostics.extend(check_ancillas(&fixture.circuit, &fixture.ancillas));
+    diagnostics
+}
+
+#[test]
+fn every_circuit_fixture_is_caught_under_its_code() {
+    for fixture in fixtures::circuit_fixtures() {
+        let diagnostics = diagnose(&fixture);
+        let caught = diagnostics
+            .iter()
+            .find(|d| d.code == fixture.code)
+            .unwrap_or_else(|| {
+                panic!(
+                    "fixture `{}` not caught: expected {}, got {:?}",
+                    fixture.name, fixture.code, diagnostics
+                )
+            });
+        assert_eq!(
+            caught.severity,
+            Severity::Error,
+            "fixture `{}` must be an error, not a warning",
+            fixture.name
+        );
+        assert!(
+            codes::ALL.contains(&fixture.code),
+            "fixture `{}` expects a code outside the stable namespace",
+            fixture.name
+        );
+    }
+}
+
+#[test]
+fn fixture_codes_cover_distinct_defect_classes() {
+    let fixture_codes: Vec<&str> = fixtures::circuit_fixtures()
+        .iter()
+        .map(|f| f.code)
+        .collect();
+    let distinct: std::collections::BTreeSet<&str> = fixture_codes.iter().copied().collect();
+    assert_eq!(
+        distinct.len(),
+        fixture_codes.len(),
+        "each fixture must exercise its own defect class"
+    );
+    assert!(distinct.len() >= 6, "the corpus must cover >= 6 classes");
+}
+
+#[test]
+fn bound_violation_fixture_is_caught() {
+    let row = fixtures::bound_violation_row();
+    assert!(!row.holds());
+    let diagnostics = bound_violations(&[row]);
+    assert_eq!(diagnostics.len(), 1);
+    assert_eq!(diagnostics[0].code, codes::T_BOUND_VIOLATION);
+    assert_eq!(diagnostics[0].severity, Severity::Error);
+}
+
+#[test]
+fn fixtures_fail_only_for_their_own_reason() {
+    // The semantic fixtures must be structurally well-formed (their only
+    // defect is the discipline bug), and the structural fixtures must
+    // carry no ancilla findings — each fixture isolates one class.
+    for fixture in fixtures::circuit_fixtures() {
+        let structural = check_circuit(&fixture.circuit, fixture.width);
+        let semantic = check_ancillas(&fixture.circuit, &fixture.ancillas);
+        match fixture.name {
+            "leaked-ancilla" | "use-after-uncompute" => {
+                assert!(
+                    structural.is_empty(),
+                    "`{}` should be structurally clean: {structural:?}",
+                    fixture.name
+                );
+                assert!(!semantic.is_empty());
+            }
+            _ => {
+                assert!(
+                    semantic.is_empty(),
+                    "`{}` should have no ancilla findings: {semantic:?}",
+                    fixture.name
+                );
+                assert!(!structural.is_empty());
+            }
+        }
+    }
+}

@@ -233,7 +233,7 @@ mod tests {
             b.iter(|| {
                 ran += 1;
                 ran
-            })
+            });
         });
         group.finish();
         assert!(ran > 0);
@@ -245,7 +245,7 @@ mod tests {
         let mut group = c.benchmark_group("smoke2");
         group.sample_size(2);
         group.bench_with_input(BenchmarkId::new("double", 21), &21u64, |b, &n| {
-            b.iter(|| n * 2)
+            b.iter(|| n * 2);
         });
         group.finish();
     }
