@@ -1,41 +1,34 @@
-//! Dense vs. sparse simulation throughput on a structured-state workload.
+//! Dense vs. sparse simulation throughput, and the `BENCH_sim.json`
+//! perf trajectory.
 //!
-//! The workload is the kind of state Tower programs actually reach: a
-//! GHZ-style entangling ladder, a T-phase layer, and the ladder's unwind —
-//! wide superposition structure but tiny support. The dense backend pays
-//! O(2ⁿ) per gate regardless; the sparse backend pays O(support). At the
-//! differential harness's 24-qubit floor the gap is measured in orders of
-//! magnitude, which is what makes paper-sized equivalence checking
-//! tractable.
+//! The headline workload is the kind of state Tower programs actually
+//! reach: a GHZ-style entangling ladder, a T-phase layer, and the
+//! ladder's unwind — wide superposition structure but tiny support. The
+//! dense backend pays O(2ⁿ) per gate regardless; the sparse backend pays
+//! O(support). At the differential harness's 24-qubit floor the gap is
+//! measured in orders of magnitude, which is what makes paper-sized
+//! equivalence checking tractable.
 //!
 //! Alongside the criterion timings, the target prints an explicit
-//! gates/sec comparison (the `sim_throughput summary` block) that CI
-//! uploads as a build artifact.
+//! gates/sec comparison (the `sim_throughput summary` block) and writes
+//! the machine-readable trajectory `BENCH_sim.json` at the repo root
+//! (warm gates/sec per workload, with the pinned pre-batching baseline;
+//! see `bench_suite::sim_bench`). Pass `--quick` (or set
+//! `SIM_BENCH_QUICK=1`) for the reduced rep counts CI runs and uploads.
 
 use std::time::Instant;
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use qcirc::sim::{SparseState, StateVec};
-use qcirc::{Circuit, Gate};
+use bench_suite::sim_bench::{self, structured_workload};
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use qcirc::sim::{SparseState, SparseState256, StateVec};
+use qcirc::Circuit;
 
-/// Entangling ladder + phase layer + unwind + NOT layer: ~4n gates, never
-/// more than 2 nonzero amplitudes.
-fn structured_workload(n: u32) -> Circuit {
-    let mut c = Circuit::new(n);
-    c.push(Gate::h(0));
-    for q in 1..n {
-        c.push(Gate::cnot(q - 1, q));
-    }
-    for q in 0..n {
-        c.push(Gate::T(q));
-    }
-    for q in (1..n).rev() {
-        c.push(Gate::cnot(q - 1, q));
-    }
-    for q in 0..n {
-        c.push(Gate::x(q));
-    }
-    c
+fn quick_mode() -> bool {
+    let env_quick = matches!(
+        std::env::var("SIM_BENCH_QUICK").ok().as_deref(),
+        Some(v) if !v.is_empty() && v != "0"
+    );
+    std::env::args().any(|a| a == "--quick") || env_quick
 }
 
 fn run_dense(circuit: &Circuit) -> f64 {
@@ -50,9 +43,16 @@ fn run_sparse(circuit: &Circuit) -> f64 {
     state.norm()
 }
 
-/// One-shot gates/sec measurement (the criterion stub reports durations;
-/// this block reports the throughput numbers the ISSUE asks for).
-fn print_summary(n: u32) {
+fn run_sparse_wide(circuit: &Circuit) -> f64 {
+    let mut state = SparseState256::basis(circuit.num_qubits(), 0).expect("wide sparse fits");
+    state.run(circuit).expect("runs");
+    state.norm()
+}
+
+/// One-shot dense-vs-sparse gates/sec comparison. The sparse side warms
+/// up first (`sim_bench`'s methodology); the dense side is so slow that
+/// a single cold run is already representative.
+fn print_summary(n: u32, quick: bool) {
     let circuit = structured_workload(n);
     let gates = circuit.len() as f64;
 
@@ -61,13 +61,15 @@ fn print_summary(n: u32) {
     let dense_secs = t.elapsed().as_secs_f64();
     assert!((norm - 1.0).abs() < 1e-9);
 
-    // The sparse run is too fast to time in one shot; batch it.
-    let reps = 200;
+    let reps = if quick { 20_000 } else { 200_000 };
+    for _ in 0..reps / 10 {
+        std::hint::black_box(run_sparse(&circuit));
+    }
     let t = Instant::now();
     for _ in 0..reps {
         std::hint::black_box(run_sparse(&circuit));
     }
-    let sparse_secs = t.elapsed().as_secs_f64() / reps as f64;
+    let sparse_secs = t.elapsed().as_secs_f64() / f64::from(reps);
 
     let dense_gps = gates / dense_secs;
     let sparse_gps = gates / sparse_secs;
@@ -78,7 +80,8 @@ fn print_summary(n: u32) {
 }
 
 fn sim_throughput(c: &mut Criterion) {
-    print_summary(24);
+    let quick = quick_mode();
+    print_summary(24, quick);
 
     let mut group = c.benchmark_group("sim_throughput");
     group.sample_size(2);
@@ -98,8 +101,48 @@ fn sim_throughput(c: &mut Criterion) {
             b.iter(|| run_sparse(circuit));
         });
     }
+    // Past the 64-bit key space: same workload shape on 256-bit keys.
+    for n in [100u32, 192] {
+        let circuit = structured_workload(n);
+        group.bench_with_input(
+            BenchmarkId::new("sparse-wide", n),
+            &circuit,
+            |b, circuit| {
+                b.iter(|| run_sparse_wide(circuit));
+            },
+        );
+    }
     group.finish();
 }
 
 criterion_group!(benches, sim_throughput);
-criterion_main!(benches);
+
+fn main() {
+    benches();
+    let quick = quick_mode();
+    let report = sim_bench::run(quick);
+    // Bench binaries run with the package dir as cwd; write at the
+    // workspace root, next to the other BENCH_*.json trajectories.
+    let repo_root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("workspace root exists");
+    match sim_bench::write_json(&report, repo_root) {
+        Ok(path) => {
+            println!(
+                "\nwrote {} ({} mode, {} workloads)",
+                path.display(),
+                report.mode,
+                report.entries.len()
+            );
+            if let Some(speedup) = report.headline_speedup() {
+                println!(
+                    "headline: {} runs {speedup:.1}x the {} baseline",
+                    sim_bench::HEADLINE,
+                    sim_bench::BASELINE_COMMIT,
+                );
+            }
+        }
+        Err(e) => eprintln!("could not write BENCH_sim.json: {e}"),
+    }
+}

@@ -39,3 +39,4 @@ pub mod polyfit;
 pub mod programs;
 pub mod report;
 pub mod runner;
+pub mod sim_bench;

@@ -1,0 +1,590 @@
+//! Batched execution engine for [`SparseState`]: monomial fusion, footprint
+//! batching, and shard-by-hash parallelism.
+//!
+//! Per-gate sparse simulation rebuilds the whole amplitude map once per
+//! gate, which dominates the cost on the small-support states Tower
+//! programs actually reach. The engine instead groups a circuit's gates
+//! into *batches* applied entry-wise in a single pass over the map:
+//!
+//! * Every gate is linear, so a run of gates can be applied to each stored
+//!   amplitude independently and the results accumulated at the end — the
+//!   sum of the evolved entries equals the evolved sum.
+//! * Hadamard-free gates (MCX and the phase gates) are *monomial*: each
+//!   basis key maps to exactly one key with a phase factor. A run of them
+//!   fuses into one injective pass — one map rebuild per batch instead of
+//!   per gate, and no rebuild at all when the batch is phase-only.
+//! * An MCH doubles an entry's branches, so batches cap how many MCH gates
+//!   they absorb ([`ExecConfig::max_branching`]) and only absorb an MCH
+//!   whose qubits are disjoint from the batch so far — overlapping
+//!   Hadamards (e.g. an H·H cancellation) flush the batch first, keeping
+//!   epsilon pruning effective between them.
+//!
+//! Disjointness is decided by the circuit's precomputed [`Footprint`]
+//! masks. Beyond 64 qubits the masks fold (`q % 64`), which keeps
+//! mask-disjointness a sound proof of qubit-disjointness but makes mask
+//! *collision* inconclusive: two gates on qubits 3 and 67 collide in the
+//! fold while sharing nothing. The scheduler therefore treats a mask
+//! collision as overlap only within exact range (≤ 64 qubits) and falls
+//! back to comparing the actual operand lists otherwise.
+//!
+//! When the support crosses [`ExecConfig::parallel_threshold`], a batch is
+//! applied by [`std::thread::scope`] workers: the entries are split across
+//! workers, each worker emits its output branches into per-shard buckets
+//! keyed by a deterministic hash of the destination key, and the shards
+//! are then merged (and pruned) independently — all contributions to one
+//! key land in one shard, so no locking is needed.
+//!
+//! [`Footprint`]: crate::circuit::Footprint
+
+use std::collections::HashMap;
+use std::f64::consts::{FRAC_1_SQRT_2, FRAC_PI_4};
+use std::num::NonZeroUsize;
+use std::sync::OnceLock;
+
+use crate::circuit::Circuit;
+use crate::error::QcircError;
+use crate::gate::{GateKind, GateView, Qubit};
+use crate::sim::complex::Complex;
+use crate::sim::key::BasisKey;
+use crate::sim::sparse::KeyedSparseState;
+
+/// Tuning knobs for the batched execution engine.
+///
+/// The defaults engage threads only once the support is large enough to
+/// amortize spawning them, and cap fusion so branch expansion between
+/// prunes stays bounded (`2^max_branching` branches per entry).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecConfig {
+    /// Worker count for parallel batches (1 disables threading).
+    pub threads: usize,
+    /// Minimum support before a batch is applied across threads.
+    pub parallel_threshold: usize,
+    /// Maximum number of MCH (branching) gates fused into one batch.
+    pub max_branching: u32,
+}
+
+impl Default for ExecConfig {
+    fn default() -> Self {
+        static THREADS: OnceLock<usize> = OnceLock::new();
+        ExecConfig {
+            threads: *THREADS.get_or_init(|| {
+                std::thread::available_parallelism()
+                    .map_or(1, NonZeroUsize::get)
+                    .min(8)
+            }),
+            parallel_threshold: 8192,
+            max_branching: 6,
+        }
+    }
+}
+
+/// One gate lowered to the key operations the entry-wise pass performs.
+#[derive(Debug, Clone, Copy)]
+enum Step<K> {
+    /// MCX: flip `tbit` where `cmask` is fully set (injective re-key).
+    Permute { cmask: K, tbit: K },
+    /// MCH: split each branch where `cmask` is fully set.
+    Branch { cmask: K, tbit: K },
+    /// Diagonal phase gate: multiply where `qbit` is set.
+    Phase { qbit: K, phase: Complex },
+}
+
+/// The two transcendental phase constants, computed once per run rather
+/// than per T gate (`cos`/`sin` dominate step lowering otherwise). Values
+/// are bit-identical to the per-gate path, which calls the same function.
+struct PhaseTable {
+    t: Complex,
+    tdg: Complex,
+}
+
+impl PhaseTable {
+    fn new() -> Self {
+        PhaseTable {
+            t: Complex::from_polar_unit(FRAC_PI_4),
+            tdg: Complex::from_polar_unit(-FRAC_PI_4),
+        }
+    }
+}
+
+fn step_of<K: BasisKey>(view: GateView<'_>, phases: &PhaseTable) -> Step<K> {
+    let cmask = view
+        .controls
+        .iter()
+        .fold(K::zero(), |m, &c| m.or(K::single(c)));
+    let tbit = K::single(view.target);
+    match view.kind {
+        GateKind::Mcx => Step::Permute { cmask, tbit },
+        GateKind::Mch => Step::Branch { cmask, tbit },
+        GateKind::T => Step::Phase {
+            qbit: tbit,
+            phase: phases.t,
+        },
+        GateKind::Tdg => Step::Phase {
+            qbit: tbit,
+            phase: phases.tdg,
+        },
+        GateKind::S => Step::Phase {
+            qbit: tbit,
+            phase: Complex::new(0.0, 1.0),
+        },
+        GateKind::Sdg => Step::Phase {
+            qbit: tbit,
+            phase: Complex::new(0.0, -1.0),
+        },
+        GateKind::Z => Step::Phase {
+            qbit: tbit,
+            phase: Complex::new(-1.0, 0.0),
+        },
+    }
+}
+
+/// Whether a qubit occurs in a sorted control list.
+fn controls_contain(controls: &[Qubit], qubit: Qubit) -> bool {
+    controls.binary_search(&qubit).is_ok()
+}
+
+/// Exact operand-level overlap test between two gates (both control lists
+/// are sorted and deduplicated by construction).
+fn views_overlap(a: GateView<'_>, b: GateView<'_>) -> bool {
+    if a.target == b.target
+        || controls_contain(a.controls, b.target)
+        || controls_contain(b.controls, a.target)
+    {
+        return true;
+    }
+    // Sorted-merge intersection of the control lists.
+    let (mut i, mut j) = (0, 0);
+    while i < a.controls.len() && j < b.controls.len() {
+        match a.controls[i].cmp(&b.controls[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => return true,
+        }
+    }
+    false
+}
+
+/// Whether an MCH at `index` may join the current batch: its qubits must
+/// be disjoint from every gate already batched.
+///
+/// Folded-footprint soundness guard: disjoint masks always prove disjoint
+/// qubits (a shared qubit collides at the same folded bit), so the fast
+/// path is sound at any width. A mask *collision* proves overlap only
+/// while the masks are exact (≤ 64 qubits); beyond that the fold makes
+/// distinct qubits collide (e.g. 3 and 67), so the scheduler re-checks the
+/// actual operand lists before refusing the batch.
+fn mch_can_join(
+    circuit: &Circuit,
+    index: usize,
+    batch_mask: u64,
+    batch: &[usize],
+    num_qubits: u32,
+) -> bool {
+    if circuit.footprint(index).mask() & batch_mask == 0 {
+        return true;
+    }
+    if num_qubits <= 64 {
+        return false;
+    }
+    let view = circuit.view(index);
+    !batch.iter().any(|&j| views_overlap(view, circuit.view(j)))
+}
+
+/// Run a whole circuit through the batched engine. Semantics match the
+/// per-gate loop: stops at the first out-of-range gate with every earlier
+/// gate applied.
+pub(crate) fn run_batched<K: BasisKey>(
+    state: &mut KeyedSparseState<K>,
+    circuit: &Circuit,
+) -> Result<(), QcircError> {
+    let num_qubits = state.num_qubits;
+    let phases = PhaseTable::new();
+    let mut steps: Vec<Step<K>> = Vec::with_capacity(circuit.len());
+    // Gate indices of the current batch: only consulted by the exact
+    // fallback, which only exists beyond the masks' exact range.
+    let folded = num_qubits > 64;
+    let mut batch: Vec<usize> = Vec::new();
+    let mut batch_mask = 0u64;
+    let mut branching = 0u32;
+    for index in 0..circuit.len() {
+        let view = circuit.view(index);
+        if view.max_qubit() >= num_qubits {
+            apply_batch(state, &steps, branching > 0);
+            return Err(QcircError::QubitOutOfRange {
+                qubit: view.max_qubit(),
+                num_qubits,
+            });
+        }
+        if view.kind == GateKind::Mch {
+            if branching >= state.exec.max_branching
+                || !mch_can_join(circuit, index, batch_mask, &batch, num_qubits)
+            {
+                apply_batch(state, &steps, branching > 0);
+                steps.clear();
+                batch.clear();
+                batch_mask = 0;
+                branching = 0;
+            }
+            branching += 1;
+        }
+        steps.push(step_of(view, &phases));
+        if folded {
+            batch.push(index);
+        }
+        batch_mask |= circuit.footprint(index).mask();
+    }
+    apply_batch(state, &steps, branching > 0);
+    Ok(())
+}
+
+/// Apply one batch of lowered steps, choosing the sequential or parallel
+/// strategy by current support.
+fn apply_batch<K: BasisKey>(state: &mut KeyedSparseState<K>, steps: &[Step<K>], interfering: bool) {
+    if steps.is_empty() || state.amps.is_empty() {
+        return;
+    }
+    if state.exec.threads > 1 && state.amps.len() >= state.exec.parallel_threshold.max(1) {
+        apply_parallel(state, steps, interfering);
+    } else {
+        apply_sequential(state, steps, interfering);
+    }
+}
+
+/// Evolve one stored amplitude through the whole batch by depth-first
+/// branch walk: the current branch's key and amplitude stay in scalar
+/// registers through the step run, and each MCH split pushes the partner
+/// branch (with its resume position) onto `stack`. `stack` and `out` are
+/// caller scratch; on return `out` holds the entry's output branches.
+fn expand<K: BasisKey>(
+    steps: &[Step<K>],
+    key: K,
+    amp: Complex,
+    stack: &mut Vec<(usize, K, Complex)>,
+    out: &mut Vec<(K, Complex)>,
+) {
+    out.clear();
+    stack.clear();
+    stack.push((0, key, amp));
+    while let Some((start, mut k, mut a)) = stack.pop() {
+        for (pos, step) in steps[start..].iter().enumerate() {
+            match *step {
+                Step::Permute { cmask, tbit } => {
+                    if k.contains(cmask) {
+                        k = k.xor(tbit);
+                    }
+                }
+                Step::Phase { qbit, phase } => {
+                    if !k.and(qbit).is_zero() {
+                        a = a * phase;
+                    }
+                }
+                Step::Branch { cmask, tbit } => {
+                    if k.contains(cmask) {
+                        let half = a.scale(FRAC_1_SQRT_2);
+                        // Partner key (target bit flipped) always gets
+                        // +half; this branch keeps the Hadamard sign.
+                        stack.push((start + pos + 1, k.xor(tbit), half));
+                        a = if k.and(tbit).is_zero() { half } else { -half };
+                    }
+                }
+            }
+        }
+        out.push((k, a));
+    }
+}
+
+fn apply_sequential<K: BasisKey>(
+    state: &mut KeyedSparseState<K>,
+    steps: &[Step<K>],
+    interfering: bool,
+) {
+    if !interfering {
+        if steps.iter().all(|s| matches!(s, Step::Phase { .. })) {
+            // Diagonal batch: keys are untouched, no rebuild at all.
+            for (k, a) in &mut state.amps {
+                for step in steps {
+                    if let Step::Phase { qbit, phase } = *step {
+                        if !k.and(qbit).is_zero() {
+                            *a = *a * phase;
+                        }
+                    }
+                }
+            }
+            return;
+        }
+        // Monomial batch: injective, one rebuild, no pruning needed.
+        let mut next: HashMap<K, Complex> = HashMap::with_capacity(state.amps.len());
+        for (mut k, mut a) in state.amps.drain() {
+            for step in steps {
+                match *step {
+                    Step::Permute { cmask, tbit } => {
+                        if k.contains(cmask) {
+                            k = k.xor(tbit);
+                        }
+                    }
+                    Step::Phase { qbit, phase } => {
+                        if !k.and(qbit).is_zero() {
+                            a = a * phase;
+                        }
+                    }
+                    Step::Branch { .. } => unreachable!("monomial batch"),
+                }
+            }
+            next.insert(k, a);
+        }
+        state.amps = next;
+        return;
+    }
+    // Branching batch: expand each entry, accumulate interference, prune.
+    let mut next: HashMap<K, Complex> = HashMap::with_capacity(state.amps.len() * 2);
+    let mut stack: Vec<(usize, K, Complex)> = Vec::with_capacity(8);
+    let mut scratch: Vec<(K, Complex)> = Vec::with_capacity(8);
+    for (k, a) in state.amps.drain() {
+        expand(steps, k, a, &mut stack, &mut scratch);
+        for &(k2, a2) in &scratch {
+            *next.entry(k2).or_insert(Complex::ZERO) += a2;
+        }
+    }
+    let eps_sqr = state.epsilon * state.epsilon;
+    next.retain(|_, a| a.norm_sqr() > eps_sqr);
+    state.amps = next;
+}
+
+/// Shard-by-hash parallel application: workers expand disjoint entry
+/// slices into per-shard buckets, then the shards are merged and pruned
+/// independently. Every contribution to a given key hashes to the same
+/// shard, so the merge needs no synchronization.
+fn apply_parallel<K: BasisKey>(
+    state: &mut KeyedSparseState<K>,
+    steps: &[Step<K>],
+    interfering: bool,
+) {
+    let entries: Vec<(K, Complex)> = state.amps.drain().collect();
+    let workers = state.exec.threads.min(entries.len()).max(1);
+    let shards = workers.next_power_of_two();
+    let chunk = entries.len().div_ceil(workers);
+    let buckets: Vec<Vec<Vec<(K, Complex)>>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = entries
+            .chunks(chunk)
+            .map(|slice| {
+                scope.spawn(move || {
+                    let mut local: Vec<Vec<(K, Complex)>> =
+                        (0..shards).map(|_| Vec::new()).collect();
+                    let mut stack: Vec<(usize, K, Complex)> = Vec::with_capacity(8);
+                    let mut scratch: Vec<(K, Complex)> = Vec::with_capacity(8);
+                    for &(k, a) in slice {
+                        expand(steps, k, a, &mut stack, &mut scratch);
+                        for &(k2, a2) in &scratch {
+                            local[(k2.hash64() as usize) & (shards - 1)].push((k2, a2));
+                        }
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sparse worker panicked"))
+            .collect()
+    });
+    // Merge phase: workers are visited in index order per shard, so for a
+    // fixed entry snapshot the accumulation order is deterministic.
+    let eps_sqr = state.epsilon * state.epsilon;
+    let shard_maps: Vec<HashMap<K, Complex>> = std::thread::scope(|scope| {
+        let buckets = &buckets;
+        let handles: Vec<_> = (0..shards)
+            .map(|s| {
+                scope.spawn(move || {
+                    let total: usize = buckets.iter().map(|w| w[s].len()).sum();
+                    let mut map: HashMap<K, Complex> = HashMap::with_capacity(total);
+                    for worker in buckets {
+                        for &(k, a) in &worker[s] {
+                            *map.entry(k).or_insert(Complex::ZERO) += a;
+                        }
+                    }
+                    if interfering {
+                        map.retain(|_, a| a.norm_sqr() > eps_sqr);
+                    }
+                    map
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("sparse merge panicked"))
+            .collect()
+    });
+    let total: usize = shard_maps.iter().map(HashMap::len).sum();
+    let mut next: HashMap<K, Complex> = HashMap::with_capacity(total);
+    for map in shard_maps {
+        next.extend(map);
+    }
+    state.amps = next;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::Gate;
+    use crate::sim::key::Key256;
+    use crate::sim::{SparseState, SparseState256};
+
+    /// Reference: apply the circuit gate by gate (the pre-batching path).
+    fn run_gatewise<K: BasisKey>(state: &mut KeyedSparseState<K>, circuit: &Circuit) {
+        for view in circuit {
+            state.apply_view(view).unwrap();
+        }
+    }
+
+    fn h_layer_circuit(n: u32, hs: &[u32]) -> Circuit {
+        let mut c = Circuit::new(n);
+        for &q in hs {
+            c.push(Gate::h(q));
+        }
+        for q in 1..n.min(20) {
+            c.push(Gate::cnot(q - 1, q));
+        }
+        for q in 0..n.min(20) {
+            c.push(Gate::T(q));
+        }
+        for &q in hs {
+            c.push(Gate::h(q));
+        }
+        c
+    }
+
+    #[test]
+    fn batched_matches_gatewise_on_interfering_circuits() {
+        for hs in [&[0u32][..], &[0, 5, 9], &[2, 2, 7]] {
+            let circuit = h_layer_circuit(24, hs);
+            let mut batched = SparseState::basis(24, 0b1011).unwrap();
+            batched.run(&circuit).unwrap();
+            let mut gatewise = SparseState::basis(24, 0b1011).unwrap();
+            run_gatewise(&mut gatewise, &circuit);
+            assert!(
+                batched.approx_eq_exact(&gatewise, 1e-12),
+                "hs {hs:?}: batched and gatewise runs disagree"
+            );
+        }
+    }
+
+    #[test]
+    fn error_position_matches_gatewise_semantics() {
+        // Gates before the out-of-range one must have been applied.
+        let mut c = Circuit::new(4);
+        c.push(Gate::x(0));
+        c.push(Gate::x(7));
+        let mut s = SparseState::basis(4, 0).unwrap();
+        assert!(matches!(
+            s.run(&c),
+            Err(QcircError::QubitOutOfRange { qubit: 7, .. })
+        ));
+        assert!((s.probability(1) - 1.0).abs() < 1e-12);
+    }
+
+    /// Regression for the folded-footprint guard: at >64 qubits, H(3) and
+    /// H(67) collide in the folded mask (both at bit 3) while sharing no
+    /// qubit — the scheduler must fall back to the operand lists and batch
+    /// them, and must still refuse genuinely overlapping pairs.
+    #[test]
+    fn folded_masks_fall_back_to_exact_operands() {
+        let mut wide = Circuit::new(130);
+        wide.push(Gate::h(3));
+        wide.push(Gate::h(67));
+        assert_ne!(
+            wide.footprint(0).mask() & wide.footprint(1).mask(),
+            0,
+            "test premise: the folded masks must collide"
+        );
+        assert!(
+            mch_can_join(&wide, 1, wide.footprint(0).mask(), &[0], 130),
+            "mask-colliding but disjoint pair must join the batch"
+        );
+
+        let mut clash = Circuit::new(130);
+        clash.push(Gate::h(3));
+        clash.push(Gate::ch(3, 67));
+        assert!(
+            !mch_can_join(&clash, 1, clash.footprint(0).mask(), &[0], 130),
+            "genuinely overlapping pair must flush"
+        );
+
+        // Within exact range a mask collision *is* an overlap proof.
+        let mut narrow = Circuit::new(30);
+        narrow.push(Gate::h(3));
+        narrow.push(Gate::h(3));
+        assert!(!mch_can_join(
+            &narrow,
+            1,
+            narrow.footprint(0).mask(),
+            &[0],
+            30
+        ));
+
+        // End to end: the wide pair computes the same state either way.
+        let mut batched = SparseState256::basis(130, 0).unwrap();
+        batched.run(&wide).unwrap();
+        let mut gatewise = SparseState256::basis(130, 0).unwrap();
+        run_gatewise(&mut gatewise, &wide);
+        assert_eq!(batched.support(), 4);
+        assert!(batched.approx_eq_exact(&gatewise, 1e-12));
+    }
+
+    #[test]
+    fn overlapping_hadamards_still_prune_between_batches() {
+        // H(q); H(q) across a batch boundary must cancel back to support 1,
+        // exactly as in the per-gate engine.
+        let mut c = Circuit::new(70);
+        c.push(Gate::h(9));
+        c.push(Gate::h(9));
+        let mut s = SparseState256::basis(70, 0).unwrap();
+        s.run(&c).unwrap();
+        assert_eq!(s.support(), 1);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_on_large_support() {
+        // 12 disjoint Hadamards → support 4096, crossing a lowered
+        // parallel threshold; then a T layer and a re-entangling ladder.
+        let hs: Vec<u32> = (0..12).collect();
+        let circuit = h_layer_circuit(24, &hs);
+        let exec = ExecConfig {
+            threads: 4,
+            parallel_threshold: 16,
+            max_branching: 4,
+        };
+        let mut par = SparseState::basis(24, 0).unwrap().with_exec(exec);
+        par.run(&circuit).unwrap();
+        let mut seq = SparseState::basis(24, 0)
+            .unwrap()
+            .with_exec(ExecConfig { threads: 1, ..exec });
+        seq.run(&circuit).unwrap();
+        assert!(par.support() > 0);
+        assert_eq!(par.support(), seq.support());
+        assert!(par.approx_eq(&seq, 1e-9), "parallel and sequential differ");
+        assert!((par.norm() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn wide_parallel_run_preserves_norm() {
+        let hs: Vec<u32> = (0..10).map(|i| 60 + 7 * i).collect();
+        let mut c = Circuit::new(256);
+        for &q in &hs {
+            c.push(Gate::h(q));
+        }
+        for &q in &hs {
+            c.push(Gate::cnot(q, q + 1));
+        }
+        let mut s = SparseState256::basis(256, 0)
+            .unwrap()
+            .with_exec(ExecConfig {
+                threads: 3,
+                parallel_threshold: 8,
+                max_branching: 16,
+            });
+        s.run(&c).unwrap();
+        assert_eq!(s.support(), 1 << hs.len());
+        assert!((s.norm() - 1.0).abs() < 1e-9);
+        assert!(s.amplitude_key(Key256::zero()).norm_sqr() > 0.0);
+    }
+}

@@ -1,0 +1,426 @@
+//! Fixed-width basis keys for the sparse simulator.
+//!
+//! [`SparseState`](crate::sim::SparseState) stores amplitudes in a map
+//! keyed by basis index. Historically the key was a bare `u64`, which caps
+//! the register at 64 qubits. [`BasisKey`] abstracts the handful of bit
+//! operations the simulator actually performs on keys — single-bit masks,
+//! contiguous range extraction/deposit, and the boolean algebra used by
+//! control masks — so the same simulator code runs over `u64` (the exact
+//! historical layout, zero overhead) or [`WideKey`] (a small `[u64; W]`
+//! array reaching 65–256 qubits).
+//!
+//! Keys are little-endian throughout: qubit `q` is bit `q % 64` of word
+//! `q / 64`, matching the `u64` layout word-for-word on the low 64 qubits.
+
+use std::fmt::Debug;
+use std::hash::Hash;
+
+/// A fixed-width basis index: the key type of the sparse amplitude map.
+///
+/// Implementations are plain bit vectors with one bit per qubit. All
+/// operations are total over the key width; callers guarantee that qubit
+/// and range arguments stay below [`BasisKey::MAX_QUBITS`] (the simulator
+/// checks register bounds before touching keys).
+pub trait BasisKey: Copy + Eq + Hash + Debug + Default + Send + Sync + 'static {
+    /// Widest register this key can address (64 bits per word).
+    const MAX_QUBITS: u32;
+
+    /// The all-zero key.
+    #[must_use]
+    fn zero() -> Self;
+
+    /// The key whose low 64 bits are `index` and whose remaining bits are
+    /// zero.
+    #[must_use]
+    fn from_index(index: u64) -> Self;
+
+    /// The low 64 bits of the key.
+    #[must_use]
+    fn low_u64(self) -> u64;
+
+    /// The key with exactly bit `qubit` set.
+    #[must_use]
+    fn single(qubit: u32) -> Self;
+
+    /// A mask of `width` consecutive set bits starting at `offset`
+    /// (`width ≤ 64`; the range may straddle a word boundary).
+    #[must_use]
+    fn range_mask(offset: u32, width: u32) -> Self;
+
+    /// Bitwise OR.
+    #[must_use]
+    fn or(self, other: Self) -> Self;
+
+    /// Bitwise AND.
+    #[must_use]
+    fn and(self, other: Self) -> Self;
+
+    /// Bitwise XOR.
+    #[must_use]
+    fn xor(self, other: Self) -> Self;
+
+    /// Bitwise complement (over the full key width, not the register).
+    #[must_use]
+    fn not(self) -> Self;
+
+    /// Whether no bit is set.
+    #[must_use]
+    fn is_zero(self) -> bool;
+
+    /// Whether every bit of `mask` is set in `self` (control-mask test).
+    #[must_use]
+    fn contains(self, mask: Self) -> bool {
+        self.and(mask) == mask
+    }
+
+    /// Whether bit `qubit` is set.
+    #[must_use]
+    fn test(self, qubit: u32) -> bool {
+        !self.and(Self::single(qubit)).is_zero()
+    }
+
+    /// Read `width ≤ 64` consecutive bits starting at `offset` as a
+    /// little-endian integer.
+    #[must_use]
+    fn extract(self, offset: u32, width: u32) -> u64;
+
+    /// The key holding the low `width ≤ 64` bits of `value` at `offset`
+    /// (all other bits zero).
+    #[must_use]
+    fn deposit(offset: u32, width: u32, value: u64) -> Self;
+
+    /// A well-mixed 64-bit hash of the key, used to shard the amplitude
+    /// map across parallel workers. Deterministic (unlike the map's own
+    /// seeded hasher) so shard assignment is stable across runs.
+    #[must_use]
+    fn hash64(self) -> u64;
+}
+
+/// SplitMix64 finalizer: a cheap, statistically strong 64-bit mixer.
+#[inline]
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// `width ≤ 64` set bits starting at bit `offset` of one word.
+#[inline]
+fn word_mask(offset: u32, width: u32) -> u64 {
+    if width == 0 {
+        0
+    } else if width == 64 {
+        u64::MAX << offset
+    } else {
+        ((1u64 << width) - 1) << offset
+    }
+}
+
+impl BasisKey for u64 {
+    const MAX_QUBITS: u32 = 64;
+
+    #[inline]
+    fn zero() -> Self {
+        0
+    }
+
+    #[inline]
+    fn from_index(index: u64) -> Self {
+        index
+    }
+
+    #[inline]
+    fn low_u64(self) -> u64 {
+        self
+    }
+
+    #[inline]
+    fn single(qubit: u32) -> Self {
+        1u64 << qubit
+    }
+
+    #[inline]
+    fn range_mask(offset: u32, width: u32) -> Self {
+        word_mask(offset, width)
+    }
+
+    #[inline]
+    fn or(self, other: Self) -> Self {
+        self | other
+    }
+
+    #[inline]
+    fn and(self, other: Self) -> Self {
+        self & other
+    }
+
+    #[inline]
+    fn xor(self, other: Self) -> Self {
+        self ^ other
+    }
+
+    #[inline]
+    fn not(self) -> Self {
+        !self
+    }
+
+    #[inline]
+    fn is_zero(self) -> bool {
+        self == 0
+    }
+
+    #[inline]
+    fn extract(self, offset: u32, width: u32) -> u64 {
+        if width == 0 {
+            0
+        } else {
+            (self >> offset) & (u64::MAX >> (64 - width))
+        }
+    }
+
+    #[inline]
+    fn deposit(offset: u32, width: u32, value: u64) -> Self {
+        (value << offset) & word_mask(offset, width)
+    }
+
+    #[inline]
+    fn hash64(self) -> u64 {
+        mix64(self)
+    }
+}
+
+/// A basis key of `W` little-endian 64-bit words: qubit `q` is bit
+/// `q % 64` of word `q / 64`. `WideKey<2>` reaches 128 qubits,
+/// `WideKey<4>` reaches 256.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WideKey<const W: usize>([u64; W]);
+
+impl<const W: usize> Default for WideKey<W> {
+    fn default() -> Self {
+        WideKey([0; W])
+    }
+}
+
+impl<const W: usize> WideKey<W> {
+    /// Build a key from its little-endian words.
+    #[must_use]
+    pub fn from_words(words: [u64; W]) -> Self {
+        WideKey(words)
+    }
+
+    /// The key's little-endian words.
+    #[must_use]
+    pub fn words(self) -> [u64; W] {
+        self.0
+    }
+}
+
+impl<const W: usize> BasisKey for WideKey<W> {
+    const MAX_QUBITS: u32 = 64 * W as u32;
+
+    #[inline]
+    fn zero() -> Self {
+        WideKey([0; W])
+    }
+
+    #[inline]
+    fn from_index(index: u64) -> Self {
+        let mut words = [0; W];
+        words[0] = index;
+        WideKey(words)
+    }
+
+    #[inline]
+    fn low_u64(self) -> u64 {
+        self.0[0]
+    }
+
+    #[inline]
+    fn single(qubit: u32) -> Self {
+        let mut words = [0; W];
+        words[qubit as usize / 64] = 1u64 << (qubit % 64);
+        WideKey(words)
+    }
+
+    fn range_mask(offset: u32, width: u32) -> Self {
+        let (start, end) = (u64::from(offset), u64::from(offset + width));
+        let mut words = [0; W];
+        for (w, word) in words.iter_mut().enumerate() {
+            let base = 64 * w as u64;
+            let lo = start.max(base);
+            let hi = end.min(base + 64);
+            if lo < hi {
+                *word = word_mask((lo - base) as u32, (hi - lo) as u32);
+            }
+        }
+        WideKey(words)
+    }
+
+    #[inline]
+    fn or(self, other: Self) -> Self {
+        let mut words = self.0;
+        for (w, o) in words.iter_mut().zip(other.0) {
+            *w |= o;
+        }
+        WideKey(words)
+    }
+
+    #[inline]
+    fn and(self, other: Self) -> Self {
+        let mut words = self.0;
+        for (w, o) in words.iter_mut().zip(other.0) {
+            *w &= o;
+        }
+        WideKey(words)
+    }
+
+    #[inline]
+    fn xor(self, other: Self) -> Self {
+        let mut words = self.0;
+        for (w, o) in words.iter_mut().zip(other.0) {
+            *w ^= o;
+        }
+        WideKey(words)
+    }
+
+    #[inline]
+    fn not(self) -> Self {
+        let mut words = self.0;
+        for w in &mut words {
+            *w = !*w;
+        }
+        WideKey(words)
+    }
+
+    #[inline]
+    fn is_zero(self) -> bool {
+        self.0.iter().all(|&w| w == 0)
+    }
+
+    #[inline]
+    fn test(self, qubit: u32) -> bool {
+        (self.0[qubit as usize / 64] >> (qubit % 64)) & 1 != 0
+    }
+
+    fn extract(self, offset: u32, width: u32) -> u64 {
+        if width == 0 {
+            return 0;
+        }
+        let (w, r) = (offset as usize / 64, offset % 64);
+        let mut bits = self.0[w] >> r;
+        // A nonzero shift means the range may straddle into the next word;
+        // `offset + width ≤ 64·W` guarantees that word exists when needed.
+        if r != 0 && w + 1 < W {
+            bits |= self.0[w + 1] << (64 - r);
+        }
+        bits & (u64::MAX >> (64 - width))
+    }
+
+    fn deposit(offset: u32, width: u32, value: u64) -> Self {
+        if width == 0 {
+            return Self::zero();
+        }
+        let masked = value & (u64::MAX >> (64 - width));
+        let (w, r) = (offset as usize / 64, offset % 64);
+        let mut words = [0; W];
+        words[w] = masked << r;
+        if r != 0 && w + 1 < W {
+            words[w + 1] = masked >> (64 - r);
+        }
+        WideKey(words)
+    }
+
+    #[inline]
+    fn hash64(self) -> u64 {
+        let mut h = 0x51_7c_c1_b7_27_22_0a_95u64;
+        for w in self.0 {
+            h = mix64(h ^ w);
+        }
+        h
+    }
+}
+
+/// A 128-qubit basis key (two words).
+pub type Key128 = WideKey<2>;
+
+/// A 256-qubit basis key (four words).
+pub type Key256 = WideKey<4>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Wide keys must agree with the `u64` impl on every operation whose
+    /// arguments fit in the low word.
+    #[test]
+    fn wide_matches_u64_on_low_word() {
+        for index in [0u64, 1, 0b1011, u64::MAX / 3, u64::MAX] {
+            let narrow = index;
+            let wide = Key128::from_index(index);
+            assert_eq!(wide.low_u64(), narrow);
+            for q in [0u32, 1, 13, 63] {
+                assert_eq!(wide.test(q), BasisKey::test(narrow, q));
+                assert_eq!(wide.xor(Key128::single(q)).low_u64(), narrow ^ (1u64 << q));
+            }
+            for (off, width) in [(0u32, 7u32), (3, 13), (0, 64), (60, 4)] {
+                assert_eq!(
+                    wide.extract(off, width),
+                    BasisKey::extract(narrow, off, width)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn range_mask_straddles_word_boundary() {
+        let m = Key128::range_mask(60, 10);
+        assert_eq!(m.words()[0], 0b1111u64 << 60);
+        assert_eq!(m.words()[1], 0b11_1111);
+        assert_eq!(Key256::range_mask(128, 64).words(), [0, 0, u64::MAX, 0]);
+        assert_eq!(Key128::range_mask(5, 0), Key128::zero());
+    }
+
+    #[test]
+    fn extract_deposit_roundtrip_across_words() {
+        for (off, width, value) in [
+            (0u32, 17u32, 0x1_5a5au64),
+            (60, 24, 0xdead_beef),
+            (120, 8, 0xff),
+            (64, 64, u64::MAX - 7),
+            (190, 33, 0x1_2345_6789),
+        ] {
+            let k = Key256::deposit(off, width, value);
+            let want = if width == 64 {
+                value
+            } else {
+                value & ((1u64 << width) - 1)
+            };
+            assert_eq!(k.extract(off, width), want, "off {off} width {width}");
+            // Nothing outside the range is set.
+            assert!(k.and(Key256::range_mask(off, width).not()).is_zero());
+        }
+    }
+
+    #[test]
+    fn single_bit_lands_in_the_right_word() {
+        for q in [0u32, 63, 64, 127, 128, 255] {
+            let k = Key256::single(q);
+            assert!(k.test(q));
+            assert_eq!(k.extract(q, 1), 1);
+            assert!(k.xor(Key256::single(q)).is_zero());
+        }
+    }
+
+    #[test]
+    fn hash64_spreads_neighbouring_keys() {
+        // Not a statistical test — just that adjacent keys do not collide
+        // and wide hashing sees the high words.
+        let a = Key256::single(200).hash64();
+        let b = Key256::single(201).hash64();
+        let c = Key256::zero().hash64();
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(BasisKey::hash64(1u64), BasisKey::hash64(2u64));
+    }
+}

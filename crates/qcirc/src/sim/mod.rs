@@ -13,7 +13,13 @@
 //! * [`SparseState`] — a sparse amplitude-map simulator over the full gate
 //!   set. Cost scales with the support of the state rather than the
 //!   register width, which is what lets the differential-testing harness
-//!   equivalence-check compiled programs at paper-sized qubit counts.
+//!   equivalence-check compiled programs at paper-sized qubit counts. The
+//!   basis key is generic ([`BasisKey`]): the default `u64` key reaches 64
+//!   qubits at the historical layout, and the [`WideKey`]-backed
+//!   [`SparseState128`] / [`SparseState256`] aliases reach 128 / 256.
+//!   Whole-circuit runs go through a batched engine that fuses
+//!   Hadamard-free gate runs and shards large states across threads
+//!   ([`ExecConfig`]).
 //!
 //! All three implement the [`Simulator`] trait, so machinery built on top
 //! (notably `spire::Machine` and the workspace equivalence tests) can swap
@@ -21,12 +27,16 @@
 
 mod classical;
 mod complex;
+mod exec;
+mod key;
 mod sparse;
 mod statevec;
 
 pub use classical::BasisState;
 pub use complex::Complex;
-pub use sparse::SparseState;
+pub use exec::ExecConfig;
+pub use key::{BasisKey, Key128, Key256, WideKey};
+pub use sparse::{KeyedSparseState, SparseState, SparseState128, SparseState256};
 pub use statevec::StateVec;
 
 use crate::circuit::Circuit;
@@ -47,6 +57,7 @@ use crate::gate::{Gate, GateView, Qubit};
 /// | [`BasisState`] | MCX only | unbounded | O(1) |
 /// | [`StateVec`] | full | ≤ 26 qubits | O(2ⁿ) |
 /// | [`SparseState`] | full | ≤ 64 qubits | O(support) |
+/// | [`SparseState128`] / [`SparseState256`] | full | ≤ 128 / 256 qubits | O(support) |
 ///
 /// # Example
 ///

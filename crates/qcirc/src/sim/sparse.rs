@@ -8,6 +8,14 @@
 //! 2ⁿ-element vector. [`SparseState`] stores only the nonzero amplitudes
 //! in a hash map keyed by basis index, so simulation cost scales with the
 //! *support* of the state rather than with the register width.
+//!
+//! The key type is generic: the default `u64` key caps the register at 64
+//! qubits with the historical layout and performance, while the
+//! [`WideKey`](crate::sim::WideKey)-backed aliases [`SparseState128`] and
+//! [`SparseState256`] reach 128 and 256 qubits. Whole-circuit runs go
+//! through the batched execution engine in [`crate::sim::exec`], which
+//! fuses Hadamard-free gate runs into single map passes and shards large
+//! states across threads.
 
 use std::collections::HashMap;
 use std::f64::consts::{FRAC_1_SQRT_2, FRAC_PI_4};
@@ -16,25 +24,29 @@ use crate::circuit::Circuit;
 use crate::error::QcircError;
 use crate::gate::{Gate, GateKind, GateView, Qubit};
 use crate::sim::complex::Complex;
+use crate::sim::exec::{self, ExecConfig};
+use crate::sim::key::{BasisKey, Key128, Key256};
 use crate::sim::Simulator;
-
-/// Largest register the sparse simulator supports: basis indices are `u64`
-/// keys, so one bit per qubit.
-const MAX_QUBITS: u32 = 64;
 
 /// Default pruning threshold on amplitude magnitude. Hadamard pairs that
 /// cancel leave residues around 1e-16; anything below this is numerical
 /// noise, not state.
 const DEFAULT_EPSILON: f64 = 1e-12;
 
-/// A sparse quantum state over up to 64 qubits: a map from basis index to
-/// nonzero amplitude.
+/// A sparse quantum state: a map from basis index to nonzero amplitude.
+///
+/// The key type `K` bounds the register width: the default `u64` reaches
+/// 64 qubits (the exact historical layout), [`SparseState128`] /
+/// [`SparseState256`] reach 128 / 256 via `[u64; W]` keys.
 ///
 /// Supports the full gate set of this crate exactly (phases included).
-/// Gate application is batched per gate — one pass over the amplitude map —
-/// and amplitudes whose magnitude falls below a configurable epsilon are
-/// pruned after interfering gates, so states with small support stay small
-/// even through Hadamard cancellations.
+/// Single-gate application is one pass over the amplitude map; whole
+/// circuits run through the batched engine, which fuses Hadamard-free
+/// (monomial) gate runs into a single pass and can shard large states
+/// across threads (see [`ExecConfig`]). Amplitudes whose magnitude falls
+/// below a configurable epsilon are pruned after interfering operations,
+/// so states with small support stay small even through Hadamard
+/// cancellations.
 ///
 /// # Example
 ///
@@ -54,47 +66,101 @@ const DEFAULT_EPSILON: f64 = 1e-12;
 /// assert!((state.probability(0) - 0.5).abs() < 1e-12);
 /// assert!((state.probability((1u64 << 40) - 1) - 0.5).abs() < 1e-12);
 /// ```
+///
+/// The same circuit shape at 200 qubits needs a wide key:
+///
+/// ```
+/// use qcirc::{Circuit, Gate};
+/// use qcirc::sim::{BasisKey, Key256, SparseState256};
+///
+/// let mut circuit = Circuit::new(200);
+/// circuit.push(Gate::h(0));
+/// for q in 1..200 {
+///     circuit.push(Gate::cnot(q - 1, q));
+/// }
+/// let mut state = SparseState256::basis(200, 0).unwrap();
+/// state.run(&circuit).unwrap();
+/// assert_eq!(state.support(), 2);
+/// let ones = Key256::range_mask(0, 200);
+/// assert!((state.amplitude_key(ones).norm_sqr() - 0.5).abs() < 1e-12);
+/// ```
 #[derive(Debug, Clone)]
-pub struct SparseState {
-    amps: HashMap<u64, Complex>,
-    num_qubits: u32,
-    epsilon: f64,
+pub struct KeyedSparseState<K: BasisKey> {
+    pub(super) amps: HashMap<K, Complex>,
+    pub(super) num_qubits: u32,
+    pub(super) epsilon: f64,
+    pub(super) exec: ExecConfig,
 }
 
-impl SparseState {
-    /// The basis state `|index⟩` of an `n`-qubit register.
+/// The default sparse state: `u64` keys, up to 64 qubits (the historical
+/// layout). A type alias so that `SparseState::basis(..)` and friends
+/// resolve the key type without annotations at every call site.
+pub type SparseState = KeyedSparseState<u64>;
+
+/// A sparse state over two-word keys: up to 128 qubits.
+pub type SparseState128 = KeyedSparseState<Key128>;
+
+/// A sparse state over four-word keys: up to 256 qubits.
+pub type SparseState256 = KeyedSparseState<Key256>;
+
+impl<K: BasisKey> KeyedSparseState<K> {
+    /// The basis state `|index⟩` of an `n`-qubit register (the index names
+    /// the low 64 qubits; see [`SparseState::basis_key`] for wider basis
+    /// states).
     ///
     /// # Errors
     ///
-    /// [`QcircError::TooManyQubits`] if `n` exceeds 64 (basis indices are
-    /// `u64` keys).
+    /// [`QcircError::TooManyQubits`] if `n` exceeds the key width
+    /// ([`BasisKey::MAX_QUBITS`]; 64 for the default `u64` key).
     pub fn basis(num_qubits: u32, index: u64) -> Result<Self, QcircError> {
-        if num_qubits > MAX_QUBITS {
+        Self::basis_key(num_qubits, K::from_index(index))
+    }
+
+    /// The basis state `|key⟩` of an `n`-qubit register.
+    ///
+    /// # Errors
+    ///
+    /// As [`SparseState::basis`].
+    pub fn basis_key(num_qubits: u32, key: K) -> Result<Self, QcircError> {
+        if num_qubits > K::MAX_QUBITS {
             return Err(QcircError::TooManyQubits {
                 requested: num_qubits,
-                max: MAX_QUBITS,
+                max: K::MAX_QUBITS,
             });
         }
         let mut amps = HashMap::new();
-        amps.insert(index, Complex::ONE);
-        Ok(SparseState {
+        amps.insert(key, Complex::ONE);
+        Ok(KeyedSparseState {
             amps,
             num_qubits,
             epsilon: DEFAULT_EPSILON,
+            exec: ExecConfig::default(),
         })
     }
 
     /// The same state with a different pruning threshold: amplitudes with
-    /// magnitude `<= epsilon` are dropped after interfering gates.
+    /// magnitude `<= epsilon` are dropped after interfering operations.
     pub fn with_epsilon(mut self, epsilon: f64) -> Self {
         assert!(epsilon >= 0.0, "pruning epsilon must be non-negative");
         self.epsilon = epsilon;
         self
     }
 
+    /// The same state with different execution-engine tuning (worker
+    /// count, parallelism threshold, fusion depth).
+    pub fn with_exec(mut self, exec: ExecConfig) -> Self {
+        self.exec = exec;
+        self
+    }
+
     /// The pruning threshold.
     pub fn epsilon(&self) -> f64 {
         self.epsilon
+    }
+
+    /// The execution-engine tuning.
+    pub fn exec(&self) -> ExecConfig {
+        self.exec
     }
 
     /// Number of qubits.
@@ -107,9 +173,15 @@ impl SparseState {
         self.amps.len()
     }
 
-    /// The amplitude of basis state `index` (zero if not stored).
+    /// The amplitude of basis state `index` (zero if not stored). The
+    /// index names the low 64 qubits; see [`SparseState::amplitude_key`].
     pub fn amplitude(&self, index: u64) -> Complex {
-        self.amps.get(&index).copied().unwrap_or(Complex::ZERO)
+        self.amplitude_key(K::from_index(index))
+    }
+
+    /// The amplitude of basis state `key` (zero if not stored).
+    pub fn amplitude_key(&self, key: K) -> Complex {
+        self.amps.get(&key).copied().unwrap_or(Complex::ZERO)
     }
 
     /// The probability of measuring basis state `index`.
@@ -117,9 +189,9 @@ impl SparseState {
         self.amplitude(index).norm_sqr()
     }
 
-    /// Iterate over the stored `(basis index, amplitude)` pairs in
+    /// Iterate over the stored `(basis key, amplitude)` pairs in
     /// unspecified order.
-    pub fn iter(&self) -> impl Iterator<Item = (u64, Complex)> + '_ {
+    pub fn iter(&self) -> impl Iterator<Item = (K, Complex)> + '_ {
         self.amps.iter().map(|(&k, &a)| (k, a))
     }
 
@@ -162,33 +234,34 @@ impl SparseState {
         Ok(())
     }
 
-    /// Run a whole circuit.
+    /// Run a whole circuit through the batched execution engine
+    /// (`sim::exec`): gates are grouped into fused batches and each batch
+    /// is applied in one pass over the amplitude map, in parallel when the
+    /// support crosses [`ExecConfig::parallel_threshold`].
     ///
     /// # Errors
     ///
-    /// Stops at the first failing gate (see [`SparseState::apply`]).
+    /// Stops at the first failing gate (see [`SparseState::apply`]); gates
+    /// before it have been applied.
     pub fn run(&mut self, circuit: &Circuit) -> Result<(), QcircError> {
-        for view in circuit {
-            self.apply_view(view)?;
-        }
-        Ok(())
+        exec::run_batched(self, circuit)
     }
 
-    fn controls_mask(controls: &[Qubit]) -> u64 {
-        controls.iter().fold(0u64, |m, &c| m | (1u64 << c))
+    fn controls_mask(controls: &[Qubit]) -> K {
+        controls.iter().fold(K::zero(), |m, &c| m.or(K::single(c)))
     }
 
     /// MCX permutes basis states: re-key every entry whose controls are all
     /// set. One batched pass, no interference, no pruning needed.
     fn apply_mcx(&mut self, controls: &[Qubit], target: Qubit) {
         let cmask = Self::controls_mask(controls);
-        let tbit = 1u64 << target;
+        let tbit = K::single(target);
         self.amps = self
             .amps
             .drain()
             .map(|(k, a)| {
-                if k & cmask == cmask {
-                    (k ^ tbit, a)
+                if k.contains(cmask) {
+                    (k.xor(tbit), a)
                 } else {
                     (k, a)
                 }
@@ -201,19 +274,19 @@ impl SparseState {
     /// and then pruned.
     fn apply_mch(&mut self, controls: &[Qubit], target: Qubit) {
         let cmask = Self::controls_mask(controls);
-        let tbit = 1u64 << target;
-        let mut next: HashMap<u64, Complex> = HashMap::with_capacity(self.amps.len() * 2);
+        let tbit = K::single(target);
+        let mut next: HashMap<K, Complex> = HashMap::with_capacity(self.amps.len() * 2);
         for (k, a) in self.amps.drain() {
-            if k & cmask != cmask {
+            if !k.contains(cmask) {
                 *next.entry(k).or_insert(Complex::ZERO) += a;
                 continue;
             }
             let half = a.scale(FRAC_1_SQRT_2);
-            if k & tbit == 0 {
+            if k.and(tbit).is_zero() {
                 *next.entry(k).or_insert(Complex::ZERO) += half;
-                *next.entry(k | tbit).or_insert(Complex::ZERO) += half;
+                *next.entry(k.xor(tbit)).or_insert(Complex::ZERO) += half;
             } else {
-                *next.entry(k & !tbit).or_insert(Complex::ZERO) += half;
+                *next.entry(k.xor(tbit)).or_insert(Complex::ZERO) += half;
                 *next.entry(k).or_insert(Complex::ZERO) += -half;
             }
         }
@@ -223,9 +296,9 @@ impl SparseState {
     }
 
     fn apply_phase(&mut self, qubit: Qubit, phase: Complex) {
-        let qbit = 1u64 << qubit;
-        for (&k, a) in &mut self.amps {
-            if k & qbit != 0 {
+        let qbit = K::single(qubit);
+        for (k, a) in &mut self.amps {
+            if !k.and(qbit).is_zero() {
                 *a = *a * phase;
             }
         }
@@ -233,7 +306,7 @@ impl SparseState {
 
     /// Approximate equality up to a global phase, like
     /// [`StateVec::approx_eq`](crate::sim::StateVec::approx_eq).
-    pub fn approx_eq(&self, other: &SparseState, eps: f64) -> bool {
+    pub fn approx_eq(&self, other: &KeyedSparseState<K>, eps: f64) -> bool {
         if self.num_qubits != other.num_qubits {
             return false;
         }
@@ -251,7 +324,7 @@ impl SparseState {
             // other is too. Also keeps `relative_phase` away from 0/0.
             return other.amps.values().all(|a| a.norm_sqr() <= eps * eps);
         }
-        let bmax = other.amplitude(kmax);
+        let bmax = other.amplitude_key(kmax);
         if bmax.norm_sqr() <= eps * eps {
             return false;
         }
@@ -261,22 +334,22 @@ impl SparseState {
         self.amps
             .keys()
             .chain(other.amps.keys())
-            .all(|&k| (self.amplitude(k) * phase).approx_eq(other.amplitude(k), eps))
+            .all(|&k| (self.amplitude_key(k) * phase).approx_eq(other.amplitude_key(k), eps))
     }
 
     /// Exact (phase-sensitive) approximate equality of two states, like
     /// [`StateVec::approx_eq_exact`](crate::sim::StateVec::approx_eq_exact).
-    pub fn approx_eq_exact(&self, other: &SparseState, eps: f64) -> bool {
+    pub fn approx_eq_exact(&self, other: &KeyedSparseState<K>, eps: f64) -> bool {
         self.num_qubits == other.num_qubits
             && self
                 .amps
                 .keys()
                 .chain(other.amps.keys())
-                .all(|&k| self.amplitude(k).approx_eq(other.amplitude(k), eps))
+                .all(|&k| self.amplitude_key(k).approx_eq(other.amplitude_key(k), eps))
     }
 
     /// `|⟨self|other⟩|²` — fidelity between two pure states.
-    pub fn fidelity(&self, other: &SparseState) -> f64 {
+    pub fn fidelity(&self, other: &KeyedSparseState<K>) -> f64 {
         // Sum over the smaller support.
         let (small, big) = if self.amps.len() <= other.amps.len() {
             (self, other)
@@ -287,7 +360,7 @@ impl SparseState {
             .amps
             .iter()
             .fold(Complex::ZERO, |acc, (&k, &a)| {
-                acc + a.conj() * big.amplitude(k)
+                acc + a.conj() * big.amplitude_key(k)
             })
             .norm_sqr()
     }
@@ -295,15 +368,18 @@ impl SparseState {
     /// Whether every stored amplitude's basis index has zero bits outside
     /// the given `(offset, width)` ranges.
     pub fn zero_outside(&self, keep: &[(Qubit, u32)]) -> bool {
-        let mut mask = 0u64;
+        let mut mask = K::zero();
         for &(off, width) in keep {
-            for q in off..off + width {
-                if q < self.num_qubits {
-                    mask |= 1u64 << q;
-                }
+            let width = width.min(self.num_qubits.saturating_sub(off));
+            let mut done = 0;
+            // Range masks are built ≤ 64 bits at a time (the key op's unit).
+            while done < width {
+                let step = (width - done).min(64);
+                mask = mask.or(K::range_mask(off + done, step));
+                done += step;
             }
         }
-        self.amps.keys().all(|&k| k & !mask == 0)
+        self.amps.keys().all(|&k| k.and(mask.not()).is_zero())
     }
 
     /// Read `width ≤ 64` consecutive qubits as a little-endian integer, if
@@ -311,7 +387,7 @@ impl SparseState {
     /// is in superposition).
     pub fn read_range(&self, offset: Qubit, width: u32) -> Option<u64> {
         assert!(width <= 64, "range width {width} exceeds 64 bits");
-        let mut values = self.amps.keys().map(|&k| extract_range(k, offset, width));
+        let mut values = self.amps.keys().map(|k| k.extract(offset, width));
         let first = values.next()?;
         values.all(|v| v == first).then_some(first)
     }
@@ -320,15 +396,23 @@ impl SparseState {
     /// every stored amplitude (classical initialization; only meaningful
     /// when the target qubits are unentangled with the rest). Branches
     /// whose re-keyed indices collide accumulate, matching
-    /// [`StateVec`](crate::sim::StateVec)'s behaviour.
+    /// [`StateVec`](crate::sim::StateVec)'s behaviour, and near-zero
+    /// collision residues are pruned like any other interference.
     pub fn write_range(&mut self, offset: Qubit, width: u32, value: u64) {
         assert!(width <= 64, "range width {width} exceeds 64 bits");
-        let mask = range_mask(offset, width);
-        let bits = (value << offset) & mask;
-        let mut next: HashMap<u64, Complex> = HashMap::with_capacity(self.amps.len());
+        let mask = K::range_mask(offset, width);
+        let bits = K::deposit(offset, width, value);
+        let mut next: HashMap<K, Complex> = HashMap::with_capacity(self.amps.len());
         for (k, a) in self.amps.drain() {
-            *next.entry((k & !mask) | bits).or_insert(Complex::ZERO) += a;
+            *next
+                .entry(k.and(mask.not()).or(bits))
+                .or_insert(Complex::ZERO) += a;
         }
+        // Colliding branches interfere exactly like a Hadamard pair, so the
+        // same pruning applies — without it, cancellation residues (~1e-16)
+        // survive as phantom support.
+        let eps_sqr = self.epsilon * self.epsilon;
+        next.retain(|_, a| a.norm_sqr() > eps_sqr);
         self.amps = next;
     }
 }
@@ -341,27 +425,9 @@ pub(crate) fn relative_phase(a: Complex, b: Complex) -> Complex {
     ratio.scale(1.0 / norm)
 }
 
-fn range_mask(offset: Qubit, width: u32) -> u64 {
-    if width == 0 {
-        0
-    } else if width == 64 {
-        u64::MAX << offset
-    } else {
-        ((1u64 << width) - 1) << offset
-    }
-}
-
-fn extract_range(key: u64, offset: Qubit, width: u32) -> u64 {
-    if width == 0 {
-        0
-    } else {
-        (key >> offset) & (u64::MAX >> (64 - width))
-    }
-}
-
-impl Simulator for SparseState {
+impl<K: BasisKey> Simulator for KeyedSparseState<K> {
     fn zeroed(num_qubits: u32) -> Result<Self, QcircError> {
-        SparseState::basis(num_qubits, 0)
+        KeyedSparseState::basis(num_qubits, 0)
     }
 
     fn num_qubits(&self) -> u32 {
@@ -369,19 +435,23 @@ impl Simulator for SparseState {
     }
 
     fn apply_view(&mut self, view: GateView<'_>) -> Result<(), QcircError> {
-        SparseState::apply_view(self, view)
+        KeyedSparseState::apply_view(self, view)
+    }
+
+    fn run(&mut self, circuit: &Circuit) -> Result<(), QcircError> {
+        KeyedSparseState::run(self, circuit)
     }
 
     fn read_range(&self, offset: Qubit, width: u32) -> Option<u64> {
-        SparseState::read_range(self, offset, width)
+        KeyedSparseState::read_range(self, offset, width)
     }
 
     fn write_range(&mut self, offset: Qubit, width: u32, value: u64) {
-        SparseState::write_range(self, offset, width, value);
+        KeyedSparseState::write_range(self, offset, width, value);
     }
 
     fn zero_outside(&self, keep: &[(Qubit, u32)]) -> bool {
-        SparseState::zero_outside(self, keep)
+        KeyedSparseState::zero_outside(self, keep)
     }
 }
 
@@ -498,6 +568,24 @@ mod tests {
     }
 
     #[test]
+    fn ghz_at_250_qubits_has_support_two() {
+        // The same structure on a wide key: both branches live above and
+        // below the 64-bit word boundary.
+        let mut c = Circuit::new(250);
+        c.push(Gate::h(0));
+        for q in 1..250 {
+            c.push(Gate::cnot(q - 1, q));
+        }
+        let mut s = SparseState256::basis(250, 0).unwrap();
+        s.run(&c).unwrap();
+        assert_eq!(s.support(), 2);
+        assert!((s.norm() - 1.0).abs() < 1e-10);
+        let ones = Key256::range_mask(0, 250);
+        assert!((s.amplitude_key(ones).norm_sqr() - 0.5).abs() < 1e-12);
+        assert_eq!(s.read_range(100, 7), None, "GHZ range is superposed");
+    }
+
+    #[test]
     fn read_range_detects_superposition() {
         let mut s = SparseState::basis(10, 0).unwrap();
         s.write_range(2, 4, 0b1010);
@@ -506,6 +594,17 @@ mod tests {
         s.apply(&Gate::h(3)).unwrap();
         assert_eq!(s.read_range(2, 4), None, "superposed range has no value");
         assert_eq!(s.read_range(0, 2), Some(0), "other ranges still classical");
+    }
+
+    #[test]
+    fn wide_ranges_roundtrip_across_word_boundaries() {
+        let mut s = SparseState128::basis(128, 0).unwrap();
+        s.write_range(60, 20, 0xabcde);
+        assert_eq!(s.read_range(60, 20), Some(0xabcde));
+        assert!(s.zero_outside(&[(60, 20)]));
+        assert!(!s.zero_outside(&[(0, 60)]));
+        s.write_range(60, 20, 0);
+        assert!(s.zero_outside(&[(0, 0)]));
     }
 
     #[test]
@@ -520,6 +619,15 @@ mod tests {
     fn too_many_qubits_is_error() {
         assert!(matches!(
             SparseState::basis(65, 0),
+            Err(QcircError::TooManyQubits { .. })
+        ));
+        assert!(SparseState128::basis(65, 0).is_ok());
+        assert!(matches!(
+            SparseState128::basis(129, 0),
+            Err(QcircError::TooManyQubits { .. })
+        ));
+        assert!(matches!(
+            SparseState256::basis(257, 0),
             Err(QcircError::TooManyQubits { .. })
         ));
     }
@@ -545,5 +653,31 @@ mod tests {
         // the threshold itself must be respected for nonzero residues.
         assert!((s.probability(1) - 1.0).abs() < 1e-12);
         assert!(s.epsilon() == 0.0);
+    }
+
+    /// Mirrors `epsilon_pruning_is_configurable` for `write_range`: the
+    /// collision sum of a branch pair that cancels only up to float error
+    /// must be pruned under the default epsilon, and kept with epsilon 0.
+    #[test]
+    fn write_range_prunes_cancellation_residues() {
+        // H then T⁴: amplitudes (1/√2, (e^{iπ/4})⁴/√2) where the repeated
+        // complex product lands near −1/√2 but off by a few ulps.
+        // Collapsing the qubit sums the pair: a ~1e-16 residue, not state.
+        let residue = || {
+            let mut s = SparseState::basis(1, 0).unwrap().with_epsilon(0.0);
+            s.apply(&Gate::h(0)).unwrap();
+            for _ in 0..4 {
+                s.apply(&Gate::T(0)).unwrap();
+            }
+            s
+        };
+        let mut kept = residue();
+        kept.write_range(0, 1, 0);
+        assert_eq!(kept.support(), 1, "epsilon 0 keeps the residue");
+        assert!(kept.norm() < 1e-30, "the kept entry is numerical noise");
+
+        let mut pruned = residue().with_epsilon(DEFAULT_EPSILON);
+        pruned.write_range(0, 1, 0);
+        assert_eq!(pruned.support(), 0, "default epsilon prunes the residue");
     }
 }

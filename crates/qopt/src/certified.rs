@@ -83,7 +83,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "failed certification")]
     fn certified_pass_catches_t_increase() {
-        // Debug builds (as tests are) always certify.
+        // Release test builds carry no `debug_assertions`, so opt in via
+        // the environment switch — this test must catch the bug in every
+        // profile. The other tests in this process only pass clean
+        // rewrites, so certifying them too is harmless.
+        std::env::set_var("QOPT_CERTIFY", "1");
         let c = Circuit::new(3);
         let _ = Certified(Bloater).optimize(&c);
     }

@@ -21,7 +21,7 @@ use std::process::ExitCode;
 use bench_suite::experiments;
 use bench_suite::report::normalize_timings;
 use bench_suite::runner::{self, MatrixParams, RunSummary, RunnerEvent};
-use qcirc::sim::{BasisState, SparseState};
+use qcirc::sim::{BasisState, SparseState, SparseState256};
 use spire::{compile_source, CompileOptions, Compiled, Machine, OptConfig};
 use tower::WordConfig;
 
@@ -64,8 +64,8 @@ const USAGE: &str = "usage:
                      [--depth <n>] [--quick] [--out-dir <dir>]
 
   --simulate runs the compiled circuit (sparse backend for layouts of up
-  to 64 qubits, classical otherwise) and prints every live variable;
-  --set initializes an input register first.
+  to 64 qubits, wide-keyed sparse up to 256, classical otherwise) and
+  prints every live variable; --set initializes an input register first.
 
   check runs the spire-verify static analyses (gate-stream
   well-formedness, ancilla discipline, static T-complexity bounds; see
@@ -201,9 +201,10 @@ fn input_sets(args: &[String]) -> Result<Vec<(String, u64)>, String> {
 }
 
 /// Execute the compiled circuit and print the live variables. Layouts of
-/// up to 64 qubits use the sparse backend (full gate set, including
-/// Hadamard statements); larger layouts fall back to the classical
-/// simulator, which Tower's Hadamard-free benchmarks permute exactly.
+/// up to 64 qubits use the sparse backend and up to 256 its wide-keyed
+/// variant (full gate set, including Hadamard statements); larger
+/// layouts fall back to the classical simulator, which Tower's
+/// Hadamard-free benchmarks permute exactly.
 fn cmd_simulate(compiled: &Compiled, args: &[String]) -> Result<(), String> {
     let sets = input_sets(args)?;
     let total = compiled.layout.total_qubits;
@@ -211,6 +212,13 @@ fn cmd_simulate(compiled: &Compiled, args: &[String]) -> Result<(), String> {
         let machine = simulate_on::<SparseState>(compiled, &sets)?;
         println!(
             "simulated {total} qubits on the sparse backend ({} nonzero amplitude(s))",
+            machine.state().support()
+        );
+        print_live_vars(compiled, |name| machine.var(name).ok());
+    } else if total <= 256 {
+        let machine = simulate_on::<SparseState256>(compiled, &sets)?;
+        println!(
+            "simulated {total} qubits on the sparse-wide backend ({} nonzero amplitude(s))",
             machine.state().support()
         );
         print_live_vars(compiled, |name| machine.var(name).ok());
@@ -768,6 +776,13 @@ fn cmd_loadtest(args: &[String]) -> Result<(), String> {
         ),
     }
     let report = spire_serve::loadtest::run(&config).map_err(|e| format!("load test: {e}"))?;
+    println!(
+        "warmup: {} cold requests in {:.2} s (p50 {} µs, max {} µs)",
+        report.warmup.requests,
+        report.warmup.wall.as_secs_f64(),
+        report.warmup.p50_us,
+        report.warmup.max_us,
+    );
     println!(
         "{} requests in {:.2} s: {:.0} req/s, p50 {} µs, p99 {} µs \
          ({} ok / {} 4xx / {} 5xx / {} transport)",

@@ -14,7 +14,8 @@
 use std::sync::atomic::Ordering;
 
 use qcirc::json::{self, Json};
-use qcirc::sim::{BasisState, SparseState};
+use qcirc::sim::{BasisState, SparseState, SparseState256};
+use qcirc::Circuit;
 use spire::{CompileOptions, Compiled, Machine, OptConfig, Served, SpireError};
 use tower::WordConfig;
 
@@ -25,6 +26,12 @@ use crate::server::AppState;
 /// quickly with depth, and an unbounded request would let one client
 /// stall a worker arbitrarily long. The paper's own sweeps stop at 10.
 pub const MAX_DEPTH: i64 = 12;
+
+/// Most input assignments one `/simulate` request may batch via `shots`:
+/// the program is compiled and emitted once, but every shot is a full
+/// simulation, so an unbounded batch would stall a worker just like an
+/// unbounded recursion depth.
+pub const MAX_SHOTS: usize = 64;
 
 /// A structured API failure.
 #[derive(Debug, Clone)]
@@ -297,61 +304,126 @@ fn compile_endpoint(state: &AppState, request: &Request) -> Result<Json, ApiErro
     Ok(response.build())
 }
 
+/// One input assignment: variable name → classical value.
+fn parse_inputs(value: &Json, context: &str) -> Result<Vec<(String, u64)>, ApiError> {
+    let fields = value.as_object().ok_or_else(|| {
+        ApiError::bad_request(
+            "request/invalid-field",
+            format!("field `{context}` must be an object"),
+        )
+    })?;
+    let mut inputs = Vec::new();
+    for (name, v) in fields {
+        let value = v.as_u64().ok_or_else(|| {
+            ApiError::bad_request(
+                "request/invalid-field",
+                format!("input `{name}` must be a non-negative integer"),
+            )
+        })?;
+        inputs.push((name.clone(), value));
+    }
+    Ok(inputs)
+}
+
 fn simulate_endpoint(state: &AppState, request: &Request) -> Result<Json, ApiError> {
     let body = parse_body(request)?;
     let params = compile_params(&body)?;
-    let mut inputs: Vec<(String, u64)> = Vec::new();
-    if let Some(value) = body.get("inputs") {
-        let fields = value.as_object().ok_or_else(|| {
-            ApiError::bad_request("request/invalid-field", "field `inputs` must be an object")
-        })?;
-        for (name, v) in fields {
-            let value = v.as_u64().ok_or_else(|| {
-                ApiError::bad_request(
-                    "request/invalid-field",
-                    format!("input `{name}` must be a non-negative integer"),
-                )
-            })?;
-            inputs.push((name.clone(), value));
+    // Two request shapes: a single `inputs` object, or a batched `shots`
+    // array of input objects sharing one compilation.
+    let shots: Vec<Vec<(String, u64)>> = match (body.get("inputs"), body.get("shots")) {
+        (Some(_), Some(_)) => {
+            return Err(ApiError::bad_request(
+                "request/invalid-field",
+                "fields `inputs` and `shots` are mutually exclusive",
+            ))
         }
-    }
-    let (compiled, served, _key) = compile_through_cache(state, &params)?;
-    // Sparse backend for layouts it can address (full gate set including
-    // Hadamard); classical reversible simulation beyond 64 qubits.
-    let total = compiled.layout.total_qubits;
-    let (backend, support, vars) = if total <= 64 {
-        let machine = run_machine::<SparseState>(&compiled, &inputs)?;
-        let support = machine.state().support();
-        let vars = read_vars(&compiled, |name| machine.var(name).ok());
-        ("sparse", Some(support), vars)
-    } else {
-        let machine = run_machine::<BasisState>(&compiled, &inputs)?;
-        let vars = read_vars(&compiled, |name| machine.var(name).ok());
-        ("classical", None, vars)
+        (Some(inputs), None) => vec![parse_inputs(inputs, "inputs")?],
+        (None, Some(list)) => {
+            let entries = list.as_array().ok_or_else(|| {
+                ApiError::bad_request("request/invalid-field", "field `shots` must be an array")
+            })?;
+            if entries.is_empty() || entries.len() > MAX_SHOTS {
+                return Err(ApiError::bad_request(
+                    "request/invalid-field",
+                    format!("field `shots` must hold 1..={MAX_SHOTS} input objects"),
+                ));
+            }
+            entries
+                .iter()
+                .map(|entry| parse_inputs(entry, "shots[..]"))
+                .collect::<Result<_, _>>()?
+        }
+        (None, None) => vec![Vec::new()],
     };
-    Ok(Json::obj()
+    let batched = body.get("shots").is_some();
+    let (compiled, served, _key) = compile_through_cache(state, &params)?;
+    // Backend tiers by register size: the u64-keyed sparse simulator
+    // (full gate set) through 64 qubits, the 256-bit-keyed one through
+    // 256, classical reversible simulation beyond. The circuit is
+    // emitted once and shared across every shot.
+    let total = compiled.layout.total_qubits;
+    let circuit = compiled.emit();
+    let (backend, results) = if total <= 64 {
+        let results = run_shots::<SparseState>(&compiled, &circuit, &shots, |machine| {
+            Some(machine.state().support())
+        })?;
+        ("sparse", results)
+    } else if total <= 256 {
+        let results = run_shots::<SparseState256>(&compiled, &circuit, &shots, |machine| {
+            Some(machine.state().support())
+        })?;
+        ("sparse-wide", results)
+    } else {
+        let results = run_shots::<BasisState>(&compiled, &circuit, &shots, |_| None)?;
+        ("classical", results)
+    };
+    let mut response = Json::obj()
         .field("served", served_label(served))
         .field("backend", backend)
-        .field("qubits", total)
-        .field("support", support.map(Json::from))
-        .field("vars", vars)
-        .build())
+        .field("qubits", total);
+    if batched {
+        let rows = results
+            .into_iter()
+            .map(|(support, vars)| {
+                Json::obj()
+                    .field("support", support.map(Json::from))
+                    .field("vars", vars)
+                    .build()
+            })
+            .collect();
+        response = response.field("shots", Json::Array(rows));
+    } else {
+        let (support, vars) = results.into_iter().next().expect("one shot ran");
+        response = response
+            .field("support", support.map(Json::from))
+            .field("vars", vars);
+    }
+    Ok(response.build())
 }
 
-fn run_machine<S: qcirc::sim::Simulator>(
+/// Run every shot of a batch on one backend against one emitted circuit,
+/// returning each shot's final support (where the backend has one) and
+/// live-variable values.
+fn run_shots<S: qcirc::sim::Simulator>(
     compiled: &Compiled,
-    inputs: &[(String, u64)],
-) -> Result<Machine<S>, ApiError> {
-    let mut machine: Machine<S> = Machine::with_backend(&compiled.layout);
-    for (name, value) in inputs {
-        machine
-            .set_var(name, *value)
-            .map_err(|e| ApiError::from_spire(&e))?;
-    }
-    machine
-        .run(&compiled.emit())
-        .map_err(|e| ApiError::from_qcirc(&e))?;
-    Ok(machine)
+    circuit: &Circuit,
+    shots: &[Vec<(String, u64)>],
+    support_of: impl Fn(&Machine<S>) -> Option<usize>,
+) -> Result<Vec<(Option<usize>, Json)>, ApiError> {
+    shots
+        .iter()
+        .map(|inputs| {
+            let mut machine: Machine<S> = Machine::with_backend(&compiled.layout);
+            for (name, value) in inputs {
+                machine
+                    .set_var(name, *value)
+                    .map_err(|e| ApiError::from_spire(&e))?;
+            }
+            machine.run(circuit).map_err(|e| ApiError::from_qcirc(&e))?;
+            let vars = read_vars(compiled, |name| machine.var(name).ok());
+            Ok((support_of(&machine), vars))
+        })
+        .collect()
 }
 
 /// Final values of the program's live variables, in declaration order:

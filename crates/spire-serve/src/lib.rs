@@ -69,6 +69,6 @@ pub mod pool;
 pub mod server;
 
 pub use api::ApiError;
-pub use loadtest::{LoadConfig, LoadReport};
+pub use loadtest::{LoadConfig, LoadReport, WarmupReport};
 pub use metrics::Metrics;
 pub use server::{default_threads, AppState, Server, ServerConfig};

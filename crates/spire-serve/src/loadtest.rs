@@ -10,6 +10,16 @@
 //! requests, with configurable shares of `/simulate` on the running
 //! example and `/check` (static verification) on the benchmark bodies.
 //!
+//! Measurement is preceded by a **warmup pass**: one connection touches
+//! every distinct request in the mix (each benchmark body through
+//! `/compile` and `/check`, the running example through `/simulate`)
+//! before any timer starts. Without it, the first-arrival compilations
+//! land inside the measurement window and the tail percentiles report
+//! cold-start cost as if it were steady-state serving cost. The cold
+//! latencies are not discarded — they are interesting in their own
+//! right — but reported in a separate `warmup` section rather than
+//! folded into the steady-state distribution.
+//!
 //! The report serializes the client-side view (throughput, exact
 //! p50/p90/p99 over every recorded latency) together with the server's
 //! own final `/metrics` document (cache hit rate, single-flight
@@ -123,15 +133,48 @@ pub struct LoadReport {
     pub p99_us: u64,
     /// Slowest request.
     pub max_us: u64,
+    /// Cold-start measurements from the warmup pass (first-arrival
+    /// compilations, analyses, and simulation), kept out of the
+    /// steady-state latency distribution above.
+    pub warmup: WarmupReport,
     /// The server's final `/metrics` document.
     pub server_metrics: Json,
+}
+
+/// Cold-start view of the warmup pass: one request per distinct body in
+/// the mix, sent before the measurement timers start.
+#[derive(Debug, Clone)]
+pub struct WarmupReport {
+    /// Warmup requests sent (all of them cache-cold on a fresh server).
+    pub requests: u64,
+    /// Wall-clock time of the whole pass.
+    pub wall: Duration,
+    /// Median cold latency, in microseconds.
+    pub p50_us: u64,
+    /// Slowest cold request.
+    pub max_us: u64,
+}
+
+impl WarmupReport {
+    fn to_json_value(&self) -> Json {
+        Json::obj()
+            .field("requests", self.requests)
+            .field("duration_seconds", self.wall.as_secs_f64())
+            .field(
+                "latency_us",
+                Json::obj()
+                    .field("p50", self.p50_us)
+                    .field("max", self.max_us),
+            )
+            .build()
+    }
 }
 
 impl LoadReport {
     /// Serialize as the `BENCH_serve.json` document.
     pub fn to_json(&self) -> String {
         let mut doc = Json::obj()
-            .field("schema", 2u64)
+            .field("schema", 3u64)
             .field("mode", self.mode)
             .field("workers", self.workers)
             .field("duration_seconds", self.wall.as_secs_f64())
@@ -156,6 +199,7 @@ impl LoadReport {
                     .field("p99", self.p99_us)
                     .field("max", self.max_us),
             )
+            .field("warmup", self.warmup.to_json_value())
             .field("server", self.server_metrics.clone())
             .build()
             .to_string();
@@ -236,6 +280,12 @@ pub fn run(config: &LoadConfig) -> io::Result<LoadReport> {
         .build()
         .to_string();
 
+    // Warmup: touch every distinct request in the mix once, before any
+    // measurement timer starts, so the steady-state percentiles are not
+    // polluted by first-arrival compilation cost. The cold latencies are
+    // reported separately.
+    let warmup = warmup_pass(&addr, &compile_bodies, &simulate_body)?;
+
     let deadline = Instant::now() + config.duration;
     let started = Instant::now();
     let outcomes: Vec<WorkerOutcome> = std::thread::scope(|scope| {
@@ -315,7 +365,54 @@ pub fn run(config: &LoadConfig) -> io::Result<LoadReport> {
         p90_us: pct(90.0),
         p99_us: pct(99.0),
         max_us: latencies.last().copied().unwrap_or(0),
+        warmup,
         server_metrics,
+    })
+}
+
+/// Send every distinct request of the mix once over one connection and
+/// record the cold latencies. Non-2xx responses still count — the point
+/// is the latency of a first arrival, whatever its verdict.
+fn warmup_pass(
+    addr: &str,
+    compile_bodies: &[String],
+    simulate_body: &str,
+) -> io::Result<WarmupReport> {
+    let started = Instant::now();
+    let mut stream = TcpStream::connect(addr)?;
+    let _ = crate::http::set_timeouts(&stream, Duration::from_secs(30), Duration::from_secs(30));
+    let mut latencies: Vec<u64> = Vec::new();
+    let requests = compile_bodies
+        .iter()
+        .map(|body| ("/compile", body.as_str()))
+        .chain(compile_bodies.iter().map(|body| ("/check", body.as_str())))
+        .chain(std::iter::once(("/simulate", simulate_body)));
+    for (path, body) in requests {
+        let sent = Instant::now();
+        match crate::http::client_roundtrip_keepalive(&mut stream, "POST", path, Some(body)) {
+            Ok((_, _, keep_alive)) => {
+                latencies.push(sent.elapsed().as_micros() as u64);
+                if !keep_alive {
+                    stream = TcpStream::connect(addr)?;
+                    let _ = crate::http::set_timeouts(
+                        &stream,
+                        Duration::from_secs(30),
+                        Duration::from_secs(30),
+                    );
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    latencies.sort_unstable();
+    Ok(WarmupReport {
+        requests: latencies.len() as u64,
+        wall: started.elapsed(),
+        p50_us: latencies
+            .get(latencies.len().saturating_sub(1) / 2)
+            .copied()
+            .unwrap_or(0),
+        max_us: latencies.last().copied().unwrap_or(0),
     })
 }
 

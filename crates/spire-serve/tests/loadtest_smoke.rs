@@ -31,11 +31,26 @@ fn quick_loadtest_produces_a_well_formed_report() {
     // The serialized document parses and carries the schema the CI
     // artifact consumers read.
     let doc = parse(report.to_json().trim()).expect("report JSON parses");
-    assert_eq!(doc.get("schema").and_then(Json::as_u64), Some(2));
+    assert_eq!(doc.get("schema").and_then(Json::as_u64), Some(3));
     assert_eq!(doc.get("mode").and_then(Json::as_str), Some("quick"));
     assert!(doc.get("throughput_rps").and_then(Json::as_f64).unwrap() > 0.0);
     let latency = doc.get("latency_us").expect("latency section");
     assert!(latency.get("p99").and_then(Json::as_u64).is_some());
+
+    // The cold-start pass ran before the timers and is reported
+    // separately: every distinct body in the mix (benchmarks through
+    // /compile and /check, plus the /simulate probe) exactly once.
+    let warmup = doc.get("warmup").expect("warmup section");
+    let warm_requests = warmup.get("requests").and_then(Json::as_u64).unwrap();
+    assert_eq!(
+        warm_requests,
+        2 * bench_suite::programs::all_benchmarks().len() as u64 + 1
+    );
+    let cold = warmup.get("latency_us").expect("warmup latency section");
+    let cold_p50 = cold.get("p50").and_then(Json::as_u64).unwrap();
+    let cold_max = cold.get("max").and_then(Json::as_u64).unwrap();
+    assert!(cold_p50 <= cold_max);
+    assert!(cold_max > 0, "cold requests take measurable time");
 
     // The embedded server-side view: the cache saw real traffic, and
     // after warmup the hit rate is high (each worker re-requests the

@@ -430,3 +430,159 @@ fn healthz_reports_ok_and_keepalive_reuses_the_connection() {
     drop(conn);
     server.shutdown();
 }
+
+#[test]
+fn batched_shots_share_one_compilation_and_match_single_runs() {
+    let server = start_server();
+    let shots: Vec<Json> = [(3u64, 1u64), (5, 1), (7, 0)]
+        .iter()
+        .map(|&(acc, flag)| Json::obj().field("acc", acc).field("flag", flag).build())
+        .collect();
+    let body = Json::obj()
+        .field("source", COUNT_SRC)
+        .field("entry", "count")
+        .field("depth", 4i64)
+        .field(
+            "word",
+            Json::obj().field("uint_bits", 4u64).field("ptr_bits", 2u64),
+        )
+        .field("shots", Json::Array(shots))
+        .build()
+        .to_string();
+    let (status, reply) = request(&server, "POST", "/simulate", Some(&body));
+    assert_eq!(status, 200, "{reply}");
+    assert_eq!(reply.get("backend").and_then(Json::as_str), Some("sparse"));
+    let rows = reply
+        .get("shots")
+        .and_then(Json::as_array)
+        .expect("shots array");
+    assert_eq!(rows.len(), 3);
+    // Every shot matches a direct machine run of the same assignment.
+    let config = WordConfig {
+        uint_bits: 4,
+        ptr_bits: 2,
+    };
+    let compiled = compile_source(COUNT_SRC, "count", 4, config, &CompileOptions::spire()).unwrap();
+    let circuit = compiled.emit();
+    for (row, &(acc, flag)) in rows.iter().zip(&[(3u64, 1u64), (5, 1), (7, 0)]) {
+        let mut machine: Machine<SparseState> = Machine::with_backend(&compiled.layout);
+        machine.set_var("acc", acc).unwrap();
+        machine.set_var("flag", flag).unwrap();
+        machine.run(&circuit).unwrap();
+        assert_eq!(
+            row.get("vars")
+                .and_then(|v| v.get("out"))
+                .and_then(Json::as_u64),
+            machine.var("out").ok(),
+            "{row}"
+        );
+        assert_eq!(row.get("support").and_then(Json::as_u64), Some(1));
+    }
+
+    // The whole batch resolved one compilation (one cache miss), and a
+    // single-input request for one of the same assignments agrees with
+    // its batched row.
+    let (_, metrics) = request(&server, "GET", "/metrics", None);
+    let cache = metrics.get("cache").expect("cache section");
+    assert_eq!(cache.get("misses").and_then(Json::as_u64), Some(1));
+    let single = Json::obj()
+        .field("source", COUNT_SRC)
+        .field("entry", "count")
+        .field("depth", 4i64)
+        .field(
+            "word",
+            Json::obj().field("uint_bits", 4u64).field("ptr_bits", 2u64),
+        )
+        .field("inputs", Json::obj().field("acc", 5u64).field("flag", 1u64))
+        .build()
+        .to_string();
+    let (status, reply) = request(&server, "POST", "/simulate", Some(&single));
+    assert_eq!(status, 200, "{reply}");
+    assert_eq!(
+        reply.get("vars").map(std::string::ToString::to_string),
+        rows[1].get("vars").map(std::string::ToString::to_string),
+        "single-input run disagrees with its batched row"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn simulate_rejects_malformed_shot_batches() {
+    let server = start_server();
+    // `shots` and `inputs` together are ambiguous.
+    let both = Json::obj()
+        .field("source", COUNT_SRC)
+        .field("entry", "count")
+        .field("inputs", Json::obj().field("acc", 1u64))
+        .field("shots", Json::Array(vec![Json::obj().build()]))
+        .build()
+        .to_string();
+    let (status, reply) = request(&server, "POST", "/simulate", Some(&both));
+    assert_eq!(status, 400, "{reply}");
+    // An empty batch does no work and is rejected rather than answered.
+    let empty = Json::obj()
+        .field("source", COUNT_SRC)
+        .field("entry", "count")
+        .field("shots", Json::Array(Vec::new()))
+        .build()
+        .to_string();
+    let (status, reply) = request(&server, "POST", "/simulate", Some(&empty));
+    assert_eq!(status, 400, "{reply}");
+    assert_eq!(
+        reply
+            .get("error")
+            .and_then(|e| e.get("code"))
+            .and_then(Json::as_str),
+        Some("request/invalid-field")
+    );
+    server.shutdown();
+}
+
+#[test]
+fn wide_layouts_are_served_by_the_wide_sparse_backend() {
+    let server = start_server();
+    // 24-bit uints push the layout (registers plus adder scratch) past
+    // 64 qubits but inside the 256-qubit reach of the wide-keyed sparse
+    // backend.
+    let source = r#"
+fun widen(a: uint, b: uint) -> uint {
+    let s <- a + b;
+    return s;
+}
+"#;
+    let body = Json::obj()
+        .field("source", source)
+        .field("entry", "widen")
+        .field(
+            "word",
+            Json::obj()
+                .field("uint_bits", 24u64)
+                .field("ptr_bits", 2u64),
+        )
+        .field(
+            "inputs",
+            Json::obj().field("a", 123_456u64).field("b", 1u64),
+        )
+        .build()
+        .to_string();
+    let (status, reply) = request(&server, "POST", "/simulate", Some(&body));
+    assert_eq!(status, 200, "{reply}");
+    assert_eq!(
+        reply.get("backend").and_then(Json::as_str),
+        Some("sparse-wide"),
+        "{reply}"
+    );
+    let qubits = reply.get("qubits").and_then(Json::as_u64).unwrap();
+    assert!((65..=256).contains(&qubits), "qubits {qubits}");
+    // The wide backend still tracks support (the run stays classical
+    // here, so it is exactly 1) and computes the sum.
+    assert_eq!(reply.get("support").and_then(Json::as_u64), Some(1));
+    assert_eq!(
+        reply
+            .get("vars")
+            .and_then(|v| v.get("s"))
+            .and_then(Json::as_u64),
+        Some(123_457)
+    );
+    server.shutdown();
+}

@@ -55,7 +55,10 @@ impl<S: Simulator> Machine<S> {
     /// # Panics
     ///
     /// Panics if the backend cannot represent a register of the layout's
-    /// size (e.g. a dense state vector for a 40-qubit layout).
+    /// size (e.g. a dense state vector for a 40-qubit layout, or a
+    /// `u64`-keyed [`SparseState`](qcirc::sim::SparseState) for a
+    /// 100-qubit layout — use
+    /// [`SparseState256`](qcirc::sim::SparseState256) up to 256 qubits).
     pub fn with_backend(layout: &Layout) -> Self {
         let state = S::zeroed(layout.total_qubits).unwrap_or_else(|e| {
             panic!(

@@ -90,6 +90,30 @@ impl GenConfig {
         }
     }
 
+    /// Past the 64-qubit key ceiling: 16-bit words over four uint inputs,
+    /// for layouts in the 100–256 qubit range that only the wide-key
+    /// sparse backends (and, Hadamard-free as these programs are, the
+    /// classical backend) can hold.
+    pub fn huge() -> Self {
+        GenConfig {
+            uints: 4,
+            word: WordConfig {
+                uint_bits: 16,
+                ptr_bits: 2,
+            },
+            ..GenConfig::wide()
+        }
+    }
+
+    /// Like [`GenConfig::huge`], with a Hadamard budget: superposed
+    /// programs beyond 64 qubits, runnable only on wide-key sparse states.
+    pub fn huge_quantum() -> Self {
+        GenConfig {
+            hadamards: 3,
+            ..GenConfig::huge()
+        }
+    }
+
     fn inputs(&self) -> Vec<(Symbol, Type)> {
         let mut inputs = Vec::new();
         for i in 0..self.bools {

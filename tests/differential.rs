@@ -16,7 +16,7 @@
 //!    phase — several decompositions differ from the identity by one).
 
 use qcirc::decompose;
-use qcirc::sim::{BasisState, SparseState, StateVec};
+use qcirc::sim::{BasisState, SparseState, SparseState256, StateVec};
 use qcirc::Circuit;
 use spire::OptConfig;
 use spire_repro::difftest::{generate, seed_bytes, GenConfig, TestProgram};
@@ -93,6 +93,57 @@ fn optconfigs_agree_at_paper_sizes() {
     assert!(
         coverage.iter().all(|&c| c > 0),
         "a config was never exercised (runs per config: {coverage:?})"
+    );
+}
+
+/// The optimization-soundness check of `optconfigs_agree_at_paper_sizes`,
+/// lifted past the 64-bit key space: every [`OptConfig`] combination
+/// computes the same function on generated programs whose layouts land in
+/// the 100–256-qubit window, checked on the wide-keyed sparse backend.
+#[test]
+fn optconfigs_agree_at_100_plus_qubits() {
+    let mut tested = 0;
+    for seed in 0..400u64 {
+        if tested == 3 {
+            break;
+        }
+        let program = generate(&seed_bytes(seed, 96), &GenConfig::huge());
+        let reference = program.compile(OptConfig::none());
+        let total = reference.layout.total_qubits;
+        if !(100..=256).contains(&total) {
+            continue;
+        }
+        tested += 1;
+        let optimized: Vec<(OptConfig, spire::Compiled)> = [
+            OptConfig::narrowing_only(),
+            OptConfig::flattening_only(),
+            OptConfig::spire(),
+        ]
+        .into_iter()
+        .map(|opt| (opt, program.compile(opt)))
+        .collect();
+        for bits in [0u64, 0xACE1_1234_5678_9ABC] {
+            let reference_machine = program.run::<SparseState256>(&reference, bits);
+            for (opt, compiled) in &optimized {
+                if compiled.layout.total_qubits > 256 {
+                    continue; // flattening temporaries overflowed even 256-bit keys
+                }
+                let machine = program.run::<SparseState256>(compiled, bits);
+                for name in TestProgram::live_vars(&reference) {
+                    assert_eq!(
+                        reference_machine.var(&name).unwrap(),
+                        machine.var(&name).unwrap(),
+                        "variable {name} differs under {} (seed {seed}, \
+                         {total} qubits, inputs {bits:#x})",
+                        opt.label(),
+                    );
+                }
+            }
+        }
+    }
+    assert_eq!(
+        tested, 3,
+        "seed budget found only {tested}/3 programs in the 100–256 qubit window"
     );
 }
 

@@ -21,20 +21,23 @@ mod fixtures;
 
 use proptest::prelude::*;
 use spire_repro::difftest::{generate, seed_bytes, GenConfig};
-use spire_repro::qcirc::sim::SparseState;
+use spire_repro::qcirc::sim::{BasisKey, KeyedSparseState, SparseState, SparseState256};
 use spire_repro::spire::{check_compiled, OptConfig};
 
-/// Every nonzero-amplitude basis state has zeros across `reg`.
-fn region_measures_zero(state: &SparseState, offset: u32, width: u32) -> bool {
-    if width == 0 {
-        return true;
+/// Every nonzero-amplitude basis state has zeros across `reg`. Generic
+/// over the key width: the extraction goes through [`BasisKey::extract`],
+/// so the same check serves the `u64`-keyed and 256-bit-keyed backends.
+fn region_measures_zero<K: BasisKey>(state: &KeyedSparseState<K>, offset: u32, width: u32) -> bool {
+    let mut at = offset;
+    let end = offset + width;
+    while at < end {
+        let chunk = (end - at).min(64);
+        if state.iter().any(|(key, _)| key.extract(at, chunk) != 0) {
+            return false;
+        }
+        at += chunk;
     }
-    let mask = if width >= 64 {
-        u64::MAX
-    } else {
-        (1u64 << width) - 1
-    };
-    state.iter().all(|(key, _)| (key >> offset) & mask == 0)
+    true
 }
 
 proptest! {
@@ -72,6 +75,43 @@ proptest! {
             );
         }
     }
+}
+
+/// The wide-key lift of the soundness property: clean-verified programs
+/// whose layouts land past the 64-bit key space still return every
+/// scratch ancilla to zero, checked on the 256-bit-keyed sparse backend.
+#[test]
+fn clean_wide_programs_return_their_ancillae_to_zero() {
+    let mut tested = 0;
+    for seed in 0..400u64 {
+        if tested == 3 {
+            break;
+        }
+        let program = generate(&seed_bytes(seed, 96), &GenConfig::huge());
+        let compiled = program.compile(OptConfig::spire());
+        let total = compiled.layout.total_qubits;
+        if !(100..=256).contains(&total) {
+            continue;
+        }
+        let report = check_compiled(&compiled, "generated");
+        assert!(
+            report.is_clean(),
+            "generated wide program (seed {seed}) not clean: {:?}",
+            report.diagnostics
+        );
+        tested += 1;
+        let machine = program.run::<SparseState256>(&compiled, 0xACE1_1234_5678_9ABC);
+        let scratch = compiled.layout.scratch;
+        assert!(
+            region_measures_zero(machine.state(), scratch.offset, scratch.width),
+            "scratch region nonzero after a clean-verified wide run \
+             (seed {seed}, {total} qubits)"
+        );
+    }
+    assert_eq!(
+        tested, 3,
+        "seed budget found only {tested}/3 wide programs to verify"
+    );
 }
 
 /// The leaked-ancilla fixture really leaks: from the all-zeros input the
