@@ -7,7 +7,7 @@
 //! spire-cli benchmarks
 //! spire-cli experiments <fig2|fig12|fig15a|fig15b|table1|table2|table4|table5|fig24|appendix-a|all>
 //! spire-cli report [--out-dir reports] [--threads n] [--quick] [--check]
-//! spire-cli serve [--addr 127.0.0.1:0] [--threads n]
+//! spire-cli serve [--addr 127.0.0.1:0] [--threads n] [--cache-dir dir]
 //! spire-cli loadtest [--addr host:port] [--workers n] [--seconds s] [--quick]
 //! ```
 
@@ -59,7 +59,7 @@ const USAGE: &str = "usage:
   spire-cli benchmarks
   spire-cli experiments <fig2|fig12|fig15a|fig15b|table1|table2|table4|table5|fig24|appendix-a|all>
   spire-cli report [--out-dir <dir>] [--threads <n>] [--quick] [--check]
-  spire-cli serve [--addr <host:port>] [--threads <n>] [--backlog <n>]
+  spire-cli serve [--addr <host:port>] [--threads <n>] [--backlog <n>] [--cache-dir <dir>]
   spire-cli loadtest [--addr <host:port>] [--workers <n>] [--seconds <s>]
                      [--depth <n>] [--quick] [--out-dir <dir>]
 
@@ -79,12 +79,17 @@ const USAGE: &str = "usage:
   POST /simulate, POST /check, GET /benchmarks, GET /metrics,
   GET /healthz) until the
   process is killed; port 0 picks an ephemeral port, printed on stdout.
+  --cache-dir enables the persistent compile cache: /compile results are
+  stored in an append-only content-addressed log there, so a restarted
+  server answers previously-compiled requests from disk.
   See docs/SERVING.md for the protocol.
 
   loadtest drives a closed-loop request mix over the benchmark programs
-  against --addr (or an in-process server when omitted) and writes the
-  BENCH_serve.json perf trajectory (throughput, latency percentiles,
-  cache/single-flight rates). --quick is the CI smoke configuration.
+  against --addr (or an in-process server when omitted), then sweeps the
+  same mix open-loop at fixed fractions of the measured capacity, and
+  writes the BENCH_serve.json perf trajectory (throughput, latency
+  percentiles incl. the latency-under-load curve, cache/single-flight
+  rates). --quick is the CI smoke configuration.
 
   report regenerates every paper table/figure artifact in parallel
   (Markdown + JSON under --out-dir, default `reports/`). --check
@@ -716,6 +721,9 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
             .filter(|&n| n > 0)
             .ok_or("bad --backlog: expected a positive integer")?;
     }
+    if let Some(dir) = flag(args, "--cache-dir") {
+        config.cache_dir = Some(PathBuf::from(dir));
+    }
     let threads = config.threads;
     let server = spire_serve::Server::start(config).map_err(|e| format!("starting server: {e}"))?;
     // The smoke tooling greps this line for the ephemeral port.
@@ -796,6 +804,20 @@ fn cmd_loadtest(args: &[String]) -> Result<(), String> {
         report.server_errors,
         report.transport_errors,
     );
+    for point in &report.open_loop {
+        println!(
+            "open-loop {:.0} req/s offered: {:.0} achieved, p50 {} µs, p99 {} µs, \
+             max {} µs ({} ok / {} errors / {} late starts)",
+            point.target_rps,
+            point.achieved_rps,
+            point.p50_us,
+            point.p99_us,
+            point.max_us,
+            point.ok,
+            point.errors,
+            point.late_starts,
+        );
+    }
     let out_dir = match flag(args, "--out-dir") {
         Some(dir) => PathBuf::from(dir),
         None => workspace_root().to_path_buf(),

@@ -1,0 +1,264 @@
+//! Per-connection state for the event loop: non-blocking socket I/O,
+//! the incremental request parser, and the buffered response being
+//! written.
+//!
+//! A [`Conn`] is a small state machine driven entirely by the event
+//! loop (`server.rs`); it owns the mechanics — reading until
+//! `WouldBlock`, feeding the parser, flushing the write buffer — while
+//! the loop owns the policy (dispatching requests, deadlines, closing).
+//! Every method is non-blocking: `WouldBlock` is a normal return, never
+//! an error, so one slow client can never stall the loop.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::os::fd::{AsRawFd, RawFd};
+use std::time::Instant;
+
+use crate::http::{self, Limits, RequestParser, Response};
+
+/// Identity of a connection in the event loop's table. Tokens are never
+/// reused within one server, so a stale completion (for a connection
+/// that died while its request was being processed) can never be
+/// delivered to a different client.
+pub type Token = u64;
+
+/// What a connection is currently waiting for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnState {
+    /// Waiting for (more of) a request; polled for readability.
+    Reading,
+    /// A request is in the worker pool; not polled at all — the
+    /// completion queue wakes the loop when the response is ready.
+    Processing,
+    /// A response is buffered and not fully written; polled for
+    /// writability.
+    Writing,
+    /// A terminal error response was written; the client's unread input
+    /// is discarded briefly so the close is an orderly FIN rather than
+    /// an RST that could destroy the response in flight.
+    Draining,
+}
+
+/// Largest number of bytes read from one socket per readiness event.
+/// Level-triggered polling re-reports the descriptor if more is queued,
+/// so the cap costs nothing but bounds how long one firehosing client
+/// can hold the loop.
+const READ_BUDGET: usize = 64 * 1024;
+
+/// Cap on bytes discarded in [`ConnState::Draining`] before giving up
+/// and closing anyway.
+const DRAIN_LIMIT: usize = 256 * 1024;
+
+/// One client connection owned by the event loop.
+#[derive(Debug)]
+pub struct Conn {
+    stream: TcpStream,
+    /// Current state; transitions are made by the event loop.
+    pub state: ConnState,
+    /// Incremental request parser holding any partial or pipelined
+    /// input.
+    pub parser: RequestParser,
+    /// Serialized response being written.
+    out: Vec<u8>,
+    out_pos: usize,
+    /// Close once `out` is fully flushed (error response, keep-alive
+    /// budget spent, client asked, or shutdown).
+    pub close_after_write: bool,
+    /// Enter [`ConnState::Draining`] instead of closing outright after
+    /// the final write (set for error responses that may race client
+    /// input).
+    pub drain_before_close: bool,
+    /// The dispatched request carried `connection: close`.
+    pub wants_close: bool,
+    /// Requests dispatched on this connection (keep-alive budget).
+    pub served: usize,
+    /// When the current state expires: the idle or per-request read
+    /// window, the write window, or the drain grace period.
+    pub deadline: Instant,
+    /// The peer closed its write side (EOF seen). A complete buffered
+    /// request is still served; anything less closes the connection.
+    pub peer_closed: bool,
+    drained: usize,
+}
+
+impl Conn {
+    /// Adopt an accepted stream: switch it to non-blocking, disable
+    /// Nagle (the request/response ping-pong is exactly the small-write
+    /// pattern that Nagle + delayed ACK stalls), and start in
+    /// [`ConnState::Reading`] with `deadline` as the idle cutoff.
+    ///
+    /// # Errors
+    ///
+    /// Propagates `set_nonblocking` failure (the loop cannot safely poll
+    /// a blocking socket).
+    pub fn new(stream: TcpStream, limits: Limits, deadline: Instant) -> io::Result<Conn> {
+        stream.set_nonblocking(true)?;
+        let _ = stream.set_nodelay(true);
+        Ok(Conn {
+            stream,
+            state: ConnState::Reading,
+            parser: RequestParser::new(limits),
+            out: Vec::new(),
+            out_pos: 0,
+            close_after_write: false,
+            drain_before_close: false,
+            wants_close: false,
+            served: 0,
+            deadline,
+            peer_closed: false,
+            drained: 0,
+        })
+    }
+
+    /// The raw descriptor, for the poll set.
+    pub fn fd(&self) -> RawFd {
+        self.stream.as_raw_fd()
+    }
+
+    /// Read whatever the socket has (up to the per-event budget) into
+    /// the parser. EOF sets [`Conn::peer_closed`] instead of erroring.
+    ///
+    /// # Errors
+    ///
+    /// A transport failure; the caller should drop the connection.
+    pub fn fill(&mut self) -> io::Result<()> {
+        let mut buf = [0u8; 8 * 1024];
+        let mut taken = 0usize;
+        loop {
+            match self.stream.read(&mut buf) {
+                Ok(0) => {
+                    self.peer_closed = true;
+                    return Ok(());
+                }
+                Ok(n) => {
+                    self.parser.feed(&buf[..n]);
+                    taken += n;
+                    if taken >= READ_BUDGET {
+                        return Ok(());
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(()),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Buffer `response` for writing and transition to
+    /// [`ConnState::Writing`]. The caller still has to flush (usually
+    /// optimistically right away — the socket buffer is almost always
+    /// writable, saving a poll round-trip per response).
+    pub fn queue_response(&mut self, response: &Response, keep_alive: bool) {
+        self.out = http::encode_response(response, keep_alive);
+        self.out_pos = 0;
+        self.close_after_write = !keep_alive;
+        self.state = ConnState::Writing;
+    }
+
+    /// Write as much of the buffered response as the socket accepts.
+    /// `Ok(true)` means fully flushed.
+    ///
+    /// # Errors
+    ///
+    /// A transport failure; the caller should drop the connection.
+    pub fn flush(&mut self) -> io::Result<bool> {
+        while self.out_pos < self.out.len() {
+            match self.stream.write(&self.out[self.out_pos..]) {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(n) => self.out_pos += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(false),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        self.out.clear();
+        self.out_pos = 0;
+        Ok(true)
+    }
+
+    /// Discard pending client input ([`ConnState::Draining`]). Returns
+    /// `true` when the drain is finished (EOF, error, or the discard cap
+    /// reached) and the connection should close now; `false` while the
+    /// socket simply has nothing more to discard yet.
+    pub fn discard(&mut self) -> bool {
+        let mut buf = [0u8; 4 * 1024];
+        loop {
+            match self.stream.read(&mut buf) {
+                Ok(0) => return true,
+                Ok(n) => {
+                    self.drained += n;
+                    if self.drained >= DRAIN_LIMIT {
+                        return true;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return false,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => return true,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+    use std::time::Duration;
+
+    fn pair() -> (TcpStream, TcpStream) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        (client, server)
+    }
+
+    #[test]
+    fn fill_parses_a_request_written_by_the_peer() {
+        let (mut client, server) = pair();
+        let mut conn = Conn::new(server, Limits::default(), Instant::now()).unwrap();
+        client
+            .write_all(b"GET /healthz HTTP/1.1\r\nhost: t\r\n\r\n")
+            .unwrap();
+        // Non-blocking read may race the kernel delivering the bytes.
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            conn.fill().unwrap();
+            match conn.parser.next_request().unwrap() {
+                Some(request) => {
+                    assert_eq!(request.path, "/healthz");
+                    break;
+                }
+                None => assert!(Instant::now() < deadline, "request never arrived"),
+            }
+        }
+        assert!(!conn.peer_closed);
+    }
+
+    #[test]
+    fn fill_reports_eof_without_erroring() {
+        let (client, server) = pair();
+        let mut conn = Conn::new(server, Limits::default(), Instant::now()).unwrap();
+        drop(client);
+        let deadline = Instant::now() + Duration::from_secs(5);
+        while !conn.peer_closed {
+            conn.fill().unwrap();
+            assert!(Instant::now() < deadline, "EOF never observed");
+        }
+    }
+
+    #[test]
+    fn queue_and_flush_delivers_the_response() {
+        let (mut client, server) = pair();
+        let mut conn = Conn::new(server, Limits::default(), Instant::now()).unwrap();
+        conn.queue_response(&Response::text(200, "hi"), false);
+        assert!(conn.close_after_write);
+        assert_eq!(conn.state, ConnState::Writing);
+        assert!(conn.flush().unwrap(), "tiny response flushes in one call");
+        drop(conn);
+        let mut got = String::new();
+        client.read_to_string(&mut got).unwrap();
+        assert!(got.starts_with("HTTP/1.1 200"), "{got}");
+        assert!(got.ends_with("hi"), "{got}");
+    }
+}

@@ -1,12 +1,21 @@
-//! Minimal HTTP/1.1 on `std::net`: request reader, response writer, and
-//! a small client used by the load-test harness.
+//! Minimal HTTP/1.1 on `std::net`: incremental request parser, response
+//! writer, and a small client used by the load-test harness.
 //!
 //! This is deliberately not a general HTTP implementation — it is the
 //! subset the service needs, hardened where the input is untrusted:
 //! header and body sizes are capped, `Content-Length` is required for
-//! bodies (no chunked transfer), and socket read/write timeouts bound
-//! every connection's worst case. Keep-alive is honored so a closed-loop
-//! load-test worker can reuse one connection per request chain.
+//! bodies (no chunked transfer), and the event loop bounds every
+//! connection's worst case with deadlines. Keep-alive and pipelining are
+//! honored so a closed-loop load-test worker can reuse one connection
+//! per request chain.
+//!
+//! The server side parses **incrementally**: the event loop feeds a
+//! [`RequestParser`] whatever bytes the socket yields — a byte at a
+//! time, a request and a half, three pipelined requests — and the parser
+//! produces complete [`Request`]s as they become available, keeping any
+//! remainder buffered for the next one. Chunking is unobservable: any
+//! split of a byte stream yields exactly the same requests as feeding it
+//! whole (pinned by a property test).
 
 use std::io::{self, Read, Write};
 use std::net::TcpStream;
@@ -73,99 +82,44 @@ impl Request {
     }
 }
 
-/// Why reading a request failed.
-#[derive(Debug)]
-pub enum ReadError {
-    /// The peer closed the connection before sending a request line
-    /// (normal end of a keep-alive session).
-    Closed,
-    /// An I/O failure or timeout mid-request.
-    Io(io::Error),
-    /// The bytes were not a well-formed request. The server answers 400
-    /// with this message and closes.
+/// Why a byte stream failed to parse as a request. Terminal for the
+/// connection: the server answers (400 or 413) and closes, because the
+/// framing can no longer be trusted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseError {
+    /// The bytes were not a well-formed request. Answered with 400.
     Malformed(&'static str),
     /// `Content-Length` exceeded [`Limits::max_body_bytes`]. Answered
     /// with 413.
     BodyTooLarge,
-    /// The socket read timeout expired. `mid_request` distinguishes a
-    /// stall partway through a request (answered with a best-effort
-    /// 408) from an idle keep-alive connection that never started one
-    /// (closed quietly).
-    TimedOut {
-        /// Whether any request bytes had already arrived.
-        mid_request: bool,
-    },
 }
 
-impl From<io::Error> for ReadError {
-    fn from(e: io::Error) -> Self {
-        if is_timeout(&e) {
-            // Only body reads convert implicitly (via `?` after the head
-            // completed), so the request was underway.
-            ReadError::TimedOut { mid_request: true }
-        } else {
-            ReadError::Io(e)
-        }
-    }
+/// A parsed request head plus how many body bytes follow it.
+#[derive(Debug)]
+struct ParsedHead {
+    request: Request,
+    content_length: usize,
+    head_len: usize,
 }
 
-/// Whether an I/O error is a socket-timeout expiry (spelled differently
-/// across platforms).
-fn is_timeout(e: &io::Error) -> bool {
-    matches!(
-        e.kind(),
-        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
-    )
-}
-
-/// Read one request from the stream.
-///
-/// # Errors
-///
-/// See [`ReadError`]; `Closed` at a request boundary is the normal end
-/// of a keep-alive connection, everything else ends the connection.
-pub fn read_request(stream: &mut TcpStream, limits: &Limits) -> Result<Request, ReadError> {
-    let mut head = Vec::with_capacity(512);
-    let mut byte = [0u8; 1];
-    // Byte-at-a-time until CRLFCRLF: requests are small (the cap is
-    // 16 KiB) and this keeps any over-read out of the body accounting.
-    loop {
-        match stream.read(&mut byte) {
-            Ok(0) => {
-                if head.is_empty() {
-                    return Err(ReadError::Closed);
-                }
-                return Err(ReadError::Malformed("connection closed mid-header"));
-            }
-            Ok(_) => head.push(byte[0]),
-            Err(e) if is_timeout(&e) => {
-                return Err(ReadError::TimedOut {
-                    mid_request: !head.is_empty(),
-                })
-            }
-            Err(e) => return Err(ReadError::Io(e)),
-        }
-        if head.len() > MAX_HEAD_BYTES {
-            return Err(ReadError::Malformed("request head too large"));
-        }
-        if head.ends_with(b"\r\n\r\n") {
-            break;
-        }
-    }
-    let head = std::str::from_utf8(&head).map_err(|_| ReadError::Malformed("head not UTF-8"))?;
+/// Parse a complete `…\r\n\r\n`-terminated head (`head` includes the
+/// terminator).
+fn parse_head(head: &[u8], limits: &Limits) -> Result<ParsedHead, ParseError> {
+    let head_len = head.len();
+    let head = std::str::from_utf8(head).map_err(|_| ParseError::Malformed("head not UTF-8"))?;
     let mut lines = head.trim_end().lines();
-    let request_line = lines.next().ok_or(ReadError::Malformed("empty request"))?;
+    let request_line = lines.next().ok_or(ParseError::Malformed("empty request"))?;
     let mut parts = request_line.split_whitespace();
     let method = parts
         .next()
-        .ok_or(ReadError::Malformed("missing method"))?
+        .ok_or(ParseError::Malformed("missing method"))?
         .to_ascii_uppercase();
-    let target = parts.next().ok_or(ReadError::Malformed("missing path"))?;
+    let target = parts.next().ok_or(ParseError::Malformed("missing path"))?;
     let version = parts
         .next()
-        .ok_or(ReadError::Malformed("missing version"))?;
+        .ok_or(ParseError::Malformed("missing version"))?;
     if !version.starts_with("HTTP/1.") {
-        return Err(ReadError::Malformed("unsupported HTTP version"));
+        return Err(ParseError::Malformed("unsupported HTTP version"));
     }
     let (path, query) = match target.split_once('?') {
         Some((p, q)) => (p.to_string(), q.to_string()),
@@ -175,7 +129,7 @@ pub fn read_request(stream: &mut TcpStream, limits: &Limits) -> Result<Request, 
     for line in lines {
         let (name, value) = line
             .split_once(':')
-            .ok_or(ReadError::Malformed("malformed header"))?;
+            .ok_or(ParseError::Malformed("malformed header"))?;
         headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
     }
     // No chunked transfer: bodies are framed by Content-Length only.
@@ -186,7 +140,7 @@ pub fn read_request(stream: &mut TcpStream, limits: &Limits) -> Result<Request, 
         .iter()
         .any(|(n, v)| n == "transfer-encoding" && !v.eq_ignore_ascii_case("identity"))
     {
-        return Err(ReadError::Malformed(
+        return Err(ParseError::Malformed(
             "transfer-encoding is not supported; send a content-length body",
         ));
     }
@@ -195,22 +149,173 @@ pub fn read_request(stream: &mut TcpStream, limits: &Limits) -> Result<Request, 
         .find(|(n, _)| n == "content-length")
         .map(|(_, v)| {
             v.parse::<usize>()
-                .map_err(|_| ReadError::Malformed("bad content-length"))
+                .map_err(|_| ParseError::Malformed("bad content-length"))
         })
         .transpose()?
         .unwrap_or(0);
     if content_length > limits.max_body_bytes {
-        return Err(ReadError::BodyTooLarge);
+        return Err(ParseError::BodyTooLarge);
     }
-    let mut body = vec![0u8; content_length];
-    stream.read_exact(&mut body)?;
-    Ok(Request {
-        method,
-        path,
-        query,
-        headers,
-        body,
+    Ok(ParsedHead {
+        request: Request {
+            method,
+            path,
+            query,
+            headers,
+            body: Vec::new(),
+        },
+        content_length,
+        head_len,
     })
+}
+
+/// Incremental request parser: feed it bytes as they arrive, take
+/// complete requests out as they become available.
+///
+/// The parser owns a buffer that always begins at a request boundary.
+/// [`RequestParser::feed`] appends bytes; [`RequestParser::next_request`]
+/// scans for the head terminator (resuming where the last scan stopped,
+/// so trickled input costs amortized O(n), not O(n²)), parses the head
+/// once it is complete, waits for `Content-Length` body bytes, and
+/// drains the consumed prefix — leaving any pipelined follow-up request
+/// buffered for the next call.
+///
+/// Memory per connection is bounded: an unterminated head beyond
+/// [`MAX_HEAD_BYTES`] or a declared body beyond [`Limits::max_body_bytes`]
+/// is rejected before more input is buffered.
+#[derive(Debug)]
+pub struct RequestParser {
+    limits: Limits,
+    buf: Vec<u8>,
+    /// Where the CRLFCRLF scan resumes (nothing before it can end a
+    /// terminator that was not already found).
+    scan: usize,
+    /// Parsed head awaiting its body (avoids reparsing on every feed).
+    pending: Option<ParsedHead>,
+    /// Set once a parse error occurred; the stream is poisoned.
+    failed: Option<ParseError>,
+}
+
+impl RequestParser {
+    /// A parser enforcing `limits`.
+    pub fn new(limits: Limits) -> RequestParser {
+        RequestParser {
+            limits,
+            buf: Vec::new(),
+            scan: 0,
+            pending: None,
+            failed: None,
+        }
+    }
+
+    /// Append bytes received from the socket.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Whether a request is partially buffered (bytes arrived, but no
+    /// complete request yet) — drives the 408-on-stall decision.
+    pub fn mid_request(&self) -> bool {
+        !self.buf.is_empty()
+    }
+
+    /// Bytes currently buffered.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Try to produce the next complete request.
+    ///
+    /// `Ok(Some(_))` — a full request was parsed and consumed;
+    /// `Ok(None)` — more bytes are needed;
+    /// `Err(_)` — the stream is not valid HTTP (terminal; repeated calls
+    /// return the same error).
+    ///
+    /// # Errors
+    ///
+    /// See [`ParseError`].
+    pub fn next_request(&mut self) -> Result<Option<Request>, ParseError> {
+        if let Some(error) = self.failed {
+            return Err(error);
+        }
+        match self.try_next() {
+            Err(error) => {
+                self.failed = Some(error);
+                Err(error)
+            }
+            ok => ok,
+        }
+    }
+
+    fn try_next(&mut self) -> Result<Option<Request>, ParseError> {
+        let head = match self.pending.take() {
+            Some(head) => head,
+            None => {
+                let Some(head_end) = self.find_head_end() else {
+                    if self.buf.len() > MAX_HEAD_BYTES {
+                        return Err(ParseError::Malformed("request head too large"));
+                    }
+                    return Ok(None);
+                };
+                if head_end > MAX_HEAD_BYTES {
+                    return Err(ParseError::Malformed("request head too large"));
+                }
+                parse_head(&self.buf[..head_end], &self.limits)?
+            }
+        };
+        let total = head.head_len + head.content_length;
+        if self.buf.len() < total {
+            // Body still arriving; stash the parsed head.
+            self.pending = Some(head);
+            return Ok(None);
+        }
+        let mut request = head.request;
+        request.body = self.buf[head.head_len..total].to_vec();
+        // Drain the consumed request; the remainder (if any) is the next
+        // pipelined request, and the scan restarts at the new origin.
+        self.buf.drain(..total);
+        self.scan = 0;
+        Ok(Some(request))
+    }
+
+    /// Find the end of the head (index just past `\r\n\r\n`), resuming
+    /// the scan where the previous attempt left off.
+    fn find_head_end(&mut self) -> Option<usize> {
+        let start = self.scan.saturating_sub(3);
+        let found = self.buf[start..]
+            .windows(4)
+            .position(|w| w == b"\r\n\r\n")
+            .map(|i| start + i + 4);
+        if found.is_none() {
+            self.scan = self.buf.len();
+        }
+        found
+    }
+}
+
+/// Whole-buffer reference parse: run a fresh parser over `bytes` in one
+/// feed and collect every complete request plus the terminal state. The
+/// chunking-invariance property test compares arbitrary splits against
+/// this.
+///
+/// # Errors
+///
+/// Returns the requests parsed before the first [`ParseError`], plus the
+/// error, when the bytes are not valid HTTP.
+pub fn parse_whole_buffer(
+    bytes: &[u8],
+    limits: &Limits,
+) -> (Vec<Request>, Option<ParseError>, bool) {
+    let mut parser = RequestParser::new(*limits);
+    parser.feed(bytes);
+    let mut requests = Vec::new();
+    loop {
+        match parser.next_request() {
+            Ok(Some(request)) => requests.push(request),
+            Ok(None) => return (requests, None, parser.mid_request()),
+            Err(error) => return (requests, Some(error), parser.mid_request()),
+        }
+    }
 }
 
 /// A response ready to serialize.
@@ -260,19 +365,11 @@ impl Response {
     }
 }
 
-/// Serialize `response` onto the stream.
-///
-/// # Errors
-///
-/// Propagates socket write failures (including write timeouts).
-pub fn write_response(
-    stream: &mut TcpStream,
-    response: &Response,
-    keep_alive: bool,
-) -> io::Result<()> {
-    // One write for head + body: two small writes on a Nagle-enabled
-    // socket interact with delayed ACK into ~40 ms stalls per response,
-    // which would dominate every latency percentile the service reports.
+/// Serialize `response` into the bytes that go on the wire, head and
+/// body in one buffer: two small writes on a Nagle-enabled socket
+/// interact with delayed ACK into ~40 ms stalls per response, which
+/// would dominate every latency percentile the service reports.
+pub fn encode_response(response: &Response, keep_alive: bool) -> Vec<u8> {
     let mut message = format!(
         "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
         response.status,
@@ -283,7 +380,21 @@ pub fn write_response(
     )
     .into_bytes();
     message.extend_from_slice(&response.body);
-    stream.write_all(&message)?;
+    message
+}
+
+/// Serialize `response` onto the stream (one write; see
+/// [`encode_response`]).
+///
+/// # Errors
+///
+/// Propagates socket write failures (including write timeouts).
+pub fn write_response(
+    stream: &mut TcpStream,
+    response: &Response,
+    keep_alive: bool,
+) -> io::Result<()> {
+    stream.write_all(&encode_response(response, keep_alive))?;
     stream.flush()
 }
 
@@ -334,7 +445,14 @@ fn invalid(message: &str) -> io::Error {
 }
 
 /// Read one response (status + body + keep-alive flag) from the stream.
-fn read_client_response(stream: &mut TcpStream) -> io::Result<(u16, Vec<u8>, bool)> {
+/// Public so protocol-level tests can send hand-crafted (torn, pipelined,
+/// malformed) request bytes and still read well-formed responses back.
+///
+/// # Errors
+///
+/// Propagates socket errors; a malformed response is an
+/// `io::ErrorKind::InvalidData` error.
+pub fn read_client_response(stream: &mut TcpStream) -> io::Result<(u16, Vec<u8>, bool)> {
     let mut head = Vec::with_capacity(256);
     let mut byte = [0u8; 1];
     loop {
@@ -390,4 +508,118 @@ pub fn set_timeouts(stream: &TcpStream, read: Duration, write: Duration) -> io::
     let _ = stream.set_nodelay(true);
     stream.set_read_timeout(Some(read))?;
     stream.set_write_timeout(Some(write))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parser() -> RequestParser {
+        RequestParser::new(Limits::default())
+    }
+
+    #[test]
+    fn whole_request_parses_in_one_feed() {
+        let mut p = parser();
+        p.feed(b"POST /compile?x=1 HTTP/1.1\r\nHost: a\r\nContent-Length: 2\r\n\r\nhi");
+        let request = p.next_request().unwrap().expect("complete request");
+        assert_eq!(request.method, "POST");
+        assert_eq!(request.path, "/compile");
+        assert_eq!(request.query_param("x"), Some("1"));
+        assert_eq!(request.header("host"), Some("a"));
+        assert_eq!(request.body, b"hi");
+        assert!(!p.mid_request());
+        assert!(matches!(p.next_request(), Ok(None)));
+    }
+
+    #[test]
+    fn trickled_bytes_parse_identically() {
+        let bytes = b"get /healthz HTTP/1.1\r\nhost: b\r\n\r\n";
+        let mut p = parser();
+        for byte in bytes {
+            assert!(matches!(p.next_request(), Ok(None) | Ok(Some(_))));
+            p.feed(&[*byte]);
+        }
+        let request = p.next_request().unwrap().expect("complete request");
+        assert_eq!(request.method, "GET"); // upper-cased
+        assert_eq!(request.path, "/healthz");
+        assert!(request.body.is_empty());
+    }
+
+    #[test]
+    fn pipelined_requests_come_out_in_order() {
+        let mut p = parser();
+        p.feed(
+            b"POST /a HTTP/1.1\r\ncontent-length: 1\r\n\r\nXGET /b HTTP/1.1\r\n\r\nGET /c HTTP/1.1\r\n\r\n",
+        );
+        let a = p.next_request().unwrap().expect("first");
+        assert_eq!((a.path.as_str(), a.body.as_slice()), ("/a", &b"X"[..]));
+        let b = p.next_request().unwrap().expect("second");
+        assert_eq!(b.path, "/b");
+        let c = p.next_request().unwrap().expect("third");
+        assert_eq!(c.path, "/c");
+        assert!(matches!(p.next_request(), Ok(None)));
+        assert!(!p.mid_request());
+    }
+
+    #[test]
+    fn body_split_across_feeds_is_reassembled() {
+        let mut p = parser();
+        p.feed(b"POST /a HTTP/1.1\r\ncontent-length: 5\r\n\r\nwor");
+        assert!(matches!(p.next_request(), Ok(None)));
+        assert!(p.mid_request());
+        p.feed(b"ld");
+        let request = p.next_request().unwrap().expect("complete");
+        assert_eq!(request.body, b"world");
+    }
+
+    #[test]
+    fn unterminated_oversized_head_is_rejected() {
+        let mut p = parser();
+        p.feed(b"GET /a HTTP/1.1\r\n");
+        let filler = vec![b'a'; MAX_HEAD_BYTES + 16];
+        p.feed(&filler);
+        assert_eq!(
+            p.next_request().unwrap_err(),
+            ParseError::Malformed("request head too large")
+        );
+    }
+
+    #[test]
+    fn declared_oversized_body_is_rejected_before_buffering() {
+        let limits = Limits { max_body_bytes: 8 };
+        let mut p = RequestParser::new(limits);
+        p.feed(b"POST /a HTTP/1.1\r\ncontent-length: 9\r\n\r\n");
+        assert_eq!(p.next_request().unwrap_err(), ParseError::BodyTooLarge);
+    }
+
+    #[test]
+    fn errors_poison_the_parser() {
+        let mut p = parser();
+        p.feed(b"NOT A REQUEST\r\n\r\n");
+        let first = p.next_request().unwrap_err();
+        // Feeding a perfectly good request afterwards changes nothing:
+        // the framing is untrusted once it failed.
+        p.feed(b"GET /ok HTTP/1.1\r\n\r\n");
+        assert_eq!(p.next_request().unwrap_err(), first);
+    }
+
+    #[test]
+    fn transfer_encoding_is_rejected() {
+        let mut p = parser();
+        p.feed(b"POST /a HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n");
+        assert!(matches!(p.next_request(), Err(ParseError::Malformed(_))));
+    }
+
+    #[test]
+    fn whole_buffer_reference_matches_streaming() {
+        let bytes = b"GET /a HTTP/1.1\r\n\r\nPOST /b HTTP/1.1\r\ncontent-length: 3\r\n\r\nabcGET /partial HTT";
+        let (requests, error, mid) = parse_whole_buffer(bytes, &Limits::default());
+        assert_eq!(requests.len(), 2);
+        assert!(error.is_none());
+        assert!(
+            mid,
+            "trailing partial request leaves the parser mid-request"
+        );
+    }
 }

@@ -9,12 +9,14 @@
 //!
 //! Layers:
 //!
-//! * [`http`] — the minimal HTTP/1.1 subset: hardened request reader
-//!   (size caps, timeouts, `Content-Length` bodies only), response
-//!   writer, keep-alive, and the small client the load-test harness and
+//! * [`http`] — the minimal HTTP/1.1 subset: an incremental request
+//!   parser (size caps, `Content-Length` bodies only, pipelining),
+//!   response encoder, and the small client the load-test harness and
 //!   tests use.
+//! * [`conn`] — per-connection state for the event loop: non-blocking
+//!   reads into the parser, buffered response writes, deadlines.
 //! * [`pool`] — a bounded worker thread pool with graceful drain; a full
-//!   backlog sheds connections with `503` instead of queueing without
+//!   backlog sheds requests with `503` instead of queueing without
 //!   limit.
 //! * [`metrics`] — wait-free counters and power-of-two-bucket latency
 //!   histograms behind `GET /metrics`.
@@ -24,13 +26,22 @@
 //!   12 programs through the cache), `GET /metrics`, `GET /healthz` —
 //!   every failure mapped to a structured JSON body with a stable
 //!   machine-readable error code.
-//! * [`server`] — accept loop, connection lifecycle, graceful shutdown.
-//! * [`loadtest`] — a closed-loop load generator over the benchmark
-//!   programs that writes the `BENCH_serve.json` perf trajectory.
+//! * [`server`] — the readiness-driven event loop (over the vendored
+//!   `poll` shim): one thread owns the listener and every connection,
+//!   CPU work runs on the pool, responses come back through a
+//!   completion queue and a loopback waker.
+//! * [`loadtest`] — a closed- and open-loop load generator over the
+//!   benchmark programs that writes the `BENCH_serve.json` perf
+//!   trajectory (schema 4, with latency-under-load curves).
 //!
 //! The compile path sits on [`spire::SingleFlightCache`]: the
-//! content-addressed compile cache with a single-flight layer, so a
-//! thundering herd of identical requests costs exactly one compilation.
+//! content-addressed compile cache (lock-striped) with a single-flight
+//! layer, so a thundering herd of identical requests costs exactly one
+//! compilation. With [`ServerConfig::cache_dir`] set, `/compile`
+//! results additionally persist to an append-only content-addressed
+//! store ([`spire::DiskStore`]), so a restarted server answers
+//! previously-compiled requests from disk (`"served": "disk"`) without
+//! recompiling.
 //!
 //! See `docs/SERVING.md` for the protocol reference and a worked `curl`
 //! session.
@@ -62,6 +73,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod api;
+pub mod conn;
 pub mod http;
 pub mod loadtest;
 pub mod metrics;
@@ -69,6 +81,6 @@ pub mod pool;
 pub mod server;
 
 pub use api::ApiError;
-pub use loadtest::{LoadConfig, LoadReport, WarmupReport};
+pub use loadtest::{LoadConfig, LoadReport, OpenLoopPoint, WarmupReport};
 pub use metrics::Metrics;
 pub use server::{default_threads, AppState, Server, ServerConfig};

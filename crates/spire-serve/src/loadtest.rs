@@ -1,5 +1,5 @@
-//! Closed-loop load-test client and the `BENCH_serve.json` perf
-//! trajectory.
+//! Closed- and open-loop load-test client and the `BENCH_serve.json`
+//! perf trajectory.
 //!
 //! Each worker thread owns one keep-alive connection and drives it in a
 //! closed loop — send a request, wait for the response, record the
@@ -9,6 +9,18 @@
 //! (seeded per worker) over the paper's benchmark programs as `/compile`
 //! requests, with configurable shares of `/simulate` on the running
 //! example and `/check` (static verification) on the benchmark bodies.
+//!
+//! The closed loop measures *capacity*; it cannot measure *latency under
+//! load*, because a closed loop slows its own arrival rate exactly when
+//! the server slows down (coordinated omission). So after the closed
+//! pass, an **open-loop sweep** replays the same mix at fixed arrival
+//! rates — fractions of the just-measured capacity — from a shared
+//! schedule: request *k* is due at `start + k/rate` regardless of how
+//! the server is doing, and its latency is measured **from its scheduled
+//! arrival time**, so time spent waiting behind a stalled schedule
+//! counts against the server, not the client. The resulting
+//! latency-under-load curve is serialized in the report's `open_loop`
+//! array (schema 4).
 //!
 //! Measurement is preceded by a **warmup pass**: one connection touches
 //! every distinct request in the mix (each benchmark body through
@@ -137,8 +149,61 @@ pub struct LoadReport {
     /// compilations, analyses, and simulation), kept out of the
     /// steady-state latency distribution above.
     pub warmup: WarmupReport,
+    /// The latency-under-load curve: one open-loop point per target
+    /// rate, swept as fractions of the measured closed-loop capacity.
+    pub open_loop: Vec<OpenLoopPoint>,
     /// The server's final `/metrics` document.
     pub server_metrics: Json,
+}
+
+/// One point on the latency-under-load curve: the same request mix
+/// offered at a fixed arrival rate, with latencies measured from each
+/// request's *scheduled* arrival time (coordinated-omission corrected).
+#[derive(Debug, Clone)]
+pub struct OpenLoopPoint {
+    /// The offered arrival rate, requests per second.
+    pub target_rps: f64,
+    /// Completions per second actually observed over the window.
+    pub achieved_rps: f64,
+    /// Requests attempted (completions plus transport failures).
+    pub requests: u64,
+    /// `2xx` responses.
+    pub ok: u64,
+    /// Non-2xx responses plus transport failures.
+    pub errors: u64,
+    /// Requests whose send started more than 1ms behind schedule (the
+    /// generator could not keep up — queueing shows up in the corrected
+    /// latencies either way, this counts how often it happened).
+    pub late_starts: u64,
+    /// Median corrected latency, microseconds.
+    pub p50_us: u64,
+    /// 90th percentile.
+    pub p90_us: u64,
+    /// 99th percentile.
+    pub p99_us: u64,
+    /// Slowest corrected latency.
+    pub max_us: u64,
+}
+
+impl OpenLoopPoint {
+    fn to_json_value(&self) -> Json {
+        Json::obj()
+            .field("target_rps", self.target_rps)
+            .field("achieved_rps", self.achieved_rps)
+            .field("requests", self.requests)
+            .field("ok", self.ok)
+            .field("errors", self.errors)
+            .field("late_starts", self.late_starts)
+            .field(
+                "latency_us",
+                Json::obj()
+                    .field("p50", self.p50_us)
+                    .field("p90", self.p90_us)
+                    .field("p99", self.p99_us)
+                    .field("max", self.max_us),
+            )
+            .build()
+    }
 }
 
 /// Cold-start view of the warmup pass: one request per distinct body in
@@ -174,7 +239,7 @@ impl LoadReport {
     /// Serialize as the `BENCH_serve.json` document.
     pub fn to_json(&self) -> String {
         let mut doc = Json::obj()
-            .field("schema", 3u64)
+            .field("schema", 4u64)
             .field("mode", self.mode)
             .field("workers", self.workers)
             .field("duration_seconds", self.wall.as_secs_f64())
@@ -200,6 +265,15 @@ impl LoadReport {
                     .field("max", self.max_us),
             )
             .field("warmup", self.warmup.to_json_value())
+            .field(
+                "open_loop",
+                Json::Array(
+                    self.open_loop
+                        .iter()
+                        .map(OpenLoopPoint::to_json_value)
+                        .collect(),
+                ),
+            )
             .field("server", self.server_metrics.clone())
             .build()
             .to_string();
@@ -314,6 +388,37 @@ pub fn run(config: &LoadConfig) -> io::Result<LoadReport> {
     });
     let wall = started.elapsed();
 
+    let mut latencies: Vec<u64> = outcomes
+        .iter()
+        .flat_map(|o| o.latencies_us.iter().copied())
+        .collect();
+    latencies.sort_unstable();
+    let total = latencies.len() as u64;
+    let throughput_rps = if wall.as_secs_f64() > 0.0 {
+        total as f64 / wall.as_secs_f64()
+    } else {
+        0.0
+    };
+
+    // The open-loop sweep: the same mix at fixed fractions of the
+    // capacity the closed loop just measured. Skipped when the closed
+    // loop could not establish a meaningful capacity.
+    let mut open_loop = Vec::new();
+    if throughput_rps >= 4.0 {
+        let window = config.duration.min(Duration::from_secs(2));
+        for (i, fraction) in [0.25, 0.5, 0.75, 0.9].into_iter().enumerate() {
+            open_loop.push(open_loop_point(
+                &addr,
+                throughput_rps * fraction,
+                window,
+                config,
+                &compile_bodies,
+                &simulate_body,
+                config.seed.wrapping_add(0x09E7).wrapping_add(i as u64),
+            ));
+        }
+    }
+
     // One final metrics scrape, after the measurement window.
     let mut stream = TcpStream::connect(&addr)?;
     let (status, body) = client_roundtrip(&mut stream, "GET", "/metrics", None)?;
@@ -330,20 +435,7 @@ pub fn run(config: &LoadConfig) -> io::Result<LoadReport> {
         server.shutdown();
     }
 
-    let mut latencies: Vec<u64> = outcomes
-        .iter()
-        .flat_map(|o| o.latencies_us.iter().copied())
-        .collect();
-    latencies.sort_unstable();
-    let pct = |p: f64| -> u64 {
-        if latencies.is_empty() {
-            return 0;
-        }
-        let rank = ((p / 100.0) * latencies.len() as f64).ceil().max(1.0) as usize;
-        latencies[rank.min(latencies.len()) - 1]
-    };
     let sum = |f: fn(&WorkerOutcome) -> u64| outcomes.iter().map(f).sum::<u64>();
-    let total = latencies.len() as u64;
     Ok(LoadReport {
         mode: config.mode(),
         workers: config.workers,
@@ -356,18 +448,188 @@ pub fn run(config: &LoadConfig) -> io::Result<LoadReport> {
         compile_requests: sum(|o| o.compile_requests),
         simulate_requests: sum(|o| o.simulate_requests),
         check_requests: sum(|o| o.check_requests),
-        throughput_rps: if wall.as_secs_f64() > 0.0 {
-            total as f64 / wall.as_secs_f64()
+        throughput_rps,
+        p50_us: percentile(&latencies, 50.0),
+        p90_us: percentile(&latencies, 90.0),
+        p99_us: percentile(&latencies, 99.0),
+        max_us: latencies.last().copied().unwrap_or(0),
+        warmup,
+        open_loop,
+        server_metrics,
+    })
+}
+
+/// Exact percentile over an ascending-sorted latency list (nearest-rank
+/// method); `0` when empty.
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize;
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+/// Run one open-loop point: offer the mix at `target_rps` for `window`
+/// from a shared schedule, with twice the closed-loop worker count so
+/// the generator has in-flight headroom and does not silently degrade
+/// into a closed loop at high rates. Latencies are measured from each
+/// request's scheduled arrival, so a server that stalls the schedule
+/// pays for the queueing it caused.
+fn open_loop_point(
+    addr: &str,
+    target_rps: f64,
+    window: Duration,
+    config: &LoadConfig,
+    compile_bodies: &[String],
+    simulate_body: &str,
+    seed: u64,
+) -> OpenLoopPoint {
+    let interval_ns = (1e9 / target_rps).max(1.0) as u64;
+    let planned = ((window.as_secs_f64() * target_rps) as u64).max(1);
+    let next = std::sync::atomic::AtomicU64::new(0);
+    let workers = (config.workers * 2).max(2);
+    let started = Instant::now();
+    let outcomes: Vec<OpenLoopOutcome> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|worker| {
+                let next = &next;
+                scope.spawn(move || {
+                    open_loop_worker(
+                        addr,
+                        started,
+                        interval_ns,
+                        planned,
+                        next,
+                        compile_bodies,
+                        simulate_body,
+                        config.simulate_share,
+                        config.check_share,
+                        seed.wrapping_add(worker as u64),
+                    )
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("open-loop worker panicked"))
+            .collect()
+    });
+    let wall = started.elapsed();
+    let mut latencies: Vec<u64> = outcomes
+        .iter()
+        .flat_map(|o| o.latencies_us.iter().copied())
+        .collect();
+    latencies.sort_unstable();
+    let requests = outcomes.iter().map(|o| o.ok + o.errors).sum::<u64>();
+    OpenLoopPoint {
+        target_rps,
+        achieved_rps: if wall.as_secs_f64() > 0.0 {
+            requests as f64 / wall.as_secs_f64()
         } else {
             0.0
         },
-        p50_us: pct(50.0),
-        p90_us: pct(90.0),
-        p99_us: pct(99.0),
+        requests,
+        ok: outcomes.iter().map(|o| o.ok).sum(),
+        errors: outcomes.iter().map(|o| o.errors).sum(),
+        late_starts: outcomes.iter().map(|o| o.late_starts).sum(),
+        p50_us: percentile(&latencies, 50.0),
+        p90_us: percentile(&latencies, 90.0),
+        p99_us: percentile(&latencies, 99.0),
         max_us: latencies.last().copied().unwrap_or(0),
-        warmup,
-        server_metrics,
-    })
+    }
+}
+
+struct OpenLoopOutcome {
+    latencies_us: Vec<u64>,
+    ok: u64,
+    errors: u64,
+    late_starts: u64,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn open_loop_worker(
+    addr: &str,
+    start: Instant,
+    interval_ns: u64,
+    planned: u64,
+    next: &std::sync::atomic::AtomicU64,
+    compile_bodies: &[String],
+    simulate_body: &str,
+    simulate_share: f64,
+    check_share: f64,
+    seed: u64,
+) -> OpenLoopOutcome {
+    use std::sync::atomic::Ordering;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut outcome = OpenLoopOutcome {
+        latencies_us: Vec::new(),
+        ok: 0,
+        errors: 0,
+        late_starts: 0,
+    };
+    let mut stream: Option<TcpStream> = None;
+    loop {
+        let k = next.fetch_add(1, Ordering::Relaxed);
+        if k >= planned {
+            break;
+        }
+        let scheduled = start + Duration::from_nanos(k.saturating_mul(interval_ns));
+        let now = Instant::now();
+        if now < scheduled {
+            std::thread::sleep(scheduled - now);
+        } else if now - scheduled > Duration::from_millis(1) {
+            outcome.late_starts += 1;
+        }
+        let roll = f64::from(rng.random_range(0u32..1 << 20)) / f64::from(1u32 << 20);
+        let (path, body) = if roll < simulate_share {
+            ("/simulate", simulate_body)
+        } else if roll < simulate_share + check_share {
+            let i = rng.random_range(0..compile_bodies.len());
+            ("/check", compile_bodies[i].as_str())
+        } else {
+            let i = rng.random_range(0..compile_bodies.len());
+            ("/compile", compile_bodies[i].as_str())
+        };
+        if stream.is_none() {
+            match TcpStream::connect(addr) {
+                Ok(fresh) => {
+                    let _ = crate::http::set_timeouts(
+                        &fresh,
+                        Duration::from_secs(30),
+                        Duration::from_secs(30),
+                    );
+                    stream = Some(fresh);
+                }
+                Err(_) => {
+                    outcome.errors += 1;
+                    continue;
+                }
+            }
+        }
+        let connection = stream.as_mut().expect("connected above");
+        match crate::http::client_roundtrip_keepalive(connection, "POST", path, Some(body)) {
+            Ok((status, _, keep_alive)) => {
+                // Corrected latency: from the *scheduled* arrival, not
+                // from when the send actually went out.
+                outcome
+                    .latencies_us
+                    .push(scheduled.elapsed().as_micros() as u64);
+                if (200..=299).contains(&status) {
+                    outcome.ok += 1;
+                } else {
+                    outcome.errors += 1;
+                }
+                if !keep_alive {
+                    stream = None;
+                }
+            }
+            Err(_) => {
+                outcome.errors += 1;
+                stream = None;
+            }
+        }
+    }
+    outcome
 }
 
 /// Send every distinct request of the mix once over one connection and

@@ -208,8 +208,14 @@ impl Metrics {
     }
 
     /// The `/metrics` document body, combining service counters with the
-    /// compile layer's cache and single-flight statistics.
-    pub fn to_json_value(&self, cache: &spire::CacheStats, flights: &spire::FlightStats) -> Json {
+    /// compile layer's cache and single-flight statistics and (when the
+    /// persistent tier is enabled) the disk store's counters.
+    pub fn to_json_value(
+        &self,
+        cache: &spire::CacheStats,
+        flights: &spire::FlightStats,
+        disk: Option<&spire::DiskStats>,
+    ) -> Json {
         let load = Ordering::Relaxed;
         let total_cache = cache.hits + cache.misses;
         let hit_rate = if total_cache == 0 {
@@ -252,6 +258,19 @@ impl Metrics {
                 Json::obj()
                     .field("led", flights.led)
                     .field("coalesced", flights.coalesced),
+            )
+            .field(
+                "disk",
+                match disk {
+                    None => Json::obj().field("enabled", false),
+                    Some(stats) => Json::obj()
+                        .field("enabled", true)
+                        .field("hits", stats.hits)
+                        .field("misses", stats.misses)
+                        .field("writes", stats.writes)
+                        .field("corrupt_dropped", stats.corrupt_dropped)
+                        .field("entries", stats.entries as u64),
+                },
             )
             .build()
     }
@@ -326,7 +345,16 @@ mod tests {
             led: 1,
             coalesced: 2,
         };
-        let doc = metrics.to_json_value(&cache, &flights).to_string();
+        let disk = spire::DiskStats {
+            hits: 4,
+            misses: 2,
+            writes: 5,
+            corrupt_dropped: 0,
+            entries: 5,
+        };
+        let doc = metrics
+            .to_json_value(&cache, &flights, Some(&disk))
+            .to_string();
         let parsed = qcirc::json::parse(&doc).unwrap();
         assert_eq!(
             parsed
@@ -348,6 +376,33 @@ mod tests {
                 .and_then(|c| c.get("client_4xx"))
                 .and_then(Json::as_u64),
             Some(1)
+        );
+        assert_eq!(
+            parsed
+                .get("disk")
+                .and_then(|d| d.get("hits"))
+                .and_then(Json::as_u64),
+            Some(4)
+        );
+    }
+
+    #[test]
+    fn disabled_disk_tier_reports_enabled_false() {
+        let metrics = Metrics::new();
+        let doc = metrics
+            .to_json_value(
+                &spire::CacheStats::default(),
+                &spire::FlightStats::default(),
+                None,
+            )
+            .to_string();
+        let parsed = qcirc::json::parse(&doc).unwrap();
+        assert_eq!(
+            parsed
+                .get("disk")
+                .and_then(|d| d.get("enabled"))
+                .and_then(Json::as_bool),
+            Some(false)
         );
     }
 }

@@ -1,50 +1,80 @@
-//! The server: accept loop, connection lifecycle, graceful shutdown.
+//! The server: a readiness-driven event loop over `poll(2)`, with CPU
+//! work on a bounded thread pool.
 //!
-//! One acceptor thread owns the [`TcpListener`] and hands every accepted
-//! connection to the bounded [`ThreadPool`]; a full backlog sheds the
-//! connection with `503` instead of queueing unboundedly. Each worker
-//! drives one connection's keep-alive loop under per-socket read/write
-//! timeouts, so a slow or silent client can hold a worker for at most
-//! one timeout, not forever.
+//! One event-loop thread owns the listener and every connection. It
+//! polls for readiness (via the vendored [`poll`] shim), accepts in a
+//! loop until `WouldBlock` on every listener event (so a burst of
+//! connections costs one poll wake-up, not one per connection), feeds
+//! non-blocking reads through each connection's incremental
+//! [`RequestParser`](crate::http::RequestParser), and hands every
+//! complete request to the bounded [`ThreadPool`]. Workers run the
+//! handler (compile/simulate/check — the CPU-bound part) and push the
+//! response onto a completion queue, waking the loop through a loopback
+//! socket pair; the loop serializes the response into the connection's
+//! write buffer and flushes as the socket accepts it.
 //!
-//! Shutdown ([`Server::shutdown`]) is graceful: the acceptor stops
-//! accepting (woken by a self-connection), workers finish the requests
-//! they are serving (plus any already-accepted backlog), and the call
-//! returns once every thread has exited. Idle keep-alive connections are
-//! abandoned after at most one read timeout.
+//! The consequence is the scalability property the old
+//! thread-per-connection design lacked: a slow, silent, or trickling
+//! client costs one idle table entry, never a worker thread. Slow-loris
+//! handling is a deadline, not a held thread — each request gets one
+//! read window from its first byte (the window is *not* refreshed per
+//! byte), a stalled mid-request connection is answered `408` and
+//! closed, and an idle keep-alive connection is closed quietly.
+//!
+//! Backpressure is explicit at two layers: a connection-table cap sheds
+//! new connections with `503` at accept time, and the pool's bounded
+//! queue sheds requests with `503` at dispatch time.
+//!
+//! Shutdown ([`Server::shutdown`]) is graceful: the loop stops
+//! accepting, idle connections close, in-flight requests finish and
+//! their responses are written (bounded by a grace period), then the
+//! pool drains and the call returns.
 
-use std::io;
+use std::collections::HashMap;
+use std::io::{self, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use spire::SingleFlightCache;
+use qcirc::json::Json;
+use spire::{DiskStore, SingleFlightCache};
 
-use crate::http::{self, Limits, Request, Response};
+use crate::conn::{Conn, ConnState, Token};
+use crate::http::{self, Limits, ParseError, Request, Response};
 use crate::metrics::Metrics;
-use crate::pool::ThreadPool;
+use crate::pool::{Rejected, ThreadPool};
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Bind address; port 0 asks the OS for an ephemeral port.
     pub addr: String,
-    /// Worker threads (connections served concurrently).
+    /// Worker threads (requests processed concurrently).
     pub threads: usize,
-    /// Accepted connections that may wait for a worker before new ones
+    /// Dispatched requests that may wait for a worker before new ones
     /// are shed with `503`.
     pub backlog: usize,
-    /// Per-socket read timeout (bounds slow/silent clients).
+    /// Read window per request, measured from its first byte (and the
+    /// idle cutoff for keep-alive connections between requests).
     pub read_timeout: Duration,
-    /// Per-socket write timeout.
+    /// Time a buffered response may take to flush before the
+    /// connection is dropped.
     pub write_timeout: Duration,
     /// Request parsing limits.
     pub limits: Limits,
     /// Requests served per connection before it is closed (bounds how
-    /// long one client can pin a worker via keep-alive).
+    /// long one client can pin a connection-table slot via keep-alive).
     pub max_keepalive_requests: usize,
+    /// Connections held concurrently before new ones are shed with
+    /// `503` at accept time.
+    pub max_connections: usize,
+    /// Directory for the persistent compile-artifact tier; `None`
+    /// serves from memory only (restarts start cold).
+    pub cache_dir: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -57,6 +87,8 @@ impl Default for ServerConfig {
             write_timeout: Duration::from_secs(10),
             limits: Limits::default(),
             max_keepalive_requests: 1000,
+            max_connections: 1024,
+            cache_dir: None,
         }
     }
 }
@@ -77,15 +109,84 @@ pub struct AppState {
     pub compiler: SingleFlightCache,
     /// Service counters and latency histograms.
     pub metrics: Metrics,
+    /// Response-ready `/compile` artifacts by compile key, memoized on
+    /// first build (and decoded from the disk tier on a warm restart).
+    /// Building an artifact re-emits the circuit and renders its `.qc`
+    /// text — milliseconds of CPU per request that a cache hit must pay
+    /// at most once, not every time.
+    artifacts: Mutex<HashMap<u128, Arc<Json>>>,
+    /// Rendered `/check` verification reports by compile key. The
+    /// static analyses are deterministic over the compiled program, so
+    /// re-verifying a cached compilation would burn tens of
+    /// milliseconds of worker CPU per request to recompute a value the
+    /// content address already pins.
+    reports: Mutex<HashMap<u128, Arc<Json>>>,
+    /// The persistent content-addressed artifact store, when enabled.
+    disk: Option<DiskStore>,
 }
 
 impl AppState {
-    /// Fresh state (empty cache, zeroed metrics).
+    /// Fresh state (empty cache, zeroed metrics, no persistence).
     pub fn new() -> Self {
         AppState {
             compiler: SingleFlightCache::new(),
             metrics: Metrics::new(),
+            artifacts: Mutex::new(HashMap::new()),
+            reports: Mutex::new(HashMap::new()),
+            disk: None,
         }
+    }
+
+    /// State backed by a persistent artifact store in `dir` (created if
+    /// missing, recovered if an earlier process crashed mid-write).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`DiskStore::open`] failures.
+    pub fn with_cache_dir(dir: &Path) -> io::Result<Self> {
+        let mut state = AppState::new();
+        state.disk = Some(DiskStore::open(dir)?);
+        Ok(state)
+    }
+
+    /// The persistent artifact store, when configured.
+    pub fn disk(&self) -> Option<&DiskStore> {
+        self.disk.as_ref()
+    }
+
+    /// A decoded artifact from an earlier disk hit.
+    pub fn artifact(&self, key: u128) -> Option<Arc<Json>> {
+        self.artifacts
+            .lock()
+            .expect("artifact map poisoned")
+            .get(&key)
+            .cloned()
+    }
+
+    /// Remember a decoded disk artifact for subsequent requests.
+    pub fn store_artifact(&self, key: u128, artifact: Arc<Json>) {
+        self.artifacts
+            .lock()
+            .expect("artifact map poisoned")
+            .insert(key, artifact);
+    }
+
+    /// A memoized `/check` verification report for a compile key.
+    pub fn report(&self, key: u128) -> Option<Arc<Json>> {
+        self.reports
+            .lock()
+            .expect("report map poisoned")
+            .get(&key)
+            .cloned()
+    }
+
+    /// Remember a verification report for subsequent `/check` requests
+    /// on the same compile key.
+    pub fn store_report(&self, key: u128, report: Arc<Json>) {
+        self.reports
+            .lock()
+            .expect("report map poisoned")
+            .insert(key, report);
     }
 }
 
@@ -95,13 +196,80 @@ impl Default for AppState {
     }
 }
 
+/// Wakes the event loop from another thread by writing one byte to a
+/// loopback socket the loop polls. (The workspace forbids `unsafe`
+/// outside the vendored poll shim, so `pipe(2)`/`eventfd(2)` are out of
+/// reach; a connected TCP pair on 127.0.0.1 is the portable stand-in.)
+#[derive(Debug, Clone)]
+struct Waker {
+    tx: Arc<Mutex<TcpStream>>,
+}
+
+impl Waker {
+    fn wake(&self) {
+        if let Ok(mut tx) = self.tx.lock() {
+            let _ = tx.write(&[1u8]);
+        }
+    }
+}
+
+/// Build the waker pair: a transient loopback listener accepts a
+/// self-connection, then goes away. The receive side is non-blocking
+/// and joins the poll set; any thread holding the [`Waker`] can nudge
+/// the loop.
+fn wake_pair() -> io::Result<(Waker, TcpStream)> {
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    let addr = listener.local_addr()?;
+    let tx = TcpStream::connect(addr)?;
+    let local = tx.local_addr()?;
+    // Accept until we see our own connection (a stranger racing onto
+    // the ephemeral port is absurdly unlikely, but cheap to exclude).
+    let rx = loop {
+        let (rx, peer) = listener.accept()?;
+        if peer == local {
+            break rx;
+        }
+    };
+    rx.set_nonblocking(true)?;
+    let _ = tx.set_nodelay(true);
+    Ok((
+        Waker {
+            tx: Arc::new(Mutex::new(tx)),
+        },
+        rx,
+    ))
+}
+
+/// Responses finished by pool workers, waiting for the event loop to
+/// write them out.
+#[derive(Debug)]
+struct Completions {
+    queue: Mutex<Vec<(Token, Response)>>,
+    waker: Waker,
+}
+
+impl Completions {
+    fn push(&self, token: Token, response: Response) {
+        self.queue
+            .lock()
+            .expect("completion queue poisoned")
+            .push((token, response));
+        self.waker.wake();
+    }
+
+    fn drain(&self) -> Vec<(Token, Response)> {
+        std::mem::take(&mut *self.queue.lock().expect("completion queue poisoned"))
+    }
+}
+
 /// A running server.
 #[derive(Debug)]
 pub struct Server {
     addr: SocketAddr,
     state: Arc<AppState>,
     stop: Arc<AtomicBool>,
-    acceptor: JoinHandle<()>,
+    waker: Waker,
+    event_loop: JoinHandle<()>,
 }
 
 impl Server {
@@ -109,25 +277,50 @@ impl Server {
     ///
     /// # Errors
     ///
-    /// Propagates bind/local-addr failures.
+    /// Propagates bind/local-addr failures and (when
+    /// [`ServerConfig::cache_dir`] is set) cache-store open failures.
     pub fn start(config: ServerConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
-        let state = Arc::new(AppState::new());
+        listener.set_nonblocking(true)?;
+        let state = Arc::new(match &config.cache_dir {
+            Some(dir) => AppState::with_cache_dir(dir)?,
+            None => AppState::new(),
+        });
         let stop = Arc::new(AtomicBool::new(false));
-        let acceptor = {
+        let (waker, waker_rx) = wake_pair()?;
+        let event_loop = {
             let state = Arc::clone(&state);
             let stop = Arc::clone(&stop);
+            let completions = Arc::new(Completions {
+                queue: Mutex::new(Vec::new()),
+                waker: waker.clone(),
+            });
             std::thread::Builder::new()
-                .name("spire-serve-acceptor".to_string())
-                .spawn(move || accept_loop(&listener, &config, &state, &stop))
-                .expect("spawning acceptor thread")
+                .name("spire-serve-loop".to_string())
+                .spawn(move || {
+                    EventLoop {
+                        listener,
+                        config,
+                        state,
+                        stop,
+                        waker_rx,
+                        completions,
+                        pool: None,
+                        conns: HashMap::new(),
+                        next_token: 1,
+                        shutdown_deadline: None,
+                    }
+                    .run();
+                })
+                .expect("spawning event-loop thread")
         };
         Ok(Server {
             addr,
             state,
             stop,
-            acceptor,
+            waker,
+            event_loop,
         })
     }
 
@@ -141,138 +334,379 @@ impl Server {
         &self.state
     }
 
-    /// Block on the acceptor thread (serve until process exit).
+    /// Block on the event loop (serve until process exit).
     pub fn join(self) {
-        let _ = self.acceptor.join();
+        let _ = self.event_loop.join();
     }
 
-    /// Graceful shutdown: stop accepting, drain in-progress work, join
-    /// every thread.
+    /// Graceful shutdown: stop accepting, finish in-flight requests and
+    /// write their responses, drain the pool, join the loop.
     pub fn shutdown(self) {
         self.stop.store(true, Ordering::SeqCst);
-        // Wake the blocking accept with a throwaway connection.
-        let _ = TcpStream::connect(self.addr);
-        let _ = self.acceptor.join();
+        self.waker.wake();
+        let _ = self.event_loop.join();
     }
 }
 
-fn accept_loop(
-    listener: &TcpListener,
-    config: &ServerConfig,
-    state: &Arc<AppState>,
-    stop: &Arc<AtomicBool>,
-) {
-    // The pool lives (and dies) with the accept loop: dropping it at the
-    // end of this function performs the drain-and-join.
-    let pool = ThreadPool::new(config.threads, config.backlog);
-    loop {
-        let (mut stream, _) = match listener.accept() {
-            Ok(accepted) => accepted,
-            Err(_) if stop.load(Ordering::SeqCst) => break,
-            Err(_) => {
-                // Persistent accept errors (EMFILE under fd exhaustion,
-                // ECONNABORTED storms) return immediately; retrying
-                // without a pause would pin this thread at 100% CPU in
-                // exactly the overload scenario backpressure targets.
-                std::thread::sleep(std::time::Duration::from_millis(10));
+/// The loop's tick when no deadline is nearer: bounds how stale the
+/// stop-flag check can get.
+const IDLE_TICK: Duration = Duration::from_millis(500);
+
+/// How long a draining connection lingers discarding input before the
+/// socket closes regardless.
+const DRAIN_GRACE: Duration = Duration::from_millis(200);
+
+struct EventLoop {
+    listener: TcpListener,
+    config: ServerConfig,
+    state: Arc<AppState>,
+    stop: Arc<AtomicBool>,
+    waker_rx: TcpStream,
+    completions: Arc<Completions>,
+    /// Created on entry to `run` (so its Drop-drain runs on the loop
+    /// thread), `Option` only to allow construction before then.
+    pool: Option<ThreadPool>,
+    conns: HashMap<Token, Conn>,
+    next_token: Token,
+    /// Set when shutdown is first observed; in-flight work past this
+    /// instant is abandoned.
+    shutdown_deadline: Option<Instant>,
+}
+
+impl EventLoop {
+    fn run(mut self) {
+        self.pool = Some(ThreadPool::new(self.config.threads, self.config.backlog));
+        loop {
+            let stopping = self.stop.load(Ordering::SeqCst);
+            if stopping && self.shutdown_drained() {
+                break;
+            }
+            // Poll set layout: waker, then (while accepting) the
+            // listener, then every connection that is waiting on its
+            // socket. `Processing` connections wait on the completion
+            // queue, not the socket, so they are not in the set at all —
+            // a hung-up client cannot spin the loop while its request
+            // computes.
+            let mut fds = Vec::with_capacity(self.conns.len() + 2);
+            fds.push(poll::PollFd::new(self.waker_rx.as_raw_fd(), poll::POLLIN));
+            let accepting = !stopping;
+            if accepting {
+                fds.push(poll::PollFd::new(self.listener.as_raw_fd(), poll::POLLIN));
+            }
+            let base = fds.len();
+            let mut tokens: Vec<Token> = Vec::with_capacity(self.conns.len());
+            for (&token, conn) in &self.conns {
+                let events = match conn.state {
+                    ConnState::Reading | ConnState::Draining => poll::POLLIN,
+                    ConnState::Writing => poll::POLLOUT,
+                    ConnState::Processing => continue,
+                };
+                tokens.push(token);
+                fds.push(poll::PollFd::new(conn.fd(), events));
+            }
+            if poll::poll(&mut fds, Some(self.poll_timeout())).is_err() {
+                // Transient poll failure (descriptor churn, resource
+                // pressure): back off a moment and rebuild the set.
+                std::thread::sleep(Duration::from_millis(1));
                 continue;
             }
-        };
-        if stop.load(Ordering::SeqCst) {
-            break; // the wake-up connection (or a straggler): stop now
-        }
-        // Backpressure: the acceptor is the queue's only producer, so a
-        // backlog check here cannot race another push — a full backlog
-        // sheds this connection with a best-effort 503, keeping the
-        // accepted-but-unserved set bounded.
-        if pool.backlog() >= config.backlog {
-            state.metrics.record_shed();
-            state.metrics.record_status(503);
-            let _ = http::set_timeouts(&stream, config.write_timeout, config.write_timeout);
-            let response = error_response(503, "server/overloaded", "connection backlog is full");
-            let _ = http::write_response(&mut stream, &response, false);
-            continue;
-        }
-        let state = Arc::clone(state);
-        let stop = Arc::clone(stop);
-        let config_for_conn = config.clone();
-        let _ = pool.try_execute(move || {
-            serve_connection(stream, &config_for_conn, &state, &stop);
-        });
-    }
-    pool.shutdown();
-}
-
-fn serve_connection(
-    mut stream: TcpStream,
-    config: &ServerConfig,
-    state: &Arc<AppState>,
-    stop: &Arc<AtomicBool>,
-) {
-    if http::set_timeouts(&stream, config.read_timeout, config.write_timeout).is_err() {
-        return;
-    }
-    for served in 0..config.max_keepalive_requests {
-        let request = match http::read_request(&mut stream, &config.limits) {
-            Ok(request) => request,
-            Err(http::ReadError::Closed) => return,
-            Err(http::ReadError::Io(_)) => return,
-            Err(http::ReadError::TimedOut { mid_request }) => {
-                // An idle connection expiring between requests closes
-                // quietly; a stall partway through one gets a
-                // best-effort 408 so the client knows the half-sent
-                // request was not processed.
-                if mid_request {
-                    let response = error_response(408, "request/timeout", "request timed out");
-                    respond_and_close(&mut stream, state, response);
+            let now = Instant::now();
+            if fds[0].readable() {
+                self.drain_waker();
+            }
+            if accepting && fds[1].readable() {
+                self.accept_ready(now);
+            }
+            for (i, &token) in tokens.iter().enumerate() {
+                if fds[base + i].revents() != 0 {
+                    self.conn_ready(token, now);
                 }
-                return;
             }
-            Err(http::ReadError::Malformed(message)) => {
-                let response = error_response(400, "request/malformed", message);
-                respond_and_close(&mut stream, state, response);
-                return;
+            self.apply_completions(now);
+            self.expire_deadlines(now);
+        }
+        self.conns.clear();
+        if let Some(pool) = self.pool.take() {
+            pool.shutdown();
+        }
+    }
+
+    /// Next poll timeout: the nearest connection deadline, capped by the
+    /// idle tick.
+    fn poll_timeout(&self) -> Duration {
+        let now = Instant::now();
+        self.conns
+            .values()
+            .filter(|conn| conn.state != ConnState::Processing)
+            .map(|conn| conn.deadline.saturating_duration_since(now))
+            .min()
+            .map_or(IDLE_TICK, |nearest| nearest.min(IDLE_TICK))
+    }
+
+    /// During shutdown: close idle connections immediately, keep ones
+    /// mid-exchange until they finish or the grace period ends. Returns
+    /// `true` once the loop should exit.
+    fn shutdown_drained(&mut self) -> bool {
+        let grace = self.config.read_timeout.max(self.config.write_timeout);
+        let deadline = *self
+            .shutdown_deadline
+            .get_or_insert_with(|| Instant::now() + grace);
+        self.conns.retain(|_, conn| {
+            matches!(
+                conn.state,
+                ConnState::Processing | ConnState::Writing | ConnState::Draining
+            )
+        });
+        self.conns.is_empty() || Instant::now() >= deadline
+    }
+
+    /// Swallow the waker bytes so the socket goes quiet again.
+    fn drain_waker(&mut self) {
+        use std::io::Read as _;
+        let mut sink = [0u8; 64];
+        loop {
+            match (&self.waker_rx).read(&mut sink) {
+                Ok(0) => return, // waker gone; stop flag will end things
+                Ok(_) => {}
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => return,
             }
-            Err(http::ReadError::BodyTooLarge) => {
-                let response =
-                    error_response(413, "request/body-too-large", "request body exceeds limit");
-                respond_and_close(&mut stream, state, response);
-                return;
+        }
+    }
+
+    /// Accept every connection the kernel has queued — stopping at the
+    /// first `WouldBlock`, not the first success. Accepting just one
+    /// per readiness event made a connection burst wait one poll
+    /// round-trip *each*, which is exactly the repeated ~hundreds-of-ms
+    /// connection-setup tail the load test used to measure.
+    fn accept_ready(&mut self, now: Instant) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    if self.conns.len() >= self.config.max_connections {
+                        self.shed_connection(stream);
+                        continue;
+                    }
+                    let deadline = now + self.config.read_timeout;
+                    if let Ok(conn) = Conn::new(stream, self.config.limits, deadline) {
+                        let token = self.next_token;
+                        self.next_token += 1;
+                        self.conns.insert(token, conn);
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    // Persistent accept errors (EMFILE, ECONNABORTED
+                    // storms): yield briefly instead of spinning at 100%
+                    // CPU on a level-triggered listener.
+                    std::thread::sleep(Duration::from_millis(1));
+                    break;
+                }
             }
+        }
+    }
+
+    /// Refuse a connection over the table cap with a best-effort `503`.
+    /// A fresh socket's send buffer swallows the small response, so one
+    /// non-blocking write almost always delivers it.
+    fn shed_connection(&self, stream: TcpStream) {
+        self.state.metrics.record_shed();
+        self.state.metrics.record_status(503);
+        let response = error_response(503, "server/overloaded", "connection limit reached");
+        let _ = stream.set_nonblocking(true);
+        let mut stream = stream;
+        let _ = stream.write(&http::encode_response(&response, false));
+    }
+
+    fn conn_ready(&mut self, token: Token, now: Instant) {
+        let Some(state) = self.conns.get(&token).map(|conn| conn.state) else {
+            return;
         };
-        let response = handle_request(state, &request);
-        state.metrics.record_status(response.status);
-        // Stop pinning the worker once shutdown began; the response
-        // header tells the client the connection is closing.
-        let keep_alive = !request.wants_close()
-            && !stop.load(Ordering::SeqCst)
-            && served + 1 < config.max_keepalive_requests;
-        if http::write_response(&mut stream, &response, keep_alive).is_err() || !keep_alive {
+        match state {
+            ConnState::Reading => self.read_ready(token, now),
+            ConnState::Writing => self.write_ready(token, now),
+            ConnState::Draining => {
+                let done = self.conns.get_mut(&token).is_none_or(Conn::discard);
+                if done {
+                    self.conns.remove(&token);
+                }
+            }
+            ConnState::Processing => {}
+        }
+    }
+
+    fn read_ready(&mut self, token: Token, now: Instant) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        let was_mid = conn.parser.mid_request();
+        if conn.fill().is_err() {
+            self.conns.remove(&token);
             return;
         }
+        let conn = self.conns.get_mut(&token).expect("present above");
+        if !was_mid && conn.parser.mid_request() {
+            // First byte of a new request: the whole request gets one
+            // read window. Deliberately not refreshed per byte — a
+            // slow-loris trickle exhausts this one window and gets 408,
+            // it does not renew its lease a byte at a time.
+            conn.deadline = now + self.config.read_timeout;
+        }
+        self.advance(token, now);
     }
-}
 
-/// Write a terminal error response, then drain a bounded amount of
-/// unread input before the socket drops. Closing with unread bytes in
-/// the receive buffer makes the kernel send RST instead of FIN, which
-/// can discard the just-written error before the client reads it — the
-/// drain lets well-formed-but-rejected requests (unsupported framing,
-/// oversized bodies) still see their 4xx.
-fn respond_and_close(stream: &mut TcpStream, state: &Arc<AppState>, response: Response) {
-    use std::io::Read as _;
-    state.metrics.record_status(response.status);
-    if http::write_response(stream, &response, false).is_err() {
-        return;
+    /// Try to produce and dispatch the next request on a connection in
+    /// `Reading` state (after a read, or after a response finished
+    /// writing and pipelined bytes may already be buffered).
+    fn advance(&mut self, token: Token, now: Instant) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        if conn.state != ConnState::Reading {
+            return;
+        }
+        match conn.parser.next_request() {
+            Ok(Some(request)) => self.dispatch(token, request, now),
+            Ok(None) => {
+                if conn.peer_closed {
+                    // EOF with no complete request buffered: nothing
+                    // left to serve on this connection.
+                    self.conns.remove(&token);
+                }
+            }
+            Err(error) => {
+                let response = match error {
+                    ParseError::Malformed(message) => {
+                        error_response(400, "request/malformed", message)
+                    }
+                    ParseError::BodyTooLarge => {
+                        error_response(413, "request/body-too-large", "request body exceeds limit")
+                    }
+                };
+                self.fail_connection(token, response, now);
+            }
+        }
     }
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(200)));
-    let mut sink = [0u8; 4096];
-    let mut drained = 0usize;
-    while drained < 256 * 1024 {
-        match stream.read(&mut sink) {
-            Ok(0) => break,
-            Ok(n) => drained += n,
-            Err(_) => break,
+
+    /// Queue a terminal error response on a connection and move it
+    /// toward close (draining unread input first, so the response
+    /// survives the close instead of being destroyed by an RST).
+    fn fail_connection(&mut self, token: Token, response: Response, now: Instant) {
+        self.state.metrics.record_status(response.status);
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        conn.drain_before_close = true;
+        conn.queue_response(&response, false);
+        conn.deadline = now + self.config.write_timeout;
+        self.write_ready(token, now);
+    }
+
+    fn dispatch(&mut self, token: Token, request: Request, now: Instant) {
+        let conn = self.conns.get_mut(&token).expect("dispatch on live conn");
+        conn.served += 1;
+        conn.wants_close = request.wants_close();
+        conn.state = ConnState::Processing;
+        let state = Arc::clone(&self.state);
+        let completions = Arc::clone(&self.completions);
+        let outcome = self
+            .pool
+            .as_ref()
+            .expect("pool lives for the loop")
+            .try_execute(move || {
+                let response = handle_request(&state, &request);
+                state.metrics.record_status(response.status);
+                completions.push(token, response);
+            });
+        if let Err(rejected) = outcome {
+            // Dispatch-time backpressure: the bounded queue is full (or
+            // the pool is stopping) — shed the request, keep the rest of
+            // the system responsive.
+            self.state.metrics.record_shed();
+            let message = match rejected {
+                Rejected::Full => "request backlog is full",
+                Rejected::ShuttingDown => "server is shutting down",
+            };
+            let response = error_response(503, "server/overloaded", message);
+            self.state.metrics.record_status(503);
+            let conn = self.conns.get_mut(&token).expect("still live");
+            conn.queue_response(&response, false);
+            conn.deadline = now + self.config.write_timeout;
+            self.write_ready(token, now);
+        }
+    }
+
+    /// Serialize finished responses onto their connections.
+    fn apply_completions(&mut self, now: Instant) {
+        for (token, response) in self.completions.drain() {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                continue; // connection died while its request computed
+            };
+            let keep_alive = !conn.wants_close
+                && !conn.peer_closed
+                && !self.stop.load(Ordering::SeqCst)
+                && conn.served < self.config.max_keepalive_requests;
+            conn.queue_response(&response, keep_alive);
+            conn.deadline = now + self.config.write_timeout;
+            self.write_ready(token, now);
+        }
+    }
+
+    fn write_ready(&mut self, token: Token, now: Instant) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        match conn.flush() {
+            Ok(true) => {
+                if conn.close_after_write {
+                    if conn.drain_before_close && !conn.discard() {
+                        conn.state = ConnState::Draining;
+                        conn.deadline = now + DRAIN_GRACE;
+                    } else {
+                        self.conns.remove(&token);
+                    }
+                } else {
+                    conn.state = ConnState::Reading;
+                    conn.deadline = now + self.config.read_timeout;
+                    // Strict serial pipelining: the next request may be
+                    // fully buffered already — serve it without waiting
+                    // for the socket.
+                    self.advance(token, now);
+                }
+            }
+            Ok(false) => {}
+            Err(_) => {
+                self.conns.remove(&token);
+            }
+        }
+    }
+
+    fn expire_deadlines(&mut self, now: Instant) {
+        let expired: Vec<Token> = self
+            .conns
+            .iter()
+            .filter(|(_, conn)| conn.state != ConnState::Processing && conn.deadline <= now)
+            .map(|(&token, _)| token)
+            .collect();
+        for token in expired {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                continue;
+            };
+            match conn.state {
+                ConnState::Reading if conn.parser.mid_request() => {
+                    // Stalled partway through a request: a best-effort
+                    // 408 tells the client the half-sent request was
+                    // not processed.
+                    let response = error_response(408, "request/timeout", "request timed out");
+                    self.fail_connection(token, response, now);
+                }
+                // Idle keep-alive between requests: close quietly.
+                ConnState::Reading | ConnState::Writing | ConnState::Draining => {
+                    self.conns.remove(&token);
+                }
+                ConnState::Processing => {}
+            }
         }
     }
 }
@@ -280,7 +714,7 @@ fn respond_and_close(stream: &mut TcpStream, state: &Arc<AppState>, response: Re
 fn handle_request(state: &Arc<AppState>, request: &Request) -> Response {
     let _in_flight = state.metrics.begin_request();
     let timer = Instant::now();
-    // A handler panic must cost one 500, not the connection or worker.
+    // A handler panic must cost one 500, not the worker.
     let response = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         crate::api::handle(state, request)
     }))

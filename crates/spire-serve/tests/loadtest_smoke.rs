@@ -1,6 +1,7 @@
-//! Smoke test for the closed-loop load harness: a quick run against an
-//! in-process server produces a well-formed `BENCH_serve.json` with
-//! nonzero throughput and coherent request accounting.
+//! Smoke test for the load harness: a quick run against an in-process
+//! server produces a well-formed `BENCH_serve.json` with nonzero
+//! throughput, coherent request accounting, and a latency-under-load
+//! curve from the open-loop sweep.
 
 use std::time::Duration;
 
@@ -28,10 +29,35 @@ fn quick_loadtest_produces_a_well_formed_report() {
     assert!(report.check_requests > 0, "the mix must exercise /check");
     assert!(report.p50_us <= report.p99_us && report.p99_us <= report.max_us);
 
+    // Steady-state tail sanity: after warmup, no single request may cost
+    // a large multiple of the p99 — a blown-out max means some request
+    // stalled behind connection setup or a head-of-line block rather
+    // than doing proportionate work. (The floor keeps sub-millisecond
+    // p99s from turning scheduler jitter into flakes.)
+    let tail_cap = (report.p99_us * 20).max(100_000);
+    assert!(
+        report.max_us < tail_cap,
+        "steady-state max {} µs exceeds 20×p99 ({} µs)",
+        report.max_us,
+        report.p99_us
+    );
+
+    // The open-loop sweep ran and produced a coherent curve.
+    assert!(
+        !report.open_loop.is_empty(),
+        "open-loop sweep must run when the closed loop measured capacity"
+    );
+    for point in &report.open_loop {
+        assert!(point.target_rps > 0.0);
+        assert!(point.requests > 0, "open-loop point sent no requests");
+        assert!(point.ok > 0, "open-loop point got no 2xx responses");
+        assert!(point.p50_us <= point.p99_us && point.p99_us <= point.max_us);
+    }
+
     // The serialized document parses and carries the schema the CI
     // artifact consumers read.
     let doc = parse(report.to_json().trim()).expect("report JSON parses");
-    assert_eq!(doc.get("schema").and_then(Json::as_u64), Some(3));
+    assert_eq!(doc.get("schema").and_then(Json::as_u64), Some(4));
     assert_eq!(doc.get("mode").and_then(Json::as_str), Some("quick"));
     assert!(doc.get("throughput_rps").and_then(Json::as_f64).unwrap() > 0.0);
     let latency = doc.get("latency_us").expect("latency section");
@@ -71,6 +97,25 @@ fn quick_loadtest_produces_a_well_formed_report() {
             .unwrap()
             > 0
     );
+
+    // The serialized open-loop curve mirrors the in-memory points.
+    let curve = doc
+        .get("open_loop")
+        .and_then(Json::as_array)
+        .expect("open_loop array");
+    assert_eq!(curve.len(), report.open_loop.len());
+    for point in curve {
+        assert!(point.get("target_rps").and_then(Json::as_f64).unwrap() > 0.0);
+        let lat = point.get("latency_us").expect("point latency section");
+        assert!(lat.get("p99").and_then(Json::as_u64).is_some());
+    }
+
+    // The disk tier is off by default and reported as such.
+    let disk = doc
+        .get("server")
+        .and_then(|s| s.get("disk"))
+        .expect("disk section");
+    assert_eq!(disk.get("enabled"), Some(&Json::Bool(false)));
 
     // Writing the artifact works and round-trips.
     let dir = std::env::temp_dir().join(format!("spire-serve-smoke-{}", std::process::id()));

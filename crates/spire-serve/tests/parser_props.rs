@@ -1,0 +1,123 @@
+//! Chunking-invariance property for the incremental request parser: any
+//! split of a byte stream into TCP-sized fragments yields exactly the
+//! same requests, the same terminal error, and the same mid-request
+//! state as feeding the whole buffer at once. This is the contract the
+//! event loop relies on — the kernel decides where reads tear, and the
+//! server must not be able to observe it.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use spire_serve::http::{parse_whole_buffer, Limits, ParseError, Request, RequestParser};
+
+/// A generated request as raw bytes: sometimes well-formed (with or
+/// without a body), sometimes deliberately broken, so the invariance is
+/// checked on error paths too.
+fn arb_request_bytes() -> BoxedStrategy<Vec<u8>> {
+    // `shape` 0..=9: 0-7 well-formed (varying path), 8-9 broken — an 80/20
+    // mix, so error paths get exercised without dominating.
+    (0u8..10, vec(0u8..=255, 0..24), any::<bool>())
+        .prop_map(|(shape, body, keep_alive)| match shape {
+            8 => BROKEN[body.len() % BROKEN.len()].to_vec(),
+            9 => BROKEN[(body.len() + 1) % BROKEN.len()].to_vec(),
+            _ => {
+                let path = ["/healthz", "/compile", "/benchmarks?depth=3"][shape as usize % 3];
+                let connection = if keep_alive { "keep-alive" } else { "close" };
+                let mut bytes = format!(
+                    "POST {path} HTTP/1.1\r\nhost: x\r\nconnection: {connection}\r\ncontent-length: {}\r\n\r\n",
+                    body.len()
+                )
+                .into_bytes();
+                bytes.extend_from_slice(&body);
+                bytes
+            }
+        })
+        .boxed()
+}
+
+const BROKEN: &[&[u8]] = &[
+    b"BROKEN\r\n\r\n",
+    b"GET /x HTTP/9.9\r\n\r\n",
+    b"POST /x HTTP/1.1\r\ncontent-length: nope\r\n\r\n",
+    b"POST /x HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n",
+];
+
+/// A byte stream of several concatenated requests, possibly truncated
+/// mid-request at the end.
+fn arb_stream() -> BoxedStrategy<Vec<u8>> {
+    (vec(arb_request_bytes(), 1..4), 0usize..64)
+        .prop_map(|(requests, cut)| {
+            let mut bytes: Vec<u8> = requests.into_iter().flatten().collect();
+            let keep = bytes.len().saturating_sub(cut % bytes.len().max(1));
+            bytes.truncate(keep.max(1));
+            bytes
+        })
+        .boxed()
+}
+
+fn run_chunked(bytes: &[u8], cuts: &[usize]) -> (Vec<Request>, Option<ParseError>, bool) {
+    let mut parser = RequestParser::new(Limits::default());
+    let mut requests = Vec::new();
+    let mut error = None;
+    // Split `bytes` at the (sorted, deduped) cut points and feed each
+    // fragment separately, draining completed requests between feeds —
+    // exactly the event loop's read pattern.
+    let mut points: Vec<usize> = cuts.iter().map(|c| c % (bytes.len() + 1)).collect();
+    points.sort_unstable();
+    points.dedup();
+    let mut start = 0;
+    for end in points.into_iter().chain(std::iter::once(bytes.len())) {
+        if end < start {
+            continue;
+        }
+        parser.feed(&bytes[start..end]);
+        start = end;
+        if error.is_some() {
+            continue;
+        }
+        loop {
+            match parser.next_request() {
+                Ok(Some(request)) => requests.push(request),
+                Ok(None) => break,
+                Err(e) => {
+                    error = Some(e);
+                    break;
+                }
+            }
+        }
+    }
+    (requests, error, parser.mid_request())
+}
+
+fn assert_same_requests(streamed: &[Request], whole: &[Request]) {
+    assert_eq!(streamed.len(), whole.len());
+    for (s, w) in streamed.iter().zip(whole) {
+        assert_eq!(s.method, w.method);
+        assert_eq!(s.path, w.path);
+        assert_eq!(s.query, w.query);
+        assert_eq!(s.headers, w.headers);
+        assert_eq!(s.body, w.body);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn chunking_is_unobservable(stream in arb_stream(), cuts in vec(0usize..4096, 0..12)) {
+        let (whole, whole_error, whole_mid) = parse_whole_buffer(&stream, &Limits::default());
+        let (streamed, streamed_error, streamed_mid) = run_chunked(&stream, &cuts);
+        assert_same_requests(&streamed, &whole);
+        prop_assert_eq!(streamed_error, whole_error);
+        prop_assert_eq!(streamed_mid, whole_mid);
+    }
+
+    #[test]
+    fn byte_at_a_time_equals_whole_buffer(stream in arb_stream()) {
+        let (whole, whole_error, whole_mid) = parse_whole_buffer(&stream, &Limits::default());
+        let every_byte: Vec<usize> = (0..stream.len()).collect();
+        let (streamed, streamed_error, streamed_mid) = run_chunked(&stream, &every_byte);
+        assert_same_requests(&streamed, &whole);
+        prop_assert_eq!(streamed_error, whole_error);
+        prop_assert_eq!(streamed_mid, whole_mid);
+    }
+}

@@ -1,0 +1,143 @@
+//! Warm-restart end-to-end: a server with a cache directory persists
+//! `/compile` results, and a *fresh process-equivalent* server over the
+//! same directory serves them from disk — no recompilation, visible in
+//! both the response's `served` label and the `/metrics` disk counters.
+
+use std::net::TcpStream;
+use std::path::Path;
+
+use qcirc::json::{parse, Json};
+use spire_serve::http::client_roundtrip;
+use spire_serve::{Server, ServerConfig};
+
+const SOURCE: &str = "fun f(x: uint) -> uint { let y <- x + 1; return y; }";
+
+fn compile_body() -> String {
+    Json::obj()
+        .field("source", SOURCE)
+        .field("entry", "f")
+        .field("depth", 2i64)
+        .build()
+        .to_string()
+}
+
+fn start_with_dir(dir: &Path) -> Server {
+    Server::start(ServerConfig {
+        cache_dir: Some(dir.to_path_buf()),
+        ..ServerConfig::default()
+    })
+    .expect("server boots with cache dir")
+}
+
+fn post_compile(server: &Server) -> Json {
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    let (status, body) =
+        client_roundtrip(&mut stream, "POST", "/compile", Some(&compile_body())).unwrap();
+    assert_eq!(status, 200, "{}", String::from_utf8_lossy(&body));
+    parse(std::str::from_utf8(&body).unwrap()).unwrap()
+}
+
+fn scrape_metrics(server: &Server) -> Json {
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    let (status, body) = client_roundtrip(&mut stream, "GET", "/metrics", None).unwrap();
+    assert_eq!(status, 200);
+    parse(std::str::from_utf8(&body).unwrap()).unwrap()
+}
+
+fn counter(doc: &Json, path: &[&str]) -> u64 {
+    let mut value = doc;
+    for step in path {
+        value = value.get(step).unwrap_or_else(|| panic!("missing {step}"));
+    }
+    value
+        .as_u64()
+        .unwrap_or_else(|| panic!("{path:?} not a u64"))
+}
+
+#[test]
+fn warm_restart_serves_prior_compiles_from_disk() {
+    let dir = std::env::temp_dir().join(format!("spire-persist-e2e-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+
+    // Life 1: a cold server compiles and (transparently) persists.
+    let first = start_with_dir(&dir);
+    let reply = post_compile(&first);
+    assert_eq!(reply.get("served").and_then(Json::as_str), Some("compiled"));
+    let t_complexity = reply.get("t_complexity").and_then(Json::as_u64).unwrap();
+    let metrics = scrape_metrics(&first);
+    assert_eq!(counter(&metrics, &["disk", "writes"]), 1);
+    assert_eq!(
+        metrics.get("disk").and_then(|d| d.get("enabled")),
+        Some(&Json::Bool(true))
+    );
+    first.shutdown();
+
+    // Life 2: a brand-new server over the same directory. Its in-memory
+    // compile cache is empty — the only place the answer can come from
+    // without recompiling is the disk tier.
+    let second = start_with_dir(&dir);
+    let reply = post_compile(&second);
+    assert_eq!(
+        reply.get("served").and_then(Json::as_str),
+        Some("disk"),
+        "restarted server must answer from the persistent tier"
+    );
+    assert_eq!(
+        reply.get("t_complexity").and_then(Json::as_u64),
+        Some(t_complexity),
+        "the persisted answer must match the originally compiled one"
+    );
+
+    let metrics = scrape_metrics(&second);
+    assert_eq!(counter(&metrics, &["disk", "hits"]), 1);
+    assert_eq!(
+        counter(&metrics, &["cache", "misses"]),
+        0,
+        "a disk-served reply must not touch the compile pipeline"
+    );
+    assert_eq!(counter(&metrics, &["single_flight", "led"]), 0);
+
+    // A third request on the same (running) server is a memory hit: the
+    // decoded artifact is retained, so the disk is read exactly once.
+    let reply = post_compile(&second);
+    assert_eq!(reply.get("served").and_then(Json::as_str), Some("cache"));
+    let metrics = scrape_metrics(&second);
+    assert_eq!(counter(&metrics, &["disk", "hits"]), 1);
+    second.shutdown();
+
+    // Life 3: include_qc against a disk-warm server — the persisted
+    // artifact carries the circuit text even though life 1 never asked
+    // for it.
+    let third = start_with_dir(&dir);
+    let mut stream = TcpStream::connect(third.addr()).unwrap();
+    let body = Json::obj()
+        .field("source", SOURCE)
+        .field("entry", "f")
+        .field("depth", 2i64)
+        .field("include_qc", true)
+        .build()
+        .to_string();
+    let (status, reply) = client_roundtrip(&mut stream, "POST", "/compile", Some(&body)).unwrap();
+    assert_eq!(status, 200);
+    let reply = parse(std::str::from_utf8(&reply).unwrap()).unwrap();
+    assert_eq!(reply.get("served").and_then(Json::as_str), Some("disk"));
+    let qc = reply.get("qc").and_then(Json::as_str).expect("qc text");
+    assert!(!qc.is_empty());
+    third.shutdown();
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn disk_tier_is_invisible_when_disabled() {
+    let server = Server::start(ServerConfig::default()).unwrap();
+    let reply = post_compile(&server);
+    assert_eq!(reply.get("served").and_then(Json::as_str), Some("compiled"));
+    let metrics = scrape_metrics(&server);
+    assert_eq!(
+        metrics.get("disk").and_then(|d| d.get("enabled")),
+        Some(&Json::Bool(false))
+    );
+    server.shutdown();
+}

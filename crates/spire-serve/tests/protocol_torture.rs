@@ -1,0 +1,233 @@
+//! Protocol torture suite: adversarial and degenerate byte streams
+//! against a live event-loop server. Every test speaks raw TCP — no
+//! client helper decides the framing — so the server's incremental
+//! parser, deadlines, and backpressure face exactly the torn, trickled,
+//! stalled, and oversized input a hostile or broken peer produces.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use spire_serve::http::{client_roundtrip, read_client_response, set_timeouts};
+use spire_serve::{Server, ServerConfig};
+
+/// A server with short deadlines so stall tests run in test time, not
+/// production time.
+fn torture_server() -> Server {
+    Server::start(ServerConfig {
+        read_timeout: Duration::from_millis(400),
+        write_timeout: Duration::from_millis(400),
+        ..ServerConfig::default()
+    })
+    .expect("server boots")
+}
+
+fn connect(server: &Server) -> TcpStream {
+    let stream = TcpStream::connect(server.addr()).expect("connect");
+    set_timeouts(&stream, Duration::from_secs(10), Duration::from_secs(10)).unwrap();
+    stream
+}
+
+const HEALTHZ: &[u8] = b"GET /healthz HTTP/1.1\r\nhost: t\r\n\r\n";
+
+#[test]
+fn trickled_request_one_byte_per_write_is_served() {
+    let server = torture_server();
+    let mut stream = connect(&server);
+    // One byte per write, but steadily — the per-request read window
+    // (400ms) comfortably covers the whole trickle.
+    for byte in HEALTHZ {
+        stream.write_all(&[*byte]).unwrap();
+        stream.flush().unwrap();
+    }
+    let (status, body, _) = read_client_response(&mut stream).expect("response");
+    assert_eq!(status, 200);
+    assert!(!body.is_empty());
+    server.shutdown();
+}
+
+#[test]
+fn requests_split_at_every_tearing_point_are_served() {
+    let server = torture_server();
+    // Tear one request at each possible boundary, including inside the
+    // terminator, on a fresh connection each time.
+    for cut in 1..HEALTHZ.len() {
+        let mut stream = connect(&server);
+        stream.write_all(&HEALTHZ[..cut]).unwrap();
+        stream.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(1));
+        stream.write_all(&HEALTHZ[cut..]).unwrap();
+        let (status, _, _) =
+            read_client_response(&mut stream).unwrap_or_else(|e| panic!("cut at {cut}: {e}"));
+        assert_eq!(status, 200, "cut at {cut}");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn pipelined_burst_gets_every_response_in_order() {
+    let server = torture_server();
+    let mut stream = connect(&server);
+    // Eight back-to-back requests in a single write: the parser must
+    // drain them all without waiting for more socket readiness.
+    let mut burst = Vec::new();
+    for _ in 0..8 {
+        burst.extend_from_slice(HEALTHZ);
+    }
+    stream.write_all(&burst).unwrap();
+    for i in 0..8 {
+        let (status, _, keep_alive) =
+            read_client_response(&mut stream).unwrap_or_else(|e| panic!("response {i}: {e}"));
+        assert_eq!(status, 200, "response {i}");
+        assert!(keep_alive, "response {i} must keep the pipeline open");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn oversized_head_is_rejected_with_400() {
+    let server = torture_server();
+    let mut stream = connect(&server);
+    stream.write_all(b"GET /healthz HTTP/1.1\r\n").unwrap();
+    // An unterminated header block past the 16 KiB cap: the server must
+    // refuse to buffer it forever.
+    let filler = vec![b'x'; 32 * 1024];
+    let _ = stream.write_all(&filler); // may fail once the server closes
+    let Ok((status, body, keep_alive)) = read_client_response(&mut stream) else {
+        // Equally acceptable: the server already closed the connection.
+        server.shutdown();
+        return;
+    };
+    assert_eq!(status, 400);
+    assert!(!keep_alive, "a poisoned stream must not stay open");
+    let text = String::from_utf8_lossy(&body);
+    assert!(text.contains("request/malformed"), "body: {text}");
+    server.shutdown();
+}
+
+#[test]
+fn oversized_declared_body_is_rejected_with_413_before_upload() {
+    let server = torture_server();
+    let mut stream = connect(&server);
+    // Declare a 100 MiB body but send none of it: the verdict must come
+    // from the header alone.
+    stream
+        .write_all(b"POST /compile HTTP/1.1\r\nhost: t\r\ncontent-length: 104857600\r\n\r\n")
+        .unwrap();
+    let (status, body, keep_alive) = read_client_response(&mut stream).expect("response");
+    assert_eq!(status, 413);
+    assert!(!keep_alive);
+    let text = String::from_utf8_lossy(&body);
+    assert!(text.contains("request/body-too-large"), "body: {text}");
+    server.shutdown();
+}
+
+#[test]
+fn slow_loris_gets_408_and_never_starves_healthy_clients() {
+    let server = torture_server();
+    // The attacker: starts a request and stalls forever mid-head.
+    let mut loris = connect(&server);
+    loris.write_all(b"GET /healthz HTT").unwrap();
+    loris.flush().unwrap();
+
+    // While the attacker holds its connection, healthy clients keep
+    // getting served — the event loop owes the stalled socket nothing
+    // but its deadline.
+    let healthy_started = Instant::now();
+    for _ in 0..5 {
+        let mut stream = connect(&server);
+        let (status, _) = client_roundtrip(&mut stream, "GET", "/healthz", None).unwrap();
+        assert_eq!(status, 200);
+    }
+    assert!(
+        healthy_started.elapsed() < Duration::from_secs(5),
+        "healthy clients were starved behind a slow-loris connection"
+    );
+
+    // The stalled connection is eventually answered with 408 and closed
+    // — not silently dropped mid-request, not kept alive.
+    let (status, body, keep_alive) = read_client_response(&mut loris).expect("408 response");
+    assert_eq!(status, 408);
+    assert!(!keep_alive);
+    let text = String::from_utf8_lossy(&body);
+    assert!(text.contains("request/timeout"), "body: {text}");
+    server.shutdown();
+}
+
+#[test]
+fn stalled_request_window_is_not_refreshed_by_dribbling_bytes() {
+    let server = torture_server();
+    let mut stream = connect(&server);
+    // Send one byte every 100ms: each write alone is well inside the
+    // 400ms window, but the *request* never completes. If the server
+    // refreshed the deadline per byte this would hold a connection
+    // open forever — the window must run from the request's first byte.
+    let started = Instant::now();
+    let mut verdict = None;
+    for byte in b"GET /healthz HTTP/1.1\r" {
+        if stream
+            .write_all(&[*byte])
+            .and_then(|()| stream.flush())
+            .is_err()
+        {
+            break; // server already gave up on us — also acceptable
+        }
+        std::thread::sleep(Duration::from_millis(100));
+        if started.elapsed() > Duration::from_secs(3) {
+            break;
+        }
+    }
+    if let Ok((status, _, _)) = read_client_response(&mut stream) {
+        verdict = Some(status);
+    }
+    // Either a 408 arrived or the connection died; both prove the
+    // deadline fired. What must NOT happen is the loop above finishing
+    // its dribble unbothered for multiples of the window.
+    assert!(
+        started.elapsed() < Duration::from_secs(3),
+        "server tolerated a dribbled request far past its read window"
+    );
+    if let Some(status) = verdict {
+        assert_eq!(status, 408);
+    }
+    server.shutdown();
+}
+
+#[test]
+fn idle_connections_are_reaped_quietly() {
+    let server = torture_server();
+    let mut stream = connect(&server);
+    // No bytes at all: an idle connection is closed without a response
+    // (there is no request to answer) once the read window lapses. The
+    // 2s client timeout turns "never reaped" into a test failure rather
+    // than a hang.
+    set_timeouts(&stream, Duration::from_secs(2), Duration::from_secs(2)).unwrap();
+    let mut buf = [0u8; 64];
+    let n = stream.read(&mut buf).expect("EOF, not a read timeout");
+    assert_eq!(n, 0, "idle close must not fabricate a response");
+    server.shutdown();
+}
+
+#[test]
+fn garbage_preamble_is_rejected_not_crashed() {
+    let server = torture_server();
+    for garbage in [
+        &b"\x00\x01\x02\x03\x04\r\n\r\n"[..],
+        &b"BROKEN\r\n\r\n"[..],
+        &b"GET /x HTTP/9.9\r\n\r\n"[..],
+        &b"POST /x HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n"[..],
+    ] {
+        let mut stream = connect(&server);
+        stream.write_all(garbage).unwrap();
+        let Ok((status, _, keep_alive)) = read_client_response(&mut stream) else {
+            continue; // closing without a response is acceptable for garbage
+        };
+        assert_eq!(status, 400, "garbage {garbage:?}");
+        assert!(!keep_alive);
+    }
+    // The server survived all of it.
+    let mut stream = connect(&server);
+    let (status, _) = client_roundtrip(&mut stream, "GET", "/healthz", None).unwrap();
+    assert_eq!(status, 200);
+    server.shutdown();
+}

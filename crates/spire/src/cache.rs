@@ -10,14 +10,26 @@
 //! input that affects the compiler's output — so a repeated configuration
 //! returns its [`Compiled`] program as a cheap `Arc` clone.
 //!
-//! The cache is thread-safe and designed for the fan-out in
-//! `bench-suite`'s parallel runner: lookups take a short-lived lock,
-//! compilation itself runs outside the lock (two threads racing on the
-//! same key may both compile; the duplicate insert is benign and the
-//! results are identical because compilation is deterministic), and hit
-//! and miss counts are observable through [`CompileCache::stats`].
-//! Compilation errors are *not* cached; a failing configuration fails
-//! again on the next call.
+//! The cache is thread-safe and designed for two fan-out shapes: the
+//! batch parallelism of `bench-suite`'s runner and the request
+//! parallelism of `spire-serve`'s event loop. Lookups take a
+//! short-lived lock, compilation itself runs outside the lock (two
+//! threads racing on the same key may both compile; the duplicate
+//! insert is benign and the results are identical because compilation
+//! is deterministic), and hit and miss counts are observable through
+//! [`CompileCache::stats`]. Compilation errors are *not* cached; a
+//! failing configuration fails again on the next call.
+//!
+//! Internally the map is **lock-striped**: entries are sharded into
+//! [`SHARDS`] independent segments by the high bits of the
+//! content-address, each behind its own mutex, so cache *hits* on
+//! different keys never contend — under the serving workload nearly
+//! every request is a hit, and a single mutex would serialize the whole
+//! fleet of worker threads through one cache line. Each shard carries
+//! its own hit/miss counters (updated under that shard's lock, so a
+//! shard's counters are always coherent with its entries);
+//! [`CompileCache::stats`] locks *all* shards before reading any of
+//! them, keeping the full snapshot consistent.
 //!
 //! # Example
 //!
@@ -97,6 +109,13 @@ impl CacheKey {
     pub fn value(&self) -> u128 {
         self.0
     }
+
+    /// The index of the cache shard this key lives in: the hash's high
+    /// bits, so striping composes with any downstream use of the low
+    /// bits (e.g. `HashMap` bucketing inside a shard).
+    pub fn shard(&self) -> usize {
+        (self.0 >> (128 - SHARD_BITS)) as usize
+    }
 }
 
 impl fmt::Display for CacheKey {
@@ -138,29 +157,50 @@ impl fmt::Display for CacheStats {
     }
 }
 
-/// A thread-safe, content-addressed cache of compiled programs.
+/// Number of bits of the content address selecting a cache shard.
+const SHARD_BITS: u32 = 4;
+
+/// Number of lock-striped shards in a [`CompileCache`].
+pub const SHARDS: usize = 1 << SHARD_BITS;
+
+/// A thread-safe, content-addressed cache of compiled programs,
+/// lock-striped into [`SHARDS`] segments by [`CacheKey::shard`].
 ///
-/// The hit/miss counters live under the same lock as the entry map, so
-/// [`CompileCache::stats`] is a *consistent snapshot*: hits, misses, and
-/// the entry count are read atomically together, and a reader (such as
-/// the `spire-serve` `/metrics` endpoint) can never observe torn
-/// counters — e.g. a miss already counted whose entry is not yet visible.
-#[derive(Debug, Default)]
+/// Each shard's hit/miss counters live under the same lock as that
+/// shard's entry map, so per-shard counters are never torn — a miss
+/// already counted whose entry is not yet visible cannot be observed.
+/// [`CompileCache::stats`] acquires every shard lock before reading any
+/// counter, so the cross-shard totals (hit rate, requests = hits +
+/// misses, entry count) form one *consistent snapshot* exactly as they
+/// did when the cache was a single mutex.
+#[derive(Debug)]
 pub struct CompileCache {
-    inner: Mutex<CacheInner>,
+    shards: [Mutex<CacheShard>; SHARDS],
 }
 
 #[derive(Debug, Default)]
-struct CacheInner {
+struct CacheShard {
     entries: HashMap<u128, Arc<Compiled>>,
     hits: u64,
     misses: u64,
+}
+
+impl Default for CompileCache {
+    fn default() -> Self {
+        CompileCache {
+            shards: std::array::from_fn(|_| Mutex::new(CacheShard::default())),
+        }
+    }
 }
 
 impl CompileCache {
     /// An empty cache.
     pub fn new() -> Self {
         CompileCache::default()
+    }
+
+    fn shard(&self, key: CacheKey) -> &Mutex<CacheShard> {
+        &self.shards[key.shard()]
     }
 
     /// The process-wide shared cache.
@@ -192,30 +232,29 @@ impl CompileCache {
             return Ok(found);
         }
         let compiled = Arc::new(compile_source(source, entry, depth, config, options)?);
-        let mut inner = self.inner.lock().expect("compile cache poisoned");
-        inner.misses += 1;
+        let mut shard = self.shard(key).lock().expect("compile cache poisoned");
+        shard.misses += 1;
         // A racing thread may have inserted the same key; keep the first
         // insert so existing Arcs stay shared.
-        Ok(inner.entries.entry(key.0).or_insert(compiled).clone())
+        Ok(shard.entries.entry(key.0).or_insert(compiled).clone())
     }
 
     /// Look up a key without compiling. Counts a hit when present.
     pub fn lookup(&self, key: CacheKey) -> Option<Arc<Compiled>> {
-        let mut inner = self.inner.lock().expect("compile cache poisoned");
-        let found = inner.entries.get(&key.0).cloned();
+        let mut shard = self.shard(key).lock().expect("compile cache poisoned");
+        let found = shard.entries.get(&key.0).cloned();
         if found.is_some() {
-            inner.hits += 1;
+            shard.hits += 1;
         }
         found
     }
 
     /// Number of cached programs.
     pub fn len(&self) -> usize {
-        self.inner
-            .lock()
-            .expect("compile cache poisoned")
-            .entries
-            .len()
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("compile cache poisoned").entries.len())
+            .sum()
     }
 
     /// Whether the cache holds no programs.
@@ -225,24 +264,33 @@ impl CompileCache {
 
     /// Drop every cached program (counters are kept).
     pub fn clear(&self) {
-        self.inner
-            .lock()
-            .expect("compile cache poisoned")
-            .entries
-            .clear();
+        for shard in &self.shards {
+            shard
+                .lock()
+                .expect("compile cache poisoned")
+                .entries
+                .clear();
+        }
     }
 
-    /// A consistent snapshot of the hit/miss/entry counters: all three
-    /// fields are read under one lock acquisition, so derived quantities
-    /// (hit rate, requests = hits + misses) are internally coherent even
-    /// while other threads compile.
+    /// A consistent snapshot of the hit/miss/entry counters: every shard
+    /// lock is held simultaneously while the counters are read, so
+    /// derived quantities (hit rate, requests = hits + misses) are
+    /// internally coherent even while other threads compile — exactly
+    /// the guarantee the pre-striping single-lock cache gave.
     pub fn stats(&self) -> CacheStats {
-        let inner = self.inner.lock().expect("compile cache poisoned");
-        CacheStats {
-            hits: inner.hits,
-            misses: inner.misses,
-            entries: inner.entries.len(),
+        let guards: Vec<_> = self
+            .shards
+            .iter()
+            .map(|s| s.lock().expect("compile cache poisoned"))
+            .collect();
+        let mut stats = CacheStats::default();
+        for shard in &guards {
+            stats.hits += shard.hits;
+            stats.misses += shard.misses;
+            stats.entries += shard.entries.len();
         }
+        stats
     }
 }
 
@@ -310,6 +358,30 @@ mod tests {
         assert!(Arc::ptr_eq(&first, &second));
         let stats = cache.stats();
         assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn keys_spread_across_shards() {
+        // The shard index is the hash's high bits: distinct sources land
+        // in more than one shard, so striping actually distributes load.
+        let shards: std::collections::HashSet<usize> = (0..64)
+            .map(|i| {
+                CacheKey::new(
+                    &format!("fun f{i}(x: uint) -> uint {{ return x; }}"),
+                    "f",
+                    0,
+                    WordConfig::tiny(),
+                    &CompileOptions::spire(),
+                )
+                .shard()
+            })
+            .collect();
+        assert!(
+            shards.len() > SHARDS / 2,
+            "only {} shards hit",
+            shards.len()
+        );
+        assert!(shards.iter().all(|&s| s < SHARDS));
     }
 
     #[test]

@@ -64,6 +64,7 @@ mod machine;
 pub mod opt;
 mod pipeline;
 pub mod select;
+pub mod store;
 
 pub use abstract_circuit::{AInstr, AOp};
 pub use cache::{compile_source_cached, CacheKey, CacheStats, CompileCache};
@@ -76,3 +77,4 @@ pub use opt::{optimize, OptConfig};
 pub use pipeline::{compile_source, compile_unit, CompileOptions, Compiled};
 pub use select::select;
 pub use spire_verify;
+pub use store::{DiskStats, DiskStore};

@@ -1,0 +1,593 @@
+//! Persistent content-addressed artifact store: the disk tier of the
+//! compile cache.
+//!
+//! A serving fleet needs *warm restarts*: a process that restarts (or a
+//! fresh replica pointed at shared storage) should serve the compiles
+//! its predecessor already paid for, not recompile the world. The
+//! [`DiskStore`] provides that tier as the simplest structure that is
+//! honest about crashes: an **append-only record log** plus a
+//! **rebuildable index**.
+//!
+//! * The log (`cas.log`) is a header followed by self-describing
+//!   records: `magic ‖ key ‖ length ‖ payload ‖ checksum`, where the
+//!   checksum is [`Fnv1a128`] over the key, length, and payload. Records
+//!   are only ever appended; a key is written at most once (content
+//!   addressing makes overwrites meaningless).
+//! * The index (key → offset) lives in memory and is *derived state*:
+//!   it can always be rebuilt by scanning the log. A snapshot
+//!   (`cas.idx`, itself checksummed) is written on clean shutdown to
+//!   skip the scan; records appended after the snapshot are recovered by
+//!   scanning the log tail, and a missing/invalid/stale snapshot falls
+//!   back to a full scan.
+//!
+//! Recovery is **corruption-tolerant by truncation**: opening a store
+//! scans forward record by record and truncates the log at the first
+//! record that is short, misframed, or fails its checksum — everything
+//! before the corruption survives, everything after it (which an
+//! append-only writer can only have produced *later*) is discarded. A
+//! record is re-verified against its checksum on every [`DiskStore::get`],
+//! so even an index pointing into garbage (e.g. a stale snapshot over a
+//! rewritten log) can never cause a corrupt artifact to be served: the
+//! record fails verification, the entry is dropped, and the caller falls
+//! back to compiling.
+//!
+//! The store maps `u128` content addresses to opaque byte payloads; the
+//! serving layer defines what a payload means (it stores serialized
+//! compile artifacts keyed by [`CacheKey`](crate::CacheKey)).
+
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use qcirc::hash::Fnv1a128;
+
+/// Log file header: identifies the file and its format version.
+const LOG_MAGIC: &[u8; 8] = b"SPIRECA1";
+/// Per-record framing magic.
+const RECORD_MAGIC: u32 = 0x5350_4331; // "SPC1"
+/// Index snapshot header.
+const INDEX_MAGIC: &[u8; 8] = b"SPIREIX1";
+/// Largest accepted payload: a corrupt length field must not drive a
+/// multi-gigabyte allocation during recovery.
+pub const MAX_PAYLOAD_BYTES: usize = 64 * 1024 * 1024;
+
+/// Fixed bytes of one record around the payload:
+/// magic(4) + key(16) + len(4) before, checksum(16) after.
+const RECORD_OVERHEAD: u64 = 4 + 16 + 4 + 16;
+
+/// Counters observed on a [`DiskStore`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DiskStats {
+    /// `get` calls answered from disk.
+    pub hits: u64,
+    /// `get` calls for keys not present.
+    pub misses: u64,
+    /// Records appended by `put`.
+    pub writes: u64,
+    /// Indexed records that failed verification at read time and were
+    /// dropped (never served).
+    pub corrupt_dropped: u64,
+    /// Records currently indexed.
+    pub entries: usize,
+}
+
+/// What [`DiskStore::open`] found on disk.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Records recovered into the index.
+    pub records: usize,
+    /// Bytes of log discarded by truncation at the first bad record.
+    pub truncated_bytes: u64,
+    /// Whether the index snapshot was usable (false = full scan).
+    pub used_snapshot: bool,
+}
+
+/// Location of one record's payload inside the log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Slot {
+    /// Offset of the record's framing magic.
+    offset: u64,
+    /// Payload length.
+    len: u32,
+}
+
+#[derive(Debug)]
+struct StoreInner {
+    log: File,
+    /// Length of the valid log prefix (everything before is verified or
+    /// was appended by this process).
+    log_len: u64,
+    index: HashMap<u128, Slot>,
+    hits: u64,
+    misses: u64,
+    writes: u64,
+    corrupt_dropped: u64,
+}
+
+/// A persistent, append-only, content-addressed byte store.
+///
+/// Thread-safe: all operations take an internal lock (the disk tier sits
+/// *behind* the in-memory tiers, so this lock is off the steady-state
+/// hot path).
+#[derive(Debug)]
+pub struct DiskStore {
+    dir: PathBuf,
+    inner: Mutex<StoreInner>,
+    recovery: RecoveryReport,
+}
+
+impl DiskStore {
+    /// Path of the record log inside `dir`.
+    pub fn log_path(dir: &Path) -> PathBuf {
+        dir.join("cas.log")
+    }
+
+    /// Path of the index snapshot inside `dir`.
+    pub fn index_path(dir: &Path) -> PathBuf {
+        dir.join("cas.idx")
+    }
+
+    /// Open (creating if needed) the store in `dir`, recovering the
+    /// index and truncating the log at the first corrupt record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation and file I/O failures. Corruption
+    /// is *not* an error: it is truncated away and reported in
+    /// [`DiskStore::recovery`].
+    pub fn open(dir: &Path) -> io::Result<DiskStore> {
+        std::fs::create_dir_all(dir)?;
+        let mut log = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(Self::log_path(dir))?;
+        let file_len = log.seek(SeekFrom::End(0))?;
+        if file_len < LOG_MAGIC.len() as u64 {
+            // Empty or shorter than a header: (re)initialize.
+            log.set_len(0)?;
+            log.seek(SeekFrom::Start(0))?;
+            log.write_all(LOG_MAGIC)?;
+        } else {
+            let mut header = [0u8; 8];
+            log.seek(SeekFrom::Start(0))?;
+            log.read_exact(&mut header)?;
+            if &header != LOG_MAGIC {
+                // A foreign file: refuse rather than destroy it.
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "{} is not a spire artifact log",
+                        Self::log_path(dir).display()
+                    ),
+                ));
+            }
+        }
+
+        // Try the snapshot, then scan whatever tail it does not cover.
+        let (mut index, mut scan_from, used_snapshot) =
+            match load_index_snapshot(&Self::index_path(dir), file_len.max(8)) {
+                Some((entries, covered)) => (entries, covered, true),
+                None => (HashMap::new(), LOG_MAGIC.len() as u64, false),
+            };
+        let (good_len, tail_records) = scan_log(&mut log, &mut index, &mut scan_from)?;
+        let truncated = file_len.saturating_sub(good_len);
+        if truncated > 0 {
+            log.set_len(good_len)?;
+        }
+        let records = index.len();
+        let _ = tail_records;
+        Ok(DiskStore {
+            dir: dir.to_path_buf(),
+            inner: Mutex::new(StoreInner {
+                log,
+                log_len: good_len,
+                index,
+                hits: 0,
+                misses: 0,
+                writes: 0,
+                corrupt_dropped: 0,
+            }),
+            recovery: RecoveryReport {
+                records,
+                truncated_bytes: truncated,
+                used_snapshot,
+            },
+        })
+    }
+
+    /// The directory this store lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// What recovery found at open time.
+    pub fn recovery(&self) -> RecoveryReport {
+        self.recovery
+    }
+
+    /// Fetch the payload stored under `key`, verifying its checksum.
+    ///
+    /// A record that fails verification is dropped from the index and
+    /// reported as a miss — a corrupt artifact is never returned.
+    pub fn get(&self, key: u128) -> Option<Vec<u8>> {
+        let mut inner = self.inner.lock().expect("disk store poisoned");
+        let Some(slot) = inner.index.get(&key).copied() else {
+            inner.misses += 1;
+            return None;
+        };
+        match read_record(&mut inner.log, slot) {
+            Some((stored_key, payload)) if stored_key == key => {
+                inner.hits += 1;
+                Some(payload)
+            }
+            _ => {
+                inner.index.remove(&key);
+                inner.corrupt_dropped += 1;
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Whether `key` is indexed (without reading or verifying the
+    /// payload, and without touching the hit/miss counters).
+    pub fn contains(&self, key: u128) -> bool {
+        self.inner
+            .lock()
+            .expect("disk store poisoned")
+            .index
+            .contains_key(&key)
+    }
+
+    /// Append `payload` under `key`. Returns `false` (without writing)
+    /// when the key is already stored — content addressing makes the
+    /// existing record equally valid.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write failures; on failure the log is truncated back
+    /// to its previous length so a half-written record never becomes a
+    /// permanent corruption.
+    pub fn put(&self, key: u128, payload: &[u8]) -> io::Result<bool> {
+        if payload.len() > MAX_PAYLOAD_BYTES {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "payload exceeds MAX_PAYLOAD_BYTES",
+            ));
+        }
+        let mut inner = self.inner.lock().expect("disk store poisoned");
+        if inner.index.contains_key(&key) {
+            return Ok(false);
+        }
+        let offset = inner.log_len;
+        let record = encode_record(key, payload);
+        inner.log.seek(SeekFrom::Start(offset))?;
+        if let Err(e) = inner.log.write_all(&record) {
+            // Roll back the partial append; the next open would truncate
+            // it anyway, but an in-process reader should not see it.
+            let _ = inner.log.set_len(offset);
+            return Err(e);
+        }
+        inner.log_len = offset + record.len() as u64;
+        inner.index.insert(
+            key,
+            Slot {
+                offset,
+                len: payload.len() as u32,
+            },
+        );
+        inner.writes += 1;
+        Ok(true)
+    }
+
+    /// Write the index snapshot (`cas.idx`) so the next open can skip
+    /// the full log scan. Called automatically on drop; safe to call at
+    /// any time.
+    ///
+    /// # Errors
+    ///
+    /// Propagates snapshot write failures (the store itself is
+    /// unaffected; the log remains the source of truth).
+    pub fn persist_index(&self) -> io::Result<()> {
+        let inner = self.inner.lock().expect("disk store poisoned");
+        write_index_snapshot(&Self::index_path(&self.dir), inner.log_len, &inner.index)
+    }
+
+    /// Number of indexed records.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("disk store poisoned").index.len()
+    }
+
+    /// Whether the store holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> DiskStats {
+        let inner = self.inner.lock().expect("disk store poisoned");
+        DiskStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            writes: inner.writes,
+            corrupt_dropped: inner.corrupt_dropped,
+            entries: inner.index.len(),
+        }
+    }
+
+    /// The live index as sorted `(key, offset, payload_len)` triples —
+    /// the observable state the crash-recovery tests compare against a
+    /// from-scratch scan.
+    pub fn index_entries(&self) -> Vec<(u128, u64, u32)> {
+        let inner = self.inner.lock().expect("disk store poisoned");
+        let mut entries: Vec<_> = inner
+            .index
+            .iter()
+            .map(|(&k, &slot)| (k, slot.offset, slot.len))
+            .collect();
+        entries.sort_unstable();
+        entries
+    }
+}
+
+impl Drop for DiskStore {
+    fn drop(&mut self) {
+        let _ = self.persist_index();
+    }
+}
+
+/// Checksum of one record's integrity-covered bytes.
+fn record_checksum(key: u128, payload: &[u8]) -> u128 {
+    let mut hasher = Fnv1a128::new();
+    hasher.write_len_prefixed(&key.to_le_bytes());
+    hasher.write_len_prefixed(payload);
+    hasher.finish()
+}
+
+fn encode_record(key: u128, payload: &[u8]) -> Vec<u8> {
+    let mut record = Vec::with_capacity(payload.len() + RECORD_OVERHEAD as usize);
+    record.extend_from_slice(&RECORD_MAGIC.to_le_bytes());
+    record.extend_from_slice(&key.to_le_bytes());
+    record.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    record.extend_from_slice(payload);
+    record.extend_from_slice(&record_checksum(key, payload).to_le_bytes());
+    record
+}
+
+/// Read and verify the record at `slot`. Returns `(key, payload)` only
+/// when framing and checksum are intact.
+fn read_record(log: &mut File, slot: Slot) -> Option<(u128, Vec<u8>)> {
+    let total = RECORD_OVERHEAD as usize + slot.len as usize;
+    let mut buf = vec![0u8; total];
+    log.seek(SeekFrom::Start(slot.offset)).ok()?;
+    log.read_exact(&mut buf).ok()?;
+    decode_record(&buf).map(|(key, payload, _)| (key, payload.to_vec()))
+}
+
+/// Decode one record from the front of `buf`: `(key, payload, record
+/// bytes consumed)`, or `None` if the bytes are not a complete, intact
+/// record.
+fn decode_record(buf: &[u8]) -> Option<(u128, &[u8], usize)> {
+    let rest = buf;
+    if rest.len() < RECORD_OVERHEAD as usize {
+        return None;
+    }
+    let magic = u32::from_le_bytes(rest[0..4].try_into().ok()?);
+    if magic != RECORD_MAGIC {
+        return None;
+    }
+    let key = u128::from_le_bytes(rest[4..20].try_into().ok()?);
+    let len = u32::from_le_bytes(rest[20..24].try_into().ok()?) as usize;
+    if len > MAX_PAYLOAD_BYTES {
+        return None;
+    }
+    let total = RECORD_OVERHEAD as usize + len;
+    if rest.len() < total {
+        return None;
+    }
+    let payload = &rest[24..24 + len];
+    let checksum = u128::from_le_bytes(rest[24 + len..total].try_into().ok()?);
+    if checksum != record_checksum(key, payload) {
+        return None;
+    }
+    Some((key, payload, total))
+}
+
+/// Scan the log from `*scan_from`, adding every intact record to
+/// `index`, stopping at the first bad one. Returns the length of the
+/// valid prefix.
+fn scan_log(
+    log: &mut File,
+    index: &mut HashMap<u128, Slot>,
+    scan_from: &mut u64,
+) -> io::Result<(u64, usize)> {
+    let file_len = log.seek(SeekFrom::End(0))?;
+    let mut offset = *scan_from;
+    if offset > file_len {
+        // Snapshot claimed more log than exists (e.g. the log was
+        // truncated behind it): distrust it entirely and rescan.
+        index.clear();
+        offset = LOG_MAGIC.len() as u64;
+    }
+    log.seek(SeekFrom::Start(offset))?;
+    let mut tail = Vec::new();
+    log.take(file_len - offset).read_to_end(&mut tail)?;
+    let mut consumed = 0usize;
+    let mut records = 0usize;
+    while let Some((key, payload, record_len)) = decode_record(&tail[consumed..]) {
+        index.insert(
+            key,
+            Slot {
+                offset: offset + consumed as u64,
+                len: payload.len() as u32,
+            },
+        );
+        consumed += record_len;
+        records += 1;
+    }
+    Ok((offset + consumed as u64, records))
+}
+
+/// Serialize the index snapshot: header, covered log length, entry
+/// count, entries, trailing checksum over everything before it.
+fn write_index_snapshot(
+    path: &Path,
+    covered_len: u64,
+    index: &HashMap<u128, Slot>,
+) -> io::Result<()> {
+    let mut buf = Vec::with_capacity(8 + 16 + index.len() * 28 + 16);
+    buf.extend_from_slice(INDEX_MAGIC);
+    buf.extend_from_slice(&covered_len.to_le_bytes());
+    buf.extend_from_slice(&(index.len() as u64).to_le_bytes());
+    let mut entries: Vec<_> = index.iter().collect();
+    entries.sort_unstable_by_key(|(_, slot)| slot.offset);
+    for (&key, slot) in entries {
+        buf.extend_from_slice(&key.to_le_bytes());
+        buf.extend_from_slice(&slot.offset.to_le_bytes());
+        buf.extend_from_slice(&slot.len.to_le_bytes());
+    }
+    let mut hasher = Fnv1a128::new();
+    hasher.write_len_prefixed(&buf);
+    buf.extend_from_slice(&hasher.finish().to_le_bytes());
+    // Write-then-rename so a crash mid-snapshot leaves the old (or no)
+    // snapshot, never a torn one that happens to checksum.
+    let tmp = path.with_extension("idx.tmp");
+    std::fs::write(&tmp, &buf)?;
+    std::fs::rename(&tmp, path)
+}
+
+/// Load and validate an index snapshot. Returns the entries and the log
+/// length it covers, or `None` when missing/invalid/over-claiming.
+fn load_index_snapshot(path: &Path, log_len: u64) -> Option<(HashMap<u128, Slot>, u64)> {
+    let buf = std::fs::read(path).ok()?;
+    if buf.len() < 8 + 8 + 8 + 16 || &buf[0..8] != INDEX_MAGIC {
+        return None;
+    }
+    let body = &buf[..buf.len() - 16];
+    let mut hasher = Fnv1a128::new();
+    hasher.write_len_prefixed(body);
+    let stored = u128::from_le_bytes(buf[buf.len() - 16..].try_into().ok()?);
+    if hasher.finish() != stored {
+        return None;
+    }
+    let covered_len = u64::from_le_bytes(body[8..16].try_into().ok()?);
+    if covered_len > log_len {
+        return None; // stale snapshot over a shorter log
+    }
+    let count = u64::from_le_bytes(body[16..24].try_into().ok()?) as usize;
+    let entries_bytes = &body[24..];
+    if entries_bytes.len() != count * 28 {
+        return None;
+    }
+    let mut index = HashMap::with_capacity(count);
+    for chunk in entries_bytes.chunks_exact(28) {
+        let key = u128::from_le_bytes(chunk[0..16].try_into().ok()?);
+        let offset = u64::from_le_bytes(chunk[16..24].try_into().ok()?);
+        let len = u32::from_le_bytes(chunk[24..28].try_into().ok()?);
+        if offset + RECORD_OVERHEAD + u64::from(len) > covered_len {
+            return None; // entry points past the covered prefix
+        }
+        index.insert(key, Slot { offset, len });
+    }
+    Some((index, covered_len))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tempdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "spire-store-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id(),
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn roundtrip_across_reopen() {
+        let dir = tempdir("roundtrip");
+        {
+            let store = DiskStore::open(&dir).unwrap();
+            assert!(store.put(1, b"one").unwrap());
+            assert!(store.put(2, b"two").unwrap());
+            assert!(!store.put(1, b"one-again").unwrap(), "no overwrite");
+            assert_eq!(store.get(1).as_deref(), Some(b"one".as_slice()));
+        }
+        let store = DiskStore::open(&dir).unwrap();
+        assert!(store.recovery().used_snapshot, "clean close wrote cas.idx");
+        assert_eq!(store.recovery().truncated_bytes, 0);
+        assert_eq!(store.get(1).as_deref(), Some(b"one".as_slice()));
+        assert_eq!(store.get(2).as_deref(), Some(b"two".as_slice()));
+        assert_eq!(store.get(3), None);
+        let stats = store.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (2, 1, 2));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_log_recovers_prefix() {
+        let dir = tempdir("truncate");
+        {
+            let store = DiskStore::open(&dir).unwrap();
+            store.put(10, &[0xAA; 100]).unwrap();
+            store.put(11, &[0xBB; 100]).unwrap();
+        }
+        // Chop into the middle of the second record, and remove the
+        // snapshot so recovery exercises the scan path.
+        let log = DiskStore::log_path(&dir);
+        let len = std::fs::metadata(&log).unwrap().len();
+        let file = OpenOptions::new().write(true).open(&log).unwrap();
+        file.set_len(len - 30).unwrap();
+        drop(file);
+        std::fs::remove_file(DiskStore::index_path(&dir)).unwrap();
+
+        let store = DiskStore::open(&dir).unwrap();
+        assert!(!store.recovery().used_snapshot);
+        assert!(store.recovery().truncated_bytes > 0);
+        assert_eq!(store.get(10).as_deref(), Some([0xAA; 100].as_slice()));
+        assert_eq!(store.get(11), None, "torn record is gone");
+        // The log was truncated back to the good prefix: a new put works
+        // and survives another reopen.
+        store.put(12, b"after-recovery").unwrap();
+        drop(store);
+        let store = DiskStore::open(&dir).unwrap();
+        assert_eq!(store.get(12).as_deref(), Some(b"after-recovery".as_slice()));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stale_snapshot_over_shorter_log_is_distrusted() {
+        let dir = tempdir("stale-idx");
+        {
+            let store = DiskStore::open(&dir).unwrap();
+            store.put(7, b"seven").unwrap();
+            store.put(8, b"eight").unwrap();
+        }
+        // Truncate the log to before the snapshot's covered length; the
+        // snapshot now over-claims and must be rejected wholesale.
+        let log = DiskStore::log_path(&dir);
+        let file = OpenOptions::new().write(true).open(&log).unwrap();
+        file.set_len(8).unwrap();
+        drop(file);
+        let store = DiskStore::open(&dir).unwrap();
+        assert!(!store.recovery().used_snapshot);
+        assert!(store.is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn foreign_file_is_refused() {
+        let dir = tempdir("foreign");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(DiskStore::log_path(&dir), b"definitely not a log").unwrap();
+        assert!(DiskStore::open(&dir).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

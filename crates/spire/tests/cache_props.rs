@@ -1,0 +1,189 @@
+//! Equivalence of the lock-striped compile cache with a single-lock
+//! reference model: for any operation sequence the striped cache
+//! produces the same per-operation outcomes and the same consistent
+//! stats snapshot a plain mutex-around-a-map would, and under real
+//! concurrency its invariants (requests = hits + misses, one shared
+//! compilation per key, monotone consistent snapshots) hold.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use spire::cache::{CacheKey, CompileCache};
+use spire::{CompileOptions, Compiled};
+use tower::WordConfig;
+
+/// The key universe: tiny programs differing only in a constant, so
+/// compilation on a miss is cheap and every key is distinct.
+fn source(k: usize) -> String {
+    format!("fun f(x: uint) -> uint {{ let y <- x + {k}; return y; }}")
+}
+
+fn key_of(k: usize, options: &CompileOptions) -> CacheKey {
+    CacheKey::new(&source(k), "f", 0, WordConfig::paper_default(), options)
+}
+
+/// One scripted cache operation over the small key universe.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// `lookup` — must not compile, counts a hit only when present.
+    Lookup(usize),
+    /// `get_or_compile` — compiles on miss, counts exactly one of
+    /// hit/miss.
+    GetOrCompile(usize),
+}
+
+fn arb_ops() -> BoxedStrategy<Vec<Op>> {
+    vec(
+        (0usize..5, any::<bool>()).prop_map(|(k, lookup)| {
+            if lookup {
+                Op::Lookup(k)
+            } else {
+                Op::GetOrCompile(k)
+            }
+        }),
+        0..32,
+    )
+    .boxed()
+}
+
+/// The single-lock reference: a map plus counters, mutated exactly as
+/// the pre-striping cache did.
+#[derive(Default)]
+struct Reference {
+    present: HashMap<u128, Arc<Compiled>>,
+    hits: u64,
+    misses: u64,
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn striped_cache_matches_single_lock_reference(ops in arb_ops()) {
+        let options = CompileOptions::spire();
+        let cache = CompileCache::new();
+        let mut reference = Reference::default();
+        for op in ops {
+            match op {
+                Op::Lookup(k) => {
+                    let key = key_of(k, &options);
+                    let striped = cache.lookup(key);
+                    let modeled = reference.present.get(&key.value());
+                    prop_assert_eq!(striped.is_some(), modeled.is_some());
+                    if let (Some(striped), Some(modeled)) = (&striped, modeled) {
+                        prop_assert!(Arc::ptr_eq(striped, modeled), "one shared compilation");
+                        reference.hits += 1;
+                    }
+                }
+                Op::GetOrCompile(k) => {
+                    let key = key_of(k, &options);
+                    let compiled = cache
+                        .get_or_compile(&source(k), "f", 0, WordConfig::paper_default(), &options)
+                        .expect("trivial program compiles");
+                    match reference.present.get(&key.value()) {
+                        Some(modeled) => {
+                            prop_assert!(Arc::ptr_eq(&compiled, modeled));
+                            reference.hits += 1;
+                        }
+                        None => {
+                            reference.misses += 1;
+                            reference.present.insert(key.value(), compiled);
+                        }
+                    }
+                }
+            }
+            // After *every* op the consistent snapshot matches the
+            // reference exactly — not only at the end.
+            let stats = cache.stats();
+            prop_assert_eq!(stats.hits, reference.hits);
+            prop_assert_eq!(stats.misses, reference.misses);
+            prop_assert_eq!(stats.entries, reference.present.len());
+        }
+    }
+}
+
+#[test]
+fn concurrent_invariants_match_the_single_lock_semantics() {
+    const THREADS: usize = 4;
+    const OPS_PER_THREAD: usize = 60;
+    const KEYS: usize = 6;
+    let options = CompileOptions::spire();
+    let cache = CompileCache::new();
+    let stop = AtomicBool::new(false);
+
+    let per_thread: Vec<Vec<(usize, Arc<Compiled>)>> = std::thread::scope(|scope| {
+        // A stats reader races the workers: every snapshot it takes must
+        // be internally consistent (entries never exceed the universe,
+        // requests never decrease — each snapshot holds all shard locks,
+        // so no torn counters).
+        let reader = scope.spawn(|| {
+            let mut last_requests = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let stats = cache.stats();
+                let requests = stats.hits + stats.misses;
+                assert!(
+                    requests >= last_requests,
+                    "consistent snapshots are monotone"
+                );
+                assert!(stats.entries <= KEYS);
+                last_requests = requests;
+            }
+        });
+        let workers: Vec<_> = (0..THREADS)
+            .map(|t| {
+                let options = &options;
+                let cache = &cache;
+                scope.spawn(move || {
+                    let mut seen: Vec<(usize, Arc<Compiled>)> = Vec::new();
+                    for i in 0..OPS_PER_THREAD {
+                        let k = (t + i) % KEYS;
+                        let compiled = cache
+                            .get_or_compile(
+                                &source(k),
+                                "f",
+                                0,
+                                WordConfig::paper_default(),
+                                options,
+                            )
+                            .expect("trivial program compiles");
+                        seen.push((k, compiled));
+                    }
+                    seen
+                })
+            })
+            .collect();
+        let per_thread = workers.into_iter().map(|w| w.join().unwrap()).collect();
+        stop.store(true, Ordering::Relaxed);
+        reader.join().unwrap();
+        per_thread
+    });
+
+    // Exactly one of hit/miss per operation, entries = the key universe,
+    // and at least one miss per distinct key.
+    let stats = cache.stats();
+    assert_eq!(
+        stats.hits + stats.misses,
+        (THREADS * OPS_PER_THREAD) as u64,
+        "every get_or_compile counts exactly one of hit/miss"
+    );
+    assert_eq!(stats.entries, KEYS);
+    assert!(stats.misses >= KEYS as u64);
+
+    // Whatever interleaving happened, all threads share one compilation
+    // per key (first insert wins; racing losers adopt it).
+    let options = CompileOptions::spire();
+    let canonical: Vec<Arc<Compiled>> = (0..KEYS)
+        .map(|k| cache.lookup(key_of(k, &options)).expect("cached"))
+        .collect();
+    for seen in &per_thread {
+        for (k, arc) in seen {
+            assert!(
+                Arc::ptr_eq(arc, &canonical[*k]),
+                "thread observed a divergent compilation for key {k}"
+            );
+        }
+    }
+}

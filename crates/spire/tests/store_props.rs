@@ -1,0 +1,203 @@
+//! Crash-recovery properties of the persistent artifact store: for any
+//! stored contents and any single corruption (truncation or byte flip at
+//! an arbitrary offset), reopening recovers exactly the intact record
+//! prefix, never serves a damaged payload, and rebuilds the same index a
+//! from-scratch scan would.
+
+use std::fs::OpenOptions;
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use spire::store::DiskStore;
+
+static CASE: AtomicU64 = AtomicU64::new(0);
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "spire-store-props-{tag}-{}-{}",
+        std::process::id(),
+        CASE.fetch_add(1, Ordering::Relaxed),
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Distinct (key, payload) pairs to store: small keys, payloads of
+/// varied length including empty.
+fn arb_entries() -> BoxedStrategy<Vec<(u128, Vec<u8>)>> {
+    vec((0u128..32, vec(0u8..=255, 0..64)), 1..8)
+        .prop_map(|mut entries| {
+            entries.sort_by_key(|(k, _)| *k);
+            entries.dedup_by_key(|(k, _)| *k);
+            entries
+        })
+        .boxed()
+}
+
+/// Populate a fresh store (in insertion order = key order after dedup)
+/// and return, per record, its key, payload, and end offset in the log.
+fn populate(dir: &Path, entries: &[(u128, Vec<u8>)]) -> Vec<(u128, Vec<u8>, u64)> {
+    let store = DiskStore::open(dir).unwrap();
+    let mut records = Vec::new();
+    for (key, payload) in entries {
+        assert!(store.put(*key, payload).unwrap());
+        // End offset of this record = current offset of the *next*
+        // record; recover it from the index.
+        records.push((*key, payload.clone(), 0));
+    }
+    let mut spans: Vec<(u64, u128, u32)> = store
+        .index_entries()
+        .into_iter()
+        .map(|(k, off, len)| (off, k, len))
+        .collect();
+    spans.sort_unstable();
+    // RECORD_OVERHEAD is 40 bytes (magic 4 + key 16 + len 4 + checksum 16).
+    for record in &mut records {
+        let (offset, _, len) = spans
+            .iter()
+            .find(|(_, k, _)| *k == record.0)
+            .map(|&(off, k, len)| (off, k, len))
+            .expect("stored key indexed");
+        record.2 = offset + 40 + u64::from(len);
+    }
+    records
+}
+
+/// The records whose bytes lie entirely before `damage_offset`.
+fn intact_prefix(records: &[(u128, Vec<u8>, u64)], damage_offset: u64) -> Vec<(u128, Vec<u8>)> {
+    records
+        .iter()
+        .take_while(|(_, _, end)| *end <= damage_offset)
+        .map(|(k, p, _)| (*k, p.clone()))
+        .collect()
+}
+
+/// Reopen after damage and check the recovered state. `expect_truncation`
+/// asserts recovery itself discarded bytes (true for mid-record damage
+/// like a byte flip; a clean `set_len` cut at a record boundary leaves
+/// nothing for recovery to discard).
+fn check_recovery(dir: &Path, expected: &[(u128, Vec<u8>)], expect_truncation: bool) {
+    // Remove the snapshot: recovery must come from the log alone.
+    let _ = std::fs::remove_file(DiskStore::index_path(dir));
+    let scanned_entries;
+    {
+        let store = DiskStore::open(dir).unwrap();
+        assert!(!store.recovery().used_snapshot);
+        if expect_truncation {
+            assert!(
+                store.recovery().truncated_bytes > 0,
+                "damage inside the valid prefix must cost bytes"
+            );
+        }
+        assert_eq!(store.len(), expected.len(), "exact intact prefix");
+        for (key, payload) in expected {
+            assert_eq!(
+                store.get(*key).as_deref(),
+                Some(payload.as_slice()),
+                "prefix record {key} must survive intact"
+            );
+        }
+        scanned_entries = store.index_entries();
+        // Closing writes a fresh snapshot over the recovered state.
+    }
+    // Reopen through the snapshot path: the rebuilt index must be
+    // byte-for-byte the index a from-scratch scan produced.
+    let store = DiskStore::open(dir).unwrap();
+    assert!(store.recovery().used_snapshot);
+    assert_eq!(store.index_entries(), scanned_entries);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn truncation_at_any_offset_recovers_the_intact_prefix(
+        entries in arb_entries(),
+        cut in 8u64..4096,
+    ) {
+        let dir = tempdir("cut");
+        let records = populate(&dir, &entries);
+        let log = DiskStore::log_path(&dir);
+        let len = std::fs::metadata(&log).unwrap().len();
+        let cut = 8 + cut % len.max(9); // never inside the 8-byte header
+        if cut < len {
+            OpenOptions::new()
+                .write(true)
+                .open(&log)
+                .unwrap()
+                .set_len(cut)
+                .unwrap();
+        }
+        let expected = intact_prefix(&records, cut.min(len));
+        // A cut exactly at a record boundary leaves a valid (shorter)
+        // log, so recovery may have nothing left to truncate — only the
+        // prefix property itself is asserted here.
+        check_recovery(&dir, &expected, false);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn byte_flip_at_any_offset_truncates_from_the_damaged_record(
+        entries in arb_entries(),
+        position in 0u64..4096,
+    ) {
+        let dir = tempdir("flip");
+        let records = populate(&dir, &entries);
+        let log = DiskStore::log_path(&dir);
+        let len = std::fs::metadata(&log).unwrap().len();
+        // Flip one byte strictly after the file header.
+        let position = 8 + position % (len - 8);
+        let mut file = OpenOptions::new().read(true).write(true).open(&log).unwrap();
+        let mut byte = [0u8; 1];
+        file.seek(SeekFrom::Start(position)).unwrap();
+        file.read_exact(&mut byte).unwrap();
+        file.seek(SeekFrom::Start(position)).unwrap();
+        file.write_all(&[byte[0] ^ 0x5A]).unwrap();
+        drop(file);
+
+        // Every record wholly before the flipped byte survives; the
+        // damaged record and everything after it is truncated away.
+        let expected = intact_prefix(&records, position);
+        check_recovery(&dir, &expected, true);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn appends_after_recovery_roundtrip(
+        entries in arb_entries(),
+        cut in 8u64..2048,
+    ) {
+        let dir = tempdir("append");
+        let records = populate(&dir, &entries);
+        let log = DiskStore::log_path(&dir);
+        let len = std::fs::metadata(&log).unwrap().len();
+        let cut = 8 + cut % len.max(9);
+        if cut < len {
+            OpenOptions::new()
+                .write(true)
+                .open(&log)
+                .unwrap()
+                .set_len(cut)
+                .unwrap();
+        }
+        let _ = std::fs::remove_file(DiskStore::index_path(&dir));
+        {
+            let store = DiskStore::open(&dir).unwrap();
+            // The truncated log is a valid store again: appends land
+            // cleanly on the recovered prefix.
+            assert!(store.put(0xFFFF, b"fresh-after-recovery").unwrap());
+        }
+        let store = DiskStore::open(&dir).unwrap();
+        assert_eq!(
+            store.get(0xFFFF).as_deref(),
+            Some(b"fresh-after-recovery".as_slice())
+        );
+        for (key, payload) in intact_prefix(&records, cut.min(len)) {
+            assert_eq!(store.get(key).as_deref(), Some(payload.as_slice()));
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
