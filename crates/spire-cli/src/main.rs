@@ -7,7 +7,8 @@
 //! spire-cli benchmarks
 //! spire-cli experiments <fig2|fig12|fig15a|fig15b|table1|table2|table4|table5|fig24|appendix-a|all>
 //! spire-cli report [--out-dir reports] [--threads n] [--quick] [--check]
-//! spire-cli serve [--addr 127.0.0.1:0] [--threads n] [--cache-dir dir]
+//! spire-cli serve [--addr 127.0.0.1:0] [--threads n] [--cache-dir dir] [--cache-bytes n]
+//!               [--compact-on-start] [--inject-disk-faults spec]
 //! spire-cli loadtest [--addr host:port] [--workers n] [--seconds s] [--quick]
 //! ```
 
@@ -60,6 +61,8 @@ const USAGE: &str = "usage:
   spire-cli experiments <fig2|fig12|fig15a|fig15b|table1|table2|table4|table5|fig24|appendix-a|all>
   spire-cli report [--out-dir <dir>] [--threads <n>] [--quick] [--check]
   spire-cli serve [--addr <host:port>] [--threads <n>] [--backlog <n>] [--cache-dir <dir>]
+                  [--cache-bytes <n[k|m|g]>] [--compact-on-start]
+                  [--inject-disk-faults <none|crash=BYTES|KIND:all|KIND:nth=N|KIND:rate=R,seed=S>]
   spire-cli loadtest [--addr <host:port>] [--workers <n>] [--seconds <s>]
                      [--depth <n>] [--quick] [--out-dir <dir>]
 
@@ -82,7 +85,13 @@ const USAGE: &str = "usage:
   --cache-dir enables the persistent compile cache: /compile results are
   stored in an append-only content-addressed log there, so a restarted
   server answers previously-compiled requests from disk.
-  See docs/SERVING.md for the protocol.
+  --cache-bytes caps resident memory for the in-memory caches
+  (second-chance eviction; suffixes k/m/g are binary multiples).
+  --compact-on-start rewrites the on-disk log to live entries only
+  before serving. --inject-disk-faults wires a seeded fault schedule
+  into the disk tier for chaos testing (KIND is eio, enospc, or torn);
+  the server degrades to memory-only behind a circuit breaker instead
+  of failing requests. See docs/SERVING.md and docs/ROBUSTNESS.md.
 
   loadtest drives a closed-loop request mix over the benchmark programs
   against --addr (or an in-process server when omitted), then sweeps the
@@ -102,6 +111,20 @@ fn flag(args: &[String], name: &str) -> Option<String> {
         .position(|a| a == name)
         .and_then(|i| args.get(i + 1))
         .cloned()
+}
+
+/// Parse a byte-size argument: a plain count, or a count with a `k`,
+/// `m`, or `g` suffix (binary multiples, case-insensitive).
+fn parse_byte_size(text: &str) -> Option<u64> {
+    let text = text.trim();
+    let (digits, multiplier) = match text.chars().last()? {
+        'k' | 'K' => (&text[..text.len() - 1], 1u64 << 10),
+        'm' | 'M' => (&text[..text.len() - 1], 1u64 << 20),
+        'g' | 'G' => (&text[..text.len() - 1], 1u64 << 30),
+        _ => (text, 1),
+    };
+    let count: u64 = digits.parse().ok()?;
+    count.checked_mul(multiplier).filter(|&n| n > 0)
 }
 
 fn parse_opt(name: &str) -> Result<OptConfig, String> {
@@ -723,6 +746,24 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
     }
     if let Some(dir) = flag(args, "--cache-dir") {
         config.cache_dir = Some(PathBuf::from(dir));
+    }
+    if let Some(bytes) = flag(args, "--cache-bytes") {
+        config.cache_bytes = Some(
+            parse_byte_size(&bytes)
+                .ok_or("bad --cache-bytes: expected a byte count like 16777216, 64k, or 256m")?,
+        );
+    }
+    if args.iter().any(|a| a == "--compact-on-start") {
+        config.compact_on_start = true;
+    }
+    if let Some(spec) = flag(args, "--inject-disk-faults") {
+        let schedule = spire::FaultSchedule::parse(&spec)
+            .map_err(|e| format!("bad --inject-disk-faults: {e}"))?;
+        eprintln!(
+            "spire-serve: injecting disk faults ({}); this flag is for chaos testing only",
+            schedule.label()
+        );
+        config.disk_faults = Some(schedule);
     }
     let threads = config.threads;
     let server = spire_serve::Server::start(config).map_err(|e| format!("starting server: {e}"))?;

@@ -315,14 +315,20 @@ fn render_artifact(artifact: &Json, served: &str, include_qc: bool) -> Json {
 }
 
 /// Persist a freshly built artifact when the disk tier is enabled and
-/// does not hold this key yet. Write failures are swallowed: the disk
-/// tier is an optimization, never a reason to fail a request that
-/// already compiled.
+/// does not hold this key yet. Write failures never fail the request —
+/// the disk tier is an optimization — but they *are* observed by the
+/// circuit breaker, so a failing device stops being poked once the
+/// breaker opens. The in-memory `contains` check runs before the
+/// breaker gate: it does no I/O, so it must neither consume a half-open
+/// probe nor count as a device success.
 fn persist_artifact(state: &AppState, key: u128, artifact: &Json) {
-    if let Some(disk) = state.disk() {
-        if !disk.contains(key) {
-            let _ = disk.put(key, artifact.to_string().as_bytes());
-        }
+    let Some(disk) = state.disk() else { return };
+    if disk.contains(key) || !state.breaker.allow() {
+        return;
+    }
+    match disk.put(key, artifact.to_string().as_bytes()) {
+        Ok(_) => state.breaker.record_success(),
+        Err(_) => state.breaker.record_failure(),
     }
 }
 
@@ -380,16 +386,49 @@ fn compile_endpoint(state: &AppState, request: &Request) -> Result<Json, ApiErro
 
 /// Fetch and decode an artifact from the persistent tier, remembering
 /// the decoded form so repeats skip the disk read and parse. A record
-/// whose checksum verified but whose payload does not parse as an
-/// artifact object is treated as a miss — never served.
+/// whose checksum verified but whose payload does not decode as an
+/// artifact object is never served — it is *quarantined* (dropped from
+/// the index and counted), so a poisoned record costs one failed parse
+/// total instead of one per request.
+///
+/// The tier is gated by the circuit breaker: index misses cost no I/O
+/// and bypass it; actual reads report their outcome, so consecutive
+/// device errors open the breaker and later requests skip straight to
+/// compilation.
 fn disk_artifact(state: &AppState, key: u128) -> Option<std::sync::Arc<Json>> {
-    let payload = state.disk()?.get(key)?;
-    let text = std::str::from_utf8(&payload).ok()?;
-    let parsed = json::parse(text).ok()?;
-    parsed.as_object()?;
-    let artifact = std::sync::Arc::new(parsed);
-    state.store_artifact(key, std::sync::Arc::clone(&artifact));
-    Some(artifact)
+    let disk = state.disk()?;
+    if !disk.contains(key) {
+        return None; // pure index miss: no device I/O to gate or record
+    }
+    if !state.breaker.allow() {
+        return None; // breaker open: skip the tier, memory keeps serving
+    }
+    match disk.try_get(key) {
+        Err(_) => {
+            state.breaker.record_failure();
+            None
+        }
+        Ok(None) => {
+            // The device answered; the record was corrupt and the store
+            // already quarantined it.
+            state.breaker.record_success();
+            None
+        }
+        Ok(Some(payload)) => {
+            state.breaker.record_success();
+            let decoded = std::str::from_utf8(&payload)
+                .ok()
+                .and_then(|text| json::parse(text).ok())
+                .filter(|parsed| parsed.as_object().is_some());
+            let Some(parsed) = decoded else {
+                disk.quarantine(key);
+                return None;
+            };
+            let artifact = std::sync::Arc::new(parsed);
+            state.store_artifact(key, std::sync::Arc::clone(&artifact));
+            Some(artifact)
+        }
+    }
 }
 
 /// One input assignment: variable name → classical value.
@@ -611,14 +650,47 @@ fn metrics_endpoint(state: &AppState) -> Response {
     let cache = state.compiler.cache().stats();
     let flights = state.compiler.flight_stats();
     let disk = state.disk().map(spire::DiskStore::stats);
-    let body = state.metrics.to_json_value(&cache, &flights, disk.as_ref());
+    let (artifact_bytes, report_bytes, memo_evictions) = state.memo_stats();
+    let health = crate::metrics::ServeHealth {
+        breaker: state.disk().map(|_| state.breaker.snapshot()),
+        faults: state
+            .disk()
+            .map(spire::DiskStore::faults)
+            .filter(|faults| faults.is_active())
+            .map(|faults| (faults.label().to_string(), faults.stats())),
+        artifact_bytes,
+        report_bytes,
+        memo_evictions,
+    };
+    let body = state
+        .metrics
+        .to_json_value(&cache, &flights, disk.as_ref(), &health);
     Response::json(200, body.to_string())
 }
 
+/// `GET /healthz`: liveness plus the degradation ladder. `"ok"` means
+/// every configured tier is serving; `"degraded"` means the service is
+/// up and answering but the disk tier's circuit breaker is not closed —
+/// compiles still succeed from memory, persistence and warm restarts
+/// are impaired. Both states are `200`: a degraded server is exactly
+/// the one that must keep telling load balancers it is alive.
 fn healthz_endpoint(state: &AppState) -> Response {
-    let body = Json::obj()
-        .field("status", "ok")
-        .field("uptime_seconds", state.metrics.uptime_seconds())
-        .build();
-    Response::json(200, body.to_string())
+    let degraded = state.disk().is_some() && state.breaker.is_degraded();
+    let mut body = Json::obj()
+        .field("status", if degraded { "degraded" } else { "ok" })
+        .field("uptime_seconds", state.metrics.uptime_seconds());
+    if state.disk().is_some() {
+        let snapshot = state.breaker.snapshot();
+        body = body.field(
+            "disk",
+            Json::obj()
+                .field("breaker", snapshot.state.label())
+                .field(
+                    "consecutive_failures",
+                    u64::from(snapshot.consecutive_failures),
+                )
+                .field("opened_total", snapshot.opened_total),
+        );
+    }
+    Response::json(200, body.build().to_string())
 }

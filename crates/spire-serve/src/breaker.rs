@@ -1,0 +1,266 @@
+//! A circuit breaker over the persistent disk tier.
+//!
+//! The disk tier is an optimization: when the device under it starts
+//! failing (a pulled volume, a full disk, injected faults), every
+//! `/compile` miss would otherwise pay a doomed syscall — and worse,
+//! a *hanging* device would pay it at device latency. The breaker
+//! converts a failing tier into a skipped tier: after
+//! [`threshold`](CircuitBreaker::new) **consecutive** I/O errors it
+//! *opens* and the serving path stops touching the disk entirely
+//! (memory tiers keep answering). After a cooldown one request is let
+//! through as a *half-open* probe; its outcome decides whether the
+//! breaker closes again or re-opens for another cooldown.
+//!
+//! Only genuine device errors trip the breaker — a miss, a checksum
+//! failure, or an unparsable payload is a *successful* I/O that happened
+//! to find nothing servable, and resets the consecutive-failure count.
+//!
+//! The state machine is the textbook three-state breaker:
+//!
+//! ```text
+//!            threshold consecutive failures
+//!   Closed ─────────────────────────────────▶ Open
+//!     ▲                                        │ cooldown elapses
+//!     │ probe succeeds                         ▼
+//!     └──────────────────────────────────── HalfOpen
+//!                 probe fails: back to Open, new cooldown
+//! ```
+//!
+//! `/healthz` reports `degraded` while the breaker is anything but
+//! closed; `/metrics` exposes the full [`BreakerSnapshot`].
+
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Default consecutive-failure threshold before the breaker opens.
+pub const DEFAULT_THRESHOLD: u32 = 5;
+
+/// Default time an open breaker waits before allowing a probe.
+pub const DEFAULT_COOLDOWN: Duration = Duration::from_secs(2);
+
+/// The breaker's externally visible state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Disk I/O flows normally.
+    Closed,
+    /// Disk I/O is short-circuited until the cooldown elapses.
+    Open,
+    /// One probe request is in flight; its outcome decides the next
+    /// state.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Stable label for `/metrics` and `/healthz`.
+    pub fn label(self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open => "open",
+            BreakerState::HalfOpen => "half-open",
+        }
+    }
+}
+
+/// A point-in-time view of the breaker for metrics/health documents.
+#[derive(Debug, Clone, Copy)]
+pub struct BreakerSnapshot {
+    /// Current state.
+    pub state: BreakerState,
+    /// Consecutive failures observed while closed (resets on success).
+    pub consecutive_failures: u32,
+    /// Failure count that opens the breaker.
+    pub threshold: u32,
+    /// Times the breaker has transitioned to open.
+    pub opened_total: u64,
+    /// Disk operations short-circuited while open.
+    pub rejected: u64,
+}
+
+#[derive(Debug)]
+struct Inner {
+    state: BreakerState,
+    consecutive_failures: u32,
+    /// When an open breaker may release its probe.
+    open_until: Instant,
+    opened_total: u64,
+    rejected: u64,
+}
+
+/// The three-state breaker (see module docs). All methods take `&self`;
+/// internal state sits behind one mutex touched only on the disk-tier
+/// path (never on cache hits).
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    threshold: u32,
+    cooldown: Duration,
+    inner: Mutex<Inner>,
+}
+
+impl CircuitBreaker {
+    /// A closed breaker that opens after `threshold` consecutive
+    /// failures and probes again `cooldown` after opening. A threshold
+    /// of 0 is treated as 1 (a breaker that can never open would be a
+    /// no-op).
+    pub fn new(threshold: u32, cooldown: Duration) -> CircuitBreaker {
+        CircuitBreaker {
+            threshold: threshold.max(1),
+            cooldown,
+            inner: Mutex::new(Inner {
+                state: BreakerState::Closed,
+                consecutive_failures: 0,
+                open_until: Instant::now(),
+                opened_total: 0,
+                rejected: 0,
+            }),
+        }
+    }
+
+    /// A breaker with the default threshold/cooldown.
+    pub fn with_defaults() -> CircuitBreaker {
+        CircuitBreaker::new(DEFAULT_THRESHOLD, DEFAULT_COOLDOWN)
+    }
+
+    /// Whether the caller may touch the disk tier right now.
+    ///
+    /// Open → `false` until the cooldown elapses, then the *first*
+    /// caller becomes the half-open probe (`true`); concurrent callers
+    /// during the probe are rejected so one slow device cannot absorb a
+    /// thundering herd of probes. Every `true` must be followed by
+    /// [`record_success`](CircuitBreaker::record_success) or
+    /// [`record_failure`](CircuitBreaker::record_failure) on the same
+    /// request path.
+    pub fn allow(&self) -> bool {
+        let mut inner = self.inner.lock().expect("breaker poisoned");
+        match inner.state {
+            BreakerState::Closed => true,
+            BreakerState::Open => {
+                if Instant::now() >= inner.open_until {
+                    inner.state = BreakerState::HalfOpen;
+                    true
+                } else {
+                    inner.rejected += 1;
+                    false
+                }
+            }
+            BreakerState::HalfOpen => {
+                inner.rejected += 1;
+                false
+            }
+        }
+    }
+
+    /// A disk operation completed without a device error (including
+    /// misses and checksum rejections — the device answered).
+    pub fn record_success(&self) {
+        let mut inner = self.inner.lock().expect("breaker poisoned");
+        inner.state = BreakerState::Closed;
+        inner.consecutive_failures = 0;
+    }
+
+    /// A disk operation failed with a device error.
+    pub fn record_failure(&self) {
+        let mut inner = self.inner.lock().expect("breaker poisoned");
+        match inner.state {
+            BreakerState::Closed => {
+                inner.consecutive_failures += 1;
+                if inner.consecutive_failures >= self.threshold {
+                    open(&mut inner, self.cooldown);
+                }
+            }
+            // The probe failed: straight back to open, fresh cooldown.
+            BreakerState::HalfOpen => open(&mut inner, self.cooldown),
+            BreakerState::Open => {}
+        }
+    }
+
+    /// Whether the service should report `degraded`: the breaker is
+    /// anything but closed.
+    pub fn is_degraded(&self) -> bool {
+        self.inner.lock().expect("breaker poisoned").state != BreakerState::Closed
+    }
+
+    /// Point-in-time view for metrics/health documents.
+    pub fn snapshot(&self) -> BreakerSnapshot {
+        let inner = self.inner.lock().expect("breaker poisoned");
+        BreakerSnapshot {
+            state: inner.state,
+            consecutive_failures: inner.consecutive_failures,
+            threshold: self.threshold,
+            opened_total: inner.opened_total,
+            rejected: inner.rejected,
+        }
+    }
+}
+
+fn open(inner: &mut Inner, cooldown: Duration) {
+    inner.state = BreakerState::Open;
+    inner.open_until = Instant::now() + cooldown;
+    inner.opened_total += 1;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn instant() -> CircuitBreaker {
+        // Zero cooldown: an open breaker releases its probe immediately,
+        // letting tests walk the state machine without sleeping.
+        CircuitBreaker::new(3, Duration::from_secs(0))
+    }
+
+    #[test]
+    fn opens_after_threshold_consecutive_failures() {
+        let breaker = CircuitBreaker::new(3, Duration::from_secs(60));
+        breaker.record_failure();
+        breaker.record_failure();
+        assert!(breaker.allow(), "below threshold stays closed");
+        assert!(!breaker.is_degraded());
+        breaker.record_failure();
+        assert!(!breaker.allow(), "threshold reached: open");
+        assert!(breaker.is_degraded());
+        let snap = breaker.snapshot();
+        assert_eq!(snap.state, BreakerState::Open);
+        assert_eq!(snap.opened_total, 1);
+        assert_eq!(snap.rejected, 1);
+    }
+
+    #[test]
+    fn success_resets_the_consecutive_count() {
+        let breaker = CircuitBreaker::new(3, Duration::from_secs(60));
+        breaker.record_failure();
+        breaker.record_failure();
+        breaker.record_success();
+        breaker.record_failure();
+        breaker.record_failure();
+        assert!(breaker.allow(), "interleaved successes keep it closed");
+    }
+
+    #[test]
+    fn half_open_probe_closes_on_success() {
+        let breaker = instant();
+        for _ in 0..3 {
+            breaker.record_failure();
+        }
+        // Cooldown is zero: the next allow is the probe.
+        assert!(breaker.allow());
+        assert_eq!(breaker.snapshot().state, BreakerState::HalfOpen);
+        // Concurrent callers during the probe are rejected.
+        assert!(!breaker.allow());
+        breaker.record_success();
+        assert_eq!(breaker.snapshot().state, BreakerState::Closed);
+        assert!(breaker.allow());
+    }
+
+    #[test]
+    fn half_open_probe_reopens_on_failure() {
+        let breaker = instant();
+        for _ in 0..3 {
+            breaker.record_failure();
+        }
+        assert!(breaker.allow(), "probe released");
+        breaker.record_failure();
+        let snap = breaker.snapshot();
+        assert_eq!(snap.state, BreakerState::Open);
+        assert_eq!(snap.opened_total, 2, "probe failure re-opens");
+    }
+}

@@ -327,6 +327,9 @@ pub struct Response {
     pub content_type: &'static str,
     /// Response body.
     pub body: Vec<u8>,
+    /// Seconds for a `retry-after` header, when load shedding wants to
+    /// pace the client's retry instead of inviting an immediate one.
+    pub retry_after: Option<u64>,
 }
 
 impl Response {
@@ -336,6 +339,7 @@ impl Response {
             status,
             content_type: "application/json",
             body: body.into().into_bytes(),
+            retry_after: None,
         }
     }
 
@@ -345,7 +349,14 @@ impl Response {
             status,
             content_type: "text/plain; charset=utf-8",
             body: body.into().into_bytes(),
+            retry_after: None,
         }
+    }
+
+    /// Attach a `retry-after: seconds` header (used on `503` sheds).
+    pub fn with_retry_after(mut self, seconds: u64) -> Response {
+        self.retry_after = Some(seconds);
+        self
     }
 
     /// The standard reason phrase for this status.
@@ -358,6 +369,7 @@ impl Response {
             408 => "Request Timeout",
             413 => "Payload Too Large",
             422 => "Unprocessable Entity",
+            429 => "Too Many Requests",
             500 => "Internal Server Error",
             503 => "Service Unavailable",
             _ => "Unknown",
@@ -370,12 +382,17 @@ impl Response {
 /// interact with delayed ACK into ~40 ms stalls per response, which
 /// would dominate every latency percentile the service reports.
 pub fn encode_response(response: &Response, keep_alive: bool) -> Vec<u8> {
+    let retry_after = match response.retry_after {
+        Some(seconds) => format!("retry-after: {seconds}\r\n"),
+        None => String::new(),
+    };
     let mut message = format!(
-        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n",
+        "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\n{}connection: {}\r\n\r\n",
         response.status,
         response.reason(),
         response.content_type,
         response.body.len(),
+        retry_after,
         if keep_alive { "keep-alive" } else { "close" },
     )
     .into_bytes();
@@ -609,6 +626,17 @@ mod tests {
         let mut p = parser();
         p.feed(b"POST /a HTTP/1.1\r\ntransfer-encoding: chunked\r\n\r\n");
         assert!(matches!(p.next_request(), Err(ParseError::Malformed(_))));
+    }
+
+    #[test]
+    fn retry_after_header_is_emitted_only_when_set() {
+        let shed = Response::json(503, "{}").with_retry_after(2);
+        let wire = String::from_utf8(encode_response(&shed, false)).unwrap();
+        assert!(wire.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(wire.contains("\r\nretry-after: 2\r\n"), "wire: {wire}");
+        let ok = Response::json(200, "{}");
+        let wire = String::from_utf8(encode_response(&ok, true)).unwrap();
+        assert!(!wire.contains("retry-after"), "wire: {wire}");
     }
 
     #[test]

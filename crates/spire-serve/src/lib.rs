@@ -32,7 +32,8 @@
 //!   completion queue and a loopback waker.
 //! * [`loadtest`] — a closed- and open-loop load generator over the
 //!   benchmark programs that writes the `BENCH_serve.json` perf
-//!   trajectory (schema 4, with latency-under-load curves).
+//!   trajectory (schema 5, with latency-under-load curves and retry /
+//!   worker-failure accounting).
 //!
 //! The compile path sits on [`spire::SingleFlightCache`]: the
 //! content-addressed compile cache (lock-striped) with a single-flight
@@ -73,6 +74,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod api;
+pub mod breaker;
 pub mod conn;
 pub mod http;
 pub mod loadtest;
@@ -81,6 +83,7 @@ pub mod pool;
 pub mod server;
 
 pub use api::ApiError;
+pub use breaker::{BreakerSnapshot, BreakerState, CircuitBreaker};
 pub use loadtest::{LoadConfig, LoadReport, OpenLoopPoint, WarmupReport};
-pub use metrics::Metrics;
+pub use metrics::{Metrics, ServeHealth};
 pub use server::{default_threads, AppState, Server, ServerConfig};

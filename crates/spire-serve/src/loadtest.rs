@@ -20,7 +20,7 @@
 //! arrival time**, so time spent waiting behind a stalled schedule
 //! counts against the server, not the client. The resulting
 //! latency-under-load curve is serialized in the report's `open_loop`
-//! array (schema 4).
+//! array (schema 5).
 //!
 //! Measurement is preceded by a **warmup pass**: one connection touches
 //! every distinct request in the mix (each benchmark body through
@@ -129,6 +129,14 @@ pub struct LoadReport {
     pub server_errors: u64,
     /// Requests that died on the socket (reconnected after).
     pub transport_errors: u64,
+    /// Connect attempts that failed transiently and were retried with
+    /// backoff (a high count with low `transport_errors` means the
+    /// retry policy absorbed a flaky accept path).
+    pub connect_retries: u64,
+    /// Closed-loop workers that panicked instead of reporting. The
+    /// report aggregates the survivors — a partial measurement labeled
+    /// as partial beats an aborted run with no data at all.
+    pub workers_failed: u64,
     /// `/compile` requests sent.
     pub compile_requests: u64,
     /// `/simulate` requests sent.
@@ -175,6 +183,10 @@ pub struct OpenLoopPoint {
     /// generator could not keep up — queueing shows up in the corrected
     /// latencies either way, this counts how often it happened).
     pub late_starts: u64,
+    /// Transient connect failures retried with backoff.
+    pub connect_retries: u64,
+    /// Generator workers that panicked; survivors are aggregated.
+    pub workers_failed: u64,
     /// Median corrected latency, microseconds.
     pub p50_us: u64,
     /// 90th percentile.
@@ -194,6 +206,8 @@ impl OpenLoopPoint {
             .field("ok", self.ok)
             .field("errors", self.errors)
             .field("late_starts", self.late_starts)
+            .field("connect_retries", self.connect_retries)
+            .field("workers_failed", self.workers_failed)
             .field(
                 "latency_us",
                 Json::obj()
@@ -239,9 +253,10 @@ impl LoadReport {
     /// Serialize as the `BENCH_serve.json` document.
     pub fn to_json(&self) -> String {
         let mut doc = Json::obj()
-            .field("schema", 4u64)
+            .field("schema", 5u64)
             .field("mode", self.mode)
             .field("workers", self.workers)
+            .field("workers_failed", self.workers_failed)
             .field("duration_seconds", self.wall.as_secs_f64())
             .field(
                 "requests",
@@ -251,6 +266,7 @@ impl LoadReport {
                     .field("client_errors", self.client_errors)
                     .field("server_errors", self.server_errors)
                     .field("transport_errors", self.transport_errors)
+                    .field("connect_retries", self.connect_retries)
                     .field("compile", self.compile_requests)
                     .field("simulate", self.simulate_requests)
                     .field("check", self.check_requests),
@@ -314,9 +330,54 @@ struct WorkerOutcome {
     client_errors: u64,
     server_errors: u64,
     transport_errors: u64,
+    connect_retries: u64,
     compile_requests: u64,
     simulate_requests: u64,
     check_requests: u64,
+}
+
+/// Most connect attempts before a worker gives up on this iteration
+/// (the failure still only *counts*, it never aborts the run).
+const CONNECT_ATTEMPTS: u32 = 4;
+
+/// Base backoff before the first reconnect attempt; doubles per retry.
+const CONNECT_BACKOFF: Duration = Duration::from_millis(5);
+
+/// Connect with capped exponential backoff plus seeded jitter. A busy
+/// accept queue under load is *transient* — SYNs get dropped while the
+/// event loop drains a burst — so an immediate retry would pile onto
+/// exactly the congestion that failed, and a fixed sleep would
+/// resynchronize every failed worker into the next thundering herd.
+/// Doubling with jitter (`base + rand(0..base)`, capped by
+/// [`CONNECT_ATTEMPTS`]) spreads the retries out; the jitter draws from
+/// the worker's own seeded RNG so a run is reproducible per seed.
+/// Returns the stream (timeouts applied) or `None` after the attempts
+/// are exhausted, with `retries` counting every failed-then-retried
+/// attempt for the report.
+fn connect_with_retry(addr: &str, rng: &mut StdRng, retries: &mut u64) -> Option<TcpStream> {
+    let mut backoff = CONNECT_BACKOFF;
+    for attempt in 0..CONNECT_ATTEMPTS {
+        match TcpStream::connect(addr) {
+            Ok(stream) => {
+                let _ = crate::http::set_timeouts(
+                    &stream,
+                    Duration::from_secs(30),
+                    Duration::from_secs(30),
+                );
+                return Some(stream);
+            }
+            Err(_) => {
+                if attempt + 1 == CONNECT_ATTEMPTS {
+                    break;
+                }
+                *retries += 1;
+                let jitter_ns = rng.random_range(0..backoff.as_nanos().max(1) as u64);
+                std::thread::sleep(backoff + Duration::from_nanos(jitter_ns));
+                backoff *= 2;
+            }
+        }
+    }
+    None
 }
 
 /// Run a load test.
@@ -362,7 +423,11 @@ pub fn run(config: &LoadConfig) -> io::Result<LoadReport> {
 
     let deadline = Instant::now() + config.duration;
     let started = Instant::now();
-    let outcomes: Vec<WorkerOutcome> = std::thread::scope(|scope| {
+    // A panicking worker loses its own measurements, never the run:
+    // survivors are aggregated and the failure is counted in the
+    // report (`workers_failed`), so one bad thread degrades the sample
+    // instead of aborting a multi-second measurement.
+    let (outcomes, workers_failed) = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..config.workers)
             .map(|worker| {
                 let addr = addr.as_str();
@@ -381,10 +446,15 @@ pub fn run(config: &LoadConfig) -> io::Result<LoadReport> {
                 })
             })
             .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("load worker panicked"))
-            .collect()
+        let mut outcomes: Vec<WorkerOutcome> = Vec::new();
+        let mut failed = 0u64;
+        for handle in handles {
+            match handle.join() {
+                Ok(outcome) => outcomes.push(outcome),
+                Err(_) => failed += 1,
+            }
+        }
+        (outcomes, failed)
     });
     let wall = started.elapsed();
 
@@ -445,6 +515,8 @@ pub fn run(config: &LoadConfig) -> io::Result<LoadReport> {
         client_errors: sum(|o| o.client_errors),
         server_errors: sum(|o| o.server_errors),
         transport_errors: sum(|o| o.transport_errors),
+        connect_retries: sum(|o| o.connect_retries),
+        workers_failed,
         compile_requests: sum(|o| o.compile_requests),
         simulate_requests: sum(|o| o.simulate_requests),
         check_requests: sum(|o| o.check_requests),
@@ -489,7 +561,7 @@ fn open_loop_point(
     let next = std::sync::atomic::AtomicU64::new(0);
     let workers = (config.workers * 2).max(2);
     let started = Instant::now();
-    let outcomes: Vec<OpenLoopOutcome> = std::thread::scope(|scope| {
+    let (outcomes, workers_failed) = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..workers)
             .map(|worker| {
                 let next = &next;
@@ -509,10 +581,15 @@ fn open_loop_point(
                 })
             })
             .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("open-loop worker panicked"))
-            .collect()
+        let mut outcomes: Vec<OpenLoopOutcome> = Vec::new();
+        let mut failed = 0u64;
+        for handle in handles {
+            match handle.join() {
+                Ok(outcome) => outcomes.push(outcome),
+                Err(_) => failed += 1,
+            }
+        }
+        (outcomes, failed)
     });
     let wall = started.elapsed();
     let mut latencies: Vec<u64> = outcomes
@@ -532,6 +609,8 @@ fn open_loop_point(
         ok: outcomes.iter().map(|o| o.ok).sum(),
         errors: outcomes.iter().map(|o| o.errors).sum(),
         late_starts: outcomes.iter().map(|o| o.late_starts).sum(),
+        connect_retries: outcomes.iter().map(|o| o.connect_retries).sum(),
+        workers_failed,
         p50_us: percentile(&latencies, 50.0),
         p90_us: percentile(&latencies, 90.0),
         p99_us: percentile(&latencies, 99.0),
@@ -544,6 +623,7 @@ struct OpenLoopOutcome {
     ok: u64,
     errors: u64,
     late_starts: u64,
+    connect_retries: u64,
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -566,6 +646,7 @@ fn open_loop_worker(
         ok: 0,
         errors: 0,
         late_starts: 0,
+        connect_retries: 0,
     };
     let mut stream: Option<TcpStream> = None;
     loop {
@@ -591,16 +672,9 @@ fn open_loop_worker(
             ("/compile", compile_bodies[i].as_str())
         };
         if stream.is_none() {
-            match TcpStream::connect(addr) {
-                Ok(fresh) => {
-                    let _ = crate::http::set_timeouts(
-                        &fresh,
-                        Duration::from_secs(30),
-                        Duration::from_secs(30),
-                    );
-                    stream = Some(fresh);
-                }
-                Err(_) => {
+            match connect_with_retry(addr, &mut rng, &mut outcome.connect_retries) {
+                Some(fresh) => stream = Some(fresh),
+                None => {
                     outcome.errors += 1;
                     continue;
                 }
@@ -697,23 +771,17 @@ fn worker_loop(
         compile_requests: 0,
         simulate_requests: 0,
         check_requests: 0,
+        connect_retries: 0,
     };
     let mut stream: Option<TcpStream> = None;
     while Instant::now() < deadline {
         if stream.is_none() {
-            match TcpStream::connect(addr) {
-                Ok(fresh) => {
-                    let _ = crate::http::set_timeouts(
-                        &fresh,
-                        Duration::from_secs(30),
-                        Duration::from_secs(30),
-                    );
-                    stream = Some(fresh);
-                }
-                Err(_) => {
+            match connect_with_retry(addr, &mut rng, &mut outcome.connect_retries) {
+                Some(fresh) => stream = Some(fresh),
+                None => {
+                    // Every backoff attempt exhausted: the listener is
+                    // genuinely unreachable right now, not just busy.
                     outcome.transport_errors += 1;
-                    // Back off instead of hammering a dead listener.
-                    std::thread::sleep(Duration::from_millis(10));
                     continue;
                 }
             }

@@ -16,6 +16,26 @@ use std::time::Instant;
 
 use qcirc::json::Json;
 
+use crate::breaker::BreakerSnapshot;
+
+/// Serving-health extras for the `/metrics` document: disk-tier breaker
+/// state, any active fault injection, and memo-map residency — the
+/// observability half of the graceful-degradation story.
+#[derive(Debug, Default)]
+pub struct ServeHealth {
+    /// Breaker snapshot; `None` when the disk tier is disabled.
+    pub breaker: Option<BreakerSnapshot>,
+    /// Active fault-injection schedule `(label, stats)`; `None` when no
+    /// injection is configured (the production case).
+    pub faults: Option<(String, spire::FaultStats)>,
+    /// Resident bytes of the memoized `/compile` artifact map.
+    pub artifact_bytes: u64,
+    /// Resident bytes of the memoized `/check` report map.
+    pub report_bytes: u64,
+    /// Entries evicted from the two memo maps by their byte budgets.
+    pub memo_evictions: u64,
+}
+
 /// Number of power-of-two latency buckets.
 const BUCKETS: usize = 64;
 
@@ -208,13 +228,16 @@ impl Metrics {
     }
 
     /// The `/metrics` document body, combining service counters with the
-    /// compile layer's cache and single-flight statistics and (when the
-    /// persistent tier is enabled) the disk store's counters.
+    /// compile layer's cache and single-flight statistics, (when the
+    /// persistent tier is enabled) the disk store's counters, and the
+    /// degradation surface: breaker state, active fault injection, and
+    /// memory-budget residency.
     pub fn to_json_value(
         &self,
         cache: &spire::CacheStats,
         flights: &spire::FlightStats,
         disk: Option<&spire::DiskStats>,
+        health: &ServeHealth,
     ) -> Json {
         let load = Ordering::Relaxed;
         let total_cache = cache.hits + cache.misses;
@@ -251,7 +274,22 @@ impl Metrics {
                     .field("hits", cache.hits)
                     .field("misses", cache.misses)
                     .field("entries", cache.entries)
-                    .field("hit_rate", hit_rate),
+                    .field("hit_rate", hit_rate)
+                    .field("resident_bytes", cache.resident_bytes)
+                    .field("evictions", cache.evictions)
+                    .field("budget_bytes", cache.budget_bytes),
+            )
+            .field(
+                "memory",
+                Json::obj()
+                    .field("cache_bytes", cache.resident_bytes)
+                    .field("artifact_bytes", health.artifact_bytes)
+                    .field("report_bytes", health.report_bytes)
+                    .field(
+                        "resident_bytes",
+                        cache.resident_bytes + health.artifact_bytes + health.report_bytes,
+                    )
+                    .field("memo_evictions", health.memo_evictions),
             )
             .field(
                 "single_flight",
@@ -269,7 +307,40 @@ impl Metrics {
                         .field("misses", stats.misses)
                         .field("writes", stats.writes)
                         .field("corrupt_dropped", stats.corrupt_dropped)
-                        .field("entries", stats.entries as u64),
+                        .field("entries", stats.entries as u64)
+                        .field("io_errors", stats.io_errors)
+                        .field("garbage_bytes", stats.garbage_bytes)
+                        .field("log_bytes", stats.log_bytes)
+                        .field("compactions", stats.compactions),
+                },
+            )
+            .field(
+                "breaker",
+                match &health.breaker {
+                    None => Json::obj().field("enabled", false),
+                    Some(snapshot) => Json::obj()
+                        .field("enabled", true)
+                        .field("state", snapshot.state.label())
+                        .field(
+                            "consecutive_failures",
+                            u64::from(snapshot.consecutive_failures),
+                        )
+                        .field("threshold", u64::from(snapshot.threshold))
+                        .field("opened_total", snapshot.opened_total)
+                        .field("rejected", snapshot.rejected),
+                },
+            )
+            .field(
+                "faults",
+                match &health.faults {
+                    None => Json::obj().field("injecting", false),
+                    Some((label, stats)) => Json::obj()
+                        .field("injecting", true)
+                        .field("schedule", label.as_str())
+                        .field("ops", stats.ops)
+                        .field("written_bytes", stats.written_bytes)
+                        .field("injected", stats.injected)
+                        .field("crashed", stats.crashed),
                 },
             )
             .build()
@@ -340,6 +411,8 @@ mod tests {
             hits: 3,
             misses: 1,
             entries: 1,
+            resident_bytes: 2048,
+            ..Default::default()
         };
         let flights = spire::FlightStats {
             led: 1,
@@ -351,9 +424,18 @@ mod tests {
             writes: 5,
             corrupt_dropped: 0,
             entries: 5,
+            io_errors: 1,
+            ..Default::default()
+        };
+        let health = ServeHealth {
+            breaker: Some(crate::breaker::CircuitBreaker::with_defaults().snapshot()),
+            faults: Some(("eio:all".to_string(), spire::FaultStats::default())),
+            artifact_bytes: 512,
+            report_bytes: 256,
+            memo_evictions: 3,
         };
         let doc = metrics
-            .to_json_value(&cache, &flights, Some(&disk))
+            .to_json_value(&cache, &flights, Some(&disk), &health)
             .to_string();
         let parsed = qcirc::json::parse(&doc).unwrap();
         assert_eq!(
@@ -384,6 +466,34 @@ mod tests {
                 .and_then(Json::as_u64),
             Some(4)
         );
+        assert_eq!(
+            parsed
+                .get("disk")
+                .and_then(|d| d.get("io_errors"))
+                .and_then(Json::as_u64),
+            Some(1)
+        );
+        assert_eq!(
+            parsed
+                .get("breaker")
+                .and_then(|b| b.get("state"))
+                .and_then(Json::as_str),
+            Some("closed")
+        );
+        assert_eq!(
+            parsed
+                .get("faults")
+                .and_then(|f| f.get("schedule"))
+                .and_then(Json::as_str),
+            Some("eio:all")
+        );
+        assert_eq!(
+            parsed
+                .get("memory")
+                .and_then(|m| m.get("resident_bytes"))
+                .and_then(Json::as_u64),
+            Some(2048 + 512 + 256)
+        );
     }
 
     #[test]
@@ -394,6 +504,7 @@ mod tests {
                 &spire::CacheStats::default(),
                 &spire::FlightStats::default(),
                 None,
+                &ServeHealth::default(),
             )
             .to_string();
         let parsed = qcirc::json::parse(&doc).unwrap();
@@ -401,6 +512,20 @@ mod tests {
             parsed
                 .get("disk")
                 .and_then(|d| d.get("enabled"))
+                .and_then(Json::as_bool),
+            Some(false)
+        );
+        assert_eq!(
+            parsed
+                .get("breaker")
+                .and_then(|b| b.get("enabled"))
+                .and_then(Json::as_bool),
+            Some(false)
+        );
+        assert_eq!(
+            parsed
+                .get("faults")
+                .and_then(|f| f.get("injecting"))
                 .and_then(Json::as_bool),
             Some(false)
         );

@@ -30,7 +30,7 @@
 //! their responses are written (bounded by a grace period), then the
 //! pool drains and the call returns.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io::{self, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::fd::AsRawFd;
@@ -41,8 +41,9 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use qcirc::json::Json;
-use spire::{DiskStore, SingleFlightCache};
+use spire::{DiskStore, FaultSchedule, SingleFlightCache};
 
+use crate::breaker::{CircuitBreaker, DEFAULT_COOLDOWN, DEFAULT_THRESHOLD};
 use crate::conn::{Conn, ConnState, Token};
 use crate::http::{self, Limits, ParseError, Request, Response};
 use crate::metrics::Metrics;
@@ -75,6 +76,23 @@ pub struct ServerConfig {
     /// Directory for the persistent compile-artifact tier; `None`
     /// serves from memory only (restarts start cold).
     pub cache_dir: Option<PathBuf>,
+    /// Total memory budget (bytes) across the compile cache and the
+    /// memoized artifact/report maps; `None` is unbounded. The budget
+    /// splits half to the compile cache, a quarter each to the
+    /// artifact and report maps, all evicted second-chance.
+    pub cache_bytes: Option<u64>,
+    /// How long a dispatched request may wait for a worker before it is
+    /// shed with `503` + `retry-after` instead of being served stale.
+    pub request_deadline: Duration,
+    /// Fault-injection schedule for the disk tier (testing/chaos only;
+    /// [`FaultSchedule::none`] in production).
+    pub disk_faults: Option<Arc<FaultSchedule>>,
+    /// Compact the persistent store once at startup, before serving.
+    pub compact_on_start: bool,
+    /// Consecutive disk I/O errors that open the circuit breaker.
+    pub disk_failure_threshold: u32,
+    /// How long an open breaker waits before releasing a probe.
+    pub disk_cooldown: Duration,
 }
 
 impl Default for ServerConfig {
@@ -89,6 +107,12 @@ impl Default for ServerConfig {
             max_keepalive_requests: 1000,
             max_connections: 1024,
             cache_dir: None,
+            cache_bytes: None,
+            request_deadline: Duration::from_secs(5),
+            disk_faults: None,
+            compact_on_start: false,
+            disk_failure_threshold: DEFAULT_THRESHOLD,
+            disk_cooldown: DEFAULT_COOLDOWN,
         }
     }
 }
@@ -102,6 +126,107 @@ pub fn default_threads() -> usize {
         .min(16)
 }
 
+/// A byte-budgeted memo map with second-chance (clock) eviction — the
+/// bounded form of the artifact/report maps. Weight is the approximate
+/// in-memory size of the JSON tree ([`json_weight`]); a budget of 0
+/// means unbounded.
+#[derive(Debug)]
+struct BoundedJsonMap {
+    entries: HashMap<u128, MapEntry>,
+    /// Clock order; may hold stale keys (skipped on pop).
+    clock: VecDeque<u128>,
+    budget: u64,
+    resident: u64,
+    evictions: u64,
+}
+
+#[derive(Debug)]
+struct MapEntry {
+    value: Arc<Json>,
+    bytes: u64,
+    referenced: bool,
+}
+
+impl BoundedJsonMap {
+    fn new(budget: u64) -> BoundedJsonMap {
+        BoundedJsonMap {
+            entries: HashMap::new(),
+            clock: VecDeque::new(),
+            budget,
+            resident: 0,
+            evictions: 0,
+        }
+    }
+
+    fn get(&mut self, key: u128) -> Option<Arc<Json>> {
+        let entry = self.entries.get_mut(&key)?;
+        entry.referenced = true;
+        Some(Arc::clone(&entry.value))
+    }
+
+    fn insert(&mut self, key: u128, value: Arc<Json>) {
+        if self.entries.contains_key(&key) {
+            // Content-addressed: a racing insert carries identical data.
+            return;
+        }
+        let bytes = json_weight(&value);
+        self.entries.insert(
+            key,
+            MapEntry {
+                value,
+                bytes,
+                referenced: true,
+            },
+        );
+        self.clock.push_back(key);
+        self.resident += bytes;
+        self.evict_to_budget();
+    }
+
+    /// Clock sweep: referenced entries get one more lap, unreferenced
+    /// ones are evicted, until the map fits its budget. Terminates
+    /// because each pass either evicts or clears a referenced bit that
+    /// nothing can re-set while `&mut self` is held.
+    fn evict_to_budget(&mut self) {
+        if self.budget == 0 {
+            return;
+        }
+        while self.resident > self.budget {
+            let Some(key) = self.clock.pop_front() else {
+                break;
+            };
+            let Some(entry) = self.entries.get_mut(&key) else {
+                continue; // stale slot
+            };
+            if entry.referenced {
+                entry.referenced = false;
+                self.clock.push_back(key);
+            } else {
+                let removed = self.entries.remove(&key).expect("present above");
+                self.resident -= removed.bytes;
+                self.evictions += 1;
+            }
+        }
+    }
+}
+
+/// Approximate resident bytes of a JSON tree: container and scalar
+/// overheads plus string payloads. A weight for budget accounting, not
+/// an exact heap measurement.
+fn json_weight(value: &Json) -> u64 {
+    match value {
+        Json::Null | Json::Bool(_) | Json::Int(_) | Json::UInt(_) | Json::Float(_) => 8,
+        Json::Str(s) => 24 + s.capacity() as u64,
+        Json::Array(items) => 24 + items.iter().map(json_weight).sum::<u64>(),
+        Json::Object(fields) => {
+            24 + fields
+                .iter()
+                .map(|(name, field)| 32 + name.capacity() as u64 + json_weight(field))
+                .sum::<u64>()
+        }
+    }
+}
+
 /// Shared state every request handler sees.
 #[derive(Debug)]
 pub struct AppState {
@@ -109,18 +234,22 @@ pub struct AppState {
     pub compiler: SingleFlightCache,
     /// Service counters and latency histograms.
     pub metrics: Metrics,
+    /// Circuit breaker guarding the disk tier: consecutive device
+    /// errors open it and the serving path skips disk (memory tiers
+    /// keep answering) until a cooled-down probe succeeds.
+    pub breaker: CircuitBreaker,
     /// Response-ready `/compile` artifacts by compile key, memoized on
     /// first build (and decoded from the disk tier on a warm restart).
     /// Building an artifact re-emits the circuit and renders its `.qc`
     /// text — milliseconds of CPU per request that a cache hit must pay
     /// at most once, not every time.
-    artifacts: Mutex<HashMap<u128, Arc<Json>>>,
+    artifacts: Mutex<BoundedJsonMap>,
     /// Rendered `/check` verification reports by compile key. The
     /// static analyses are deterministic over the compiled program, so
     /// re-verifying a cached compilation would burn tens of
     /// milliseconds of worker CPU per request to recompute a value the
     /// content address already pins.
-    reports: Mutex<HashMap<u128, Arc<Json>>>,
+    reports: Mutex<BoundedJsonMap>,
     /// The persistent content-addressed artifact store, when enabled.
     disk: Option<DiskStore>,
 }
@@ -131,8 +260,9 @@ impl AppState {
         AppState {
             compiler: SingleFlightCache::new(),
             metrics: Metrics::new(),
-            artifacts: Mutex::new(HashMap::new()),
-            reports: Mutex::new(HashMap::new()),
+            breaker: CircuitBreaker::with_defaults(),
+            artifacts: Mutex::new(BoundedJsonMap::new(0)),
+            reports: Mutex::new(BoundedJsonMap::new(0)),
             disk: None,
         }
     }
@@ -149,6 +279,46 @@ impl AppState {
         Ok(state)
     }
 
+    /// State per [`ServerConfig`]: memory budget split across the
+    /// compile cache (half) and the artifact/report maps (a quarter
+    /// each), the configured breaker, and the persistent tier opened
+    /// with any fault-injection schedule (optionally compacted before
+    /// serving).
+    ///
+    /// # Errors
+    ///
+    /// Propagates store open failures. A failed `compact_on_start` is
+    /// *not* an error: it is counted in the store's `io_errors` and the
+    /// server starts (possibly degraded) — robustness means a full or
+    /// flaky disk delays compaction, it does not keep the service down.
+    pub fn from_config(config: &ServerConfig) -> io::Result<Self> {
+        let (compiler, memo_budget) = match config.cache_bytes {
+            Some(total) => (SingleFlightCache::with_budget(total / 2), total / 4),
+            None => (SingleFlightCache::new(), 0),
+        };
+        let disk = match &config.cache_dir {
+            Some(dir) => {
+                let store = match &config.disk_faults {
+                    Some(faults) => DiskStore::open_with(dir, Arc::clone(faults))?,
+                    None => DiskStore::open(dir)?,
+                };
+                if config.compact_on_start {
+                    let _ = store.compact();
+                }
+                Some(store)
+            }
+            None => None,
+        };
+        Ok(AppState {
+            compiler,
+            metrics: Metrics::new(),
+            breaker: CircuitBreaker::new(config.disk_failure_threshold, config.disk_cooldown),
+            artifacts: Mutex::new(BoundedJsonMap::new(memo_budget)),
+            reports: Mutex::new(BoundedJsonMap::new(memo_budget)),
+            disk,
+        })
+    }
+
     /// The persistent artifact store, when configured.
     pub fn disk(&self) -> Option<&DiskStore> {
         self.disk.as_ref()
@@ -159,8 +329,7 @@ impl AppState {
         self.artifacts
             .lock()
             .expect("artifact map poisoned")
-            .get(&key)
-            .cloned()
+            .get(key)
     }
 
     /// Remember a decoded disk artifact for subsequent requests.
@@ -173,11 +342,7 @@ impl AppState {
 
     /// A memoized `/check` verification report for a compile key.
     pub fn report(&self, key: u128) -> Option<Arc<Json>> {
-        self.reports
-            .lock()
-            .expect("report map poisoned")
-            .get(&key)
-            .cloned()
+        self.reports.lock().expect("report map poisoned").get(key)
     }
 
     /// Remember a verification report for subsequent `/check` requests
@@ -187,6 +352,19 @@ impl AppState {
             .lock()
             .expect("report map poisoned")
             .insert(key, report);
+    }
+
+    /// Resident bytes and eviction counts of the two memo maps, as
+    /// `(artifact_bytes, report_bytes, evictions)` — the `/metrics`
+    /// memory gauges beyond the compile cache's own stats.
+    pub fn memo_stats(&self) -> (u64, u64, u64) {
+        let artifacts = self.artifacts.lock().expect("artifact map poisoned");
+        let reports = self.reports.lock().expect("report map poisoned");
+        (
+            artifacts.resident,
+            reports.resident,
+            artifacts.evictions + reports.evictions,
+        )
     }
 }
 
@@ -283,10 +461,7 @@ impl Server {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         listener.set_nonblocking(true)?;
-        let state = Arc::new(match &config.cache_dir {
-            Some(dir) => AppState::with_cache_dir(dir)?,
-            None => AppState::new(),
-        });
+        let state = Arc::new(AppState::from_config(&config)?);
         let stop = Arc::new(AtomicBool::new(false));
         let (waker, waker_rx) = wake_pair()?;
         let event_loop = {
@@ -513,7 +688,8 @@ impl EventLoop {
     fn shed_connection(&self, stream: TcpStream) {
         self.state.metrics.record_shed();
         self.state.metrics.record_status(503);
-        let response = error_response(503, "server/overloaded", "connection limit reached");
+        let response = error_response(503, "server/overloaded", "connection limit reached")
+            .with_retry_after(1);
         let _ = stream.set_nonblocking(true);
         let mut stream = stream;
         let _ = stream.write(&http::encode_response(&response, false));
@@ -610,12 +786,30 @@ impl EventLoop {
         conn.state = ConnState::Processing;
         let state = Arc::clone(&self.state);
         let completions = Arc::clone(&self.completions);
+        let enqueued = Instant::now();
+        let deadline = self.config.request_deadline;
         let outcome = self
             .pool
             .as_ref()
             .expect("pool lives for the loop")
             .try_execute(move || {
-                let response = handle_request(&state, &request);
+                // Deadline shedding: a request that waited out its
+                // deadline in the queue is answered `503` + retry-after
+                // instead of burning a worker on a response the client
+                // has likely already given up on — under sustained
+                // overload this keeps queue wait bounded rather than
+                // serving every request arbitrarily late.
+                let response = if enqueued.elapsed() > deadline {
+                    state.metrics.record_shed();
+                    error_response(
+                        503,
+                        "server/deadline",
+                        "request waited past its deadline in the queue",
+                    )
+                    .with_retry_after(1)
+                } else {
+                    handle_request(&state, &request)
+                };
                 state.metrics.record_status(response.status);
                 completions.push(token, response);
             });
@@ -628,7 +822,7 @@ impl EventLoop {
                 Rejected::Full => "request backlog is full",
                 Rejected::ShuttingDown => "server is shutting down",
             };
-            let response = error_response(503, "server/overloaded", message);
+            let response = error_response(503, "server/overloaded", message).with_retry_after(1);
             self.state.metrics.record_status(503);
             let conn = self.conns.get_mut(&token).expect("still live");
             conn.queue_response(&response, false);
@@ -733,4 +927,54 @@ fn error_response(status: u16, code: &str, message: &str) -> Response {
         message: message.to_string(),
     }
     .response()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(bytes: usize) -> Arc<Json> {
+        Arc::new(Json::obj().field("payload", "x".repeat(bytes)).build())
+    }
+
+    #[test]
+    fn bounded_map_stays_under_budget_and_keeps_hot_keys() {
+        let mut map = BoundedJsonMap::new(4096);
+        // A cold sentinel ahead of the hot key in clock order: the
+        // first full sweep (where every bit is still set) reclaims it,
+        // not the hot key.
+        map.insert(999, doc(256));
+        map.insert(0, doc(256));
+        for key in 1..64u128 {
+            // Key 0 is touched before every insert: the referenced bit
+            // gives it a second chance on each eviction sweep.
+            let _ = map.get(0);
+            map.insert(key, doc(256));
+        }
+        assert!(
+            map.resident <= 4096,
+            "resident {} exceeds budget",
+            map.resident
+        );
+        assert!(map.evictions > 0, "evictions must have occurred");
+        assert!(map.get(0).is_some(), "hot key survived the sweeps");
+    }
+
+    #[test]
+    fn unbounded_map_never_evicts() {
+        let mut map = BoundedJsonMap::new(0);
+        for key in 0..64u128 {
+            map.insert(key, doc(1024));
+        }
+        assert_eq!(map.entries.len(), 64);
+        assert_eq!(map.evictions, 0);
+    }
+
+    #[test]
+    fn json_weight_scales_with_content() {
+        let small = json_weight(&Json::from(1u64));
+        let big = json_weight(&doc(10_000));
+        assert!(small < 64);
+        assert!(big > 10_000);
+    }
 }

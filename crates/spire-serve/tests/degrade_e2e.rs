@@ -1,0 +1,173 @@
+//! Graceful-degradation end-to-end: a server whose disk tier fails
+//! every I/O keeps answering `/compile` from memory, flips `/healthz`
+//! to `degraded` once the circuit breaker opens, and reports the
+//! breaker + fault-injection state in `/metrics`. A second test pins
+//! the resource-governance acceptance: sustained distinct-source
+//! traffic under `cache_bytes` holds resident bytes within budget.
+
+use std::net::TcpStream;
+use std::time::Duration;
+
+use qcirc::json::{parse, Json};
+use spire::FaultSchedule;
+use spire_serve::http::client_roundtrip;
+use spire_serve::{Server, ServerConfig};
+
+fn source(k: usize) -> String {
+    format!("fun f(x: uint) -> uint {{ let y <- x + {k}; return y; }}")
+}
+
+fn compile_body(k: usize) -> String {
+    Json::obj()
+        .field("source", source(k))
+        .field("entry", "f")
+        .field("depth", 2i64)
+        .build()
+        .to_string()
+}
+
+fn get_json(server: &Server, path: &str) -> (u16, Json) {
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    let (status, body) = client_roundtrip(&mut stream, "GET", path, None).unwrap();
+    let doc = parse(std::str::from_utf8(&body).unwrap()).unwrap();
+    (status, doc)
+}
+
+fn post_compile(server: &Server, k: usize) -> Json {
+    let mut stream = TcpStream::connect(server.addr()).unwrap();
+    let (status, body) =
+        client_roundtrip(&mut stream, "POST", "/compile", Some(&compile_body(k))).unwrap();
+    assert_eq!(status, 200, "{}", String::from_utf8_lossy(&body));
+    parse(std::str::from_utf8(&body).unwrap()).unwrap()
+}
+
+fn tempdir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("spire-degrade-e2e-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn always_failing_disk_degrades_to_memory_only() {
+    let dir = tempdir("eio");
+    let server = Server::start(ServerConfig {
+        cache_dir: Some(dir.clone()),
+        disk_faults: Some(FaultSchedule::parse("eio:all").unwrap()),
+        disk_failure_threshold: 2,
+        // Long enough that the breaker cannot slip into half-open and
+        // back to closed mid-test.
+        disk_cooldown: Duration::from_secs(120),
+        ..ServerConfig::default()
+    })
+    .expect("server must boot even when every disk I/O will fail");
+
+    // Before any disk traffic the breaker is closed and health is ok.
+    let (status, health) = get_json(&server, "/healthz");
+    assert_eq!(status, 200);
+    assert_eq!(health.get("status").and_then(Json::as_str), Some("ok"));
+
+    // Distinct sources force a persist attempt per request; every
+    // attempt fails, yet every request is answered from the compiler.
+    for k in 0..4 {
+        let reply = post_compile(&server, k);
+        assert_eq!(reply.get("served").and_then(Json::as_str), Some("compiled"));
+    }
+
+    // The breaker opened after the configured threshold and /healthz
+    // says so — while still returning 200, because the service as a
+    // whole is up, just degraded.
+    let (status, health) = get_json(&server, "/healthz");
+    assert_eq!(status, 200, "degraded health must not fail the probe");
+    assert_eq!(
+        health.get("status").and_then(Json::as_str),
+        Some("degraded")
+    );
+    let disk = health.get("disk").expect("disk block when tier enabled");
+    assert_eq!(disk.get("breaker").and_then(Json::as_str), Some("open"));
+    assert!(disk.get("opened_total").and_then(Json::as_u64).unwrap() >= 1);
+
+    // /metrics exposes the full degradation story: breaker state, the
+    // injected-fault accounting, and the disk error counters.
+    let (_, metrics) = get_json(&server, "/metrics");
+    let breaker = metrics.get("breaker").expect("breaker block");
+    assert_eq!(breaker.get("enabled"), Some(&Json::Bool(true)));
+    assert_eq!(breaker.get("state").and_then(Json::as_str), Some("open"));
+    let faults = metrics.get("faults").expect("faults block");
+    assert_eq!(faults.get("injecting"), Some(&Json::Bool(true)));
+    assert_eq!(
+        faults.get("schedule").and_then(Json::as_str),
+        Some("eio:all")
+    );
+    assert!(faults.get("injected").and_then(Json::as_u64).unwrap() >= 2);
+    let disk = metrics.get("disk").expect("disk block");
+    assert!(disk.get("io_errors").and_then(Json::as_u64).unwrap() >= 2);
+    assert_eq!(disk.get("writes").and_then(Json::as_u64), Some(0));
+
+    // Memory-only service keeps working: a repeat of an already-compiled
+    // source is a cache hit, with zero server errors along the way.
+    let reply = post_compile(&server, 0);
+    assert_eq!(reply.get("served").and_then(Json::as_str), Some("cache"));
+    let (_, metrics) = get_json(&server, "/metrics");
+    assert_eq!(
+        metrics
+            .get("responses")
+            .and_then(|r| r.get("server_5xx"))
+            .and_then(Json::as_u64)
+            .unwrap_or(0),
+        0,
+        "disk faults must never surface as 5xx to clients"
+    );
+
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn distinct_source_traffic_stays_under_cache_budget() {
+    const BUDGET: u64 = 64 * 1024;
+    let server = Server::start(ServerConfig {
+        cache_bytes: Some(BUDGET),
+        ..ServerConfig::default()
+    })
+    .unwrap();
+
+    for k in 0..48 {
+        let reply = post_compile(&server, k);
+        assert_eq!(reply.get("served").and_then(Json::as_str), Some("compiled"));
+        // The governed invariant, checked under sustained load rather
+        // than only at the end: resident bytes never exceed the slice
+        // of the budget given to the compile cache.
+        let (_, metrics) = get_json(&server, "/metrics");
+        let cache = metrics.get("cache").expect("cache block");
+        let resident = cache.get("resident_bytes").and_then(Json::as_u64).unwrap();
+        let budget = cache.get("budget_bytes").and_then(Json::as_u64).unwrap();
+        assert!(budget > 0, "budget must be configured");
+        assert!(
+            resident <= budget,
+            "resident {resident} exceeds budget {budget} after {k} distinct sources"
+        );
+        // The whole governed footprint — compile cache plus the two
+        // memo maps — fits the configured budget (split B/2 + B/4 + B/4).
+        let memory = metrics.get("memory").expect("memory block");
+        let total = memory.get("resident_bytes").and_then(Json::as_u64).unwrap();
+        assert!(
+            total <= BUDGET,
+            "total resident {total} exceeds --cache-bytes {BUDGET}"
+        );
+    }
+
+    // The budget was actually exercised, not merely configured: with 48
+    // distinct programs something must have been evicted.
+    let (_, metrics) = get_json(&server, "/metrics");
+    let evictions = metrics
+        .get("cache")
+        .and_then(|c| c.get("evictions"))
+        .and_then(Json::as_u64)
+        .unwrap();
+    assert!(
+        evictions > 0,
+        "48 distinct sources against a 64 KiB budget must evict"
+    );
+    server.shutdown();
+}

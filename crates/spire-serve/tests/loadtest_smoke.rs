@@ -57,7 +57,7 @@ fn quick_loadtest_produces_a_well_formed_report() {
     // The serialized document parses and carries the schema the CI
     // artifact consumers read.
     let doc = parse(report.to_json().trim()).expect("report JSON parses");
-    assert_eq!(doc.get("schema").and_then(Json::as_u64), Some(4));
+    assert_eq!(doc.get("schema").and_then(Json::as_u64), Some(5));
     assert_eq!(doc.get("mode").and_then(Json::as_str), Some("quick"));
     assert!(doc.get("throughput_rps").and_then(Json::as_f64).unwrap() > 0.0);
     let latency = doc.get("latency_us").expect("latency section");

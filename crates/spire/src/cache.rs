@@ -31,6 +31,19 @@
 //! [`CompileCache::stats`] locks *all* shards before reading any of
 //! them, keeping the full snapshot consistent.
 //!
+//! A cache may carry a **byte budget**
+//! ([`CompileCache::with_budget`]): sustained distinct-source traffic
+//! must degrade to cache misses, not unbounded memory growth. The
+//! budget is split evenly across the shards, each shard accounts the
+//! approximate resident bytes of its entries
+//! ([`Compiled::approx_bytes`]), and going over budget evicts via the
+//! **second-chance (clock)** policy: entries cycle through a queue with
+//! a referenced bit that any hit sets; an unreferenced entry at the
+//! front is evicted, a referenced one is unset and sent to the back.
+//! Eviction changes only *which* keys miss — a budgeted cache returns
+//! the same compilations an unbudgeted one would, because compilation
+//! is deterministic (`cache_props.rs` pins this equivalence).
+//!
 //! # Example
 //!
 //! ```
@@ -49,7 +62,7 @@
 //! # Ok::<(), spire::SpireError>(())
 //! ```
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -133,16 +146,25 @@ pub struct CacheStats {
     pub misses: u64,
     /// Distinct compiled programs currently stored.
     pub entries: usize,
+    /// Approximate bytes resident across all shards.
+    pub resident_bytes: u64,
+    /// Entries evicted by the second-chance policy.
+    pub evictions: u64,
+    /// Total byte budget across all shards (0 = unbounded).
+    pub budget_bytes: u64,
 }
 
 impl CacheStats {
-    /// Counter difference since an earlier snapshot (entry count is the
-    /// current value, not a difference).
+    /// Counter difference since an earlier snapshot (entry count,
+    /// resident bytes, and budget are current values, not differences).
     pub fn since(&self, earlier: &CacheStats) -> CacheStats {
         CacheStats {
             hits: self.hits - earlier.hits,
             misses: self.misses - earlier.misses,
             entries: self.entries,
+            resident_bytes: self.resident_bytes,
+            evictions: self.evictions - earlier.evictions,
+            budget_bytes: self.budget_bytes,
         }
     }
 }
@@ -178,11 +200,79 @@ pub struct CompileCache {
     shards: [Mutex<CacheShard>; SHARDS],
 }
 
+/// One cached compilation plus its eviction bookkeeping.
+#[derive(Debug)]
+struct ShardEntry {
+    value: Arc<Compiled>,
+    /// Accounted weight, frozen at insert ([`Compiled::approx_bytes`]).
+    bytes: u64,
+    /// Second-chance bit: set by every hit, cleared by a clock pass.
+    referenced: bool,
+}
+
 #[derive(Debug, Default)]
 struct CacheShard {
-    entries: HashMap<u128, Arc<Compiled>>,
+    entries: HashMap<u128, ShardEntry>,
+    /// Clock order for second-chance eviction (only used when budgeted).
+    clock: VecDeque<u128>,
+    /// Per-shard byte budget; 0 = unbounded.
+    budget: u64,
+    resident_bytes: u64,
     hits: u64,
     misses: u64,
+    evictions: u64,
+}
+
+impl CacheShard {
+    /// Insert (or adopt a racing insert of) `value` under `key`,
+    /// then evict down to budget.
+    fn insert(&mut self, key: u128, value: Arc<Compiled>) -> Arc<Compiled> {
+        if let Some(existing) = self.entries.get(&key) {
+            // A racing thread inserted the same key; keep the first
+            // insert so existing Arcs stay shared.
+            return Arc::clone(&existing.value);
+        }
+        let bytes = value.approx_bytes();
+        self.entries.insert(
+            key,
+            ShardEntry {
+                value: Arc::clone(&value),
+                bytes,
+                referenced: true,
+            },
+        );
+        self.clock.push_back(key);
+        self.resident_bytes += bytes;
+        self.evict_to_budget();
+        value
+    }
+
+    /// Second-chance eviction until resident bytes fit the budget:
+    /// rotate referenced entries (clearing their bit), evict the first
+    /// unreferenced one. Terminates because every rotation clears a
+    /// bit and every eviction shrinks the clock.
+    fn evict_to_budget(&mut self) {
+        if self.budget == 0 {
+            return;
+        }
+        while self.resident_bytes > self.budget {
+            let Some(key) = self.clock.pop_front() else {
+                break;
+            };
+            let Some(entry) = self.entries.get_mut(&key) else {
+                // Stale clock slot from a clear(); skip it.
+                continue;
+            };
+            if entry.referenced {
+                entry.referenced = false;
+                self.clock.push_back(key);
+            } else {
+                let evicted = self.entries.remove(&key).expect("entry just seen");
+                self.resident_bytes -= evicted.bytes;
+                self.evictions += 1;
+            }
+        }
+    }
 }
 
 impl Default for CompileCache {
@@ -194,9 +284,27 @@ impl Default for CompileCache {
 }
 
 impl CompileCache {
-    /// An empty cache.
+    /// An empty, unbounded cache.
     pub fn new() -> Self {
         CompileCache::default()
+    }
+
+    /// An empty cache holding at most ~`total_bytes` of compilations
+    /// (approximate accounting via [`Compiled::approx_bytes`]), split
+    /// evenly across the shards and enforced by second-chance
+    /// eviction. `0` means unbounded (same as [`CompileCache::new`]).
+    pub fn with_budget(total_bytes: u64) -> Self {
+        let cache = CompileCache::default();
+        if total_bytes > 0 {
+            // Every shard gets an equal slice; at least one byte so a
+            // tiny budget still bounds (to roughly one entry per shard)
+            // rather than silently meaning "unbounded".
+            let per_shard = (total_bytes / SHARDS as u64).max(1);
+            for shard in &cache.shards {
+                shard.lock().expect("compile cache poisoned").budget = per_shard;
+            }
+        }
+        cache
     }
 
     fn shard(&self, key: CacheKey) -> &Mutex<CacheShard> {
@@ -234,15 +342,17 @@ impl CompileCache {
         let compiled = Arc::new(compile_source(source, entry, depth, config, options)?);
         let mut shard = self.shard(key).lock().expect("compile cache poisoned");
         shard.misses += 1;
-        // A racing thread may have inserted the same key; keep the first
-        // insert so existing Arcs stay shared.
-        Ok(shard.entries.entry(key.0).or_insert(compiled).clone())
+        Ok(shard.insert(key.0, compiled))
     }
 
-    /// Look up a key without compiling. Counts a hit when present.
+    /// Look up a key without compiling. Counts a hit (and marks the
+    /// entry recently used) when present.
     pub fn lookup(&self, key: CacheKey) -> Option<Arc<Compiled>> {
         let mut shard = self.shard(key).lock().expect("compile cache poisoned");
-        let found = shard.entries.get(&key.0).cloned();
+        let found = shard.entries.get_mut(&key.0).map(|entry| {
+            entry.referenced = true;
+            Arc::clone(&entry.value)
+        });
         if found.is_some() {
             shard.hits += 1;
         }
@@ -265,11 +375,10 @@ impl CompileCache {
     /// Drop every cached program (counters are kept).
     pub fn clear(&self) {
         for shard in &self.shards {
-            shard
-                .lock()
-                .expect("compile cache poisoned")
-                .entries
-                .clear();
+            let mut shard = shard.lock().expect("compile cache poisoned");
+            shard.entries.clear();
+            shard.clock.clear();
+            shard.resident_bytes = 0;
         }
     }
 
@@ -289,6 +398,9 @@ impl CompileCache {
             stats.hits += shard.hits;
             stats.misses += shard.misses;
             stats.entries += shard.entries.len();
+            stats.resident_bytes += shard.resident_bytes;
+            stats.evictions += shard.evictions;
+            stats.budget_bytes += shard.budget;
         }
         stats
     }
@@ -382,6 +494,60 @@ mod tests {
             shards.len()
         );
         assert!(shards.iter().all(|&s| s < SHARDS));
+    }
+
+    #[test]
+    fn budget_bounds_resident_bytes_and_second_chance_keeps_hot_keys() {
+        // A budget roughly two entries wide: inserting many distinct
+        // programs must evict, never exceed the accounted budget, and
+        // keep serving correct results.
+        let probe = CompileCache::new();
+        let one = probe
+            .get_or_compile(SRC, "inc", 0, WordConfig::tiny(), &CompileOptions::spire())
+            .unwrap();
+        let per_entry = one.approx_bytes();
+
+        let cache = CompileCache::with_budget(per_entry * 2 * SHARDS as u64);
+        let options = CompileOptions::spire();
+        for i in 0..48usize {
+            let src = format!("fun f(x: uint) -> uint {{ let y <- x + {i}; return y; }}");
+            cache
+                .get_or_compile(&src, "f", 0, WordConfig::tiny(), &options)
+                .unwrap();
+            let stats = cache.stats();
+            assert!(
+                stats.resident_bytes <= stats.budget_bytes,
+                "resident {} exceeds budget {} after insert {i}",
+                stats.resident_bytes,
+                stats.budget_bytes
+            );
+        }
+        let stats = cache.stats();
+        assert!(stats.evictions > 0, "48 distinct programs must evict");
+        assert!(stats.entries < 48);
+        // Re-requesting an evicted program recompiles correctly: the
+        // budget costs misses, never wrong answers.
+        let again = cache
+            .get_or_compile(SRC, "inc", 0, WordConfig::tiny(), &options)
+            .unwrap();
+        assert_eq!(again.t_complexity(), one.t_complexity());
+    }
+
+    #[test]
+    fn unbudgeted_cache_reports_zero_budget_and_never_evicts() {
+        let cache = CompileCache::new();
+        let options = CompileOptions::spire();
+        for i in 0..8usize {
+            let src = format!("fun g(x: uint) -> uint {{ let y <- x + {i}; return y; }}");
+            cache
+                .get_or_compile(&src, "g", 0, WordConfig::tiny(), &options)
+                .unwrap();
+        }
+        let stats = cache.stats();
+        assert_eq!(stats.budget_bytes, 0);
+        assert_eq!(stats.evictions, 0);
+        assert_eq!(stats.entries, 8);
+        assert!(stats.resident_bytes > 0, "resident bytes are accounted");
     }
 
     #[test]

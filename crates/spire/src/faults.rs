@@ -1,0 +1,574 @@
+//! Deterministic I/O fault injection: the seam the robustness tests
+//! drive.
+//!
+//! The disk tier ([`DiskStore`](crate::DiskStore)) performs all log I/O
+//! through the small [`Io`] trait. In production that is [`RealIo`] — a
+//! thin positioned-I/O wrapper over [`File`]. Under test (and under the
+//! `spire serve --inject-disk-faults` flag) the store wraps its handle
+//! in [`FaultyIo`], which consults a shared, seeded [`FaultSchedule`]
+//! before every operation and injects failures *deterministically*:
+//!
+//! * **fail-Nth-op** — exactly the Nth data operation fails, once;
+//! * **fail-all** — every operation fails (a dead disk);
+//! * **seeded rate** — each operation fails with probability `rate/256`,
+//!   decided by a hash of `(seed, op#)` so two runs with the same seed
+//!   inject the same faults;
+//! * **crash-after-bytes** — writes succeed until a cumulative byte
+//!   budget is exhausted, the straddling write is *torn* (its prefix
+//!   reaches the file), and every operation after that fails: a
+//!   simulated `kill -9` at an exact write boundary. The crash-point
+//!   harness enumerates these budgets to cover every boundary.
+//!
+//! Injected failures come in three flavors ([`FaultKind`]): `EIO`
+//! (generic I/O error), `ENOSPC` (storage full), and *torn* writes
+//! (a prefix of the data reaches the file, then the write errors).
+//!
+//! Schedules are cheap, lock-free (atomics only), and shared by
+//! `Arc` so one schedule can govern the record log, the index
+//! snapshot, and the compaction rewrite of a single store at once —
+//! which is exactly what a real crash does.
+
+use std::fs::File;
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use qcirc::hash::Fnv1a128;
+
+/// Positioned I/O on one file: the injectable seam under the store.
+///
+/// Every method is fallible and offset-addressed; implementations are
+/// free to keep a cursor internally. [`RealIo`] delegates to the OS;
+/// [`FaultyIo`] wraps another `Io` and injects scheduled failures.
+// `len` here is a fallible syscall (file length), not a collection
+// size — an `is_empty` counterpart would be a second syscall, not a
+// cheap predicate.
+#[allow(clippy::len_without_is_empty)]
+pub trait Io: Send + std::fmt::Debug {
+    /// Current file length in bytes.
+    fn len(&mut self) -> io::Result<u64>;
+    /// Fill `buf` exactly from `offset`.
+    fn read_exact_at(&mut self, offset: u64, buf: &mut [u8]) -> io::Result<()>;
+    /// Write all of `data` at `offset`.
+    fn write_all_at(&mut self, offset: u64, data: &[u8]) -> io::Result<()>;
+    /// Truncate (or extend with zeros) to `len` bytes.
+    fn set_len(&mut self, len: u64) -> io::Result<()>;
+    /// Flush file contents durably to the device.
+    fn sync(&mut self) -> io::Result<()>;
+}
+
+/// Direct [`Io`] over a [`File`]: what production uses.
+#[derive(Debug)]
+pub struct RealIo {
+    file: File,
+}
+
+impl RealIo {
+    /// Wrap an open file handle.
+    pub fn new(file: File) -> RealIo {
+        RealIo { file }
+    }
+}
+
+impl Io for RealIo {
+    fn len(&mut self) -> io::Result<u64> {
+        self.file.seek(SeekFrom::End(0))
+    }
+
+    fn read_exact_at(&mut self, offset: u64, buf: &mut [u8]) -> io::Result<()> {
+        self.file.seek(SeekFrom::Start(offset))?;
+        self.file.read_exact(buf)
+    }
+
+    fn write_all_at(&mut self, offset: u64, data: &[u8]) -> io::Result<()> {
+        self.file.seek(SeekFrom::Start(offset))?;
+        self.file.write_all(data)
+    }
+
+    fn set_len(&mut self, len: u64) -> io::Result<()> {
+        self.file.set_len(len)
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        self.file.sync_all()
+    }
+}
+
+/// The flavor of failure an injected fault delivers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A generic I/O error (`EIO`): the disk said no.
+    Eio,
+    /// Storage exhausted (`ENOSPC`): the write cannot fit.
+    Enospc,
+    /// A torn write: a prefix of the data reaches the file, then the
+    /// operation errors. Reads under this kind fail like [`FaultKind::Eio`].
+    Torn,
+}
+
+impl FaultKind {
+    fn error(self) -> io::Error {
+        match self {
+            FaultKind::Eio => io::Error::other("injected fault: I/O error"),
+            FaultKind::Enospc => io::Error::new(
+                io::ErrorKind::StorageFull,
+                "injected fault: no space left on device",
+            ),
+            FaultKind::Torn => io::Error::other("injected fault: torn write"),
+        }
+    }
+
+    fn label(self) -> &'static str {
+        match self {
+            FaultKind::Eio => "eio",
+            FaultKind::Enospc => "enospc",
+            FaultKind::Torn => "torn",
+        }
+    }
+}
+
+/// When faults fire.
+#[derive(Debug, Clone, Copy)]
+enum Mode {
+    /// Never inject: the production schedule.
+    None,
+    /// Inject on exactly the `n`th data operation (0-based), once.
+    Nth { n: u64, kind: FaultKind },
+    /// Inject on every operation: a dead disk.
+    All { kind: FaultKind },
+    /// Inject on each data operation with probability `rate`/256,
+    /// decided by `hash(seed, op#)` — deterministic per seed.
+    Rate {
+        rate: u8,
+        seed: u64,
+        kind: FaultKind,
+    },
+    /// Writes succeed until `budget` cumulative bytes, the straddling
+    /// write is torn at the budget, and everything after fails.
+    CrashAfterBytes { budget: u64 },
+}
+
+/// Counters observed on a [`FaultSchedule`] — the fault-coverage
+/// summary the chaos CI job uploads.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Data operations (reads + writes) the schedule has seen.
+    pub ops: u64,
+    /// Bytes successfully written through the seam.
+    pub written_bytes: u64,
+    /// Faults actually delivered.
+    pub injected: u64,
+    /// Whether a crash-after-bytes schedule has tripped.
+    pub crashed: bool,
+}
+
+/// A deterministic schedule of I/O faults, shared across every file a
+/// store touches. See the [module docs](self) for the modes.
+#[derive(Debug)]
+pub struct FaultSchedule {
+    mode: Mode,
+    label: String,
+    ops: AtomicU64,
+    written: AtomicU64,
+    injected: AtomicU64,
+    crashed: AtomicBool,
+}
+
+/// What a write is allowed to do.
+enum WriteAdmit {
+    /// Perform the whole write.
+    Full,
+    /// Write only the first `n` bytes, then report the error.
+    Partial(usize, io::Error),
+    /// Perform nothing and report the error.
+    Deny(io::Error),
+}
+
+impl FaultSchedule {
+    fn with_mode(mode: Mode, label: String) -> Arc<FaultSchedule> {
+        Arc::new(FaultSchedule {
+            mode,
+            label,
+            ops: AtomicU64::new(0),
+            written: AtomicU64::new(0),
+            injected: AtomicU64::new(0),
+            crashed: AtomicBool::new(false),
+        })
+    }
+
+    /// The schedule that never injects: what `DiskStore::open` uses.
+    pub fn none() -> Arc<FaultSchedule> {
+        Self::with_mode(Mode::None, "none".to_string())
+    }
+
+    /// Fail exactly the `n`th data operation (0-based), once.
+    pub fn fail_nth(n: u64, kind: FaultKind) -> Arc<FaultSchedule> {
+        Self::with_mode(Mode::Nth { n, kind }, format!("{}:nth={n}", kind.label()))
+    }
+
+    /// Fail every operation: a dead disk.
+    pub fn fail_all(kind: FaultKind) -> Arc<FaultSchedule> {
+        Self::with_mode(Mode::All { kind }, format!("{}:all", kind.label()))
+    }
+
+    /// Fail each data operation with probability `rate`/256, decided by
+    /// a hash of `(seed, op#)`: the same seed injects the same faults.
+    pub fn fail_rate(rate: u8, seed: u64, kind: FaultKind) -> Arc<FaultSchedule> {
+        Self::with_mode(
+            Mode::Rate { rate, seed, kind },
+            format!("{}:rate={rate},seed={seed}", kind.label()),
+        )
+    }
+
+    /// Let writes through until `budget` cumulative bytes, tear the
+    /// straddling write at the budget, and fail everything afterwards —
+    /// a simulated kill at an exact write boundary.
+    pub fn crash_after_bytes(budget: u64) -> Arc<FaultSchedule> {
+        Self::with_mode(Mode::CrashAfterBytes { budget }, format!("crash={budget}"))
+    }
+
+    /// Parse a schedule spec, the `--inject-disk-faults` flag syntax:
+    /// `none`, `crash=BYTES`, or `KIND:WHEN` with `KIND` one of
+    /// `eio|enospc|torn` and `WHEN` one of `all`, `nth=N`, or
+    /// `rate=R,seed=S` (R out of 256).
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for malformed specs.
+    pub fn parse(spec: &str) -> Result<Arc<FaultSchedule>, String> {
+        let spec = spec.trim();
+        if spec.is_empty() || spec == "none" {
+            return Ok(Self::none());
+        }
+        if let Some(bytes) = spec.strip_prefix("crash=") {
+            let budget: u64 = bytes
+                .parse()
+                .map_err(|_| format!("bad crash byte budget {bytes:?}"))?;
+            return Ok(Self::crash_after_bytes(budget));
+        }
+        let (kind, when) = spec
+            .split_once(':')
+            .ok_or_else(|| format!("bad fault spec {spec:?}: expected KIND:WHEN"))?;
+        let kind = match kind {
+            "eio" => FaultKind::Eio,
+            "enospc" => FaultKind::Enospc,
+            "torn" => FaultKind::Torn,
+            other => return Err(format!("unknown fault kind {other:?}")),
+        };
+        if when == "all" {
+            return Ok(Self::fail_all(kind));
+        }
+        if let Some(n) = when.strip_prefix("nth=") {
+            let n: u64 = n.parse().map_err(|_| format!("bad op index {n:?}"))?;
+            return Ok(Self::fail_nth(n, kind));
+        }
+        if let Some(rest) = when.strip_prefix("rate=") {
+            let (rate, seed) = rest
+                .split_once(",seed=")
+                .ok_or_else(|| format!("bad rate spec {rest:?}: expected rate=R,seed=S"))?;
+            let rate: u8 = rate
+                .parse()
+                .map_err(|_| format!("bad rate {rate:?} (0-255, out of 256)"))?;
+            let seed: u64 = seed.parse().map_err(|_| format!("bad seed {seed:?}"))?;
+            return Ok(Self::fail_rate(rate, seed, kind));
+        }
+        Err(format!("bad fault trigger {when:?}"))
+    }
+
+    /// The spec this schedule was built from (`none`, `eio:all`, ...).
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// Whether this schedule can ever inject a fault.
+    pub fn is_active(&self) -> bool {
+        !matches!(self.mode, Mode::None)
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> FaultStats {
+        FaultStats {
+            ops: self.ops.load(Ordering::Relaxed),
+            written_bytes: self.written.load(Ordering::Relaxed),
+            injected: self.injected.load(Ordering::Relaxed),
+            crashed: self.crashed.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Whether a crash schedule has tripped (every later op fails).
+    pub fn crashed(&self) -> bool {
+        self.crashed.load(Ordering::Relaxed)
+    }
+
+    fn inject(&self) {
+        self.injected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn crash_error() -> io::Error {
+        io::Error::other("injected fault: process crashed")
+    }
+
+    /// Deterministic per-op coin for `Rate` mode.
+    fn rate_hits(rate: u8, seed: u64, op: u64) -> bool {
+        let mut hasher = Fnv1a128::new();
+        hasher.write_len_prefixed(&seed.to_le_bytes());
+        hasher.write_len_prefixed(&op.to_le_bytes());
+        (hasher.finish() as u8) < rate
+    }
+
+    /// Gate a data read. Torn reads degrade to EIO.
+    fn admit_read(&self) -> io::Result<()> {
+        if self.crashed() {
+            self.inject();
+            return Err(Self::crash_error());
+        }
+        let op = self.ops.fetch_add(1, Ordering::Relaxed);
+        let kind = match self.mode {
+            Mode::None | Mode::CrashAfterBytes { .. } => return Ok(()),
+            Mode::Nth { n, kind } if op == n => kind,
+            Mode::Nth { .. } => return Ok(()),
+            Mode::All { kind } => kind,
+            Mode::Rate { rate, seed, kind } if Self::rate_hits(rate, seed, op) => kind,
+            Mode::Rate { .. } => return Ok(()),
+        };
+        self.inject();
+        Err(match kind {
+            FaultKind::Torn => FaultKind::Eio.error(),
+            other => other.error(),
+        })
+    }
+
+    /// Gate a data write of `len` bytes.
+    fn admit_write(&self, len: usize) -> WriteAdmit {
+        if self.crashed() {
+            self.inject();
+            return WriteAdmit::Deny(Self::crash_error());
+        }
+        let op = self.ops.fetch_add(1, Ordering::Relaxed);
+        let kind = match self.mode {
+            Mode::None => {
+                self.written.fetch_add(len as u64, Ordering::Relaxed);
+                return WriteAdmit::Full;
+            }
+            Mode::CrashAfterBytes { budget } => {
+                let prior = self.written.load(Ordering::Relaxed);
+                if prior + len as u64 <= budget {
+                    self.written.fetch_add(len as u64, Ordering::Relaxed);
+                    return WriteAdmit::Full;
+                }
+                // The straddling write tears at the budget; the process
+                // is dead from here on.
+                self.crashed.store(true, Ordering::Relaxed);
+                self.inject();
+                let allowed = budget.saturating_sub(prior) as usize;
+                self.written.fetch_add(allowed as u64, Ordering::Relaxed);
+                return WriteAdmit::Partial(allowed, Self::crash_error());
+            }
+            Mode::Nth { n, kind } if op == n => kind,
+            Mode::Nth { .. } => {
+                self.written.fetch_add(len as u64, Ordering::Relaxed);
+                return WriteAdmit::Full;
+            }
+            Mode::All { kind } => kind,
+            Mode::Rate { rate, seed, kind } if Self::rate_hits(rate, seed, op) => kind,
+            Mode::Rate { .. } => {
+                self.written.fetch_add(len as u64, Ordering::Relaxed);
+                return WriteAdmit::Full;
+            }
+        };
+        self.inject();
+        match kind {
+            FaultKind::Torn => {
+                let torn = len / 2;
+                self.written.fetch_add(torn as u64, Ordering::Relaxed);
+                WriteAdmit::Partial(torn, kind.error())
+            }
+            other => WriteAdmit::Deny(other.error()),
+        }
+    }
+
+    /// Gate a control operation (`set_len`, `sync`, a compaction
+    /// rename): fails after a crash and under `all` mode, but is not
+    /// counted as a data op for `nth`/`rate` schedules.
+    pub(crate) fn admit_control(&self) -> io::Result<()> {
+        if self.crashed() {
+            self.inject();
+            return Err(Self::crash_error());
+        }
+        if let Mode::All { kind } = self.mode {
+            self.inject();
+            return Err(kind.error());
+        }
+        Ok(())
+    }
+
+    /// Gate an auxiliary whole-file write of `len` bytes (the index
+    /// snapshot): behaves like a data write, but the caller performs
+    /// the write itself — a torn admit is reported as a plain failure
+    /// (the snapshot path is write-then-rename, so a torn temp file is
+    /// never installed).
+    pub(crate) fn admit_aux_write(&self, len: usize) -> io::Result<()> {
+        match self.admit_write(len) {
+            WriteAdmit::Full => Ok(()),
+            WriteAdmit::Partial(_, err) | WriteAdmit::Deny(err) => Err(err),
+        }
+    }
+}
+
+/// An [`Io`] wrapper that injects faults from a shared schedule.
+#[derive(Debug)]
+pub struct FaultyIo<I> {
+    inner: I,
+    faults: Arc<FaultSchedule>,
+}
+
+impl<I: Io> FaultyIo<I> {
+    /// Wrap `inner`, gating every operation on `faults`.
+    pub fn new(inner: I, faults: Arc<FaultSchedule>) -> FaultyIo<I> {
+        FaultyIo { inner, faults }
+    }
+}
+
+impl<I: Io> Io for FaultyIo<I> {
+    fn len(&mut self) -> io::Result<u64> {
+        // Metadata reads are free: a crashed process cannot ask, but
+        // the store only calls this during recovery (pre-fault).
+        self.inner.len()
+    }
+
+    fn read_exact_at(&mut self, offset: u64, buf: &mut [u8]) -> io::Result<()> {
+        self.faults.admit_read()?;
+        self.inner.read_exact_at(offset, buf)
+    }
+
+    fn write_all_at(&mut self, offset: u64, data: &[u8]) -> io::Result<()> {
+        match self.faults.admit_write(data.len()) {
+            WriteAdmit::Full => self.inner.write_all_at(offset, data),
+            WriteAdmit::Partial(n, err) => {
+                // The torn prefix really reaches the file: that is the
+                // whole point — recovery must cope with it.
+                let _ = self.inner.write_all_at(offset, &data[..n]);
+                Err(err)
+            }
+            WriteAdmit::Deny(err) => Err(err),
+        }
+    }
+
+    fn set_len(&mut self, len: u64) -> io::Result<()> {
+        self.faults.admit_control()?;
+        self.inner.set_len(len)
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        self.faults.admit_control()?;
+        self.inner.sync()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch_file(tag: &str) -> (std::path::PathBuf, File) {
+        let path = std::env::temp_dir().join(format!(
+            "spire-faults-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id(),
+        ));
+        let _ = std::fs::remove_file(&path);
+        let file = OpenOptionsExt::rw_create(&path);
+        (path, file)
+    }
+
+    struct OpenOptionsExt;
+    impl OpenOptionsExt {
+        fn rw_create(path: &std::path::Path) -> File {
+            std::fs::OpenOptions::new()
+                .read(true)
+                .write(true)
+                .create(true)
+                .truncate(true)
+                .open(path)
+                .unwrap()
+        }
+    }
+
+    #[test]
+    fn nth_fails_exactly_once() {
+        let (path, file) = scratch_file("nth");
+        let faults = FaultSchedule::fail_nth(1, FaultKind::Eio);
+        let mut io = FaultyIo::new(RealIo::new(file), Arc::clone(&faults));
+        assert!(io.write_all_at(0, b"aaaa").is_ok());
+        assert!(io.write_all_at(4, b"bbbb").is_err(), "op 1 must fail");
+        assert!(io.write_all_at(4, b"bbbb").is_ok(), "one-shot");
+        assert_eq!(faults.stats().injected, 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_write_leaves_a_prefix() {
+        let (path, file) = scratch_file("torn");
+        let faults = FaultSchedule::fail_nth(0, FaultKind::Torn);
+        let mut io = FaultyIo::new(RealIo::new(file), faults);
+        assert!(io.write_all_at(0, b"0123456789").is_err());
+        assert_eq!(std::fs::metadata(&path).unwrap().len(), 5, "half landed");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn crash_budget_tears_the_straddling_write_then_kills_everything() {
+        let (path, file) = scratch_file("crash");
+        let faults = FaultSchedule::crash_after_bytes(6);
+        let mut io = FaultyIo::new(RealIo::new(file), Arc::clone(&faults));
+        assert!(io.write_all_at(0, b"aaaa").is_ok());
+        assert!(io.write_all_at(4, b"bbbb").is_err(), "budget exceeded");
+        assert_eq!(
+            std::fs::metadata(&path).unwrap().len(),
+            6,
+            "exactly the budget reached the file"
+        );
+        assert!(faults.crashed());
+        let mut buf = [0u8; 1];
+        assert!(io.read_exact_at(0, &mut buf).is_err(), "dead after crash");
+        assert!(io.set_len(0).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn rate_mode_is_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let faults = FaultSchedule::fail_rate(64, seed, FaultKind::Eio);
+            let (path, file) = scratch_file("rate");
+            let mut io = FaultyIo::new(RealIo::new(file), Arc::clone(&faults));
+            let mut outcomes = Vec::new();
+            for i in 0..64u64 {
+                outcomes.push(io.write_all_at(i, b"x").is_ok());
+            }
+            let _ = std::fs::remove_file(&path);
+            (outcomes, faults.stats().injected)
+        };
+        let (a, injected_a) = run(42);
+        let (b, injected_b) = run(42);
+        let (c, _) = run(7);
+        assert_eq!(a, b, "same seed, same faults");
+        assert_eq!(injected_a, injected_b);
+        assert!(injected_a > 0, "rate 64/256 over 64 ops injects");
+        assert_ne!(a, c, "different seed, different schedule");
+    }
+
+    #[test]
+    fn specs_parse_and_round_trip_their_labels() {
+        for spec in [
+            "none",
+            "eio:all",
+            "enospc:nth=3",
+            "torn:rate=8,seed=42",
+            "crash=1024",
+        ] {
+            let schedule = FaultSchedule::parse(spec).unwrap();
+            assert_eq!(schedule.label(), spec);
+        }
+        assert!(FaultSchedule::parse("flaky:always").is_err());
+        assert!(FaultSchedule::parse("eio:rate=9000,seed=1").is_err());
+    }
+}

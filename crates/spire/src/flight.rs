@@ -246,6 +246,15 @@ impl SingleFlightCache {
         SingleFlightCache::default()
     }
 
+    /// A new cache bounded to ~`total_bytes`
+    /// ([`CompileCache::with_budget`]) with its single-flight layer.
+    pub fn with_budget(total_bytes: u64) -> Self {
+        SingleFlightCache {
+            cache: CompileCache::with_budget(total_bytes),
+            flight: SingleFlight::new(),
+        }
+    }
+
     /// The underlying compile cache (for stats or direct lookups).
     pub fn cache(&self) -> &CompileCache {
         &self.cache

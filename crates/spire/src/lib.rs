@@ -58,6 +58,7 @@ pub mod cache;
 pub mod check;
 pub mod cost;
 mod error;
+pub mod faults;
 pub mod flight;
 pub mod layout;
 mod machine;
@@ -70,6 +71,7 @@ pub use abstract_circuit::{AInstr, AOp};
 pub use cache::{compile_source_cached, CacheKey, CacheStats, CompileCache};
 pub use check::{check_compiled, check_source};
 pub use error::SpireError;
+pub use faults::{FaultKind, FaultSchedule, FaultStats, FaultyIo, Io, RealIo};
 pub use flight::{FlightStats, Served, SingleFlight, SingleFlightCache};
 pub use layout::{AllocPolicy, Layout, MemoryLayout, Reg};
 pub use machine::Machine;
@@ -77,4 +79,4 @@ pub use opt::{optimize, OptConfig};
 pub use pipeline::{compile_source, compile_unit, CompileOptions, Compiled};
 pub use select::select;
 pub use spire_verify;
-pub use store::{DiskStats, DiskStore};
+pub use store::{CompactionReport, DiskStats, DiskStore, RecoveryReport};

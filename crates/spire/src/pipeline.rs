@@ -93,6 +93,18 @@ impl Compiled {
         self.histogram().mcx_complexity()
     }
 
+    /// Approximate resident heap bytes of this compilation: the weight
+    /// a byte-budgeted [`CompileCache`](crate::CompileCache) accounts
+    /// per entry. Dominated by the abstract instruction stream; the
+    /// pointer-rich IR and type structures are charged a flat
+    /// surcharge rather than walked.
+    pub fn approx_bytes(&self) -> u64 {
+        let base = std::mem::size_of::<Compiled>() as u64;
+        let instrs = (self.instrs.capacity() * std::mem::size_of::<AInstr>()) as u64;
+        let inputs = (self.inputs.capacity() * std::mem::size_of::<(Symbol, Type)>()) as u64;
+        base + instrs + inputs + 1024
+    }
+
     /// Stream the concrete MCX circuit into a sink.
     pub fn emit_into<S: GateSink>(&self, sink: &mut S) {
         let mut buffer = Vec::new();

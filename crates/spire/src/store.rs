@@ -28,20 +28,40 @@
 //! record is re-verified against its checksum on every [`DiskStore::get`],
 //! so even an index pointing into garbage (e.g. a stale snapshot over a
 //! rewritten log) can never cause a corrupt artifact to be served: the
-//! record fails verification, the entry is dropped, and the caller falls
-//! back to compiling.
+//! record fails verification, the entry is **quarantined** (dropped from
+//! the index and counted as garbage), and the caller falls back to
+//! compiling.
+//!
+//! Quarantined records are dead weight in the log — worse, a corrupt
+//! record in the middle of the log would cost every record *after* it
+//! on the next truncating reopen. **Compaction**
+//! ([`DiskStore::compact`]) fixes both: it rewrites the live records to
+//! a fresh log (`cas.log.new`), syncs it, and atomically renames it
+//! over `cas.log`. The rename is the commit point, so recovery accepts
+//! either generation: a crash before it leaves the old log (plus a
+//! `cas.log.new` leftover that the next open deletes), a crash after it
+//! leaves the new log. Compaction runs automatically when the garbage
+//! ratio crosses [`GARBAGE_COMPACT_RATIO`], or on demand via
+//! `spire serve --compact-on-start`.
+//!
+//! All log I/O goes through the injectable [`Io`] seam
+//! ([`crate::faults`]): [`DiskStore::open_with`] accepts a
+//! [`FaultSchedule`] so tests (and the chaos CI job) can inject
+//! EIO/ENOSPC/torn writes and simulate a kill at every write boundary.
 //!
 //! The store maps `u128` content addresses to opaque byte payloads; the
 //! serving layer defines what a payload means (it stores serialized
 //! compile artifacts keyed by [`CacheKey`](crate::CacheKey)).
 
 use std::collections::HashMap;
-use std::fs::{File, OpenOptions};
-use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::fs::OpenOptions;
+use std::io;
 use std::path::{Path, PathBuf};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use qcirc::hash::Fnv1a128;
+
+use crate::faults::{FaultSchedule, FaultyIo, Io, RealIo};
 
 /// Log file header: identifies the file and its format version.
 const LOG_MAGIC: &[u8; 8] = b"SPIRECA1";
@@ -57,6 +77,12 @@ pub const MAX_PAYLOAD_BYTES: usize = 64 * 1024 * 1024;
 /// magic(4) + key(16) + len(4) before, checksum(16) after.
 const RECORD_OVERHEAD: u64 = 4 + 16 + 4 + 16;
 
+/// Quarantined-garbage fraction of the log that triggers an automatic
+/// compaction (numerator over [`GARBAGE_COMPACT_DEN`]).
+pub const GARBAGE_COMPACT_RATIO: u64 = 1;
+/// Denominator of the automatic-compaction garbage threshold.
+pub const GARBAGE_COMPACT_DEN: u64 = 4;
+
 /// Counters observed on a [`DiskStore`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DiskStats {
@@ -67,10 +93,19 @@ pub struct DiskStats {
     /// Records appended by `put`.
     pub writes: u64,
     /// Indexed records that failed verification at read time and were
-    /// dropped (never served).
+    /// quarantined (never served).
     pub corrupt_dropped: u64,
     /// Records currently indexed.
     pub entries: usize,
+    /// I/O errors surfaced by the disk tier (distinct from corruption:
+    /// the bytes may be fine, the device refused).
+    pub io_errors: u64,
+    /// Bytes of quarantined records still occupying the log.
+    pub garbage_bytes: u64,
+    /// Current log length in bytes.
+    pub log_bytes: u64,
+    /// Compactions completed over this store's lifetime.
+    pub compactions: u64,
 }
 
 /// What [`DiskStore::open`] found on disk.
@@ -82,6 +117,22 @@ pub struct RecoveryReport {
     pub truncated_bytes: u64,
     /// Whether the index snapshot was usable (false = full scan).
     pub used_snapshot: bool,
+    /// Whether an uncommitted compaction temp (`cas.log.new`) from a
+    /// crashed compaction was found and removed.
+    pub removed_compaction_temp: bool,
+}
+
+/// What one [`DiskStore::compact`] run did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompactionReport {
+    /// Records carried into the new log generation.
+    pub live_records: usize,
+    /// Records found corrupt during the rewrite and dropped.
+    pub dropped_corrupt: usize,
+    /// Log length before compaction.
+    pub bytes_before: u64,
+    /// Log length after compaction.
+    pub bytes_after: u64,
 }
 
 /// Location of one record's payload inside the log.
@@ -95,7 +146,7 @@ struct Slot {
 
 #[derive(Debug)]
 struct StoreInner {
-    log: File,
+    log: Box<dyn Io>,
     /// Length of the valid log prefix (everything before is verified or
     /// was appended by this process).
     log_len: u64,
@@ -104,6 +155,10 @@ struct StoreInner {
     misses: u64,
     writes: u64,
     corrupt_dropped: u64,
+    io_errors: u64,
+    /// Bytes of quarantined records: dead weight compaction reclaims.
+    garbage_bytes: u64,
+    compactions: u64,
 }
 
 /// A persistent, append-only, content-addressed byte store.
@@ -116,6 +171,7 @@ pub struct DiskStore {
     dir: PathBuf,
     inner: Mutex<StoreInner>,
     recovery: RecoveryReport,
+    faults: Arc<FaultSchedule>,
 }
 
 impl DiskStore {
@@ -129,8 +185,15 @@ impl DiskStore {
         dir.join("cas.idx")
     }
 
-    /// Open (creating if needed) the store in `dir`, recovering the
-    /// index and truncating the log at the first corrupt record.
+    /// Path of the in-progress compaction log inside `dir`. Only the
+    /// atomic rename onto [`DiskStore::log_path`] commits it; a leftover
+    /// file here is an uncommitted generation and is deleted at open.
+    pub fn compaction_path(dir: &Path) -> PathBuf {
+        dir.join("cas.log.new")
+    }
+
+    /// Open (creating if needed) the store in `dir` with no fault
+    /// injection. See [`DiskStore::open_with`].
     ///
     /// # Errors
     ///
@@ -138,23 +201,40 @@ impl DiskStore {
     /// is *not* an error: it is truncated away and reported in
     /// [`DiskStore::recovery`].
     pub fn open(dir: &Path) -> io::Result<DiskStore> {
+        Self::open_with(dir, FaultSchedule::none())
+    }
+
+    /// Open the store in `dir`, routing all subsequent log and snapshot
+    /// I/O through `faults`. Recovery itself (the open-time scan) runs
+    /// fault-free: the schedule governs the *running* store, which is
+    /// what crash-point simulation needs — a process that died mid-write
+    /// is reopened by a fresh, healthy process.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation and file I/O failures; corruption
+    /// is truncated away, not reported as an error.
+    pub fn open_with(dir: &Path, faults: Arc<FaultSchedule>) -> io::Result<DiskStore> {
         std::fs::create_dir_all(dir)?;
-        let mut log = OpenOptions::new()
+        // An uncommitted compaction generation is garbage from a crashed
+        // compactor: the rename never happened, `cas.log` is
+        // authoritative. Remove it so it can never be confused for data.
+        let removed_compaction_temp = std::fs::remove_file(Self::compaction_path(dir)).is_ok();
+        let file = OpenOptions::new()
             .read(true)
             .write(true)
             .create(true)
             .truncate(false)
             .open(Self::log_path(dir))?;
-        let file_len = log.seek(SeekFrom::End(0))?;
+        let mut log = RealIo::new(file);
+        let file_len = log.len()?;
         if file_len < LOG_MAGIC.len() as u64 {
             // Empty or shorter than a header: (re)initialize.
             log.set_len(0)?;
-            log.seek(SeekFrom::Start(0))?;
-            log.write_all(LOG_MAGIC)?;
+            log.write_all_at(0, LOG_MAGIC)?;
         } else {
             let mut header = [0u8; 8];
-            log.seek(SeekFrom::Start(0))?;
-            log.read_exact(&mut header)?;
+            log.read_exact_at(0, &mut header)?;
             if &header != LOG_MAGIC {
                 // A foreign file: refuse rather than destroy it.
                 return Err(io::Error::new(
@@ -173,29 +253,33 @@ impl DiskStore {
                 Some((entries, covered)) => (entries, covered, true),
                 None => (HashMap::new(), LOG_MAGIC.len() as u64, false),
             };
-        let (good_len, tail_records) = scan_log(&mut log, &mut index, &mut scan_from)?;
+        let good_len = scan_log(&mut log, &mut index, &mut scan_from)?;
         let truncated = file_len.saturating_sub(good_len);
         if truncated > 0 {
             log.set_len(good_len)?;
         }
         let records = index.len();
-        let _ = tail_records;
         Ok(DiskStore {
             dir: dir.to_path_buf(),
             inner: Mutex::new(StoreInner {
-                log,
+                log: Box::new(FaultyIo::new(log, Arc::clone(&faults))),
                 log_len: good_len,
                 index,
                 hits: 0,
                 misses: 0,
                 writes: 0,
                 corrupt_dropped: 0,
+                io_errors: 0,
+                garbage_bytes: 0,
+                compactions: 0,
             }),
             recovery: RecoveryReport {
                 records,
                 truncated_bytes: truncated,
                 used_snapshot,
+                removed_compaction_temp,
             },
+            faults,
         })
     }
 
@@ -209,28 +293,72 @@ impl DiskStore {
         self.recovery
     }
 
-    /// Fetch the payload stored under `key`, verifying its checksum.
+    /// The fault schedule governing this store's I/O (the production
+    /// schedule never injects).
+    pub fn faults(&self) -> &Arc<FaultSchedule> {
+        &self.faults
+    }
+
+    /// Fetch the payload stored under `key`, verifying its checksum,
+    /// and distinguishing *device failure* from *absence*.
     ///
-    /// A record that fails verification is dropped from the index and
-    /// reported as a miss — a corrupt artifact is never returned.
-    pub fn get(&self, key: u128) -> Option<Vec<u8>> {
+    /// A record that fails verification is quarantined — dropped from
+    /// the index, counted in [`DiskStats::corrupt_dropped`] and
+    /// [`DiskStats::garbage_bytes`] — and reported as `Ok(None)`: a
+    /// corrupt artifact is never returned, and the same key will not be
+    /// re-read and re-fail on every subsequent request. An I/O error is
+    /// returned as `Err` *without* quarantining (the bytes may be fine;
+    /// the device refused) so the serving layer's circuit breaker can
+    /// count it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates read failures from the device (or the injected fault
+    /// schedule).
+    pub fn try_get(&self, key: u128) -> io::Result<Option<Vec<u8>>> {
         let mut inner = self.inner.lock().expect("disk store poisoned");
         let Some(slot) = inner.index.get(&key).copied() else {
             inner.misses += 1;
-            return None;
+            return Ok(None);
         };
-        match read_record(&mut inner.log, slot) {
-            Some((stored_key, payload)) if stored_key == key => {
+        match read_record(inner.log.as_mut(), slot) {
+            Ok(Some((stored_key, payload))) if stored_key == key => {
                 inner.hits += 1;
-                Some(payload)
+                Ok(Some(payload))
             }
-            _ => {
-                inner.index.remove(&key);
-                inner.corrupt_dropped += 1;
+            Ok(_) => {
+                quarantine_locked(&mut inner, key, slot);
                 inner.misses += 1;
-                None
+                maybe_compact_locked(self, &mut inner);
+                Ok(None)
+            }
+            Err(e) => {
+                inner.io_errors += 1;
+                Err(e)
             }
         }
+    }
+
+    /// Fetch the payload stored under `key`. Device failures collapse
+    /// into `None`; use [`DiskStore::try_get`] to observe them.
+    pub fn get(&self, key: u128) -> Option<Vec<u8>> {
+        self.try_get(key).unwrap_or(None)
+    }
+
+    /// Drop `key` from the index and account its record as garbage.
+    ///
+    /// For callers that discover a payload is unusable *after* it
+    /// passed the checksum (e.g. it no longer deserializes): without
+    /// this, every request would re-read and re-fail the same record.
+    /// Returns whether the key was present.
+    pub fn quarantine(&self, key: u128) -> bool {
+        let mut inner = self.inner.lock().expect("disk store poisoned");
+        let Some(slot) = inner.index.get(&key).copied() else {
+            return false;
+        };
+        quarantine_locked(&mut inner, key, slot);
+        maybe_compact_locked(self, &mut inner);
+        true
     }
 
     /// Whether `key` is indexed (without reading or verifying the
@@ -251,7 +379,8 @@ impl DiskStore {
     ///
     /// Propagates write failures; on failure the log is truncated back
     /// to its previous length so a half-written record never becomes a
-    /// permanent corruption.
+    /// permanent corruption (when even the truncation fails — a crash —
+    /// the torn tail is removed by recovery at the next open).
     pub fn put(&self, key: u128, payload: &[u8]) -> io::Result<bool> {
         if payload.len() > MAX_PAYLOAD_BYTES {
             return Err(io::Error::new(
@@ -265,11 +394,11 @@ impl DiskStore {
         }
         let offset = inner.log_len;
         let record = encode_record(key, payload);
-        inner.log.seek(SeekFrom::Start(offset))?;
-        if let Err(e) = inner.log.write_all(&record) {
+        if let Err(e) = inner.log.write_all_at(offset, &record) {
             // Roll back the partial append; the next open would truncate
             // it anyway, but an in-process reader should not see it.
             let _ = inner.log.set_len(offset);
+            inner.io_errors += 1;
             return Err(e);
         }
         inner.log_len = offset + record.len() as u64;
@@ -284,6 +413,25 @@ impl DiskStore {
         Ok(true)
     }
 
+    /// Rewrite the live records to a fresh log generation, dropping
+    /// quarantined garbage and any record that fails verification
+    /// during the rewrite.
+    ///
+    /// Crash-safe: the new generation is built in `cas.log.new`,
+    /// synced, and atomically renamed over `cas.log` — the rename is
+    /// the commit point, so a crash at any step leaves a recoverable
+    /// store (the old generation before the rename, the new one after;
+    /// an uncommitted temp is deleted at the next open).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures; on failure the old generation is
+    /// untouched and remains the store's contents.
+    pub fn compact(&self) -> io::Result<CompactionReport> {
+        let mut inner = self.inner.lock().expect("disk store poisoned");
+        compact_locked(self, &mut inner)
+    }
+
     /// Write the index snapshot (`cas.idx`) so the next open can skip
     /// the full log scan. Called automatically on drop; safe to call at
     /// any time.
@@ -294,7 +442,7 @@ impl DiskStore {
     /// unaffected; the log remains the source of truth).
     pub fn persist_index(&self) -> io::Result<()> {
         let inner = self.inner.lock().expect("disk store poisoned");
-        write_index_snapshot(&Self::index_path(&self.dir), inner.log_len, &inner.index)
+        persist_index_with(self, inner.log_len, &inner.index)
     }
 
     /// Number of indexed records.
@@ -316,6 +464,10 @@ impl DiskStore {
             writes: inner.writes,
             corrupt_dropped: inner.corrupt_dropped,
             entries: inner.index.len(),
+            io_errors: inner.io_errors,
+            garbage_bytes: inner.garbage_bytes,
+            log_bytes: inner.log_len,
+            compactions: inner.compactions,
         }
     }
 
@@ -340,6 +492,127 @@ impl Drop for DiskStore {
     }
 }
 
+/// Drop one slot from the index and account its bytes as garbage.
+fn quarantine_locked(inner: &mut StoreInner, key: u128, slot: Slot) {
+    inner.index.remove(&key);
+    inner.corrupt_dropped += 1;
+    inner.garbage_bytes += RECORD_OVERHEAD + u64::from(slot.len);
+}
+
+/// Compact (best-effort) once quarantined garbage crosses the
+/// threshold fraction of the log body.
+fn maybe_compact_locked(store: &DiskStore, inner: &mut StoreInner) {
+    let body = inner.log_len.saturating_sub(LOG_MAGIC.len() as u64);
+    if inner.garbage_bytes > 0
+        && inner.garbage_bytes * GARBAGE_COMPACT_DEN >= body * GARBAGE_COMPACT_RATIO
+    {
+        // Failure leaves the old generation intact; the garbage stays
+        // accounted and the next quarantine retries.
+        let _ = compact_locked(store, inner);
+    }
+}
+
+/// The compaction protocol, under the store lock. See
+/// [`DiskStore::compact`].
+fn compact_locked(store: &DiskStore, inner: &mut StoreInner) -> io::Result<CompactionReport> {
+    let tmp_path = DiskStore::compaction_path(&store.dir);
+    let bytes_before = inner.log_len;
+    let result = (|| -> io::Result<(HashMap<u128, Slot>, u64, usize)> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&tmp_path)?;
+        let mut fresh: Box<dyn Io> =
+            Box::new(FaultyIo::new(RealIo::new(file), Arc::clone(&store.faults)));
+        fresh.write_all_at(0, LOG_MAGIC)?;
+        let mut new_len = LOG_MAGIC.len() as u64;
+        let mut new_index = HashMap::with_capacity(inner.index.len());
+        let mut dropped = 0usize;
+        let mut live: Vec<(u128, Slot)> = inner.index.iter().map(|(&k, &s)| (k, s)).collect();
+        live.sort_unstable_by_key(|(_, slot)| slot.offset);
+        for (key, slot) in live {
+            match read_record(inner.log.as_mut(), slot)? {
+                Some((stored_key, payload)) if stored_key == key => {
+                    let record = encode_record(key, &payload);
+                    fresh.write_all_at(new_len, &record)?;
+                    new_index.insert(
+                        key,
+                        Slot {
+                            offset: new_len,
+                            len: payload.len() as u32,
+                        },
+                    );
+                    new_len += record.len() as u64;
+                }
+                _ => {
+                    // Corrupt in the old generation: compaction is where
+                    // it is excised for good.
+                    dropped += 1;
+                }
+            }
+        }
+        // Commit point: durable new generation, then the atomic rename.
+        fresh.sync()?;
+        store.faults.admit_control()?;
+        std::fs::rename(&tmp_path, DiskStore::log_path(&store.dir))?;
+        // Make the rename itself durable (best-effort: directory
+        // fsync is not portable everywhere).
+        if let Ok(d) = std::fs::File::open(&store.dir) {
+            let _ = d.sync_all();
+        }
+        Ok((new_index, new_len, dropped))
+    })();
+    match result {
+        Ok((new_index, new_len, dropped)) => {
+            // Swap the handle to the new generation's inode.
+            let file = OpenOptions::new()
+                .read(true)
+                .write(true)
+                .open(DiskStore::log_path(&store.dir))?;
+            let live_records = new_index.len();
+            inner.log = Box::new(FaultyIo::new(RealIo::new(file), Arc::clone(&store.faults)));
+            inner.log_len = new_len;
+            inner.index = new_index;
+            inner.corrupt_dropped += dropped as u64;
+            inner.garbage_bytes = 0;
+            inner.compactions += 1;
+            // A stale snapshot over the (shorter) new log would be
+            // rejected anyway; refresh it best-effort.
+            let _ = persist_index_with(store, inner.log_len, &inner.index);
+            Ok(CompactionReport {
+                live_records,
+                dropped_corrupt: dropped,
+                bytes_before,
+                bytes_after: new_len,
+            })
+        }
+        Err(e) => {
+            inner.io_errors += 1;
+            let _ = std::fs::remove_file(&tmp_path);
+            Err(e)
+        }
+    }
+}
+
+/// Serialize and install the index snapshot, gated on the store's
+/// fault schedule (a crashed process cannot write its snapshot).
+fn persist_index_with(
+    store: &DiskStore,
+    covered_len: u64,
+    index: &HashMap<u128, Slot>,
+) -> io::Result<()> {
+    let buf = encode_index_snapshot(covered_len, index);
+    store.faults.admit_aux_write(buf.len())?;
+    let path = DiskStore::index_path(&store.dir);
+    // Write-then-rename so a crash mid-snapshot leaves the old (or no)
+    // snapshot, never a torn one that happens to checksum.
+    let tmp = path.with_extension("idx.tmp");
+    std::fs::write(&tmp, &buf)?;
+    std::fs::rename(&tmp, path)
+}
+
 /// Checksum of one record's integrity-covered bytes.
 fn record_checksum(key: u128, payload: &[u8]) -> u128 {
     let mut hasher = Fnv1a128::new();
@@ -358,14 +631,20 @@ fn encode_record(key: u128, payload: &[u8]) -> Vec<u8> {
     record
 }
 
-/// Read and verify the record at `slot`. Returns `(key, payload)` only
-/// when framing and checksum are intact.
-fn read_record(log: &mut File, slot: Slot) -> Option<(u128, Vec<u8>)> {
+/// Read and verify the record at `slot`. `Ok(Some((key, payload)))`
+/// only when framing and checksum are intact; `Ok(None)` when the bytes
+/// are readable but not an intact record; `Err` when the device failed.
+fn read_record(log: &mut dyn Io, slot: Slot) -> io::Result<Option<(u128, Vec<u8>)>> {
     let total = RECORD_OVERHEAD as usize + slot.len as usize;
     let mut buf = vec![0u8; total];
-    log.seek(SeekFrom::Start(slot.offset)).ok()?;
-    log.read_exact(&mut buf).ok()?;
-    decode_record(&buf).map(|(key, payload, _)| (key, payload.to_vec()))
+    match log.read_exact_at(slot.offset, &mut buf) {
+        Ok(()) => {}
+        // A short read means the slot points past the data: corrupt
+        // framing, not a device failure.
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(e),
+    }
+    Ok(decode_record(&buf).map(|(key, payload, _)| (key, payload.to_vec())))
 }
 
 /// Decode one record from the front of `buf`: `(key, payload, record
@@ -401,11 +680,11 @@ fn decode_record(buf: &[u8]) -> Option<(u128, &[u8], usize)> {
 /// `index`, stopping at the first bad one. Returns the length of the
 /// valid prefix.
 fn scan_log(
-    log: &mut File,
+    log: &mut dyn Io,
     index: &mut HashMap<u128, Slot>,
     scan_from: &mut u64,
-) -> io::Result<(u64, usize)> {
-    let file_len = log.seek(SeekFrom::End(0))?;
+) -> io::Result<u64> {
+    let file_len = log.len()?;
     let mut offset = *scan_from;
     if offset > file_len {
         // Snapshot claimed more log than exists (e.g. the log was
@@ -413,11 +692,9 @@ fn scan_log(
         index.clear();
         offset = LOG_MAGIC.len() as u64;
     }
-    log.seek(SeekFrom::Start(offset))?;
-    let mut tail = Vec::new();
-    log.take(file_len - offset).read_to_end(&mut tail)?;
+    let mut tail = vec![0u8; (file_len - offset) as usize];
+    log.read_exact_at(offset, &mut tail)?;
     let mut consumed = 0usize;
-    let mut records = 0usize;
     while let Some((key, payload, record_len)) = decode_record(&tail[consumed..]) {
         index.insert(
             key,
@@ -427,18 +704,13 @@ fn scan_log(
             },
         );
         consumed += record_len;
-        records += 1;
     }
-    Ok((offset + consumed as u64, records))
+    Ok(offset + consumed as u64)
 }
 
 /// Serialize the index snapshot: header, covered log length, entry
 /// count, entries, trailing checksum over everything before it.
-fn write_index_snapshot(
-    path: &Path,
-    covered_len: u64,
-    index: &HashMap<u128, Slot>,
-) -> io::Result<()> {
+fn encode_index_snapshot(covered_len: u64, index: &HashMap<u128, Slot>) -> Vec<u8> {
     let mut buf = Vec::with_capacity(8 + 16 + index.len() * 28 + 16);
     buf.extend_from_slice(INDEX_MAGIC);
     buf.extend_from_slice(&covered_len.to_le_bytes());
@@ -453,11 +725,7 @@ fn write_index_snapshot(
     let mut hasher = Fnv1a128::new();
     hasher.write_len_prefixed(&buf);
     buf.extend_from_slice(&hasher.finish().to_le_bytes());
-    // Write-then-rename so a crash mid-snapshot leaves the old (or no)
-    // snapshot, never a torn one that happens to checksum.
-    let tmp = path.with_extension("idx.tmp");
-    std::fs::write(&tmp, &buf)?;
-    std::fs::rename(&tmp, path)
+    buf
 }
 
 /// Load and validate an index snapshot. Returns the entries and the log
@@ -499,6 +767,7 @@ fn load_index_snapshot(path: &Path, log_len: u64) -> Option<(HashMap<u128, Slot>
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::FaultKind;
 
     fn tempdir(tag: &str) -> PathBuf {
         let dir = std::env::temp_dir().join(format!(
@@ -588,6 +857,161 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         std::fs::write(DiskStore::log_path(&dir), b"definitely not a log").unwrap();
         assert!(DiskStore::open(&dir).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Flip one payload byte of the record stored under `key`, in
+    /// place, so the checksum fails at read time.
+    fn corrupt_payload(dir: &Path, store: &DiskStore, key: u128) {
+        use std::io::{Read, Seek, SeekFrom, Write};
+        let (_, offset, _) = store
+            .index_entries()
+            .into_iter()
+            .find(|(k, _, _)| *k == key)
+            .expect("key indexed");
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(DiskStore::log_path(dir))
+            .unwrap();
+        let pos = offset + 24; // first payload byte
+        let mut byte = [0u8; 1];
+        file.seek(SeekFrom::Start(pos)).unwrap();
+        file.read_exact(&mut byte).unwrap();
+        file.seek(SeekFrom::Start(pos)).unwrap();
+        file.write_all(&[byte[0] ^ 0xFF]).unwrap();
+    }
+
+    #[test]
+    fn corrupt_record_is_quarantined_once_not_refetched() {
+        let dir = tempdir("quarantine");
+        let store = DiskStore::open(&dir).unwrap();
+        // Keep garbage under the auto-compaction threshold so the
+        // quarantine accounting itself is observable.
+        store.put(1, &[1u8; 16]).unwrap();
+        store.put(2, &[2u8; 800]).unwrap();
+        corrupt_payload(&dir, &store, 1);
+        assert_eq!(store.get(1), None, "corrupt payload never served");
+        let stats = store.stats();
+        assert_eq!(stats.corrupt_dropped, 1);
+        assert_eq!(stats.garbage_bytes, 40 + 16);
+        // The second read is an index miss, not a re-verification.
+        assert_eq!(store.get(1), None);
+        assert_eq!(store.stats().corrupt_dropped, 1, "quarantined exactly once");
+        assert_eq!(store.stats().misses, 2);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compaction_drops_garbage_and_preserves_live_records() {
+        let dir = tempdir("compact");
+        let store = DiskStore::open(&dir).unwrap();
+        store.put(1, &[1u8; 64]).unwrap();
+        store.put(2, &[2u8; 64]).unwrap();
+        store.put(3, &[3u8; 64]).unwrap();
+        store.quarantine(2);
+        // quarantine may have auto-compacted (garbage > 1/4); either
+        // way an explicit compact leaves exactly the live records.
+        let report = store.compact().unwrap();
+        assert_eq!(report.live_records, 2);
+        assert!(report.bytes_after <= report.bytes_before);
+        assert_eq!(store.stats().garbage_bytes, 0);
+        assert_eq!(store.get(1).as_deref(), Some([1u8; 64].as_slice()));
+        assert_eq!(store.get(2), None);
+        assert_eq!(store.get(3).as_deref(), Some([3u8; 64].as_slice()));
+        drop(store);
+        // The new generation is what recovery sees.
+        let store = DiskStore::open(&dir).unwrap();
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.get(3).as_deref(), Some([3u8; 64].as_slice()));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_record_mid_log_is_excised_by_compaction() {
+        let dir = tempdir("excise");
+        let store = DiskStore::open(&dir).unwrap();
+        store.put(1, &[1u8; 32]).unwrap();
+        store.put(2, &[2u8; 32]).unwrap();
+        store.put(3, &[3u8; 32]).unwrap();
+        corrupt_payload(&dir, &store, 2);
+        // Quarantine trips the garbage threshold and auto-compacts:
+        // record 3 now survives a truncating reopen that would
+        // otherwise have discarded everything after record 2.
+        assert_eq!(store.get(2), None);
+        assert!(store.stats().compactions >= 1, "auto-compaction ran");
+        drop(store);
+        let _ = std::fs::remove_file(DiskStore::index_path(&dir));
+        let store = DiskStore::open(&dir).unwrap();
+        assert_eq!(store.recovery().truncated_bytes, 0, "no torn tail");
+        assert_eq!(store.get(1).as_deref(), Some([1u8; 32].as_slice()));
+        assert_eq!(store.get(3).as_deref(), Some([3u8; 32].as_slice()));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn uncommitted_compaction_temp_is_removed_at_open() {
+        let dir = tempdir("temp-gen");
+        {
+            let store = DiskStore::open(&dir).unwrap();
+            store.put(9, b"survivor").unwrap();
+        }
+        std::fs::write(DiskStore::compaction_path(&dir), b"half a generation").unwrap();
+        let store = DiskStore::open(&dir).unwrap();
+        assert!(store.recovery().removed_compaction_temp);
+        assert!(!DiskStore::compaction_path(&dir).exists());
+        assert_eq!(store.get(9).as_deref(), Some(b"survivor".as_slice()));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn io_error_is_not_quarantine() {
+        let dir = tempdir("io-error");
+        {
+            let store = DiskStore::open(&dir).unwrap();
+            store.put(5, b"payload").unwrap();
+        }
+        let store = DiskStore::open_with(&dir, FaultSchedule::fail_nth(0, FaultKind::Eio)).unwrap();
+        let err = store.try_get(5).unwrap_err();
+        assert!(err.to_string().contains("injected"));
+        let stats = store.stats();
+        assert_eq!(stats.io_errors, 1);
+        assert_eq!(stats.corrupt_dropped, 0, "device failure is not corruption");
+        // The fault was one-shot: the record is still there and intact.
+        assert_eq!(
+            store.try_get(5).unwrap().as_deref(),
+            Some(b"payload".as_slice())
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn enospc_put_fails_cleanly_and_the_store_recovers() {
+        let dir = tempdir("enospc");
+        let store =
+            DiskStore::open_with(&dir, FaultSchedule::fail_nth(0, FaultKind::Enospc)).unwrap();
+        let err = store.put(1, b"does not fit").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::StorageFull);
+        assert_eq!(store.len(), 0);
+        // One-shot fault consumed: the retry lands.
+        assert!(store.put(1, b"fits now").unwrap());
+        assert_eq!(store.get(1).as_deref(), Some(b"fits now".as_slice()));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_put_rolls_back_in_process_and_on_disk() {
+        let dir = tempdir("torn-put");
+        let store =
+            DiskStore::open_with(&dir, FaultSchedule::fail_nth(0, FaultKind::Torn)).unwrap();
+        assert!(store.put(1, &[0xCC; 100]).is_err());
+        assert_eq!(store.len(), 0);
+        assert!(store.put(2, b"after the tear").unwrap());
+        drop(store);
+        let _ = std::fs::remove_file(DiskStore::index_path(&dir));
+        let store = DiskStore::open(&dir).unwrap();
+        assert_eq!(store.len(), 1, "only the clean record survives");
+        assert_eq!(store.get(2).as_deref(), Some(b"after the tear".as_slice()));
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

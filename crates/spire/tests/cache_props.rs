@@ -105,6 +105,67 @@ proptest! {
     }
 }
 
+/// The observable behavior of a compilation, for cross-cache
+/// comparison: compilation is deterministic, so two caches answering
+/// the same request must agree on every derived quantity even when one
+/// of them recompiled after an eviction.
+fn fingerprint(compiled: &Compiled) -> (u64, u64, u32, u64) {
+    (
+        compiled.t_complexity(),
+        compiled.mcx_complexity(),
+        compiled.qubits(),
+        compiled.approx_bytes(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// A byte-budgeted cache is behaviorally equivalent to an unbounded
+    /// one modulo misses: identical answers for every request, hits a
+    /// subset of the unbounded cache's hits, and — the governance
+    /// invariant — resident bytes never exceed the budget, checked
+    /// after every single operation, not only at the end.
+    #[test]
+    fn budgeted_cache_is_equivalent_modulo_misses(
+        keys in vec(0usize..8, 1..40),
+        budget in 512u64..32_768,
+    ) {
+        let options = CompileOptions::spire();
+        let budgeted = CompileCache::with_budget(budget);
+        let unbounded = CompileCache::new();
+        for k in keys {
+            let from_budgeted = budgeted
+                .get_or_compile(&source(k), "f", 0, WordConfig::paper_default(), &options)
+                .expect("trivial program compiles");
+            let from_unbounded = unbounded
+                .get_or_compile(&source(k), "f", 0, WordConfig::paper_default(), &options)
+                .expect("trivial program compiles");
+            prop_assert_eq!(
+                fingerprint(&from_budgeted),
+                fingerprint(&from_unbounded),
+                "eviction must change only *which* keys miss, never answers"
+            );
+            let stats = budgeted.stats();
+            prop_assert!(stats.budget_bytes > 0, "budget must be configured");
+            prop_assert!(
+                stats.resident_bytes <= stats.budget_bytes,
+                "resident {} exceeds budget {}",
+                stats.resident_bytes,
+                stats.budget_bytes
+            );
+            // Both caches count exactly one of hit/miss per request; the
+            // budgeted one can only have traded hits for misses.
+            let reference = unbounded.stats();
+            prop_assert_eq!(
+                stats.hits + stats.misses,
+                reference.hits + reference.misses
+            );
+            prop_assert!(stats.hits <= reference.hits);
+        }
+    }
+}
+
 #[test]
 fn concurrent_invariants_match_the_single_lock_semantics() {
     const THREADS: usize = 4;

@@ -1,0 +1,358 @@
+//! Exhaustive crash-point harness for the disk tier.
+//!
+//! Replays a fixed store op sequence under a `crash_after_bytes` fault
+//! schedule, simulating a `kill -9` at **every write boundary** (and at
+//! chosen offsets *inside* every record), then reopens with a fresh,
+//! healthy process and asserts the recovery invariants:
+//!
+//! * the committed record prefix is preserved byte-for-byte;
+//! * a torn tail is truncated away (and only a mid-record kill leaves
+//!   one);
+//! * a corrupt payload is never served;
+//! * the index rebuilt by scanning equals the index a snapshot-assisted
+//!   reopen produces;
+//! * a crashed process never installs an index snapshot;
+//! * a crash at any point inside compaction loses no live record
+//!   (either generation recovers the same contents).
+//!
+//! A deterministic seeded fault battery (EIO/ENOSPC/torn at a seeded
+//! rate) rides along: same seed, same faults, and no fault sequence can
+//! make the store serve wrong bytes. The chaos CI job runs this file in
+//! release mode and archives its coverage summary.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use spire::faults::{FaultKind, FaultSchedule};
+use spire::store::DiskStore;
+
+static CASE: AtomicU64 = AtomicU64::new(0);
+
+/// magic(4) + key(16) + len(4) + checksum(16) around each payload.
+const RECORD_OVERHEAD: u64 = 40;
+/// The 8-byte `cas.log` file header (written before any faults arm).
+const LOG_HEADER: u64 = 8;
+
+fn tempdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "spire-crash-points-{tag}-{}-{}",
+        std::process::id(),
+        CASE.fetch_add(1, Ordering::Relaxed),
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The replayed op sequence: eight puts with payload sizes chosen to
+/// cover empty, tiny, and multi-block records.
+fn op_sequence() -> Vec<(u128, Vec<u8>)> {
+    [0usize, 1, 7, 40, 100, 3, 64, 25]
+        .iter()
+        .enumerate()
+        .map(|(i, &len)| (i as u128 + 1, vec![0x40 + i as u8; len]))
+        .collect()
+}
+
+/// Cumulative write extents of each record, relative to the first
+/// post-open write (the header is written at open, before faults arm).
+fn record_extents(ops: &[(u128, Vec<u8>)]) -> Vec<(u64, u64)> {
+    let mut extents = Vec::new();
+    let mut cursor = 0u64;
+    for (_, payload) in ops {
+        let size = RECORD_OVERHEAD + payload.len() as u64;
+        extents.push((cursor, cursor + size));
+        cursor += size;
+    }
+    extents
+}
+
+/// Run the op sequence against a store that crashes after `budget`
+/// written bytes, ignoring the errors a dying process sees.
+fn run_to_crash(dir: &Path, budget: u64) -> Arc<FaultSchedule> {
+    let faults = FaultSchedule::crash_after_bytes(budget);
+    let store = DiskStore::open_with(dir, Arc::clone(&faults)).expect("open precedes the crash");
+    for (key, payload) in op_sequence() {
+        let _ = store.put(key, &payload);
+    }
+    // Drop tries to persist the index snapshot; a crashed process must
+    // not manage it (asserted by the caller).
+    drop(store);
+    faults
+}
+
+/// Reopen after a simulated crash and assert every recovery invariant.
+/// Returns whether recovery truncated a torn tail.
+fn assert_recovered(dir: &Path, committed: &[(u128, Vec<u8>)], all: &[(u128, Vec<u8>)]) -> bool {
+    let scanned_entries;
+    let truncated;
+    {
+        let store = DiskStore::open(dir).expect("healthy reopen");
+        assert!(
+            !store.recovery().used_snapshot,
+            "a crashed process must never install a snapshot"
+        );
+        truncated = store.recovery().truncated_bytes > 0;
+        assert_eq!(store.len(), committed.len(), "exactly the committed prefix");
+        for (key, payload) in committed {
+            assert_eq!(
+                store.get(*key).as_deref(),
+                Some(payload.as_slice()),
+                "committed record {key} must survive intact"
+            );
+        }
+        for (key, _) in &all[committed.len()..] {
+            assert_eq!(store.get(*key), None, "uncommitted record {key} is gone");
+        }
+        assert_eq!(
+            store.stats().corrupt_dropped,
+            0,
+            "nothing corrupt served or dropped"
+        );
+        scanned_entries = store.index_entries();
+        // Closing installs a fresh snapshot over the recovered state.
+    }
+    let store = DiskStore::open(dir).expect("snapshot reopen");
+    assert!(store.recovery().used_snapshot);
+    assert_eq!(
+        store.index_entries(),
+        scanned_entries,
+        "snapshot index must equal the from-scratch scan"
+    );
+    truncated
+}
+
+#[test]
+fn kill_at_every_write_boundary_recovers_the_committed_prefix() {
+    let ops = op_sequence();
+    let extents = record_extents(&ops);
+    let total: u64 = extents.last().map(|&(_, end)| end).unwrap();
+
+    // Every record contributes its boundary (a kill between writes) and
+    // three intra-record offsets (a kill tearing the write itself).
+    let mut budgets = Vec::new();
+    for &(start, end) in &extents {
+        let size = end - start;
+        budgets.push(start); // boundary: nothing of this record lands
+        budgets.push(start + 1); // first byte only
+        budgets.push(start + size / 2); // mid-record tear
+        budgets.push(end - 1); // all but the last byte
+    }
+    budgets.sort_unstable();
+    budgets.dedup();
+    assert!(budgets.iter().all(|&b| b < total));
+
+    let mut torn_tails = 0usize;
+    for &budget in &budgets {
+        let dir = tempdir("boundary");
+        let faults = run_to_crash(&dir, budget);
+        assert!(
+            faults.crashed(),
+            "budget {budget} < total {total} must trip"
+        );
+        assert!(
+            !DiskStore::index_path(&dir).exists(),
+            "no snapshot survives a crash at byte {budget}"
+        );
+        let committed: Vec<_> = extents
+            .iter()
+            .zip(&ops)
+            .take_while(|(&(_, end), _)| end <= budget)
+            .map(|(_, op)| op.clone())
+            .collect();
+        let truncated = assert_recovered(&dir, &committed, &ops);
+        let mid_record = extents
+            .iter()
+            .any(|&(start, end)| budget > start && budget < end);
+        assert_eq!(
+            truncated, mid_record,
+            "kill at byte {budget}: torn tail iff mid-record"
+        );
+        if truncated {
+            torn_tails += 1;
+        }
+
+        // The truncated log is a valid store again: appends land
+        // cleanly on the recovered prefix.
+        let store = DiskStore::open(&dir).unwrap();
+        assert!(store.put(0xFFFF, b"post-crash append").unwrap());
+        assert_eq!(
+            store.get(0xFFFF).as_deref(),
+            Some(b"post-crash append".as_slice())
+        );
+        drop(store);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    println!(
+        "crash-point coverage: {} write boundaries over {} records ({} bytes), {} torn tails truncated",
+        budgets.len(),
+        ops.len(),
+        total + LOG_HEADER,
+        torn_tails,
+    );
+    assert!(torn_tails > 0, "the harness must exercise torn tails");
+}
+
+#[test]
+fn kill_anywhere_inside_compaction_loses_no_live_record() {
+    let ops = op_sequence();
+    // Compaction rewrites header + every live record: enumerate kill
+    // points across that entire write range.
+    let compaction_bytes: u64 = LOG_HEADER
+        + ops
+            .iter()
+            .map(|(_, p)| RECORD_OVERHEAD + p.len() as u64)
+            .sum::<u64>();
+    // Reach past the rewrite itself so some kills land *after* the
+    // rename (committing the new generation) — e.g. inside the
+    // best-effort snapshot write that follows it.
+    let budgets: Vec<u64> = (0..compaction_bytes + 300).step_by(7).collect();
+
+    let mut committed_new_generation = 0usize;
+    for &budget in &budgets {
+        let dir = tempdir("compact");
+        {
+            let store = DiskStore::open(&dir).unwrap();
+            for (key, payload) in &ops {
+                store.put(*key, payload).unwrap();
+            }
+        }
+        // Reopen with the crash schedule and compact: the kill lands
+        // somewhere inside the rewrite (or its rename gate).
+        let faults = FaultSchedule::crash_after_bytes(budget);
+        let compacted = {
+            let store = DiskStore::open_with(&dir, Arc::clone(&faults)).unwrap();
+            store.compact().is_ok()
+        };
+        if compacted {
+            committed_new_generation += 1;
+        }
+        // Either generation must recover the identical live contents.
+        let store = DiskStore::open(&dir).unwrap();
+        assert!(
+            !DiskStore::compaction_path(&dir).exists(),
+            "an uncommitted generation is removed at open"
+        );
+        assert_eq!(
+            store.len(),
+            ops.len(),
+            "kill at byte {budget} of compaction"
+        );
+        for (key, payload) in &ops {
+            assert_eq!(
+                store.get(*key).as_deref(),
+                Some(payload.as_slice()),
+                "live record {key} lost by compaction crash at byte {budget}"
+            );
+        }
+        drop(store);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    println!(
+        "compaction crash coverage: {} kill points, {} committed the new generation, {} kept the old",
+        budgets.len(),
+        committed_new_generation,
+        budgets.len() - committed_new_generation,
+    );
+    assert!(
+        committed_new_generation > 0,
+        "some kills must land after the rename commit point"
+    );
+    assert!(
+        committed_new_generation < budgets.len(),
+        "some kills must precede the rename"
+    );
+}
+
+/// One seeded battery pass: a mixed put/get workload under a fault
+/// schedule. Returns (successful put keys, injected count).
+fn battery_pass(dir: &Path, faults: Arc<FaultSchedule>) -> (Vec<u128>, u64) {
+    let store = DiskStore::open_with(dir, Arc::clone(&faults)).expect("open is fault-free");
+    let mut ok_puts = Vec::new();
+    for (key, payload) in op_sequence() {
+        if matches!(store.put(key, &payload), Ok(true)) {
+            ok_puts.push(key);
+        }
+        // Interleave reads; a fault here may error, but can never
+        // return wrong bytes (asserted below against the clean reopen).
+        if let Ok(Some(got)) = store.try_get(key) {
+            let (_, expect) = op_sequence().into_iter().find(|(k, _)| *k == key).unwrap();
+            assert_eq!(got, expect, "a faulty read must error, not lie");
+        }
+    }
+    let injected = faults.stats().injected;
+    drop(store);
+    (ok_puts, injected)
+}
+
+#[test]
+fn seeded_fault_battery_is_deterministic_and_never_serves_wrong_bytes() {
+    let mut summary = Vec::new();
+    for kind in [FaultKind::Eio, FaultKind::Enospc, FaultKind::Torn] {
+        for seed in [7u64, 42, 1000003] {
+            let dir_a = tempdir("battery-a");
+            let dir_b = tempdir("battery-b");
+            let (puts_a, injected_a) =
+                battery_pass(&dir_a, FaultSchedule::fail_rate(64, seed, kind));
+            let (puts_b, injected_b) =
+                battery_pass(&dir_b, FaultSchedule::fail_rate(64, seed, kind));
+            assert_eq!(puts_a, puts_b, "same seed, same surviving puts");
+            assert_eq!(injected_a, injected_b, "same seed, same injections");
+
+            // Every put that reported success is durable and intact
+            // after a clean reopen (rate faults never tear state).
+            let _ = std::fs::remove_file(DiskStore::index_path(&dir_a));
+            let store = DiskStore::open(&dir_a).unwrap();
+            for key in &puts_a {
+                let (_, expect) = op_sequence().into_iter().find(|(k, _)| k == key).unwrap();
+                assert_eq!(
+                    store.get(*key).as_deref(),
+                    Some(expect.as_slice()),
+                    "successful put {key} must be durable"
+                );
+            }
+            summary.push((kind, seed, injected_a, puts_a.len()));
+            drop(store);
+            let _ = std::fs::remove_dir_all(&dir_a);
+            let _ = std::fs::remove_dir_all(&dir_b);
+        }
+    }
+    for (kind, seed, injected, survived) in &summary {
+        println!(
+            "fault battery {kind:?} seed={seed}: injected={injected} surviving_puts={survived}/8"
+        );
+    }
+    assert!(
+        summary.iter().any(|&(_, _, injected, _)| injected > 0),
+        "rate 64/256 must inject somewhere"
+    );
+}
+
+#[test]
+fn every_nth_op_failure_point_leaves_a_consistent_store() {
+    // Exhaustive over the op index: whichever single data operation
+    // fails, the store stays consistent and later ops succeed.
+    let ops = op_sequence();
+    for kind in [FaultKind::Eio, FaultKind::Enospc, FaultKind::Torn] {
+        for n in 0..(ops.len() as u64) {
+            let dir = tempdir("nth");
+            let faults = FaultSchedule::fail_nth(n, kind);
+            let store = DiskStore::open_with(&dir, Arc::clone(&faults)).unwrap();
+            let mut failed = 0usize;
+            for (key, payload) in &ops {
+                if store.put(*key, payload).is_err() {
+                    failed += 1;
+                }
+            }
+            assert_eq!(failed, 1, "exactly op {n} fails under {kind:?}");
+            assert_eq!(store.len(), ops.len() - 1);
+            drop(store);
+            let _ = std::fs::remove_file(DiskStore::index_path(&dir));
+            let store = DiskStore::open(&dir).unwrap();
+            assert_eq!(store.len(), ops.len() - 1, "survivors are durable");
+            assert_eq!(store.recovery().truncated_bytes, 0, "no torn tail leaks");
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+}
