@@ -82,7 +82,9 @@ fn t_after(optimizer: &dyn CircuitOptimizer, circuit: &Circuit) -> u64 {
     if let Some(&t) = memo.lock().expect("t_after memo poisoned").get(&key) {
         return t;
     }
-    let t = optimizer.optimize(circuit).clifford_t_counts().t_count();
+    let t = qopt::run_traced(optimizer, circuit)
+        .clifford_t_counts()
+        .t_count();
     memo.lock().expect("t_after memo poisoned").insert(key, t);
     t
 }

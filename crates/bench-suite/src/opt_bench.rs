@@ -290,7 +290,7 @@ pub fn run(quick: bool) -> OptBenchReport {
         let circuit = compiled.emit();
         for optimizer in optimizers() {
             let start = Instant::now();
-            let out = optimizer.optimize(&circuit);
+            let out = qopt::run_traced(optimizer.as_ref(), &circuit);
             let seconds = start.elapsed().as_secs_f64();
             entries.push(PassMeasurement {
                 benchmark,

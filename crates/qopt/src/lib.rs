@@ -41,6 +41,7 @@ mod commute;
 mod passes;
 mod phase_fold;
 pub mod search;
+mod traced;
 
 pub use cancel::{cancel_fixpoint, cancel_with_window};
 pub use certified::{certification_enabled, Certified};
@@ -51,3 +52,4 @@ pub use passes::{
 };
 pub use phase_fold::phase_fold;
 pub use search::{SearchConfig, SearchOpt};
+pub use traced::{run_traced, TracedPass};

@@ -9,7 +9,10 @@
 //! spire-cli report [--out-dir reports] [--threads n] [--quick] [--check]
 //! spire-cli serve [--addr 127.0.0.1:0] [--threads n] [--cache-dir dir] [--cache-bytes n]
 //!               [--compact-on-start] [--inject-disk-faults spec]
+//!               [--trace-sample n] [--trace-seed n] [--slow-log n]
 //! spire-cli loadtest [--addr host:port] [--workers n] [--seconds s] [--quick]
+//!                  [--trace-out file]
+//! spire-cli trace --addr host:port [--out trace.json]
 //! ```
 
 #![forbid(unsafe_code)]
@@ -37,6 +40,7 @@ fn main() -> ExitCode {
         Some("report") => cmd_report(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("loadtest") => cmd_loadtest(&args[1..]),
+        Some("trace") => cmd_trace(&args[1..]),
         _ => {
             eprintln!("{USAGE}");
             return ExitCode::FAILURE;
@@ -63,8 +67,10 @@ const USAGE: &str = "usage:
   spire-cli serve [--addr <host:port>] [--threads <n>] [--backlog <n>] [--cache-dir <dir>]
                   [--cache-bytes <n[k|m|g]>] [--compact-on-start]
                   [--inject-disk-faults <none|crash=BYTES|KIND:all|KIND:nth=N|KIND:rate=R,seed=S>]
+                  [--trace-sample <n>] [--trace-seed <n>] [--slow-log <n>]
   spire-cli loadtest [--addr <host:port>] [--workers <n>] [--seconds <s>]
-                     [--depth <n>] [--quick] [--out-dir <dir>]
+                     [--depth <n>] [--quick] [--out-dir <dir>] [--trace-out <file>]
+  spire-cli trace --addr <host:port> [--out <trace.json>]
 
   --simulate runs the compiled circuit (sparse backend for layouts of up
   to 64 qubits, wide-keyed sparse up to 256, classical otherwise) and
@@ -92,13 +98,23 @@ const USAGE: &str = "usage:
   into the disk tier for chaos testing (KIND is eio, enospc, or torn);
   the server degrades to memory-only behind a circuit breaker instead
   of failing requests. See docs/SERVING.md and docs/ROBUSTNESS.md.
+  --trace-sample N traces every Nth request (0 disables sampling;
+  ?trace=1 always traces), --trace-seed pins the deterministic trace/span
+  ID streams, --slow-log sets how many slowest traced requests are kept
+  for GET /debug/slow. See docs/OBSERVABILITY.md.
 
   loadtest drives a closed-loop request mix over the benchmark programs
   against --addr (or an in-process server when omitted), then sweeps the
-  same mix open-loop at fixed fractions of the measured capacity, and
-  writes the BENCH_serve.json perf trajectory (throughput, latency
-  percentiles incl. the latency-under-load curve, cache/single-flight
-  rates). --quick is the CI smoke configuration.
+  same mix open-loop at fixed fractions of the measured capacity, then
+  measures the traced-vs-untraced throughput delta, and writes the
+  BENCH_serve.json perf trajectory (throughput, latency percentiles
+  incl. the latency-under-load curve, cache/single-flight rates, tracing
+  overhead). --quick is the CI smoke configuration. --trace-out saves
+  the server's slow log as Chrome trace_event JSON afterwards.
+
+  trace fetches the slow log of a running server (GET
+  /debug/slow?format=chrome) and writes it as Chrome trace_event JSON
+  (default trace.json), loadable in chrome://tracing or Perfetto.
 
   report regenerates every paper table/figure artifact in parallel
   (Markdown + JSON under --out-dir, default `reports/`). --check
@@ -765,6 +781,19 @@ fn cmd_serve(args: &[String]) -> Result<(), String> {
         );
         config.disk_faults = Some(schedule);
     }
+    if let Some(sample) = flag(args, "--trace-sample") {
+        config.trace_sample = sample
+            .parse()
+            .map_err(|e| format!("bad --trace-sample: {e}"))?;
+    }
+    if let Some(seed) = flag(args, "--trace-seed") {
+        config.trace_seed = seed.parse().map_err(|e| format!("bad --trace-seed: {e}"))?;
+    }
+    if let Some(capacity) = flag(args, "--slow-log") {
+        config.slow_log = capacity
+            .parse()
+            .map_err(|e| format!("bad --slow-log: {e}"))?;
+    }
     let threads = config.threads;
     let server = spire_serve::Server::start(config).map_err(|e| format!("starting server: {e}"))?;
     // The smoke tooling greps this line for the ephemeral port.
@@ -811,6 +840,9 @@ fn cmd_loadtest(args: &[String]) -> Result<(), String> {
                 "bad --depth: expected an integer in 0..={}",
                 spire_serve::api::MAX_DEPTH
             ))?;
+    }
+    if let Some(out) = flag(args, "--trace-out") {
+        config.trace_out = Some(PathBuf::from(out));
     }
     match &config.addr {
         Some(addr) => println!(
@@ -859,6 +891,17 @@ fn cmd_loadtest(args: &[String]) -> Result<(), String> {
             point.late_starts,
         );
     }
+    println!(
+        "tracing: {:.0} req/s untraced vs {:.0} req/s traced ({:.1}% overhead; \
+         {:.1}% with sampling off)",
+        report.tracing.untraced_rps,
+        report.tracing.traced_rps,
+        report.tracing.overhead_pct,
+        report.tracing.sampled_off_overhead_pct,
+    );
+    if let Some(out) = &config.trace_out {
+        println!("wrote Chrome trace to {}", out.display());
+    }
     let out_dir = match flag(args, "--out-dir") {
         Some(dir) => PathBuf::from(dir),
         None => workspace_root().to_path_buf(),
@@ -867,6 +910,34 @@ fn cmd_loadtest(args: &[String]) -> Result<(), String> {
         .write_json(&out_dir)
         .map_err(|e| format!("writing BENCH_serve.json: {e}"))?;
     println!("wrote {}", path.display());
+    Ok(())
+}
+
+/// `trace`: export a running server's slow log as Chrome trace_event
+/// JSON, loadable in `chrome://tracing` or Perfetto.
+fn cmd_trace(args: &[String]) -> Result<(), String> {
+    let addr = flag(args, "--addr").ok_or("missing --addr (a running spire-serve instance)")?;
+    let out = PathBuf::from(flag(args, "--out").unwrap_or_else(|| "trace.json".into()));
+    let mut stream =
+        std::net::TcpStream::connect(&addr).map_err(|e| format!("connecting to {addr}: {e}"))?;
+    spire_serve::http::set_timeouts(
+        &stream,
+        std::time::Duration::from_secs(30),
+        std::time::Duration::from_secs(30),
+    )
+    .map_err(|e| format!("configuring socket: {e}"))?;
+    let (status, body) =
+        spire_serve::http::client_roundtrip(&mut stream, "GET", "/debug/slow?format=chrome", None)
+            .map_err(|e| format!("fetching /debug/slow: {e}"))?;
+    if status != 200 {
+        return Err(format!("/debug/slow?format=chrome returned {status}"));
+    }
+    fs::write(&out, &body).map_err(|e| format!("writing {}: {e}", out.display()))?;
+    println!(
+        "wrote {} ({} bytes); open it in chrome://tracing or https://ui.perfetto.dev",
+        out.display(),
+        body.len()
+    );
     Ok(())
 }
 

@@ -120,7 +120,15 @@ pub fn handle(state: &AppState, request: &Request) -> Response {
                 .control
                 .requests
                 .fetch_add(1, Ordering::Relaxed);
-            metrics_endpoint(state)
+            metrics_endpoint(state, request)
+        }
+        ("GET", "/debug/slow") => {
+            state
+                .metrics
+                .control
+                .requests
+                .fetch_add(1, Ordering::Relaxed);
+            slow_endpoint(state, request)
         }
         ("GET", "/healthz") => {
             state
@@ -130,17 +138,19 @@ pub fn handle(state: &AppState, request: &Request) -> Response {
                 .fetch_add(1, Ordering::Relaxed);
             healthz_endpoint(state)
         }
-        (_, "/compile" | "/simulate" | "/check" | "/benchmarks" | "/metrics" | "/healthz") => {
-            ApiError::new(
-                405,
-                "request/method-not-allowed",
-                format!(
-                    "method {} not supported on {}",
-                    request.method, request.path
-                ),
-            )
-            .response()
-        }
+        (
+            _,
+            "/compile" | "/simulate" | "/check" | "/benchmarks" | "/metrics" | "/debug/slow"
+            | "/healthz",
+        ) => ApiError::new(
+            405,
+            "request/method-not-allowed",
+            format!(
+                "method {} not supported on {}",
+                request.method, request.path
+            ),
+        )
+        .response(),
         _ => ApiError::new(
             404,
             "request/unknown-route",
@@ -151,10 +161,61 @@ pub fn handle(state: &AppState, request: &Request) -> Response {
 }
 
 fn run(endpoint: impl FnOnce() -> Result<Json, ApiError>) -> Response {
-    match endpoint() {
-        Ok(body) => Response::json(200, body.to_string()),
+    let result = endpoint();
+    let response = match result {
+        // An explicit `?trace=1` gets the span tree inline; sampled
+        // traces stay out of the body so sampling never changes a
+        // response a client did not ask to be different.
+        Ok(body) => match spire_trace::active_explicit() {
+            Some(_) => Response::json(200, attach_inline_trace(body).to_string()),
+            None => Response::json(200, body.to_string()),
+        },
         Err(e) => e.response(),
+    };
+    // Any traced request (explicit or sampled) can be correlated with
+    // `/debug/slow` through the trace-id header.
+    match spire_trace::active_trace_id() {
+        Some(trace_id) => response.with_header("x-spire-trace-id", format!("{trace_id:016x}")),
+        None => response,
     }
+}
+
+/// Append a `"trace"` field holding the request's span tree to a
+/// successful response body. The `handler` span and the `request` root
+/// are still open at this point (the handler is *producing* this very
+/// response), so in-progress records are synthesized for them — their
+/// end timestamps read "so far", and the authoritative closed spans
+/// land in the ring (and the slow log) when the response flush
+/// completes.
+fn attach_inline_trace(body: Json) -> Json {
+    let Json::Object(mut fields) = body else {
+        return body;
+    };
+    let Some((trace_id, mut records)) = spire_trace::active_records() else {
+        return Json::Object(fields);
+    };
+    let now_ns = spire_trace::active_now_ns().unwrap_or(0);
+    let root_id = spire_trace::active_root_id().unwrap_or(0);
+    let handler_id = spire_trace::ambient_parent().unwrap_or(root_id);
+    if handler_id != root_id {
+        // The handler opened after queue dwell ended.
+        let start_ns = records
+            .iter()
+            .filter(|r| r.parent_id == root_id && r.stage() == "queue")
+            .map(|r| r.end_ns)
+            .max()
+            .unwrap_or(0);
+        records.push(spire_trace::SpanRecord::new(
+            trace_id, handler_id, root_id, "handler", start_ns, now_ns,
+        ));
+    }
+    records.push(spire_trace::SpanRecord::new(
+        trace_id, root_id, 0, "request", 0, now_ns,
+    ));
+    let tree = spire_trace::build_tree(trace_id, &records);
+    let rendered = json::parse(&tree.to_json()).unwrap_or(Json::Null);
+    fields.push(("trace".to_string(), rendered));
+    Json::Object(fields)
 }
 
 /// Parameters shared by `/compile` and `/simulate`.
@@ -372,6 +433,12 @@ fn compile_endpoint(state: &AppState, request: &Request) -> Result<Json, ApiErro
     } else {
         // 4: compile (deduplicated by the single-flight layer).
         let (compiled, served, _key) = compile_through_cache(state, &params)?;
+        // A traced fresh compile also runs the spire-verify checks so
+        // the trace covers the full pipeline (parse → … → emit →
+        // verify); the report itself is the `/check` endpoint's job.
+        if served == Served::Led && spire_trace::is_active() {
+            let _ = spire::check_compiled(&compiled, &params.entry);
+        }
         let artifact = std::sync::Arc::new(build_artifact(&compiled, key));
         state.store_artifact(key.value(), std::sync::Arc::clone(&artifact));
         persist_artifact(state, key.value(), &artifact);
@@ -646,7 +713,7 @@ fn benchmarks_endpoint(state: &AppState, request: &Request) -> Result<Json, ApiE
         .build())
 }
 
-fn metrics_endpoint(state: &AppState) -> Response {
+fn metrics_endpoint(state: &AppState, request: &Request) -> Response {
     let cache = state.compiler.cache().stats();
     let flights = state.compiler.flight_stats();
     let disk = state.disk().map(spire::DiskStore::stats);
@@ -662,10 +729,47 @@ fn metrics_endpoint(state: &AppState) -> Response {
         report_bytes,
         memo_evictions,
     };
-    let body = state
-        .metrics
-        .to_json_value(&cache, &flights, disk.as_ref(), &health);
-    Response::json(200, body.to_string())
+    match request.query_param("format") {
+        Some("prometheus") => {
+            let text = state
+                .metrics
+                .to_prometheus(&cache, &flights, disk.as_ref(), &health);
+            Response {
+                status: 200,
+                content_type: "text/plain; version=0.0.4; charset=utf-8",
+                body: text.into_bytes(),
+                retry_after: None,
+                extra_headers: Vec::new(),
+            }
+        }
+        Some(other) => ApiError::bad_request(
+            "request/invalid-field",
+            format!("query `format` must be `prometheus`, got `{other}`"),
+        )
+        .response(),
+        None => {
+            let body = state
+                .metrics
+                .to_json_value(&cache, &flights, disk.as_ref(), &health);
+            Response::json(200, body.to_string())
+        }
+    }
+}
+
+/// `GET /debug/slow`: the N slowest traced requests with their full
+/// span trees — JSON by default, the Chrome `trace_event` format with
+/// `?format=chrome` (rendered server-side so `spire trace` and the
+/// load tester save the body as-is).
+fn slow_endpoint(state: &AppState, request: &Request) -> Response {
+    match request.query_param("format") {
+        Some("chrome") => Response::json(200, state.slow_log().to_chrome()),
+        Some(other) => ApiError::bad_request(
+            "request/invalid-field",
+            format!("query `format` must be `chrome`, got `{other}`"),
+        )
+        .response(),
+        None => Response::json(200, state.slow_log().to_json().to_string()),
+    }
 }
 
 /// `GET /healthz`: liveness plus the degradation ladder. `"ok"` means

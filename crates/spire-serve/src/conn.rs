@@ -14,7 +14,26 @@ use std::net::TcpStream;
 use std::os::fd::{AsRawFd, RawFd};
 use std::time::Instant;
 
+use spire_trace::TraceCtx;
+
 use crate::http::{self, Limits, RequestParser, Response};
+
+/// A finished request trace parked on its connection while the response
+/// flushes: the event loop records the terminal `write` phase and the
+/// `request` root span (and offers the trace to the slow log) only once
+/// the last byte is accepted by the socket, so the trace covers the
+/// response write too.
+#[derive(Debug)]
+pub struct PendingTrace {
+    /// The trace context, carried back from the worker thread.
+    pub ctx: TraceCtx,
+    /// Request path, for the slow-log entry.
+    pub path: String,
+    /// Response status, for the root span and the slow-log entry.
+    pub status: u16,
+    /// Trace-relative instant the response was queued for writing.
+    pub write_start_ns: u64,
+}
 
 /// Identity of a connection in the event loop's table. Tokens are never
 /// reused within one server, so a stale completion (for a connection
@@ -78,6 +97,12 @@ pub struct Conn {
     /// The peer closed its write side (EOF seen). A complete buffered
     /// request is still served; anything less closes the connection.
     pub peer_closed: bool,
+    /// When the first byte of the request currently being parsed
+    /// arrived — the epoch a trace of that request measures from. Taken
+    /// at dispatch; `None` between requests.
+    pub first_byte: Option<Instant>,
+    /// Trace of the request whose response is currently flushing.
+    pub trace: Option<PendingTrace>,
     drained: usize,
 }
 
@@ -106,6 +131,8 @@ impl Conn {
             served: 0,
             deadline,
             peer_closed: false,
+            first_byte: None,
+            trace: None,
             drained: 0,
         })
     }

@@ -330,6 +330,10 @@ pub struct Response {
     /// Seconds for a `retry-after` header, when load shedding wants to
     /// pace the client's retry instead of inviting an immediate one.
     pub retry_after: Option<u64>,
+    /// Additional `(name, value)` headers appended verbatim to the head
+    /// (e.g. `x-spire-trace-id` on traced responses). Names are static
+    /// because the server only ever emits a closed set of them.
+    pub extra_headers: Vec<(&'static str, String)>,
 }
 
 impl Response {
@@ -340,6 +344,7 @@ impl Response {
             content_type: "application/json",
             body: body.into().into_bytes(),
             retry_after: None,
+            extra_headers: Vec::new(),
         }
     }
 
@@ -350,12 +355,20 @@ impl Response {
             content_type: "text/plain; charset=utf-8",
             body: body.into().into_bytes(),
             retry_after: None,
+            extra_headers: Vec::new(),
         }
     }
 
     /// Attach a `retry-after: seconds` header (used on `503` sheds).
     pub fn with_retry_after(mut self, seconds: u64) -> Response {
         self.retry_after = Some(seconds);
+        self
+    }
+
+    /// Attach an arbitrary response header. The value must not contain
+    /// CR/LF (the server only passes identifiers it minted itself).
+    pub fn with_header(mut self, name: &'static str, value: impl Into<String>) -> Response {
+        self.extra_headers.push((name, value.into()));
         self
     }
 
@@ -382,10 +395,16 @@ impl Response {
 /// interact with delayed ACK into ~40 ms stalls per response, which
 /// would dominate every latency percentile the service reports.
 pub fn encode_response(response: &Response, keep_alive: bool) -> Vec<u8> {
-    let retry_after = match response.retry_after {
+    let mut retry_after = match response.retry_after {
         Some(seconds) => format!("retry-after: {seconds}\r\n"),
         None => String::new(),
     };
+    for (name, value) in &response.extra_headers {
+        retry_after.push_str(name);
+        retry_after.push_str(": ");
+        retry_after.push_str(value);
+        retry_after.push_str("\r\n");
+    }
     let mut message = format!(
         "HTTP/1.1 {} {}\r\ncontent-type: {}\r\ncontent-length: {}\r\n{}connection: {}\r\n\r\n",
         response.status,
@@ -470,6 +489,23 @@ fn invalid(message: &str) -> io::Error {
 /// Propagates socket errors; a malformed response is an
 /// `io::ErrorKind::InvalidData` error.
 pub fn read_client_response(stream: &mut TcpStream) -> io::Result<(u16, Vec<u8>, bool)> {
+    let (status, _headers, body, keep_alive) = read_client_response_full(stream)?;
+    Ok((status, body, keep_alive))
+}
+
+/// What [`read_client_response_full`] returns: status, lower-cased
+/// `(name, value)` header pairs, body, and the keep-alive flag.
+pub type FullResponse = (u16, Vec<(String, String)>, Vec<u8>, bool);
+
+/// [`read_client_response`], also returning the response headers as
+/// lower-cased `(name, value)` pairs — the trace tests read
+/// `x-spire-trace-id` back, and the `spire trace` CLI needs nothing
+/// else from the head.
+///
+/// # Errors
+///
+/// See [`read_client_response`].
+pub fn read_client_response_full(stream: &mut TcpStream) -> io::Result<FullResponse> {
     let mut head = Vec::with_capacity(256);
     let mut byte = [0u8; 1];
     loop {
@@ -495,22 +531,22 @@ pub fn read_client_response(stream: &mut TcpStream) -> io::Result<(u16, Vec<u8>,
         .ok_or_else(|| invalid("bad status line"))?;
     let mut content_length = 0usize;
     let mut keep_alive = true;
+    let mut headers = Vec::new();
     for line in lines {
         if let Some((name, value)) = line.split_once(':') {
-            let name = name.trim();
-            if name.eq_ignore_ascii_case("content-length") {
-                content_length = value
-                    .trim()
-                    .parse()
-                    .map_err(|_| invalid("bad content-length"))?;
-            } else if name.eq_ignore_ascii_case("connection") {
-                keep_alive = !value.trim().eq_ignore_ascii_case("close");
+            let name = name.trim().to_ascii_lowercase();
+            let value = value.trim();
+            if name == "content-length" {
+                content_length = value.parse().map_err(|_| invalid("bad content-length"))?;
+            } else if name == "connection" {
+                keep_alive = !value.eq_ignore_ascii_case("close");
             }
+            headers.push((name, value.to_string()));
         }
     }
     let mut body = vec![0u8; content_length];
     stream.read_exact(&mut body)?;
-    Ok((status, body, keep_alive))
+    Ok((status, headers, body, keep_alive))
 }
 
 /// Configure both socket timeouts on a stream, and disable Nagle: the
@@ -637,6 +673,17 @@ mod tests {
         let ok = Response::json(200, "{}");
         let wire = String::from_utf8(encode_response(&ok, true)).unwrap();
         assert!(!wire.contains("retry-after"), "wire: {wire}");
+    }
+
+    #[test]
+    fn extra_headers_are_emitted_in_the_head() {
+        let traced = Response::json(200, "{}").with_header("x-spire-trace-id", "00ab");
+        let wire = String::from_utf8(encode_response(&traced, true)).unwrap();
+        let head_end = wire.find("\r\n\r\n").unwrap();
+        assert!(
+            wire[..head_end].contains("\r\nx-spire-trace-id: 00ab"),
+            "wire: {wire}"
+        );
     }
 
     #[test]

@@ -19,21 +19,30 @@
 //!   backlog sheds requests with `503` instead of queueing without
 //!   limit.
 //! * [`metrics`] — wait-free counters and power-of-two-bucket latency
-//!   histograms behind `GET /metrics`.
+//!   histograms (interpolated percentiles) behind `GET /metrics`, with
+//!   build provenance, the event loop's self-profile, and a Prometheus
+//!   text renderer for `?format=prometheus`.
+//! * [`slow`] — the slow-request log: the N slowest traced requests
+//!   with their full span trees, behind `GET /debug/slow` (JSON or
+//!   Chrome `trace_event`).
 //! * [`api`] — the endpoints: `POST /compile` (source → T-counts, gate
 //!   histogram, optional `.qc` text), `POST /simulate` (sparse-backend
 //!   execution with variable bindings), `GET /benchmarks` (the paper's
-//!   12 programs through the cache), `GET /metrics`, `GET /healthz` —
-//!   every failure mapped to a structured JSON body with a stable
-//!   machine-readable error code.
+//!   12 programs through the cache), `GET /metrics`, `GET /healthz`,
+//!   `GET /debug/slow` — every failure mapped to a structured JSON body
+//!   with a stable machine-readable error code, and `?trace=1` on the
+//!   compile endpoints returning the request's span tree inline.
 //! * [`server`] — the readiness-driven event loop (over the vendored
 //!   `poll` shim): one thread owns the listener and every connection,
 //!   CPU work runs on the pool, responses come back through a
-//!   completion queue and a loopback waker.
+//!   completion queue and a loopback waker. Per-request traces
+//!   ([`spire_trace`]) are created here, follow the request across
+//!   threads, and are finished only when the response has flushed.
 //! * [`loadtest`] — a closed- and open-loop load generator over the
 //!   benchmark programs that writes the `BENCH_serve.json` perf
-//!   trajectory (schema 5, with latency-under-load curves and retry /
-//!   worker-failure accounting).
+//!   trajectory (schema 6, with latency-under-load curves, the
+//!   traced-vs-untraced throughput delta, and retry / worker-failure
+//!   accounting).
 //!
 //! The compile path sits on [`spire::SingleFlightCache`]: the
 //! content-addressed compile cache (lock-striped) with a single-flight
@@ -45,7 +54,8 @@
 //! recompiling.
 //!
 //! See `docs/SERVING.md` for the protocol reference and a worked `curl`
-//! session.
+//! session, and `docs/OBSERVABILITY.md` for the tracing and profiling
+//! surfaces.
 //!
 //! # Example
 //!
@@ -81,9 +91,11 @@ pub mod loadtest;
 pub mod metrics;
 pub mod pool;
 pub mod server;
+pub mod slow;
 
 pub use api::ApiError;
 pub use breaker::{BreakerSnapshot, BreakerState, CircuitBreaker};
-pub use loadtest::{LoadConfig, LoadReport, OpenLoopPoint, WarmupReport};
+pub use loadtest::{LoadConfig, LoadReport, OpenLoopPoint, TracingReport, WarmupReport};
 pub use metrics::{Metrics, ServeHealth};
 pub use server::{default_threads, AppState, Server, ServerConfig};
+pub use slow::{SlowEntry, SlowLog};

@@ -20,7 +20,16 @@
 //! arrival time**, so time spent waiting behind a stalled schedule
 //! counts against the server, not the client. The resulting
 //! latency-under-load curve is serialized in the report's `open_loop`
-//! array (schema 5).
+//! array.
+//!
+//! After the sweep, a pair of short closed-loop passes measures the
+//! **cost of tracing itself**: one pass with `?trace=1` on every request
+//! (every span recorded, the trace tree rendered inline) and one
+//! without. Their throughputs and the relative delta land in the
+//! report's `tracing` section (schema 6); CI asserts the sampling-off
+//! overhead stays under a few percent. With `trace_out` set, the
+//! server's slow log is exported afterwards as Chrome `trace_event`
+//! JSON (`/debug/slow?format=chrome`), loadable in Perfetto.
 //!
 //! Measurement is preceded by a **warmup pass**: one connection touches
 //! every distinct request in the mix (each benchmark body through
@@ -71,6 +80,9 @@ pub struct LoadConfig {
     pub check_share: f64,
     /// RNG seed for the request mix.
     pub seed: u64,
+    /// Where to write the server's slow log as Chrome `trace_event`
+    /// JSON after the traced pass; `None` skips the export.
+    pub trace_out: Option<PathBuf>,
 }
 
 impl LoadConfig {
@@ -85,6 +97,7 @@ impl LoadConfig {
             simulate_share: 0.1,
             check_share: 0.1,
             seed: 0x5EED,
+            trace_out: None,
         }
     }
 
@@ -98,6 +111,7 @@ impl LoadConfig {
             simulate_share: 0.1,
             check_share: 0.1,
             seed: 0x5EED,
+            trace_out: None,
         }
     }
 
@@ -160,8 +174,41 @@ pub struct LoadReport {
     /// The latency-under-load curve: one open-loop point per target
     /// rate, swept as fractions of the measured closed-loop capacity.
     pub open_loop: Vec<OpenLoopPoint>,
+    /// The paired traced/untraced throughput measurement.
+    pub tracing: TracingReport,
     /// The server's final `/metrics` document.
     pub server_metrics: Json,
+}
+
+/// Cost of the tracing subsystem, from two short closed-loop passes over
+/// the same warm server: one with `?trace=1` on every request, one
+/// without.
+#[derive(Debug, Clone)]
+pub struct TracingReport {
+    /// Throughput of the untraced pass (sampling off — the default
+    /// production configuration).
+    pub untraced_rps: f64,
+    /// Throughput with `?trace=1` on every request.
+    pub traced_rps: f64,
+    /// Relative throughput lost to tracing every request:
+    /// `(untraced − traced) / untraced`, as a percentage, floored at 0.
+    pub overhead_pct: f64,
+    /// Relative delta between the main closed-loop pass and the untraced
+    /// pass — both run with sampling off, so this bounds the cost of
+    /// merely having the tracing subsystem compiled in (plus run-to-run
+    /// noise). CI asserts it stays small.
+    pub sampled_off_overhead_pct: f64,
+}
+
+impl TracingReport {
+    fn to_json_value(&self) -> Json {
+        Json::obj()
+            .field("untraced_rps", self.untraced_rps)
+            .field("traced_rps", self.traced_rps)
+            .field("overhead_pct", self.overhead_pct)
+            .field("sampled_off_overhead_pct", self.sampled_off_overhead_pct)
+            .build()
+    }
 }
 
 /// One point on the latency-under-load curve: the same request mix
@@ -253,7 +300,7 @@ impl LoadReport {
     /// Serialize as the `BENCH_serve.json` document.
     pub fn to_json(&self) -> String {
         let mut doc = Json::obj()
-            .field("schema", 5u64)
+            .field("schema", 6u64)
             .field("mode", self.mode)
             .field("workers", self.workers)
             .field("workers_failed", self.workers_failed)
@@ -290,6 +337,7 @@ impl LoadReport {
                         .collect(),
                 ),
             )
+            .field("tracing", self.tracing.to_json_value())
             .field("server", self.server_metrics.clone())
             .build()
             .to_string();
@@ -442,6 +490,7 @@ pub fn run(config: &LoadConfig) -> io::Result<LoadReport> {
                         config.simulate_share,
                         config.check_share,
                         config.seed.wrapping_add(worker as u64),
+                        "",
                     )
                 })
             })
@@ -489,6 +538,58 @@ pub fn run(config: &LoadConfig) -> io::Result<LoadReport> {
         }
     }
 
+    // Tracing-overhead pair: two short closed-loop passes over the same
+    // warm server, one untraced (the production default — sampling off),
+    // one with `?trace=1` on every request. The untraced pass doubles as
+    // a control against the main measurement above.
+    let trace_window = config.duration.min(Duration::from_secs(2));
+    let untraced_rps = tracing_pass(
+        &addr,
+        trace_window,
+        config,
+        &compile_bodies,
+        &simulate_body,
+        "",
+        config.seed ^ 0xACE0,
+    );
+    let traced_rps = tracing_pass(
+        &addr,
+        trace_window,
+        config,
+        &compile_bodies,
+        &simulate_body,
+        "?trace=1",
+        config.seed ^ 0xACE1,
+    );
+    let tracing = TracingReport {
+        untraced_rps,
+        traced_rps,
+        overhead_pct: if untraced_rps > 0.0 {
+            ((untraced_rps - traced_rps) / untraced_rps * 100.0).max(0.0)
+        } else {
+            0.0
+        },
+        sampled_off_overhead_pct: if throughput_rps > 0.0 {
+            ((throughput_rps - untraced_rps) / throughput_rps * 100.0).max(0.0)
+        } else {
+            0.0
+        },
+    };
+
+    // The traced pass filled the server's slow log; export it as Chrome
+    // trace_event JSON if asked.
+    if let Some(out) = &config.trace_out {
+        let mut stream = TcpStream::connect(&addr)?;
+        let (status, body) =
+            client_roundtrip(&mut stream, "GET", "/debug/slow?format=chrome", None)?;
+        if status != 200 {
+            return Err(io::Error::other(format!(
+                "/debug/slow?format=chrome returned {status}"
+            )));
+        }
+        std::fs::write(out, body)?;
+    }
+
     // One final metrics scrape, after the measurement window.
     let mut stream = TcpStream::connect(&addr)?;
     let (status, body) = client_roundtrip(&mut stream, "GET", "/metrics", None)?;
@@ -527,8 +628,55 @@ pub fn run(config: &LoadConfig) -> io::Result<LoadReport> {
         max_us: latencies.last().copied().unwrap_or(0),
         warmup,
         open_loop,
+        tracing,
         server_metrics,
     })
+}
+
+/// One short closed-loop pass with `query` appended to every request
+/// path, returning its throughput. Individual failures are absorbed the
+/// same way the main loop absorbs them — the pass measures rate, not
+/// correctness.
+fn tracing_pass(
+    addr: &str,
+    window: Duration,
+    config: &LoadConfig,
+    compile_bodies: &[String],
+    simulate_body: &str,
+    query: &'static str,
+    seed: u64,
+) -> f64 {
+    let deadline = Instant::now() + window;
+    let started = Instant::now();
+    let total = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..config.workers)
+            .map(|worker| {
+                scope.spawn(move || {
+                    worker_loop(
+                        addr,
+                        deadline,
+                        compile_bodies,
+                        simulate_body,
+                        config.simulate_share,
+                        config.check_share,
+                        seed.wrapping_add(worker as u64),
+                        query,
+                    )
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .filter_map(|handle| handle.join().ok())
+            .map(|outcome| outcome.latencies_us.len() as u64)
+            .sum::<u64>()
+    });
+    let wall = started.elapsed();
+    if wall.as_secs_f64() > 0.0 {
+        total as f64 / wall.as_secs_f64()
+    } else {
+        0.0
+    }
 }
 
 /// Exact percentile over an ascending-sorted latency list (nearest-rank
@@ -752,6 +900,7 @@ fn warmup_pass(
     })
 }
 
+#[allow(clippy::too_many_arguments)]
 fn worker_loop(
     addr: &str,
     deadline: Instant,
@@ -760,6 +909,7 @@ fn worker_loop(
     simulate_share: f64,
     check_share: f64,
     seed: u64,
+    query: &str,
 ) -> WorkerOutcome {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut outcome = WorkerOutcome {
@@ -807,8 +957,15 @@ fn worker_loop(
             let i = rng.random_range(0..compile_bodies.len());
             ("/compile", compile_bodies[i].as_str())
         };
+        // The tracing passes append `?trace=1`; the default (empty
+        // query) path stays allocation-free.
+        let url: std::borrow::Cow<'_, str> = if query.is_empty() {
+            path.into()
+        } else {
+            format!("{path}{query}").into()
+        };
         let sent = Instant::now();
-        match crate::http::client_roundtrip_keepalive(connection, "POST", path, Some(body)) {
+        match crate::http::client_roundtrip_keepalive(connection, "POST", &url, Some(body)) {
             Ok((status, _, keep_alive)) => {
                 outcome.latencies_us.push(sent.elapsed().as_micros() as u64);
                 match status {

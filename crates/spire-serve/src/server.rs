@@ -35,19 +35,21 @@ use std::io::{self, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::fd::AsRawFd;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use qcirc::json::Json;
 use spire::{DiskStore, FaultSchedule, SingleFlightCache};
+use spire_trace::{derive_seed, AttrValue, SpanRing, TraceCtx};
 
 use crate::breaker::{CircuitBreaker, DEFAULT_COOLDOWN, DEFAULT_THRESHOLD};
-use crate::conn::{Conn, ConnState, Token};
+use crate::conn::{Conn, ConnState, PendingTrace, Token};
 use crate::http::{self, Limits, ParseError, Request, Response};
 use crate::metrics::Metrics;
 use crate::pool::{Rejected, ThreadPool};
+use crate::slow::{SlowEntry, SlowLog};
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -93,6 +95,16 @@ pub struct ServerConfig {
     pub disk_failure_threshold: u32,
     /// How long an open breaker waits before releasing a probe.
     pub disk_cooldown: Duration,
+    /// Trace one request in every `trace_sample` (0 disables sampling;
+    /// `?trace=1` requests are always traced regardless).
+    pub trace_sample: u64,
+    /// Seed for the deterministic trace/span ID generator: the same
+    /// seed and request sequence yield byte-identical normalized span
+    /// trees, which is what makes traces assertable in tests.
+    pub trace_seed: u64,
+    /// Slowest traced requests retained for `GET /debug/slow`
+    /// (0 disables the log).
+    pub slow_log: usize,
 }
 
 impl Default for ServerConfig {
@@ -113,9 +125,24 @@ impl Default for ServerConfig {
             compact_on_start: false,
             disk_failure_threshold: DEFAULT_THRESHOLD,
             disk_cooldown: DEFAULT_COOLDOWN,
+            trace_sample: 0,
+            trace_seed: DEFAULT_TRACE_SEED,
+            slow_log: DEFAULT_SLOW_LOG,
         }
     }
 }
+
+/// Span-ring capacity: at ~22 machine words per slot this is a fixed
+/// ~720 KiB, enough for hundreds of concurrent traced requests before
+/// the oldest spans are overwritten.
+const TRACE_RING_SLOTS: usize = 4096;
+
+/// Default [`ServerConfig::slow_log`] depth.
+const DEFAULT_SLOW_LOG: usize = 16;
+
+/// Default [`ServerConfig::trace_seed`]: an arbitrary nonzero constant
+/// so traces are deterministic out of the box.
+const DEFAULT_TRACE_SEED: u64 = 0x5_f17e_7ace;
 
 /// Worker count default: the machine's parallelism, capped small — the
 /// service is compile-bound, not I/O-bound, so more threads than cores
@@ -252,6 +279,18 @@ pub struct AppState {
     reports: Mutex<BoundedJsonMap>,
     /// The persistent content-addressed artifact store, when enabled.
     disk: Option<DiskStore>,
+    /// The span ring every trace of this server publishes into.
+    ring: Arc<SpanRing>,
+    /// The N slowest traced requests, behind `GET /debug/slow`.
+    slow: SlowLog,
+    /// Base seed for per-trace ID generators.
+    trace_seed: u64,
+    /// Trace one request in every `trace_sample` (0 = explicit only).
+    trace_sample: u64,
+    /// Monotone counter over trace-eligible requests: drives sampling
+    /// and derives each trace's seed, so traces are deterministic per
+    /// (seed, request sequence).
+    trace_seq: AtomicU64,
 }
 
 impl AppState {
@@ -264,6 +303,11 @@ impl AppState {
             artifacts: Mutex::new(BoundedJsonMap::new(0)),
             reports: Mutex::new(BoundedJsonMap::new(0)),
             disk: None,
+            ring: Arc::new(SpanRing::new(TRACE_RING_SLOTS)),
+            slow: SlowLog::new(DEFAULT_SLOW_LOG),
+            trace_seed: DEFAULT_TRACE_SEED,
+            trace_sample: 0,
+            trace_seq: AtomicU64::new(0),
         }
     }
 
@@ -316,7 +360,46 @@ impl AppState {
             artifacts: Mutex::new(BoundedJsonMap::new(memo_budget)),
             reports: Mutex::new(BoundedJsonMap::new(memo_budget)),
             disk,
+            ring: Arc::new(SpanRing::new(TRACE_RING_SLOTS)),
+            slow: SlowLog::new(config.slow_log),
+            trace_seed: config.trace_seed,
+            trace_sample: config.trace_sample,
+            trace_seq: AtomicU64::new(0),
         })
+    }
+
+    /// The span ring traces publish into.
+    pub fn trace_ring(&self) -> &Arc<SpanRing> {
+        &self.ring
+    }
+
+    /// The slow-request log.
+    pub fn slow_log(&self) -> &SlowLog {
+        &self.slow
+    }
+
+    /// Start a trace for a request when asked (`explicit`, i.e.
+    /// `?trace=1`) or picked by sampling. `epoch` is the instant the
+    /// request's first byte arrived — every span of the trace measures
+    /// from it, so spans recorded on the loop and on a worker share one
+    /// time base. When tracing is off entirely this is one branch, no
+    /// atomics: the untraced hot path stays untouched.
+    pub fn begin_trace(&self, explicit: bool, epoch: Instant) -> Option<TraceCtx> {
+        if !explicit && self.trace_sample == 0 {
+            return None;
+        }
+        let seq = self.trace_seq.fetch_add(1, Ordering::Relaxed);
+        let sampled = self.trace_sample > 0 && seq.is_multiple_of(self.trace_sample);
+        if !explicit && !sampled {
+            return None;
+        }
+        let seed = derive_seed(self.trace_seed, seq);
+        Some(TraceCtx::with_epoch(
+            Arc::clone(&self.ring),
+            seed,
+            explicit,
+            epoch,
+        ))
     }
 
     /// The persistent artifact store, when configured.
@@ -418,24 +501,32 @@ fn wake_pair() -> io::Result<(Waker, TcpStream)> {
     ))
 }
 
+/// A request trace handed back from a worker with its response: the
+/// loop parks it on the connection until the response write completes.
+#[derive(Debug)]
+struct FinishedTrace {
+    ctx: TraceCtx,
+    path: String,
+}
+
 /// Responses finished by pool workers, waiting for the event loop to
 /// write them out.
 #[derive(Debug)]
 struct Completions {
-    queue: Mutex<Vec<(Token, Response)>>,
+    queue: Mutex<Vec<(Token, Response, Option<FinishedTrace>)>>,
     waker: Waker,
 }
 
 impl Completions {
-    fn push(&self, token: Token, response: Response) {
+    fn push(&self, token: Token, response: Response, trace: Option<FinishedTrace>) {
         self.queue
             .lock()
             .expect("completion queue poisoned")
-            .push((token, response));
+            .push((token, response, trace));
         self.waker.wake();
     }
 
-    fn drain(&self) -> Vec<(Token, Response)> {
+    fn drain(&self) -> Vec<(Token, Response, Option<FinishedTrace>)> {
         std::mem::take(&mut *self.queue.lock().expect("completion queue poisoned"))
     }
 }
@@ -579,6 +670,10 @@ impl EventLoop {
                 tokens.push(token);
                 fds.push(poll::PollFd::new(conn.fd(), events));
             }
+            // Self-profile each tick: time blocked in poll(2) vs time
+            // spent dispatching what it returned. The ratio is the
+            // loop's own saturation signal in `/metrics`.
+            let poll_start = Instant::now();
             if poll::poll(&mut fds, Some(self.poll_timeout())).is_err() {
                 // Transient poll failure (descriptor churn, resource
                 // pressure): back off a moment and rebuild the set.
@@ -586,6 +681,7 @@ impl EventLoop {
                 continue;
             }
             let now = Instant::now();
+            let poll_wait_ns = u64::try_from((now - poll_start).as_nanos()).unwrap_or(u64::MAX);
             if fds[0].readable() {
                 self.drain_waker();
             }
@@ -599,6 +695,12 @@ impl EventLoop {
             }
             self.apply_completions(now);
             self.expire_deadlines(now);
+            let busy_ns = u64::try_from(now.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            self.state.metrics.record_loop_tick(poll_wait_ns, busy_ns);
+            let backlog = self.pool.as_ref().map_or(0, ThreadPool::backlog);
+            self.state
+                .metrics
+                .set_loop_gauges(backlog as u64, self.conns.len() as u64);
         }
         self.conns.clear();
         if let Some(pool) = self.pool.take() {
@@ -728,6 +830,8 @@ impl EventLoop {
             // slow-loris trickle exhausts this one window and gets 408,
             // it does not renew its lease a byte at a time.
             conn.deadline = now + self.config.read_timeout;
+            // Also the epoch a trace of this request measures from.
+            conn.first_byte = Some(now);
         }
         self.advance(token, now);
     }
@@ -784,6 +888,23 @@ impl EventLoop {
         conn.served += 1;
         conn.wants_close = request.wants_close();
         conn.state = ConnState::Processing;
+        // Trace this request if the client asked (`?trace=1`) or
+        // sampling picked it. The epoch is the first-byte instant, so
+        // the `read_parse` phase recorded here and the handler spans
+        // recorded on the worker share one time base.
+        let first_byte = conn.first_byte.take().unwrap_or(now);
+        let explicit = request.query_param("trace") == Some("1");
+        let trace = self.state.begin_trace(explicit, first_byte);
+        if let Some(ctx) = &trace {
+            let parsed_ns = ctx.now_ns();
+            ctx.record_phase(
+                "read_parse",
+                0,
+                parsed_ns,
+                &[("bytes", AttrValue::U64(request.body.len() as u64))],
+            );
+        }
+        let path = request.path.clone();
         let state = Arc::clone(&self.state);
         let completions = Arc::clone(&self.completions);
         let enqueued = Instant::now();
@@ -799,6 +920,7 @@ impl EventLoop {
                 // has likely already given up on — under sustained
                 // overload this keeps queue wait bounded rather than
                 // serving every request arbitrarily late.
+                let mut finished = None;
                 let response = if enqueued.elapsed() > deadline {
                     state.metrics.record_shed();
                     error_response(
@@ -807,11 +929,24 @@ impl EventLoop {
                         "request waited past its deadline in the queue",
                     )
                     .with_retry_after(1)
+                } else if let Some(ctx) = trace {
+                    // Queue-dwell span, then the handler under an
+                    // installed ambient context so every pipeline stage
+                    // records into this trace.
+                    let queue_end = ctx.now_ns();
+                    let waited = u64::try_from(enqueued.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                    ctx.record_phase("queue", queue_end.saturating_sub(waited), queue_end, &[]);
+                    spire_trace::install(ctx);
+                    let handler = spire_trace::span("handler");
+                    let response = handle_request(&state, &request);
+                    drop(handler);
+                    finished = spire_trace::take().map(|ctx| FinishedTrace { ctx, path });
+                    response
                 } else {
                     handle_request(&state, &request)
                 };
                 state.metrics.record_status(response.status);
-                completions.push(token, response);
+                completions.push(token, response, finished);
             });
         if let Err(rejected) = outcome {
             // Dispatch-time backpressure: the bounded queue is full (or
@@ -833,7 +968,7 @@ impl EventLoop {
 
     /// Serialize finished responses onto their connections.
     fn apply_completions(&mut self, now: Instant) {
-        for (token, response) in self.completions.drain() {
+        for (token, response, trace) in self.completions.drain() {
             let Some(conn) = self.conns.get_mut(&token) else {
                 continue; // connection died while its request computed
             };
@@ -841,10 +976,39 @@ impl EventLoop {
                 && !conn.peer_closed
                 && !self.stop.load(Ordering::SeqCst)
                 && conn.served < self.config.max_keepalive_requests;
+            // Park the trace on the connection; the `write` phase and
+            // the root span are recorded when the flush completes.
+            conn.trace = trace.map(|finished| PendingTrace {
+                write_start_ns: finished.ctx.now_ns(),
+                status: response.status,
+                path: finished.path,
+                ctx: finished.ctx,
+            });
             conn.queue_response(&response, keep_alive);
             conn.deadline = now + self.config.write_timeout;
             self.write_ready(token, now);
         }
+    }
+
+    /// Close out a flushed response's trace: record the `write` phase
+    /// and the `request` root span, then offer the whole trace to the
+    /// slow log.
+    fn finish_trace(&self, pending: PendingTrace) {
+        let end_ns = pending.ctx.now_ns();
+        pending
+            .ctx
+            .record_phase("write", pending.write_start_ns, end_ns, &[]);
+        pending.ctx.record_root(
+            end_ns,
+            &[("status", AttrValue::U64(u64::from(pending.status)))],
+        );
+        self.state.slow.offer(SlowEntry {
+            trace_id: pending.ctx.trace_id(),
+            path: pending.path,
+            status: pending.status,
+            duration_ns: end_ns,
+            records: pending.ctx.records(),
+        });
     }
 
     fn write_ready(&mut self, token: Token, now: Instant) {
@@ -853,6 +1017,10 @@ impl EventLoop {
         };
         match conn.flush() {
             Ok(true) => {
+                if let Some(pending) = conn.trace.take() {
+                    self.finish_trace(pending);
+                }
+                let conn = self.conns.get_mut(&token).expect("still live");
                 if conn.close_after_write {
                     if conn.drain_before_close && !conn.discard() {
                         conn.state = ConnState::Draining;

@@ -1,0 +1,187 @@
+//! The slow-request log: the N slowest traced requests since startup,
+//! each with its full span tree, behind `GET /debug/slow`.
+//!
+//! Only *traced* requests are eligible (the trace is where the span tree
+//! comes from), so with sampling off the log fills from `?trace=1`
+//! requests only and the untraced hot path stays untouched. Offers are
+//! O(N log N) on a small bounded vector under a mutex — this is a debug
+//! surface, not a hot path.
+//!
+//! Two renderings: a JSON document (span trees via
+//! [`spire_trace::build_tree`]) and the Chrome `trace_event` format
+//! (`?format=chrome`), one lane per captured request, loadable in
+//! `chrome://tracing` or Perfetto. The Chrome form is rendered
+//! server-side so the `spire trace` CLI and the load tester's
+//! `--trace-out` flag just save the response body.
+
+use std::sync::Mutex;
+
+use qcirc::json::Json;
+use spire_trace::{build_tree, chrome_trace_json, ChromeGroup, SpanRecord};
+
+/// One captured slow request.
+#[derive(Debug, Clone)]
+pub struct SlowEntry {
+    /// The request's trace ID.
+    pub trace_id: u64,
+    /// Request path (e.g. `/compile`).
+    pub path: String,
+    /// Response status.
+    pub status: u16,
+    /// End-to-end duration, first byte to response flushed.
+    pub duration_ns: u64,
+    /// Every span of the trace, as captured at completion.
+    pub records: Vec<SpanRecord>,
+}
+
+/// A bounded, duration-ordered log of the slowest traced requests.
+#[derive(Debug)]
+pub struct SlowLog {
+    capacity: usize,
+    /// Sorted by descending duration; ties keep insertion order.
+    entries: Mutex<Vec<SlowEntry>>,
+}
+
+impl SlowLog {
+    /// An empty log keeping at most `capacity` entries (0 disables it).
+    pub fn new(capacity: usize) -> SlowLog {
+        SlowLog {
+            capacity,
+            entries: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// How many entries the log retains.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Offer a finished traced request; kept if the log has room or the
+    /// request outlasted the current fastest entry.
+    pub fn offer(&self, entry: SlowEntry) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut entries = self.entries.lock().expect("slow log poisoned");
+        if entries.len() >= self.capacity
+            && entries
+                .last()
+                .is_some_and(|fastest| fastest.duration_ns >= entry.duration_ns)
+        {
+            return;
+        }
+        entries.push(entry);
+        entries.sort_by_key(|e| std::cmp::Reverse(e.duration_ns));
+        entries.truncate(self.capacity);
+    }
+
+    /// A snapshot of the current entries, slowest first.
+    pub fn snapshot(&self) -> Vec<SlowEntry> {
+        self.entries.lock().expect("slow log poisoned").clone()
+    }
+
+    /// The `GET /debug/slow` JSON document: capacity, count, and one
+    /// object per entry with its full span tree.
+    pub fn to_json(&self) -> Json {
+        let entries = self.snapshot();
+        let rows = entries
+            .iter()
+            .map(|entry| {
+                let tree = build_tree(entry.trace_id, &entry.records);
+                let spans = qcirc::json::parse(&tree.to_json())
+                    .ok()
+                    .and_then(|parsed| parsed.get("spans").cloned())
+                    .unwrap_or(Json::Array(Vec::new()));
+                Json::obj()
+                    .field("trace_id", format!("{:016x}", entry.trace_id))
+                    .field("path", entry.path.as_str())
+                    .field("status", u64::from(entry.status))
+                    .field("duration_ns", entry.duration_ns)
+                    .field("spans", spans)
+                    .build()
+            })
+            .collect();
+        Json::obj()
+            .field("capacity", self.capacity as u64)
+            .field("slowest", Json::Array(rows))
+            .build()
+    }
+
+    /// The `GET /debug/slow?format=chrome` document: Chrome
+    /// `trace_event` JSON, one lane per captured request, labelled with
+    /// path, trace ID, and duration.
+    pub fn to_chrome(&self) -> String {
+        let entries = self.snapshot();
+        let groups: Vec<ChromeGroup> = entries
+            .iter()
+            .map(|entry| ChromeGroup {
+                label: format!(
+                    "{} {:016x} ({:.3} ms)",
+                    entry.path,
+                    entry.trace_id,
+                    entry.duration_ns as f64 / 1e6
+                ),
+                records: entry.records.clone(),
+            })
+            .collect();
+        chrome_trace_json(&groups)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(trace_id: u64, duration_ns: u64) -> SlowEntry {
+        SlowEntry {
+            trace_id,
+            path: "/compile".to_string(),
+            status: 200,
+            duration_ns,
+            records: vec![SpanRecord::new(trace_id, 1, 0, "request", 0, duration_ns)],
+        }
+    }
+
+    #[test]
+    fn keeps_the_slowest_n_in_order() {
+        let log = SlowLog::new(3);
+        for (id, dur) in [(1, 50), (2, 10), (3, 99), (4, 70), (5, 5)] {
+            log.offer(entry(id, dur));
+        }
+        let kept: Vec<(u64, u64)> = log
+            .snapshot()
+            .iter()
+            .map(|e| (e.trace_id, e.duration_ns))
+            .collect();
+        assert_eq!(kept, vec![(3, 99), (4, 70), (1, 50)]);
+    }
+
+    #[test]
+    fn zero_capacity_discards_everything() {
+        let log = SlowLog::new(0);
+        log.offer(entry(1, 100));
+        assert!(log.snapshot().is_empty());
+    }
+
+    #[test]
+    fn renders_json_and_chrome() {
+        let log = SlowLog::new(2);
+        log.offer(entry(7, 42));
+        let doc = log.to_json().to_string();
+        let parsed = qcirc::json::parse(&doc).unwrap();
+        let slowest = parsed.get("slowest").and_then(Json::as_array).unwrap();
+        assert_eq!(slowest.len(), 1);
+        assert_eq!(
+            slowest[0].get("trace_id").and_then(Json::as_str),
+            Some("0000000000000007")
+        );
+        assert_eq!(
+            slowest[0].get("duration_ns").and_then(Json::as_u64),
+            Some(42)
+        );
+        let chrome = log.to_chrome();
+        assert!(chrome.contains("\"traceEvents\""));
+        assert!(chrome.contains("request"));
+        assert!(qcirc::json::parse(&chrome).is_ok(), "chrome JSON parses");
+    }
+}

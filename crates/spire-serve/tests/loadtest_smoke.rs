@@ -10,12 +10,27 @@ use spire_serve::loadtest::{self, LoadConfig};
 
 #[test]
 fn quick_loadtest_produces_a_well_formed_report() {
+    let trace_out = std::env::temp_dir().join(format!(
+        "spire-serve-smoke-trace-{}.json",
+        std::process::id()
+    ));
     let config = LoadConfig {
         workers: 2,
         duration: Duration::from_millis(600),
+        trace_out: Some(trace_out.clone()),
         ..LoadConfig::quick()
     };
     let report = loadtest::run(&config).expect("load test completes");
+
+    // The traced pass filled the slow log, and --trace-out exported it
+    // as Chrome trace_event JSON.
+    let chrome = std::fs::read_to_string(&trace_out).expect("trace_out written");
+    std::fs::remove_file(&trace_out).ok();
+    let chrome = parse(&chrome).expect("chrome trace parses");
+    assert!(matches!(
+        chrome.get("traceEvents"),
+        Some(Json::Array(events)) if !events.is_empty()
+    ));
 
     assert!(report.total > 0, "no requests completed");
     assert!(report.throughput_rps > 0.0);
@@ -57,7 +72,7 @@ fn quick_loadtest_produces_a_well_formed_report() {
     // The serialized document parses and carries the schema the CI
     // artifact consumers read.
     let doc = parse(report.to_json().trim()).expect("report JSON parses");
-    assert_eq!(doc.get("schema").and_then(Json::as_u64), Some(5));
+    assert_eq!(doc.get("schema").and_then(Json::as_u64), Some(6));
     assert_eq!(doc.get("mode").and_then(Json::as_str), Some("quick"));
     assert!(doc.get("throughput_rps").and_then(Json::as_f64).unwrap() > 0.0);
     let latency = doc.get("latency_us").expect("latency section");
@@ -108,6 +123,18 @@ fn quick_loadtest_produces_a_well_formed_report() {
         assert!(point.get("target_rps").and_then(Json::as_f64).unwrap() > 0.0);
         let lat = point.get("latency_us").expect("point latency section");
         assert!(lat.get("p99").and_then(Json::as_u64).is_some());
+    }
+
+    // The tracing-overhead pair ran: both passes measured real
+    // throughput, and the deltas are finite percentages. (The quick
+    // windows are too short to assert a tight overhead bound here —
+    // CI asserts the < 5% sampling-off bound on the full artifact.)
+    let tracing = doc.get("tracing").expect("tracing section");
+    assert!(tracing.get("untraced_rps").and_then(Json::as_f64).unwrap() > 0.0);
+    assert!(tracing.get("traced_rps").and_then(Json::as_f64).unwrap() > 0.0);
+    for key in ["overhead_pct", "sampled_off_overhead_pct"] {
+        let pct = tracing.get(key).and_then(Json::as_f64).unwrap();
+        assert!((0.0..=100.0).contains(&pct), "{key} = {pct}");
     }
 
     // The disk tier is off by default and reported as such.

@@ -1,0 +1,120 @@
+//! Chrome `trace_event` export.
+//!
+//! [`chrome_trace_json`] renders span records as "complete" (`ph:"X"`)
+//! events in the JSON Object Format understood by `chrome://tracing`
+//! and Perfetto. Each [`ChromeGroup`] becomes one named thread lane, so
+//! a slow-log dump shows one lane per captured request.
+
+use crate::{escape_json_into, AttrValue, SpanRecord};
+
+/// One lane in the exported trace: a label (e.g. `"/compile #3 12ms"`)
+/// and the spans to render under it.
+#[derive(Clone, Debug)]
+pub struct ChromeGroup {
+    /// Lane label, shown as the thread name.
+    pub label: String,
+    /// Spans rendered in this lane.
+    pub records: Vec<SpanRecord>,
+}
+
+/// Renders groups as Chrome `trace_event` JSON (object format, `ph:"X"`
+/// complete events, microsecond timestamps). Load the result in
+/// `chrome://tracing` or <https://ui.perfetto.dev>.
+pub fn chrome_trace_json(groups: &[ChromeGroup]) -> String {
+    let mut out = String::from("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+    for (lane, group) in groups.iter().enumerate() {
+        let tid = lane + 1;
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\"args\":{{\"name\":\""
+        ));
+        escape_json_into(&group.label, &mut out);
+        out.push_str("\"}}");
+        for record in &group.records {
+            out.push_str(&format!(
+                ",{{\"name\":\"{}\",\"cat\":\"spire\",\"ph\":\"X\",\"pid\":1,\"tid\":{tid},\"ts\":{},\"dur\":{},\"args\":{{\"trace_id\":\"{:016x}\",\"span_id\":\"{:016x}\",\"parent_id\":\"{:016x}\"",
+                Escaped(record.stage()),
+                Micros(record.start_ns),
+                Micros(record.duration_ns()),
+                record.trace_id,
+                record.span_id,
+                record.parent_id,
+            ));
+            for (key, value) in record.attrs() {
+                out.push_str(&format!(",\"{}\":", Escaped(key)));
+                match value {
+                    AttrValue::U64(v) => out.push_str(&v.to_string()),
+                    AttrValue::Label(l) => {
+                        out.push_str(&format!("\"{}\"", Escaped(l.as_str())));
+                    }
+                }
+            }
+            out.push_str("}}");
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Formats nanoseconds as fractional microseconds without going through
+/// floating point (`1234` ns → `1.234`).
+struct Micros(u64);
+
+impl std::fmt::Display for Micros {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let whole = self.0 / 1000;
+        let frac = self.0 % 1000;
+        if frac == 0 {
+            write!(f, "{whole}")
+        } else {
+            write!(f, "{whole}.{frac:03}")
+        }
+    }
+}
+
+struct Escaped<'a>(&'a str);
+
+impl std::fmt::Display for Escaped<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut buf = String::with_capacity(self.0.len());
+        escape_json_into(self.0, &mut buf);
+        f.write_str(&buf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label;
+
+    #[test]
+    fn renders_metadata_and_complete_events() {
+        let mut rec = SpanRecord::new(1, 2, 0, "parse", 1500, 4750);
+        rec.push_attr("gates", AttrValue::U64(9));
+        rec.push_attr("tier", label("cache"));
+        let json = chrome_trace_json(&[ChromeGroup {
+            label: "/compile \"a\"".into(),
+            records: vec![rec],
+        }]);
+        assert!(json.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        assert!(json.contains("\"ph\":\"M\""));
+        assert!(json.contains("/compile \\\"a\\\""));
+        assert!(json.contains("\"name\":\"parse\""));
+        assert!(json.contains("\"ts\":1.500,\"dur\":3.250"));
+        assert!(json.contains("\"gates\":9"));
+        assert!(json.contains("\"tier\":\"cache\""));
+        assert!(json.ends_with("]}"));
+    }
+
+    #[test]
+    fn empty_groups_render_empty_event_list() {
+        assert_eq!(
+            chrome_trace_json(&[]),
+            "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[]}"
+        );
+    }
+}

@@ -1,0 +1,315 @@
+//! The wait-free span ring: a fixed-size buffer of seqlock slots.
+//!
+//! Writers claim a slot with one `fetch_add` on the head counter and
+//! publish the record with plain atomic stores bracketed by an odd/even
+//! sequence number — no locks, no allocation, no retry loop, so the hot
+//! path is wait-free and safe to call from any thread (the workspace
+//! forbids `unsafe`, so slots are arrays of `AtomicU64` words rather
+//! than raw memory). Readers take best-effort snapshots: a slot whose
+//! sequence number is odd (mid-write) or changed across the read is
+//! discarded, as is any slot whose decoded contents fail validation.
+//! Once the ring wraps, the oldest spans are overwritten — the ring is a
+//! window over recent activity, not a complete log.
+
+use std::sync::atomic::{fence, AtomicU64, Ordering};
+
+use crate::{
+    AttrValue, FixedStr, SpanRecord, MAX_ATTRS, MAX_KEY_LEN, MAX_LABEL_LEN, MAX_STAGE_LEN,
+};
+
+/// `u64` words per encoded record: 5 header fields, 2 metadata words,
+/// 3 stage-name words, and 3 words (2 key + 1 value) per attribute.
+const WORDS: usize = 5 + 2 + 3 + 3 * MAX_ATTRS;
+
+struct Slot {
+    seq: AtomicU64,
+    words: [AtomicU64; WORDS],
+}
+
+impl Slot {
+    fn new() -> Slot {
+        Slot {
+            seq: AtomicU64::new(0),
+            words: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// A fixed-size lock-free ring buffer of finished spans.
+///
+/// See the [module docs](self) for the concurrency protocol.
+pub struct SpanRing {
+    slots: Box<[Slot]>,
+    mask: u64,
+    head: AtomicU64,
+}
+
+impl std::fmt::Debug for SpanRing {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpanRing")
+            .field("capacity", &self.slots.len())
+            .field("recorded", &self.head.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl SpanRing {
+    /// Creates a ring holding `capacity` spans (rounded up to a power of
+    /// two, minimum 8).
+    pub fn new(capacity: usize) -> SpanRing {
+        let cap = capacity.max(8).next_power_of_two();
+        SpanRing {
+            slots: (0..cap).map(|_| Slot::new()).collect(),
+            mask: (cap as u64) - 1,
+            head: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of slots.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total spans ever recorded (including overwritten ones).
+    pub fn recorded(&self) -> u64 {
+        self.head.load(Ordering::Relaxed)
+    }
+
+    /// Publishes a finished span. Wait-free: one `fetch_add` to claim a
+    /// slot plus a bounded number of atomic stores.
+    pub fn record(&self, rec: &SpanRecord) {
+        let index = (self.head.fetch_add(1, Ordering::Relaxed) & self.mask) as usize;
+        let slot = &self.slots[index];
+        slot.seq.fetch_add(1, Ordering::Relaxed);
+        fence(Ordering::Release);
+        let words = encode(rec);
+        for (word, cell) in words.iter().zip(slot.words.iter()) {
+            cell.store(*word, Ordering::Relaxed);
+        }
+        slot.seq.fetch_add(1, Ordering::Release);
+    }
+
+    /// A best-effort snapshot of every stable slot, in slot order.
+    pub fn snapshot(&self) -> Vec<SpanRecord> {
+        let mut out = Vec::with_capacity(self.slots.len());
+        for slot in &self.slots {
+            let before = slot.seq.load(Ordering::Acquire);
+            if before == 0 || before & 1 != 0 {
+                continue;
+            }
+            let mut words = [0u64; WORDS];
+            for (word, cell) in words.iter_mut().zip(slot.words.iter()) {
+                *word = cell.load(Ordering::Relaxed);
+            }
+            fence(Ordering::Acquire);
+            let after = slot.seq.load(Ordering::Relaxed);
+            if before != after {
+                continue;
+            }
+            if let Some(rec) = decode(&words) {
+                out.push(rec);
+            }
+        }
+        out
+    }
+
+    /// The spans of one trace, sorted by `(start_ns, span_id)` so the
+    /// order is deterministic even for zero-length spans.
+    pub fn for_trace(&self, trace_id: u64) -> Vec<SpanRecord> {
+        let mut records: Vec<SpanRecord> = self
+            .snapshot()
+            .into_iter()
+            .filter(|r| r.trace_id == trace_id)
+            .collect();
+        records.sort_by_key(|r| (r.start_ns, r.span_id));
+        records
+    }
+}
+
+fn pack_str<const N: usize>(s: &FixedStr<N>, out: &mut [u64]) {
+    let bytes = s.as_str().as_bytes();
+    for (i, word) in out.iter_mut().enumerate() {
+        let mut buf = [0u8; 8];
+        let lo = (i * 8).min(bytes.len());
+        let hi = (i * 8 + 8).min(bytes.len());
+        buf[..hi - lo].copy_from_slice(&bytes[lo..hi]);
+        *word = u64::from_le_bytes(buf);
+    }
+}
+
+fn unpack_str<const N: usize>(words: &[u64], len: usize) -> Option<FixedStr<N>> {
+    if len > N {
+        return None;
+    }
+    let mut bytes = [0u8; N];
+    for (i, word) in words.iter().enumerate() {
+        let chunk = word.to_le_bytes();
+        let lo = i * 8;
+        if lo >= N {
+            break;
+        }
+        let hi = (lo + 8).min(N);
+        bytes[lo..hi].copy_from_slice(&chunk[..hi - lo]);
+    }
+    std::str::from_utf8(&bytes[..len]).ok()?;
+    Some(FixedStr::new(
+        std::str::from_utf8(&bytes[..len]).unwrap_or(""),
+    ))
+}
+
+const STAGE_WORDS: usize = MAX_STAGE_LEN / 8;
+const KEY_WORDS: usize = MAX_KEY_LEN / 8;
+
+fn encode(rec: &SpanRecord) -> [u64; WORDS] {
+    let mut words = [0u64; WORDS];
+    words[0] = rec.trace_id;
+    words[1] = rec.span_id;
+    words[2] = rec.parent_id;
+    words[3] = rec.start_ns;
+    words[4] = rec.end_ns;
+    // Metadata word 5: stage length | attr count | per-attr label tags.
+    let attrs: Vec<(&str, AttrValue)> = rec.attrs().collect();
+    let mut meta = rec.stage().len() as u64;
+    meta |= (attrs.len() as u64) << 8;
+    for (i, (_, value)) in attrs.iter().enumerate() {
+        if matches!(value, AttrValue::Label(_)) {
+            meta |= 1 << (16 + i);
+        }
+    }
+    words[5] = meta;
+    // Metadata word 6: attr key lengths (one byte each) and, for label
+    // attributes, label lengths (one byte each, upper half).
+    let mut lens = 0u64;
+    for (i, (key, value)) in attrs.iter().enumerate() {
+        lens |= (key.len() as u64) << (8 * i);
+        if let AttrValue::Label(l) = value {
+            lens |= (l.as_str().len() as u64) << (32 + 8 * i);
+        }
+    }
+    words[6] = lens;
+    pack_str(
+        &FixedStr::<MAX_STAGE_LEN>::new(rec.stage()),
+        &mut words[7..7 + STAGE_WORDS],
+    );
+    for (i, (key, value)) in attrs.iter().enumerate() {
+        let base = 7 + STAGE_WORDS + 3 * i;
+        pack_str(
+            &FixedStr::<MAX_KEY_LEN>::new(key),
+            &mut words[base..base + KEY_WORDS],
+        );
+        words[base + KEY_WORDS] = match value {
+            AttrValue::U64(v) => *v,
+            AttrValue::Label(l) => {
+                let mut packed = [0u64; 1];
+                pack_str(l, &mut packed);
+                packed[0]
+            }
+        };
+    }
+    words
+}
+
+fn decode(words: &[u64; WORDS]) -> Option<SpanRecord> {
+    let trace_id = words[0];
+    let span_id = words[1];
+    if trace_id == 0 || span_id == 0 {
+        return None;
+    }
+    let meta = words[5];
+    let stage_len = (meta & 0xff) as usize;
+    let attr_count = ((meta >> 8) & 0xff) as usize;
+    if attr_count > MAX_ATTRS {
+        return None;
+    }
+    let stage: FixedStr<MAX_STAGE_LEN> = unpack_str(&words[7..7 + STAGE_WORDS], stage_len)?;
+    let mut rec = SpanRecord::new(
+        trace_id,
+        span_id,
+        words[2],
+        stage.as_str(),
+        words[3],
+        words[4],
+    );
+    let lens = words[6];
+    for i in 0..attr_count {
+        let base = 7 + STAGE_WORDS + 3 * i;
+        let key_len = ((lens >> (8 * i)) & 0xff) as usize;
+        let key: FixedStr<MAX_KEY_LEN> = unpack_str(&words[base..base + KEY_WORDS], key_len)?;
+        let value = if meta & (1 << (16 + i)) != 0 {
+            let label_len = ((lens >> (32 + 8 * i)) & 0xff) as usize;
+            let label: FixedStr<MAX_LABEL_LEN> =
+                unpack_str(&words[base + KEY_WORDS..base + KEY_WORDS + 1], label_len)?;
+            AttrValue::Label(label)
+        } else {
+            AttrValue::U64(words[base + KEY_WORDS])
+        };
+        rec.push_attr(key.as_str(), value);
+    }
+    Some(rec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label;
+
+    fn sample(trace: u64, span: u64) -> SpanRecord {
+        let mut rec = SpanRecord::new(trace, span, 7, "typecheck", 100, 250);
+        rec.push_attr("gates_before", AttrValue::U64(12));
+        rec.push_attr("tier", label("disk"));
+        rec
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let rec = sample(3, 9);
+        let decoded = decode(&encode(&rec)).expect("valid record");
+        assert_eq!(decoded, rec);
+        assert_eq!(decoded.stage(), "typecheck");
+        let attrs: Vec<(&str, AttrValue)> = decoded.attrs().collect();
+        assert_eq!(attrs[0], ("gates_before", AttrValue::U64(12)));
+        assert_eq!(attrs[1], ("tier", label("disk")));
+    }
+
+    #[test]
+    fn ring_records_and_snapshots() {
+        let ring = SpanRing::new(8);
+        for i in 1..=5 {
+            ring.record(&sample(1, i));
+        }
+        let snap = ring.snapshot();
+        assert_eq!(snap.len(), 5);
+        assert_eq!(ring.recorded(), 5);
+    }
+
+    #[test]
+    fn ring_wraps_and_keeps_newest() {
+        let ring = SpanRing::new(8);
+        for i in 1..=20 {
+            ring.record(&sample(1, i));
+        }
+        let snap = ring.for_trace(1);
+        assert_eq!(snap.len(), 8);
+        assert!(snap.iter().all(|r| r.span_id > 12));
+    }
+
+    #[test]
+    fn for_trace_filters_and_sorts() {
+        let ring = SpanRing::new(16);
+        let mut late = SpanRecord::new(2, 5, 0, "b", 900, 950);
+        late.push_attr("n", AttrValue::U64(1));
+        ring.record(&late);
+        ring.record(&SpanRecord::new(2, 4, 0, "a", 100, 200));
+        ring.record(&SpanRecord::new(9, 6, 0, "other", 0, 1));
+        let spans = ring.for_trace(2);
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].stage(), "a");
+        assert_eq!(spans[1].stage(), "b");
+    }
+
+    #[test]
+    fn empty_slots_are_skipped() {
+        let ring = SpanRing::new(8);
+        assert!(ring.snapshot().is_empty());
+    }
+}

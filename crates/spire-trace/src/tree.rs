@@ -1,0 +1,283 @@
+//! Span-tree assembly and the canonical JSON form.
+//!
+//! [`build_tree`] turns a flat record set into a parent-linked forest.
+//! Spans whose parent is not present in the set become roots — this is
+//! deliberate: an inline `?trace=1` tree is built while the outer
+//! request span is still open, so callers synthesize the missing
+//! ancestors they know about and let everything else surface as a root
+//! rather than disappear.
+//!
+//! [`SpanTree::to_json`] is the byte-stable serialization used by the
+//! determinism tests: fields appear in a fixed order and
+//! [`SpanTree::normalize`] zeroes every timestamp, so two traces of
+//! identical requests from identically-seeded servers serialize to
+//! identical bytes.
+
+use crate::{escape_json_into, AttrValue, SpanRecord};
+
+/// One span plus its children, ordered by `(start_ns, span_id)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanNode {
+    /// The span itself.
+    pub record: SpanRecord,
+    /// Child spans, in start order.
+    pub children: Vec<SpanNode>,
+}
+
+/// A forest of spans belonging to one trace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SpanTree {
+    /// The trace every span belongs to.
+    pub trace_id: u64,
+    /// Root spans (parent zero or parent not in the record set).
+    pub roots: Vec<SpanNode>,
+}
+
+/// Assembles a tree from `records` (pre-filtering by `trace_id`).
+/// Records are ordered by `(start_ns, span_id)` at every level, so the
+/// result is deterministic regardless of input order.
+pub fn build_tree(trace_id: u64, records: &[SpanRecord]) -> SpanTree {
+    let mut sorted: Vec<SpanRecord> = records
+        .iter()
+        .filter(|r| r.trace_id == trace_id)
+        .copied()
+        .collect();
+    sorted.sort_by_key(|r| (r.start_ns, r.span_id));
+    let ids: Vec<u64> = sorted.iter().map(|r| r.span_id).collect();
+    let mut children: Vec<Vec<usize>> = vec![Vec::new(); sorted.len()];
+    let mut is_child = vec![false; sorted.len()];
+    for (i, record) in sorted.iter().enumerate() {
+        if record.parent_id == 0 {
+            continue;
+        }
+        if let Some(p) = ids
+            .iter()
+            .position(|&id| id == record.parent_id)
+            .filter(|&p| p != i)
+        {
+            children[p].push(i);
+            is_child[i] = true;
+        }
+    }
+    // Emit depth-first; each index is consumed at most once, so a
+    // malformed parent cycle drops its spans instead of recursing.
+    fn emit(
+        i: usize,
+        sorted: &[SpanRecord],
+        children: &[Vec<usize>],
+        taken: &mut [bool],
+    ) -> SpanNode {
+        taken[i] = true;
+        SpanNode {
+            record: sorted[i],
+            children: children[i]
+                .iter()
+                .filter(|&&c| !taken[c])
+                .copied()
+                .collect::<Vec<usize>>()
+                .into_iter()
+                .map(|c| emit(c, sorted, children, taken))
+                .collect(),
+        }
+    }
+    let mut taken = vec![false; sorted.len()];
+    let mut roots = Vec::new();
+    for i in 0..sorted.len() {
+        if !is_child[i] && !taken[i] {
+            roots.push(emit(i, &sorted, &children, &mut taken));
+        }
+    }
+    SpanTree { trace_id, roots }
+}
+
+impl SpanNode {
+    fn normalize(&mut self) {
+        self.record.start_ns = 0;
+        self.record.end_ns = 0;
+        for child in &mut self.children {
+            child.normalize();
+        }
+    }
+
+    fn collect_stages<'a>(&'a self, out: &mut Vec<&'a str>) {
+        out.push(self.record.stage());
+        for child in &self.children {
+            child.collect_stages(out);
+        }
+    }
+
+    fn write_json(&self, out: &mut String) {
+        out.push_str("{\"stage\":\"");
+        escape_json_into(self.record.stage(), out);
+        out.push_str(&format!(
+            "\",\"span_id\":\"{:016x}\",\"parent_id\":\"{:016x}\",\"start_ns\":{},\"dur_ns\":{}",
+            self.record.span_id,
+            self.record.parent_id,
+            self.record.start_ns,
+            self.record.duration_ns()
+        ));
+        out.push_str(",\"attrs\":{");
+        for (i, (key, value)) in self.record.attrs().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('"');
+            escape_json_into(key, out);
+            out.push_str("\":");
+            match value {
+                AttrValue::U64(v) => out.push_str(&v.to_string()),
+                AttrValue::Label(l) => {
+                    out.push('"');
+                    escape_json_into(l.as_str(), out);
+                    out.push('"');
+                }
+            }
+        }
+        out.push_str("},\"children\":[");
+        for (i, child) in self.children.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            child.write_json(out);
+        }
+        out.push_str("]}");
+    }
+}
+
+impl SpanTree {
+    /// Zeroes every timestamp so trees from identical requests compare
+    /// byte-identically regardless of wall-clock timings.
+    pub fn normalize(&mut self) {
+        for root in &mut self.roots {
+            root.normalize();
+        }
+    }
+
+    /// Every stage name in the tree, depth-first.
+    pub fn stages(&self) -> Vec<&str> {
+        let mut out = Vec::new();
+        for root in &self.roots {
+            root.collect_stages(&mut out);
+        }
+        out
+    }
+
+    /// Total spans in the tree.
+    pub fn span_count(&self) -> usize {
+        self.stages().len()
+    }
+
+    /// The first node with the given stage name, depth-first.
+    pub fn find(&self, stage: &str) -> Option<&SpanNode> {
+        fn walk<'a>(node: &'a SpanNode, stage: &str) -> Option<&'a SpanNode> {
+            if node.record.stage() == stage {
+                return Some(node);
+            }
+            node.children.iter().find_map(|c| walk(c, stage))
+        }
+        self.roots.iter().find_map(|r| walk(r, stage))
+    }
+
+    /// The byte-stable JSON serialization (fixed field order):
+    /// `{"trace_id":"…","spans":[{stage,span_id,parent_id,start_ns,dur_ns,attrs,children}…]}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\"trace_id\":\"{:016x}\",\"spans\":[",
+            self.trace_id
+        ));
+        for (i, root) in self.roots.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            root.write_json(&mut out);
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{label, SpanRecord};
+
+    fn rec(span: u64, parent: u64, stage: &str, start: u64, end: u64) -> SpanRecord {
+        SpanRecord::new(1, span, parent, stage, start, end)
+    }
+
+    #[test]
+    fn builds_nested_tree_in_start_order() {
+        let records = vec![
+            rec(30, 10, "select", 50, 60),
+            rec(10, 0, "request", 0, 100),
+            rec(20, 10, "parse", 5, 10),
+        ];
+        let tree = build_tree(1, &records);
+        assert_eq!(tree.roots.len(), 1);
+        let root = &tree.roots[0];
+        assert_eq!(root.record.stage(), "request");
+        assert_eq!(root.children.len(), 2);
+        assert_eq!(root.children[0].record.stage(), "parse");
+        assert_eq!(root.children[1].record.stage(), "select");
+        assert_eq!(tree.stages(), vec!["request", "parse", "select"]);
+        assert_eq!(tree.span_count(), 3);
+    }
+
+    #[test]
+    fn orphans_become_roots() {
+        let records = vec![rec(5, 999, "parse", 10, 20), rec(6, 0, "queue", 0, 5)];
+        let tree = build_tree(1, &records);
+        assert_eq!(tree.roots.len(), 2);
+        assert_eq!(tree.roots[0].record.stage(), "queue");
+        assert_eq!(tree.roots[1].record.stage(), "parse");
+    }
+
+    #[test]
+    fn filters_other_traces() {
+        let mut other = rec(9, 0, "noise", 0, 1);
+        other.trace_id = 2;
+        let tree = build_tree(1, &[rec(5, 0, "parse", 0, 1), other]);
+        assert_eq!(tree.span_count(), 1);
+    }
+
+    #[test]
+    fn json_is_stable_and_normalization_zeroes_times() {
+        let mut a = rec(10, 0, "request", 3, 90);
+        a.push_attr("gates", crate::AttrValue::U64(7));
+        a.push_attr("tier", label("cache"));
+        let records = vec![a, rec(11, 10, "parse", 5, 9)];
+        let mut tree = build_tree(1, &records);
+        let json = tree.to_json();
+        assert!(json.starts_with("{\"trace_id\":\"0000000000000001\""));
+        assert!(json.contains("\"stage\":\"request\""));
+        assert!(json.contains("\"gates\":7"));
+        assert!(json.contains("\"tier\":\"cache\""));
+        assert!(json.contains("\"start_ns\":3"));
+        tree.normalize();
+        let normalized = tree.to_json();
+        assert!(normalized.contains("\"start_ns\":0,\"dur_ns\":0"));
+        // Same structure, different timings → identical after normalize.
+        let mut tree2 = build_tree(
+            1,
+            &[
+                {
+                    let mut r = rec(10, 0, "request", 7, 40);
+                    r.push_attr("gates", crate::AttrValue::U64(7));
+                    r.push_attr("tier", label("cache"));
+                    r
+                },
+                rec(11, 10, "parse", 9, 12),
+            ],
+        );
+        tree2.normalize();
+        assert_eq!(normalized, tree2.to_json());
+    }
+
+    #[test]
+    fn find_locates_nested_stage() {
+        let tree = build_tree(1, &[rec(1, 0, "request", 0, 10), rec(2, 1, "emit", 4, 6)]);
+        assert!(tree.find("emit").is_some());
+        assert!(tree.find("missing").is_none());
+    }
+}

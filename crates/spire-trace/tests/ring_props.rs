@@ -1,0 +1,100 @@
+//! Contended-ring properties: the hot path never blocks and snapshots
+//! never observe torn records.
+//!
+//! The ring's write path is wait-free *by construction* — one
+//! `fetch_add` to claim a slot plus a bounded number of atomic stores,
+//! with no locks, CAS retry loops, or allocation (`SpanRecord` is
+//! `Copy` with inline strings, and the workspace forbids `unsafe`, so
+//! there is no hidden buffer management either). These properties
+//! exercise that construction under real contention: many writer
+//! threads hammer a small ring while a reader snapshots continuously,
+//! and we assert (a) every writer finishes — nothing deadlocks or
+//! spins forever waiting for a reader — and (b) every record a
+//! snapshot yields is one some writer actually wrote, i.e. the seqlock
+//! validation discards torn slots rather than exposing them.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use spire_trace::{AttrValue, SpanRecord, SpanRing};
+
+/// The record writer `w` publishes on iteration `i`. Every field is a
+/// pure function of `(w, i)`, so a reader can verify internal
+/// consistency of anything it observes.
+fn expected(w: u64, i: u64) -> SpanRecord {
+    let span = w * 1_000_000 + i + 1;
+    let mut rec = SpanRecord::new(w + 1, span, w + 1, stage_for(w, i), i, i + w + 1);
+    rec.push_attr("writer", AttrValue::U64(w));
+    rec.push_attr("iter", AttrValue::U64(i));
+    rec
+}
+
+fn stage_for(w: u64, i: u64) -> &'static str {
+    const STAGES: &[&str] = &[
+        "parse",
+        "typecheck",
+        "lower",
+        "optimize",
+        "layout",
+        "select",
+        "emit",
+        "verify",
+    ];
+    STAGES[((w + i) % STAGES.len() as u64) as usize]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn contended_writers_make_progress_and_reads_are_coherent(
+        writers in 2usize..6,
+        per_writer in 16u64..200,
+        capacity in 8usize..128,
+    ) {
+        let ring = Arc::new(SpanRing::new(capacity));
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let reader = {
+            let ring = Arc::clone(&ring);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut seen = 0usize;
+                while !stop.load(Ordering::Relaxed) {
+                    for rec in ring.snapshot() {
+                        seen += 1;
+                        // Anything visible must be exactly what some
+                        // writer wrote — no torn or interleaved slots.
+                        let w = rec.trace_id - 1;
+                        let i = rec.end_ns - w - 1;
+                        assert_eq!(rec, expected(w, i), "torn record escaped the seqlock");
+                    }
+                }
+                seen
+            })
+        };
+
+        std::thread::scope(|scope| {
+            for w in 0..writers as u64 {
+                let ring = Arc::clone(&ring);
+                scope.spawn(move || {
+                    for i in 0..per_writer {
+                        ring.record(&expected(w, i));
+                    }
+                });
+            }
+        });
+        // The scope joining is itself the progress assertion: wait-free
+        // writers cannot be blocked by the concurrent reader.
+        stop.store(true, Ordering::Relaxed);
+        let _records_seen = reader.join().expect("reader panicked");
+
+        prop_assert_eq!(ring.recorded(), writers as u64 * per_writer);
+        let final_snapshot = ring.snapshot();
+        prop_assert!(final_snapshot.len() <= capacity.max(8).next_power_of_two());
+        // After all writers quiesce the last `capacity` records are all
+        // present and valid.
+        prop_assert!(!final_snapshot.is_empty());
+    }
+}

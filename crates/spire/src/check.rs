@@ -51,30 +51,41 @@ fn scratch_spec(layout: &Layout) -> AncillaSpec {
 /// Barenco decomposition ancillae at the Toffoli level, and the static
 /// T-count interval against the compiled count.
 pub fn check_compiled(compiled: &Compiled, function: &str) -> Report {
+    let mut verify_span = spire_trace::span("verify");
     let mut report = Report::default();
     let circuit = compiled.emit();
 
-    report
-        .diagnostics
-        .extend(check_circuit(&circuit, Some(compiled.layout.total_qubits)));
-
-    report
-        .diagnostics
-        .extend(check_ancillas(&circuit, &scratch_spec(&compiled.layout)));
-
-    // At the Toffoli level only the decomposition ancillae are new; the
-    // scratch region was already checked exactly on the MCX stream.
-    let toffoli = mcx_to_toffoli(&circuit);
-    if toffoli.num_qubits() > circuit.num_qubits() {
-        let mut spec = AncillaSpec::default();
-        for q in circuit.num_qubits()..toffoli.num_qubits() {
-            spec.push(q, format!("decomposition ancilla {q}"));
-        }
-        report.diagnostics.extend(check_ancillas(&toffoli, &spec));
+    {
+        let _span = spire_trace::span("check_circuit");
+        report
+            .diagnostics
+            .extend(check_circuit(&circuit, Some(compiled.layout.total_qubits)));
     }
 
-    report.functions.push(bounds_row(compiled, function));
-    push_bound_violations(&mut report);
+    {
+        let _span = spire_trace::span("check_ancillas");
+        report
+            .diagnostics
+            .extend(check_ancillas(&circuit, &scratch_spec(&compiled.layout)));
+
+        // At the Toffoli level only the decomposition ancillae are new; the
+        // scratch region was already checked exactly on the MCX stream.
+        let toffoli = mcx_to_toffoli(&circuit);
+        if toffoli.num_qubits() > circuit.num_qubits() {
+            let mut spec = AncillaSpec::default();
+            for q in circuit.num_qubits()..toffoli.num_qubits() {
+                spec.push(q, format!("decomposition ancilla {q}"));
+            }
+            report.diagnostics.extend(check_ancillas(&toffoli, &spec));
+        }
+    }
+
+    {
+        let _span = spire_trace::span("t_bounds");
+        report.functions.push(bounds_row(compiled, function));
+        push_bound_violations(&mut report);
+    }
+    verify_span.attr("diagnostics", report.diagnostics.len() as u64);
     report
 }
 

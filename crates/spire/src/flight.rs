@@ -295,14 +295,24 @@ impl SingleFlightCache {
         config: WordConfig,
         options: &CompileOptions,
     ) -> (Result<Arc<Compiled>, SpireError>, Served, CacheKey) {
+        let mut span = spire_trace::span("flight");
         let key = CacheKey::new(source, entry, depth, config, options);
         if let Some(found) = self.cache.lookup(key) {
+            span.attr_label("served", "cache");
             return (Ok(found), Served::CacheHit, key);
         }
         let (result, served) = self.flight.run(key.value(), || {
             self.cache
                 .get_or_compile(source, entry, depth, config, options)
         });
+        span.attr_label(
+            "served",
+            match served {
+                Served::CacheHit => "cache",
+                Served::Led => "led",
+                Served::Coalesced => "follower",
+            },
+        );
         (result, served, key)
     }
 }

@@ -115,6 +115,7 @@ impl Compiled {
 
     /// Materialize the concrete MCX circuit.
     pub fn emit(&self) -> Circuit {
+        let mut span = spire_trace::span("emit");
         // The cost model's MCX-complexity is the exact emitted gate count
         // (Theorem 5.1, asserted by `histogram_matches_emitted_circuit`),
         // so the packed stream can be sized up front.
@@ -123,6 +124,8 @@ impl Compiled {
             self.histogram().mcx_complexity() as usize,
         );
         self.emit_into(&mut circuit);
+        span.attr("gates", circuit.len() as u64);
+        span.attr("qubits", u64::from(circuit.num_qubits()));
         circuit
     }
 
@@ -168,13 +171,36 @@ pub fn compile_unit(
     options: &CompileOptions,
 ) -> Result<Compiled, SpireError> {
     let mut names = unit.names.clone();
-    let ir = optimize(&unit.core, options.opt, &mut names);
+    let ir = {
+        let mut span = spire_trace::span("optimize");
+        span.attr_label("config", options.opt.label());
+        span.attr("stmts_before", unit.core.size() as u64);
+        let ir = optimize(&unit.core, options.opt, &mut names);
+        span.attr("stmts_after", ir.size() as u64);
+        ir
+    };
     // Theorems 6.3/6.5 say the rewrites preserve well-formedness; check it.
-    let types = typecheck_with(&ir, &unit.inputs, &unit.table, Strictness::Relaxed)
-        .map_err(SpireError::Front)?;
-    let expanded = ir.expand_with();
-    let layout = layout(&expanded, &unit.inputs, &types, &unit.table, options.policy)?;
-    let instrs = select(&expanded, &layout, &types, &unit.table)?;
+    let types = {
+        let _span = spire_trace::span("recheck");
+        typecheck_with(&ir, &unit.inputs, &unit.table, Strictness::Relaxed)
+            .map_err(SpireError::Front)?
+    };
+    let expanded = {
+        let _span = spire_trace::span("expand");
+        ir.expand_with()
+    };
+    let layout = {
+        let mut span = spire_trace::span("layout");
+        let layout = layout(&expanded, &unit.inputs, &types, &unit.table, options.policy)?;
+        span.attr("qubits", layout.total_qubits as u64);
+        layout
+    };
+    let instrs = {
+        let mut span = spire_trace::span("select");
+        let instrs = select(&expanded, &layout, &types, &unit.table)?;
+        span.attr("instrs", instrs.len() as u64);
+        instrs
+    };
     Ok(Compiled {
         ir,
         layout,

@@ -637,14 +637,21 @@ fn encode_record(key: u128, payload: &[u8]) -> Vec<u8> {
 fn read_record(log: &mut dyn Io, slot: Slot) -> io::Result<Option<(u128, Vec<u8>)>> {
     let total = RECORD_OVERHEAD as usize + slot.len as usize;
     let mut buf = vec![0u8; total];
-    match log.read_exact_at(slot.offset, &mut buf) {
-        Ok(()) => {}
-        // A short read means the slot points past the data: corrupt
-        // framing, not a device failure.
-        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
-        Err(e) => return Err(e),
+    {
+        let mut span = spire_trace::span("disk_read");
+        span.attr("bytes", total as u64);
+        match log.read_exact_at(slot.offset, &mut buf) {
+            Ok(()) => {}
+            // A short read means the slot points past the data: corrupt
+            // framing, not a device failure.
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(None),
+            Err(e) => return Err(e),
+        }
     }
-    Ok(decode_record(&buf).map(|(key, payload, _)| (key, payload.to_vec())))
+    let mut span = spire_trace::span("disk_checksum");
+    let decoded = decode_record(&buf).map(|(key, payload, _)| (key, payload.to_vec()));
+    span.attr_label("intact", if decoded.is_some() { "yes" } else { "no" });
+    Ok(decoded)
 }
 
 /// Decode one record from the front of `buf`: `(key, payload, record

@@ -102,7 +102,13 @@ pub fn front_end(
     depth: i64,
     config: WordConfig,
 ) -> Result<CompilationUnit, TowerError> {
-    let program = parse(source)?;
+    let program = {
+        let mut span = spire_trace::span("parse");
+        let parsed = parse(source)?;
+        span.attr("bytes", source.len() as u64);
+        span.attr("funs", parsed.funs.len() as u64);
+        parsed
+    };
     front_end_program(&program, entry, depth, config)
 }
 
@@ -130,8 +136,17 @@ pub fn front_end_program(
     }
 
     let mut names = NameGen::new();
-    let body = inline(program, &entry_sym, depth, &mut names)?;
-    let core = lower_block(&body, &mut names)?;
+    let body = {
+        let mut span = spire_trace::span("inline");
+        span.attr("depth", depth.unsigned_abs());
+        inline(program, &entry_sym, depth, &mut names)?
+    };
+    let core = {
+        let mut span = spire_trace::span("lower");
+        let core = lower_block(&body, &mut names)?;
+        span.attr("stmts", core.size() as u64);
+        core
+    };
 
     let inputs: Vec<(Symbol, Type)> = fun.params.clone();
     // The reversal half of a with-do block turns branch assignments into
@@ -139,7 +154,10 @@ pub fn front_end_program(
     // condition rejects even though they are exactly the inverses of
     // well-formed statements. The pipeline therefore checks with the
     // relaxed rule; `typecheck` itself defaults to the paper's strict one.
-    let info = typecheck_with(&core, &inputs, &table, Strictness::Relaxed)?;
+    let info = {
+        let _span = spire_trace::span("typecheck");
+        typecheck_with(&core, &inputs, &table, Strictness::Relaxed)?
+    };
 
     Ok(CompilationUnit {
         core,
